@@ -1,0 +1,252 @@
+//! Symbolic addresses and the alias oracle (§5.2 "Alias Analysis").
+//!
+//! Clou applies LLVM's alias analysis selectively: inequality facts are
+//! only used where valid under the CFG→A-CFG transformation, all stack
+//! allocations are distinct, and **no alias fact survives transient
+//! execution**. This module mirrors that: a conservative, syntactic
+//! points-to analysis producing [`AliasResult`]s, with the caller deciding
+//! whether architectural facts apply.
+
+use lcm_ir::{Function, Inst, InstId, Value};
+
+/// The memory region an address points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// A module global.
+    Global(u32),
+    /// A stack slot (identified by its `alloca` instruction).
+    Alloca(u32),
+    /// A pointer loaded from memory or received as a parameter — points
+    /// anywhere.
+    Unknown,
+}
+
+/// The index part of an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Index {
+    /// A compile-time constant offset.
+    Const(i64),
+    /// A symbolic offset, identified by the value computing it (two equal
+    /// ids are the same offset).
+    Sym(u32),
+    /// An offset combined from several geps / unknown arithmetic.
+    Opaque,
+}
+
+/// A symbolic address: region + offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymAddr {
+    /// Target region.
+    pub region: Region,
+    /// Offset within the region.
+    pub index: Index,
+}
+
+/// Three-valued aliasing verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasResult {
+    /// Definitely the same address.
+    Must,
+    /// Definitely different addresses (architecturally).
+    No,
+    /// Unknown.
+    May,
+}
+
+/// Computes the symbolic address of a pointer value by walking the pure
+/// operand graph.
+pub fn symbolic_addr(f: &Function, v: Value) -> SymAddr {
+    match f.inst(v) {
+        Inst::GlobalAddr(g) => SymAddr { region: Region::Global(g.0), index: Index::Const(0) },
+        Inst::Alloca { .. } => SymAddr { region: Region::Alloca(v.0), index: Index::Const(0) },
+        Inst::Gep { base, index, .. } => {
+            let b = symbolic_addr(f, *base);
+            let idx = match f.inst(*index) {
+                Inst::Const(c) => Index::Const(*c),
+                _ => Index::Sym(index.0),
+            };
+            match b.index {
+                Index::Const(0) => SymAddr { region: b.region, index: idx },
+                Index::Const(c) => match idx {
+                    Index::Const(c2) => {
+                        SymAddr { region: b.region, index: Index::Const(c + c2) }
+                    }
+                    _ => SymAddr { region: b.region, index: Index::Opaque },
+                },
+                _ => SymAddr { region: b.region, index: Index::Opaque },
+            }
+        }
+        // A loaded pointer, parameter, call result, or arithmetic: unknown.
+        _ => SymAddr { region: Region::Unknown, index: Index::Opaque },
+    }
+}
+
+/// Architectural aliasing between two symbolic addresses.
+///
+/// `Unknown` regions may alias anything (Clou leaves `comx`
+/// under-constrained rather than risking false negatives). Distinct
+/// globals and distinct allocas never alias; same region with distinct
+/// constant offsets never aliases; same region with identical symbolic
+/// offsets must alias.
+pub fn alias(a: SymAddr, b: SymAddr) -> AliasResult {
+    match (a.region, b.region) {
+        (Region::Unknown, _) | (_, Region::Unknown) => AliasResult::May,
+        (ra, rb) if ra != rb => AliasResult::No,
+        _ => match (a.index, b.index) {
+            (Index::Const(x), Index::Const(y)) => {
+                if x == y {
+                    AliasResult::Must
+                } else {
+                    AliasResult::No
+                }
+            }
+            (Index::Sym(x), Index::Sym(y)) if x == y => AliasResult::Must,
+            _ => AliasResult::May,
+        },
+    }
+}
+
+/// The set of *load instructions* feeding a value through pure nodes,
+/// each tagged with whether every step into it from the root passes
+/// through a gep **index** operand (the `addr_gep` discriminator of §5.2).
+///
+/// Returns `(load, via_gep_index)` pairs. A load reachable both ways is
+/// reported with `via_gep_index = false` taking precedence (base-pointer
+/// control is the stronger capability).
+pub fn feeding_loads(f: &Function, root: Value) -> Vec<(InstId, bool)> {
+    let mut out: Vec<(InstId, bool)> = Vec::new();
+    collect(f, root, false, &mut out, 0);
+    // Deduplicate, base-control (false) wins.
+    out.sort_by_key(|&(id, gep)| (id, gep));
+    out.dedup_by_key(|&mut (id, _)| id);
+    out
+}
+
+fn collect(f: &Function, v: Value, via_gep: bool, out: &mut Vec<(InstId, bool)>, depth: usize) {
+    if depth > 64 {
+        return;
+    }
+    match f.inst(v) {
+        Inst::Load { .. } | Inst::Havoc { .. } => out.push((v, via_gep)),
+        Inst::Gep { base, index, .. } => {
+            collect(f, *base, via_gep, out, depth + 1);
+            collect(f, *index, true, out, depth + 1);
+        }
+        Inst::Bin { lhs, rhs, .. } => {
+            collect(f, *lhs, via_gep, out, depth + 1);
+            collect(f, *rhs, via_gep, out, depth + 1);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::{Function, Global, Inst, Module, Ty};
+
+    fn setup() -> (Module, Function) {
+        let mut m = Module::new();
+        m.add_global(Global::array("A", 16));
+        m.add_global(Global::array("B", 16));
+        let f = Function::new("f", &[("y", Ty::Int), ("p", Ty::Ptr)]);
+        (m, f)
+    }
+
+    #[test]
+    fn distinct_globals_no_alias() {
+        let (_, mut f) = setup();
+        let a = f.global_addr(lcm_ir::GlobalId(0));
+        let b = f.global_addr(lcm_ir::GlobalId(1));
+        assert_eq!(alias(symbolic_addr(&f, a), symbolic_addr(&f, b)), AliasResult::No);
+    }
+
+    #[test]
+    fn same_global_const_offsets() {
+        let (_, mut f) = setup();
+        let base = f.global_addr(lcm_ir::GlobalId(0));
+        let c1 = f.iconst(1);
+        let c2 = f.iconst(2);
+        let a1 = f.gep(base, c1);
+        let a2 = f.gep(base, c2);
+        let a1b = f.gep(base, c1);
+        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)), AliasResult::No);
+        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a1b)), AliasResult::Must);
+    }
+
+    #[test]
+    fn same_symbolic_index_must_alias() {
+        let (_, mut f) = setup();
+        let base = f.global_addr(lcm_ir::GlobalId(0));
+        let y = f.param(0);
+        let a1 = f.gep(base, y);
+        let a2 = f.gep(base, y);
+        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)), AliasResult::Must);
+    }
+
+    #[test]
+    fn different_symbolic_indices_may_alias() {
+        let (_, mut f) = setup();
+        let base = f.global_addr(lcm_ir::GlobalId(0));
+        let y = f.param(0);
+        let one = f.iconst(1);
+        let y1 = f.bin(lcm_ir::BinOp::Add, y, one);
+        let a1 = f.gep(base, y);
+        let a2 = f.gep(base, y1);
+        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)), AliasResult::May);
+    }
+
+    #[test]
+    fn loaded_pointer_is_unknown() {
+        let (_, mut f) = setup();
+        let p = f.param(1);
+        let e = f.entry();
+        let loaded = f.push(e, Inst::Load { addr: p, ty: Ty::Ptr });
+        let sa = symbolic_addr(&f, loaded);
+        assert_eq!(sa.region, Region::Unknown);
+        let base = f.global_addr(lcm_ir::GlobalId(0));
+        assert_eq!(alias(sa, symbolic_addr(&f, base)), AliasResult::May);
+    }
+
+    #[test]
+    fn allocas_are_distinct() {
+        let (_, mut f) = setup();
+        let e = f.entry();
+        let a = f.push(e, Inst::Alloca { name: "a".into(), size: 1 });
+        let b = f.push(e, Inst::Alloca { name: "b".into(), size: 1 });
+        assert_eq!(alias(symbolic_addr(&f, a), symbolic_addr(&f, b)), AliasResult::No);
+        assert_eq!(alias(symbolic_addr(&f, a), symbolic_addr(&f, a)), AliasResult::Must);
+    }
+
+    #[test]
+    fn feeding_loads_tags_gep_indices() {
+        // addr = gep(gep(A, load1), +) vs base via load2:
+        //   t_addr = gep(load_ptr_base, load_idx)
+        let (_, mut f) = setup();
+        let e = f.entry();
+        let p = f.param(1);
+        let base_ld = f.push(e, Inst::Load { addr: p, ty: Ty::Ptr });
+        let ga = f.global_addr(lcm_ir::GlobalId(0));
+        let idx_ld = f.push(e, Inst::Load { addr: ga, ty: Ty::Int });
+        let addr = f.gep(base_ld, idx_ld);
+        let loads = feeding_loads(&f, addr);
+        assert_eq!(loads.len(), 2);
+        let base_entry = loads.iter().find(|(id, _)| *id == base_ld).unwrap();
+        let idx_entry = loads.iter().find(|(id, _)| *id == idx_ld).unwrap();
+        assert!(!base_entry.1, "base pointer load is not gep-index");
+        assert!(idx_entry.1, "index load is gep-index");
+    }
+
+    #[test]
+    fn feeding_loads_through_arithmetic() {
+        let (_, mut f) = setup();
+        let e = f.entry();
+        let ga = f.global_addr(lcm_ir::GlobalId(0));
+        let ld = f.push(e, Inst::Load { addr: ga, ty: Ty::Int });
+        let c = f.iconst(512);
+        let scaled = f.bin(lcm_ir::BinOp::Mul, ld, c);
+        let addr = f.gep(ga, scaled);
+        let loads = feeding_loads(&f, addr);
+        assert_eq!(loads, vec![(ld, true)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Dependency chains over the S-AEG (§5.3).
+//!
+//! An `addr` edge in the transmitter patterns of Table 1 is realised as
+//! zero or more `data.rf` steps followed by one `addr` step —
+//! `(data.rf)*.addr` — because a read's value may be stored and re-loaded
+//! any number of times before its use in an address computation. This
+//! module materialises those chains as relations over S-AEG events.
+
+use lcm_relalg::Relation;
+
+use crate::addr::{alias, AliasResult};
+use crate::build::{EventId, EventKind, Saeg};
+
+/// The generalized address-dependency relations: `(data.rf)* ; addr`.
+#[derive(Debug, Clone)]
+pub struct Gaddr {
+    /// All generalized address dependencies.
+    pub plain: Relation,
+    /// The subset whose final step is an `addr_gep` dependency (index into
+    /// a known base — what Clou-pht requires for the first hop of a
+    /// universal pattern, §5.3).
+    pub gep: Relation,
+    /// The `data.rf` step relation itself (useful for diagnostics).
+    pub data_rf: Relation,
+}
+
+/// `data.rf` edges: `l0 → l` when some store `s` carries `l0`'s value
+/// (`data`) and load `l` may architecturally read from `s` (`rf`).
+///
+/// Havoc events participate on both sides (they may act as a store or a
+/// load on any of their pointer operands).
+pub fn data_rf_edges(saeg: &Saeg) -> Relation {
+    let n = saeg.events.len();
+    let mut rel = Relation::empty(n);
+    for s in saeg.stores() {
+        if s.value_deps.is_empty() && s.kind != EventKind::Havoc {
+            continue;
+        }
+        for l in saeg.loads() {
+            if !saeg.precedes(s.id, l.id) {
+                continue;
+            }
+            let may = match (s.addr, l.addr) {
+                (Some(a), Some(b)) => alias(a, b) != AliasResult::No,
+                _ => true, // havoc side: may touch anything
+            };
+            if !may {
+                continue;
+            }
+            for &v in &s.value_deps {
+                rel.insert(v.0, l.id.0);
+            }
+            if s.kind == EventKind::Havoc {
+                // A havoc store forwards whatever fed its pointer args.
+                for &(v, _) in &s.addr_deps {
+                    rel.insert(v.0, l.id.0);
+                }
+            }
+        }
+    }
+    rel
+}
+
+/// Direct `addr` edges (`dep → event`), with the gep subset.
+pub fn addr_edges(saeg: &Saeg) -> (Relation, Relation) {
+    let n = saeg.events.len();
+    let mut all = Relation::empty(n);
+    let mut gep = Relation::empty(n);
+    for e in &saeg.events {
+        for &(d, via_gep) in &e.addr_deps {
+            all.insert(d.0, e.id.0);
+            if via_gep {
+                gep.insert(d.0, e.id.0);
+            }
+        }
+    }
+    (all, gep)
+}
+
+/// Computes the generalized address-dependency relations.
+pub fn generalized_addr(saeg: &Saeg) -> Gaddr {
+    let dr = data_rf_edges(saeg);
+    let star = dr.reflexive_transitive_closure();
+    let (addr_all, addr_gep) = addr_edges(saeg);
+    Gaddr {
+        plain: star.compose(&addr_all),
+        gep: star.compose(&addr_gep),
+        data_rf: dr,
+    }
+}
+
+/// `ctrl` edges: `load → event` when the load feeds the condition of a
+/// branch the event is *control-dependent* on — reachable from one
+/// successor but not the other (§2.1.3: "whether to execute the
+/// MemoryEvent depends syntactically on the value read"). Join-block
+/// events execute either way and carry no control dependency.
+pub fn ctrl_edges(saeg: &Saeg) -> Relation {
+    let n = saeg.events.len();
+    let mut rel = Relation::empty(n);
+    for br in &saeg.branches {
+        for e in &saeg.events {
+            let via_then = saeg.block_reaches(br.then_bb, e.block);
+            let via_else = saeg.block_reaches(br.else_bb, e.block);
+            if via_then == via_else {
+                continue;
+            }
+            for &d in &br.cond_deps {
+                rel.insert(d.0, e.id.0);
+            }
+        }
+    }
+    rel
+}
+
+/// Convenience: the accesses (sources) of generalized addr edges into `t`.
+pub fn gaddr_sources(g: &Gaddr, t: EventId) -> Vec<EventId> {
+    g.plain.predecessors(t.0).map(EventId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_core::speculation::SpeculationConfig;
+
+    fn saeg_of(src: &str, f: &str) -> Saeg {
+        let m = lcm_minic::compile(src).unwrap();
+        Saeg::build(&m, f, SpeculationConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn spill_reload_chain_spans_data_rf() {
+        // -O0: y is spilled to the stack and reloaded before indexing —
+        // gaddr must span the spill: param-load -> (data.rf) -> reload ->
+        // addr_gep -> A[y] load.
+        let s = saeg_of(
+            "int A[16]; int t; void f(int y) { t = A[y]; }",
+            "f",
+        );
+        let g = generalized_addr(&s);
+        // The A[y] load is the last load.
+        let a_load = s
+            .events
+            .iter().rfind(|e| e.kind == EventKind::Load && !e.addr_deps.is_empty())
+            .unwrap();
+        assert!(
+            !gaddr_sources(&g, a_load.id).is_empty(),
+            "A[y] has generalized addr sources"
+        );
+        // And the final hop is a gep: the gep-restricted relation agrees.
+        assert!(g.gep.predecessors(a_load.id.0).next().is_some());
+    }
+
+    #[test]
+    fn two_level_chain_for_universal_pattern() {
+        // B[A[y]]: reload(y) -addr_gep-> load A[y] -addr_gep-> load B[..].
+        let s = saeg_of(
+            "int A[16]; int B[256]; int t; void f(int y) { t = B[A[y]]; }",
+            "f",
+        );
+        let g = generalized_addr(&s);
+        let b_load = s
+            .events
+            .iter().rfind(|e| e.kind == EventKind::Load)
+            .unwrap();
+        let accesses = gaddr_sources(&g, b_load.id);
+        assert!(!accesses.is_empty());
+        // Some access itself has gaddr sources: the universal shape.
+        let universal = accesses
+            .iter()
+            .any(|&a| !gaddr_sources(&g, a).is_empty());
+        assert!(universal, "index -> access -> transmit chain found");
+    }
+
+    #[test]
+    fn no_alias_store_does_not_forward() {
+        // Store to A[0], load from A[1] (distinct constants): no data.rf.
+        let s = saeg_of(
+            "int A[8]; int t; void f(int v) { A[0] = v; t = A[1]; }",
+            "f",
+        );
+        let dr = data_rf_edges(&s);
+        // The spill-store of v forwards to the reload of v (same alloca),
+        // but not via the A[0]/A[1] pair. Check: no edge whose target is
+        // the A[1] load.
+        let a1_load = s
+            .events
+            .iter().rfind(|e| e.kind == EventKind::Load)
+            .unwrap();
+        assert!(dr.predecessors(a1_load.id.0).next().is_none());
+    }
+
+    #[test]
+    fn ctrl_edges_reach_branch_shadow() {
+        let s = saeg_of(
+            "int A[8]; int size; int t; void f(int y) { if (y < size) { t = A[0]; } }",
+            "f",
+        );
+        let ctrl = ctrl_edges(&s);
+        let a_load = s
+            .events
+            .iter().rfind(|e| e.kind == EventKind::Load)
+            .unwrap();
+        assert!(
+            ctrl.predecessors(a_load.id.0).next().is_some(),
+            "loads feeding the bounds check control the body load"
+        );
+    }
+
+    #[test]
+    fn havoc_participates_in_chains() {
+        let s = saeg_of(
+            "int A[16]; int t; void f(int *p) { ext(p); t = A[0]; }",
+            "f",
+        );
+        let dr = data_rf_edges(&s);
+        // The havoc may store to anything, so the A[0] load may read from
+        // it; but the havoc has no value deps or addr deps with events...
+        // p's spill-load feeds its ptr args, so an edge may exist.
+        let _ = dr; // structural smoke test: no panic, relation built
+        assert!(s.events.iter().any(|e| e.kind == EventKind::Havoc));
+    }
+}

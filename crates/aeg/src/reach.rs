@@ -1,0 +1,217 @@
+//! SAT encoding of architectural path feasibility (§5.2).
+//!
+//! Mirrors Fig. 7's edge formulas: each block gets an architectural-
+//! execution literal `A[b]`; each conditional branch a decision literal;
+//! `A[b] ⇔ ⋁ (A[p] ∧ edge taken)`. A leakage query asserts that its
+//! required events are all architecturally (or, for the mispredicting
+//! branch, transiently) executed and asks the solver for a consistent
+//! branch-decision assignment.
+
+use std::collections::HashMap;
+
+use lcm_ir::{BlockId, Terminator};
+use lcm_sat::cnf::Cnf;
+use lcm_sat::{Lit, SolveResult};
+
+use crate::build::Saeg;
+
+/// A reusable feasibility checker over one S-AEG.
+///
+/// Queries are memoized: leakage engines re-ask the same path questions
+/// for every chain sharing a speculation site.
+#[derive(Debug)]
+pub struct Feasibility {
+    cnf: Cnf,
+    arch: Vec<Lit>,
+    decision: HashMap<u32, Lit>,
+    memo: HashMap<Vec<Lit>, bool>,
+    path_memo: HashMap<Vec<Lit>, Option<Vec<BlockId>>>,
+}
+
+impl Feasibility {
+    /// Builds the path-constraint formula for the S-AEG's A-CFG.
+    pub fn new(saeg: &Saeg) -> Self {
+        let f = &saeg.acfg;
+        let mut cnf = Cnf::new();
+        let arch: Vec<Lit> = (0..f.blocks.len()).map(|_| cnf.fresh()).collect();
+        let mut decision: HashMap<u32, Lit> = HashMap::new();
+        for (bi, b) in f.iter_blocks() {
+            if matches!(b.term, Terminator::CondBr { .. }) {
+                decision.insert(bi.0, cnf.fresh());
+            }
+        }
+        // Entry is executed.
+        cnf.assert_lit(arch[0]);
+        // In-edge literals per block.
+        let mut in_edges: Vec<Vec<Lit>> = vec![Vec::new(); f.blocks.len()];
+        for (bi, b) in f.iter_blocks() {
+            match &b.term {
+                Terminator::Br(t) => {
+                    in_edges[t.0 as usize].push(arch[bi.0 as usize]);
+                }
+                Terminator::CondBr { then_bb, else_bb, .. } => {
+                    let d = decision[&bi.0];
+                    let taken = cnf.and(arch[bi.0 as usize], d);
+                    let not_taken = cnf.and(arch[bi.0 as usize], !d);
+                    in_edges[then_bb.0 as usize].push(taken);
+                    in_edges[else_bb.0 as usize].push(not_taken);
+                }
+                Terminator::Ret(_) => {}
+            }
+        }
+        for (bi, edges) in in_edges.iter().enumerate() {
+            if bi == 0 {
+                continue;
+            }
+            let any = cnf.or_all(edges);
+            // arch[bi] <-> any
+            cnf.assert_implies(arch[bi], any);
+            cnf.assert_implies(any, arch[bi]);
+        }
+        Feasibility { cnf, arch, decision, memo: HashMap::new(), path_memo: HashMap::new() }
+    }
+
+    /// The literal asserting block `b` is architecturally executed.
+    pub fn arch_lit(&self, b: BlockId) -> Lit {
+        self.arch[b.0 as usize]
+    }
+
+    /// The branch-decision literal of the conditional branch terminating
+    /// `b` (true = then-target taken architecturally), if any.
+    pub fn decision_lit(&self, b: BlockId) -> Option<Lit> {
+        self.decision.get(&b.0).copied()
+    }
+
+    /// Checks whether the required literals are jointly satisfiable.
+    pub fn check(&mut self, required: &[Lit]) -> bool {
+        let mut key: Vec<Lit> = required.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&r) = self.memo.get(&key) {
+            return r;
+        }
+        let r = matches!(self.cnf.solver_mut().solve_with(required), SolveResult::Sat(_));
+        self.memo.insert(key, r);
+        r
+    }
+
+    /// Like [`Self::check`] but returning the architectural path (executed
+    /// blocks) of a witness, if satisfiable. Memoized like `check`.
+    pub fn witness_path(&mut self, required: &[Lit]) -> Option<Vec<BlockId>> {
+        let mut key: Vec<Lit> = required.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(r) = self.path_memo.get(&key) {
+            return r.clone();
+        }
+        let r = match self.cnf.solver_mut().solve_with(required) {
+            SolveResult::Sat(m) => Some(
+                self.arch
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &l)| m.value(l))
+                    .map(|(i, _)| BlockId(i as u32))
+                    .collect(),
+            ),
+            SolveResult::Unsat(_) => None,
+        };
+        self.path_memo.insert(key, r.clone());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::Saeg;
+    use lcm_core::speculation::SpeculationConfig;
+
+    fn feas(src: &str, f: &str) -> (Saeg, Feasibility) {
+        let m = lcm_minic::compile(src).unwrap();
+        let s = Saeg::build(&m, f, SpeculationConfig::default()).unwrap();
+        let fe = Feasibility::new(&s);
+        (s, fe)
+    }
+
+    #[test]
+    fn straight_line_all_blocks_executed() {
+        let (s, mut fe) = feas("int G; void f() { G = 1; G = 2; }", "f");
+        let req: Vec<Lit> = s.topo_blocks().iter().map(|&b| fe.arch_lit(b)).collect();
+        assert!(fe.check(&req));
+    }
+
+    #[test]
+    fn diamond_sides_mutually_exclusive() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } }",
+            "f",
+        );
+        // Find the two store blocks.
+        let stores: Vec<_> = s
+            .events
+            .iter()
+            .filter(|e| e.kind == crate::build::EventKind::Store)
+            .collect();
+        // Skip the parameter spill store (entry block).
+        let body_stores: Vec<_> = stores
+            .iter()
+            .filter(|e| e.block != lcm_ir::BlockId(0))
+            .collect();
+        assert_eq!(body_stores.len(), 2);
+        let l1 = fe.arch_lit(body_stores[0].block);
+        let l2 = fe.arch_lit(body_stores[1].block);
+        assert!(fe.check(&[l1]));
+        assert!(fe.check(&[l2]));
+        assert!(!fe.check(&[l1, l2]), "both sides of a diamond cannot co-execute");
+    }
+
+    #[test]
+    fn nested_if_requires_outer() {
+        let (s, mut fe) = feas(
+            "int G; void f(int a, int b) { if (a) { if (b) { G = 1; } } else { G = 2; } }",
+            "f",
+        );
+        let inner_store = s
+            .events
+            .iter().find(|e| e.kind == crate::build::EventKind::Store && e.block != lcm_ir::BlockId(0))
+            .unwrap();
+        // inner store together with the else-side store: infeasible.
+        let else_store = s
+            .events
+            .iter()
+            .rfind(|e| e.kind == crate::build::EventKind::Store && e.block != lcm_ir::BlockId(0))
+            .unwrap();
+        assert_ne!(inner_store.block, else_store.block);
+        assert!(fe.check(&[fe.arch_lit(inner_store.block)]));
+        let (a, b) = (fe.arch_lit(inner_store.block), fe.arch_lit(else_store.block));
+        assert!(!fe.check(&[a, b]));
+    }
+
+    #[test]
+    fn witness_path_returns_consistent_blocks() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } G = 3; }",
+            "f",
+        );
+        let last = s.events.iter().last().unwrap();
+        let req = [fe.arch_lit(last.block)];
+        let path = fe.witness_path(&req).unwrap();
+        assert!(path.contains(&lcm_ir::BlockId(0)));
+        assert!(path.contains(&last.block));
+    }
+
+    #[test]
+    fn decision_literal_forces_direction() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } }",
+            "f",
+        );
+        let br = &s.branches[0];
+        let d = fe.decision_lit(br.block).unwrap();
+        let then_lit = fe.arch_lit(br.then_bb);
+        let else_lit = fe.arch_lit(br.else_bb);
+        assert!(!fe.check(&[d, else_lit]));
+        assert!(fe.check(&[d, then_lit]));
+        assert!(!fe.check(&[!d, then_lit]));
+    }
+}

@@ -1,0 +1,81 @@
+//! Attacker-control taint tracking (§5.3).
+//!
+//! Clou assumes all top-level function inputs and all **non-pointer** data
+//! in memory are attacker-controlled, while (architecturally stored) base
+//! pointers are not. Taint propagates through arithmetic and address
+//! computation.
+
+use lcm_ir::{Function, Inst, Ty, Value};
+
+/// Returns `true` if the value is attacker-controlled under Clou's
+/// assumptions: its operand chain contains a function parameter or a
+/// non-pointer-typed load (any non-pointer datum in memory is assumed
+/// attacker-controlled).
+pub fn attacker_controlled(f: &Function, v: Value) -> bool {
+    controlled(f, v, 0)
+}
+
+fn controlled(f: &Function, v: Value, depth: usize) -> bool {
+    if depth > 64 {
+        return true; // conservative on pathological chains
+    }
+    match f.inst(v) {
+        Inst::Param { .. } => true,
+        Inst::Load { ty, .. } | Inst::Call { ty, .. } | Inst::Havoc { ty, .. } => *ty == Ty::Int,
+        Inst::Const(_) | Inst::GlobalAddr(_) | Inst::Alloca { .. } | Inst::Fence => false,
+        Inst::Gep { base, index, .. } => {
+            controlled(f, *base, depth + 1) || controlled(f, *index, depth + 1)
+        }
+        Inst::Bin { lhs, rhs, .. } => {
+            controlled(f, *lhs, depth + 1) || controlled(f, *rhs, depth + 1)
+        }
+        Inst::Store { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_ir::{Function, GlobalId, Inst};
+
+    #[test]
+    fn params_are_controlled() {
+        let mut f = Function::new("f", &[("x", Ty::Int)]);
+        let x = f.param(0);
+        assert!(attacker_controlled(&f, x));
+    }
+
+    #[test]
+    fn constants_and_bases_are_not() {
+        let mut f = Function::new("f", &[]);
+        let c = f.iconst(7);
+        let g = f.global_addr(GlobalId(0));
+        assert!(!attacker_controlled(&f, c));
+        assert!(!attacker_controlled(&f, g));
+    }
+
+    #[test]
+    fn int_loads_are_controlled_pointer_loads_are_not() {
+        let mut f = Function::new("f", &[("p", Ty::Ptr)]);
+        let e = f.entry();
+        let p = f.param(0);
+        let li = f.push(e, Inst::Load { addr: p, ty: Ty::Int });
+        let lp = f.push(e, Inst::Load { addr: p, ty: Ty::Ptr });
+        assert!(attacker_controlled(&f, li));
+        assert!(!attacker_controlled(&f, lp));
+    }
+
+    #[test]
+    fn taint_propagates_through_arithmetic_and_gep() {
+        let mut f = Function::new("f", &[("x", Ty::Int)]);
+        let x = f.param(0);
+        let c = f.iconst(2);
+        let mul = f.bin(lcm_ir::BinOp::Mul, x, c);
+        let g = f.global_addr(GlobalId(0));
+        let addr = f.gep(g, mul);
+        assert!(attacker_controlled(&f, mul));
+        assert!(attacker_controlled(&f, addr));
+        let clean = f.gep(g, c);
+        assert!(!attacker_controlled(&f, clean));
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion bench regenerating Fig. 8: analysis runtime as a function of
+//! S-AEG size, by size bucket over the synthetic library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcm_corpus::synth::{synthetic_library, SynthConfig};
+use lcm_detect::{Detector, DetectorConfig, EngineKind};
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = SynthConfig { seed: 0x50d1, functions: 24, max_stmts: 120, pht_gadget_pct: 10, stl_gadget_pct: 10 };
+    let (src, _) = synthetic_library(cfg);
+    let m = lcm_minic::compile(&src).expect("synthetic library compiles");
+    let det = Detector::new(DetectorConfig::default());
+
+    // Pick one representative function per size bucket.
+    let mut sized: Vec<(String, usize)> = m
+        .public_functions()
+        .map(|f| (f.name.clone(), f.scheduled_len()))
+        .collect();
+    sized.sort_by_key(|(_, s)| *s);
+    let picks: Vec<&(String, usize)> = sized
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % (sized.len() / 6).max(1) == 0)
+        .map(|(_, x)| x)
+        .collect();
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (name, size) in picks {
+        g.bench_with_input(BenchmarkId::new("clou-pht", size), name, |b, name| {
+            b.iter(|| det.analyze_function(&m, name, EngineKind::Pht).transmitters.len());
+        });
+        g.bench_with_input(BenchmarkId::new("clou-stl", size), name, |b, name| {
+            b.iter(|| det.analyze_function(&m, name, EngineKind::Stl).transmitters.len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench regenerating Table 2 rows: detection cost per workload
+//! and tool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcm_corpus::{all_litmus, crypto};
+use lcm_detect::{Detector, DetectorConfig, EngineKind};
+use lcm_haunted::{HauntedConfig, HauntedEngine};
+
+fn bench_litmus_suites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/litmus");
+    g.sample_size(20);
+    for (suite, benches) in all_litmus() {
+        let modules: Vec<_> = benches.iter().map(|b| b.module()).collect();
+        g.bench_function(format!("{suite}/clou-pht"), |bch| {
+            let det = Detector::new(DetectorConfig::default());
+            bch.iter(|| {
+                modules
+                    .iter()
+                    .map(|m| {
+                        det.analyze_module(m, EngineKind::Pht)
+                            .count(lcm_core::taxonomy::TransmitterClass::UniversalData)
+                    })
+                    .sum::<usize>()
+            });
+        });
+        g.bench_function(format!("{suite}/clou-stl"), |bch| {
+            let det = Detector::new(DetectorConfig::default());
+            bch.iter(|| {
+                modules
+                    .iter()
+                    .map(|m| det.analyze_module(m, EngineKind::Stl).functions.len())
+                    .sum::<usize>()
+            });
+        });
+        g.bench_function(format!("{suite}/bh-pht"), |bch| {
+            bch.iter(|| {
+                modules
+                    .iter()
+                    .map(|m| {
+                        lcm_haunted::analyze_module(m, HauntedEngine::Pht, HauntedConfig::default())
+                            .total_leaks()
+                    })
+                    .sum::<usize>()
+            });
+        });
+        g.bench_function(format!("{suite}/bh-stl"), |bch| {
+            bch.iter(|| {
+                modules
+                    .iter()
+                    .map(|m| {
+                        lcm_haunted::analyze_module(m, HauntedEngine::Stl, HauntedConfig::default())
+                            .total_leaks()
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/crypto");
+    g.sample_size(10);
+    for bench in crypto::all_crypto() {
+        // donna dominates wall time: it runs in the table2 binary; keep the
+        // criterion suite responsive with the other five.
+        if bench.name == "donna" {
+            continue;
+        }
+        let m = bench.module();
+        g.bench_function(format!("{}/clou-pht", bench.name), |bch| {
+            let det = Detector::new(DetectorConfig::default());
+            bch.iter(|| det.analyze_module(&m, EngineKind::Pht).functions.len());
+        });
+        g.bench_function(format!("{}/clou-stl", bench.name), |bch| {
+            let det = Detector::new(DetectorConfig::default());
+            bch.iter(|| det.analyze_module(&m, EngineKind::Stl).functions.len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_litmus_suites, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the Fig. 8 analogue: serial CPU runtime vs S-AEG function
+//! size for both Clou engines over the synthetic library, printed as CSV
+//! plus a log-log summary by size bucket.
+//!
+//! Usage: `cargo run --release -p lcm-bench --bin fig8 [-- --big]`
+
+use lcm_bench::fig8_series;
+use lcm_corpus::synth::SynthConfig;
+
+fn main() {
+    let big = std::env::args().any(|a| a == "--big");
+    let cfg = if big { SynthConfig::openssl_scale() } else { SynthConfig::libsodium_scale() };
+    println!("Fig. 8 analogue — runtime vs S-AEG node count (config: {cfg:?})\n");
+    println!("function,size,pht_us,stl_us");
+    let points = fig8_series(cfg);
+    for p in &points {
+        println!(
+            "{},{},{},{}",
+            p.function,
+            p.size,
+            p.pht_time.as_micros(),
+            p.stl_time.as_micros()
+        );
+    }
+
+    // Bucketed geometric-mean summary (the scatter's trend line).
+    println!("\nsize-bucket summary (geometric mean runtime):");
+    println!("{:>16} {:>8} {:>12} {:>12}", "bucket", "count", "pht", "stl");
+    let mut lo = 1usize;
+    while lo <= points.last().map_or(0, |p| p.size) {
+        let hi = lo * 4;
+        let in_bucket: Vec<_> = points.iter().filter(|p| p.size >= lo && p.size < hi).collect();
+        if !in_bucket.is_empty() {
+            let gm = |f: &dyn Fn(&lcm_bench::Fig8Point) -> f64| -> f64 {
+                let s: f64 = in_bucket.iter().map(|p| f(p).max(1.0).ln()).sum();
+                (s / in_bucket.len() as f64).exp()
+            };
+            let pht = gm(&|p| p.pht_time.as_micros() as f64);
+            let stl = gm(&|p| p.stl_time.as_micros() as f64);
+            println!(
+                "{:>7}..{:<7} {:>8} {:>10.0}us {:>10.0}us",
+                lo,
+                hi,
+                in_bucket.len(),
+                pht,
+                stl
+            );
+        }
+        lo = hi;
+    }
+}

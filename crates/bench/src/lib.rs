@@ -1,0 +1,242 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! * [`table2_rows`] computes the Table 2 analogue: per workload × tool,
+//!   serial runtime and transmitter counts (DT/CT/UDT/UCT for Clou, a
+//!   flat count for the Binsec/Haunted-style baseline);
+//! * [`fig8_series`] computes the Fig. 8 analogue: per public function of
+//!   the synthetic library, S-AEG node count vs serial runtime for both
+//!   Clou engines.
+//!
+//! The binaries `table2` and `fig8` print these; the criterion benches
+//! measure the same computations.
+
+use std::time::Duration;
+
+use lcm_core::taxonomy::TransmitterClass;
+use lcm_corpus::synth::{synthetic_library, SynthConfig};
+use lcm_corpus::{all_litmus, crypto, Bench};
+use lcm_detect::{Detector, DetectorConfig, EngineKind};
+use lcm_haunted::{HauntedConfig, HauntedEngine};
+use lcm_ir::Module;
+
+/// Which tool produced a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// This repository's LCM-based detector, PHT engine.
+    ClouPht,
+    /// LCM-based detector, STL engine.
+    ClouStl,
+    /// Baseline, PHT mode.
+    BhPht,
+    /// Baseline, STL mode.
+    BhStl,
+}
+
+impl Tool {
+    /// Display name matching the paper's Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::ClouPht => "Clou-pht",
+            Tool::ClouStl => "Clou-stl",
+            Tool::BhPht => "bh-pht",
+            Tool::BhStl => "bh-stl",
+        }
+    }
+}
+
+/// One row of the Table 2 analogue.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Workload name (e.g. `"litmus-pht"`).
+    pub workload: String,
+    /// Number of public functions analyzed.
+    pub pfun: usize,
+    /// Total scheduled-instruction count (LoC proxy).
+    pub loc: usize,
+    /// Tool.
+    pub tool: Tool,
+    /// Serial runtime.
+    pub time: Duration,
+    /// `(DT, CT, UDT, UCT)` for Clou tools; `(bugs, 0, 0, 0)` for BH.
+    pub counts: (usize, usize, usize, usize),
+}
+
+impl Table2Row {
+    /// Total findings.
+    pub fn total(&self) -> usize {
+        self.counts.0 + self.counts.1 + self.counts.2 + self.counts.3
+    }
+}
+
+fn run_clou(workload: &str, module: &Module, engine: EngineKind) -> Table2Row {
+    let det = Detector::new(DetectorConfig::default());
+    let report = det.analyze_module(module, engine);
+    Table2Row {
+        workload: workload.to_string(),
+        pfun: module.public_functions().count(),
+        loc: module.total_scheduled(),
+        tool: if engine == EngineKind::Pht { Tool::ClouPht } else { Tool::ClouStl },
+        time: report.total_runtime(),
+        counts: (
+            report.count(TransmitterClass::Data),
+            report.count(TransmitterClass::Control),
+            report.count(TransmitterClass::UniversalData),
+            report.count(TransmitterClass::UniversalControl),
+        ),
+    }
+}
+
+fn run_bh(workload: &str, module: &Module, engine: HauntedEngine) -> Table2Row {
+    let report = lcm_haunted::analyze_module(module, engine, HauntedConfig::default());
+    Table2Row {
+        workload: workload.to_string(),
+        pfun: module.public_functions().count(),
+        loc: module.total_scheduled(),
+        tool: if engine == HauntedEngine::Pht { Tool::BhPht } else { Tool::BhStl },
+        time: report.total_runtime(),
+        counts: (report.total_leaks(), 0, 0, 0),
+    }
+}
+
+/// Merges a suite of single-program benches into one module per bench and
+/// aggregates rows (litmus suites are analyzed per program, like the
+/// paper's per-file runs).
+pub fn suite_rows(workload: &str, benches: &[Bench]) -> Vec<Table2Row> {
+    let mut rows: Vec<Table2Row> = Vec::new();
+    for tool in [Tool::ClouPht, Tool::ClouStl, Tool::BhPht, Tool::BhStl] {
+        let mut acc = Table2Row {
+            workload: workload.to_string(),
+            pfun: 0,
+            loc: 0,
+            tool,
+            time: Duration::ZERO,
+            counts: (0, 0, 0, 0),
+        };
+        for bench in benches {
+            let m = bench.module();
+            let row = match tool {
+                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht),
+                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl),
+                Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht),
+                Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl),
+            };
+            acc.pfun += row.pfun;
+            acc.loc += row.loc;
+            acc.time += row.time;
+            acc.counts.0 += row.counts.0;
+            acc.counts.1 += row.counts.1;
+            acc.counts.2 += row.counts.2;
+            acc.counts.3 += row.counts.3;
+        }
+        rows.push(acc);
+    }
+    rows
+}
+
+/// Computes every row of the Table 2 analogue.
+///
+/// `quick` skips the two synthetic-library workloads (used by the
+/// criterion bench to keep iterations short).
+pub fn table2_rows(quick: bool) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for (suite, benches) in all_litmus() {
+        rows.extend(suite_rows(suite, &benches));
+    }
+    for bench in crypto::all_crypto() {
+        rows.extend(suite_rows(bench.name, std::slice::from_ref(&bench)));
+    }
+    if !quick {
+        for (name, cfg) in [
+            ("libsodium(synth)", SynthConfig::libsodium_scale()),
+            ("openssl(synth)", SynthConfig::openssl_scale()),
+        ] {
+            let (src, _) = synthetic_library(cfg);
+            let m = lcm_minic::compile(&src).expect("synthetic library compiles");
+            rows.push(run_clou(name, &m, EngineKind::Pht));
+            rows.push(run_clou(name, &m, EngineKind::Stl));
+            rows.push(run_bh(name, &m, HauntedEngine::Pht));
+            rows.push(run_bh(name, &m, HauntedEngine::Stl));
+        }
+    }
+    rows
+}
+
+/// Renders rows as the paper-style text table.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<20} {:>5} {:>7}  {:<10} {:>10}  {:>6} {:>6} {:>6} {:>6}",
+        "App (PFun/LoC)", "PFun", "LoC", "Tool", "Time", "DT", "CT", "UDT", "UCT"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(92));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<20} {:>5} {:>7}  {:<10} {:>9.3?}  {:>6} {:>6} {:>6} {:>6}",
+            r.workload, r.pfun, r.loc, r.tool.name(), r.time,
+            r.counts.0, r.counts.1, r.counts.2, r.counts.3
+        );
+    }
+    s
+}
+
+/// One point of the Fig. 8 analogue.
+#[derive(Debug, Clone)]
+pub struct Fig8Point {
+    /// Function name.
+    pub function: String,
+    /// S-AEG node count.
+    pub size: usize,
+    /// PHT-engine serial runtime.
+    pub pht_time: Duration,
+    /// STL-engine serial runtime.
+    pub stl_time: Duration,
+}
+
+/// Computes the Fig. 8 scatter over the synthetic library.
+pub fn fig8_series(cfg: SynthConfig) -> Vec<Fig8Point> {
+    let (src, _) = synthetic_library(cfg);
+    let m = lcm_minic::compile(&src).expect("synthetic library compiles");
+    let det = Detector::new(DetectorConfig::default());
+    let mut out = Vec::new();
+    for f in m.public_functions() {
+        let pht = det.analyze_function(&m, &f.name, EngineKind::Pht);
+        let stl = det.analyze_function(&m, &f.name, EngineKind::Stl);
+        out.push(Fig8Point {
+            function: f.name.clone(),
+            size: pht.saeg_size,
+            pht_time: pht.runtime,
+            stl_time: stl.runtime,
+        });
+    }
+    out.sort_by_key(|p| p.size);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn litmus_rows_have_all_tools() {
+        // Restricted to the litmus suites: fast enough under the debug
+        // profile. The crypto + synthetic workloads run in the binaries
+        // and criterion benches (release profile).
+        let mut rows = Vec::new();
+        for (suite, benches) in all_litmus() {
+            rows.extend(suite_rows(suite, &benches));
+        }
+        assert_eq!(rows.len(), 4 * 4);
+        let pht_row = rows
+            .iter()
+            .find(|r| r.workload == "litmus-pht" && r.tool == Tool::ClouPht)
+            .unwrap();
+        assert!(pht_row.counts.2 >= 14, "one UDT per PHT program at least: {:?}", pht_row.counts);
+        let rendered = render_table2(&rows);
+        assert!(rendered.contains("Clou-pht"));
+        assert!(rendered.contains("bh-stl"));
+        assert!(rendered.contains("litmus-fwd"));
+    }
+}

@@ -1,0 +1,605 @@
+//! A cat-style specification language for consistency and confidentiality
+//! predicates (**extension**).
+//!
+//! §5.2: "Future versions of Clou will be parameterizable, requiring an
+//! MCM and LCM to be provided as inputs alongside a C program." This
+//! module provides that input format: a small relational expression
+//! language in the tradition of herd's *cat* files (Alglave et al.),
+//! evaluated against an [`Execution`]'s named base relations.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! spec  := item ("&&" item)*
+//! item  := clause | letdef
+//! letdef:= "let" IDENT "=" expr            (a named definition, as in cat files)
+//! clause:= ("acyclic" | "irreflexive" | "empty") "(" expr ")"
+//! expr  := seq ("|" seq)* | seq ("&" seq)* | seq ("\" seq)*   (union/intersection/difference)
+//! seq   := unary (";" unary)*                                  (relational join)
+//! unary := atom postfix*          postfix: "+" (transitive closure),
+//!                                          "*" (refl-transitive closure),
+//!                                          "^-1" (transpose)
+//! atom  := IDENT | "(" expr ")" | "0" (empty relation) | "id"
+//! ```
+//!
+//! Base identifiers: `po`, `tfo`, `po_loc`, `tfo_loc`, `rf`, `rfi`, `rfe`,
+//! `co`, `fr`, `com`, `rfx`, `cox`, `frx`, `comx`, `addr`, `addr_gep`,
+//! `data`, `ctrl`, `dep`, `fence`, `id`, `0`.
+//!
+//! # Examples
+//!
+//! The TSO consistency predicate of §2.1.3, verbatim:
+//!
+//! ```
+//! use lcm_core::cat::CatModel;
+//! use lcm_core::exec::ExecutionBuilder;
+//! use lcm_core::mcm::ConsistencyModel;
+//!
+//! let tso = CatModel::parse(
+//!     "TSO",
+//!     "acyclic(rf | co | fr | po_loc) && acyclic(rfe | co | fr | ppo_tso | fence)",
+//! ).unwrap();
+//! let mut b = ExecutionBuilder::new();
+//! let r = b.read("x");
+//! let w = b.write("y");
+//! b.po(r, w);
+//! assert!(tso.check(&b.build()).is_ok());
+//! ```
+
+use std::fmt;
+
+use lcm_relalg::Relation;
+
+use crate::exec::Execution;
+use crate::mcm::{fence_relation, ConsistencyModel, ConsistencyViolation, Tso};
+use crate::EventId;
+
+/// Parse error for cat specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatError {
+    /// Description.
+    pub message: String,
+    /// Byte offset of the problem.
+    pub at: usize,
+}
+
+impl fmt::Display for CatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for CatError {}
+
+/// A relational expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Expr {
+    Base(String),
+    Empty,
+    Id,
+    Union(Box<Expr>, Box<Expr>),
+    Intersect(Box<Expr>, Box<Expr>),
+    Difference(Box<Expr>, Box<Expr>),
+    Seq(Box<Expr>, Box<Expr>),
+    Transpose(Box<Expr>),
+    Plus(Box<Expr>),
+    Star(Box<Expr>),
+}
+
+/// One `predicate(expr)` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Clause {
+    kind: ClauseKind,
+    name: String,
+    expr: Expr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseKind {
+    Acyclic,
+    Irreflexive,
+    Empty,
+}
+
+/// A parsed cat-style model: named definitions plus a conjunction of
+/// `acyclic` / `irreflexive` / `empty` clauses over relational
+/// expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatModel {
+    name: String,
+    defs: Vec<(String, Expr)>,
+    clauses: Vec<Clause>,
+}
+
+impl CatModel {
+    /// Parses a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatError`] with the byte offset of the first problem.
+    pub fn parse(name: &str, spec: &str) -> Result<CatModel, CatError> {
+        let mut p = Parser { src: spec.as_bytes(), pos: 0, defs: Vec::new() };
+        let mut clauses = Vec::new();
+        loop {
+            p.skip_ws();
+            if p.peek_word("let") {
+                p.parse_letdef()?;
+            } else {
+                clauses.push(p.parse_clause()?);
+            }
+            p.skip_ws();
+            if p.eat("&&") {
+                continue;
+            }
+            p.skip_ws();
+            if p.pos == p.src.len() {
+                break;
+            }
+            return Err(CatError { message: "expected `&&` or end".into(), at: p.pos });
+        }
+        if clauses.is_empty() {
+            return Err(CatError { message: "a model needs at least one clause".into(), at: p.pos });
+        }
+        Ok(CatModel { name: name.to_string(), defs: p.defs, clauses })
+    }
+
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the model's clauses against an execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated clause (with a witnessing cycle for
+    /// `acyclic`/`irreflexive` clauses, or a related pair for `empty`).
+    pub fn eval(&self, x: &Execution) -> Result<(), ConsistencyViolation> {
+        // Evaluate definitions in order (later defs may use earlier ones).
+        let mut env: Vec<(String, Relation)> = Vec::new();
+        for (n, e) in &self.defs {
+            let r = eval_expr_env(e, x, &env);
+            env.push((n.clone(), r));
+        }
+        for c in &self.clauses {
+            let r = eval_expr_env(&c.expr, x, &env);
+            match c.kind {
+                ClauseKind::Acyclic => {
+                    if let Some(cycle) = r.find_cycle() {
+                        return Err(ConsistencyViolation {
+                            axiom: "cat:acyclic",
+                            cycle: cycle.into_iter().map(EventId).collect(),
+                        });
+                    }
+                }
+                ClauseKind::Irreflexive => {
+                    if let Some(e) = (0..r.universe()).find(|&i| r.contains(i, i)) {
+                        return Err(ConsistencyViolation {
+                            axiom: "cat:irreflexive",
+                            cycle: vec![EventId(e)],
+                        });
+                    }
+                }
+                ClauseKind::Empty => {
+                    if let Some((a, b)) = r.pairs().next() {
+                        return Err(ConsistencyViolation {
+                            axiom: "cat:empty",
+                            cycle: vec![EventId(a), EventId(b)],
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ConsistencyModel for CatModel {
+    fn name(&self) -> &'static str {
+        // ConsistencyModel::name returns &'static str; cat models are
+        // dynamic, so expose the generic tag (Display gives the real name).
+        "cat"
+    }
+
+    fn ppo(&self, x: &Execution) -> Relation {
+        // A cat model does not distinguish a ppo; expose po.
+        x.po().clone()
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConsistencyViolation> {
+        self.eval(x)
+    }
+}
+
+impl fmt::Display for CatModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cat model `{}` ({} clauses)", self.name, self.clauses.len())
+    }
+}
+
+fn base_relation(name: &str, x: &Execution) -> Option<Relation> {
+    Some(match name {
+        "po" => x.po().clone(),
+        "tfo" => x.tfo().clone(),
+        "po_loc" => x.po_loc(),
+        "tfo_loc" => x.tfo_loc(),
+        "rf" => x.rf().clone(),
+        "rfi" => x.rfi(),
+        "rfe" => x.rfe(),
+        "co" => x.co().clone(),
+        "fr" => x.fr(),
+        "com" => x.com(),
+        "rfx" => x.rfx().clone(),
+        "cox" => x.cox().clone(),
+        "frx" => x.frx(),
+        "comx" => x.comx(),
+        "addr" => x.addr().clone(),
+        "addr_gep" => x.addr_gep().clone(),
+        "data" => x.data().clone(),
+        "ctrl" => x.ctrl().clone(),
+        "dep" => x.dep(),
+        "fence" => fence_relation(x),
+        "ppo_tso" => Tso.ppo(x),
+        _ => return None,
+    })
+}
+
+fn eval_expr_env(e: &Expr, x: &Execution, env: &[(String, Relation)]) -> Relation {
+    match e {
+        Expr::Base(n) => env
+            .iter()
+            .rev()
+            .find(|(name, _)| name == n)
+            .map(|(_, r)| r.clone())
+            .or_else(|| base_relation(n, x))
+            .unwrap_or_else(|| Relation::empty(x.len())),
+        Expr::Empty => Relation::empty(x.len()),
+        Expr::Id => Relation::identity(x.len()),
+        Expr::Union(a, b) => eval_expr_env(a, x, env).union(&eval_expr_env(b, x, env)),
+        Expr::Intersect(a, b) => eval_expr_env(a, x, env).intersect(&eval_expr_env(b, x, env)),
+        Expr::Difference(a, b) => eval_expr_env(a, x, env).difference(&eval_expr_env(b, x, env)),
+        Expr::Seq(a, b) => eval_expr_env(a, x, env).compose(&eval_expr_env(b, x, env)),
+        Expr::Transpose(a) => eval_expr_env(a, x, env).transpose(),
+        Expr::Plus(a) => eval_expr_env(a, x, env).transitive_closure(),
+        Expr::Star(a) => eval_expr_env(a, x, env).reflexive_transitive_closure(),
+    }
+}
+
+/// Known base names, for parse-time validation.
+const KNOWN: &[&str] = &[
+    "po", "tfo", "po_loc", "tfo_loc", "rf", "rfi", "rfe", "co", "fr", "com", "rfx", "cox",
+    "frx", "comx", "addr", "addr_gep", "data", "ctrl", "dep", "fence", "ppo_tso",
+];
+
+struct Parser<'s> {
+    src: &'s [u8],
+    pos: usize,
+    defs: Vec<(String, Expr)>,
+}
+
+impl<'s> Parser<'s> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CatError> {
+        Err(CatError { message: msg.into(), at: self.pos })
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        }
+    }
+
+    /// `true` if the next identifier is exactly `word` (without consuming).
+    fn peek_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        let save = self.pos;
+        let got = self.ident();
+        self.pos = save;
+        got.as_deref() == Some(word)
+    }
+
+    fn parse_letdef(&mut self) -> Result<(), CatError> {
+        let _ = self.ident(); // "let"
+        let at = self.pos;
+        let Some(name) = self.ident() else {
+            return self.err("expected definition name");
+        };
+        if KNOWN.contains(&name.as_str()) {
+            return Err(CatError {
+                message: format!("`{name}` shadows a base relation"),
+                at,
+            });
+        }
+        if !self.eat("=") {
+            return self.err("expected `=`");
+        }
+        let e = self.parse_expr()?;
+        self.defs.push((name, e));
+        Ok(())
+    }
+
+    fn parse_clause(&mut self) -> Result<Clause, CatError> {
+        self.skip_ws();
+        let at = self.pos;
+        let Some(head) = self.ident() else {
+            return self.err("expected predicate name");
+        };
+        let kind = match head.as_str() {
+            "acyclic" => ClauseKind::Acyclic,
+            "irreflexive" => ClauseKind::Irreflexive,
+            "empty" => ClauseKind::Empty,
+            other => {
+                return Err(CatError {
+                    message: format!("unknown predicate `{other}`"),
+                    at,
+                })
+            }
+        };
+        if !self.eat("(") {
+            return self.err("expected `(`");
+        }
+        let expr = self.parse_expr()?;
+        if !self.eat(")") {
+            return self.err("expected `)`");
+        }
+        Ok(Clause { kind, name: head, expr })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.parse_seq()?;
+        loop {
+            self.skip_ws();
+            if self.peek_byte() == Some(b'|') && !self.src[self.pos..].starts_with(b"||") {
+                self.pos += 1;
+                let r = self.parse_seq()?;
+                e = Expr::Union(Box::new(e), Box::new(r));
+            } else if self.peek_byte() == Some(b'&')
+                && !self.src[self.pos..].starts_with(b"&&")
+            {
+                self.pos += 1;
+                let r = self.parse_seq()?;
+                e = Expr::Intersect(Box::new(e), Box::new(r));
+            } else if self.peek_byte() == Some(b'\\') {
+                self.pos += 1;
+                let r = self.parse_seq()?;
+                e = Expr::Difference(Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn peek_byte(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn parse_seq(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.parse_unary()?;
+        while self.eat(";") {
+            let r = self.parse_unary()?;
+            e = Expr::Seq(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.parse_atom()?;
+        loop {
+            self.skip_ws();
+            if self.eat("^-1") {
+                e = Expr::Transpose(Box::new(e));
+            } else if self.peek_byte() == Some(b'+') {
+                self.pos += 1;
+                e = Expr::Plus(Box::new(e));
+            } else if self.peek_byte() == Some(b'*') {
+                self.pos += 1;
+                e = Expr::Star(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, CatError> {
+        self.skip_ws();
+        if self.eat("(") {
+            let e = self.parse_expr()?;
+            if !self.eat(")") {
+                return self.err("expected `)`");
+            }
+            return Ok(e);
+        }
+        if self.peek_byte() == Some(b'0') {
+            self.pos += 1;
+            return Ok(Expr::Empty);
+        }
+        let at = self.pos;
+        let Some(name) = self.ident() else {
+            return self.err("expected relation name");
+        };
+        if name == "id" {
+            return Ok(Expr::Id);
+        }
+        let defined = self.defs.iter().any(|(n, _)| *n == name);
+        if !defined && !KNOWN.contains(&name.as_str()) {
+            return Err(CatError { message: format!("unknown relation `{name}`"), at });
+        }
+        Ok(Expr::Base(name))
+    }
+}
+
+/// The paper's predicates as ready-made cat sources.
+pub mod presets {
+    /// `sc_per_loc` (§2.1.3).
+    pub const SC_PER_LOC: &str = "acyclic(rf | co | fr | po_loc)";
+    /// The x86-TSO consistency predicate (§2.1.3; `rmw_atomicity` is
+    /// vacuous in this vocabulary).
+    pub const TSO: &str =
+        "acyclic(rf | co | fr | po_loc) && acyclic(rfe | co | fr | ppo_tso | fence)";
+    /// Sequential consistency.
+    pub const SC: &str = "acyclic(com | po)";
+    /// The naive lift of `sc_per_loc` to xstate (§4.2) — too strong for
+    /// real x86 (forbids Spectre v4).
+    pub const SC_PER_LOC_X: &str = "acyclic(rfx | cox | frx | tfo_loc)";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutionBuilder;
+    use crate::mcm::Sc;
+    use crate::Execution;
+
+    fn sb() -> Execution {
+        let mut b = ExecutionBuilder::new();
+        let w0 = b.write("x");
+        let r0 = b.read("y");
+        b.po(w0, r0);
+        b.on_thread(1);
+        let w1 = b.write("y");
+        let r1 = b.read("x");
+        b.po(w1, r1);
+        b.build()
+    }
+
+    #[test]
+    fn preset_tso_matches_builtin_on_sb() {
+        let cat_tso = CatModel::parse("TSO", presets::TSO).unwrap();
+        let cat_sc = CatModel::parse("SC", presets::SC).unwrap();
+        let x = sb();
+        assert!(cat_tso.check(&x).is_ok(), "SB allowed under cat-TSO");
+        assert!(cat_sc.check(&x).is_err(), "SB forbidden under cat-SC");
+        assert_eq!(crate::mcm::Tso.check(&x).is_ok(), cat_tso.check(&x).is_ok());
+        assert_eq!(Sc.check(&x).is_ok(), cat_sc.check(&x).is_ok());
+    }
+
+    #[test]
+    fn naive_lift_forbids_spectre_v4_shape() {
+        // Same construction as the confidentiality module's test: stale
+        // transient read with frx ∪ tfo_loc cycle.
+        let mut b = ExecutionBuilder::new();
+        let r1 = b.read("y");
+        let w = b.write("y");
+        let rs = b.transient_read_hit("y");
+        b.po(r1, w);
+        b.tfo_chain(&[r1, w, rs]);
+        b.rfx(r1, rs);
+        let x = b.build();
+        let naive = CatModel::parse("naive", presets::SC_PER_LOC_X).unwrap();
+        assert_eq!(naive.check(&x).unwrap_err().axiom, "cat:acyclic");
+        // Dropping frx from the clause permits it.
+        let relaxed = CatModel::parse("relaxed", "acyclic(rfx | cox)").unwrap();
+        assert!(relaxed.check(&x).is_ok());
+    }
+
+    #[test]
+    fn fr_is_definable_in_the_language() {
+        // fr = rf^-1 ; co — check equivalence via empty((fr \ that) | (that \ fr)).
+        let spec = "empty((fr \\ (rf^-1 ; co)) | ((rf^-1 ; co) \\ fr))";
+        let m = CatModel::parse("frdef", spec).unwrap();
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("x");
+        let w = b.write("x");
+        b.po(r, w);
+        assert!(m.check(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn closure_and_star_postfixes() {
+        let m = CatModel::parse("t", "irreflexive(po+) && acyclic((rf | co)+)").unwrap();
+        assert!(m.check(&sb()).is_ok());
+        // po* contains id, so irreflexive(po*) must fail on any nonempty
+        // universe.
+        let m2 = CatModel::parse("t2", "irreflexive(po*)").unwrap();
+        assert!(m2.check(&sb()).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = CatModel::parse("bad", "acyclic(nope)").unwrap_err();
+        assert!(e.message.contains("unknown relation"));
+        assert_eq!(e.at, 8);
+        assert!(CatModel::parse("bad", "whatever(po)").is_err());
+        assert!(CatModel::parse("bad", "acyclic(po").is_err());
+        assert!(CatModel::parse("bad", "acyclic(po) extra").is_err());
+    }
+
+    #[test]
+    fn empty_and_id_atoms() {
+        let m = CatModel::parse("t", "empty(0) && empty(po & 0) && irreflexive(po ; 0*)").unwrap();
+        // po ; 0* = po ; id+... 0* = id, so po;id = po — irreflexive holds.
+        assert!(m.check(&sb()).is_ok());
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let m = CatModel::parse("t", "empty(rf & co) && empty(po \\ tfo)").unwrap();
+        assert!(m.check(&sb()).is_ok());
+    }
+
+    #[test]
+    fn let_bindings_name_intermediate_relations() {
+        // TSO written with cat-file-style definitions.
+        let m = CatModel::parse(
+            "TSO-lets",
+            "let communication = rf | co | fr && \
+             let hb = rfe | co | fr | ppo_tso | fence && \
+             acyclic(communication | po_loc) && acyclic(hb)",
+        )
+        .unwrap();
+        let x = sb();
+        assert_eq!(m.check(&x).is_ok(), crate::mcm::Tso.check(&x).is_ok());
+        // Later definitions can use earlier ones.
+        let chained = CatModel::parse(
+            "chained",
+            "let a = rf | co && let b = a | fr && acyclic(b | po_loc)",
+        )
+        .unwrap();
+        assert!(chained.check(&sb()).is_ok());
+    }
+
+    #[test]
+    fn let_cannot_shadow_base_relations() {
+        let e = CatModel::parse("bad", "let rf = co && acyclic(rf)").unwrap_err();
+        assert!(e.message.contains("shadows"));
+        // And a spec of only definitions is rejected.
+        assert!(CatModel::parse("empty", "let x = rf").is_err());
+    }
+
+    #[test]
+    fn confidentiality_style_specs_work_on_microarch_relations() {
+        // An LCM clause over comx: no xstate communication cycles.
+        let m = CatModel::parse("lcm", "acyclic(comx)").unwrap();
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("x");
+        let o = b.observe("x");
+        b.po(r, o);
+        b.rfx(r, o);
+        assert!(m.check(&b.build()).is_ok());
+    }
+}

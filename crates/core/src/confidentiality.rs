@@ -1,0 +1,260 @@
+//! Confidentiality predicates (§3.2.2, §4.2).
+//!
+//! Just as a consistency predicate rules out illegal instantiations of
+//! `com`, a confidentiality predicate rules out illegal instantiations of
+//! `comx` for a specific hardware implementation. The paper's key example
+//! (§4.2, Spectre v4): naively lifting TSO's `sc_per_loc` to
+//! `sc_per_loc_x = acyclic(rfx ∪ cox ∪ frx ∪ tfo_loc)` would *forbid* store
+//! forwarding of stale data, which real Intel parts exhibit — so an x86 LCM
+//! must permit `frx ∪ tfo_loc` cycles.
+
+use crate::event::{AccessMode, EventId, EventKind};
+use crate::exec::Execution;
+
+/// Why an execution is ruled out by a confidentiality predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfidentialityViolation {
+    /// Name of the violated constraint.
+    pub constraint: &'static str,
+    /// Events witnessing the violation (a cycle, or the offending pair).
+    pub witness: Vec<EventId>,
+}
+
+/// A confidentiality predicate: which microarchitectural witnesses a given
+/// hardware implementation can produce.
+pub trait ConfidentialityModel {
+    /// Short model name.
+    fn name(&self) -> &'static str;
+
+    /// Checks the predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint with witnessing events.
+    fn check(&self, x: &Execution) -> Result<(), ConfidentialityViolation>;
+}
+
+fn check_no_silent_stores(x: &Execution) -> Result<(), ConfidentialityViolation> {
+    for e in x.events() {
+        if e.kind() == EventKind::Write && e.xmode() == Some(AccessMode::Read) {
+            return Err(ConfidentialityViolation {
+                constraint: "no_silent_stores",
+                witness: vec![e.id()],
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_no_alias_prediction(x: &Execution) -> Result<(), ConfidentialityViolation> {
+    // Without alias prediction, a read's xstate source must access the same
+    // architectural address (⊤ always matches: it initialises the line).
+    for (w, r) in x.rfx().pairs() {
+        let (ew, er) = (x.event(EventId(w)), x.event(EventId(r)));
+        if ew.kind() == EventKind::Init || er.kind() == EventKind::Observer {
+            continue; // observers probe lines, not addresses
+        }
+        if ew.location() != er.location() {
+            return Err(ConfidentialityViolation {
+                constraint: "no_alias_prediction",
+                witness: vec![EventId(w), EventId(r)],
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_acyclic_rfx_cox(x: &Execution) -> Result<(), ConfidentialityViolation> {
+    match x.rfx().union(x.cox()).find_cycle() {
+        None => Ok(()),
+        Some(c) => Err(ConfidentialityViolation {
+            constraint: "acyclic_rfx_cox",
+            witness: c.into_iter().map(EventId).collect(),
+        }),
+    }
+}
+
+/// The LCM Clou hard-codes for Intel x86 (§5.2): write-allocate caches, no
+/// silent stores, no alias prediction, `comx` otherwise unconstrained.
+///
+/// Notably this model **permits** `frx ∪ tfo_loc` cycles, so Spectre v4
+/// executions (Fig. 4a) are possible microarchitectural behaviours.
+///
+/// # Examples
+///
+/// ```
+/// use lcm_core::confidentiality::{ConfidentialityModel, X86Lcm};
+/// use lcm_core::exec::ExecutionBuilder;
+///
+/// let mut b = ExecutionBuilder::new();
+/// let w = b.silent_write("x"); // silent stores do not exist on x86
+/// let x = b.build();
+/// assert_eq!(X86Lcm.check(&x).unwrap_err().constraint, "no_silent_stores");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct X86Lcm;
+
+impl ConfidentialityModel for X86Lcm {
+    fn name(&self) -> &'static str {
+        "x86-LCM"
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConfidentialityViolation> {
+        check_no_silent_stores(x)?;
+        check_no_alias_prediction(x)?;
+        check_acyclic_rfx_cox(x)
+    }
+}
+
+/// The *naive* lift of TSO's `sc_per_loc` to xstate (§4.2):
+/// `sc_per_loc_x = acyclic(rfx ∪ cox ∪ frx ∪ tfo_loc)`.
+///
+/// Too strong for real x86: it forbids the Spectre v4 execution of Fig. 4a,
+/// which Intel processors exhibit. Kept as the paper keeps it — to
+/// demonstrate why confidentiality predicates must be derived with care.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveTsoLift;
+
+impl ConfidentialityModel for NaiveTsoLift {
+    fn name(&self) -> &'static str {
+        "naive-sc_per_loc_x"
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConfidentialityViolation> {
+        check_no_silent_stores(x)?;
+        check_no_alias_prediction(x)?;
+        let r = x
+            .rfx()
+            .union(x.cox())
+            .union(&x.frx())
+            .union(&x.tfo_loc());
+        match r.find_cycle() {
+            None => Ok(()),
+            Some(c) => Err(ConfidentialityViolation {
+                constraint: "sc_per_loc_x",
+                witness: c.into_iter().map(EventId).collect(),
+            }),
+        }
+    }
+}
+
+/// An LCM for hardware implementing the silent-store optimization
+/// (Fig. 5a): stores whose data matches memory may microarchitecturally
+/// behave as reads. Alias prediction remains forbidden.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentStoreLcm;
+
+impl ConfidentialityModel for SilentStoreLcm {
+    fn name(&self) -> &'static str {
+        "silent-store-LCM"
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConfidentialityViolation> {
+        check_no_alias_prediction(x)?;
+        check_acyclic_rfx_cox(x)
+    }
+}
+
+/// An LCM for hardware with predictive store forwarding / alias prediction
+/// (Fig. 4b, Spectre-PSF): a load may forward from a store to a
+/// *mismatching* address. Everything except `rfx ∪ cox` acyclicity is
+/// permitted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PsfLcm;
+
+impl ConfidentialityModel for PsfLcm {
+    fn name(&self) -> &'static str {
+        "psf-LCM"
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConfidentialityViolation> {
+        check_no_silent_stores(x)?;
+        check_acyclic_rfx_cox(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutionBuilder;
+
+    #[test]
+    fn silent_store_rejected_by_x86_allowed_by_silent_lcm() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.silent_write("x");
+        b.po(w1, w2);
+        b.co(w1, w2);
+        b.rfx(w1, w2);
+        let x = b.build();
+        let v = X86Lcm.check(&x).unwrap_err();
+        assert_eq!(v.constraint, "no_silent_stores");
+        assert_eq!(v.witness, vec![w2]);
+        assert!(SilentStoreLcm.check(&x).is_ok());
+    }
+
+    #[test]
+    fn cross_address_rfx_rejected_without_alias_prediction() {
+        // Two distinct locations sharing an xstate element (PSF-style alias
+        // prediction): rfx across addresses.
+        let mut b = ExecutionBuilder::new();
+        let w = b.write("C0");
+        let r = b.transient_read("Cy");
+        b.po(w, r);
+        let xs = b.xstate_of(w).unwrap();
+        b.set_xstate(r, xs);
+        b.rfx(w, r);
+        let x = b.build();
+        let v = X86Lcm.check(&x).unwrap_err();
+        assert_eq!(v.constraint, "no_alias_prediction");
+        assert!(PsfLcm.check(&x).is_ok());
+    }
+
+    #[test]
+    fn store_forwarding_stale_read_permitted_by_x86_forbidden_by_naive_lift() {
+        // Spectre v4 core shape (Fig. 4a): R y; W y; R_s y where the
+        // transient read microarchitecturally reads *before* the write
+        // (rfx from the first read's fill), yielding frx(r_s, w) while
+        // tfo_loc(w, r_s): an frx ∪ tfo_loc cycle.
+        let mut b = ExecutionBuilder::new();
+        let r1 = b.read("y");
+        let w = b.write("y");
+        let rs = b.transient_read_hit("y");
+        b.po(r1, w);
+        b.tfo_chain(&[r1, w, rs]);
+        b.rfx(r1, rs); // stale: reads r1's fill, bypassing w
+        let x = b.build();
+        assert!(X86Lcm.check(&x).is_ok(), "x86 LCM permits Spectre v4");
+        let v = NaiveTsoLift.check(&x).unwrap_err();
+        assert_eq!(v.constraint, "sc_per_loc_x");
+    }
+
+    #[test]
+    fn rfx_cox_cycle_rejected_everywhere() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.write("x");
+        b.po(w1, w2);
+        b.co(w1, w2);
+        b.cox(w1, w2);
+        b.cox(w2, w1);
+        let x = b.build();
+        assert!(X86Lcm.check(&x).is_err());
+        assert!(SilentStoreLcm.check(&x).is_err());
+        assert!(PsfLcm.check(&x).is_err());
+    }
+
+    #[test]
+    fn clean_execution_passes_all_models() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("a");
+        let w = b.write("b");
+        b.po(r, w);
+        let x = b.build();
+        assert!(X86Lcm.check(&x).is_ok());
+        assert!(NaiveTsoLift.check(&x).is_ok());
+        assert!(SilentStoreLcm.check(&x).is_ok());
+        assert!(PsfLcm.check(&x).is_ok());
+    }
+}
+

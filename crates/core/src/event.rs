@@ -1,0 +1,214 @@
+//! Events, locations, and extra-architectural state identifiers (§2.1.1, §3.2.1).
+
+use std::fmt;
+
+/// Index of an event within one [`crate::Execution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub usize);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An architectural (shared-memory) location.
+///
+/// Litmus programs name locations; the [`crate::ExecutionBuilder`] interns
+/// names to dense `Location` ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location(pub u32);
+
+/// An extra-architectural state element (§3.2.1): the abstract merge of the
+/// core-private cache line and LSQ entry accessed on behalf of a memory
+/// instruction.
+///
+/// Under the paper's direct-mapped, infinitely-sized cache abstraction
+/// (§5.2) there is one `XState` per `Location`; other mappings (e.g. finite
+/// direct-mapped caches where distinct locations collide) are expressed by
+/// assigning the same `XState` to several events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct XState(pub u32);
+
+/// How an event accesses its xstate element (§3.2.1).
+///
+/// * cacheable read hit → [`AccessMode::Read`]
+/// * cacheable read miss → [`AccessMode::ReadModifyWrite`]
+/// * cacheable write (write-allocate) → [`AccessMode::ReadModifyWrite`]
+/// * silent store (§4.2, Fig. 5a) → [`AccessMode::Read`]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Microarchitecturally reads xstate (cache hit / LSQ forward / silent store).
+    Read,
+    /// Microarchitecturally reads then writes xstate (miss or ordinary write).
+    ReadModifyWrite,
+    /// Microarchitecturally writes xstate without reading it
+    /// (no-write-allocate stores; unused by the default model).
+    Write,
+}
+
+impl AccessMode {
+    /// Whether this access observes (reads) the xstate element.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadModifyWrite)
+    }
+
+    /// Whether this access updates (writes) the xstate element.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::ReadModifyWrite | AccessMode::Write)
+    }
+}
+
+/// The kind of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// ⊤-member: the initialization write of one location (and its xstate).
+    /// The paper draws the set of these as a single ⊤ node (§3.2).
+    Init,
+    /// An architectural read (load).
+    Read,
+    /// An architectural write (store).
+    Write,
+    /// A fence / synchronization event (e.g. `lfence`).
+    Fence,
+    /// A conditional-branch event; source of `ctrl` dependencies.
+    Branch,
+    /// ⊥-member: an observer access probing one xstate element after the
+    /// program completes. Architecturally it reads only from ⊤ (§3.2).
+    Observer,
+    /// A hardware prefetch (Fig. 5b): accesses xstate but participates in no
+    /// architectural relation (no `com`, no `po`).
+    Prefetch,
+}
+
+impl EventKind {
+    /// Is this an architectural memory event (a `MemoryEvent` in §2.1.1)?
+    ///
+    /// `Observer` counts: it reads a location architecturally (always from
+    /// ⊤). `Prefetch` does not: it is microarchitectural only.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            EventKind::Init | EventKind::Read | EventKind::Write | EventKind::Observer
+        )
+    }
+
+    /// Does this event architecturally read its location?
+    pub fn is_arch_read(self) -> bool {
+        matches!(self, EventKind::Read | EventKind::Observer)
+    }
+
+    /// Does this event architecturally write its location?
+    pub fn is_arch_write(self) -> bool {
+        matches!(self, EventKind::Init | EventKind::Write)
+    }
+}
+
+/// One node of a candidate execution graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pub(crate) id: EventId,
+    pub(crate) kind: EventKind,
+    pub(crate) thread: usize,
+    pub(crate) location: Option<Location>,
+    pub(crate) xstate: Option<XState>,
+    pub(crate) xmode: Option<AccessMode>,
+    pub(crate) transient: bool,
+    pub(crate) label: String,
+}
+
+impl Event {
+    /// This event's id.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// This event's kind.
+    pub fn kind(&self) -> EventKind {
+        self.kind
+    }
+
+    /// Thread (core) executing the event. ⊤/⊥/prefetch events use the
+    /// thread of the program point they are attached to.
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// The architectural location accessed, if this is a memory event.
+    pub fn location(&self) -> Option<Location> {
+        self.location
+    }
+
+    /// The xstate element accessed, if any.
+    pub fn xstate(&self) -> Option<XState> {
+        self.xstate
+    }
+
+    /// How the xstate element is accessed, if any.
+    pub fn xmode(&self) -> Option<AccessMode> {
+        self.xmode
+    }
+
+    /// `true` for events fetched along a mis-speculated path: ordered by
+    /// `tfo` but not `po` (§3.3).
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+
+    /// Human-readable label (used in DOT rendering and reports).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether the event reads its xstate element.
+    pub fn reads_xstate(&self) -> bool {
+        self.xmode.is_some_and(AccessMode::reads)
+    }
+
+    /// Whether the event writes its xstate element.
+    pub fn writes_xstate(&self) -> bool {
+        self.xmode.is_some_and(AccessMode::writes)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.label.is_empty() {
+            write!(f, "{}: {:?}", self.id, self.kind)
+        } else {
+            write!(f, "{}", self.label)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_mode_read_write_flags() {
+        assert!(AccessMode::Read.reads());
+        assert!(!AccessMode::Read.writes());
+        assert!(AccessMode::ReadModifyWrite.reads());
+        assert!(AccessMode::ReadModifyWrite.writes());
+        assert!(!AccessMode::Write.reads());
+        assert!(AccessMode::Write.writes());
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(EventKind::Init.is_memory());
+        assert!(EventKind::Observer.is_memory());
+        assert!(!EventKind::Prefetch.is_memory());
+        assert!(!EventKind::Fence.is_memory());
+        assert!(EventKind::Read.is_arch_read());
+        assert!(EventKind::Observer.is_arch_read());
+        assert!(!EventKind::Read.is_arch_write());
+        assert!(EventKind::Init.is_arch_write());
+    }
+
+    #[test]
+    fn display_event_id() {
+        assert_eq!(EventId(3).to_string(), "e3");
+    }
+}

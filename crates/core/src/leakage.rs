@@ -1,0 +1,159 @@
+//! End-to-end leakage detection over complete executions (§3.2.3, §4.1).
+
+use crate::event::EventId;
+use crate::exec::Execution;
+use crate::noninterference::{self, NiPredicate, Violation};
+use crate::taxonomy::{self, TransmittedField, Transmitter, TransmitterClass};
+
+/// The result of checking one candidate execution for microarchitectural
+/// leakage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakageReport {
+    /// Non-interference violations found.
+    pub violations: Vec<Violation>,
+    /// Receivers (targets of culprit `com` edges), deduplicated.
+    pub receivers: Vec<EventId>,
+    /// Classified transmitters conveying information to the receivers.
+    pub transmitters: Vec<Transmitter>,
+}
+
+impl LeakageReport {
+    /// `true` if no leakage was detected.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The culprit `com` edges, for rendering as dashed edges.
+    pub fn culprit_edges(&self) -> Vec<(EventId, EventId)> {
+        self.violations.iter().map(|v| v.culprit).collect()
+    }
+
+    /// Transmitters of at least the given class rank.
+    pub fn transmitters_at_least(&self, class: TransmitterClass) -> Vec<&Transmitter> {
+        self.transmitters
+            .iter()
+            .filter(|t| t.class.severity_rank() >= class.severity_rank())
+            .collect()
+    }
+
+    /// The single most severe record per transmitting event.
+    pub fn summary(&self) -> Vec<Transmitter> {
+        taxonomy::most_severe(&self.transmitters)
+    }
+}
+
+/// Detects microarchitectural leakage in a complete candidate execution:
+/// evaluates the three non-interference predicates of §4.1, derives the
+/// receivers, and classifies transmitters per Table 1.
+///
+/// `co`/`cox` inconsistencies (the silent-store pattern of Fig. 5a)
+/// additionally mark the *target write itself* as a transmitter of the
+/// **data** field of its xstate, per §4.2.
+///
+/// # Examples
+///
+/// ```
+/// use lcm_core::exec::ExecutionBuilder;
+/// use lcm_core::detect_leakage;
+///
+/// let mut b = ExecutionBuilder::new();
+/// let r = b.read("secret_dependent_line");
+/// let o = b.observe("secret_dependent_line");
+/// b.po(r, o);
+/// b.rfx(r, o); // the probe hits the victim's fill
+/// let report = detect_leakage(&b.build());
+/// assert!(!report.is_clean());
+/// assert_eq!(report.transmitters[0].event, r);
+/// ```
+pub fn detect_leakage(x: &Execution) -> LeakageReport {
+    let violations = noninterference::violations(x);
+    let receivers = noninterference::receivers(&violations);
+    let mut transmitters = taxonomy::classify(x, &receivers);
+    // Silent-store co/cox inconsistencies: the possibly-silent write is
+    // itself a transmitter of its xstate's data field (§4.2).
+    for v in &violations {
+        if v.predicate == NiPredicate::Co && !x.cox().contains(v.culprit.0 .0, v.culprit.1 .0) {
+            let e = x.event(v.culprit.1);
+            transmitters.push(Transmitter {
+                event: v.culprit.1,
+                class: TransmitterClass::Address,
+                field: TransmittedField::Data,
+                transient: e.is_transient(),
+                receiver: v.receiver,
+                access: None,
+                access_transient: false,
+                index: None,
+            });
+        }
+    }
+    LeakageReport { violations, receivers, transmitters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutionBuilder;
+
+    #[test]
+    fn clean_execution_reports_clean() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let w = b.write("x");
+        b.po(r, w);
+        let report = detect_leakage(&b.build());
+        assert!(report.is_clean());
+        assert!(report.receivers.is_empty());
+        assert!(report.transmitters.is_empty());
+    }
+
+    #[test]
+    fn silent_store_flagged_as_data_field_transmitter() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.silent_write("x");
+        b.po(w1, w2);
+        b.co(w1, w2);
+        b.rfx(w1, w2);
+        let report = detect_leakage(&b.build());
+        assert!(!report.is_clean());
+        let t = report
+            .transmitters
+            .iter()
+            .find(|t| t.field == TransmittedField::Data)
+            .expect("data-field transmitter");
+        assert_eq!(t.event, w2);
+    }
+
+    #[test]
+    fn transmitters_at_least_filters_by_rank() {
+        let mut b = ExecutionBuilder::new();
+        let idx = b.read("y");
+        let acc = b.read("A+y");
+        let t = b.read("B+x");
+        b.po_chain(&[idx, acc, t]);
+        b.addr_gep(idx, acc);
+        b.addr_gep(acc, t);
+        let o = b.observe("B+x");
+        b.po(t, o);
+        b.rfx(t, o);
+        let report = detect_leakage(&b.build());
+        let udts = report.transmitters_at_least(TransmitterClass::UniversalData);
+        assert_eq!(udts.len(), 1);
+        assert_eq!(udts[0].event, t);
+        assert!(report.transmitters_at_least(TransmitterClass::Address).len() >= 3);
+    }
+
+    #[test]
+    fn culprit_edges_match_violations() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let o = b.observe("y");
+        b.po(r, o);
+        b.rfx(r, o);
+        let x = b.build();
+        let report = detect_leakage(&x);
+        assert_eq!(report.culprit_edges().len(), report.violations.len());
+        let init = x.init_of(x.event(o).location().unwrap()).unwrap();
+        assert_eq!(report.culprit_edges()[0], (init, o));
+    }
+}

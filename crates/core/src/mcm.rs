@@ -1,0 +1,290 @@
+//! Consistency predicates: axiomatic MCMs (§2.1.3).
+//!
+//! A consistency predicate renders candidate executions *consistent*
+//! (architecturally allowed) or *inconsistent*. The set of consistent
+//! candidate executions of a program is its architectural semantics (§2.2).
+
+use lcm_relalg::Relation;
+
+use crate::event::{EventId, EventKind};
+use crate::exec::Execution;
+
+/// Why an execution is inconsistent: the violated axiom and a witnessing
+/// cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyViolation {
+    /// Name of the violated axiom, e.g. `"sc_per_loc"`.
+    pub axiom: &'static str,
+    /// A cycle in the axiom's relation, as event ids.
+    pub cycle: Vec<EventId>,
+}
+
+/// An axiomatic memory consistency model.
+pub trait ConsistencyModel {
+    /// Short model name, e.g. `"TSO"`.
+    fn name(&self) -> &'static str;
+
+    /// Preserved program order: the subset of `po` that the ISA guarantees
+    /// is enforced from the perspective of all cores.
+    fn ppo(&self, x: &Execution) -> Relation;
+
+    /// Checks the consistency predicate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated axiom with a witnessing cycle.
+    fn check(&self, x: &Execution) -> Result<(), ConsistencyViolation>;
+}
+
+/// `fence`: pairs of events ordered through an intervening fence event
+/// (`a po fence po b`).
+pub fn fence_relation(x: &Execution) -> Relation {
+    let n = x.len();
+    let mut before_fence = Relation::empty(n);
+    let mut after_fence = Relation::empty(n);
+    for e in x.events() {
+        if e.kind() == EventKind::Fence {
+            for p in x.po().predecessors(e.id().0) {
+                before_fence.insert(p, e.id().0);
+            }
+            for s in x.po().successors(e.id().0) {
+                after_fence.insert(e.id().0, s);
+            }
+        }
+    }
+    before_fence.compose(&after_fence)
+}
+
+/// `sc_per_loc ≜ acyclic(rf ∪ co ∪ fr ∪ po_loc)` (§2.1.3): coherence.
+pub fn sc_per_loc(x: &Execution) -> Result<(), ConsistencyViolation> {
+    let r = x.com().union(&x.po_loc());
+    match r.find_cycle() {
+        None => Ok(()),
+        Some(c) => Err(ConsistencyViolation {
+            axiom: "sc_per_loc",
+            cycle: c.into_iter().map(EventId).collect(),
+        }),
+    }
+}
+
+/// Sequential consistency: `acyclic(com ∪ po)` (Lamport'79 in axiomatic
+/// form).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sc;
+
+impl ConsistencyModel for Sc {
+    fn name(&self) -> &'static str {
+        "SC"
+    }
+
+    fn ppo(&self, x: &Execution) -> Relation {
+        x.po().clone()
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConsistencyViolation> {
+        let r = x.com().union(x.po());
+        match r.find_cycle() {
+            None => Ok(()),
+            Some(c) => Err(ConsistencyViolation {
+                axiom: "sc",
+                cycle: c.into_iter().map(EventId).collect(),
+            }),
+        }
+    }
+}
+
+/// Intel x86 Total Store Order (§2.1.3).
+///
+/// The predicate is the conjunction of `sc_per_loc` and `causality`;
+/// `rmw_atomicity` is vacuous here because the vocabulary has no
+/// architectural read-modify-write events.
+///
+/// # Examples
+///
+/// Store buffering is TSO-consistent but not SC-consistent:
+///
+/// ```
+/// use lcm_core::exec::ExecutionBuilder;
+/// use lcm_core::mcm::{ConsistencyModel, Sc, Tso};
+///
+/// let mut b = ExecutionBuilder::new();
+/// let w0 = b.write("x");
+/// let r0 = b.read("y");
+/// b.po(w0, r0);
+/// b.on_thread(1);
+/// let w1 = b.write("y");
+/// let r1 = b.read("x");
+/// b.po(w1, r1); // both reads default to reading from ⊤ (stale)
+/// let x = b.build();
+/// assert!(Tso.check(&x).is_ok());
+/// assert!(Sc.check(&x).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tso;
+
+impl ConsistencyModel for Tso {
+    fn name(&self) -> &'static str {
+        "TSO"
+    }
+
+    /// TSO `ppo`: all `(Write, Write)` and `(Read, MemoryEvent)` pairs of
+    /// `po` — i.e. everything except write-to-read ordering, which the
+    /// store buffer relaxes.
+    fn ppo(&self, x: &Execution) -> Relation {
+        Relation::from_pairs(
+            x.len(),
+            x.po().pairs().filter(|&(a, b)| {
+                let (ea, eb) = (x.event(EventId(a)), x.event(EventId(b)));
+                if !ea.kind().is_memory() || !eb.kind().is_memory() {
+                    return false;
+                }
+                let ww = ea.kind().is_arch_write() && eb.kind().is_arch_write();
+                ww || ea.kind().is_arch_read()
+            }),
+        )
+    }
+
+    fn check(&self, x: &Execution) -> Result<(), ConsistencyViolation> {
+        sc_per_loc(x)?;
+        // causality ≜ acyclic(rfe ∪ co ∪ fr ∪ ppo ∪ fence)
+        let r = x
+            .rfe()
+            .union(x.co())
+            .union(&x.fr())
+            .union(&self.ppo(x))
+            .union(&fence_relation(x));
+        match r.find_cycle() {
+            None => Ok(()),
+            Some(c) => Err(ConsistencyViolation {
+                axiom: "causality",
+                cycle: c.into_iter().map(EventId).collect(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutionBuilder;
+
+    /// Classic store-buffering (SB): Wx=1; Ry || Wy=1; Rx with both reads
+    /// returning the initial value. Allowed under TSO, forbidden under SC.
+    fn store_buffering() -> Execution {
+        let mut b = ExecutionBuilder::new();
+        let w0 = b.write("x");
+        let r0 = b.read("y");
+        b.po(w0, r0);
+        b.on_thread(1);
+        let w1 = b.write("y");
+        let r1 = b.read("x");
+        b.po(w1, r1);
+        // rf defaults: both reads from init -> fr(r0, w1), fr(r1, w0)
+        b.build()
+    }
+
+    #[test]
+    fn sb_allowed_on_tso_forbidden_on_sc() {
+        let x = store_buffering();
+        assert!(x.well_formed().is_ok());
+        assert!(Tso.check(&x).is_ok());
+        let v = Sc.check(&x).unwrap_err();
+        assert_eq!(v.axiom, "sc");
+        assert!(v.cycle.len() >= 2);
+    }
+
+    /// Message-passing (MP) with a stale read: Wx=1; Wy=1 || Ry(=1); Rx(=0).
+    /// Forbidden under TSO (causality) and SC.
+    fn message_passing_stale() -> Execution {
+        let mut b = ExecutionBuilder::new();
+        let wx = b.write("x");
+        let wy = b.write("y");
+        b.po(wx, wy);
+        b.on_thread(1);
+        let ry = b.read("y");
+        let rx = b.read("x");
+        b.po(ry, rx);
+        b.rf(wy, ry); // observes the flag...
+        // rx reads from init (stale) -> fr(rx, wx)
+        b.build()
+    }
+
+    #[test]
+    fn mp_stale_forbidden_on_tso() {
+        let x = message_passing_stale();
+        assert!(x.well_formed().is_ok());
+        let v = Tso.check(&x).unwrap_err();
+        assert_eq!(v.axiom, "causality");
+    }
+
+    #[test]
+    fn coherence_violation_caught_by_sc_per_loc() {
+        // po: w1 -> w2 (same loc), but co: w2 -> w1.
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.write("x");
+        b.po(w1, w2);
+        b.co(w2, w1);
+        let x = b.build();
+        let v = Tso.check(&x).unwrap_err();
+        assert_eq!(v.axiom, "sc_per_loc");
+    }
+
+    #[test]
+    fn straight_line_single_thread_is_consistent_everywhere() {
+        let mut b = ExecutionBuilder::new();
+        let r1 = b.read("size");
+        let r2 = b.read("y");
+        let w = b.write("tmp");
+        b.po_chain(&[r1, r2, w]);
+        let x = b.build();
+        assert!(Sc.check(&x).is_ok());
+        assert!(Tso.check(&x).is_ok());
+    }
+
+    #[test]
+    fn tso_ppo_drops_write_to_read() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.write("x");
+        let r = b.read("y");
+        let w2 = b.write("z");
+        b.po_chain(&[w, r, w2]);
+        let x = b.build();
+        let ppo = Tso.ppo(&x);
+        assert!(!ppo.contains(w.0, r.0), "W->R relaxed");
+        assert!(ppo.contains(r.0, w2.0), "R->W preserved");
+        assert!(ppo.contains(w.0, w2.0), "W->W preserved");
+    }
+
+    #[test]
+    fn fence_restores_write_to_read_order() {
+        // SB with fences between write and read on both threads is
+        // forbidden even under TSO.
+        let mut b = ExecutionBuilder::new();
+        let w0 = b.write("x");
+        let f0 = b.fence();
+        let r0 = b.read("y");
+        b.po_chain(&[w0, f0, r0]);
+        b.on_thread(1);
+        let w1 = b.write("y");
+        let f1 = b.fence();
+        let r1 = b.read("x");
+        b.po_chain(&[w1, f1, r1]);
+        let x = b.build();
+        let v = Tso.check(&x).unwrap_err();
+        assert_eq!(v.axiom, "causality");
+    }
+
+    #[test]
+    fn fence_relation_composes_across_fence() {
+        let mut b = ExecutionBuilder::new();
+        let a = b.read("p");
+        let f = b.fence();
+        let c = b.read("q");
+        b.po_chain(&[a, f, c]);
+        let x = b.build();
+        let fr = fence_relation(&x);
+        assert!(fr.contains(a.0, c.0));
+        assert!(!fr.contains(c.0, a.0));
+    }
+}

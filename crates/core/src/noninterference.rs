@@ -1,0 +1,466 @@
+//! The three non-interference predicates of §4.1.
+//!
+//! Each predicate maps an architectural communication edge to the
+//! microarchitectural edge(s) implied by it when microarchitectural
+//! non-interference holds; a **violation** is a consistent candidate
+//! execution in which the implied edge is absent. The endpoints of culprit
+//! `com` edges constitute **receivers** of microarchitectural leakage
+//! (§3.2.3).
+
+use std::collections::BTreeSet;
+
+use crate::event::{EventId, EventKind};
+use crate::exec::Execution;
+
+/// Which non-interference predicate a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NiPredicate {
+    /// rf-non-interference: `w rf r ⇒ w rfx r`.
+    Rf,
+    /// co-non-interference: immediate `w0 co w1 ⇒ w0 cox w1 ∧ w0 rfx w1`.
+    Co,
+    /// fr-non-interference: `r fr w` (with `w` the immediate co-successor
+    /// of `r`'s source and `r` a miss) `⇒ r rfx w`; plus `frx`/`cox`
+    /// ordering.
+    Fr,
+}
+
+/// A detected deviation of the microarchitectural semantics from what the
+/// architectural semantics implies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated predicate.
+    pub predicate: NiPredicate,
+    /// The culprit architectural edge (drawn dashed in the paper's figures).
+    pub culprit: (EventId, EventId),
+    /// The microarchitectural edge that non-interference implies but the
+    /// witness lacks.
+    pub expected: (EventId, EventId),
+    /// The actual `rfx` source of the receiver, if any.
+    pub actual_source: Option<EventId>,
+    /// The receiver of leakage: the target endpoint of the culprit edge.
+    pub receiver: EventId,
+}
+
+/// Checks rf-non-interference (§4.1): every `rf` edge between xstate-
+/// sharing events must be mirrored by `rfx`.
+///
+/// Observers (⊥) are handled specially: they architecturally read only
+/// from ⊤, so non-interference implies their probe is sourced by ⊤'s fill
+/// of the probed line; a probe sourced by any program instruction is a
+/// violation (the dashed `rf` edges of Fig. 2a).
+pub fn check_rf_ni(x: &Execution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (w, r) in x.rf().pairs() {
+        let (ew, er) = (x.event(EventId(w)), x.event(EventId(r)));
+        if er.kind() == EventKind::Observer {
+            let actual = x.rfx().predecessors(r).next();
+            if actual.is_some_and(|a| x.event(EventId(a)).kind() != EventKind::Init) {
+                out.push(Violation {
+                    predicate: NiPredicate::Rf,
+                    culprit: (EventId(w), EventId(r)),
+                    expected: (EventId(w), EventId(r)),
+                    actual_source: actual.map(EventId),
+                    receiver: EventId(r),
+                });
+            }
+            continue;
+        }
+        let same_xstate = ew.xstate().is_some() && ew.xstate() == er.xstate();
+        if !same_xstate || !er.reads_xstate() || !ew.writes_xstate() {
+            continue;
+        }
+        if !x.rfx().contains(w, r) {
+            out.push(Violation {
+                predicate: NiPredicate::Rf,
+                culprit: (EventId(w), EventId(r)),
+                expected: (EventId(w), EventId(r)),
+                actual_source: x.rfx().predecessors(r).next().map(EventId),
+                receiver: EventId(r),
+            });
+        }
+    }
+    out
+}
+
+/// The events that could legitimately source `w1`'s cache-line read under
+/// non-interference: among `{w0} ∪ {misses r with rf(w0, r) ∧ fr(r, w1)}`,
+/// the tfo-latest ones (⊤ members are dominated by every other candidate;
+/// the mappings assume a single-core setting, §4.1).
+fn expected_fill_sources(x: &Execution, w0: usize, w1: usize) -> Vec<usize> {
+    let e1_xs = x.event(EventId(w1)).xstate();
+    let mut cands = vec![w0];
+    let fr = x.fr();
+    for r in x.rf().successors(w0) {
+        let er = x.event(EventId(r));
+        if er.writes_xstate() && er.xstate() == e1_xs && fr.contains(r, w1) {
+            cands.push(r);
+        }
+    }
+    // Keep tfo-maximal candidates; Init is dominated by anything else.
+    let maximal: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| {
+            !cands.iter().any(|&d| {
+                d != c
+                    && (x.tfo().contains(c, d)
+                        || (x.event(EventId(c)).kind() == EventKind::Init
+                            && x.event(EventId(d)).kind() != EventKind::Init))
+            })
+        })
+        .collect();
+    maximal
+}
+
+/// Checks co-non-interference (§4.1): immediate `co` pairs over the same
+/// xstate must be mirrored by `cox` (its absence is the silent-store
+/// signature of Fig. 5a), and when no miss intervenes, the later write's
+/// cache-line read must hit on the earlier write's fill (`rfx`).
+pub fn check_co_ni(x: &Execution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (w0, w1) in x.co_immediate().pairs() {
+        let (e0, e1) = (x.event(EventId(w0)), x.event(EventId(w1)));
+        let same_xstate = e0.xstate().is_some() && e0.xstate() == e1.xstate();
+        if !same_xstate || !e0.writes_xstate() {
+            continue;
+        }
+        if !x.cox().contains(w0, w1) {
+            out.push(Violation {
+                predicate: NiPredicate::Co,
+                culprit: (EventId(w0), EventId(w1)),
+                expected: (EventId(w0), EventId(w1)),
+                actual_source: None,
+                receiver: EventId(w1),
+            });
+            continue;
+        }
+        if !e1.reads_xstate() {
+            continue;
+        }
+        let expected = expected_fill_sources(x, w0, w1);
+        let actual = x.rfx().predecessors(w1).next();
+        if actual.is_none_or(|a| !expected.contains(&a)) {
+            // Attribute to fr-NI when a miss intervened (the expected fill
+            // came from a read), to co-NI otherwise.
+            let from_read = expected.iter().any(|&c| c != w0);
+            let culprit_src = if from_read {
+                *expected.iter().find(|&&c| c != w0).unwrap()
+            } else {
+                w0
+            };
+            out.push(Violation {
+                predicate: if from_read { NiPredicate::Fr } else { NiPredicate::Co },
+                culprit: (EventId(culprit_src), EventId(w1)),
+                expected: (EventId(culprit_src), EventId(w1)),
+                actual_source: actual.map(EventId),
+                receiver: EventId(w1),
+            });
+        }
+    }
+    out
+}
+
+/// Checks fr-non-interference (§4.1): for `r fr w` over common xstate,
+/// `r` must microarchitecturally read its line before `w` overwrites it —
+/// `frx(r, w)`, or `cox(r, w)` when `r` misses. (The hit-expectation
+/// clause of fr-NI is checked jointly with co-NI in [`check_co_ni`].)
+pub fn check_fr_ni(x: &Execution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let fr = x.fr();
+    let frx = x.frx();
+    for (r, w) in fr.pairs() {
+        let (er, ew) = (x.event(EventId(r)), x.event(EventId(w)));
+        let same_xstate = er.xstate().is_some() && er.xstate() == ew.xstate();
+        if !same_xstate || !ew.writes_xstate() || !er.reads_xstate() {
+            continue;
+        }
+        let reads_before = frx.contains(r, w) || (er.writes_xstate() && x.cox().contains(r, w));
+        if !reads_before {
+            out.push(Violation {
+                predicate: NiPredicate::Fr,
+                culprit: (EventId(r), EventId(w)),
+                expected: (EventId(r), EventId(w)),
+                actual_source: None,
+                receiver: EventId(w),
+            });
+        }
+    }
+    out
+}
+
+/// All violations of the three predicates.
+///
+/// # Examples
+///
+/// An observer probe sourced by a program fill is an rf-NI violation:
+///
+/// ```
+/// use lcm_core::exec::ExecutionBuilder;
+/// use lcm_core::noninterference::{violations, NiPredicate};
+///
+/// let mut b = ExecutionBuilder::new();
+/// let r = b.read("y");
+/// let o = b.observe("y");
+/// b.po(r, o);
+/// b.rfx(r, o);
+/// let vs = violations(&b.build());
+/// assert_eq!(vs.len(), 1);
+/// assert_eq!(vs[0].predicate, NiPredicate::Rf);
+/// assert_eq!(vs[0].receiver, o);
+/// ```
+pub fn violations(x: &Execution) -> Vec<Violation> {
+    let mut out = check_rf_ni(x);
+    out.extend(check_co_ni(x));
+    out.extend(check_fr_ni(x));
+    out
+}
+
+/// The receivers named by a set of violations, deduplicated and ordered.
+pub fn receivers(vs: &[Violation]) -> Vec<EventId> {
+    let set: BTreeSet<EventId> = vs.iter().map(|v| v.receiver).collect();
+    set.into_iter().collect()
+}
+
+/// Constructs the *implied* microarchitectural witness of an execution's
+/// architectural semantics (§3.2.3): the `rfx`/`cox` assignment that holds
+/// when non-interference does. Returns `(rfx, cox)` relations.
+///
+/// Used to render the "expected" graphs of Fig. 2a and by tests that need
+/// a leakage-free baseline.
+pub fn implied_microarch(x: &Execution) -> (lcm_relalg::Relation, lcm_relalg::Relation) {
+    let n = x.len();
+    let mut rfx = lcm_relalg::Relation::empty(n);
+    let mut cox = lcm_relalg::Relation::empty(n);
+    // rfx := rf restricted to xstate-sharing pairs.
+    for (w, r) in x.rf().pairs() {
+        let (ew, er) = (x.event(EventId(w)), x.event(EventId(r)));
+        if ew.xstate().is_some() && ew.xstate() == er.xstate() && er.reads_xstate() {
+            rfx.insert(w, r);
+        }
+    }
+    // cox := co lifted, plus read-misses inserted after their rf source
+    // (fr-implied ordering).
+    for (a, b) in x.co().pairs() {
+        let (ea, eb) = (x.event(EventId(a)), x.event(EventId(b)));
+        if ea.xstate().is_some() && ea.xstate() == eb.xstate() {
+            cox.insert(a, b);
+        }
+    }
+    for (r, w) in x.fr().pairs() {
+        let (er, ew) = (x.event(EventId(r)), x.event(EventId(w)));
+        if er.writes_xstate()
+            && ew.writes_xstate()
+            && er.xstate().is_some()
+            && er.xstate() == ew.xstate()
+        {
+            cox.insert(r, w);
+        }
+    }
+    // Fills implied for writes: the tfo-latest prior accessor of the line.
+    for (w0, w1) in x.co_immediate().pairs() {
+        let (e0, e1) = (x.event(EventId(w0)), x.event(EventId(w1)));
+        if e0.writes_xstate()
+            && e1.reads_xstate()
+            && e0.xstate().is_some()
+            && e0.xstate() == e1.xstate()
+            && rfx.predecessors(w1).next().is_none()
+        {
+            let src = expected_fill_sources(x, w0, w1);
+            rfx.insert(src[0], w1);
+        }
+    }
+    (rfx, cox.transitive_closure())
+}
+
+/// Returns `true` if the execution exhibits no violation — i.e. its
+/// microarchitectural witness matches architectural expectation.
+pub fn interference_free(x: &Execution) -> bool {
+    violations(x).is_empty()
+}
+
+/// Events of kind [`EventKind::Observer`] (⊥ probes).
+pub fn observers(x: &Execution) -> Vec<EventId> {
+    x.events()
+        .iter()
+        .filter(|e| e.kind() == EventKind::Observer)
+        .map(|e| e.id())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutionBuilder;
+
+    #[test]
+    fn clean_straight_line_has_no_violations() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let w = b.write("x");
+        b.po(r, w);
+        let x = b.build();
+        assert!(interference_free(&x));
+    }
+
+    #[test]
+    fn observer_after_program_read_violates_rf_ni() {
+        // Fig. 2a shape: program read fills the line; observer's arch rf is
+        // from ⊤ but its probe hits the program's fill.
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let o = b.observe("y");
+        b.po(r, o);
+        b.rfx(r, o); // probe hits r's fill
+        let x = b.build();
+        let vs = check_rf_ni(&x);
+        assert_eq!(vs.len(), 1);
+        let v = &vs[0];
+        assert_eq!(v.predicate, NiPredicate::Rf);
+        assert_eq!(v.receiver, o);
+        assert_eq!(v.actual_source, Some(r));
+        let init = x.init_of(x.event(o).location().unwrap()).unwrap();
+        assert_eq!(v.culprit, (init, o));
+    }
+
+    #[test]
+    fn observer_probing_untouched_line_is_clean() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let o = b.observe("z"); // different line: still reads ⊤'s fill
+        b.po(r, o);
+        let x = b.build();
+        assert!(interference_free(&x));
+    }
+
+    #[test]
+    fn transient_fill_breaks_rf_ni_of_later_read() {
+        // A read whose arch source is ⊤ but whose probe hits a transient
+        // instruction's fill (the "new DT variant" of §6.1).
+        let mut b = ExecutionBuilder::new();
+        let t = b.transient_read("A");
+        let r = b.read_hit("A");
+        b.tfo(t, r);
+        b.rfx(t, r);
+        let x = b.build();
+        let vs = check_rf_ni(&x);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].actual_source, Some(t));
+    }
+
+    #[test]
+    fn silent_store_violates_co_ni() {
+        // Fig. 5a: W x; W x (silent). co(w1, w2) without cox(w1, w2).
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.silent_write("x");
+        b.po(w1, w2);
+        b.co(w1, w2);
+        b.rfx(w1, w2);
+        let x = b.build();
+        let vs = check_co_ni(&x);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].culprit, (w1, w2));
+        assert_eq!(vs[0].receiver, w2);
+    }
+
+    #[test]
+    fn non_silent_back_to_back_writes_are_clean() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.write("x");
+        b.po(w1, w2);
+        b.co(w1, w2);
+        b.rfx(w1, w2);
+        b.cox(w1, w2);
+        let x = b.build();
+        assert!(check_co_ni(&x).is_empty());
+    }
+
+    #[test]
+    fn co_ni_requires_hit_between_neighbours() {
+        // cox present but w2's line read sourced elsewhere (evicted in
+        // between): co-NI violation.
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.write("x");
+        let w2 = b.write("x");
+        b.po(w1, w2);
+        b.co(w1, w2);
+        b.cox(w1, w2);
+        // w2's rfx completed from ⊤ (no explicit edge): a miss to ⊤'s line.
+        let x = b.build();
+        let vs = check_co_ni(&x);
+        assert_eq!(vs.len(), 1);
+        let init = x.init_of(x.event(w1).location().unwrap()).unwrap();
+        assert_eq!(vs[0].actual_source, Some(init));
+    }
+
+    #[test]
+    fn fr_ni_write_hits_on_read_fill() {
+        // r reads from ⊤ (miss, fills line), then w overwrites: fr(r, w).
+        // Expected: cox(r, w) and rfx(r, w).
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("x");
+        let w = b.write("x");
+        b.po(r, w);
+        b.rfx(r, w);
+        b.cox(r, w);
+        let x = b.build();
+        assert!(check_fr_ni(&x).is_empty());
+    }
+
+    #[test]
+    fn fr_ni_violated_when_write_misses_read_fill() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("x");
+        let w = b.write("x");
+        b.po(r, w);
+        // w's rfx completed from ⊤, bypassing r's fill: violation
+        // (attributed to fr-NI since a miss intervened).
+        let x = b.build();
+        let vs = violations(&x);
+        assert!(!vs.is_empty());
+        assert!(vs.iter().any(|v| v.receiver == w && v.predicate == NiPredicate::Fr));
+    }
+
+    #[test]
+    fn implied_microarch_is_interference_free() {
+        // Rebuild an execution using the implied witness: zero violations.
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let w = b.write("y");
+        let r2 = b.read_hit("y");
+        b.po_chain(&[r, w, r2]);
+        b.rf(w, r2);
+        let x0 = b.build();
+        let (rfx, cox) = implied_microarch(&x0);
+
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("y");
+        let w = b.write("y");
+        let r2 = b.read_hit("y");
+        b.po_chain(&[r, w, r2]);
+        b.rf(w, r2);
+        for (a, c) in rfx.pairs() {
+            b.rfx(EventId(a), EventId(c));
+        }
+        for (a, c) in cox.pairs() {
+            b.cox(EventId(a), EventId(c));
+        }
+        let x = b.build();
+        assert!(interference_free(&x), "violations: {:?}", violations(&x));
+    }
+
+    #[test]
+    fn receivers_deduplicated_and_sorted() {
+        let v = |r: usize| Violation {
+            predicate: NiPredicate::Rf,
+            culprit: (EventId(0), EventId(r)),
+            expected: (EventId(0), EventId(r)),
+            actual_source: None,
+            receiver: EventId(r),
+        };
+        let vs = vec![v(3), v(1), v(3)];
+        assert_eq!(receivers(&vs), vec![EventId(1), EventId(3)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The speculative semantics of LCMs (§3.3).
+//!
+//! The `tfo` (transient fetch order) relation totally orders all fetched
+//! instructions per thread; `po ⊆ tfo`, and instructions in `tfo \ po` are
+//! *transient*. This module names the speculation primitives the paper
+//! models and carries the microarchitectural capacity parameters that bound
+//! speculative windows in Clou-style analyses (§5, §6).
+
+use std::fmt;
+
+/// A hardware mechanism that opens a window of speculation (§3.3, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpeculationPrimitive {
+    /// Conditional-branch prediction: both branch paths are explored
+    /// speculatively up to the speculation depth (Spectre v1 / v1.1).
+    ConditionalBranch,
+    /// Store-to-load forwarding with unresolved older store addresses: a
+    /// load may read stale data from the correct address (Spectre v4).
+    StoreForwarding,
+    /// Alias prediction / predictive store forwarding: a load may forward
+    /// from a store to a *mismatching* address (Spectre-PSF).
+    AliasPrediction,
+}
+
+impl fmt::Display for SpeculationPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpeculationPrimitive::ConditionalBranch => "conditional branch (PHT)",
+            SpeculationPrimitive::StoreForwarding => "store forwarding (STL)",
+            SpeculationPrimitive::AliasPrediction => "alias prediction (PSF)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Microarchitectural capacity parameters bounding speculation (§5, §6).
+///
+/// The paper's Clou experiments use a 250-entry ROB and 50-entry LSQ by
+/// default; its speculation depth bounds how many instructions are
+/// considered along each mis-speculated branch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationConfig {
+    /// Reorder-buffer capacity: an upper bound on the distance (in fetched
+    /// instructions) between any two simultaneously in-flight events.
+    pub rob_size: usize,
+    /// Load-store-queue capacity: bounds how far a load can bypass older
+    /// stores.
+    pub lsq_size: usize,
+    /// Number of instructions explored along each mis-speculated path.
+    pub speculation_depth: usize,
+}
+
+impl SpeculationConfig {
+    /// The paper's default Clou configuration (ROB 250 / LSQ 50).
+    pub fn new() -> Self {
+        SpeculationConfig { rob_size: 250, lsq_size: 50, speculation_depth: 250 }
+    }
+
+    /// The configuration the paper uses for Binsec/Haunted comparisons
+    /// (ROB 200 / LSQ 20).
+    pub fn haunted() -> Self {
+        SpeculationConfig { rob_size: 200, lsq_size: 20, speculation_depth: 200 }
+    }
+
+    /// Returns a copy with a different speculation depth.
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.speculation_depth = depth;
+        self
+    }
+
+    /// Returns a copy with a different ROB size.
+    #[must_use]
+    pub fn with_rob(mut self, rob: usize) -> Self {
+        self.rob_size = rob;
+        self
+    }
+
+    /// Returns a copy with a different LSQ size.
+    #[must_use]
+    pub fn with_lsq(mut self, lsq: usize) -> Self {
+        self.lsq_size = lsq;
+        self
+    }
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SpeculationConfig::default();
+        assert_eq!(c.rob_size, 250);
+        assert_eq!(c.lsq_size, 50);
+        let bh = SpeculationConfig::haunted();
+        assert_eq!(bh.rob_size, 200);
+        assert_eq!(bh.lsq_size, 20);
+    }
+
+    #[test]
+    fn with_builders_override_fields() {
+        let c = SpeculationConfig::new().with_depth(2).with_rob(64).with_lsq(8);
+        assert_eq!(c.speculation_depth, 2);
+        assert_eq!(c.rob_size, 64);
+        assert_eq!(c.lsq_size, 8);
+    }
+
+    #[test]
+    fn primitive_display() {
+        assert!(SpeculationPrimitive::StoreForwarding.to_string().contains("STL"));
+    }
+}

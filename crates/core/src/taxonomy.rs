@@ -1,0 +1,415 @@
+//! The transmitter taxonomy of §3.2.4 (Table 1).
+//!
+//! | class | pattern |
+//! |---|---|
+//! | address (AT) | `transmit ─rfx→ receiver` |
+//! | data (DT) | `access ─addr→ transmit ─rfx→ receiver` |
+//! | control (CT) | `access ─ctrl→ transmit ─rfx→ receiver` |
+//! | universal data (UDT) | `index ─addr→ access ─addr→ transmit ─rfx→ receiver` |
+//! | universal control (UCT) | `index ─addr→ access ─ctrl→ transmit ─rfx→ receiver` |
+//!
+//! Severity partial order: `AT < CT < {DT, UCT} < UDT`.
+//!
+//! Following §5.3, an `addr` edge in these patterns is generalised to
+//! `(data ; rf)* ; addr`: a read's value may be stored and re-loaded any
+//! number of times before its use in an address computation.
+
+use lcm_relalg::Relation;
+
+use crate::event::{EventId, EventKind};
+use crate::exec::Execution;
+
+/// The class of a transmitter (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TransmitterClass {
+    /// Transmits a function of its own address operand.
+    Address,
+    /// Leaks the outcome of a branch on an access's return value.
+    Control,
+    /// Leaks a function of the data returned by its access instruction.
+    Data,
+    /// Control transmitter whose access is itself addr-steered.
+    UniversalControl,
+    /// Data transmitter whose access is itself addr-steered: can leak
+    /// arbitrary memory.
+    UniversalData,
+}
+
+impl TransmitterClass {
+    /// Rank in the severity partial order (`AT`=0, `CT`=1, `DT`/`UCT`=2,
+    /// `UDT`=3). `DT` and `UCT` are incomparable but share a rank.
+    pub fn severity_rank(self) -> u8 {
+        match self {
+            TransmitterClass::Address => 0,
+            TransmitterClass::Control => 1,
+            TransmitterClass::Data | TransmitterClass::UniversalControl => 2,
+            TransmitterClass::UniversalData => 3,
+        }
+    }
+
+    /// Strict comparison in the paper's severity *partial* order; `None`
+    /// for the incomparable pair `{DT, UCT}` and for equal classes.
+    pub fn compare_severity(self, other: Self) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        if self == other {
+            return Some(Ordering::Equal);
+        }
+        let (a, b) = (self.severity_rank(), other.severity_rank());
+        if a == b {
+            None // DT vs UCT
+        } else {
+            Some(a.cmp(&b))
+        }
+    }
+
+    /// `true` for the universal classes (arbitrary-memory leakage).
+    pub fn is_universal(self) -> bool {
+        matches!(
+            self,
+            TransmitterClass::UniversalData | TransmitterClass::UniversalControl
+        )
+    }
+}
+
+impl std::fmt::Display for TransmitterClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TransmitterClass::Address => "AT",
+            TransmitterClass::Control => "CT",
+            TransmitterClass::Data => "DT",
+            TransmitterClass::UniversalControl => "UCT",
+            TransmitterClass::UniversalData => "UDT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which field of the accessed xstate a transmitter conveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransmittedField {
+    /// The address field (cache hit/miss channels): the common case.
+    Address,
+    /// The data field: silent-store style leakage (§4.2, Fig. 5a), where
+    /// the optimization triggers on a *data* comparison.
+    Data,
+}
+
+/// A classified transmitter instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transmitter {
+    /// The transmitting event (sources `rfx` into the receiver).
+    pub event: EventId,
+    /// Taxonomy class.
+    pub class: TransmitterClass,
+    /// Which xstate field is conveyed.
+    pub field: TransmittedField,
+    /// Whether the transmitter itself is transient.
+    pub transient: bool,
+    /// The receiver it transmits to.
+    pub receiver: EventId,
+    /// The access instruction (for DT/CT/UDT/UCT).
+    pub access: Option<EventId>,
+    /// Whether the access instruction is transient. The leakage scope of a
+    /// universal transmitter with a *committed* access is restricted (§6.1).
+    pub access_transient: bool,
+    /// The index instruction (for UDT/UCT).
+    pub index: Option<EventId>,
+}
+
+/// The generalised address-dependency relation `(data ; rf)* ; addr`
+/// (§5.3).
+pub fn generalized_addr(x: &Execution) -> Relation {
+    let dr = x.data().compose(x.rf());
+    dr.reflexive_transitive_closure().compose(x.addr())
+}
+
+/// Like [`generalized_addr`] but requiring the *final* step to be an
+/// `addr_gep` dependency — used by PHT-style engines to filter benign
+/// leaks where the attacker would have to control a base pointer (§5.2).
+pub fn generalized_addr_gep(x: &Execution) -> Relation {
+    let dr = x.data().compose(x.rf());
+    dr.reflexive_transitive_closure().compose(x.addr_gep())
+}
+
+/// Classifies the transmitters that convey information to `receivers`,
+/// yielding every (transmitter, class, access, index) instance of Table 1.
+///
+/// Classification keeps all derivable records (the paper reports e.g.
+/// instruction 6 of Fig. 2a as simultaneously an AT, DT and candidate
+/// UDT); use [`most_severe`] to reduce per event.
+///
+/// # Examples
+///
+/// ```
+/// use lcm_core::exec::ExecutionBuilder;
+/// use lcm_core::taxonomy::{classify, TransmitterClass};
+///
+/// let mut b = ExecutionBuilder::new();
+/// let access = b.read("A");
+/// let transmit = b.read("B");
+/// b.po(access, transmit);
+/// b.addr_gep(access, transmit);
+/// let receiver = b.observe("B");
+/// b.po(transmit, receiver);
+/// b.rfx(transmit, receiver);
+/// let x = b.build();
+/// let ts = classify(&x, &[receiver]);
+/// assert!(ts.iter().any(|t| t.event == transmit && t.class == TransmitterClass::Data));
+/// ```
+pub fn classify(x: &Execution, receivers: &[EventId]) -> Vec<Transmitter> {
+    let gaddr = generalized_addr(x);
+    let mut out = Vec::new();
+    for &rec in receivers {
+        for t in x.rfx().predecessors(rec.0) {
+            let et = x.event(EventId(t));
+            if et.kind() == EventKind::Init {
+                continue; // ⊤ sourcing a probe is the expected cold case
+            }
+            let transient = et.is_transient();
+            out.push(Transmitter {
+                event: EventId(t),
+                class: TransmitterClass::Address,
+                field: TransmittedField::Address,
+                transient,
+                receiver: rec,
+                access: None,
+                access_transient: false,
+                index: None,
+            });
+            // Data / universal-data chains.
+            for acc in gaddr.predecessors(t) {
+                let ea = x.event(EventId(acc));
+                if !ea.kind().is_arch_read() && !ea.is_transient() {
+                    continue;
+                }
+                out.push(Transmitter {
+                    event: EventId(t),
+                    class: TransmitterClass::Data,
+                    field: TransmittedField::Address,
+                    transient,
+                    receiver: rec,
+                    access: Some(EventId(acc)),
+                    access_transient: ea.is_transient(),
+                    index: None,
+                });
+                for idx in gaddr.predecessors(acc) {
+                    out.push(Transmitter {
+                        event: EventId(t),
+                        class: TransmitterClass::UniversalData,
+                        field: TransmittedField::Address,
+                        transient,
+                        receiver: rec,
+                        access: Some(EventId(acc)),
+                        access_transient: ea.is_transient(),
+                        index: Some(EventId(idx)),
+                    });
+                }
+            }
+            // Control / universal-control chains.
+            for acc in x.ctrl().predecessors(t) {
+                let ea = x.event(EventId(acc));
+                if !ea.kind().is_arch_read() {
+                    continue;
+                }
+                out.push(Transmitter {
+                    event: EventId(t),
+                    class: TransmitterClass::Control,
+                    field: TransmittedField::Address,
+                    transient,
+                    receiver: rec,
+                    access: Some(EventId(acc)),
+                    access_transient: ea.is_transient(),
+                    index: None,
+                });
+                for idx in gaddr.predecessors(acc) {
+                    out.push(Transmitter {
+                        event: EventId(t),
+                        class: TransmitterClass::UniversalControl,
+                        field: TransmittedField::Address,
+                        transient,
+                        receiver: rec,
+                        access: Some(EventId(acc)),
+                        access_transient: ea.is_transient(),
+                        index: Some(EventId(idx)),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reduces a transmitter list to the most severe record per transmitting
+/// event (ties broken toward universal classes).
+pub fn most_severe(ts: &[Transmitter]) -> Vec<Transmitter> {
+    let mut best: std::collections::BTreeMap<EventId, &Transmitter> =
+        std::collections::BTreeMap::new();
+    for t in ts {
+        best.entry(t.event)
+            .and_modify(|cur| {
+                if t.class.severity_rank() > cur.class.severity_rank() {
+                    *cur = t;
+                }
+            })
+            .or_insert(t);
+    }
+    best.into_values().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutionBuilder;
+
+    #[test]
+    fn severity_partial_order_matches_table_1() {
+        use std::cmp::Ordering::*;
+        use TransmitterClass::*;
+        assert_eq!(Address.compare_severity(Control), Some(Less));
+        assert_eq!(Control.compare_severity(Data), Some(Less));
+        assert_eq!(Control.compare_severity(UniversalControl), Some(Less));
+        assert_eq!(Data.compare_severity(UniversalData), Some(Less));
+        assert_eq!(UniversalControl.compare_severity(UniversalData), Some(Less));
+        assert_eq!(Data.compare_severity(UniversalControl), None);
+        assert_eq!(UniversalData.compare_severity(Address), Some(Greater));
+        assert_eq!(Data.compare_severity(Data), Some(Equal));
+    }
+
+    #[test]
+    fn display_abbreviations() {
+        assert_eq!(TransmitterClass::UniversalData.to_string(), "UDT");
+        assert_eq!(TransmitterClass::Address.to_string(), "AT");
+    }
+
+    /// The Fig. 2a chain: R y -addr-> R A+r2 -addr-> R B+r4, each probed.
+    fn spectre_chain() -> (Execution, EventId, EventId, EventId, Vec<EventId>) {
+        let mut b = ExecutionBuilder::new();
+        let e2 = b.read("y");
+        let e5 = b.read("A+y");
+        let e6 = b.read("B+x");
+        b.po_chain(&[e2, e5, e6]);
+        b.addr_gep(e2, e5);
+        b.addr_gep(e5, e6);
+        let o0 = b.observe("y");
+        let o1 = b.observe("A+y");
+        let o2 = b.observe("B+x");
+        b.po_chain(&[e6, o0, o1, o2]);
+        b.rfx(e2, o0);
+        b.rfx(e5, o1);
+        b.rfx(e6, o2);
+        let x = b.build();
+        (x, e2, e5, e6, vec![o0, o1, o2])
+    }
+
+    #[test]
+    fn spectre_chain_classification_matches_paper() {
+        let (x, e2, e5, e6, obs) = spectre_chain();
+        let ts = classify(&x, &obs);
+        let classes_of = |e: EventId| -> Vec<TransmitterClass> {
+            let mut v: Vec<_> = ts.iter().filter(|t| t.event == e).map(|t| t.class).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        // §3.2.4: 2, 5, 6 are ATs; 5 and 6 are DTs; 6 is a candidate UDT.
+        assert_eq!(classes_of(e2), vec![TransmitterClass::Address]);
+        assert_eq!(
+            classes_of(e5),
+            vec![TransmitterClass::Address, TransmitterClass::Data]
+        );
+        assert_eq!(
+            classes_of(e6),
+            vec![
+                TransmitterClass::Address,
+                TransmitterClass::Data,
+                TransmitterClass::UniversalData
+            ]
+        );
+        // The UDT record names 5 as access and 2 as index.
+        let udt = ts
+            .iter()
+            .find(|t| t.event == e6 && t.class == TransmitterClass::UniversalData)
+            .unwrap();
+        assert_eq!(udt.access, Some(e5));
+        assert_eq!(udt.index, Some(e2));
+    }
+
+    #[test]
+    fn control_transmitter_classified() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("secret");
+        let t = b.read("A");
+        b.po(r, t);
+        b.ctrl(r, t);
+        let o = b.observe("A");
+        b.po(t, o);
+        b.rfx(t, o);
+        let x = b.build();
+        let ts = classify(&x, &[o]);
+        assert!(ts
+            .iter()
+            .any(|tr| tr.event == t && tr.class == TransmitterClass::Control && tr.access == Some(r)));
+        assert!(!ts.iter().any(|tr| tr.class == TransmitterClass::UniversalControl));
+    }
+
+    #[test]
+    fn universal_control_needs_addr_into_access() {
+        let mut b = ExecutionBuilder::new();
+        let idx = b.read("p");
+        let acc = b.read("A+p");
+        let t = b.read("B");
+        b.po_chain(&[idx, acc, t]);
+        b.addr_gep(idx, acc);
+        b.ctrl(acc, t);
+        let o = b.observe("B");
+        b.po(t, o);
+        b.rfx(t, o);
+        let x = b.build();
+        let ts = classify(&x, &[o]);
+        let uct = ts
+            .iter()
+            .find(|tr| tr.class == TransmitterClass::UniversalControl)
+            .expect("UCT found");
+        assert_eq!(uct.event, t);
+        assert_eq!(uct.access, Some(acc));
+        assert_eq!(uct.index, Some(idx));
+    }
+
+    #[test]
+    fn generalized_addr_spans_store_reload() {
+        // r -data-> w -rf-> r2 -addr-> t : gaddr(r, t) must hold.
+        let mut b = ExecutionBuilder::new();
+        let r = b.read("x");
+        let w = b.write("spill");
+        let r2 = b.read("spill");
+        let t = b.read("A");
+        b.po_chain(&[r, w, r2, t]);
+        b.data(r, w);
+        b.rf(w, r2);
+        b.addr(r2, t);
+        let x = b.build();
+        let g = generalized_addr(&x);
+        assert!(g.contains(r.0, t.0));
+        assert!(g.contains(r2.0, t.0));
+        // but gep-restricted variant excludes the non-gep final edge
+        assert!(!generalized_addr_gep(&x).contains(r.0, t.0));
+    }
+
+    #[test]
+    fn init_sources_are_not_transmitters() {
+        let mut b = ExecutionBuilder::new();
+        let o = b.observe("y");
+        let x = b.build();
+        assert!(classify(&x, &[o]).is_empty());
+    }
+
+    #[test]
+    fn most_severe_keeps_one_record_per_event() {
+        let (x, _, _, e6, obs) = spectre_chain();
+        let all = classify(&x, &obs);
+        let reduced = most_severe(&all);
+        let e6_records: Vec<_> = reduced.iter().filter(|t| t.event == e6).collect();
+        assert_eq!(e6_records.len(), 1);
+        assert_eq!(e6_records[0].class, TransmitterClass::UniversalData);
+    }
+}

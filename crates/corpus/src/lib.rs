@@ -1,0 +1,150 @@
+//! The evaluation corpus of §6: Spectre litmus suites, crypto-library
+//! stand-ins, and a synthetic library generator.
+//!
+//! | paper workload | here |
+//! |---|---|
+//! | litmus-pht (15, Kocher) | [`litmus_pht`] |
+//! | litmus-stl (14, Binsec/Haunted) | [`litmus_stl`] |
+//! | litmus-fwd (5, Spectre v1.1) | [`litmus_fwd`] |
+//! | litmus-new (2, the paper's own) | [`litmus_new`] |
+//! | tea | [`crypto::tea`] |
+//! | donna / secretbox / ssl3-digest / mee-cbc | [`crypto`] kernels |
+//! | libsodium / OpenSSL | [`synth::synthetic_library`] |
+//!
+//! Every benchmark carries ground-truth annotations (`intended`) so the
+//! harness can compute detection agreement, not just raw counts.
+
+pub mod crypto;
+pub mod synth;
+
+mod suites;
+
+pub use suites::{litmus_fwd, litmus_new, litmus_pht, litmus_stl};
+
+use lcm_ir::Module;
+
+/// What kind of leak a benchmark is intended to contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intended {
+    /// A universal data transmitter reachable via control-flow speculation.
+    PhtUdt,
+    /// Data/control leakage via control-flow speculation (non-universal).
+    PhtDt,
+    /// Leakage via store-to-load forwarding.
+    StlLeak,
+    /// Intended to be secure.
+    Secure,
+    /// No speculative leakage, but classic *non-transient* leakage
+    /// (secret-indexed table lookups): invisible to the Spectre engines,
+    /// caught by dynamic trace-level LCM analysis (`lcm_aeg::trace`).
+    NonTransientLeak,
+    /// Labelled secure by the original benchmark authors but actually
+    /// vulnerable (the STL13 case of §6.1).
+    MislabelledSecure,
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Benchmark id, e.g. `"pht01"`.
+    pub name: &'static str,
+    /// Mini-C source.
+    pub source: String,
+    /// Ground truth.
+    pub intended: Intended,
+}
+
+impl Bench {
+    /// Compiles the benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source fails to compile (a corpus bug).
+    pub fn module(&self) -> Module {
+        lcm_minic::compile(&self.source)
+            .unwrap_or_else(|e| panic!("corpus bench {} failed to compile: {e}", self.name))
+    }
+}
+
+/// All four litmus suites, in paper order.
+pub fn all_litmus() -> Vec<(&'static str, Vec<Bench>)> {
+    vec![
+        ("litmus-pht", litmus_pht()),
+        ("litmus-stl", litmus_stl()),
+        ("litmus-fwd", litmus_fwd()),
+        ("litmus-new", litmus_new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bench_compiles() {
+        for (suite, benches) in all_litmus() {
+            for b in benches {
+                let m = b.module();
+                assert!(
+                    m.public_functions().count() >= 1,
+                    "{suite}/{} has no public function",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(litmus_pht().len(), 15);
+        assert_eq!(litmus_stl().len(), 14);
+        assert_eq!(litmus_fwd().len(), 5);
+        assert_eq!(litmus_new().len(), 2);
+    }
+
+    #[test]
+    fn every_bench_executes_under_the_interpreter() {
+        use lcm_ir::interp::Machine;
+        // Each program must run for in-bounds inputs without errors —
+        // they are real programs, not just analysis fodder.
+        for (suite, benches) in all_litmus() {
+            for b in benches {
+                let m = b.module();
+                let public: Vec<String> =
+                    m.public_functions().map(|f| f.name.clone()).collect();
+                for fname in public {
+                    let arity = m.function(&fname).unwrap().params.len();
+                    // Pointer parameters need real addresses; give them a
+                    // global's base. Others get a small in-bounds index.
+                    let args: Vec<i64> = m
+                        .function(&fname)
+                        .unwrap()
+                        .params
+                        .iter()
+                        .map(|(_, ty)| match ty {
+                            lcm_ir::Ty::Ptr => 1i64 << 32, // first global
+                            lcm_ir::Ty::Int => 1,
+                        })
+                        .collect();
+                    assert_eq!(args.len(), arity);
+                    let mut mach = Machine::new(&m);
+                    mach.call(&fname, &args, 1_000_000).unwrap_or_else(|e| {
+                        panic!("{suite}/{}::{fname} failed to run: {e}", b.name)
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_litmus()
+            .iter()
+            .flat_map(|(_, bs)| bs.iter().map(|b| b.name).collect::<Vec<_>>())
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

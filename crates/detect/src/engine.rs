@@ -1,0 +1,911 @@
+//! The leakage detection engines (§5.3).
+
+use std::time::Instant;
+
+use lcm_aeg::addr::{alias, AliasResult};
+use lcm_aeg::deps::{ctrl_edges, generalized_addr, Gaddr};
+use lcm_aeg::taint::attacker_controlled;
+use lcm_aeg::{EventId, EventKind, Feasibility, Saeg};
+use lcm_core::speculation::{SpeculationConfig, SpeculationPrimitive};
+use lcm_core::taxonomy::TransmitterClass;
+use lcm_ir::{Inst, Module};
+use lcm_relalg::Relation;
+use lcm_sat::Lit;
+
+use crate::report::{Finding, FunctionReport, ModuleReport};
+
+/// Which speculation primitive an engine considers (§5.3): Clou-pht and
+/// Clou-stl "differ only with regard to the speculation primitives they
+/// consider".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Control-flow speculation: Spectre v1 / v1.1.
+    Pht,
+    /// Store-to-load forwarding: Spectre v4.
+    Stl,
+    /// **Extension** (beyond Clou's two engines): predictive store
+    /// forwarding / alias prediction — a load may forward from an older
+    /// store to a *mismatching* address (Spectre-PSF, §3.3 / Fig. 4b).
+    Psf,
+}
+
+/// Detector configuration (Fig. 6's "configuration parameters").
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// ROB / LSQ / speculation-depth capacities. Paper default: 250/50.
+    pub spec: SpeculationConfig,
+    /// Sliding-window size `W_size` (§6.2.1): chain members must lie
+    /// within this many instructions of the transmitter.
+    pub window: usize,
+    /// Report only this transmitter class (the paper runs Clou once per
+    /// class of interest); `None` reports every class.
+    pub target_class: Option<TransmitterClass>,
+    /// PHT benign-leak filter: the first `addr` dependency of a universal
+    /// pattern must be `addr_gep` (§5.3). Never applied to STL.
+    pub gep_filter: bool,
+    /// §6.2.1: ignore universal patterns whose access instruction is
+    /// non-transient when searching UDTs/UCTs — classify them as DTs/CTs.
+    pub universal_needs_transient_access: bool,
+    /// **Extension** (§7: "adding support for secrecy labels to Clou can
+    /// help filter benign DTs/CTs"): keep only findings whose access may
+    /// read memory marked secret (globals named `sec*` / `*secret*` /
+    /// `*key*` in mini-C, or any unresolvable pointer).
+    pub secret_filter: bool,
+    /// **Extension** (the "new attack variant" of §6.1 / speculative
+    /// interference): also report transient instructions that warm a cache
+    /// line for a same-address committed load (an rf-NI violation whose
+    /// receiver is architectural).
+    pub detect_interference: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            spec: SpeculationConfig::default(),
+            window: 250,
+            target_class: None,
+            gep_filter: true,
+            universal_needs_transient_access: true,
+            secret_filter: false,
+            detect_interference: false,
+        }
+    }
+}
+
+/// The Clou-style detector: builds S-AEGs and runs a leakage detection
+/// engine over each public function.
+#[derive(Debug, Clone, Default)]
+pub struct Detector {
+    config: DetectorConfig,
+}
+
+impl Detector {
+    /// A detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        Detector { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Analyzes every public function of the module with one engine.
+    pub fn analyze_module(&self, module: &Module, engine: EngineKind) -> ModuleReport {
+        let mut out = ModuleReport::default();
+        for f in module.public_functions() {
+            out.functions.push(self.analyze_function(module, &f.name, engine));
+        }
+        out
+    }
+
+    /// Analyzes a single function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function does not exist or has irreducible control
+    /// flow (our front end cannot produce either).
+    pub fn analyze_function(
+        &self,
+        module: &Module,
+        fname: &str,
+        engine: EngineKind,
+    ) -> FunctionReport {
+        let start = Instant::now();
+        let saeg = Saeg::build(module, fname, self.config.spec).expect("A-CFG construction");
+        let mut findings = self.analyze_saeg(&saeg, engine);
+        if self.config.secret_filter {
+            findings.retain(|f| secret_relevant(module, &saeg, f));
+        }
+        findings.sort_by_key(|f| std::cmp::Reverse(f.class.severity_rank()));
+        FunctionReport {
+            name: fname.to_string(),
+            transmitters: findings,
+            saeg_size: saeg.events.len(),
+            runtime: start.elapsed(),
+        }
+    }
+
+    /// Runs one engine over an already-built S-AEG.
+    pub fn analyze_saeg(&self, saeg: &Saeg, engine: EngineKind) -> Vec<Finding> {
+        let gaddr = generalized_addr(saeg);
+        let ctrl = ctrl_edges(saeg);
+        let mut feas = Feasibility::new(saeg);
+        let mut raw = match engine {
+            EngineKind::Pht => self.run_pht(saeg, &gaddr, &ctrl, &mut feas),
+            EngineKind::Stl => self.run_stl(saeg, &gaddr, &ctrl, &mut feas),
+            EngineKind::Psf => self.run_psf(saeg, &gaddr, &mut feas),
+        };
+        // Deduplicate by (transmitter, class, primitive); keep first.
+        let mut seen = std::collections::HashSet::new();
+        raw.retain(|f| seen.insert(f.key()));
+        if let Some(c) = self.config.target_class {
+            raw.retain(|f| f.class == c);
+        }
+        raw
+    }
+
+    fn within_window(&self, saeg: &Saeg, a: EventId, t: EventId) -> bool {
+        let (pa, pt) = (saeg.events[a.0].pos, saeg.events[t.0].pos);
+        pt >= pa && pt - pa <= self.config.window
+    }
+
+    /// PHT engine: for each conditional branch and misprediction
+    /// direction, the attacker poisons the predictor (§3.3) and every
+    /// event in the speculative window may execute transiently.
+    fn run_pht(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        ctrl: &Relation,
+        feas: &mut Feasibility,
+    ) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for br in &saeg.branches {
+            let Some(dec) = feas.decision_lit(br.block) else { continue };
+            for mispredict_then in [true, false] {
+                // Architectural direction is the opposite of the
+                // mispredicted fetch direction.
+                let arch_dir = if mispredict_then { !dec } else { dec };
+                let base_req = vec![feas.arch_lit(br.block), arch_dir];
+                if !feas.check(&base_req) {
+                    continue;
+                }
+                let window = saeg.spec_window(br, mispredict_then);
+                let in_window =
+                    |e: EventId| window.binary_search(&e).is_ok();
+                for &t in &window {
+                    let te = &saeg.events[t.0];
+                    if te.kind == EventKind::Fence {
+                        continue;
+                    }
+                    // --- data chains: access -gaddr-> t ---
+                    for access in gaddr.plain.predecessors(t.0).map(EventId) {
+                        if access == t || !self.within_window(saeg, access, t) {
+                            continue;
+                        }
+                        let access_transient = in_window(access);
+                        if !access_transient && !saeg.precedes(access, t) {
+                            continue;
+                        }
+                        let mut req = base_req.clone();
+                        if !access_transient {
+                            req.push(feas.arch_lit(saeg.events[access.0].block));
+                        }
+                        if !feas.check(&req) {
+                            continue;
+                        }
+                        out.extend(self.classify_data(
+                            saeg, gaddr, feas, &req, br.block, t, access, access_transient,
+                            SpeculationPrimitive::ConditionalBranch,
+                            None,
+                        ));
+                    }
+                    // --- extension: speculative-interference DT (§6.1's
+                    // "new attack variant"): the transient t warms the
+                    // line of a committed same-address load, whose
+                    // hit/miss then reveals t's (secret-derived) address.
+                    if self.config.detect_interference {
+                        out.extend(self.interference_findings(
+                            saeg, gaddr, feas, &base_req, br.block, t,
+                        ));
+                    }
+                    // --- control chains: access -ctrl-> t ---
+                    for access in ctrl.predecessors(t.0).map(EventId) {
+                        if access == t || !self.within_window(saeg, access, t) {
+                            continue;
+                        }
+                        let access_transient = in_window(access);
+                        let mut req = base_req.clone();
+                        if !access_transient {
+                            req.push(feas.arch_lit(saeg.events[access.0].block));
+                        }
+                        if !feas.check(&req) {
+                            continue;
+                        }
+                        out.extend(self.classify_ctrl(
+                            saeg, gaddr, feas, &req, br.block, t, access, access_transient,
+                            SpeculationPrimitive::ConditionalBranch,
+                            None,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// STL engine: a load may bypass an older same-address store whose
+    /// address has not resolved (§3.3), forwarding stale data into the
+    /// transmitter chain.
+    fn run_stl(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        ctrl: &Relation,
+        feas: &mut Feasibility,
+    ) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
+        let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
+        for &l in &loads {
+            let le = &saeg.events[l.0];
+            // Find a bypassable older store to a may/must-aliasing address.
+            let mut bypassed: Option<EventId> = None;
+            for &s in &stores {
+                if s == l || !saeg.precedes(s, l) {
+                    continue;
+                }
+                let se = &saeg.events[s.0];
+                if saeg.events[l.0].pos - se.pos > self.config.spec.lsq_size {
+                    continue;
+                }
+                let a = match (se.addr, le.addr) {
+                    (Some(x), Some(y)) => alias(x, y),
+                    _ => AliasResult::May, // havoc side
+                };
+                if a == AliasResult::No {
+                    continue;
+                }
+                if saeg.always_fenced_between(s, l) {
+                    continue;
+                }
+                bypassed = Some(s);
+                break;
+            }
+            let Some(s) = bypassed else { continue };
+            let base_req = vec![
+                feas.arch_lit(saeg.events[s.0].block),
+                feas.arch_lit(saeg.events[l.0].block),
+            ];
+            if !feas.check(&base_req) {
+                continue;
+            }
+            // Stale value of l flows to transmitters. The stale read is a
+            // transient access (its value is squashed on re-execution).
+            for t in gaddr.plain.successors(l.0).map(EventId) {
+                if t == l || !self.within_window(saeg, l, t) || !saeg.precedes(l, t) {
+                    continue;
+                }
+                let mut req = base_req.clone();
+                req.push(feas.arch_lit(saeg.events[t.0].block));
+                if !feas.check(&req) {
+                    continue;
+                }
+                // DT: t leaks l's stale data directly.
+                out.push(self.finding(
+                    saeg, feas, &req, t, TransmitterClass::Data, true, Some(l), true, None,
+                    SpeculationPrimitive::StoreForwarding, None, Some(s),
+                ));
+                // UDT: l -> access(t') -> transmit(t''): here t is the
+                // access whose address carries stale data; its value
+                // steers a further transmitter.
+                for t2 in gaddr.plain.successors(t.0).map(EventId) {
+                    if t2 == t || !self.within_window(saeg, t, t2) || !saeg.precedes(t, t2) {
+                        continue;
+                    }
+                    let mut req2 = req.clone();
+                    req2.push(feas.arch_lit(saeg.events[t2.0].block));
+                    if !feas.check(&req2) {
+                        continue;
+                    }
+                    out.push(self.finding(
+                        saeg, feas, &req2, t2, TransmitterClass::UniversalData, true, Some(t),
+                        true, Some(l), SpeculationPrimitive::StoreForwarding, None, Some(s),
+                    ));
+                }
+                // UCT: t's value steers a branch shadowing a transmitter.
+                for t2 in ctrl.successors(t.0).map(EventId) {
+                    if t2 == t || !self.within_window(saeg, t, t2) {
+                        continue;
+                    }
+                    let mut req2 = req.clone();
+                    req2.push(feas.arch_lit(saeg.events[t2.0].block));
+                    if !feas.check(&req2) {
+                        continue;
+                    }
+                    out.push(self.finding(
+                        saeg, feas, &req2, t2, TransmitterClass::UniversalControl, false,
+                        Some(t), true, Some(l), SpeculationPrimitive::StoreForwarding, None,
+                        Some(s),
+                    ));
+                }
+            }
+            // CT: the stale value feeds a branch condition whose shadow
+            // contains a transmitter.
+            for t in ctrl.successors(l.0).map(EventId) {
+                if t == l || !self.within_window(saeg, l, t) {
+                    continue;
+                }
+                let mut req = base_req.clone();
+                req.push(feas.arch_lit(saeg.events[t.0].block));
+                if !feas.check(&req) {
+                    continue;
+                }
+                out.push(self.finding(
+                    saeg, feas, &req, t, TransmitterClass::Control, false, Some(l), true, None,
+                    SpeculationPrimitive::StoreForwarding, None, Some(s),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Extension: findings where a transient event `t` fills the cache
+    /// line of a committed same-address load `e` (whose architectural
+    /// `rf` partner is not `t` — an rf-NI violation with an architectural
+    /// receiver). Emitted as DTs when `t`'s address carries data.
+    fn interference_findings(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        feas: &mut Feasibility,
+        base_req: &[Lit],
+        branch: lcm_ir::BlockId,
+        t: EventId,
+    ) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let te = &saeg.events[t.0];
+        let Some(t_addr) = te.addr else { return out };
+        for e in saeg.loads() {
+            if e.id == t {
+                continue;
+            }
+            let Some(e_addr) = e.addr else { continue };
+            if alias(t_addr, e_addr) == AliasResult::No {
+                continue;
+            }
+            let mut req = base_req.to_vec();
+            req.push(feas.arch_lit(e.block));
+            if !feas.check(&req) {
+                continue;
+            }
+            for access in gaddr.plain.predecessors(t.0).map(EventId) {
+                if access == t {
+                    continue;
+                }
+                let mut f = self.finding(
+                    saeg, feas, &req, t, TransmitterClass::Data, true, Some(access), true,
+                    None, SpeculationPrimitive::ConditionalBranch, Some(branch), None,
+                );
+                f.interference = true;
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    /// PSF engine (extension): alias prediction forwards an older store's
+    /// data to a load of a **mismatching** address (Fig. 4b). Any older
+    /// in-LSQ store is a forwarding candidate — including ones the alias
+    /// oracle proves distinct, which is exactly what distinguishes PSF
+    /// from ordinary store forwarding.
+    fn run_psf(&self, saeg: &Saeg, gaddr: &Gaddr, feas: &mut Feasibility) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
+        let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
+        for &l in &loads {
+            for &s in &stores {
+                if s == l || !saeg.precedes(s, l) {
+                    continue;
+                }
+                let se = &saeg.events[s.0];
+                if saeg.events[l.0].pos - se.pos > self.config.spec.lsq_size {
+                    continue;
+                }
+                // The interesting PSF pairs are the ones ordinary STL
+                // excludes: provably different addresses.
+                let a = match (se.addr, saeg.events[l.0].addr) {
+                    (Some(x), Some(y)) => alias(x, y),
+                    _ => AliasResult::May,
+                };
+                if a != AliasResult::No {
+                    continue; // covered by the STL engine
+                }
+                if saeg.always_fenced_between(s, l) {
+                    continue;
+                }
+                let base_req = vec![
+                    feas.arch_lit(se.block),
+                    feas.arch_lit(saeg.events[l.0].block),
+                ];
+                if !feas.check(&base_req) {
+                    continue;
+                }
+                // The mispredicted forward gives l the *store's data*; any
+                // transmitter whose address chains from l leaks it.
+                for t in gaddr.plain.successors(l.0).map(EventId) {
+                    if t == l || !self.within_window(saeg, l, t) || !saeg.precedes(l, t) {
+                        continue;
+                    }
+                    let mut req = base_req.clone();
+                    req.push(feas.arch_lit(saeg.events[t.0].block));
+                    if !feas.check(&req) {
+                        continue;
+                    }
+                    out.push(self.finding(
+                        saeg, feas, &req, t, TransmitterClass::Data, true, Some(l), true, None,
+                        SpeculationPrimitive::AliasPrediction, None, Some(s),
+                    ));
+                    for t2 in gaddr.plain.successors(t.0).map(EventId) {
+                        if t2 == t || !self.within_window(saeg, t, t2) || !saeg.precedes(t, t2) {
+                            continue;
+                        }
+                        let mut req2 = req.clone();
+                        req2.push(feas.arch_lit(saeg.events[t2.0].block));
+                        if !feas.check(&req2) {
+                            continue;
+                        }
+                        out.push(self.finding(
+                            saeg, feas, &req2, t2, TransmitterClass::UniversalData, true,
+                            Some(t), true, Some(l),
+                            SpeculationPrimitive::AliasPrediction, None, Some(s),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Emits DT and (if steerable) UDT findings for a data chain.
+    #[allow(clippy::too_many_arguments)]
+    fn classify_data(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        feas: &mut Feasibility,
+        req: &[Lit],
+        branch: lcm_ir::BlockId,
+        t: EventId,
+        access: EventId,
+        access_transient: bool,
+        primitive: SpeculationPrimitive,
+        bypassed: Option<EventId>,
+    ) -> Vec<Finding> {
+        let mut out = vec![self.finding(
+            saeg, feas, req, t, TransmitterClass::Data, true, Some(access), access_transient,
+            None, primitive, Some(branch), bypassed,
+        )];
+        // Universal upgrade: an index steers the access.
+        let index_rel = if self.config.gep_filter { &gaddr.gep } else { &gaddr.plain };
+        let steerable = self.access_steerable(saeg, access);
+        if steerable && (!self.config.universal_needs_transient_access || access_transient) {
+            for index in index_rel.predecessors(access.0).map(EventId) {
+                if index == access || !self.within_window(saeg, index, t) {
+                    continue;
+                }
+                out.push(self.finding(
+                    saeg, feas, req, t, TransmitterClass::UniversalData, true, Some(access),
+                    access_transient, Some(index), primitive, Some(branch), bypassed,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Emits CT and (if steerable) UCT findings for a control chain.
+    #[allow(clippy::too_many_arguments)]
+    fn classify_ctrl(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        feas: &mut Feasibility,
+        req: &[Lit],
+        branch: lcm_ir::BlockId,
+        t: EventId,
+        access: EventId,
+        access_transient: bool,
+        primitive: SpeculationPrimitive,
+        bypassed: Option<EventId>,
+    ) -> Vec<Finding> {
+        let mut out = vec![self.finding(
+            saeg, feas, req, t, TransmitterClass::Control, true, Some(access), access_transient,
+            None, primitive, Some(branch), bypassed,
+        )];
+        let index_rel = if self.config.gep_filter { &gaddr.gep } else { &gaddr.plain };
+        let steerable = self.access_steerable(saeg, access);
+        if steerable && (!self.config.universal_needs_transient_access || access_transient) {
+            for index in index_rel.predecessors(access.0).map(EventId) {
+                if index == access || !self.within_window(saeg, index, t) {
+                    continue;
+                }
+                out.push(self.finding(
+                    saeg, feas, req, t, TransmitterClass::UniversalControl, true, Some(access),
+                    access_transient, Some(index), primitive, Some(branch), bypassed,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Taint filter (§5.3): can the attacker steer the access's address
+    /// toward arbitrary memory?
+    fn access_steerable(&self, saeg: &Saeg, access: EventId) -> bool {
+        let e = &saeg.events[access.0];
+        match saeg.acfg.inst(e.inst) {
+            Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
+                attacker_controlled(&saeg.acfg, *addr)
+            }
+            Inst::Havoc { .. } => true,
+            _ => false,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finding(
+        &self,
+        saeg: &Saeg,
+        feas: &mut Feasibility,
+        req: &[Lit],
+        t: EventId,
+        class: TransmitterClass,
+        transient_transmitter: bool,
+        access: Option<EventId>,
+        access_transient: bool,
+        index: Option<EventId>,
+        primitive: SpeculationPrimitive,
+        branch: Option<lcm_ir::BlockId>,
+        bypassed_store: Option<EventId>,
+    ) -> Finding {
+        Finding {
+            function: saeg.fname.clone(),
+            transmitter: t,
+            transmitter_inst: saeg.events[t.0].inst,
+            class,
+            transient_transmitter,
+            access,
+            access_transient,
+            index,
+            primitive,
+            branch,
+            bypassed_store,
+            interference: false,
+            witness_path: feas.witness_path(req).unwrap_or_default(),
+        }
+    }
+}
+
+/// Whether a finding's access may read secret-marked memory (extension:
+/// the secrecy-label filter of §7). `Unknown` regions (unresolvable
+/// pointers) are conservatively secret-reaching.
+pub fn secret_relevant(module: &Module, saeg: &Saeg, f: &Finding) -> bool {
+    use lcm_aeg::addr::Region;
+    let probe = f.access.unwrap_or(f.transmitter);
+    match saeg.events[probe.0].addr.map(|a| a.region) {
+        Some(Region::Global(g)) => module
+            .globals
+            .get(g as usize)
+            .is_some_and(|gl| gl.secret),
+        Some(Region::Alloca(_)) => false,
+        Some(Region::Unknown) | None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pht(src: &str) -> ModuleReport {
+        let m = lcm_minic::compile(src).unwrap();
+        Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht)
+    }
+
+    fn stl(src: &str) -> ModuleReport {
+        let m = lcm_minic::compile(src).unwrap();
+        Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Stl)
+    }
+
+    const SPECTRE_V1: &str = r#"
+        int A[16]; int B[256]; int size_A; int tmp;
+        void victim(int y) {
+            if (y < size_A) {
+                tmp &= B[A[y]];
+            }
+        }"#;
+
+    #[test]
+    fn spectre_v1_found_by_pht() {
+        let r = pht(SPECTRE_V1);
+        assert!(r.count(TransmitterClass::UniversalData) >= 1, "UDT found");
+        assert!(r.count(TransmitterClass::Data) >= 1, "DTs found");
+        assert!(r.count(TransmitterClass::Control) >= 1, "CTs found");
+        let udt = r
+            .findings()
+            .find(|f| f.class == TransmitterClass::UniversalData)
+            .unwrap();
+        assert!(udt.transient_transmitter);
+        assert!(udt.access_transient, "v1's access is transient");
+        assert_eq!(udt.primitive, SpeculationPrimitive::ConditionalBranch);
+        assert!(udt.branch.is_some());
+        assert!(!udt.witness_path.is_empty());
+    }
+
+    #[test]
+    fn spectre_v1_variant_access_committed() {
+        // Fig. 3: x = A[y] before the bounds check; access commits, so the
+        // universal pattern is downgraded to DT under the §6.2.1
+        // restriction (still detected as UDT with the restriction off).
+        let src = r#"
+            int A[16]; int B[256]; int size_A; int tmp;
+            void victim(int y) {
+                int x = A[y];
+                if (y < size_A) {
+                    tmp &= B[x];
+                }
+            }"#;
+        let restricted = pht(src);
+        assert!(restricted.count(TransmitterClass::Data) >= 1);
+        let m = lcm_minic::compile(src).unwrap();
+        let relaxed = Detector::new(DetectorConfig {
+            universal_needs_transient_access: false,
+            ..DetectorConfig::default()
+        })
+        .analyze_module(&m, EngineKind::Pht);
+        assert!(relaxed.count(TransmitterClass::UniversalData) >= 1);
+        let udt = relaxed
+            .findings()
+            .find(|f| f.class == TransmitterClass::UniversalData)
+            .unwrap();
+        assert!(!udt.access_transient, "Fig. 3's access commits");
+    }
+
+    #[test]
+    fn safe_function_is_clean() {
+        let r = pht("int A[16]; int t; void safe(int y) { t = A[0] + A[1]; }");
+        assert!(r.is_clean());
+        let r = stl("int A[16]; int t; void safe(int y) { t = A[0] + A[1]; }");
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn fenced_spectre_v1_is_clean() {
+        let src = r#"
+            int A[16]; int B[256]; int size_A; int tmp;
+            void victim(int y) {
+                if (y < size_A) {
+                    lfence();
+                    tmp &= B[A[y]];
+                }
+            }"#;
+        let r = pht(src);
+        assert_eq!(r.count(TransmitterClass::UniversalData), 0);
+        assert_eq!(r.count(TransmitterClass::Data), 0);
+    }
+
+    #[test]
+    fn spectre_v4_found_by_stl_not_pht() {
+        // STL01-style: the spilled parameter's reload can bypass its spill
+        // store... make it explicit with an idx stored then reloaded.
+        let src = r#"
+            int A[16]; int B[256]; int pub_ary[256]; int sec[16]; int tmp;
+            void case_1(int idx) {
+                int ridx = idx & 15;
+                sec[ridx] = 0;
+                tmp &= pub_ary[sec[ridx]];
+            }"#;
+        let r = stl(src);
+        assert!(
+            r.count(TransmitterClass::Data) + r.count(TransmitterClass::UniversalData) >= 1,
+            "STL leak found: {:?}",
+            r.findings().collect::<Vec<_>>()
+        );
+        let f = r.findings().next().unwrap();
+        assert_eq!(f.primitive, SpeculationPrimitive::StoreForwarding);
+        assert!(f.bypassed_store.is_some());
+    }
+
+    #[test]
+    fn target_class_filters_results() {
+        let m = lcm_minic::compile(SPECTRE_V1).unwrap();
+        let only_udt = Detector::new(DetectorConfig {
+            target_class: Some(TransmitterClass::UniversalData),
+            ..DetectorConfig::default()
+        })
+        .analyze_module(&m, EngineKind::Pht);
+        assert!(only_udt.findings().all(|f| f.class == TransmitterClass::UniversalData));
+        assert!(only_udt.count(TransmitterClass::UniversalData) >= 1);
+    }
+
+    #[test]
+    fn shallow_speculation_depth_misses_deep_transmitters() {
+        let m = lcm_minic::compile(SPECTRE_V1).unwrap();
+        let shallow = Detector::new(DetectorConfig {
+            spec: SpeculationConfig::default().with_depth(1),
+            ..DetectorConfig::default()
+        })
+        .analyze_module(&m, EngineKind::Pht);
+        let deep = Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
+        assert!(
+            shallow.count(TransmitterClass::UniversalData)
+                <= deep.count(TransmitterClass::UniversalData)
+        );
+    }
+
+    #[test]
+    fn both_branch_directions_considered() {
+        // The leak sits on the else-side: misprediction toward else.
+        let src = r#"
+            int A[16]; int B[256]; int size_A; int tmp;
+            void victim(int y) {
+                if (y >= size_A) { tmp = 0; } else { tmp &= B[A[y]]; }
+            }"#;
+        let r = pht(src);
+        assert!(r.count(TransmitterClass::UniversalData) >= 1);
+    }
+
+    #[test]
+    fn runtime_and_size_recorded() {
+        let r = pht(SPECTRE_V1);
+        let f = &r.functions[0];
+        assert!(f.saeg_size > 0);
+    }
+
+    /// A PSF-only gadget (Fig. 4b shape): the store and the leaking load
+    /// provably never alias, so ordinary STL cannot forward — only alias
+    /// prediction can.
+    const PSF_GADGET: &str = r#"
+        int C[2]; int A[4096]; int B[4096]; int tmp;
+        void psf_victim(register int y) {
+            C[0] = 64;
+            tmp &= B[A[C[1] * y]];
+        }"#;
+
+    #[test]
+    fn psf_engine_finds_alias_prediction_leak() {
+        let m = lcm_minic::compile(PSF_GADGET).unwrap();
+        let det = Detector::new(DetectorConfig::default());
+        let stl = det.analyze_module(&m, EngineKind::Stl);
+        let psf = det.analyze_module(&m, EngineKind::Psf);
+        assert!(
+            stl.is_clean(),
+            "constant indices never alias: STL stays clean, got {:?}",
+            stl.findings().collect::<Vec<_>>()
+        );
+        assert!(!psf.is_clean(), "PSF forwards across mismatching addresses");
+        let f = psf.findings().next().unwrap();
+        assert_eq!(f.primitive, SpeculationPrimitive::AliasPrediction);
+        assert!(f.bypassed_store.is_some());
+        assert!(
+            psf.count(TransmitterClass::UniversalData) >= 1,
+            "the C[1]-load steers A, which steers B: a UDT"
+        );
+    }
+
+    #[test]
+    fn psf_engine_respects_fences() {
+        let fenced = r#"
+            int C[2]; int A[4096]; int B[4096]; int tmp;
+            void psf_victim(register int y) {
+                C[0] = 64;
+                lfence();
+                tmp &= B[A[C[1] * y]];
+            }"#;
+        let m = lcm_minic::compile(fenced).unwrap();
+        let det = Detector::new(DetectorConfig::default());
+        assert!(det.analyze_module(&m, EngineKind::Psf).is_clean());
+    }
+
+    #[test]
+    fn secret_filter_keeps_secret_touching_chains_only() {
+        // Two gadgets: one reads a secret-marked array, one a public one.
+        let src = r#"
+            int sec_table[16]; int pub_table[16]; int B[4096];
+            int size; int tmp;
+            void secret_victim(int x) {
+                if (x < size)
+                    tmp &= B[sec_table[x] * 512];
+            }
+            void public_victim(int x) {
+                if (x < size)
+                    tmp &= B[pub_table[x] * 512];
+            }"#;
+        let m = lcm_minic::compile(src).unwrap();
+        let filtered = Detector::new(DetectorConfig {
+            secret_filter: true,
+            ..DetectorConfig::default()
+        })
+        .analyze_module(&m, EngineKind::Pht);
+        let sec = filtered.functions.iter().find(|f| f.name == "secret_victim").unwrap();
+        let pb = filtered.functions.iter().find(|f| f.name == "public_victim").unwrap();
+        assert!(
+            sec.transmitters.iter().any(|f| f.class == TransmitterClass::UniversalData),
+            "secret-reading UDT survives the filter"
+        );
+        assert!(
+            pb.transmitters
+                .iter()
+                .filter(|f| f.class == TransmitterClass::UniversalData)
+                .all(|f| {
+                    // Any surviving UDT must not have a resolved public
+                    // access region.
+                    f.access.is_none()
+                }),
+            "public-only UDT chains are filtered: {:?}",
+            pb.transmitters
+        );
+        // The unfiltered run flags both.
+        let unfiltered =
+            Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
+        let pb_all = unfiltered.functions.iter().find(|f| f.name == "public_victim").unwrap();
+        assert!(pb_all.transmitters.iter().any(|f| f.class == TransmitterClass::UniversalData));
+    }
+
+    /// §6.2.1's completeness guarantee: "As long as addr dependencies span
+    /// less than W_size instructions, Clou is only at risk of
+    /// mis-classifying some universal transmitters as vanilla DTs/CTs; it
+    /// will not miss them entirely."
+    #[test]
+    fn small_window_downgrades_but_does_not_lose_transmitters() {
+        // Pad the index → access distance with filler accesses so the
+        // universal chain spans more than the shrunken window.
+        let src = r#"
+            int A[16]; int B[4096]; int F[64]; int size; int tmp;
+            void victim(int y) {
+                if (y < size) {
+                    int x = A[y];
+                    tmp ^= F[0]; tmp ^= F[1]; tmp ^= F[2]; tmp ^= F[3];
+                    tmp ^= F[4]; tmp ^= F[5]; tmp ^= F[6]; tmp ^= F[7];
+                    tmp &= B[x * 512];
+                }
+            }"#;
+        let m = lcm_minic::compile(src).unwrap();
+        let full = Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
+        assert!(full.count(TransmitterClass::UniversalData) >= 1);
+        let shrunk = Detector::new(DetectorConfig { window: 6, ..DetectorConfig::default() })
+            .analyze_module(&m, EngineKind::Pht);
+        assert_eq!(
+            shrunk.count(TransmitterClass::UniversalData),
+            0,
+            "chain no longer fits the window"
+        );
+        assert!(
+            shrunk.count(TransmitterClass::Data) >= 1,
+            "…but the transmitter is still reported, as a DT (§6.2.1)"
+        );
+    }
+
+    #[test]
+    fn interference_variant_detected_when_enabled() {
+        // The transient A-load warms the line that the committed
+        // join-block load of A[0] then reads: the "new DT variant".
+        let src = r#"
+            int A[4096]; int idx_tbl[16]; int size; int tmp;
+            void victim(int x) {
+                if (x < size) {
+                    tmp &= A[idx_tbl[x] * 16];
+                }
+                tmp &= A[0];
+            }"#;
+        let m = lcm_minic::compile(src).unwrap();
+        let with = Detector::new(DetectorConfig {
+            detect_interference: true,
+            ..DetectorConfig::default()
+        })
+        .analyze_module(&m, EngineKind::Pht);
+        assert!(with.findings().any(|f| f.interference));
+        let without =
+            Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
+        assert!(without.findings().all(|f| !f.interference));
+    }
+}

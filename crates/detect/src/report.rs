@@ -1,0 +1,158 @@
+//! Detection results.
+
+use std::time::Duration;
+
+use lcm_aeg::EventId;
+use lcm_core::speculation::SpeculationPrimitive;
+use lcm_core::taxonomy::TransmitterClass;
+use lcm_ir::{BlockId, InstId};
+
+/// One detected transmitter instance (a witness of leakage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Function the leak lives in.
+    pub function: String,
+    /// The transmitting event.
+    pub transmitter: EventId,
+    /// IR instruction of the transmitter.
+    pub transmitter_inst: InstId,
+    /// Taxonomy class (Table 1).
+    pub class: TransmitterClass,
+    /// Whether the transmitter executes transiently in the witness.
+    pub transient_transmitter: bool,
+    /// The access instruction (DT/CT/UDT/UCT).
+    pub access: Option<EventId>,
+    /// Whether the access executes transiently (restricts leakage scope
+    /// when false, §6.1).
+    pub access_transient: bool,
+    /// The index instruction (UDT/UCT).
+    pub index: Option<EventId>,
+    /// The speculation primitive exploited.
+    pub primitive: SpeculationPrimitive,
+    /// PHT: the mispredicted branch's block.
+    pub branch: Option<BlockId>,
+    /// STL: the bypassed store.
+    pub bypassed_store: Option<EventId>,
+    /// Extension: `true` for speculative-interference findings, where the
+    /// receiver is a *committed* load whose line the transient transmitter
+    /// warmed (§6.1's "new attack variant").
+    pub interference: bool,
+    /// Blocks of the witnessing architectural path.
+    pub witness_path: Vec<BlockId>,
+}
+
+impl Finding {
+    /// Deduplication key: one finding per distinct chain
+    /// (transmitter, class, primitive, access, index, interference).
+    #[allow(clippy::type_complexity)]
+    pub fn key(
+        &self,
+    ) -> (u32, TransmitterClass, SpeculationPrimitive, Option<EventId>, Option<EventId>, bool)
+    {
+        (
+            self.transmitter_inst.0,
+            self.class,
+            self.primitive,
+            self.access,
+            self.index,
+            self.interference,
+        )
+    }
+}
+
+/// Per-function analysis result.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Findings, most severe first.
+    pub transmitters: Vec<Finding>,
+    /// S-AEG node count (Fig. 8's size axis).
+    pub saeg_size: usize,
+    /// Serial analysis runtime.
+    pub runtime: Duration,
+}
+
+impl FunctionReport {
+    /// Count of findings at exactly the given class.
+    pub fn count(&self, class: TransmitterClass) -> usize {
+        self.transmitters.iter().filter(|f| f.class == class).count()
+    }
+
+    /// `true` if no leakage was found.
+    pub fn is_clean(&self) -> bool {
+        self.transmitters.is_empty()
+    }
+}
+
+/// Whole-module analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleReport {
+    /// Per-function reports, in module order.
+    pub functions: Vec<FunctionReport>,
+}
+
+impl ModuleReport {
+    /// Total findings of a class across functions.
+    pub fn count(&self, class: TransmitterClass) -> usize {
+        self.functions.iter().map(|f| f.count(class)).sum()
+    }
+
+    /// Total serial runtime.
+    pub fn total_runtime(&self) -> Duration {
+        self.functions.iter().map(|f| f.runtime).sum()
+    }
+
+    /// All findings flattened.
+    pub fn findings(&self) -> impl Iterator<Item = &Finding> {
+        self.functions.iter().flat_map(|f| f.transmitters.iter())
+    }
+
+    /// `true` if no function leaks.
+    pub fn is_clean(&self) -> bool {
+        self.functions.iter().all(FunctionReport::is_clean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(class: TransmitterClass) -> Finding {
+        Finding {
+            function: "f".into(),
+            transmitter: EventId(0),
+            transmitter_inst: InstId(0),
+            class,
+            transient_transmitter: true,
+            access: None,
+            access_transient: false,
+            index: None,
+            primitive: SpeculationPrimitive::ConditionalBranch,
+            branch: None,
+            bypassed_store: None,
+            interference: false,
+            witness_path: vec![],
+        }
+    }
+
+    #[test]
+    fn counting_by_class() {
+        let r = FunctionReport {
+            name: "f".into(),
+            transmitters: vec![
+                dummy(TransmitterClass::Data),
+                dummy(TransmitterClass::Data),
+                dummy(TransmitterClass::UniversalData),
+            ],
+            saeg_size: 3,
+            runtime: Duration::ZERO,
+        };
+        assert_eq!(r.count(TransmitterClass::Data), 2);
+        assert_eq!(r.count(TransmitterClass::UniversalData), 1);
+        assert!(!r.is_clean());
+        let m = ModuleReport { functions: vec![r] };
+        assert_eq!(m.count(TransmitterClass::Data), 2);
+        assert!(!m.is_clean());
+    }
+}

@@ -1,0 +1,178 @@
+//! Witness rendering: Clou "outputs a list of transmitters and a set of
+//! consistent candidate executions (in graph form) which give witness to
+//! detected software vulnerabilities" (§5). This module renders a
+//! [`Finding`] over its S-AEG as Graphviz DOT, highlighting the chain
+//! (index → access → transmitter), the speculation primitive, and the
+//! witnessing architectural path.
+
+use std::fmt::Write as _;
+
+use lcm_aeg::Saeg;
+
+use crate::report::Finding;
+
+/// Renders a finding as a DOT graph over the S-AEG events on the witness
+/// path and in the transmitter chain.
+pub fn witness_dot(saeg: &Saeg, finding: &Finding) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"witness_{}\" {{", finding.function);
+    let _ = writeln!(s, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];");
+    let _ = writeln!(
+        s,
+        "  label=\"{} {} via {}\"; labelloc=t;",
+        finding.function, finding.class, finding.primitive
+    );
+
+    let on_path = |b: lcm_ir::BlockId| finding.witness_path.contains(&b);
+    let chain: Vec<_> = [finding.index, finding.access, Some(finding.transmitter)]
+        .into_iter()
+        .flatten()
+        .collect();
+
+    for e in &saeg.events {
+        let relevant = on_path(e.block) || chain.contains(&e.id);
+        if !relevant {
+            continue;
+        }
+        let role = if Some(e.id) == Some(finding.transmitter) {
+            ", color=red, penwidth=2"
+        } else if finding.access == Some(e.id) {
+            ", color=orange, penwidth=2"
+        } else if finding.index == Some(e.id) {
+            ", color=blue, penwidth=2"
+        } else if finding.bypassed_store == Some(e.id) {
+            ", color=purple, style=dashed"
+        } else {
+            ""
+        };
+        let label = format!("{}: {:?} {:?}", e.pos, e.kind, saeg.acfg.inst(e.inst))
+            .replace('"', "'");
+        let _ = writeln!(s, "  e{} [label=\"{}\"{}];", e.id.0, label, role);
+    }
+    // Chain edges.
+    for pair in chain.windows(2) {
+        let _ = writeln!(
+            s,
+            "  e{} -> e{} [label=\"addr\", color=red, penwidth=2];",
+            pair[0].0, pair[1].0
+        );
+    }
+    if let Some(store) = finding.bypassed_store {
+        if let Some(first) = chain.first() {
+            let _ = writeln!(
+                s,
+                "  e{} -> e{} [label=\"bypassed\", color=purple, style=dashed];",
+                store.0, first.0
+            );
+        }
+    }
+    if let Some(br) = finding.branch {
+        let _ = writeln!(
+            s,
+            "  br [shape=diamond, label=\"mispredicted branch @bb{}\", color=red];",
+            br.0
+        );
+        let _ = writeln!(s, "  br -> e{} [style=dotted, label=\"window\"];", finding.transmitter.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// One-line human-readable description of a finding.
+pub fn describe(saeg: &Saeg, finding: &Finding) -> String {
+    let ev = |id: lcm_aeg::EventId| format!("%{}@{}", saeg.events[id.0].inst.0, id.0);
+    let mut s = format!(
+        "{}: {} transmitter {} ({}via {})",
+        finding.function,
+        finding.class,
+        ev(finding.transmitter),
+        if finding.transient_transmitter { "transient, " } else { "" },
+        finding.primitive
+    );
+    if let Some(a) = finding.access {
+        let _ = write!(
+            s,
+            ", access {}{}",
+            ev(a),
+            if finding.access_transient { " (transient)" } else { " (committed)" }
+        );
+    }
+    if let Some(i) = finding.index {
+        let _ = write!(s, ", index {}", ev(i));
+    }
+    if let Some(b) = finding.bypassed_store {
+        let _ = write!(s, ", bypassing store {}", ev(b));
+    }
+    if finding.interference {
+        s.push_str(" [speculative interference]");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Detector, DetectorConfig, EngineKind};
+    use lcm_core::speculation::SpeculationConfig;
+
+    const SPECTRE_V1: &str = r#"
+        int A[16]; int B[256]; int size_A; int tmp;
+        void victim(int y) {
+            if (y < size_A) {
+                tmp &= B[A[y]];
+            }
+        }"#;
+
+    #[test]
+    fn witness_dot_highlights_chain_and_branch() {
+        let m = lcm_minic::compile(SPECTRE_V1).unwrap();
+        let det = Detector::new(DetectorConfig::default());
+        let report = det.analyze_module(&m, EngineKind::Pht);
+        let udt = report
+            .findings()
+            .find(|f| f.class == lcm_core::taxonomy::TransmitterClass::UniversalData)
+            .unwrap();
+        let saeg = Saeg::build(&m, "victim", SpeculationConfig::default()).unwrap();
+        let dot = witness_dot(&saeg, udt);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("color=red"), "transmitter highlighted");
+        assert!(dot.contains("color=blue"), "index highlighted");
+        assert!(dot.contains("mispredicted branch"));
+    }
+
+    #[test]
+    fn describe_mentions_all_chain_members() {
+        let m = lcm_minic::compile(SPECTRE_V1).unwrap();
+        let det = Detector::new(DetectorConfig::default());
+        let report = det.analyze_module(&m, EngineKind::Pht);
+        let udt = report
+            .findings()
+            .find(|f| f.class == lcm_core::taxonomy::TransmitterClass::UniversalData)
+            .unwrap();
+        let saeg = Saeg::build(&m, "victim", SpeculationConfig::default()).unwrap();
+        let d = describe(&saeg, udt);
+        assert!(d.contains("UDT"));
+        assert!(d.contains("access"));
+        assert!(d.contains("index"));
+        assert!(d.contains("transient"));
+    }
+
+    #[test]
+    fn stl_witness_shows_bypassed_store() {
+        let src = r#"
+            int pub_ary[256]; int sec[16]; int tmp;
+            void case_1(int idx) {
+                int ridx = idx & 15;
+                sec[ridx] = 0;
+                tmp &= pub_ary[sec[ridx]];
+            }"#;
+        let m = lcm_minic::compile(src).unwrap();
+        let det = Detector::new(DetectorConfig::default());
+        let report = det.analyze_module(&m, EngineKind::Stl);
+        let f = report.findings().next().unwrap();
+        let saeg = Saeg::build(&m, "case_1", SpeculationConfig::default()).unwrap();
+        let dot = witness_dot(&saeg, f);
+        assert!(dot.contains("bypassed"));
+        assert!(describe(&saeg, f).contains("bypassing store"));
+    }
+}

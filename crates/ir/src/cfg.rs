@@ -1,0 +1,366 @@
+//! Control-flow-graph analyses: orders, dominators, natural loops.
+
+use crate::{BlockId, Function};
+
+/// Successor block ids of each block.
+pub fn successors(f: &Function) -> Vec<Vec<BlockId>> {
+    f.blocks.iter().map(|b| b.term.successors()).collect()
+}
+
+/// Predecessor block ids of each block.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (bi, b) in f.iter_blocks() {
+        for s in b.term.successors() {
+            preds[s.0 as usize].push(bi);
+        }
+    }
+    preds
+}
+
+/// Reverse postorder over blocks reachable from the entry.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let succ = successors(f);
+    let n = f.blocks.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 in-progress, 2 done
+    let mut post = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let ss = &succ[b];
+        if *i < ss.len() {
+            let nxt = ss[*i].0 as usize;
+            *i += 1;
+            if state[nxt] == 0 {
+                state[nxt] = 1;
+                stack.push((nxt, 0));
+            }
+        } else {
+            state[b] = 2;
+            post.push(BlockId(b as u32));
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators (Cooper–Harvey–Kennedy iterative algorithm).
+///
+/// Returns `idom[b]`, with `idom[entry] == entry`; unreachable blocks map
+/// to `None`.
+pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let rpo = reverse_postorder(f);
+    let n = f.blocks.len();
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
+    let preds = predecessors(f);
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[0] = Some(BlockId(0));
+
+    let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a].unwrap().0 as usize;
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b].unwrap().0 as usize;
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let bi = b.0 as usize;
+            let mut new_idom: Option<usize> = None;
+            for p in &preds[bi] {
+                let pi = p.0 as usize;
+                if idom[pi].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => pi,
+                    Some(cur) => intersect(&idom, &rpo_index, cur, pi),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[bi] != Some(BlockId(ni as u32)) {
+                    idom[bi] = Some(BlockId(ni as u32));
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Returns `true` if `a` dominates `b` (reflexive).
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.0 as usize] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop: header plus body blocks (header included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every body block).
+    pub header: BlockId,
+    /// All blocks in the loop, header first.
+    pub body: Vec<BlockId>,
+    /// The latch blocks (sources of back edges into the header).
+    pub latches: Vec<BlockId>,
+}
+
+/// Finds the natural loops of a reducible CFG, merging loops that share a
+/// header. Returned in no particular order.
+pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut by_header: std::collections::BTreeMap<u32, NaturalLoop> = Default::default();
+    for (b, blk) in f.iter_blocks() {
+        if idom[b.0 as usize].is_none() {
+            continue; // unreachable
+        }
+        for s in blk.term.successors() {
+            if dominates(&idom, s, b) {
+                // back edge b -> s
+                let entry = by_header.entry(s.0).or_insert_with(|| NaturalLoop {
+                    header: s,
+                    body: vec![s],
+                    latches: Vec::new(),
+                });
+                entry.latches.push(b);
+                // Collect body: all blocks reaching b without passing
+                // through s.
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if entry.body.contains(&x) {
+                        continue;
+                    }
+                    entry.body.push(x);
+                    for &p in &preds[x.0 as usize] {
+                        if p != s {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    by_header.into_values().collect()
+}
+
+/// Returns `true` if the reachable CFG contains a cycle.
+pub fn has_cycle(f: &Function) -> bool {
+    !natural_loops(f).is_empty() || has_irreducible_cycle(f)
+}
+
+fn has_irreducible_cycle(f: &Function) -> bool {
+    // Kahn's algorithm over reachable blocks.
+    let rpo = reverse_postorder(f);
+    let reachable: std::collections::BTreeSet<u32> = rpo.iter().map(|b| b.0).collect();
+    let succ = successors(f);
+    let mut indeg = std::collections::BTreeMap::new();
+    for &b in &reachable {
+        indeg.entry(b).or_insert(0usize);
+        for s in &succ[b as usize] {
+            if reachable.contains(&s.0) {
+                *indeg.entry(s.0).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut queue: Vec<u32> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&b, _)| b)
+        .collect();
+    let mut seen = 0;
+    while let Some(b) = queue.pop() {
+        seen += 1;
+        for s in &succ[b as usize] {
+            if let Some(d) = indeg.get_mut(&s.0) {
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(s.0);
+                }
+            }
+        }
+    }
+    seen != reachable.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Function, Inst, Terminator, Ty};
+
+    /// entry -> header; header -> body | exit; body -> header (a while
+    /// loop).
+    fn while_loop_fn() -> Function {
+        let mut f = Function::new("loopy", &[("n", Ty::Int)]);
+        let entry = f.entry();
+        let header = f.add_block("header");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        let n = f.param(0);
+        let zero = f.iconst(0);
+        let cond = f.bin(BinOp::Lt, zero, n);
+        f.set_term(entry, Terminator::Br(header));
+        f.set_term(header, Terminator::CondBr { cond, then_bb: body, else_bb: exit });
+        f.push(body, Inst::Fence);
+        f.set_term(body, Terminator::Br(header));
+        f.set_term(exit, Terminator::Ret(None));
+        f
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = while_loop_fn();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn dominators_of_while_loop() {
+        let f = while_loop_fn();
+        let idom = dominators(&f);
+        assert_eq!(idom[1], Some(BlockId(0))); // header <- entry
+        assert_eq!(idom[2], Some(BlockId(1))); // body <- header
+        assert_eq!(idom[3], Some(BlockId(1))); // exit <- header
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(dominates(&idom, BlockId(1), BlockId(2)));
+        assert!(!dominates(&idom, BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn natural_loop_detected() {
+        let f = while_loop_fn();
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        let mut body = l.body.clone();
+        body.sort();
+        assert_eq!(body, vec![BlockId(1), BlockId(2)]);
+        assert!(has_cycle(&f));
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut f = Function::new("s", &[]);
+        let e = f.entry();
+        let b = f.add_block("b");
+        f.set_term(e, Terminator::Br(b));
+        f.set_term(b, Terminator::Ret(None));
+        assert!(natural_loops(&f).is_empty());
+        assert!(!has_cycle(&f));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // entry -> l | r; l -> join; r -> join.
+        let mut f = Function::new("d", &[("c", Ty::Int)]);
+        let e = f.entry();
+        let l = f.add_block("l");
+        let r = f.add_block("r");
+        let j = f.add_block("j");
+        let c = f.param(0);
+        f.set_term(e, Terminator::CondBr { cond: c, then_bb: l, else_bb: r });
+        f.set_term(l, Terminator::Br(j));
+        f.set_term(r, Terminator::Br(j));
+        f.set_term(j, Terminator::Ret(None));
+        let idom = dominators(&f);
+        assert_eq!(idom[j.0 as usize], Some(e));
+        assert!(!dominates(&idom, l, j));
+    }
+
+    #[test]
+    fn do_while_loop_header_is_the_body() {
+        // entry -> body; body -> latch; latch -> body | exit.
+        let mut f = Function::new("dw", &[("n", Ty::Int)]);
+        let e = f.entry();
+        let body = f.add_block("body");
+        let latch = f.add_block("latch");
+        let exit = f.add_block("exit");
+        let n = f.param(0);
+        f.set_term(e, Terminator::Br(body));
+        f.push(body, Inst::Fence);
+        f.set_term(body, Terminator::Br(latch));
+        f.set_term(latch, Terminator::CondBr { cond: n, then_bb: body, else_bb: exit });
+        f.set_term(exit, Terminator::Ret(None));
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, body);
+        assert_eq!(loops[0].latches, vec![latch]);
+    }
+
+    #[test]
+    fn shared_header_back_edges_merge_into_one_loop() {
+        // Two latches into the same header (continue-style): one natural
+        // loop with two latches.
+        let mut f = Function::new("m", &[("c", Ty::Int)]);
+        let e = f.entry();
+        let h = f.add_block("h");
+        let a = f.add_block("a");
+        let b = f.add_block("b");
+        let exit = f.add_block("exit");
+        let c = f.param(0);
+        f.set_term(e, Terminator::Br(h));
+        f.set_term(h, Terminator::CondBr { cond: c, then_bb: a, else_bb: exit });
+        f.set_term(a, Terminator::CondBr { cond: c, then_bb: h, else_bb: b });
+        f.set_term(b, Terminator::Br(h));
+        f.set_term(exit, Terminator::Ret(None));
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let mut latches = loops[0].latches.clone();
+        latches.sort();
+        assert_eq!(latches, vec![a, b]);
+        let mut body = loops[0].body.clone();
+        body.sort();
+        assert_eq!(body, vec![h, a, b]);
+    }
+
+    #[test]
+    fn rpo_is_topological_on_dags() {
+        let mut f = Function::new("d", &[("c", Ty::Int)]);
+        let e = f.entry();
+        let l = f.add_block("l");
+        let r = f.add_block("r");
+        let j = f.add_block("j");
+        let c = f.param(0);
+        f.set_term(e, Terminator::CondBr { cond: c, then_bb: l, else_bb: r });
+        f.set_term(l, Terminator::Br(j));
+        f.set_term(r, Terminator::Br(j));
+        f.set_term(j, Terminator::Ret(None));
+        let rpo = reverse_postorder(&f);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(e) < pos(l) && pos(e) < pos(r));
+        assert!(pos(l) < pos(j) && pos(r) < pos(j));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = Function::new("u", &[]);
+        let e = f.entry();
+        let dead = f.add_block("dead");
+        f.set_term(e, Terminator::Ret(None));
+        f.set_term(dead, Terminator::Ret(None));
+        let idom = dominators(&f);
+        assert!(idom[dead.0 as usize].is_none());
+    }
+}

@@ -1,0 +1,410 @@
+//! A reference interpreter for the IR.
+//!
+//! Used to validate that A-CFG construction (unrolling, inlining)
+//! preserves straight-line semantics, and by the corpus crate to sanity-
+//! check benchmark programs. Not part of the leakage analysis itself.
+
+use std::collections::HashMap;
+
+use crate::{Function, Inst, InstId, Module, Terminator};
+
+/// How a function execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpOutcome {
+    /// A `ret` was reached with the given value.
+    Returned(Option<i64>),
+}
+
+/// Interpretation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Execution exceeded the fuel budget.
+    OutOfFuel,
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// A call to an undefined function was executed (havoc has no concrete
+    /// semantics).
+    UndefinedCall(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfFuel => write!(f, "out of fuel"),
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::UndefinedCall(n) => write!(f, "call to undefined `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// One recorded memory access (see [`Machine::call_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Index of the executing function in [`Module::functions`].
+    pub func: u32,
+    /// The executing instruction (within that function). For branch
+    /// events this is the *condition value* id.
+    pub inst: InstId,
+    /// `true` for stores, `false` for loads and branches.
+    pub is_store: bool,
+    /// `true` for conditional-branch events (ctrl-dependency sources for
+    /// everything executed after them).
+    pub is_branch: bool,
+    /// Concrete address accessed (branch: the decision, 1 = taken).
+    pub addr: i64,
+    /// Value loaded or stored (branch: the condition value).
+    pub value: i64,
+}
+
+/// Abstract machine state: module + memory.
+///
+/// Addresses are 64-bit: global `g` occupies `[(g+1) << 32, ...)`; each
+/// executed `alloca` allocates a fresh region in the high half of the
+/// address space. Memory is word-granular and zero-initialized.
+#[derive(Debug)]
+pub struct Machine<'m> {
+    module: &'m Module,
+    memory: HashMap<i64, i64>,
+    next_alloca: i64,
+    fuel: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+const ALLOCA_BASE: i64 = 1 << 48;
+
+impl<'m> Machine<'m> {
+    /// A machine with memory zeroed except for global initializers.
+    pub fn new(module: &'m Module) -> Self {
+        let mut memory = HashMap::new();
+        for (gi, g) in module.globals.iter().enumerate() {
+            let base = (gi as i64 + 1) << 32;
+            for &(idx, v) in &g.init {
+                memory.insert(base + i64::from(idx), v);
+            }
+        }
+        Machine { module, memory, next_alloca: ALLOCA_BASE, fuel: 0, trace: None }
+    }
+
+    /// The base address of a global.
+    pub fn global_base(&self, g: u32) -> i64 {
+        (i64::from(g) + 1) << 32
+    }
+
+    /// Writes one word of a named global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist.
+    pub fn set_global(&mut self, name: &str, index: u32, value: i64) {
+        let (gid, _) = self.module.global(name).expect("unknown global");
+        let base = self.global_base(gid.0);
+        self.memory.insert(base + i64::from(index), value);
+    }
+
+    /// Reads one word of a named global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist.
+    pub fn get_global(&self, name: &str, index: u32) -> i64 {
+        let (gid, _) = self.module.global(name).expect("unknown global");
+        let base = self.global_base(gid.0);
+        *self.memory.get(&(base + i64::from(index))).unwrap_or(&0)
+    }
+
+    /// Calls a function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when fuel is exhausted, the function is unknown, or
+    /// an undefined external call is executed.
+    pub fn call(
+        &mut self,
+        fname: &str,
+        args: &[i64],
+        fuel: u64,
+    ) -> Result<InterpOutcome, InterpError> {
+        self.fuel = fuel;
+        self.call_inner(fname, args)
+    }
+
+    /// Like [`Self::call`], additionally recording every memory access in
+    /// execution order (the input to dynamic LCM analysis,
+    /// `lcm_aeg::trace`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn call_traced(
+        &mut self,
+        fname: &str,
+        args: &[i64],
+        fuel: u64,
+    ) -> Result<(InterpOutcome, Vec<TraceEvent>), InterpError> {
+        self.fuel = fuel;
+        self.trace = Some(Vec::new());
+        let outcome = self.call_inner(fname, args);
+        let trace = self.trace.take().unwrap_or_default();
+        outcome.map(|o| (o, trace))
+    }
+
+    fn call_inner(&mut self, fname: &str, args: &[i64]) -> Result<InterpOutcome, InterpError> {
+        let func_idx = self
+            .module
+            .functions
+            .iter()
+            .position(|f| f.name == fname)
+            .ok_or_else(|| InterpError::UnknownFunction(fname.to_string()))? as u32;
+        let f = self.module.functions[func_idx as usize].clone();
+        let mut env: HashMap<u32, i64> = HashMap::new();
+        let mut bb = f.entry();
+        loop {
+            let insts = f.blocks[bb.0 as usize].insts.clone();
+            for iid in insts {
+                if self.fuel == 0 {
+                    return Err(InterpError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                match f.inst(iid).clone() {
+                    Inst::Alloca { size, .. } => {
+                        let addr = self.next_alloca;
+                        self.next_alloca += i64::from(size.max(1));
+                        env.insert(iid.0, addr);
+                    }
+                    Inst::Load { addr, .. } => {
+                        let a = self.eval(&f, addr, args, &mut env)?;
+                        let v = *self.memory.get(&a).unwrap_or(&0);
+                        if let Some(t) = &mut self.trace {
+                            t.push(TraceEvent { func: func_idx, inst: iid, is_store: false, is_branch: false, addr: a, value: v });
+                        }
+                        env.insert(iid.0, v);
+                    }
+                    Inst::Store { addr, value } => {
+                        let a = self.eval(&f, addr, args, &mut env)?;
+                        let v = self.eval(&f, value, args, &mut env)?;
+                        if let Some(t) = &mut self.trace {
+                            t.push(TraceEvent { func: func_idx, inst: iid, is_store: true, is_branch: false, addr: a, value: v });
+                        }
+                        self.memory.insert(a, v);
+                    }
+                    Inst::Call { callee, args: cargs, .. } => {
+                        let argv: Result<Vec<i64>, _> = cargs
+                            .iter()
+                            .map(|&a| self.eval(&f, a, args, &mut env))
+                            .collect();
+                        let outcome = self.call_inner(&callee, &argv?)?;
+                        let InterpOutcome::Returned(v) = outcome;
+                        env.insert(iid.0, v.unwrap_or(0));
+                    }
+                    Inst::Havoc { callee, .. } => {
+                        return Err(InterpError::UndefinedCall(callee));
+                    }
+                    Inst::Fence => {}
+                    pure => {
+                        debug_assert!(!pure.is_scheduled());
+                        let v = self.eval(&f, iid, args, &mut env)?;
+                        env.insert(iid.0, v);
+                    }
+                }
+            }
+            match f.blocks[bb.0 as usize].term.clone() {
+                Terminator::Br(t) => bb = t,
+                Terminator::CondBr { cond, then_bb, else_bb } => {
+                    let c = self.eval(&f, cond, args, &mut env)?;
+                    if let Some(t) = &mut self.trace {
+                        t.push(TraceEvent {
+                            func: func_idx,
+                            inst: cond,
+                            is_store: false,
+                            is_branch: true,
+                            addr: i64::from(c != 0),
+                            value: c,
+                        });
+                    }
+                    bb = if c != 0 { then_bb } else { else_bb };
+                }
+                Terminator::Ret(v) => {
+                    let rv = match v {
+                        Some(v) => Some(self.eval(&f, v, args, &mut env)?),
+                        None => None,
+                    };
+                    return Ok(InterpOutcome::Returned(rv));
+                }
+            }
+        }
+    }
+
+    fn eval(
+        &mut self,
+        f: &Function,
+        v: InstId,
+        args: &[i64],
+        env: &mut HashMap<u32, i64>,
+    ) -> Result<i64, InterpError> {
+        if let Some(&x) = env.get(&v.0) {
+            return Ok(x);
+        }
+        if self.fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        let out = match f.inst(v).clone() {
+            Inst::Const(c) => c,
+            Inst::Param { index, .. } => *args.get(index).unwrap_or(&0),
+            Inst::GlobalAddr(g) => self.global_base(g.0),
+            Inst::Gep { base, index, scale } => {
+                let b = self.eval(f, base, args, env)?;
+                let i = self.eval(f, index, args, env)?;
+                b + i * i64::from(scale.max(1))
+            }
+            Inst::Bin { op, lhs, rhs } => {
+                let a = self.eval(f, lhs, args, env)?;
+                let b = self.eval(f, rhs, args, env)?;
+                op.eval(a, b)
+            }
+            // Scheduled instructions must already be in env; treat an
+            // unexecuted reference as zero (matches -O0 uninitialized
+            // reads, which our front end never produces).
+            _ => 0,
+        };
+        // Pure nodes are *not* memoized: in a loop, a node like
+        // `i < n` must be re-evaluated after the load feeding it changes.
+        Ok(out)
+    }
+}
+
+/// Convenience: run `fname(args)` on a fresh machine with zeroed globals.
+///
+/// # Errors
+///
+/// See [`Machine::call`].
+pub fn run(
+    module: &Module,
+    fname: &str,
+    args: &[i64],
+    fuel: u64,
+) -> Result<InterpOutcome, InterpError> {
+    Machine::new(module).call(fname, args, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Function, Global, Terminator, Ty};
+
+    #[test]
+    fn arithmetic_and_memory_roundtrip() {
+        let mut m = Module::new();
+        let g = m.add_global(Global { name: "A".into(), size: 4, is_ptr: false, secret: false, init: vec![] });
+        let mut f = Function::new("f", &[("x", Ty::Int)]);
+        let e = f.entry();
+        let base = f.global_addr(g);
+        let x = f.param(0);
+        let addr = f.gep(base, x);
+        let seven = f.iconst(7);
+        f.push(e, Inst::Store { addr, value: seven });
+        let back = f.push(e, Inst::Load { addr, ty: Ty::Int });
+        let sum = f.bin(BinOp::Add, back, x);
+        f.set_term(e, Terminator::Ret(Some(sum)));
+        m.add_function(f);
+        assert_eq!(run(&m, "f", &[3], 1000).unwrap(), InterpOutcome::Returned(Some(10)));
+    }
+
+    #[test]
+    fn globals_are_zero_initialized() {
+        let mut m = Module::new();
+        let g = m.add_global(Global { name: "A".into(), size: 2, is_ptr: false, secret: false, init: vec![] });
+        let mut f = Function::new("f", &[]);
+        let e = f.entry();
+        let base = f.global_addr(g);
+        let one = f.iconst(1);
+        let addr = f.gep(base, one);
+        let v = f.push(e, Inst::Load { addr, ty: Ty::Int });
+        f.set_term(e, Terminator::Ret(Some(v)));
+        m.add_function(f);
+        assert_eq!(run(&m, "f", &[], 1000).unwrap(), InterpOutcome::Returned(Some(0)));
+    }
+
+    #[test]
+    fn set_get_global() {
+        let mut m = Module::new();
+        m.add_global(Global { name: "A".into(), size: 2, is_ptr: false, secret: false, init: vec![] });
+        let mut mach = Machine::new(&m);
+        mach.set_global("A", 1, 42);
+        assert_eq!(mach.get_global("A", 1), 42);
+        assert_eq!(mach.get_global("A", 0), 0);
+    }
+
+    #[test]
+    fn distinct_allocas_do_not_alias() {
+        let mut m = Module::new();
+        let mut f = Function::new("f", &[]);
+        let e = f.entry();
+        let a = f.push(e, Inst::Alloca { name: "a".into(), size: 1 });
+        let b = f.push(e, Inst::Alloca { name: "b".into(), size: 1 });
+        let one = f.iconst(1);
+        let two = f.iconst(2);
+        f.push(e, Inst::Store { addr: a, value: one });
+        f.push(e, Inst::Store { addr: b, value: two });
+        let va = f.push(e, Inst::Load { addr: a, ty: Ty::Int });
+        f.set_term(e, Terminator::Ret(Some(va)));
+        m.add_function(f);
+        assert_eq!(run(&m, "f", &[], 1000).unwrap(), InterpOutcome::Returned(Some(1)));
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let mut m = Module::new();
+        let mut f = Function::new("spin", &[]);
+        let e = f.entry();
+        f.set_term(e, Terminator::Br(e));
+        m.add_function(f);
+        // The empty block consumes no per-inst fuel; terminator evaluation
+        // loops forever. Use a block with an instruction.
+        let mut f2 = Function::new("spin2", &[]);
+        let e2 = f2.entry();
+        f2.push(e2, Inst::Fence);
+        f2.set_term(e2, Terminator::Br(e2));
+        m.add_function(f2);
+        assert_eq!(run(&m, "spin2", &[], 100), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn undefined_call_is_an_error() {
+        let mut m = Module::new();
+        let mut f = Function::new("f", &[]);
+        let e = f.entry();
+        f.push(e, Inst::Havoc { callee: "ext".into(), ptr_args: vec![], ty: Ty::Int });
+        f.set_term(e, Terminator::Ret(None));
+        m.add_function(f);
+        assert_eq!(run(&m, "f", &[], 100), Err(InterpError::UndefinedCall("ext".into())));
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let m = Module::new();
+        assert_eq!(
+            run(&m, "ghost", &[], 10),
+            Err(InterpError::UnknownFunction("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn call_passes_arguments_and_returns() {
+        let mut m = Module::new();
+        let mut id = Function::new("id", &[("x", Ty::Int)]);
+        let e = id.entry();
+        let x = id.param(0);
+        id.set_term(e, Terminator::Ret(Some(x)));
+        m.add_function(id);
+        let mut f = Function::new("f", &[]);
+        let e = f.entry();
+        let five = f.iconst(5);
+        let c = f.push(e, Inst::Call { callee: "id".into(), args: vec![five], ty: Ty::Int });
+        f.set_term(e, Terminator::Ret(Some(c)));
+        m.add_function(f);
+        assert_eq!(run(&m, "f", &[], 1000).unwrap(), InterpOutcome::Returned(Some(5)));
+    }
+}

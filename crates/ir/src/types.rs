@@ -1,0 +1,556 @@
+//! IR data types: modules, globals, functions, blocks, instructions.
+
+use std::fmt;
+
+/// Result type of an instruction: an integer or a pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A machine integer.
+    Int,
+    /// A pointer into some memory region.
+    Ptr,
+}
+
+/// Index of an instruction (and its result value) within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+/// Alias emphasising that instruction ids double as SSA values.
+pub type Value = InstId;
+
+/// Index of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Index of a global variable within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// Evaluates the operation on two integers (division/remainder by zero
+    /// yield 0, keeping the interpreter total).
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => a.checked_div(b).unwrap_or(0),
+            BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+            BinOp::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+        }
+    }
+}
+
+/// One IR instruction. Memory operations, calls and fences are scheduled in
+/// blocks; all other variants are pure dataflow nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// An integer constant (pure).
+    Const(i64),
+    /// The `index`-th function parameter (pure).
+    Param {
+        /// Zero-based parameter index.
+        index: usize,
+        /// Parameter type.
+        ty: Ty,
+    },
+    /// The address of a global (pure).
+    GlobalAddr(GlobalId),
+    /// A stack slot of `size` abstract words (scheduled: each execution
+    /// creates a fresh region).
+    Alloca {
+        /// Debug name (the source variable).
+        name: String,
+        /// Size in abstract words.
+        size: u32,
+    },
+    /// A memory load (scheduled).
+    Load {
+        /// Address operand.
+        addr: Value,
+        /// Result type (`Ptr` for pointer-typed loads).
+        ty: Ty,
+    },
+    /// A memory store (scheduled).
+    Store {
+        /// Address operand.
+        addr: Value,
+        /// Stored value.
+        value: Value,
+    },
+    /// `base + index * scale`: LLVM `getelementptr`-style address
+    /// arithmetic (pure). Dependencies flowing through `index` are
+    /// `addr_gep` dependencies (§5.2).
+    Gep {
+        /// Base pointer.
+        base: Value,
+        /// Element index.
+        index: Value,
+        /// Element size in abstract words.
+        scale: u32,
+    },
+    /// A binary operation (pure).
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// A direct call (scheduled; inlined away by the A-CFG pipeline).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument values.
+        args: Vec<Value>,
+        /// Result type.
+        ty: Ty,
+    },
+    /// An undefined external call after A-CFG construction: may load or
+    /// store any of its pointer operands (scheduled).
+    Havoc {
+        /// Callee name (for diagnostics).
+        callee: String,
+        /// The pointer-typed arguments it may access.
+        ptr_args: Vec<Value>,
+        /// Result type.
+        ty: Ty,
+    },
+    /// A speculation barrier (`lfence`); the repair primitive (scheduled).
+    Fence,
+}
+
+impl Inst {
+    /// `true` if the instruction must be scheduled in a block.
+    pub fn is_scheduled(&self) -> bool {
+        matches!(
+            self,
+            Inst::Alloca { .. }
+                | Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::Call { .. }
+                | Inst::Havoc { .. }
+                | Inst::Fence
+        )
+    }
+
+    /// The operand values of the instruction.
+    pub fn operands(&self) -> Vec<Value> {
+        match self {
+            Inst::Const(_) | Inst::Param { .. } | Inst::GlobalAddr(_) | Inst::Alloca { .. }
+            | Inst::Fence => Vec::new(),
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Store { addr, value } => vec![*addr, *value],
+            Inst::Gep { base, index, .. } => vec![*base, *index],
+            Inst::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Call { args, .. } => args.clone(),
+            Inst::Havoc { ptr_args, .. } => ptr_args.clone(),
+        }
+    }
+
+    /// The result type, if the instruction produces a value.
+    pub fn result_ty(&self) -> Option<Ty> {
+        match self {
+            Inst::Const(_) => Some(Ty::Int),
+            Inst::Param { ty, .. } => Some(*ty),
+            Inst::GlobalAddr(_) | Inst::Alloca { .. } | Inst::Gep { .. } => Some(Ty::Ptr),
+            Inst::Load { ty, .. } | Inst::Call { ty, .. } | Inst::Havoc { ty, .. } => Some(*ty),
+            Inst::Bin { .. } => Some(Ty::Int),
+            Inst::Store { .. } | Inst::Fence => None,
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br(BlockId),
+    /// Conditional branch on a (nonzero = taken) value.
+    CondBr {
+        /// Condition value.
+        cond: Value,
+        /// Target when the condition is nonzero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Value>),
+}
+
+impl Terminator {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: scheduled instruction ids plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Debug name.
+    pub name: String,
+    /// Scheduled instructions, in program order.
+    pub insts: Vec<InstId>,
+    /// Block terminator.
+    pub term: Terminator,
+}
+
+/// A global variable (an array of abstract words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Number of abstract words.
+    pub size: u32,
+    /// `true` if the stored data is pointer-typed (pointer tables are not
+    /// attacker-controlled under Clou's taint assumptions, §5.3).
+    pub is_ptr: bool,
+    /// `true` if the contents are secret (used by corpus ground truth and
+    /// reports; the detector itself does not need secrecy labels).
+    pub secret: bool,
+    /// Sparse initializer: `(index, value)` pairs; unlisted words are zero.
+    pub init: Vec<(u32, i64)>,
+}
+
+impl Global {
+    /// A zero-initialized array global.
+    pub fn array(name: &str, size: u32) -> Self {
+        Global { name: name.to_string(), size, is_ptr: false, secret: false, init: Vec::new() }
+    }
+
+    /// A zero-initialized scalar global.
+    pub fn scalar(name: &str) -> Self {
+        Self::array(name, 1)
+    }
+
+    /// Marks the global's contents as pointer-typed.
+    #[must_use]
+    pub fn ptr(mut self) -> Self {
+        self.is_ptr = true;
+        self
+    }
+
+    /// Marks the global as secret.
+    #[must_use]
+    pub fn secret(mut self) -> Self {
+        self.secret = true;
+        self
+    }
+
+    /// Sets initial words from the start of the global.
+    #[must_use]
+    pub fn with_init(mut self, values: &[i64]) -> Self {
+        self.init = values.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
+        self
+    }
+}
+
+/// A function: instruction arena + basic blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Ty)>,
+    /// Instruction arena (scheduled and pure nodes alike).
+    pub insts: Vec<Inst>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// `true` if externally callable (analyzed by the detector).
+    pub is_public: bool,
+}
+
+impl Function {
+    /// Creates a function with a single empty entry block.
+    pub fn new(name: &str, params: &[(&str, Ty)]) -> Self {
+        Function {
+            name: name.to_string(),
+            params: params.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+            insts: Vec::new(),
+            blocks: vec![Block {
+                name: "entry".to_string(),
+                insts: Vec::new(),
+                term: Terminator::Ret(None),
+            }],
+            is_public: true,
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Adds an empty block (terminated by `ret void` until set).
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        self.blocks.push(Block {
+            name: name.to_string(),
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Interns an instruction into the arena without scheduling it.
+    /// Use for pure nodes.
+    pub fn value(&mut self, inst: Inst) -> Value {
+        debug_assert!(!inst.is_scheduled(), "scheduled inst needs push()");
+        self.insts.push(inst);
+        InstId(self.insts.len() as u32 - 1)
+    }
+
+    /// Appends a scheduled instruction to a block, returning its id.
+    pub fn push(&mut self, bb: BlockId, inst: Inst) -> InstId {
+        debug_assert!(inst.is_scheduled(), "pure inst: use value()");
+        self.insts.push(inst);
+        let id = InstId(self.insts.len() as u32 - 1);
+        self.blocks[bb.0 as usize].insts.push(id);
+        id
+    }
+
+    /// Sets a block's terminator.
+    pub fn set_term(&mut self, bb: BlockId, term: Terminator) {
+        self.blocks[bb.0 as usize].term = term;
+    }
+
+    /// Shorthand for an integer constant.
+    pub fn iconst(&mut self, v: i64) -> Value {
+        self.value(Inst::Const(v))
+    }
+
+    /// Shorthand for a parameter reference.
+    pub fn param(&mut self, index: usize) -> Value {
+        let ty = self.params[index].1;
+        self.value(Inst::Param { index, ty })
+    }
+
+    /// Shorthand for a global address.
+    pub fn global_addr(&mut self, g: GlobalId) -> Value {
+        self.value(Inst::GlobalAddr(g))
+    }
+
+    /// Shorthand for a binary operation node.
+    pub fn bin(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        self.value(Inst::Bin { op, lhs, rhs })
+    }
+
+    /// Shorthand for a gep node with scale 1.
+    pub fn gep(&mut self, base: Value, index: Value) -> Value {
+        self.value(Inst::Gep { base, index, scale: 1 })
+    }
+
+    /// The instruction behind a value.
+    pub fn inst(&self, v: Value) -> &Inst {
+        &self.insts[v.0 as usize]
+    }
+
+    /// Number of instructions in the arena.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Total number of *scheduled* instructions across blocks (the node
+    /// count used for Fig. 8's size axis).
+    pub fn scheduled_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterates over `(BlockId, &Block)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, (n, t)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {t:?}")?;
+        }
+        writeln!(f, ") {{")?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{bi} ({}):", b.name)?;
+            for &i in &b.insts {
+                writeln!(f, "  %{} = {:?}", i.0, self.insts[i.0 as usize])?;
+            }
+            writeln!(f, "  {:?}", b.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A module: globals + functions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Adds a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        self.globals.push(g);
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Adds a function, returning its index.
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<(GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.name == name)
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// Public functions (the detector's analysis units).
+    pub fn public_functions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.iter().filter(|f| f.is_public)
+    }
+
+    /// Static line-of-code proxy: total scheduled instructions.
+    pub fn total_scheduled(&self) -> usize {
+        self.functions.iter().map(Function::scheduled_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_division_total() {
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+    }
+
+    #[test]
+    fn binop_eval_comparisons() {
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Ge.eval(1, 2), 0);
+        assert_eq!(BinOp::Eq.eval(5, 5), 1);
+        assert_eq!(BinOp::Ne.eval(5, 5), 0);
+    }
+
+    #[test]
+    fn binop_shift_masks_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 64), 1); // 64 & 63 == 0
+        assert_eq!(BinOp::Shr.eval(-1, 63), 1);
+    }
+
+    #[test]
+    fn scheduled_vs_pure_classification() {
+        assert!(Inst::Fence.is_scheduled());
+        assert!(Inst::Load { addr: InstId(0), ty: Ty::Int }.is_scheduled());
+        assert!(!Inst::Const(3).is_scheduled());
+        assert!(!Inst::Gep { base: InstId(0), index: InstId(1), scale: 1 }.is_scheduled());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(Inst::Const(1).result_ty(), Some(Ty::Int));
+        assert_eq!(Inst::Store { addr: InstId(0), value: InstId(1) }.result_ty(), None);
+        assert_eq!(
+            Inst::Gep { base: InstId(0), index: InstId(1), scale: 4 }.result_ty(),
+            Some(Ty::Ptr)
+        );
+    }
+
+    #[test]
+    fn function_builder_basics() {
+        let mut m = Module::new();
+        let g = m.add_global(Global { name: "A".into(), size: 16, is_ptr: false, secret: false, init: vec![] });
+        let mut f = Function::new("f", &[("y", Ty::Int)]);
+        let bb = f.entry();
+        let base = f.global_addr(g);
+        let y = f.param(0);
+        let addr = f.gep(base, y);
+        let ld = f.push(bb, Inst::Load { addr, ty: Ty::Int });
+        f.set_term(bb, Terminator::Ret(Some(ld)));
+        assert_eq!(f.scheduled_len(), 1);
+        assert_eq!(f.num_insts(), 4);
+        let printed = f.to_string();
+        assert!(printed.contains("fn f("));
+        assert!(printed.contains("Load"));
+        m.add_function(f);
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        assert_eq!(m.global("A").unwrap().0, GlobalId(0));
+        assert_eq!(m.total_scheduled(), 1);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert!(Terminator::Ret(None).successors().is_empty());
+        assert_eq!(
+            Terminator::CondBr { cond: InstId(0), then_bb: BlockId(1), else_bb: BlockId(2) }
+                .successors()
+                .len(),
+            2
+        );
+    }
+}

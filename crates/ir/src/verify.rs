@@ -1,0 +1,165 @@
+//! Structural validation of IR functions.
+
+use std::collections::HashSet;
+
+use crate::{Function, Inst, Module, Terminator, Ty};
+
+/// Checks structural invariants of a function; returns all problems found.
+///
+/// Verified properties: operand ids are in range; scheduled instructions
+/// appear exactly once across blocks; pure nodes are never scheduled;
+/// terminator targets are valid; loads/stores/geps use pointer-typed
+/// addresses/bases; parameter indices are in range.
+pub fn verify_function(f: &Function) -> Vec<String> {
+    let mut errs = Vec::new();
+    let n = f.insts.len() as u32;
+    let mut seen: HashSet<u32> = HashSet::new();
+
+    for (bi, b) in f.iter_blocks() {
+        for &iid in &b.insts {
+            if iid.0 >= n {
+                errs.push(format!("bb{}: inst %{} out of range", bi.0, iid.0));
+                continue;
+            }
+            if !f.inst(iid).is_scheduled() {
+                errs.push(format!("bb{}: pure inst %{} is scheduled", bi.0, iid.0));
+            }
+            if !seen.insert(iid.0) {
+                errs.push(format!("inst %{} scheduled more than once", iid.0));
+            }
+        }
+        for t in b.term.successors() {
+            if t.0 as usize >= f.blocks.len() {
+                errs.push(format!("bb{}: terminator target bb{} invalid", bi.0, t.0));
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = &b.term {
+            if cond.0 >= n {
+                errs.push(format!("bb{}: cond %{} out of range", bi.0, cond.0));
+            }
+        }
+    }
+
+    let ptr_ty = |v: crate::Value| f.inst(v).result_ty();
+    for (i, inst) in f.insts.iter().enumerate() {
+        for op in inst.operands() {
+            if op.0 >= n {
+                errs.push(format!("inst %{i}: operand %{} out of range", op.0));
+            }
+        }
+        match inst {
+            Inst::Load { addr, .. }
+                if addr.0 < n && ptr_ty(*addr) != Some(Ty::Ptr) => {
+                    errs.push(format!("inst %{i}: load from non-pointer %{}", addr.0));
+                }
+            Inst::Store { addr, .. }
+                if addr.0 < n && ptr_ty(*addr) != Some(Ty::Ptr) => {
+                    errs.push(format!("inst %{i}: store to non-pointer %{}", addr.0));
+                }
+            Inst::Gep { base, index, .. } => {
+                if base.0 < n && ptr_ty(*base) != Some(Ty::Ptr) {
+                    errs.push(format!("inst %{i}: gep base %{} is not a pointer", base.0));
+                }
+                if index.0 < n && ptr_ty(*index).is_none() {
+                    errs.push(format!("inst %{i}: gep index %{} has no value", index.0));
+                }
+            }
+            Inst::Param { index, .. }
+                if *index >= f.params.len() => {
+                    errs.push(format!("inst %{i}: parameter index {index} out of range"));
+                }
+            _ => {}
+        }
+    }
+    errs
+}
+
+/// Verifies every function of a module.
+pub fn verify_module(m: &Module) -> Vec<String> {
+    let mut errs = Vec::new();
+    for f in &m.functions {
+        for e in verify_function(f) {
+            errs.push(format!("{}: {e}", f.name));
+        }
+        for g in f.insts.iter().filter_map(|i| match i {
+            Inst::GlobalAddr(g) => Some(*g),
+            _ => None,
+        }) {
+            if g.0 as usize >= m.globals.len() {
+                errs.push(format!("{}: global id {} out of range", f.name, g.0));
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Global, InstId};
+
+    #[test]
+    fn clean_function_verifies() {
+        let mut m = Module::new();
+        let g = m.add_global(Global { name: "A".into(), size: 4, is_ptr: false, secret: false, init: vec![] });
+        let mut f = Function::new("f", &[("x", Ty::Int)]);
+        let e = f.entry();
+        let base = f.global_addr(g);
+        let x = f.param(0);
+        let addr = f.gep(base, x);
+        let v = f.push(e, Inst::Load { addr, ty: Ty::Int });
+        let one = f.iconst(1);
+        let r = f.bin(BinOp::Add, v, one);
+        f.set_term(e, Terminator::Ret(Some(r)));
+        m.add_function(f);
+        assert!(verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn load_from_int_rejected() {
+        let mut f = Function::new("f", &[("x", Ty::Int)]);
+        let e = f.entry();
+        let x = f.param(0);
+        f.push(e, Inst::Load { addr: x, ty: Ty::Int });
+        f.set_term(e, Terminator::Ret(None));
+        let errs = verify_function(&f);
+        assert!(errs.iter().any(|e| e.contains("non-pointer")));
+    }
+
+    #[test]
+    fn double_scheduling_rejected() {
+        let mut f = Function::new("f", &[]);
+        let e = f.entry();
+        let i = f.push(e, Inst::Fence);
+        f.blocks[0].insts.push(i);
+        let errs = verify_function(&f);
+        assert!(errs.iter().any(|e| e.contains("more than once")));
+    }
+
+    #[test]
+    fn bad_param_index_rejected() {
+        let mut f = Function::new("f", &[]);
+        let v = f.value(Inst::Param { index: 3, ty: Ty::Int });
+        let _ = v;
+        let errs = verify_function(&f);
+        assert!(errs.iter().any(|e| e.contains("parameter index")));
+    }
+
+    #[test]
+    fn bad_terminator_target_rejected() {
+        let mut f = Function::new("f", &[]);
+        f.set_term(f.entry(), Terminator::Br(crate::BlockId(9)));
+        let errs = verify_function(&f);
+        assert!(errs.iter().any(|e| e.contains("invalid")));
+    }
+
+    #[test]
+    fn out_of_range_operand_rejected() {
+        let mut f = Function::new("f", &[]);
+        let e = f.entry();
+        f.push(e, Inst::Load { addr: InstId(99), ty: Ty::Int });
+        f.set_term(e, Terminator::Ret(None));
+        let errs = verify_function(&f);
+        assert!(errs.iter().any(|e| e.contains("out of range")));
+    }
+}

@@ -1,0 +1,695 @@
+//! Bounded exhaustive enumeration of candidate executions (the Alloy-style
+//! analysis behind subrosa, §3.4).
+
+use lcm_core::confidentiality::ConfidentialityModel;
+use lcm_core::exec::{Execution, ExecutionBuilder};
+use lcm_core::mcm::ConsistencyModel;
+use lcm_core::EventId;
+
+/// A rebuild callback: recreates a template execution with the given
+/// explicit `rfx` and `cox` edges applied.
+pub type Rebuild<'a> = &'a dyn Fn(&[(EventId, EventId)], &[(EventId, EventId)]) -> Execution;
+
+/// An abstract litmus operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read of a named location.
+    R(String),
+    /// Write to a named location.
+    W(String),
+    /// Fence.
+    F,
+}
+
+impl Op {
+    /// A read of `loc`.
+    pub fn r(loc: &str) -> Op {
+        Op::R(loc.to_string())
+    }
+
+    /// A write to `loc`.
+    pub fn w(loc: &str) -> Op {
+        Op::W(loc.to_string())
+    }
+}
+
+/// A litmus program: one op list per thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Litmus {
+    /// Threads.
+    pub threads: Vec<Vec<Op>>,
+}
+
+impl Litmus {
+    /// A new litmus program.
+    pub fn new(threads: Vec<Vec<Op>>) -> Self {
+        Litmus { threads }
+    }
+
+    /// Parses a compact litmus notation: threads separated by `||`, ops by
+    /// `;`. Each op is `W <loc>`, `R <loc>`, or `F` (fence). Whitespace is
+    /// free.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcm_litmus::enumerate::Litmus;
+    /// let sb = Litmus::parse("W x; R y || W y; R x").unwrap();
+    /// assert_eq!(sb.threads.len(), 2);
+    /// assert_eq!(sb.len(), 4);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed op.
+    pub fn parse(src: &str) -> Result<Litmus, String> {
+        let mut threads = Vec::new();
+        for (ti, tsrc) in src.split("||").enumerate() {
+            let mut ops = Vec::new();
+            for op_src in tsrc.split(';') {
+                let toks: Vec<&str> = op_src.split_whitespace().collect();
+                match toks.as_slice() {
+                    [] => continue,
+                    ["W", loc] => ops.push(Op::w(loc)),
+                    ["R", loc] => ops.push(Op::r(loc)),
+                    ["F"] => ops.push(Op::F),
+                    other => {
+                        return Err(format!(
+                            "thread {ti}: cannot parse op `{}`",
+                            other.join(" ")
+                        ))
+                    }
+                }
+            }
+            if !ops.is_empty() {
+                threads.push(ops);
+            }
+        }
+        Ok(Litmus { threads })
+    }
+
+    /// Total number of operations.
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if there are no operations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn build_with(
+        &self,
+        rf_choice: &[Option<usize>],
+        co_orders: &[Vec<usize>],
+    ) -> Execution {
+        // rf_choice[i]: for read #i, the index of the write op (global op
+        // numbering) it reads from, or None for ⊤. co_orders: per
+        // location (sorted by name), a total order of write op indices.
+        let mut b = ExecutionBuilder::new();
+        let mut op_events: Vec<EventId> = Vec::new();
+        let mut reads: Vec<usize> = Vec::new();
+        let mut writes: Vec<usize> = Vec::new();
+        let mut op_idx = 0;
+        for (tid, t) in self.threads.iter().enumerate() {
+            b.on_thread(tid);
+            let mut prev: Option<EventId> = None;
+            for op in t {
+                let e = match op {
+                    Op::R(l) => {
+                        reads.push(op_idx);
+                        b.read(l)
+                    }
+                    Op::W(l) => {
+                        writes.push(op_idx);
+                        b.write(l)
+                    }
+                    Op::F => b.fence(),
+                };
+                if let Some(p) = prev {
+                    b.po(p, e);
+                }
+                prev = Some(e);
+                op_events.push(e);
+                op_idx += 1;
+            }
+        }
+        for (ri, &rop) in reads.iter().enumerate() {
+            if let Some(wop) = rf_choice[ri] {
+                b.rf(op_events[wop], op_events[rop]);
+            }
+        }
+        for order in co_orders {
+            for w in order.windows(2) {
+                b.co(op_events[w[0]], op_events[w[1]]);
+            }
+        }
+        b.build()
+    }
+
+    /// Enumerates every structurally well-formed candidate execution:
+    /// all `rf` choices × all per-location `co` total orders.
+    pub fn candidate_executions(&self) -> Vec<Execution> {
+        // Collect ops with global indices.
+        let mut flat: Vec<&Op> = Vec::new();
+        for t in &self.threads {
+            flat.extend(t.iter());
+        }
+        let reads: Vec<usize> = flat
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, Op::R(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut locs: Vec<&str> = flat
+            .iter()
+            .filter_map(|o| match o {
+                Op::R(l) | Op::W(l) => Some(l.as_str()),
+                Op::F => None,
+            })
+            .collect();
+        locs.sort_unstable();
+        locs.dedup();
+        let writes_to = |l: &str| -> Vec<usize> {
+            flat.iter()
+                .enumerate()
+                .filter(|(_, o)| matches!(o, Op::W(m) if m == l))
+                .map(|(i, _)| i)
+                .collect()
+        };
+
+        // rf choices per read.
+        let rf_candidates: Vec<Vec<Option<usize>>> = reads
+            .iter()
+            .map(|&r| {
+                let loc = match flat[r] {
+                    Op::R(l) => l.as_str(),
+                    _ => unreachable!(),
+                };
+                let mut c: Vec<Option<usize>> = vec![None];
+                c.extend(writes_to(loc).into_iter().map(Some));
+                c
+            })
+            .collect();
+        // co orders per location: all permutations of its writes.
+        let co_candidates: Vec<Vec<Vec<usize>>> = locs
+            .iter()
+            .map(|l| permutations(&writes_to(l)))
+            .collect();
+
+        let mut out = Vec::new();
+        for rf in product(&rf_candidates) {
+            for co in product(&co_candidates) {
+                let x = self.build_with(&rf, &co);
+                if x.well_formed().is_ok() {
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+
+    /// The candidate executions consistent with a memory model: the
+    /// program's **architectural semantics** (§2.2).
+    pub fn consistent_executions(&self, model: &dyn ConsistencyModel) -> Vec<Execution> {
+        self.candidate_executions()
+            .into_iter()
+            .filter(|x| model.check(x).is_ok())
+            .collect()
+    }
+}
+
+/// Enumerates every microarchitectural witness of a fixed architectural
+/// execution template: all `rfx` source choices for xstate readers × all
+/// per-xstate `cox` orders, rebuilt via `rebuild` (which must recreate the
+/// same events and architectural witness, then apply the given
+/// `rfx`/`cox` edges).
+///
+/// Returns only witnesses that are strictly well-formed and satisfy the
+/// confidentiality predicate.
+pub fn microarch_witnesses(
+    template: &Execution,
+    confidentiality: &dyn ConfidentialityModel,
+    rebuild: Rebuild<'_>,
+) -> Vec<Execution> {
+    // Per xstate element: writers and readers.
+    use std::collections::BTreeMap;
+    let mut writers: BTreeMap<u32, Vec<EventId>> = BTreeMap::new();
+    let mut readers: Vec<(EventId, u32)> = Vec::new();
+    for e in template.events() {
+        if let Some(xs) = e.xstate() {
+            if e.writes_xstate() {
+                writers.entry(xs.0).or_default().push(e.id());
+            }
+            if e.reads_xstate() && e.kind() != lcm_core::EventKind::Init {
+                readers.push((e.id(), xs.0));
+            }
+        }
+    }
+    // rfx candidates per reader.
+    let rfx_cands: Vec<Vec<EventId>> = readers
+        .iter()
+        .map(|&(r, xs)| {
+            writers
+                .get(&xs)
+                .map(|ws| ws.iter().copied().filter(|&w| w != r).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    // cox orders per xstate: permutations of non-init writers (init first
+    // implicitly via builder completion).
+    let cox_groups: Vec<Vec<EventId>> = writers
+        .values()
+        .map(|ws| {
+            ws.iter()
+                .copied()
+                .filter(|&w| template.event(w).kind() != lcm_core::EventKind::Init)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let cox_orders: Vec<Vec<Vec<EventId>>> = cox_groups
+        .iter()
+        .map(|ws| permutations_e(ws))
+        .collect();
+
+    let mut out = Vec::new();
+    for rfx in product_e(&rfx_cands) {
+        for cox in product_vec(&cox_orders) {
+            let rfx_edges: Vec<(EventId, EventId)> = readers
+                .iter()
+                .zip(&rfx)
+                .map(|(&(r, _), &w)| (w, r))
+                .collect();
+            let mut cox_edges = Vec::new();
+            for order in &cox {
+                for w in order.windows(2) {
+                    cox_edges.push((w[0], w[1]));
+                }
+            }
+            let x = rebuild(&rfx_edges, &cox_edges);
+            if x.well_formed_strict().is_ok() && confidentiality.check(&x).is_ok() {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+/// The result of comparing two confidentiality predicates over the same
+/// witness space (extension — §3.4's planned use of subrosa: "comparing
+/// LCMs across microarchitectures").
+#[derive(Debug, Clone, Default)]
+pub struct ModelComparison {
+    /// Witnesses only the first model permits.
+    pub only_first: usize,
+    /// Witnesses only the second model permits.
+    pub only_second: usize,
+    /// Witnesses both permit.
+    pub both: usize,
+    /// Witnesses both permit that additionally violate non-interference
+    /// under the first-only set (leakage unique to the first hardware).
+    pub leaky_only_first: usize,
+    /// Leakage unique to the second hardware.
+    pub leaky_only_second: usize,
+}
+
+impl ModelComparison {
+    /// `true` if the first model permits strictly more behaviour.
+    pub fn first_is_weaker(&self) -> bool {
+        self.only_first > 0 && self.only_second == 0
+    }
+}
+
+/// Compares two confidentiality models over every structurally well-formed
+/// microarchitectural witness of a template execution: which witnesses
+/// (and which *leaky* witnesses) each hardware model admits.
+pub fn compare_models(
+    template: &Execution,
+    first: &dyn ConfidentialityModel,
+    second: &dyn ConfidentialityModel,
+    rebuild: Rebuild<'_>,
+) -> ModelComparison {
+    // Enumerate under a permit-all oracle, then classify.
+    struct PermitAll;
+    impl ConfidentialityModel for PermitAll {
+        fn name(&self) -> &'static str {
+            "permit-all"
+        }
+        fn check(
+            &self,
+            _: &Execution,
+        ) -> Result<(), lcm_core::confidentiality::ConfidentialityViolation> {
+            Ok(())
+        }
+    }
+    let mut out = ModelComparison::default();
+    for x in microarch_witnesses(template, &PermitAll, rebuild) {
+        let a = first.check(&x).is_ok();
+        let b = second.check(&x).is_ok();
+        let leaky = !lcm_core::noninterference::interference_free(&x);
+        match (a, b) {
+            (true, true) => out.both += 1,
+            (true, false) => {
+                out.only_first += 1;
+                if leaky {
+                    out.leaky_only_first += 1;
+                }
+            }
+            (false, true) => {
+                out.only_second += 1;
+                if leaky {
+                    out.leaky_only_second += 1;
+                }
+            }
+            (false, false) => {}
+        }
+    }
+    out
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn permutations_e(items: &[EventId]) -> Vec<Vec<EventId>> {
+    let raw: Vec<usize> = items.iter().map(|e| e.0).collect();
+    permutations(&raw)
+        .into_iter()
+        .map(|p| p.into_iter().map(EventId).collect())
+        .collect()
+}
+
+fn product<T: Clone>(cands: &[Vec<T>]) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = vec![vec![]];
+    for c in cands {
+        let mut next = Vec::new();
+        for partial in &out {
+            for item in c {
+                let mut p = partial.clone();
+                p.push(item.clone());
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn product_e(cands: &[Vec<EventId>]) -> Vec<Vec<EventId>> {
+    product(cands)
+}
+
+fn product_vec(cands: &[Vec<Vec<EventId>>]) -> Vec<Vec<Vec<EventId>>> {
+    product(cands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_core::confidentiality::X86Lcm;
+    use lcm_core::mcm::{Sc, Tso};
+    use lcm_core::noninterference;
+
+    /// Store buffering: Wx; Ry || Wy; Rx.
+    fn sb() -> Litmus {
+        Litmus::new(vec![
+            vec![Op::w("x"), Op::r("y")],
+            vec![Op::w("y"), Op::r("x")],
+        ])
+    }
+
+    #[test]
+    fn sb_has_four_candidates_tso_allows_all_sc_three() {
+        let l = sb();
+        let all = l.candidate_executions();
+        assert_eq!(all.len(), 4, "2 rf choices per read");
+        let tso = l.consistent_executions(&Tso);
+        let sc = l.consistent_executions(&Sc);
+        assert_eq!(tso.len(), 4, "TSO allows the relaxed outcome");
+        assert_eq!(sc.len(), 3, "SC forbids both-reads-stale");
+        // TSO is weaker: every SC execution is TSO-consistent.
+        assert!(sc.len() <= tso.len());
+    }
+
+    #[test]
+    fn sb_with_fences_restores_sc() {
+        let l = Litmus::new(vec![
+            vec![Op::w("x"), Op::F, Op::r("y")],
+            vec![Op::w("y"), Op::F, Op::r("x")],
+        ]);
+        let tso = l.consistent_executions(&Tso);
+        let sc = l.consistent_executions(&Sc);
+        assert_eq!(tso.len(), sc.len(), "fences eliminate the TSO-only outcome");
+        assert_eq!(tso.len(), 3);
+    }
+
+    /// Message passing: Wx; Wy || Ry; Rx.
+    #[test]
+    fn mp_stale_flag_read_forbidden_by_tso() {
+        let l = Litmus::new(vec![
+            vec![Op::w("x"), Op::w("y")],
+            vec![Op::r("y"), Op::r("x")],
+        ]);
+        let all = l.candidate_executions();
+        assert_eq!(all.len(), 4);
+        let tso = l.consistent_executions(&Tso);
+        // The outcome Ry=new ∧ Rx=stale is forbidden: 3 remain.
+        assert_eq!(tso.len(), 3);
+    }
+
+    #[test]
+    fn coherence_two_writes_one_reader() {
+        // W x; W x || R x: co has 2 orders, read has 3 sources = 6
+        // structurally, coherence (sc_per_loc) prunes.
+        let l = Litmus::new(vec![
+            vec![Op::w("x"), Op::w("x")],
+            vec![Op::r("x")],
+        ]);
+        let all = l.candidate_executions();
+        assert_eq!(all.len(), 6);
+        let tso = l.consistent_executions(&Tso);
+        // po(w1,w2) forces co(w1,w2): the co order w2->w1 violates
+        // sc_per_loc regardless of rf: 3 remain.
+        assert_eq!(tso.len(), 3);
+    }
+
+    #[test]
+    fn microarch_enumeration_finds_implied_and_deviant_witnesses() {
+        // Single thread: R x; W x. Microarchitecturally the write's line
+        // read may hit the read's fill (implied) or go to ⊤ (deviant).
+        let make = |rfx: &[(EventId, EventId)], cox: &[(EventId, EventId)]| {
+            let mut b = ExecutionBuilder::new();
+            let r = b.read("x");
+            let w = b.write("x");
+            b.po(r, w);
+            for &(a, c) in rfx {
+                b.rfx(a, c);
+            }
+            for &(a, c) in cox {
+                b.cox(a, c);
+            }
+            b.build()
+        };
+        let template = make(&[], &[]);
+        let witnesses = microarch_witnesses(&template, &X86Lcm, &make);
+        assert!(!witnesses.is_empty());
+        let clean: Vec<_> = witnesses
+            .iter()
+            .filter(|x| noninterference::interference_free(x))
+            .collect();
+        let leaky: Vec<_> = witnesses
+            .iter()
+            .filter(|x| !noninterference::interference_free(x))
+            .collect();
+        assert!(!clean.is_empty(), "the implied witness is enumerated");
+        assert!(!leaky.is_empty(), "deviating witnesses exist and are detected");
+    }
+
+    #[test]
+    fn empty_program() {
+        let l = Litmus::new(vec![]);
+        assert!(l.is_empty());
+        assert_eq!(l.candidate_executions().len(), 1, "the empty execution");
+    }
+
+    /// IRIW: two writers, two readers observing in opposite orders. TSO is
+    /// multi-copy atomic, so the paradoxical outcome is forbidden — the
+    /// consistent sets of SC and TSO coincide on this shape.
+    #[test]
+    fn iriw_has_no_tso_only_outcomes() {
+        let l = Litmus::new(vec![
+            vec![Op::w("x")],
+            vec![Op::w("y")],
+            vec![Op::r("x"), Op::r("y")],
+            vec![Op::r("y"), Op::r("x")],
+        ]);
+        let sc = l.consistent_executions(&Sc);
+        let tso = l.consistent_executions(&Tso);
+        assert_eq!(sc.len(), tso.len(), "TSO adds nothing on IRIW");
+        // The paradoxical outcome (t2 sees x-new,y-old; t3 sees y-new,
+        // x-old) is not among them.
+        for x in &tso {
+            let val = |ridx: usize| -> bool {
+                // read event ids: reads are events in thread order; check
+                // rf source kind (Init = old).
+                let read = x
+                    .events()
+                    .iter()
+                    .filter(|e| e.kind() == lcm_core::EventKind::Read)
+                    .nth(ridx)
+                    .unwrap();
+                let src = x.rf().predecessors(read.id().0).next().unwrap();
+                x.event(lcm_core::EventId(src)).kind() != lcm_core::EventKind::Init
+            };
+            let paradox = val(0) && !val(1) && val(2) && !val(3);
+            assert!(!paradox, "IRIW paradox permitted");
+        }
+    }
+
+    /// CoRR: two reads of the same location must not observe writes in
+    /// opposite orders (read-read coherence), enforced by sc_per_loc.
+    #[test]
+    fn corr_coherence_enforced() {
+        let l = Litmus::new(vec![
+            vec![Op::w("x")],
+            vec![Op::r("x"), Op::r("x")],
+        ]);
+        for x in l.consistent_executions(&Tso) {
+            // If the first read sees the new value, the second must too.
+            let reads: Vec<_> = x
+                .events()
+                .iter()
+                .filter(|e| e.kind() == lcm_core::EventKind::Read)
+                .collect();
+            let sees_new = |r: &lcm_core::Event| {
+                let src = x.rf().predecessors(r.id().0).next().unwrap();
+                x.event(lcm_core::EventId(src)).kind() != lcm_core::EventKind::Init
+            };
+            if sees_new(reads[0]) {
+                assert!(sees_new(reads[1]), "new-then-old read order violates coherence");
+            }
+        }
+    }
+
+    #[test]
+    fn fence_only_threads_are_harmless() {
+        let l = Litmus::new(vec![vec![Op::F, Op::F]]);
+        assert_eq!(l.consistent_executions(&Tso).len(), 1);
+    }
+
+    #[test]
+    fn parse_agrees_with_programmatic_construction() {
+        let parsed = Litmus::parse("W x; R y || W y; R x").unwrap();
+        assert_eq!(parsed, sb());
+        let fenced = Litmus::parse("W x; F; R y || W y; F; R x").unwrap();
+        assert_eq!(fenced.len(), 6);
+        assert_eq!(
+            parsed.consistent_executions(&Tso).len(),
+            sb().consistent_executions(&Tso).len()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_ops() {
+        assert!(Litmus::parse("W x; BLORP y").unwrap_err().contains("BLORP"));
+        assert!(Litmus::parse("W").is_err());
+        // Empty threads / trailing separators are tolerated.
+        let l = Litmus::parse("W x; ; R x ||").unwrap();
+        assert_eq!(l.threads.len(), 1);
+        assert_eq!(l.len(), 2);
+    }
+
+    /// The parameterizable-model path (§5.2's future work, implemented as
+    /// an extension): user-supplied cat specifications drive the
+    /// enumerator and agree with the built-in models.
+    #[test]
+    fn cat_models_agree_with_builtins_on_classic_litmus() {
+        use lcm_core::cat::{presets, CatModel};
+        let cat_tso = CatModel::parse("TSO", presets::TSO).unwrap();
+        let cat_sc = CatModel::parse("SC", presets::SC).unwrap();
+        for l in [
+            Litmus::new(vec![
+                vec![Op::w("x"), Op::r("y")],
+                vec![Op::w("y"), Op::r("x")],
+            ]),
+            Litmus::new(vec![
+                vec![Op::w("x"), Op::w("y")],
+                vec![Op::r("y"), Op::r("x")],
+            ]),
+            Litmus::new(vec![vec![Op::w("x"), Op::w("x")], vec![Op::r("x")]]),
+        ] {
+            assert_eq!(
+                l.consistent_executions(&cat_tso).len(),
+                l.consistent_executions(&Tso).len()
+            );
+            assert_eq!(
+                l.consistent_executions(&cat_sc).len(),
+                l.consistent_executions(&Sc).len()
+            );
+        }
+    }
+
+    #[test]
+    fn silent_store_hardware_is_weaker_than_x86() {
+        use lcm_core::confidentiality::SilentStoreLcm;
+        // Template: two same-location stores; a silent-store machine may
+        // execute the second as a read.
+        let make = |rfx: &[(EventId, EventId)], cox: &[(EventId, EventId)]| {
+            let mut b = ExecutionBuilder::new();
+            let w1 = b.write("x");
+            // Model the silent option: the second store's mode decides
+            // which machine can produce the witness. Use a silent write so
+            // the x86 predicate rejects every witness and the comparison
+            // attributes all of them to the silent-store machine.
+            let w2 = b.silent_write("x");
+            b.po(w1, w2);
+            b.co(w1, w2);
+            for &(a, c) in rfx {
+                b.rfx(a, c);
+            }
+            for &(a, c) in cox {
+                b.cox(a, c);
+            }
+            b.build()
+        };
+        let template = make(&[], &[]);
+        let cmp = compare_models(&template, &SilentStoreLcm, &X86Lcm, &make);
+        assert!(cmp.first_is_weaker(), "{cmp:?}");
+        assert!(cmp.leaky_only_first > 0, "silent stores add leaky behaviour: {cmp:?}");
+        assert_eq!(cmp.both, 0, "x86 permits no silent-store witness");
+    }
+
+    #[test]
+    fn model_compared_with_itself_has_no_exclusive_behaviour() {
+        let make = |rfx: &[(EventId, EventId)], cox: &[(EventId, EventId)]| {
+            let mut b = ExecutionBuilder::new();
+            let r = b.read("x");
+            let w = b.write("x");
+            b.po(r, w);
+            for &(a, c) in rfx {
+                b.rfx(a, c);
+            }
+            for &(a, c) in cox {
+                b.cox(a, c);
+            }
+            b.build()
+        };
+        let template = make(&[], &[]);
+        let cmp = compare_models(&template, &X86Lcm, &X86Lcm, &make);
+        assert_eq!(cmp.only_first, 0);
+        assert_eq!(cmp.only_second, 0);
+        assert!(cmp.both > 0);
+    }
+}

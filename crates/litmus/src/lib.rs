@@ -1,0 +1,18 @@
+//! The subrosa analogue (§3.4): design and formal analysis of LCM
+//! specifications on litmus-sized programs.
+//!
+//! Two facilities:
+//!
+//! * [`programs`] — executable constructions of every worked attack in the
+//!   paper (Fig. 2b Spectre v1, Fig. 3 the non-transient-access variant,
+//!   Fig. 4a Spectre v4, Fig. 4b Spectre-PSF, Fig. 5a silent stores,
+//!   Fig. 5b the indirect memory prefetcher), each returning a complete
+//!   candidate execution ready for [`lcm_core::detect_leakage`];
+//! * [`enumerate`] — exhaustive enumeration of candidate executions for
+//!   small programs (the Alloy-style bounded analysis): all `rf` choices ×
+//!   all per-location `co` orders, filtered by a consistency predicate;
+//!   and all microarchitectural witnesses (`rfx`/`cox`) filtered by a
+//!   confidentiality predicate.
+
+pub mod enumerate;
+pub mod programs;

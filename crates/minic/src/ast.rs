@@ -1,0 +1,144 @@
+//! Abstract syntax tree for mini-C.
+
+/// A parsed type: word-sized base type plus pointer depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeSpec {
+    /// `true` for `void` with zero pointer depth.
+    pub is_void: bool,
+    /// Number of `*`s.
+    pub ptr_depth: usize,
+    /// `register`-qualified (kept in a virtual register, never spilled).
+    pub is_register: bool,
+}
+
+impl TypeSpec {
+    /// A plain word-sized value type.
+    pub fn word() -> Self {
+        TypeSpec { is_void: false, ptr_depth: 0, is_register: false }
+    }
+
+    /// `true` if the type is a pointer.
+    pub fn is_ptr(&self) -> bool {
+        self.ptr_depth > 0
+    }
+}
+
+/// Binary AST operators (including short-circuit forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinAst {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary AST operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnAst {
+    Neg,
+    Not,
+    BitNot,
+    Deref,
+    AddrOf,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier reference.
+    Ident(String),
+    /// Binary operation.
+    Bin(BinAst, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnAst, Box<Expr>),
+    /// Array indexing `base[index]` (lowered to `gep`).
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Ternary `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (also used for compound forms after
+    /// desugaring).
+    Assign(Box<Expr>, Box<Expr>),
+    /// `sizeof(ident)`.
+    SizeOf(String),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration: type, name, optional array size, optional
+    /// initializer.
+    Decl(TypeSpec, String, Option<u32>, Option<Expr>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if` with optional `else`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while` loop.
+    While(Expr, Vec<Stmt>),
+    /// `do { .. } while (cond);` loop.
+    DoWhile(Vec<Stmt>, Expr),
+    /// `return`.
+    Return(Option<Expr>),
+    /// `lfence()` speculation barrier.
+    Fence,
+    /// `break;` out of the innermost loop.
+    Break,
+    /// `continue;` to the innermost loop header.
+    Continue,
+    /// Block (scoping is flat in mini-C; kept for structure).
+    Block(Vec<Stmt>),
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Type.
+    pub ty: TypeSpec,
+    /// Name.
+    pub name: String,
+    /// Array size (1 for scalars).
+    pub size: u32,
+    /// Initial words.
+    pub init: Vec<i64>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: TypeSpec,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(TypeSpec, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in definition order.
+    pub functions: Vec<FuncDef>,
+}

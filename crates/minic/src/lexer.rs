@@ -1,0 +1,227 @@
+//! Tokenizer for mini-C.
+
+use std::fmt;
+
+/// Token categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation / operator, e.g. `"+="`, `"<<"`, `"("`.
+    Punct(&'static str),
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "&&", "||", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "->", "++", "--", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<",
+    ">", "=", "(", ")", "[", "]", "{", "}", ";", ",", "?", ":", ".",
+];
+
+/// Tokenizes mini-C source. Line (`//`) and block (`/* */`) comments and
+/// preprocessor lines (`#...`) are skipped.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on the first unrecognized character.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+                continue;
+            }
+        }
+        // Preprocessor lines: skip wholesale.
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            out.push(Token { kind: TokenKind::Ident(word), line });
+            continue;
+        }
+        // Numbers (decimal / hex).
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text: String = bytes[start + 2..i].iter().collect();
+                let v = i64::from_str_radix(&text, 16).unwrap_or(0);
+                out.push(Token { kind: TokenKind::Int(v), line });
+            } else {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v: i64 = text.parse().unwrap_or(0);
+                out.push(Token { kind: TokenKind::Int(v), line });
+            }
+            // Skip integer suffixes (u, U, l, L combinations).
+            while i < bytes.len() && matches!(bytes[i], 'u' | 'U' | 'l' | 'L') {
+                i += 1;
+            }
+            continue;
+        }
+        // Character literals lex to their code point.
+        if c == '\'' && i + 2 < bytes.len() && bytes[i + 2] == '\'' {
+            out.push(Token { kind: TokenKind::Int(bytes[i + 1] as i64), line });
+            i += 3;
+            continue;
+        }
+        // Punctuation, longest match first.
+        let rest: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            out.push(Token { kind: TokenKind::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        return Err(LexError { ch: c, line });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        assert_eq!(
+            kinds("a <<= b << c <= d < e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("<<"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Punct("<"),
+                TokenKind::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        assert_eq!(kinds("0xff 10UL"), vec![TokenKind::Int(255), TokenKind::Int(10)]);
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let src = "#include <stdint.h>\n// line\nint /* block\nspanning */ x;";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literal() {
+        assert_eq!(kinds("'A'"), vec![TokenKind::Int(65)]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = lex("int $x;").unwrap_err();
+        assert_eq!(e.ch, '$');
+        assert_eq!(e.line, 1);
+    }
+}

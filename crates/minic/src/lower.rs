@@ -1,0 +1,523 @@
+//! Lowering from the mini-C AST to [`lcm_ir`] at `clang -O0` fidelity.
+//!
+//! Every non-`register` variable lives in an `alloca`; every use is a
+//! `load` and every assignment a `store`. Array indexing lowers to
+//! [`lcm_ir::Inst::Gep`]; pointer dereference lowers to a load whose
+//! address operand is the loaded pointer (a plain `addr` dependency).
+
+use std::collections::HashMap;
+
+use lcm_ir::{BinOp, BlockId, Function, Global, GlobalId, Inst, Module, Terminator, Ty, Value};
+
+use crate::ast::*;
+
+/// Lowers a program to an IR module.
+///
+/// # Errors
+///
+/// Returns a message describing the first lowering problem (e.g. an
+/// undeclared identifier or a non-pointer indexed as an array).
+pub fn lower(prog: &Program) -> Result<Module, String> {
+    let mut module = Module::new();
+    let mut globals: HashMap<String, (GlobalId, GlobalInfo)> = HashMap::new();
+    for g in &prog.globals {
+        let secret = g.name.starts_with("sec") || g.name.contains("secret") || g.name.contains("key");
+        let mut global = Global::array(&g.name, g.size.max(1));
+        global.is_ptr = g.ty.is_ptr();
+        global.secret = secret;
+        global.init = g.init.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
+        let gid = module.add_global(global);
+        let depth = g.ty.ptr_depth + usize::from(g.size > 1);
+        globals.insert(g.name.clone(), (gid, GlobalInfo { depth, is_array: g.size > 1, size: g.size }));
+    }
+    // Function signatures (return pointer depth), for call result typing.
+    let sigs: HashMap<String, usize> = prog
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), f.ret.ptr_depth))
+        .collect();
+    for fd in &prog.functions {
+        let f = FuncLowerer::new(fd, &globals, &sigs).lower()?;
+        module.add_function(f);
+    }
+    Ok(module)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GlobalInfo {
+    /// Pointer depth of the value named by the identifier (arrays decay).
+    depth: usize,
+    is_array: bool,
+    size: u32,
+}
+
+/// Where a local variable's value lives.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// A stack slot; the identifier's value has the given pointer depth.
+    Stack { addr: Value, depth: usize, is_array: bool, size: u32 },
+    /// A `register` variable: tracked as a plain value (no memory).
+    Reg { value: Value, depth: usize },
+}
+
+struct FuncLowerer<'a> {
+    fd: &'a FuncDef,
+    globals: &'a HashMap<String, (GlobalId, GlobalInfo)>,
+    sigs: &'a HashMap<String, usize>,
+    f: Function,
+    bb: BlockId,
+    scopes: Vec<HashMap<String, Slot>>,
+    /// Innermost-first stack of (loop header, loop exit) for break/continue.
+    loop_stack: Vec<(BlockId, BlockId)>,
+}
+
+fn ty_of(depth: usize) -> Ty {
+    if depth > 0 {
+        Ty::Ptr
+    } else {
+        Ty::Int
+    }
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(
+        fd: &'a FuncDef,
+        globals: &'a HashMap<String, (GlobalId, GlobalInfo)>,
+        sigs: &'a HashMap<String, usize>,
+    ) -> Self {
+        let params: Vec<(&str, Ty)> = fd
+            .params
+            .iter()
+            .map(|(t, n)| (n.as_str(), ty_of(t.ptr_depth)))
+            .collect();
+        let f = Function::new(&fd.name, &params);
+        let bb = f.entry();
+        FuncLowerer { fd, globals, sigs, f, bb, scopes: vec![HashMap::new()], loop_stack: Vec::new() }
+    }
+
+    fn lower(mut self) -> Result<Function, String> {
+        // clang -O0: spill each parameter to a stack slot (unless
+        // `register`-qualified).
+        for (i, (ty, name)) in self.fd.params.iter().enumerate() {
+            let pv = self.f.param(i);
+            if ty.is_register {
+                self.declare(name, Slot::Reg { value: pv, depth: ty.ptr_depth });
+            } else {
+                let slot = self.f.push(
+                    self.bb,
+                    Inst::Alloca { name: format!("{name}.addr"), size: 1 },
+                );
+                self.f.push(self.bb, Inst::Store { addr: slot, value: pv });
+                self.declare(
+                    name,
+                    Slot::Stack { addr: slot, depth: ty.ptr_depth, is_array: false, size: 1 },
+                );
+            }
+        }
+        let body = self.fd.body.clone();
+        self.lower_stmts(&body)?;
+        // Implicit return at end of function.
+        self.f.set_term(self.bb, Terminator::Ret(None));
+        Ok(self.f)
+    }
+
+    fn declare(&mut self, name: &str, slot: Slot) {
+        self.scopes.last_mut().unwrap().insert(name.to_string(), slot);
+    }
+
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Some(s.clone());
+            }
+        }
+        None
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), String> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), String> {
+        match s {
+            Stmt::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(stmts)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl(ty, name, size, init) => {
+                if ty.is_register {
+                    let init_v = match init {
+                        Some(e) => self.rvalue(e)?.0,
+                        None => self.f.iconst(0),
+                    };
+                    self.declare(name, Slot::Reg { value: init_v, depth: ty.ptr_depth });
+                    return Ok(());
+                }
+                let n = size.unwrap_or(1).max(1);
+                let addr = self
+                    .f
+                    .push(self.bb, Inst::Alloca { name: name.clone(), size: n });
+                let depth = ty.ptr_depth + usize::from(size.is_some());
+                self.declare(
+                    name,
+                    Slot::Stack { addr, depth, is_array: size.is_some(), size: n },
+                );
+                if let Some(e) = init {
+                    let (v, _) = self.rvalue(e)?;
+                    self.f.push(self.bb, Inst::Store { addr, value: v });
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+            Stmt::Fence => {
+                self.f.push(self.bb, Inst::Fence);
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.rvalue(e)?.0),
+                    None => None,
+                };
+                self.f.set_term(self.bb, Terminator::Ret(v));
+                // Continue lowering into an unreachable block.
+                self.bb = self.f.add_block("dead");
+                Ok(())
+            }
+            Stmt::If(cond, then_s, else_s) => {
+                let (c, _) = self.rvalue(cond)?;
+                let then_b = self.f.add_block("if.then");
+                let else_b = self.f.add_block("if.else");
+                let join = self.f.add_block("if.join");
+                self.f.set_term(self.bb, Terminator::CondBr { cond: c, then_bb: then_b, else_bb: else_b });
+                self.bb = then_b;
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(then_s)?;
+                self.scopes.pop();
+                self.f.set_term(self.bb, Terminator::Br(join));
+                self.bb = else_b;
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(else_s)?;
+                self.scopes.pop();
+                self.f.set_term(self.bb, Terminator::Br(join));
+                self.bb = join;
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let header = self.f.add_block("while.header");
+                let body_b = self.f.add_block("while.body");
+                let exit = self.f.add_block("while.exit");
+                self.f.set_term(self.bb, Terminator::Br(header));
+                self.bb = header;
+                let (c, _) = self.rvalue(cond)?;
+                self.f.set_term(self.bb, Terminator::CondBr { cond: c, then_bb: body_b, else_bb: exit });
+                self.bb = body_b;
+                self.scopes.push(HashMap::new());
+                self.loop_stack.push((header, exit));
+                self.lower_stmts(body)?;
+                self.loop_stack.pop();
+                self.scopes.pop();
+                self.f.set_term(self.bb, Terminator::Br(header));
+                self.bb = exit;
+                Ok(())
+            }
+            Stmt::DoWhile(body, cond) => {
+                // body executes at least once; the latch re-checks cond.
+                let body_b = self.f.add_block("do.body");
+                let latch = self.f.add_block("do.latch");
+                let exit = self.f.add_block("do.exit");
+                self.f.set_term(self.bb, Terminator::Br(body_b));
+                self.bb = body_b;
+                self.scopes.push(HashMap::new());
+                self.loop_stack.push((latch, exit));
+                self.lower_stmts(body)?;
+                self.loop_stack.pop();
+                self.scopes.pop();
+                self.f.set_term(self.bb, Terminator::Br(latch));
+                self.bb = latch;
+                let (c, _) = self.rvalue(cond)?;
+                self.f.set_term(self.bb, Terminator::CondBr { cond: c, then_bb: body_b, else_bb: exit });
+                self.bb = exit;
+                Ok(())
+            }
+            Stmt::Break => {
+                let &(_, exit) = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| "break outside of a loop".to_string())?;
+                self.f.set_term(self.bb, Terminator::Br(exit));
+                self.bb = self.f.add_block("dead");
+                Ok(())
+            }
+            Stmt::Continue => {
+                let &(header, _) = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| "continue outside of a loop".to_string())?;
+                self.f.set_term(self.bb, Terminator::Br(header));
+                self.bb = self.f.add_block("dead");
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers an expression to an rvalue: `(value, pointer depth)`.
+    fn rvalue(&mut self, e: &Expr) -> Result<(Value, usize), String> {
+        match e {
+            Expr::Int(v) => Ok((self.f.iconst(*v), 0)),
+            Expr::SizeOf(name) => {
+                let n = match self.lookup(name) {
+                    Some(Slot::Stack { size, .. }) => i64::from(size),
+                    Some(Slot::Reg { .. }) => 1,
+                    None => match self.globals.get(name) {
+                        Some((_, info)) => i64::from(info.size),
+                        None => return Err(format!("sizeof of unknown `{name}`")),
+                    },
+                };
+                Ok((self.f.iconst(n), 0))
+            }
+            Expr::Ident(name) => {
+                match self.lookup(name) {
+                    Some(Slot::Reg { value, depth }) => Ok((value, depth)),
+                    Some(Slot::Stack { addr, depth, is_array, .. }) => {
+                        if is_array {
+                            // Arrays decay to their base address (no load).
+                            Ok((addr, depth))
+                        } else {
+                            let v = self
+                                .f
+                                .push(self.bb, Inst::Load { addr, ty: ty_of(depth) });
+                            Ok((v, depth))
+                        }
+                    }
+                    None => match self.globals.get(name).copied() {
+                        Some((gid, info)) => {
+                            let base = self.f.global_addr(gid);
+                            if info.is_array {
+                                Ok((base, info.depth))
+                            } else {
+                                let v = self
+                                    .f
+                                    .push(self.bb, Inst::Load { addr: base, ty: ty_of(info.depth) });
+                                Ok((v, info.depth))
+                            }
+                        }
+                        None => Err(format!("undeclared identifier `{name}`")),
+                    },
+                }
+            }
+            Expr::Un(UnAst::Neg, inner) => {
+                let (v, _) = self.rvalue(inner)?;
+                let zero = self.f.iconst(0);
+                Ok((self.f.bin(BinOp::Sub, zero, v), 0))
+            }
+            Expr::Un(UnAst::Not, inner) => {
+                let (v, _) = self.rvalue(inner)?;
+                let zero = self.f.iconst(0);
+                Ok((self.f.bin(BinOp::Eq, v, zero), 0))
+            }
+            Expr::Un(UnAst::BitNot, inner) => {
+                let (v, _) = self.rvalue(inner)?;
+                let m1 = self.f.iconst(-1);
+                Ok((self.f.bin(BinOp::Xor, v, m1), 0))
+            }
+            Expr::Un(UnAst::Deref, inner) => {
+                let (p, depth) = self.rvalue(inner)?;
+                if depth == 0 {
+                    return Err("dereference of non-pointer".to_string());
+                }
+                let v = self
+                    .f
+                    .push(self.bb, Inst::Load { addr: p, ty: ty_of(depth - 1) });
+                Ok((v, depth - 1))
+            }
+            Expr::Un(UnAst::AddrOf, inner) => self.lvalue(inner),
+            Expr::Index(base, idx) => {
+                let (addr, depth) = self.index_addr(base, idx)?;
+                let v = self
+                    .f
+                    .push(self.bb, Inst::Load { addr, ty: ty_of(depth) });
+                Ok((v, depth))
+            }
+            Expr::Call(name, args) => {
+                if name == "lfence" || name == "__lfence" {
+                    self.f.push(self.bb, Inst::Fence);
+                    return Ok((self.f.iconst(0), 0));
+                }
+                let mut avs = Vec::new();
+                for a in args {
+                    avs.push(self.rvalue(a)?.0);
+                }
+                let ret_depth = self.sigs.get(name).copied().unwrap_or(0);
+                let v = self.f.push(
+                    self.bb,
+                    Inst::Call { callee: name.clone(), args: avs, ty: ty_of(ret_depth) },
+                );
+                Ok((v, ret_depth))
+            }
+            Expr::Bin(BinAst::LogAnd, a, b) => self.short_circuit(a, b, true),
+            Expr::Bin(BinAst::LogOr, a, b) => self.short_circuit(a, b, false),
+            Expr::Bin(op, a, b) => {
+                let (va, da) = self.rvalue(a)?;
+                let (vb, db) = self.rvalue(b)?;
+                // Pointer arithmetic `p + i` lowers to gep (non-gep addr
+                // dependency semantics preserved via base operand).
+                if matches!(op, BinAst::Add) && da > 0 && db == 0 {
+                    return Ok((self.f.gep(va, vb), da));
+                }
+                if matches!(op, BinAst::Add) && db > 0 && da == 0 {
+                    return Ok((self.f.gep(vb, va), db));
+                }
+                let irop = match op {
+                    BinAst::Add => BinOp::Add,
+                    BinAst::Sub => BinOp::Sub,
+                    BinAst::Mul => BinOp::Mul,
+                    BinAst::Div => BinOp::Div,
+                    BinAst::Rem => BinOp::Rem,
+                    BinAst::BitAnd => BinOp::And,
+                    BinAst::BitOr => BinOp::Or,
+                    BinAst::BitXor => BinOp::Xor,
+                    BinAst::Shl => BinOp::Shl,
+                    BinAst::Shr => BinOp::Shr,
+                    BinAst::Lt => BinOp::Lt,
+                    BinAst::Le => BinOp::Le,
+                    BinAst::Gt => BinOp::Gt,
+                    BinAst::Ge => BinOp::Ge,
+                    BinAst::Eq => BinOp::Eq,
+                    BinAst::Ne => BinOp::Ne,
+                    BinAst::LogAnd | BinAst::LogOr => unreachable!(),
+                };
+                Ok((self.f.bin(irop, va, vb), 0))
+            }
+            Expr::Ternary(c, a, b) => {
+                let slot = self
+                    .f
+                    .push(self.bb, Inst::Alloca { name: "ternary".into(), size: 1 });
+                let (cv, _) = self.rvalue(c)?;
+                let then_b = self.f.add_block("tern.then");
+                let else_b = self.f.add_block("tern.else");
+                let join = self.f.add_block("tern.join");
+                self.f.set_term(self.bb, Terminator::CondBr { cond: cv, then_bb: then_b, else_bb: else_b });
+                self.bb = then_b;
+                let (va, da) = self.rvalue(a)?;
+                self.f.push(self.bb, Inst::Store { addr: slot, value: va });
+                self.f.set_term(self.bb, Terminator::Br(join));
+                self.bb = else_b;
+                let (vb, _) = self.rvalue(b)?;
+                self.f.push(self.bb, Inst::Store { addr: slot, value: vb });
+                self.f.set_term(self.bb, Terminator::Br(join));
+                self.bb = join;
+                let v = self.f.push(self.bb, Inst::Load { addr: slot, ty: ty_of(da) });
+                Ok((v, da))
+            }
+            Expr::Assign(lhs, rhs) => {
+                let (v, dv) = self.rvalue(rhs)?;
+                match &**lhs {
+                    Expr::Ident(name) if matches!(self.lookup(name), Some(Slot::Reg { .. })) => {
+                        // `register` variable: update the tracked value.
+                        let depth = match self.lookup(name) {
+                            Some(Slot::Reg { depth, .. }) => depth,
+                            _ => unreachable!(),
+                        };
+                        // Rebind in the innermost scope that declares it.
+                        for scope in self.scopes.iter_mut().rev() {
+                            if scope.contains_key(name) {
+                                scope.insert(name.clone(), Slot::Reg { value: v, depth });
+                                break;
+                            }
+                        }
+                        Ok((v, dv))
+                    }
+                    _ => {
+                        let (addr, _) = self.lvalue(lhs)?;
+                        self.f.push(self.bb, Inst::Store { addr, value: v });
+                        Ok((v, dv))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the address of `base[idx]` and the element pointer depth.
+    fn index_addr(&mut self, base: &Expr, idx: &Expr) -> Result<(Value, usize), String> {
+        let (b, depth) = self.rvalue(base)?;
+        if depth == 0 {
+            return Err("indexing a non-pointer".to_string());
+        }
+        let (i, _) = self.rvalue(idx)?;
+        Ok((self.f.gep(b, i), depth - 1))
+    }
+
+    /// Lowers an lvalue to `(address, pointee depth)`.
+    fn lvalue(&mut self, e: &Expr) -> Result<(Value, usize), String> {
+        match e {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(Slot::Stack { addr, depth, is_array, .. }) => {
+                    if is_array {
+                        Ok((addr, depth))
+                    } else {
+                        Ok((addr, depth + 1))
+                    }
+                }
+                Some(Slot::Reg { .. }) => Err(format!("cannot take address of register `{name}`")),
+                None => match self.globals.get(name).copied() {
+                    Some((gid, info)) => {
+                        let base = self.f.global_addr(gid);
+                        if info.is_array {
+                            Ok((base, info.depth))
+                        } else {
+                            Ok((base, info.depth + 1))
+                        }
+                    }
+                    None => Err(format!("undeclared identifier `{name}`")),
+                },
+            },
+            Expr::Index(base, idx) => {
+                let (addr, d) = self.index_addr(base, idx)?;
+                Ok((addr, d + 1))
+            }
+            Expr::Un(UnAst::Deref, inner) => {
+                let (p, depth) = self.rvalue(inner)?;
+                if depth == 0 {
+                    return Err("dereference of non-pointer".to_string());
+                }
+                Ok((p, depth))
+            }
+            other => Err(format!("expression is not an lvalue: {other:?}")),
+        }
+    }
+
+    /// Short-circuit `&&` (and=true) / `||` (and=false) via control flow
+    /// and a result slot, matching `clang -O0` structure.
+    fn short_circuit(&mut self, a: &Expr, b: &Expr, is_and: bool) -> Result<(Value, usize), String> {
+        let slot = self
+            .f
+            .push(self.bb, Inst::Alloca { name: if is_and { "and" } else { "or" }.into(), size: 1 });
+        let init = self.f.iconst(i64::from(!is_and));
+        self.f.push(self.bb, Inst::Store { addr: slot, value: init });
+        let (va, _) = self.rvalue(a)?;
+        let eval_b = self.f.add_block("sc.rhs");
+        let join = self.f.add_block("sc.join");
+        if is_and {
+            self.f.set_term(self.bb, Terminator::CondBr { cond: va, then_bb: eval_b, else_bb: join });
+        } else {
+            self.f.set_term(self.bb, Terminator::CondBr { cond: va, then_bb: join, else_bb: eval_b });
+        }
+        self.bb = eval_b;
+        let (vb, _) = self.rvalue(b)?;
+        let zero = self.f.iconst(0);
+        let norm = self.f.bin(BinOp::Ne, vb, zero);
+        self.f.push(self.bb, Inst::Store { addr: slot, value: norm });
+        self.f.set_term(self.bb, Terminator::Br(join));
+        self.bb = join;
+        let v = self.f.push(self.bb, Inst::Load { addr: slot, ty: Ty::Int });
+        Ok((v, 0))
+    }
+}

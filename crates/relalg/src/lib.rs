@@ -1,0 +1,109 @@
+//! Dense relational algebra over small integer universes.
+//!
+//! Axiomatic memory-consistency and leakage-containment models are written
+//! in a relational vocabulary: binary relations over *events*, combined with
+//! union, join (relational composition), transpose, and transitive closure,
+//! and constrained by predicates such as `acyclic(..)` and `irreflexive(..)`
+//! (see Alglave et al., "Herding Cats", TOPLAS'14). This crate provides that
+//! vocabulary for universes of up to a few tens of thousands of events, which
+//! covers every per-function analysis in this repository.
+//!
+//! The central type is [`Relation`], a bit-matrix backed binary relation.
+//!
+//! # Examples
+//!
+//! Deriving `fr` (from-reads) from `rf` and `co` exactly as §2.1.2 of the
+//! paper does: `fr = rf˘ ; co`.
+//!
+//! ```
+//! use lcm_relalg::Relation;
+//!
+//! let n = 4;
+//! let rf = Relation::from_pairs(n, [(0, 2)]); // write 0 -> read 2
+//! let co = Relation::from_pairs(n, [(0, 1)]); // write 0 -> write 1
+//! let fr = rf.transpose().compose(&co);
+//! assert!(fr.contains(2, 1)); // read 2 from-reads write 1
+//! ```
+
+mod relation;
+mod scc;
+
+pub mod dot;
+
+pub use relation::Relation;
+pub use scc::{condensation, tarjan_scc, Scc};
+
+/// Returns `true` if the relation contains no cycle (including self-loops).
+///
+/// This is the `acyclic(..)` predicate of axiomatic memory-model
+/// specifications: `acyclic(r)` holds iff the transitive closure of `r` is
+/// irreflexive.
+///
+/// # Examples
+///
+/// ```
+/// use lcm_relalg::{acyclic, Relation};
+/// assert!(acyclic(&Relation::from_pairs(3, [(0, 1), (1, 2)])));
+/// assert!(!acyclic(&Relation::from_pairs(3, [(0, 1), (1, 0)])));
+/// ```
+pub fn acyclic(r: &Relation) -> bool {
+    r.find_cycle().is_none()
+}
+
+/// Returns `true` if no element is related to itself.
+///
+/// # Examples
+///
+/// ```
+/// use lcm_relalg::{irreflexive, Relation};
+/// assert!(irreflexive(&Relation::from_pairs(2, [(0, 1)])));
+/// assert!(!irreflexive(&Relation::from_pairs(2, [(1, 1)])));
+/// ```
+pub fn irreflexive(r: &Relation) -> bool {
+    (0..r.universe()).all(|i| !r.contains(i, i))
+}
+
+/// Returns `true` if `r` restricted to `elems` is a strict total order on
+/// `elems` (transitive, irreflexive, and total: any two distinct elements
+/// are comparable).
+///
+/// Memory models require e.g. that `co` is a per-location total order on
+/// writes; this predicate checks that requirement.
+pub fn total_on(r: &Relation, elems: &[usize]) -> bool {
+    let t = r.transitive_closure();
+    for (i, &a) in elems.iter().enumerate() {
+        if t.contains(a, a) {
+            return false;
+        }
+        for &b in &elems[i + 1..] {
+            if t.contains(a, b) == t.contains(b, a) {
+                return false; // incomparable or a cycle between them
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_on_accepts_chain() {
+        let r = Relation::from_pairs(4, [(0, 1), (1, 3)]);
+        assert!(total_on(&r, &[0, 1, 3]));
+        assert!(!total_on(&r, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn total_on_rejects_cycle() {
+        let r = Relation::from_pairs(3, [(0, 1), (1, 0)]);
+        assert!(!total_on(&r, &[0, 1]));
+    }
+
+    #[test]
+    fn acyclic_empty_is_true() {
+        assert!(acyclic(&Relation::empty(0)));
+        assert!(acyclic(&Relation::empty(5)));
+    }
+}

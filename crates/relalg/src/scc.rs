@@ -1,0 +1,161 @@
+//! Strongly-connected components (Tarjan) and graph condensation.
+
+use crate::Relation;
+
+/// A strongly-connected component: the set of member node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scc {
+    /// Member node ids, in discovery order.
+    pub members: Vec<usize>,
+}
+
+impl Scc {
+    /// Returns `true` if this component represents a cycle: it has more than
+    /// one member, or its single member has a self-loop in `r`.
+    pub fn is_cyclic(&self, r: &Relation) -> bool {
+        self.members.len() > 1 || r.contains(self.members[0], self.members[0])
+    }
+}
+
+/// Computes the strongly-connected components of the relation viewed as a
+/// directed graph, in reverse topological order (Tarjan's invariant).
+pub fn tarjan_scc(r: &Relation) -> Vec<Scc> {
+    let n = r.universe();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative Tarjan: frame = (node, successors, next successor index).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, Vec<usize>, usize)> = vec![(root, r.successors(root).collect(), 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let (v, succs, i) = (frame.0, &frame.1, &mut frame.2);
+            if *i < succs.len() {
+                let w = succs[*i];
+                *i += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let wsuccs = r.successors(w).collect();
+                    call.push((w, wsuccs, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(Scc { members });
+                }
+                let done = v;
+                call.pop();
+                if let Some(parent) = call.last_mut() {
+                    low[parent.0] = low[parent.0].min(low[done]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Condenses the graph to its component DAG.
+///
+/// Returns `(component_of, dag)` where `component_of[v]` is the index into
+/// the SCC list produced by [`tarjan_scc`] and `dag` relates component ids
+/// whenever some cross-component edge exists.
+pub fn condensation(r: &Relation) -> (Vec<usize>, Relation) {
+    let sccs = tarjan_scc(r);
+    let mut component_of = vec![0usize; r.universe()];
+    for (ci, scc) in sccs.iter().enumerate() {
+        for &m in &scc.members {
+            component_of[m] = ci;
+        }
+    }
+    let mut dag = Relation::empty(sccs.len());
+    for (a, b) in r.pairs() {
+        let (ca, cb) = (component_of[a], component_of[b]);
+        if ca != cb {
+            dag.insert(ca, cb);
+        }
+    }
+    (component_of, dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cycles_and_a_tail() {
+        // 0 <-> 1, 2 <-> 3, 1 -> 2, 3 -> 4
+        let r = Relation::from_pairs(5, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (3, 4)]);
+        let sccs = tarjan_scc(&r);
+        assert_eq!(sccs.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = sccs.iter().map(|c| c.members.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 2]);
+        let cyclic = sccs.iter().filter(|c| c.is_cyclic(&r)).count();
+        assert_eq!(cyclic, 2);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let r = Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let sccs = tarjan_scc(&r);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| !c.is_cyclic(&r)));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_component() {
+        let r = Relation::from_pairs(2, [(0, 0)]);
+        let sccs = tarjan_scc(&r);
+        let c = sccs.iter().find(|c| c.members == vec![0]).unwrap();
+        assert!(c.is_cyclic(&r));
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let r = Relation::from_pairs(6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5)]);
+        let (component_of, dag) = condensation(&r);
+        assert!(crate::acyclic(&dag));
+        assert_eq!(component_of[0], component_of[1]);
+        assert_eq!(component_of[2], component_of[3]);
+        assert_ne!(component_of[0], component_of[2]);
+    }
+
+    #[test]
+    fn scc_reverse_topological_order() {
+        let r = Relation::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        let sccs = tarjan_scc(&r);
+        // Tarjan emits sinks first: 3 before 0.
+        let pos3 = sccs.iter().position(|c| c.members.contains(&3)).unwrap();
+        let pos0 = sccs.iter().position(|c| c.members.contains(&0)).unwrap();
+        assert!(pos3 < pos0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: algebraic laws of the relational vocabulary
+//! (DESIGN.md §5).
+
+use lcm_relalg::{acyclic, condensation, irreflexive, tarjan_scc, Relation};
+use proptest::prelude::*;
+
+fn relation_strategy(n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..n, 0..n), 0..=n * 2)
+        .prop_map(move |pairs| Relation::from_pairs(n, pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transpose_is_involutive(r in relation_strategy(12)) {
+        prop_assert_eq!(r.transpose().transpose(), r);
+    }
+
+    #[test]
+    fn transpose_reverses_composition(
+        a in relation_strategy(10),
+        b in relation_strategy(10),
+    ) {
+        // (a ; b)˘ = b˘ ; a˘
+        prop_assert_eq!(a.compose(&b).transpose(), b.transpose().compose(&a.transpose()));
+    }
+
+    #[test]
+    fn composition_is_associative(
+        a in relation_strategy(8),
+        b in relation_strategy(8),
+        c in relation_strategy(8),
+    ) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn identity_is_neutral(r in relation_strategy(10)) {
+        let id = Relation::identity(10);
+        prop_assert_eq!(r.compose(&id), r.clone());
+        prop_assert_eq!(id.compose(&r), r);
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_contains_original(r in relation_strategy(10)) {
+        let t = r.transitive_closure();
+        prop_assert!(r.is_subset(&t));
+        prop_assert_eq!(t.transitive_closure(), t.clone());
+        // Transitivity: t;t ⊆ t.
+        prop_assert!(t.compose(&t).is_subset(&t));
+    }
+
+    #[test]
+    fn acyclic_iff_closure_irreflexive(r in relation_strategy(10)) {
+        prop_assert_eq!(acyclic(&r), irreflexive(&r.transitive_closure()));
+    }
+
+    #[test]
+    fn acyclic_iff_all_sccs_trivial(r in relation_strategy(10)) {
+        let sccs = tarjan_scc(&r);
+        let no_cyclic_scc = sccs.iter().all(|c| !c.is_cyclic(&r));
+        prop_assert_eq!(acyclic(&r), no_cyclic_scc);
+    }
+
+    #[test]
+    fn condensation_is_always_acyclic(r in relation_strategy(12)) {
+        let (component_of, dag) = condensation(&r);
+        prop_assert!(acyclic(&dag));
+        // Every edge maps to equal or forward components.
+        for (a, b) in r.pairs() {
+            let (ca, cb) = (component_of[a], component_of[b]);
+            if ca != cb {
+                prop_assert!(dag.contains(ca, cb));
+            }
+        }
+    }
+
+    #[test]
+    fn union_intersection_lattice_laws(
+        a in relation_strategy(10),
+        b in relation_strategy(10),
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        // Absorption.
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+        // Difference partitions.
+        let d = a.difference(&b);
+        prop_assert!(d.intersect(&b).is_empty());
+        prop_assert_eq!(d.union(&a.intersect(&b)), a);
+    }
+
+    #[test]
+    fn composition_distributes_over_union(
+        a in relation_strategy(8),
+        b in relation_strategy(8),
+        c in relation_strategy(8),
+    ) {
+        prop_assert_eq!(
+            a.union(&b).compose(&c),
+            a.compose(&c).union(&b.compose(&c))
+        );
+    }
+
+    #[test]
+    fn topological_order_exists_iff_acyclic(r in relation_strategy(12)) {
+        match r.topological_order() {
+            Some(order) => {
+                prop_assert!(acyclic(&r));
+                let mut pos = vec![0usize; r.universe()];
+                for (i, &v) in order.iter().enumerate() {
+                    pos[v] = i;
+                }
+                for (a, b) in r.pairs() {
+                    prop_assert!(pos[a] < pos[b]);
+                }
+            }
+            None => prop_assert!(!acyclic(&r)),
+        }
+    }
+
+    #[test]
+    fn find_cycle_returns_real_cycles(r in relation_strategy(12)) {
+        match r.find_cycle() {
+            Some(cycle) => {
+                prop_assert!(!cycle.is_empty());
+                for w in cycle.windows(2) {
+                    prop_assert!(r.contains(w[0], w[1]));
+                }
+                prop_assert!(r.contains(*cycle.last().unwrap(), cycle[0]));
+            }
+            None => prop_assert!(acyclic(&r)),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Formula-building helpers: Tseitin encodings and cardinality constraints.
+//!
+//! [`Cnf`] wraps a [`Solver`] and provides gate-level operations that
+//! return a literal representing the gate output, so constraint generators
+//! (the S-AEG builder in `lcm-aeg`) can compose formulas without manual
+//! clause bookkeeping.
+
+use crate::{Lit, Solver, Var};
+
+/// Clause/gate builder over a [`Solver`].
+///
+/// # Examples
+///
+/// ```
+/// use lcm_sat::cnf::Cnf;
+///
+/// let mut f = Cnf::new();
+/// let a = f.fresh();
+/// let b = f.fresh();
+/// let both = f.and(a, b);
+/// f.assert_lit(both);
+/// let m = f.solver_mut().solve();
+/// let m = m.model().unwrap();
+/// assert!(m.value(a) && m.value(b));
+/// ```
+#[derive(Debug, Default)]
+pub struct Cnf {
+    solver: Solver,
+    true_lit: Option<Lit>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Access to the underlying solver (e.g. to call
+    /// [`Solver::solve_with`]).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Consumes the builder, returning the solver.
+    pub fn into_solver(self) -> Solver {
+        self.solver
+    }
+
+    /// A fresh positive literal.
+    pub fn fresh(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    /// A fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// The constant-true literal (allocated lazily).
+    pub fn constant_true(&mut self) -> Lit {
+        match self.true_lit {
+            Some(t) => t,
+            None => {
+                let t = self.fresh();
+                self.solver.add_clause([t]);
+                self.true_lit = Some(t);
+                t
+            }
+        }
+    }
+
+    /// The constant-false literal.
+    pub fn constant_false(&mut self) -> Lit {
+        !self.constant_true()
+    }
+
+    /// Asserts a literal (unit clause).
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.solver.add_clause([l]);
+    }
+
+    /// Asserts a disjunction.
+    pub fn assert_or(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.solver.add_clause(lits);
+    }
+
+    /// Asserts `a → b`.
+    pub fn assert_implies(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause([!a, b]);
+    }
+
+    /// Asserts `a → (b₁ ∨ b₂ ∨ …)`.
+    pub fn assert_implies_or(&mut self, a: Lit, bs: impl IntoIterator<Item = Lit>) {
+        let mut c = vec![!a];
+        c.extend(bs);
+        self.solver.add_clause(c);
+    }
+
+    /// Asserts `¬(a ∧ b)`.
+    pub fn assert_not_both(&mut self, a: Lit, b: Lit) {
+        self.solver.add_clause([!a, !b]);
+    }
+
+    /// Tseitin AND gate: returns `t ↔ a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.fresh();
+        self.solver.add_clause([!t, a]);
+        self.solver.add_clause([!t, b]);
+        self.solver.add_clause([t, !a, !b]);
+        t
+    }
+
+    /// Tseitin OR gate: returns `t ↔ a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.fresh();
+        self.solver.add_clause([t, !a]);
+        self.solver.add_clause([t, !b]);
+        self.solver.add_clause([!t, a, b]);
+        t
+    }
+
+    /// N-ary Tseitin AND. The empty conjunction is constant true.
+    pub fn and_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.constant_true(),
+            [l] => *l,
+            _ => {
+                let t = self.fresh();
+                for &l in lits {
+                    self.solver.add_clause([!t, l]);
+                }
+                let mut c = vec![t];
+                c.extend(lits.iter().map(|&l| !l));
+                self.solver.add_clause(c);
+                t
+            }
+        }
+    }
+
+    /// N-ary Tseitin OR. The empty disjunction is constant false.
+    pub fn or_all(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.constant_false(),
+            [l] => *l,
+            _ => {
+                let t = self.fresh();
+                for &l in lits {
+                    self.solver.add_clause([t, !l]);
+                }
+                let mut c = vec![!t];
+                c.extend(lits.iter().copied());
+                self.solver.add_clause(c);
+                t
+            }
+        }
+    }
+
+    /// Tseitin equivalence: returns `t ↔ (a ↔ b)`.
+    pub fn iff(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.fresh();
+        self.solver.add_clause([!t, !a, b]);
+        self.solver.add_clause([!t, a, !b]);
+        self.solver.add_clause([t, a, b]);
+        self.solver.add_clause([t, !a, !b]);
+        t
+    }
+
+    /// Asserts that at most one of the literals is true (pairwise
+    /// encoding — fine for the small groups this repo produces).
+    pub fn assert_at_most_one(&mut self, lits: &[Lit]) {
+        for (i, &a) in lits.iter().enumerate() {
+            for &b in &lits[i + 1..] {
+                self.solver.add_clause([!a, !b]);
+            }
+        }
+    }
+
+    /// Asserts that exactly one of the literals is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lits` is empty (an empty exactly-one is unsatisfiable by
+    /// construction and always indicates a generator bug).
+    pub fn assert_exactly_one(&mut self, lits: &[Lit]) {
+        assert!(!lits.is_empty(), "exactly-one over no literals");
+        self.assert_or(lits.iter().copied());
+        self.assert_at_most_one(lits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    fn model_of(f: &mut Cnf) -> crate::Model {
+        match f.solver_mut().solve() {
+            SolveResult::Sat(m) => m,
+            SolveResult::Unsat(_) => panic!("expected sat"),
+        }
+    }
+
+    #[test]
+    fn and_gate_semantics() {
+        let mut f = Cnf::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        let t = f.and(a, b);
+        f.assert_lit(t);
+        let m = model_of(&mut f);
+        assert!(m.value(a) && m.value(b));
+
+        let mut f = Cnf::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        let t = f.and(a, b);
+        f.assert_lit(!t);
+        f.assert_lit(a);
+        let m = model_of(&mut f);
+        assert!(!m.value(b));
+    }
+
+    #[test]
+    fn or_gate_semantics() {
+        let mut f = Cnf::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        let t = f.or(a, b);
+        f.assert_lit(!t);
+        let m = model_of(&mut f);
+        assert!(!m.value(a) && !m.value(b));
+    }
+
+    #[test]
+    fn iff_gate_semantics() {
+        let mut f = Cnf::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        let t = f.iff(a, b);
+        f.assert_lit(t);
+        f.assert_lit(a);
+        let m = model_of(&mut f);
+        assert!(m.value(b));
+
+        let mut f = Cnf::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        let t = f.iff(a, b);
+        f.assert_lit(!t);
+        f.assert_lit(a);
+        let m = model_of(&mut f);
+        assert!(!m.value(b));
+    }
+
+    #[test]
+    fn nary_gates() {
+        let mut f = Cnf::new();
+        let xs: Vec<Lit> = (0..5).map(|_| f.fresh()).collect();
+        let all = f.and_all(&xs);
+        f.assert_lit(all);
+        let m = model_of(&mut f);
+        assert!(xs.iter().all(|&x| m.value(x)));
+
+        let mut f = Cnf::new();
+        let xs: Vec<Lit> = (0..5).map(|_| f.fresh()).collect();
+        let any = f.or_all(&xs);
+        f.assert_lit(!any);
+        let m = model_of(&mut f);
+        assert!(xs.iter().all(|&x| !m.value(x)));
+    }
+
+    #[test]
+    fn empty_gates_are_constants() {
+        let mut f = Cnf::new();
+        let t = f.and_all(&[]);
+        let fa = f.or_all(&[]);
+        f.assert_lit(t);
+        f.assert_lit(!fa);
+        assert!(f.solver_mut().solve().is_sat());
+    }
+
+    #[test]
+    fn exactly_one_enforced() {
+        let mut f = Cnf::new();
+        let xs: Vec<Lit> = (0..4).map(|_| f.fresh()).collect();
+        f.assert_exactly_one(&xs);
+        let m = model_of(&mut f);
+        assert_eq!(xs.iter().filter(|&&x| m.value(x)).count(), 1);
+
+        // Forcing two of them true is unsat.
+        f.assert_lit(xs[0]);
+        f.assert_lit(xs[2]);
+        assert!(!f.solver_mut().solve().is_sat());
+    }
+
+    #[test]
+    fn implies_or_semantics() {
+        let mut f = Cnf::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        let c = f.fresh();
+        f.assert_implies_or(a, [b, c]);
+        f.assert_lit(a);
+        f.assert_lit(!b);
+        let m = model_of(&mut f);
+        assert!(m.value(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly-one over no literals")]
+    fn exactly_one_empty_panics() {
+        Cnf::new().assert_exactly_one(&[]);
+    }
+}

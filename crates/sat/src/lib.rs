@@ -1,0 +1,125 @@
+//! A CDCL SAT solver with assumptions and unsat cores.
+//!
+//! Clou (§5.2–5.3) encodes the symbolic abstract event graph as a set of
+//! first-order constraints over edge-presence variables and discharges
+//! leakage queries to an SMT solver. The constraints this repository
+//! generates are purely propositional — branch outcomes, speculation
+//! windows, alias decisions, and edge presence connected by implications —
+//! so a CDCL SAT solver with incremental assumptions fills the same role
+//! Z3 fills in the paper (see DESIGN.md for the substitution argument).
+//!
+//! Features:
+//!
+//! * two-watched-literal propagation, first-UIP clause learning,
+//!   VSIDS-style activity with phase saving, and Luby restarts
+//!   ([`Solver`]);
+//! * solving under **assumptions** with **unsat core** extraction
+//!   ([`Solver::solve_with`]) — the mechanism behind minimal fence
+//!   insertion;
+//! * a formula-building layer with Tseitin encodings of and/or/implies/iff
+//!   and cardinality helpers ([`cnf::Cnf`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lcm_sat::{Lit, SolveResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! match s.solve() {
+//!     SolveResult::Sat(model) => assert!(model.value(Lit::pos(b))),
+//!     SolveResult::Unsat(_) => unreachable!(),
+//! }
+//! ```
+
+pub mod cnf;
+mod solver;
+
+pub use solver::{Model, SolveResult, Solver};
+
+use std::fmt;
+use std::ops::Not;
+
+/// A boolean variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", if self.is_pos() { "" } else { "¬" }, self.var().0)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::pos(v).is_pos());
+        assert!(!Lit::neg(v).is_pos());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Lit::pos(Var(3)).to_string(), "x3");
+        assert_eq!(Lit::neg(Var(3)).to_string(), "¬x3");
+    }
+}

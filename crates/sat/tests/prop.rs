@@ -1,0 +1,132 @@
+//! Property tests: the CDCL solver against brute-force enumeration.
+
+use lcm_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random CNF instance as (num_vars, clauses of signed var indices).
+#[derive(Debug, Clone)]
+struct Instance {
+    num_vars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+}
+
+fn instance_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Instance> {
+    (2..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=3);
+        proptest::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| Instance { num_vars: nv, clauses })
+    })
+}
+
+fn brute_force_sat(inst: &Instance, fixed: &[(usize, bool)]) -> bool {
+    'outer: for bits in 0u64..(1u64 << inst.num_vars) {
+        let val = |v: usize| bits >> v & 1 == 1;
+        for &(v, pos) in fixed {
+            if val(v) != pos {
+                continue 'outer;
+            }
+        }
+        if inst
+            .clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| val(v) == pos))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn load(inst: &Instance) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..inst.num_vars).map(|_| s.new_var()).collect();
+    for c in &inst.clauses {
+        s.add_clause(c.iter().map(|&(v, pos)| {
+            if pos {
+                Lit::pos(vars[v])
+            } else {
+                Lit::neg(vars[v])
+            }
+        }));
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(inst in instance_strategy(10, 42)) {
+        let expected = brute_force_sat(&inst, &[]);
+        let (mut s, vars) = load(&inst);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                prop_assert!(expected, "solver said SAT, brute force says UNSAT");
+                for c in &inst.clauses {
+                    prop_assert!(
+                        c.iter().any(|&(v, pos)| m.var_value(vars[v]) == pos),
+                        "model does not satisfy clause {c:?}"
+                    );
+                }
+            }
+            SolveResult::Unsat(_) => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+        }
+    }
+
+    #[test]
+    fn assumptions_agree_with_brute_force(
+        inst in instance_strategy(8, 30),
+        assumps in proptest::collection::vec((0..8usize, any::<bool>()), 0..4),
+    ) {
+        let assumps: Vec<(usize, bool)> = assumps
+            .into_iter()
+            .filter(|&(v, _)| v < inst.num_vars)
+            .collect();
+        // Conflicting duplicate assumptions are legal inputs: brute force
+        // handles them naturally.
+        let expected = brute_force_sat(&inst, &assumps);
+        let (mut s, vars) = load(&inst);
+        let lits: Vec<Lit> = assumps
+            .iter()
+            .map(|&(v, pos)| if pos { Lit::pos(vars[v]) } else { Lit::neg(vars[v]) })
+            .collect();
+        match s.solve_with(&lits) {
+            SolveResult::Sat(m) => {
+                prop_assert!(expected);
+                for &l in &lits {
+                    prop_assert!(m.value(l), "assumption {l} not honoured");
+                }
+            }
+            SolveResult::Unsat(core) => {
+                prop_assert!(!expected);
+                // Core is a subset of the assumptions...
+                for l in &core {
+                    prop_assert!(lits.contains(l), "core literal {l} not an assumption");
+                }
+                // ...and is itself sufficient for unsatisfiability.
+                let core_fixed: Vec<(usize, bool)> = core
+                    .iter()
+                    .map(|l| (vars.iter().position(|&v| v == l.var()).unwrap(), l.is_pos()))
+                    .collect();
+                prop_assert!(
+                    !brute_force_sat(&inst, &core_fixed),
+                    "unsat core {core:?} is not actually unsat"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_after_any_query(
+        inst in instance_strategy(8, 24),
+        probe in 0..8usize,
+    ) {
+        let (mut s, vars) = load(&inst);
+        let v = vars[probe % vars.len()];
+        let first = s.solve().is_sat();
+        let _ = s.solve_with(&[Lit::pos(v)]);
+        let _ = s.solve_with(&[Lit::neg(v)]);
+        let again = s.solve().is_sat();
+        prop_assert_eq!(first, again, "satisfiability changed across queries");
+    }
+}

@@ -1,0 +1,91 @@
+//! Dynamic LCM analysis (extension): record a concrete run, lift the
+//! trace to a candidate execution with a simulated cache, and apply the
+//! §4.1 leakage definition — catching *non-transient* leakage such as
+//! AES-style T-table lookups, which Spectre-focused engines do not target.
+//!
+//! Run with: `cargo run --example dynamic_audit`
+
+use lcm::aeg::trace::execution_from_trace;
+use lcm::core::{detect_leakage, TransmitterClass};
+use lcm::ir::interp::Machine;
+
+fn audit(name: &str, src: &str, fname: &str, args: &[i64], secrets: &[(&str, u32, i64)]) {
+    let module = lcm::minic::compile(src).expect("compiles");
+    let mut mach = Machine::new(&module);
+    for &(g, i, v) in secrets {
+        mach.set_global(g, i, v);
+    }
+    let (_, trace) = mach.call_traced(fname, args, 1_000_000).expect("runs");
+    let exec = execution_from_trace(&module, &trace);
+    let report = detect_leakage(&exec);
+    let summary = report.summary();
+    let data_leaks = summary
+        .iter()
+        .filter(|t| t.class.severity_rank() >= TransmitterClass::Data.severity_rank())
+        .count();
+    let ctrl_leaks = summary
+        .iter()
+        .filter(|t| t.class == TransmitterClass::Control)
+        .count();
+    let verdict = if data_leaks > 0 {
+        "LEAKS DATA-DEPENDENT STATE"
+    } else if ctrl_leaks > 0 {
+        "leaks branch outcomes (CT)"
+    } else {
+        "constant-time"
+    };
+    println!(
+        "{name:<28} {:>4} trace events, {:>3} receivers, {:>2} DT+, {:>2} CT  => {verdict}",
+        trace.len(),
+        report.receivers.len(),
+        data_leaks,
+        ctrl_leaks,
+    );
+}
+
+fn main() {
+    println!("Dynamic (trace-level) LCM audit — non-transient leakage, §4\n");
+
+    // AES-style T-table round: the classic non-constant-time pattern.
+    audit(
+        "aes-ttable-round",
+        r#"
+        int sbox[256]; int sec_key[4]; int out;
+        void round(int s) {
+            out = sbox[(s ^ sec_key[0]) & 255]
+                ^ sbox[(s ^ sec_key[1]) & 255];
+        }"#,
+        "round",
+        &[0x42],
+        &[("sec_key", 0, 0x5a), ("sec_key", 1, 0xc3)],
+    );
+
+    // Branch on secret: the lookup index is fixed but which line is
+    // touched depends on the secret-controlled branch.
+    audit(
+        "branch-on-secret",
+        r#"
+        int sec_flag; int a; int b; int out;
+        void f(void) {
+            if (sec_flag) { out = a; } else { out = b; }
+        }"#,
+        "f",
+        &[],
+        &[("sec_flag", 0, 1)],
+    );
+
+    // tea round: constant-time by construction.
+    audit(
+        "tea-round (constant-time)",
+        r#"
+        uint32_t vv; uint32_t k0; uint32_t k1;
+        void ct(void) {
+            uint32_t v = vv;
+            v += ((v << 4) + k0) ^ ((v >> 5) + k1);
+            vv = v;
+        }"#,
+        "ct",
+        &[],
+        &[("k0", 0, 123), ("k1", 0, 456)],
+    );
+}

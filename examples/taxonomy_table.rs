@@ -1,0 +1,63 @@
+//! Regenerates Table 1: the transmitter taxonomy with its leakage
+//! patterns and severity partial order, demonstrated on the worked attacks
+//! of §4.2.
+//!
+//! Run with: `cargo run --example taxonomy_table`
+
+use lcm::core::detect_leakage;
+use lcm::core::TransmitterClass;
+use lcm::litmus::programs;
+
+fn main() {
+    println!("Table 1 — transmitter taxonomy for cache xstate\n");
+    println!("{:<18} Leakage Pattern", "Transmitter Type");
+    println!("{}", "-".repeat(72));
+    for (class, pattern) in [
+        (TransmitterClass::Address, "transmit -rfx-> receiver"),
+        (TransmitterClass::Data, "access -addr-> transmit -rfx-> receiver"),
+        (TransmitterClass::Control, "access -ctrl-> transmit -rfx-> receiver"),
+        (
+            TransmitterClass::UniversalData,
+            "index -addr-> access -addr-> transmit -rfx-> receiver",
+        ),
+        (
+            TransmitterClass::UniversalControl,
+            "index -addr-> access -ctrl-> transmit -rfx-> receiver",
+        ),
+    ] {
+        println!("{:<18} {}", class.to_string(), pattern);
+    }
+    println!("\nSeverity partial order: AT < CT < {{DT, UCT}} < UDT");
+    assert!(
+        TransmitterClass::Data.compare_severity(TransmitterClass::UniversalControl).is_none(),
+        "DT and UCT are incomparable"
+    );
+
+    println!("\nClassification of the paper's worked attacks:\n");
+    let attacks: Vec<(&str, lcm::core::Execution)> = vec![
+        ("Spectre v1 (Fig 2b)", programs::spectre_v1().0),
+        ("Spectre v1 variant (Fig 3)", programs::spectre_v1_var().0),
+        ("Spectre v4 (Fig 4a)", programs::spectre_v4().0),
+        ("Spectre-PSF (Fig 4b)", programs::spectre_psf().0),
+        ("Silent stores (Fig 5a)", programs::silent_stores().0),
+        ("IMP prefetch (Fig 5b)", programs::imp_prefetch().0),
+    ];
+    for (name, exec) in attacks {
+        let report = detect_leakage(&exec);
+        print!("{name:<28}");
+        let mut summary = report.summary();
+        summary.sort_by_key(|t| std::cmp::Reverse(t.class.severity_rank()));
+        let items: Vec<String> = summary
+            .iter()
+            .map(|t| {
+                format!(
+                    "{}{}[{}]",
+                    exec.event(t.event),
+                    if t.transient { "ₛ" } else { "" },
+                    t.class
+                )
+            })
+            .collect();
+        println!("{}", items.join(", "));
+    }
+}

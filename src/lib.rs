@@ -1,0 +1,39 @@
+//! Facade crate for the LCM workspace: re-exports every subsystem.
+//!
+//! This workspace reproduces *"Axiomatic Hardware-Software Contracts for
+//! Security"* (Mosier, Lachnitt, Nemati, Trippel — ISCA 2022): leakage
+//! containment models (LCMs), the subrosa-style litmus toolkit, and the
+//! Clou-style static leakage detector with fence-insertion repair.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcm::minic;
+//! use lcm::detect::{Detector, EngineKind, DetectorConfig};
+//!
+//! let src = r#"
+//!     int A[16]; int B[256]; int size_A; int tmp;
+//!     void victim(int y) {
+//!         int x;
+//!         if (y < size_A) {
+//!             x = A[y];
+//!             tmp = tmp & B[x];
+//!         }
+//!     }
+//! "#;
+//! let module = minic::compile(src).expect("compiles");
+//! let report = Detector::new(DetectorConfig::default())
+//!     .analyze_module(&module, EngineKind::Pht);
+//! assert!(report.functions[0].transmitters.iter().any(|t| t.class.is_universal()));
+//! ```
+
+pub use lcm_aeg as aeg;
+pub use lcm_core as core;
+pub use lcm_corpus as corpus;
+pub use lcm_detect as detect;
+pub use lcm_haunted as haunted;
+pub use lcm_ir as ir;
+pub use lcm_litmus as litmus;
+pub use lcm_minic as minic;
+pub use lcm_relalg as relalg;
+pub use lcm_sat as sat;

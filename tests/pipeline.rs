@@ -1,0 +1,160 @@
+//! Integration: the full Clou pipeline (Fig. 6) — C source → IR → A-CFG →
+//! S-AEG → leakage detection → fence repair → re-analysis — plus the
+//! invariant that repair preserves architectural semantics.
+
+use lcm::core::speculation::SpeculationConfig;
+use lcm::core::TransmitterClass;
+use lcm::detect::{repair, Detector, DetectorConfig, EngineKind};
+use lcm::ir::interp::{InterpOutcome, Machine};
+use lcm::ir::verify::verify_module;
+
+const VICTIM: &str = r#"
+    int array1[16]; int array2[4096]; int array1_size; int temp;
+    int victim(int x) {
+        if (x < array1_size)
+            temp &= array2[array1[x] * 512];
+        return temp;
+    }
+"#;
+
+#[test]
+fn full_pipeline_detect_repair_reanalyze() {
+    let module = lcm::minic::compile(VICTIM).unwrap();
+    assert!(verify_module(&module).is_empty());
+
+    let det = Detector::new(DetectorConfig::default());
+    let report = det.analyze_module(&module, EngineKind::Pht);
+    assert!(report.count(TransmitterClass::UniversalData) >= 1);
+    assert!(report.functions[0].saeg_size > 0);
+
+    let (fixed, fences) = repair(&module, &det, EngineKind::Pht);
+    assert_eq!(fences, 1, "one lfence repairs vanilla Spectre v1 (§6.1)");
+    assert!(verify_module(&fixed).is_empty(), "repaired module is valid IR");
+    assert!(det.analyze_module(&fixed, EngineKind::Pht).is_clean());
+}
+
+#[test]
+fn repair_preserves_architectural_semantics() {
+    let module = lcm::minic::compile(VICTIM).unwrap();
+    let det = Detector::new(DetectorConfig::default());
+    let (fixed, _) = repair(&module, &det, EngineKind::Pht);
+
+    // Fences change no architectural result: interpret both modules on a
+    // grid of inputs with identical initial memory.
+    for x in [-1i64, 0, 3, 15, 16, 100] {
+        let run = |m: &lcm::ir::Module| {
+            let mut mach = Machine::new(m);
+            mach.set_global("array1_size", 0, 16);
+            mach.set_global("temp", 0, -1);
+            for i in 0..16 {
+                mach.set_global("array1", i, i64::from(i) * 3 % 7);
+            }
+            mach.call("victim", &[x], 1_000_000).unwrap()
+        };
+        let (orig, fixed_out) = (run(&module), run(&fixed));
+        assert_eq!(orig, fixed_out, "x={x}");
+        let InterpOutcome::Returned(Some(_)) = orig else {
+            panic!("victim returns a value")
+        };
+    }
+}
+
+#[test]
+fn saeg_sizes_track_source_size() {
+    let small = lcm::minic::compile("int A[4]; int t; void f(int i) { t = A[0]; }").unwrap();
+    let large = lcm::minic::compile(
+        "int A[64]; int t;
+         void f(int i) { t = A[0]+A[1]+A[2]+A[3]+A[4]+A[5]+A[6]+A[7]+A[8]+A[9]; }",
+    )
+    .unwrap();
+    let cfg = SpeculationConfig::default();
+    let s1 = lcm::aeg::Saeg::build(&small, "f", cfg).unwrap();
+    let s2 = lcm::aeg::Saeg::build(&large, "f", cfg).unwrap();
+    assert!(s2.events.len() > s1.events.len());
+}
+
+#[test]
+fn engines_differ_only_in_speculation_primitive() {
+    // §5.3: a program with only an STL-style leak is invisible to the PHT
+    // engine and vice versa.
+    let stl_only = lcm::minic::compile(
+        r#"
+        int slot; int pub_ary[4096]; int tmp;
+        void f(int v) {
+            slot = v & 15;
+            tmp &= pub_ary[slot];
+        }"#,
+    )
+    .unwrap();
+    let det = Detector::new(DetectorConfig::default());
+    assert!(det.analyze_module(&stl_only, EngineKind::Pht).is_clean());
+    assert!(!det.analyze_module(&stl_only, EngineKind::Stl).is_clean());
+
+    let pht_only = lcm::minic::compile(
+        r#"
+        int A[16]; int B[4096]; int size_A; int tmp;
+        void f(register int y) {
+            if (y < size_A)
+                tmp &= B[A[y]];
+        }"#,
+    )
+    .unwrap();
+    assert!(!det.analyze_module(&pht_only, EngineKind::Pht).is_clean());
+    assert!(det.analyze_module(&pht_only, EngineKind::Stl).is_clean());
+}
+
+#[test]
+fn undefined_calls_are_havocked_and_analyzed() {
+    let module = lcm::minic::compile(
+        r#"
+        int buf[64]; int size; int tmp; int table[4096];
+        void f(int n, int *dst) {
+            memcpy(dst, n);
+            if (n < size)
+                tmp &= table[buf[n]];
+        }"#,
+    )
+    .unwrap();
+    let det = Detector::new(DetectorConfig::default());
+    let report = det.analyze_module(&module, EngineKind::Pht);
+    assert!(report.count(TransmitterClass::UniversalData) >= 1);
+}
+
+#[test]
+fn inlined_callee_leak_detected_in_caller() {
+    let module = lcm::minic::compile(
+        r#"
+        int A[16]; int B[4096]; int size_A; int tmp;
+        int gadget(int y) { return B[A[y] * 512]; }
+        void caller(int y) {
+            if (y < size_A)
+                tmp &= gadget(y);
+        }"#,
+    )
+    .unwrap();
+    let det = Detector::new(DetectorConfig::default());
+    let caller = det.analyze_function(&module, "caller", EngineKind::Pht);
+    assert!(
+        caller.transmitters.iter().any(|f| f.class == TransmitterClass::UniversalData),
+        "the leak crosses the (inlined) call boundary"
+    );
+}
+
+#[test]
+fn loop_summarization_covers_loop_body_leaks() {
+    let module = lcm::minic::compile(
+        r#"
+        int A[16]; int B[4096]; int size_A; int tmp;
+        void f(int n) {
+            int i;
+            for (i = 0; i < n; i += 1) {
+                if (i < size_A)
+                    tmp &= B[A[i] * 512];
+            }
+        }"#,
+    )
+    .unwrap();
+    let det = Detector::new(DetectorConfig::default());
+    let r = det.analyze_function(&module, "f", EngineKind::Pht);
+    assert!(!r.transmitters.is_empty(), "two unrollings expose the body leak");
+}

@@ -1,0 +1,137 @@
+//! Integration: subrosa-style exhaustive validation of the §4.1
+//! non-interference definitions — over *all* microarchitectural witnesses
+//! of small templates, the interference-free ones are exactly those whose
+//! `comx` matches architectural expectation.
+
+use lcm::core::confidentiality::{ConfidentialityModel, X86Lcm};
+use lcm::core::exec::{Execution, ExecutionBuilder};
+use lcm::core::noninterference::{implied_microarch, interference_free, violations};
+use lcm::core::EventId;
+use lcm::litmus::enumerate::{microarch_witnesses, Litmus};
+
+struct PermitAll;
+impl ConfidentialityModel for PermitAll {
+    fn name(&self) -> &'static str {
+        "permit-all"
+    }
+    fn check(
+        &self,
+        _: &Execution,
+    ) -> Result<(), lcm::core::confidentiality::ConfidentialityViolation> {
+        Ok(())
+    }
+}
+
+/// Template: R x; W x; R x(hit from the write).
+fn rwr(rfx: &[(EventId, EventId)], cox: &[(EventId, EventId)]) -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let r1 = b.read("x");
+    let w = b.write("x");
+    let r2 = b.read_hit("x");
+    b.po_chain(&[r1, w, r2]);
+    b.rf(w, r2);
+    for &(a, c) in rfx {
+        b.rfx(a, c);
+    }
+    for &(a, c) in cox {
+        b.cox(a, c);
+    }
+    b.build()
+}
+
+#[test]
+fn exactly_one_interference_free_witness_for_straight_line_code() {
+    // Deterministic single-threaded code has exactly one implied
+    // microarchitectural execution; every other witness deviates and is
+    // detected. The confidentiality predicate matters here (§3.2.2): a
+    // permit-all hardware model admits cyclic rfx ∪ cox witnesses that the
+    // non-interference mappings alone do not rule out — the x86 LCM
+    // rejects them.
+    let template = rwr(&[], &[]);
+    let witnesses = microarch_witnesses(&template, &X86Lcm, &rwr);
+    assert!(witnesses.len() > 1, "several witnesses exist: {}", witnesses.len());
+    let clean: Vec<&Execution> =
+        witnesses.iter().filter(|x| interference_free(x)).collect();
+    assert_eq!(clean.len(), 1, "exactly one interference-free witness");
+    // And it carries the implied rfx/cox.
+    let (rfx, cox) = implied_microarch(clean[0]);
+    assert_eq!(clean[0].rfx(), &rfx);
+    assert!(rfx.is_subset(clean[0].rfx()));
+    assert!(cox.is_subset(clean[0].cox()));
+}
+
+#[test]
+fn every_deviating_witness_names_a_receiver_with_a_source() {
+    let template = rwr(&[], &[]);
+    for x in microarch_witnesses(&template, &X86Lcm, &rwr) {
+        for v in violations(&x) {
+            // The receiver is the culprit edge's target...
+            assert_eq!(v.receiver, v.culprit.1);
+            // ...and when an actual source exists it differs from the
+            // expected one (otherwise there would be no violation).
+            if let Some(actual) = v.actual_source {
+                assert_ne!(actual, v.expected.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn consistent_executions_of_litmus_programs_have_detectable_witness_space() {
+    // For each consistent architectural execution of a small program, the
+    // enumerated microarchitectural witnesses always include at least one
+    // deviating (leaky) option under the permissive hardware model —
+    // microarchitectural non-determinism is what attackers exploit.
+    let l = Litmus::parse("W x; R x").unwrap();
+    for arch in l.consistent_executions(&lcm::core::mcm::Tso) {
+        // Rebuild closure: reconstruct the same arch execution with given
+        // microarch edges. (Single-threaded: rf/co are forced, so a fresh
+        // build with the same ops reproduces them.)
+        let make = |rfx: &[(EventId, EventId)], cox: &[(EventId, EventId)]| {
+            let mut b = ExecutionBuilder::new();
+            let w = b.write("x");
+            let r = b.read("x");
+            b.po(w, r);
+            b.rf(w, r);
+            for &(a, c) in rfx {
+                b.rfx(a, c);
+            }
+            for &(a, c) in cox {
+                b.cox(a, c);
+            }
+            b.build()
+        };
+        if arch.rf().pairs().count() < 2 {
+            continue; // only consider the forwarding outcome
+        }
+        let witnesses = microarch_witnesses(&make(&[], &[]), &PermitAll, &make);
+        let leaky = witnesses.iter().filter(|x| !interference_free(x)).count();
+        assert!(leaky >= 1, "a deviating witness exists");
+        let clean = witnesses.iter().filter(|x| interference_free(x)).count();
+        assert!(clean >= 1, "the implied witness exists");
+    }
+}
+
+#[test]
+fn paper_attacks_all_violate_rf_non_interference() {
+    // §4: "Spectre attacks violate the rf-non-interference predicate of
+    // our leakage definition" — every worked PHT/STL/PSF attack's
+    // violations include an Rf one.
+    use lcm::core::NiPredicate;
+    use lcm::litmus::programs;
+    for (name, x) in [
+        ("v1", programs::spectre_v1().0),
+        ("v1var", programs::spectre_v1_var().0),
+        ("v4", programs::spectre_v4().0),
+        ("psf", programs::spectre_psf().0),
+    ] {
+        let vs = violations(&x);
+        assert!(
+            vs.iter().any(|v| v.predicate == NiPredicate::Rf),
+            "{name}: rf-NI violated"
+        );
+    }
+    // The silent-store attack is the co-NI case instead.
+    let (x, _) = programs::silent_stores();
+    assert!(violations(&x).iter().any(|v| v.predicate == NiPredicate::Co));
+}
