@@ -7,6 +7,8 @@
 //! points-to analysis producing [`AliasResult`]s, with the caller deciding
 //! whether architectural facts apply.
 
+use std::collections::HashMap;
+
 use lcm_ir::{Function, Inst, InstId, Value};
 
 /// The memory region an address points into.
@@ -57,8 +59,14 @@ pub enum AliasResult {
 /// operand graph.
 pub fn symbolic_addr(f: &Function, v: Value) -> SymAddr {
     match f.inst(v) {
-        Inst::GlobalAddr(g) => SymAddr { region: Region::Global(g.0), index: Index::Const(0) },
-        Inst::Alloca { .. } => SymAddr { region: Region::Alloca(v.0), index: Index::Const(0) },
+        Inst::GlobalAddr(g) => SymAddr {
+            region: Region::Global(g.0),
+            index: Index::Const(0),
+        },
+        Inst::Alloca { .. } => SymAddr {
+            region: Region::Alloca(v.0),
+            index: Index::Const(0),
+        },
         Inst::Gep { base, index, .. } => {
             let b = symbolic_addr(f, *base);
             let idx = match f.inst(*index) {
@@ -66,18 +74,31 @@ pub fn symbolic_addr(f: &Function, v: Value) -> SymAddr {
                 _ => Index::Sym(index.0),
             };
             match b.index {
-                Index::Const(0) => SymAddr { region: b.region, index: idx },
-                Index::Const(c) => match idx {
-                    Index::Const(c2) => {
-                        SymAddr { region: b.region, index: Index::Const(c + c2) }
-                    }
-                    _ => SymAddr { region: b.region, index: Index::Opaque },
+                Index::Const(0) => SymAddr {
+                    region: b.region,
+                    index: idx,
                 },
-                _ => SymAddr { region: b.region, index: Index::Opaque },
+                Index::Const(c) => match idx {
+                    Index::Const(c2) => SymAddr {
+                        region: b.region,
+                        index: Index::Const(c + c2),
+                    },
+                    _ => SymAddr {
+                        region: b.region,
+                        index: Index::Opaque,
+                    },
+                },
+                _ => SymAddr {
+                    region: b.region,
+                    index: Index::Opaque,
+                },
             }
         }
         // A loaded pointer, parameter, call result, or arithmetic: unknown.
-        _ => SymAddr { region: Region::Unknown, index: Index::Opaque },
+        _ => SymAddr {
+            region: Region::Unknown,
+            index: Index::Opaque,
+        },
     }
 }
 
@@ -103,6 +124,89 @@ pub fn alias(a: SymAddr, b: SymAddr) -> AliasResult {
             (Index::Sym(x), Index::Sym(y)) if x == y => AliasResult::Must,
             _ => AliasResult::May,
         },
+    }
+}
+
+/// A memoizing alias oracle over one function.
+///
+/// [`symbolic_addr`] re-walks the pure operand graph on every call; the
+/// detection engines and the haunted baseline ask for the same values'
+/// addresses once per candidate pair (haunted: once per *path* per
+/// pair), so the walk dominates on gep-heavy code. The oracle caches
+/// `Value → SymAddr` per function and memoizes the sub-walks of nested
+/// geps too, making repeated queries O(1).
+#[derive(Debug)]
+pub struct AddrOracle<'f> {
+    f: &'f Function,
+    addr_memo: HashMap<u32, SymAddr>,
+    /// Queries answered (including hits).
+    queries: u64,
+    /// Queries answered from the memo.
+    hits: u64,
+}
+
+impl<'f> AddrOracle<'f> {
+    /// An empty oracle over `f`.
+    pub fn new(f: &'f Function) -> Self {
+        AddrOracle {
+            f,
+            addr_memo: HashMap::new(),
+            queries: 0,
+            hits: 0,
+        }
+    }
+
+    /// The memoized symbolic address of `v`.
+    pub fn addr(&mut self, v: Value) -> SymAddr {
+        self.queries += 1;
+        if let Some(&a) = self.addr_memo.get(&v.0) {
+            self.hits += 1;
+            return a;
+        }
+        let f = self.f;
+        let a = match f.inst(v) {
+            Inst::Gep { base, index, .. } => {
+                // Memoize the base sub-walk too: nested geps share bases.
+                let b = self.addr(*base);
+                let idx = match f.inst(*index) {
+                    Inst::Const(c) => Index::Const(*c),
+                    _ => Index::Sym(index.0),
+                };
+                match b.index {
+                    Index::Const(0) => SymAddr {
+                        region: b.region,
+                        index: idx,
+                    },
+                    Index::Const(c) => match idx {
+                        Index::Const(c2) => SymAddr {
+                            region: b.region,
+                            index: Index::Const(c + c2),
+                        },
+                        _ => SymAddr {
+                            region: b.region,
+                            index: Index::Opaque,
+                        },
+                    },
+                    _ => SymAddr {
+                        region: b.region,
+                        index: Index::Opaque,
+                    },
+                }
+            }
+            _ => symbolic_addr(f, v),
+        };
+        self.addr_memo.insert(v.0, a);
+        a
+    }
+
+    /// Architectural aliasing between the addresses of two values.
+    pub fn alias_values(&mut self, a: Value, b: Value) -> AliasResult {
+        alias(self.addr(a), self.addr(b))
+    }
+
+    /// `(queries, memo_hits)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.queries, self.hits)
     }
 }
 
@@ -158,7 +262,10 @@ mod tests {
         let (_, mut f) = setup();
         let a = f.global_addr(lcm_ir::GlobalId(0));
         let b = f.global_addr(lcm_ir::GlobalId(1));
-        assert_eq!(alias(symbolic_addr(&f, a), symbolic_addr(&f, b)), AliasResult::No);
+        assert_eq!(
+            alias(symbolic_addr(&f, a), symbolic_addr(&f, b)),
+            AliasResult::No
+        );
     }
 
     #[test]
@@ -170,8 +277,14 @@ mod tests {
         let a1 = f.gep(base, c1);
         let a2 = f.gep(base, c2);
         let a1b = f.gep(base, c1);
-        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)), AliasResult::No);
-        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a1b)), AliasResult::Must);
+        assert_eq!(
+            alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)),
+            AliasResult::No
+        );
+        assert_eq!(
+            alias(symbolic_addr(&f, a1), symbolic_addr(&f, a1b)),
+            AliasResult::Must
+        );
     }
 
     #[test]
@@ -181,7 +294,10 @@ mod tests {
         let y = f.param(0);
         let a1 = f.gep(base, y);
         let a2 = f.gep(base, y);
-        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)), AliasResult::Must);
+        assert_eq!(
+            alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)),
+            AliasResult::Must
+        );
     }
 
     #[test]
@@ -193,7 +309,10 @@ mod tests {
         let y1 = f.bin(lcm_ir::BinOp::Add, y, one);
         let a1 = f.gep(base, y);
         let a2 = f.gep(base, y1);
-        assert_eq!(alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)), AliasResult::May);
+        assert_eq!(
+            alias(symbolic_addr(&f, a1), symbolic_addr(&f, a2)),
+            AliasResult::May
+        );
     }
 
     #[test]
@@ -201,7 +320,13 @@ mod tests {
         let (_, mut f) = setup();
         let p = f.param(1);
         let e = f.entry();
-        let loaded = f.push(e, Inst::Load { addr: p, ty: Ty::Ptr });
+        let loaded = f.push(
+            e,
+            Inst::Load {
+                addr: p,
+                ty: Ty::Ptr,
+            },
+        );
         let sa = symbolic_addr(&f, loaded);
         assert_eq!(sa.region, Region::Unknown);
         let base = f.global_addr(lcm_ir::GlobalId(0));
@@ -212,10 +337,28 @@ mod tests {
     fn allocas_are_distinct() {
         let (_, mut f) = setup();
         let e = f.entry();
-        let a = f.push(e, Inst::Alloca { name: "a".into(), size: 1 });
-        let b = f.push(e, Inst::Alloca { name: "b".into(), size: 1 });
-        assert_eq!(alias(symbolic_addr(&f, a), symbolic_addr(&f, b)), AliasResult::No);
-        assert_eq!(alias(symbolic_addr(&f, a), symbolic_addr(&f, a)), AliasResult::Must);
+        let a = f.push(
+            e,
+            Inst::Alloca {
+                name: "a".into(),
+                size: 1,
+            },
+        );
+        let b = f.push(
+            e,
+            Inst::Alloca {
+                name: "b".into(),
+                size: 1,
+            },
+        );
+        assert_eq!(
+            alias(symbolic_addr(&f, a), symbolic_addr(&f, b)),
+            AliasResult::No
+        );
+        assert_eq!(
+            alias(symbolic_addr(&f, a), symbolic_addr(&f, a)),
+            AliasResult::Must
+        );
     }
 
     #[test]
@@ -225,9 +368,21 @@ mod tests {
         let (_, mut f) = setup();
         let e = f.entry();
         let p = f.param(1);
-        let base_ld = f.push(e, Inst::Load { addr: p, ty: Ty::Ptr });
+        let base_ld = f.push(
+            e,
+            Inst::Load {
+                addr: p,
+                ty: Ty::Ptr,
+            },
+        );
         let ga = f.global_addr(lcm_ir::GlobalId(0));
-        let idx_ld = f.push(e, Inst::Load { addr: ga, ty: Ty::Int });
+        let idx_ld = f.push(
+            e,
+            Inst::Load {
+                addr: ga,
+                ty: Ty::Int,
+            },
+        );
         let addr = f.gep(base_ld, idx_ld);
         let loads = feeding_loads(&f, addr);
         assert_eq!(loads.len(), 2);
@@ -238,11 +393,50 @@ mod tests {
     }
 
     #[test]
+    fn oracle_agrees_with_uncached_walk() {
+        let (_, mut f) = setup();
+        let e = f.entry();
+        let base = f.global_addr(lcm_ir::GlobalId(0));
+        let y = f.param(0);
+        let c1 = f.iconst(1);
+        let g1 = f.gep(base, y);
+        let g2 = f.gep(base, c1);
+        let g3 = f.gep(g2, c1);
+        let p = f.param(1);
+        let ld = f.push(
+            e,
+            Inst::Load {
+                addr: p,
+                ty: Ty::Ptr,
+            },
+        );
+        let mut oracle = AddrOracle::new(&f);
+        for v in [base, g1, g2, g3, ld, p] {
+            assert_eq!(oracle.addr(v), symbolic_addr(&f, v), "value {v:?}");
+            // Second ask hits the memo and must agree too.
+            assert_eq!(oracle.addr(v), symbolic_addr(&f, v), "value {v:?} (cached)");
+        }
+        let (queries, hits) = oracle.stats();
+        assert!(queries >= 12);
+        assert!(hits >= 6, "repeat queries must hit the memo, got {hits}");
+        assert_eq!(
+            oracle.alias_values(g1, g1),
+            alias(symbolic_addr(&f, g1), symbolic_addr(&f, g1))
+        );
+    }
+
+    #[test]
     fn feeding_loads_through_arithmetic() {
         let (_, mut f) = setup();
         let e = f.entry();
         let ga = f.global_addr(lcm_ir::GlobalId(0));
-        let ld = f.push(e, Inst::Load { addr: ga, ty: Ty::Int });
+        let ld = f.push(
+            e,
+            Inst::Load {
+                addr: ga,
+                ty: Ty::Int,
+            },
+        );
         let c = f.iconst(512);
         let scaled = f.bin(lcm_ir::BinOp::Mul, ld, c);
         let addr = f.gep(ga, scaled);

@@ -95,7 +95,11 @@ impl Saeg {
     /// # Errors
     ///
     /// Propagates [`AcfgError`] from A-CFG construction.
-    pub fn build(module: &Module, fname: &str, config: SpeculationConfig) -> Result<Saeg, AcfgError> {
+    pub fn build(
+        module: &Module,
+        fname: &str,
+        config: SpeculationConfig,
+    ) -> Result<Saeg, AcfgError> {
         let acfg = build_acfg(module, fname)?;
         Ok(Self::from_acfg(fname, acfg, config))
     }
@@ -131,9 +135,7 @@ impl Saeg {
         for &b in &topo {
             for &iid in &acfg.blocks[b.0 as usize].insts {
                 let (kind, addr_v, value_v, ty_ptr) = match acfg.inst(iid) {
-                    Inst::Load { addr, ty } => {
-                        (EventKind::Load, Some(*addr), None, *ty == Ty::Ptr)
-                    }
+                    Inst::Load { addr, ty } => (EventKind::Load, Some(*addr), None, *ty == Ty::Ptr),
                     Inst::Store { addr, value } => {
                         let ptr = acfg.inst(*value).result_ty() == Some(Ty::Ptr);
                         (EventKind::Store, Some(*addr), Some(*value), ptr)
@@ -198,7 +200,11 @@ impl Saeg {
         // Branches.
         let mut branches = Vec::new();
         for &b in &topo {
-            if let Terminator::CondBr { cond, then_bb, else_bb } = &acfg.blocks[b.0 as usize].term
+            if let Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } = &acfg.blocks[b.0 as usize].term
             {
                 let cond_deps = map_loads(&acfg, *cond, &inst_to_event)
                     .into_iter()
@@ -381,20 +387,23 @@ impl Saeg {
         let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
         for e in &self.events {
             let label = format!("{}: {:?} {:?}", e.pos, e.kind, self.acfg.inst(e.inst));
-            let _ = writeln!(
-                s,
-                "  e{} [label=\"{}\"];",
-                e.id.0,
-                label.replace('"', "'")
-            );
+            let _ = writeln!(s, "  e{} [label=\"{}\"];", e.id.0, label.replace('"', "'"));
         }
         for e in &self.events {
             for &(d, gep) in &e.addr_deps {
                 let lbl = if gep { "addr_gep" } else { "addr" };
-                let _ = writeln!(s, "  e{} -> e{} [label=\"{lbl}\", color=gray40];", d.0, e.id.0);
+                let _ = writeln!(
+                    s,
+                    "  e{} -> e{} [label=\"{lbl}\", color=gray40];",
+                    d.0, e.id.0
+                );
             }
             for &d in &e.value_deps {
-                let _ = writeln!(s, "  e{} -> e{} [label=\"data\", color=gray55];", d.0, e.id.0);
+                let _ = writeln!(
+                    s,
+                    "  e{} -> e{} [label=\"data\", color=gray55];",
+                    d.0, e.id.0
+                );
             }
         }
         for (i, br) in self.branches.iter().enumerate() {
@@ -464,10 +473,18 @@ mod tests {
             "int G; int f(int x) { int a = x; if (x) { G = a; } return G; }",
             "f",
         );
-        let loads: Vec<EventId> =
-            s.events.iter().filter(|e| e.kind == EventKind::Load).map(|e| e.id).collect();
-        let stores: Vec<EventId> =
-            s.events.iter().filter(|e| e.kind == EventKind::Store).map(|e| e.id).collect();
+        let loads: Vec<EventId> = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Load)
+            .map(|e| e.id)
+            .collect();
+        let stores: Vec<EventId> = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Store)
+            .map(|e| e.id)
+            .collect();
         // Parameter spill precedes everything after it.
         assert!(s.precedes(stores[0], *loads.last().unwrap()));
         assert!(!s.precedes(*loads.last().unwrap(), stores[0]));
@@ -497,11 +514,13 @@ mod tests {
         let src = "int A[64]; int t; void f(int c) { if (c) { t = A[0] + A[1] + A[2] + A[3] + A[4] + A[5]; } }";
         let m = lcm_minic::compile(src).unwrap();
         let full = Saeg::build(&m, "f", SpeculationConfig::default()).unwrap();
-        let shallow =
-            Saeg::build(&m, "f", SpeculationConfig::default().with_depth(2)).unwrap();
+        let shallow = Saeg::build(&m, "f", SpeculationConfig::default().with_depth(2)).unwrap();
         let br_f = &full.branches[0];
         let br_s = &shallow.branches[0];
-        let (wf, ws) = (full.spec_window(br_f, true), shallow.spec_window(br_s, true));
+        let (wf, ws) = (
+            full.spec_window(br_f, true),
+            shallow.spec_window(br_s, true),
+        );
         assert!(ws.len() <= 2);
         assert!(wf.len() > ws.len());
     }
@@ -517,7 +536,10 @@ mod tests {
             s.events[e.0].kind == EventKind::Load
                 && matches!(
                     s.events[e.0].addr,
-                    Some(crate::addr::SymAddr { region: crate::addr::Region::Global(_), .. })
+                    Some(crate::addr::SymAddr {
+                        region: crate::addr::Region::Global(_),
+                        ..
+                    })
                 )
         });
         assert!(!a_load_in_window);
@@ -527,7 +549,12 @@ mod tests {
     fn always_fenced_between_detects_barriers() {
         let src = "int G; int H; void f() { G = 1; lfence(); H = G; }";
         let s = saeg_of(src, "f");
-        let store_g = s.events.iter().find(|e| e.kind == EventKind::Store).unwrap().id;
+        let store_g = s
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Store)
+            .unwrap()
+            .id;
         let load_g = s
             .events
             .iter()
@@ -538,7 +565,12 @@ mod tests {
 
         let src2 = "int G; int H; void f() { G = 1; H = G; }";
         let s2 = saeg_of(src2, "f");
-        let store_g = s2.events.iter().find(|e| e.kind == EventKind::Store).unwrap().id;
+        let store_g = s2
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Store)
+            .unwrap()
+            .id;
         let load_g = s2
             .events
             .iter()

@@ -132,15 +132,13 @@ mod tests {
         // -O0: y is spilled to the stack and reloaded before indexing —
         // gaddr must span the spill: param-load -> (data.rf) -> reload ->
         // addr_gep -> A[y] load.
-        let s = saeg_of(
-            "int A[16]; int t; void f(int y) { t = A[y]; }",
-            "f",
-        );
+        let s = saeg_of("int A[16]; int t; void f(int y) { t = A[y]; }", "f");
         let g = generalized_addr(&s);
         // The A[y] load is the last load.
         let a_load = s
             .events
-            .iter().rfind(|e| e.kind == EventKind::Load && !e.addr_deps.is_empty())
+            .iter()
+            .rfind(|e| e.kind == EventKind::Load && !e.addr_deps.is_empty())
             .unwrap();
         assert!(
             !gaddr_sources(&g, a_load.id).is_empty(),
@@ -160,14 +158,13 @@ mod tests {
         let g = generalized_addr(&s);
         let b_load = s
             .events
-            .iter().rfind(|e| e.kind == EventKind::Load)
+            .iter()
+            .rfind(|e| e.kind == EventKind::Load)
             .unwrap();
         let accesses = gaddr_sources(&g, b_load.id);
         assert!(!accesses.is_empty());
         // Some access itself has gaddr sources: the universal shape.
-        let universal = accesses
-            .iter()
-            .any(|&a| !gaddr_sources(&g, a).is_empty());
+        let universal = accesses.iter().any(|&a| !gaddr_sources(&g, a).is_empty());
         assert!(universal, "index -> access -> transmit chain found");
     }
 
@@ -184,7 +181,8 @@ mod tests {
         // the A[1] load.
         let a1_load = s
             .events
-            .iter().rfind(|e| e.kind == EventKind::Load)
+            .iter()
+            .rfind(|e| e.kind == EventKind::Load)
             .unwrap();
         assert!(dr.predecessors(a1_load.id.0).next().is_none());
     }
@@ -198,7 +196,8 @@ mod tests {
         let ctrl = ctrl_edges(&s);
         let a_load = s
             .events
-            .iter().rfind(|e| e.kind == EventKind::Load)
+            .iter()
+            .rfind(|e| e.kind == EventKind::Load)
             .unwrap();
         assert!(
             ctrl.predecessors(a_load.id.0).next().is_some(),

@@ -44,4 +44,4 @@ mod build;
 mod reach;
 
 pub use build::{EventId, EventKind, MemEvent, Saeg};
-pub use reach::Feasibility;
+pub use reach::{FeasStats, Feasibility};

@@ -6,14 +6,34 @@
 //! required events are all architecturally (or, for the mispredicting
 //! branch, transiently) executed and asks the solver for a consistent
 //! branch-decision assignment.
+//!
+//! Engines drive queries through an **assumption stack** ([`Feasibility::push`],
+//! [`Feasibility::mark`], [`Feasibility::truncate`]) instead of cloning a
+//! base request per candidate, so the hot loops allocate nothing per
+//! query; results are memoized on the (sorted, deduped) assumption set
+//! and cache statistics are tracked in [`FeasStats`].
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use lcm_ir::{BlockId, Terminator};
 use lcm_sat::cnf::Cnf;
 use lcm_sat::{Lit, SolveResult};
 
 use crate::build::Saeg;
+
+/// Query counters and phase timings for one [`Feasibility`] instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeasStats {
+    /// Feasibility questions asked (including memo hits).
+    pub queries: u64,
+    /// Questions answered from the memo without touching the solver.
+    pub memo_hits: u64,
+    /// Time spent building the CNF encoding.
+    pub encode: Duration,
+    /// Time spent inside the SAT solver.
+    pub solve: Duration,
+}
 
 /// A reusable feasibility checker over one S-AEG.
 ///
@@ -26,11 +46,18 @@ pub struct Feasibility {
     decision: HashMap<u32, Lit>,
     memo: HashMap<Vec<Lit>, bool>,
     path_memo: HashMap<Vec<Lit>, Option<Vec<BlockId>>>,
+    /// Current assumption set, manipulated via `push`/`mark`/`truncate`.
+    stack: Vec<Lit>,
+    /// Scratch buffer for the sorted/deduped memo key; reused across
+    /// queries so a memo hit allocates nothing.
+    key_buf: Vec<Lit>,
+    stats: FeasStats,
 }
 
 impl Feasibility {
     /// Builds the path-constraint formula for the S-AEG's A-CFG.
     pub fn new(saeg: &Saeg) -> Self {
+        let t0 = Instant::now();
         let f = &saeg.acfg;
         let mut cnf = Cnf::new();
         let arch: Vec<Lit> = (0..f.blocks.len()).map(|_| cnf.fresh()).collect();
@@ -49,7 +76,9 @@ impl Feasibility {
                 Terminator::Br(t) => {
                     in_edges[t.0 as usize].push(arch[bi.0 as usize]);
                 }
-                Terminator::CondBr { then_bb, else_bb, .. } => {
+                Terminator::CondBr {
+                    then_bb, else_bb, ..
+                } => {
                     let d = decision[&bi.0];
                     let taken = cnf.and(arch[bi.0 as usize], d);
                     let not_taken = cnf.and(arch[bi.0 as usize], !d);
@@ -68,7 +97,20 @@ impl Feasibility {
             cnf.assert_implies(arch[bi], any);
             cnf.assert_implies(any, arch[bi]);
         }
-        Feasibility { cnf, arch, decision, memo: HashMap::new(), path_memo: HashMap::new() }
+        let stats = FeasStats {
+            encode: t0.elapsed(),
+            ..FeasStats::default()
+        };
+        Feasibility {
+            cnf,
+            arch,
+            decision,
+            memo: HashMap::new(),
+            path_memo: HashMap::new(),
+            stack: Vec::new(),
+            key_buf: Vec::new(),
+            stats,
+        }
     }
 
     /// The literal asserting block `b` is architecturally executed.
@@ -82,29 +124,70 @@ impl Feasibility {
         self.decision.get(&b.0).copied()
     }
 
-    /// Checks whether the required literals are jointly satisfiable.
-    pub fn check(&mut self, required: &[Lit]) -> bool {
-        let mut key: Vec<Lit> = required.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(&r) = self.memo.get(&key) {
+    /// Query counters and timings accumulated so far.
+    pub fn stats(&self) -> FeasStats {
+        self.stats
+    }
+
+    // ----- assumption stack ---------------------------------------------
+
+    /// Pushes an assumption onto the current query's requirement set.
+    pub fn push(&mut self, lit: Lit) {
+        self.stack.push(lit);
+    }
+
+    /// Pushes every literal in `lits`.
+    pub fn push_all(&mut self, lits: &[Lit]) {
+        self.stack.extend_from_slice(lits);
+    }
+
+    /// The current stack depth; pass to [`Self::truncate`] to restore.
+    pub fn mark(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Pops assumptions back to a depth previously taken with
+    /// [`Self::mark`].
+    pub fn truncate(&mut self, mark: usize) {
+        self.stack.truncate(mark);
+    }
+
+    /// Checks whether the current assumption stack is jointly
+    /// satisfiable. Allocation-free on a memo hit.
+    pub fn check_stack(&mut self) -> bool {
+        self.key_buf.clear();
+        self.key_buf.extend_from_slice(&self.stack);
+        self.key_buf.sort_unstable();
+        self.key_buf.dedup();
+        self.stats.queries += 1;
+        if let Some(&r) = self.memo.get(self.key_buf.as_slice()) {
+            self.stats.memo_hits += 1;
             return r;
         }
-        let r = matches!(self.cnf.solver_mut().solve_with(required), SolveResult::Sat(_));
-        self.memo.insert(key, r);
+        let t0 = Instant::now();
+        let r = matches!(
+            self.cnf.solver_mut().solve_with(&self.stack),
+            SolveResult::Sat(_)
+        );
+        self.stats.solve += t0.elapsed();
+        self.memo.insert(self.key_buf.clone(), r);
         r
     }
 
-    /// Like [`Self::check`] but returning the architectural path (executed
-    /// blocks) of a witness, if satisfiable. Memoized like `check`.
-    pub fn witness_path(&mut self, required: &[Lit]) -> Option<Vec<BlockId>> {
-        let mut key: Vec<Lit> = required.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(r) = self.path_memo.get(&key) {
+    /// Like [`Self::check_stack`] but returning the architectural path
+    /// (executed blocks) of a witness, if satisfiable.
+    pub fn witness_path_stack(&mut self) -> Option<Vec<BlockId>> {
+        self.key_buf.clear();
+        self.key_buf.extend_from_slice(&self.stack);
+        self.key_buf.sort_unstable();
+        self.key_buf.dedup();
+        self.stats.queries += 1;
+        if let Some(r) = self.path_memo.get(self.key_buf.as_slice()) {
+            self.stats.memo_hits += 1;
             return r.clone();
         }
-        let r = match self.cnf.solver_mut().solve_with(required) {
+        let t0 = Instant::now();
+        let r = match self.cnf.solver_mut().solve_with(&self.stack) {
             SolveResult::Sat(m) => Some(
                 self.arch
                     .iter()
@@ -115,7 +198,34 @@ impl Feasibility {
             ),
             SolveResult::Unsat(_) => None,
         };
-        self.path_memo.insert(key, r.clone());
+        self.stats.solve += t0.elapsed();
+        self.path_memo.insert(self.key_buf.clone(), r.clone());
+        r
+    }
+
+    // ----- slice API (stack-independent) --------------------------------
+
+    /// Checks whether the required literals are jointly satisfiable.
+    ///
+    /// Equivalent to pushing `required` onto an empty stack and calling
+    /// [`Self::check_stack`]; shares the same memo.
+    pub fn check(&mut self, required: &[Lit]) -> bool {
+        let mark = self.mark();
+        let base: Vec<Lit> = std::mem::take(&mut self.stack);
+        self.stack.extend_from_slice(required);
+        let r = self.check_stack();
+        self.stack = base;
+        debug_assert_eq!(self.mark(), mark);
+        r
+    }
+
+    /// Like [`Self::check`] but returning the architectural path (executed
+    /// blocks) of a witness, if satisfiable. Memoized like `check`.
+    pub fn witness_path(&mut self, required: &[Lit]) -> Option<Vec<BlockId>> {
+        let base: Vec<Lit> = std::mem::take(&mut self.stack);
+        self.stack.extend_from_slice(required);
+        let r = self.witness_path_stack();
+        self.stack = base;
         r
     }
 }
@@ -162,7 +272,10 @@ mod tests {
         let l2 = fe.arch_lit(body_stores[1].block);
         assert!(fe.check(&[l1]));
         assert!(fe.check(&[l2]));
-        assert!(!fe.check(&[l1, l2]), "both sides of a diamond cannot co-execute");
+        assert!(
+            !fe.check(&[l1, l2]),
+            "both sides of a diamond cannot co-execute"
+        );
     }
 
     #[test]
@@ -173,7 +286,8 @@ mod tests {
         );
         let inner_store = s
             .events
-            .iter().find(|e| e.kind == crate::build::EventKind::Store && e.block != lcm_ir::BlockId(0))
+            .iter()
+            .find(|e| e.kind == crate::build::EventKind::Store && e.block != lcm_ir::BlockId(0))
             .unwrap();
         // inner store together with the else-side store: infeasible.
         let else_store = s
@@ -183,7 +297,10 @@ mod tests {
             .unwrap();
         assert_ne!(inner_store.block, else_store.block);
         assert!(fe.check(&[fe.arch_lit(inner_store.block)]));
-        let (a, b) = (fe.arch_lit(inner_store.block), fe.arch_lit(else_store.block));
+        let (a, b) = (
+            fe.arch_lit(inner_store.block),
+            fe.arch_lit(else_store.block),
+        );
         assert!(!fe.check(&[a, b]));
     }
 
@@ -213,5 +330,59 @@ mod tests {
         assert!(!fe.check(&[d, else_lit]));
         assert!(fe.check(&[d, then_lit]));
         assert!(!fe.check(&[!d, then_lit]));
+    }
+
+    #[test]
+    fn stack_api_matches_slice_api() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c, int d) { if (c) { G = 1; } if (d) { G = 2; } G = 3; }",
+            "f",
+        );
+        let mut fresh = Feasibility::new(&s);
+        let blocks = s.topo_blocks();
+        // Exercise every pair through both APIs on independent instances.
+        for &a in blocks {
+            for &b in blocks {
+                let req = [fe.arch_lit(a), fe.arch_lit(b)];
+                let via_slice = fresh.check(&req);
+
+                let m = fe.mark();
+                fe.push(fe.arch_lit(a));
+                fe.push(fe.arch_lit(b));
+                let via_stack = fe.check_stack();
+                fe.truncate(m);
+                assert_eq!(via_slice, via_stack, "blocks {a:?},{b:?}");
+            }
+        }
+        assert_eq!(fe.mark(), 0);
+    }
+
+    #[test]
+    fn memo_hits_accumulate() {
+        let (s, mut fe) = feas("int G; void f(int c) { if (c) { G = 1; } }", "f");
+        let lit = fe.arch_lit(s.topo_blocks()[0]);
+        assert!(fe.check(&[lit]));
+        assert!(fe.check(&[lit]));
+        assert!(fe.check(&[lit, lit])); // dedups to the same key
+        let st = fe.stats();
+        assert_eq!(st.queries, 3);
+        assert_eq!(st.memo_hits, 2);
+    }
+
+    #[test]
+    fn truncate_restores_outer_assumptions() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } }",
+            "f",
+        );
+        let br = &s.branches[0];
+        let d = fe.decision_lit(br.block).unwrap();
+        fe.push(d);
+        let m = fe.mark();
+        fe.push(fe.arch_lit(br.else_bb));
+        assert!(!fe.check_stack());
+        fe.truncate(m);
+        fe.push(fe.arch_lit(br.then_bb));
+        assert!(fe.check_stack());
     }
 }

@@ -59,8 +59,20 @@ mod tests {
         let mut f = Function::new("f", &[("p", Ty::Ptr)]);
         let e = f.entry();
         let p = f.param(0);
-        let li = f.push(e, Inst::Load { addr: p, ty: Ty::Int });
-        let lp = f.push(e, Inst::Load { addr: p, ty: Ty::Ptr });
+        let li = f.push(
+            e,
+            Inst::Load {
+                addr: p,
+                ty: Ty::Int,
+            },
+        );
+        let lp = f.push(
+            e,
+            Inst::Load {
+                addr: p,
+                ty: Ty::Ptr,
+            },
+        );
         assert!(attacker_controlled(&f, li));
         assert!(!attacker_controlled(&f, lp));
     }

@@ -43,7 +43,7 @@ pub fn execution_from_trace(module: &Module, trace: &[TraceEvent]) -> Execution 
     let mut last_store: HashMap<i64, EventId> = HashMap::new(); // rf sources
     let mut co_last: HashMap<i64, EventId> = HashMap::new(); // co chains
     let mut line_filler: HashMap<i64, EventId> = HashMap::new(); // cache sim
-    // Most recent event for each (func, inst), for dependency binding.
+                                                                 // Most recent event for each (func, inst), for dependency binding.
     let mut last_exec: HashMap<(u32, u32), EventId> = HashMap::new();
     let mut prev: Option<EventId> = None;
     // Loads feeding conditions of branches executed so far: dynamic ctrl
@@ -64,7 +64,12 @@ pub fn execution_from_trace(module: &Module, trace: &[TraceEvent]) -> Execution 
         }
         let loc = format!("m{:x}", te.addr);
         let func = &module.functions[te.func as usize];
-        let label = format!("%{}@{}: {}", te.inst.0, func.name, if te.is_store { "W" } else { "R" });
+        let label = format!(
+            "%{}@{}: {}",
+            te.inst.0,
+            func.name,
+            if te.is_store { "W" } else { "R" }
+        );
         let ev = if te.is_store {
             let e = b.write(&loc);
             if let Some(&w) = co_last.get(&te.addr) {
@@ -76,7 +81,11 @@ pub fn execution_from_trace(module: &Module, trace: &[TraceEvent]) -> Execution 
         } else {
             // Hit if the line is filled; otherwise a miss (RMW fill).
             let filled = line_filler.get(&te.addr).copied();
-            let e = if filled.is_some() { b.read_hit(&loc) } else { b.read(&loc) };
+            let e = if filled.is_some() {
+                b.read_hit(&loc)
+            } else {
+                b.read(&loc)
+            };
             if let Some(&w) = last_store.get(&te.addr) {
                 b.rf(w, e);
             }
@@ -160,7 +169,12 @@ mod tests {
     use lcm_core::{detect_leakage, Transmitter};
     use lcm_ir::interp::Machine;
 
-    fn traced_exec(src: &str, fname: &str, args: &[i64], secrets: &[(&str, u32, i64)]) -> Execution {
+    fn traced_exec(
+        src: &str,
+        fname: &str,
+        args: &[i64],
+        secrets: &[(&str, u32, i64)],
+    ) -> Execution {
         let m = lcm_minic::compile(src).unwrap();
         let mut mach = Machine::new(&m);
         for &(g, i, v) in secrets {
@@ -257,6 +271,9 @@ mod tests {
         use lcm_core::mcm::{ConsistencyModel, Tso};
         let src = "int A[8]; int t; void f(int i) { A[i & 7] = 1; t = A[i & 7]; }";
         let x = traced_exec(src, "f", &[3], &[]);
-        assert!(Tso.check(&x).is_ok(), "concrete runs are trivially consistent");
+        assert!(
+            Tso.check(&x).is_ok(),
+            "concrete runs are trivially consistent"
+        );
     }
 }

@@ -6,7 +6,13 @@ use lcm_corpus::synth::{synthetic_library, SynthConfig};
 use lcm_detect::{Detector, DetectorConfig, EngineKind};
 
 fn bench_scaling(c: &mut Criterion) {
-    let cfg = SynthConfig { seed: 0x50d1, functions: 24, max_stmts: 120, pht_gadget_pct: 10, stl_gadget_pct: 10 };
+    let cfg = SynthConfig {
+        seed: 0x50d1,
+        functions: 24,
+        max_stmts: 120,
+        pht_gadget_pct: 10,
+        stl_gadget_pct: 10,
+    };
     let (src, _) = synthetic_library(cfg);
     let m = lcm_minic::compile(&src).expect("synthetic library compiles");
     let det = Detector::new(DetectorConfig::default());
@@ -28,10 +34,18 @@ fn bench_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for (name, size) in picks {
         g.bench_with_input(BenchmarkId::new("clou-pht", size), name, |b, name| {
-            b.iter(|| det.analyze_function(&m, name, EngineKind::Pht).transmitters.len());
+            b.iter(|| {
+                det.analyze_function(&m, name, EngineKind::Pht)
+                    .transmitters
+                    .len()
+            });
         });
         g.bench_with_input(BenchmarkId::new("clou-stl", size), name, |b, name| {
-            b.iter(|| det.analyze_function(&m, name, EngineKind::Stl).transmitters.len());
+            b.iter(|| {
+                det.analyze_function(&m, name, EngineKind::Stl)
+                    .transmitters
+                    .len()
+            });
         });
     }
     g.finish();

@@ -14,7 +14,9 @@ fn bench_relalg(c: &mut Criterion) {
         // A layered DAG with n nodes.
         let rel = Relation::from_pairs(
             n,
-            (0..n - 1).flat_map(|i| [(i, i + 1), (i, (i + 7) % n)]).filter(|&(a, b)| a < b),
+            (0..n - 1)
+                .flat_map(|i| [(i, i + 1), (i, (i + 7) % n)])
+                .filter(|&(a, b)| a < b),
         );
         g.bench_function(format!("closure/{n}"), |b| {
             b.iter(|| rel.transitive_closure().len());
@@ -34,8 +36,9 @@ fn bench_sat(c: &mut Criterion) {
             let mut s = Solver::new();
             let n = 7;
             let m = 6;
-            let vars: Vec<Vec<_>> =
-                (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+            let vars: Vec<Vec<_>> = (0..n)
+                .map(|_| (0..m).map(|_| s.new_var()).collect())
+                .collect();
             for row in &vars {
                 s.add_clause(row.iter().map(|&v| Lit::pos(v)));
             }
@@ -71,5 +74,11 @@ fn bench_enumeration(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_relalg, bench_sat, bench_frontend, bench_enumeration);
+criterion_group!(
+    benches,
+    bench_relalg,
+    bench_sat,
+    bench_frontend,
+    bench_enumeration
+);
 criterion_main!(benches);

@@ -4,10 +4,11 @@
 //! depth. Reports UDT/DT counts and runtime per configuration over the
 //! litmus suites.
 //!
-//! Usage: `cargo run --release -p lcm-bench --bin ablation`
+//! Usage: `cargo run --release -p lcm-bench --bin ablation -- [--jobs N]`
 
 use std::time::Instant;
 
+use lcm_bench::cli;
 use lcm_core::speculation::SpeculationConfig;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::all_litmus;
@@ -31,6 +32,8 @@ fn run(cfg: DetectorConfig, engine: EngineKind) -> (usize, usize, usize, u128) {
 }
 
 fn main() {
+    let args = cli::parse(std::env::args().skip(1));
+    let jobs = args.jobs;
     println!("Ablation study over the 36 litmus programs (both engines)\n");
     println!(
         "{:<44} {:<6} {:>6} {:>6} {:>10} {:>10}",
@@ -38,28 +41,46 @@ fn main() {
     );
     println!("{}", "-".repeat(88));
 
-    let base = DetectorConfig::default;
+    let base = || DetectorConfig {
+        jobs,
+        ..DetectorConfig::default()
+    };
     let configs: Vec<(&str, DetectorConfig)> = vec![
         ("default (gep filter, transient-access rule)", base()),
         (
             "no addr_gep filter (more univ. candidates)",
-            DetectorConfig { gep_filter: false, ..base() },
+            DetectorConfig {
+                gep_filter: false,
+                ..base()
+            },
         ),
         (
             "universal w/ committed access allowed",
-            DetectorConfig { universal_needs_transient_access: false, ..base() },
+            DetectorConfig {
+                universal_needs_transient_access: false,
+                ..base()
+            },
         ),
         (
             "window W=8 (may misclassify univ., §6.2.1)",
-            DetectorConfig { window: 8, ..base() },
+            DetectorConfig {
+                window: 8,
+                ..base()
+            },
         ),
         (
             "speculation depth 2 (Fig. 2b's setting)",
-            DetectorConfig { spec: SpeculationConfig::default().with_depth(2), ..base() },
+            DetectorConfig {
+                spec: SpeculationConfig::default().with_depth(2),
+                ..base()
+            },
         ),
         (
             "interference variant on (§6.1 extension)",
-            DetectorConfig { detect_interference: true, ..base() },
+            DetectorConfig {
+                detect_interference: true,
+                ..base()
+            },
         ),
     ];
 
@@ -69,7 +90,11 @@ fn main() {
             println!(
                 "{:<44} {:<6} {:>6} {:>6} {:>10} {:>10}",
                 name,
-                if engine == EngineKind::Pht { "pht" } else { "stl" },
+                if engine == EngineKind::Pht {
+                    "pht"
+                } else {
+                    "stl"
+                },
                 dt,
                 ct,
                 udt,

@@ -2,17 +2,32 @@
 //! size for both Clou engines over the synthetic library, printed as CSV
 //! plus a log-log summary by size bucket.
 //!
-//! Usage: `cargo run --release -p lcm-bench --bin fig8 [-- --big]`
+//! Usage: `cargo run --release -p lcm-bench --bin fig8 -- [--big]
+//! [--jobs N] [--json PATH]`
 
-use lcm_bench::fig8_series;
+use std::time::Instant;
+
+use lcm_bench::{cli, fig8_series, json};
 use lcm_corpus::synth::SynthConfig;
 
 fn main() {
-    let big = std::env::args().any(|a| a == "--big");
-    let cfg = if big { SynthConfig::openssl_scale() } else { SynthConfig::libsodium_scale() };
-    println!("Fig. 8 analogue — runtime vs S-AEG node count (config: {cfg:?})\n");
+    let args = cli::parse(std::env::args().skip(1));
+    let big = args.has("--big");
+    let cfg = if big {
+        SynthConfig::openssl_scale()
+    } else {
+        SynthConfig::libsodium_scale()
+    };
+    println!("Fig. 8 analogue — runtime vs S-AEG node count (config: {cfg:?})");
+    println!(
+        "(jobs: {} => {} worker threads)\n",
+        args.jobs,
+        lcm_core::par::effective_jobs(args.jobs)
+    );
     println!("function,size,pht_us,stl_us");
-    let points = fig8_series(cfg);
+    let t0 = Instant::now();
+    let points = fig8_series(cfg, args.jobs);
+    let wall = t0.elapsed();
     for p in &points {
         println!(
             "{},{},{},{}",
@@ -25,11 +40,17 @@ fn main() {
 
     // Bucketed geometric-mean summary (the scatter's trend line).
     println!("\nsize-bucket summary (geometric mean runtime):");
-    println!("{:>16} {:>8} {:>12} {:>12}", "bucket", "count", "pht", "stl");
+    println!(
+        "{:>16} {:>8} {:>12} {:>12}",
+        "bucket", "count", "pht", "stl"
+    );
     let mut lo = 1usize;
     while lo <= points.last().map_or(0, |p| p.size) {
         let hi = lo * 4;
-        let in_bucket: Vec<_> = points.iter().filter(|p| p.size >= lo && p.size < hi).collect();
+        let in_bucket: Vec<_> = points
+            .iter()
+            .filter(|p| p.size >= lo && p.size < hi)
+            .collect();
         if !in_bucket.is_empty() {
             let gm = |f: &dyn Fn(&lcm_bench::Fig8Point) -> f64| -> f64 {
                 let s: f64 = in_bucket.iter().map(|p| f(p).max(1.0).ln()).sum();
@@ -47,5 +68,12 @@ fn main() {
             );
         }
         lo = hi;
+    }
+    println!("\nwall clock: {wall:.3?}");
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, json::fig8_json(&points, args.jobs, wall))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("json written to {path}");
     }
 }

@@ -4,17 +4,31 @@
 //! "finds new Spectre gadgets" claims that the paper could only support
 //! by manual inspection.
 //!
-//! Usage: `cargo run --release -p lcm-bench --bin synth_truth`
+//! Usage: `cargo run --release -p lcm-bench --bin synth_truth -- [--jobs N]`
 
+use lcm_bench::cli;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::synth::{synthetic_library, SynthConfig};
 use lcm_detect::{Detector, DetectorConfig, EngineKind};
 
 fn main() {
+    let args = cli::parse(std::env::args().skip(1));
     let cfg = SynthConfig::libsodium_scale();
     let (src, truth) = synthetic_library(cfg);
     let m = lcm_minic::compile(&src).expect("synthetic library compiles");
     let det = Detector::new(DetectorConfig::default());
+
+    // Fan out per truth entry (one public function each); the tallies
+    // below fold the results back in truth order, so they are identical
+    // for every --jobs setting.
+    let hits = lcm_core::par::map_indexed(&truth, args.jobs, |_, t| {
+        let pht = det.analyze_function(&m, &t.function, EngineKind::Pht);
+        let stl = det.analyze_function(&m, &t.function, EngineKind::Stl);
+        (
+            pht.count(TransmitterClass::UniversalData) > 0,
+            !stl.is_clean(),
+        )
+    });
 
     let mut rows = Vec::new();
     let mut pht_tp = 0;
@@ -23,11 +37,7 @@ fn main() {
     let mut stl_tp = 0;
     let mut stl_fn = 0;
     let mut stl_extra = 0;
-    for t in &truth {
-        let pht = det.analyze_function(&m, &t.function, EngineKind::Pht);
-        let stl = det.analyze_function(&m, &t.function, EngineKind::Stl);
-        let pht_hit = pht.count(TransmitterClass::UniversalData) > 0;
-        let stl_hit = !stl.is_clean();
+    for (t, &(pht_hit, stl_hit)) in truth.iter().zip(&hits) {
         match (t.pht_gadget, pht_hit) {
             (true, true) => pht_tp += 1,
             (true, false) => pht_fn += 1,
@@ -40,10 +50,20 @@ fn main() {
             (false, true) => stl_extra += 1,
             _ => {}
         }
-        rows.push((t.function.clone(), t.stmts, t.pht_gadget, pht_hit, t.stl_gadget, stl_hit));
+        rows.push((
+            t.function.clone(),
+            t.stmts,
+            t.pht_gadget,
+            pht_hit,
+            t.stl_gadget,
+            stl_hit,
+        ));
     }
 
-    println!("Synthetic-library ground truth agreement ({} functions)\n", truth.len());
+    println!(
+        "Synthetic-library ground truth agreement ({} functions)\n",
+        truth.len()
+    );
     println!(
         "{:<16} {:>6}  {:>9} {:>9}  {:>9} {:>9}",
         "function", "stmts", "pht-seed", "pht-hit", "stl-seed", "stl-hit"

@@ -1,34 +1,69 @@
 //! Regenerates the Table 2 analogue: per workload × tool, serial runtime
 //! and transmitter counts.
 //!
-//! Usage: `cargo run --release -p lcm-bench --bin table2 [-- --quick] [-- --repair]`
+//! Usage: `cargo run --release -p lcm-bench --bin table2 -- [--quick]
+//! [--repair] [--jobs N] [--json PATH]`
 //!
 //! `--quick` skips the synthetic-library workloads; `--repair` additionally
 //! runs fence-insertion repair on every vulnerable litmus program and
 //! reports fence counts and re-analysis results (the §6.1 claim: all
-//! initially-detected leakage is mitigated).
+//! initially-detected leakage is mitigated). `--jobs N` sets the worker
+//! thread count (0/omitted = all cores, 1 = serial; the table is
+//! identical either way) and `--json PATH` writes the machine-readable
+//! run record.
 
-use lcm_bench::{render_table2, table2_rows};
+use std::time::Instant;
+
+use lcm_bench::{cli, json, render_table2, table2_rows};
 use lcm_corpus::all_litmus;
 use lcm_detect::{repair, Detector, DetectorConfig, EngineKind};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let do_repair = args.iter().any(|a| a == "--repair");
+    let args = cli::parse(std::env::args().skip(1));
+    let quick = args.has("--quick");
+    let do_repair = args.has("--repair");
 
     println!("Table 2 analogue — leakage detection across workloads and tools");
-    println!("(paper baseline: Intel Xeon Gold 6226R; shapes, not absolute times, transfer)\n");
-    let rows = table2_rows(quick);
+    println!("(paper baseline: Intel Xeon Gold 6226R; shapes, not absolute times, transfer)");
+    println!(
+        "(jobs: {} => {} worker threads)\n",
+        args.jobs,
+        lcm_core::par::effective_jobs(args.jobs)
+    );
+    let t0 = Instant::now();
+    let rows = table2_rows(quick, args.jobs);
+    let wall = t0.elapsed();
     println!("{}", render_table2(&rows));
+    println!("wall clock: {wall:.3?}");
+    let mut phases = lcm_detect::PhaseTimings::default();
+    for r in &rows {
+        phases.merge(&r.timings);
+    }
+    println!("phase breakdown (Clou rows): {}", phases.render());
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, json::table2_json(&rows, args.jobs, wall))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("json written to {path}");
+    }
 
     if do_repair {
         println!("\nFence-insertion repair (§6.1)");
-        println!("{:<12} {:>8} {:>9} {:>12}", "bench", "engine", "fences", "re-analysis");
+        println!(
+            "{:<12} {:>8} {:>9} {:>12}",
+            "bench", "engine", "fences", "re-analysis"
+        );
         println!("{}", "-".repeat(46));
-        let det = Detector::new(DetectorConfig::default());
+        let det = Detector::new(DetectorConfig {
+            jobs: args.jobs,
+            ..DetectorConfig::default()
+        });
         for (suite, benches) in all_litmus() {
-            let engine = if suite == "litmus-stl" { EngineKind::Stl } else { EngineKind::Pht };
+            let engine = if suite == "litmus-stl" {
+                EngineKind::Stl
+            } else {
+                EngineKind::Pht
+            };
             for b in benches {
                 let m = b.module();
                 let report = det.analyze_module(&m, engine);
@@ -40,9 +75,17 @@ fn main() {
                 println!(
                     "{:<12} {:>8} {:>9} {:>12}",
                     b.name,
-                    if engine == EngineKind::Stl { "stl" } else { "pht" },
+                    if engine == EngineKind::Stl {
+                        "stl"
+                    } else {
+                        "pht"
+                    },
                     fences,
-                    if re.is_clean() { "clean" } else { "STILL LEAKS" }
+                    if re.is_clean() {
+                        "clean"
+                    } else {
+                        "STILL LEAKS"
+                    }
                 );
             }
         }

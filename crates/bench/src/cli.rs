@@ -1,0 +1,99 @@
+//! Minimal flag parsing shared by the bench binaries (no clap).
+//!
+//! Every binary accepts `--jobs N` (worker threads; `0` or omitted =
+//! all cores, `1` = exact serial) and most accept `--json PATH`
+//! (machine-readable output next to the printed table). Flags the
+//! harness does not know end up in [`BenchArgs::rest`] for the binary's
+//! own switches (`--quick`, `--repair`, `--big`, …).
+
+/// Parsed common flags plus whatever was left over.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--jobs N`: worker threads (0 = all available cores).
+    pub jobs: usize,
+    /// `--json PATH`: where to write the JSON report, if requested.
+    pub json: Option<String>,
+    /// Unrecognized arguments, in order.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// `true` if a leftover flag like `--quick` is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+}
+
+/// Parses `--jobs N` / `--jobs=N` and `--json PATH` / `--json=PATH`
+/// out of `args` (program name already stripped).
+///
+/// # Panics
+///
+/// Exits the process with a message on a malformed value — these are
+/// command-line tools, not a library API.
+pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            out.jobs = parse_jobs(v);
+        } else if a == "--jobs" {
+            let v = args.next().unwrap_or_else(|| die("--jobs needs a value"));
+            out.jobs = parse_jobs(&v);
+        } else if let Some(v) = a.strip_prefix("--json=") {
+            out.json = Some(v.to_string());
+        } else if a == "--json" {
+            let v = args.next().unwrap_or_else(|| die("--json needs a path"));
+            out.json = Some(v);
+        } else {
+            out.rest.push(a);
+        }
+    }
+    out
+}
+
+fn parse_jobs(v: &str) -> usize {
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("--jobs expects a number, got {v:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> BenchArgs {
+        parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_all_cores_and_no_json() {
+        let a = args(&[]);
+        assert_eq!(a.jobs, 0);
+        assert!(a.json.is_none());
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn parses_both_flag_styles() {
+        let a = args(&["--jobs", "4", "--json", "out.json"]);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        let b = args(&["--jobs=2", "--json=x.json"]);
+        assert_eq!(b.jobs, 2);
+        assert_eq!(b.json.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn unknown_flags_pass_through_in_order() {
+        let a = args(&["--quick", "--jobs", "1", "--repair"]);
+        assert_eq!(a.jobs, 1);
+        assert_eq!(a.rest, vec!["--quick", "--repair"]);
+        assert!(a.has("--quick"));
+        assert!(!a.has("--big"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Hand-rolled JSON for the `BENCH_*.json` trajectory files (no serde,
+//! per the DESIGN.md §6 dependency policy).
+//!
+//! The schema is deliberately flat: a top-level object with run
+//! metadata (`bench`, `jobs`, `wall_clock_secs`), the row/point arrays,
+//! and the module-wide phase breakdown, so successive PRs can diff
+//! runtimes without a JSON library on either side.
+
+use std::time::Duration;
+
+use lcm_detect::PhaseTimings;
+
+use crate::{Fig8Point, Table2Row};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn secs(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+fn timings_obj(t: &PhaseTimings) -> String {
+    format!(
+        "{{\"acfg_build_secs\": {}, \"saeg_build_secs\": {}, \"encode_secs\": {}, \"solve_secs\": {}, \"classify_secs\": {}, \"sat_queries\": {}, \"memo_hits\": {}}}",
+        secs(t.acfg_build),
+        secs(t.saeg_build),
+        secs(t.encode),
+        secs(t.solve),
+        secs(t.classify),
+        t.sat_queries,
+        t.memo_hits,
+    )
+}
+
+/// Serializes a `table2` run. `wall_clock` is the end-to-end time of
+/// computing the rows (the parallel-speedup measure; the per-row `time`
+/// fields sum *per-function* runtimes and so stay roughly constant
+/// across `jobs` settings).
+pub fn table2_json(rows: &[Table2Row], jobs: usize, wall_clock: Duration) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"table2\",\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"wall_clock_secs\": {},\n", secs(wall_clock)));
+    let mut total = PhaseTimings::default();
+    for r in rows {
+        total.merge(&r.timings);
+    }
+    s.push_str(&format!("  \"phase_timings\": {},\n", timings_obj(&total)));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"tool\": \"{}\", \"pfun\": {}, \"loc\": {}, \"time_secs\": {}, \"dt\": {}, \"ct\": {}, \"udt\": {}, \"uct\": {}}}{}\n",
+            esc(&r.workload),
+            esc(r.tool.name()),
+            r.pfun,
+            r.loc,
+            secs(r.time),
+            r.counts.0,
+            r.counts.1,
+            r.counts.2,
+            r.counts.3,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Serializes a `fig8` run.
+pub fn fig8_json(points: &[Fig8Point], jobs: usize, wall_clock: Duration) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"fig8\",\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"wall_clock_secs\": {},\n", secs(wall_clock)));
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"function\": \"{}\", \"size\": {}, \"pht_secs\": {}, \"stl_secs\": {}}}{}\n",
+            esc(&p.function),
+            p.size,
+            secs(p.pht_time),
+            secs(p.stl_time),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tool;
+
+    fn row(workload: &str) -> Table2Row {
+        Table2Row {
+            workload: workload.to_string(),
+            pfun: 2,
+            loc: 40,
+            tool: Tool::ClouPht,
+            time: Duration::from_millis(12),
+            counts: (1, 2, 3, 4),
+            timings: PhaseTimings::default(),
+        }
+    }
+
+    #[test]
+    fn table2_json_is_well_formed() {
+        let s = table2_json(
+            &[row("litmus-pht"), row("cr\"ypto")],
+            4,
+            Duration::from_secs(1),
+        );
+        assert!(s.contains("\"bench\": \"table2\""));
+        assert!(s.contains("\"jobs\": 4"));
+        assert!(s.contains("\"wall_clock_secs\": 1.000000"));
+        assert!(s.contains("cr\\\"ypto"), "quotes escaped: {s}");
+        // Exactly one comma between the two rows, none after the last.
+        assert_eq!(s.matches("}},\n").count() + s.matches("},\n").count(), 2);
+        assert!(balanced(&s), "balanced braces/brackets: {s}");
+    }
+
+    #[test]
+    fn fig8_json_is_well_formed() {
+        let p = Fig8Point {
+            function: "synth_fn_000".into(),
+            size: 7,
+            pht_time: Duration::from_millis(3),
+            stl_time: Duration::from_millis(5),
+        };
+        let s = fig8_json(&[p], 1, Duration::from_millis(8));
+        assert!(s.contains("\"bench\": \"fig8\""));
+        assert!(s.contains("\"size\": 7"));
+        assert!(s.contains("\"pht_secs\": 0.003000"));
+        assert!(balanced(&s));
+    }
+
+    /// Brace/bracket balance outside string literals — a cheap
+    /// well-formedness check with no JSON parser in the tree.
+    fn balanced(s: &str) -> bool {
+        let (mut depth, mut in_str, mut escaped) = (0i64, false, false);
+        for c in s.chars() {
+            if in_str {
+                match (escaped, c) {
+                    (true, _) => escaped = false,
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_str = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0 && !in_str
+    }
+}

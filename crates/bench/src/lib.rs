@@ -9,13 +9,22 @@
 //!
 //! The binaries `table2` and `fig8` print these; the criterion benches
 //! measure the same computations.
+//!
+//! Every entry point takes a `jobs` knob (0 = all cores, 1 = exact
+//! serial) threaded down to [`lcm_core::par::map_indexed`]; results are
+//! independent of the thread count. [`cli`] parses the shared `--jobs` /
+//! `--json` flags and [`json`] hand-rolls the `BENCH_*.json` output.
+
+pub mod cli;
+pub mod json;
 
 use std::time::Duration;
 
+use lcm_aeg::Saeg;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::synth::{synthetic_library, SynthConfig};
 use lcm_corpus::{all_litmus, crypto, Bench};
-use lcm_detect::{Detector, DetectorConfig, EngineKind};
+use lcm_detect::{Detector, DetectorConfig, EngineKind, PhaseTimings};
 use lcm_haunted::{HauntedConfig, HauntedEngine};
 use lcm_ir::Module;
 
@@ -59,6 +68,8 @@ pub struct Table2Row {
     pub time: Duration,
     /// `(DT, CT, UDT, UCT)` for Clou tools; `(bugs, 0, 0, 0)` for BH.
     pub counts: (usize, usize, usize, usize),
+    /// Phase breakdown (Clou tools only; zero for BH rows).
+    pub timings: PhaseTimings,
 }
 
 impl Table2Row {
@@ -68,14 +79,21 @@ impl Table2Row {
     }
 }
 
-fn run_clou(workload: &str, module: &Module, engine: EngineKind) -> Table2Row {
-    let det = Detector::new(DetectorConfig::default());
+fn run_clou(workload: &str, module: &Module, engine: EngineKind, jobs: usize) -> Table2Row {
+    let det = Detector::new(DetectorConfig {
+        jobs,
+        ..DetectorConfig::default()
+    });
     let report = det.analyze_module(module, engine);
     Table2Row {
         workload: workload.to_string(),
         pfun: module.public_functions().count(),
         loc: module.total_scheduled(),
-        tool: if engine == EngineKind::Pht { Tool::ClouPht } else { Tool::ClouStl },
+        tool: if engine == EngineKind::Pht {
+            Tool::ClouPht
+        } else {
+            Tool::ClouStl
+        },
         time: report.total_runtime(),
         counts: (
             report.count(TransmitterClass::Data),
@@ -83,25 +101,40 @@ fn run_clou(workload: &str, module: &Module, engine: EngineKind) -> Table2Row {
             report.count(TransmitterClass::UniversalData),
             report.count(TransmitterClass::UniversalControl),
         ),
+        timings: report.timings(),
     }
 }
 
-fn run_bh(workload: &str, module: &Module, engine: HauntedEngine) -> Table2Row {
-    let report = lcm_haunted::analyze_module(module, engine, HauntedConfig::default());
+fn run_bh(workload: &str, module: &Module, engine: HauntedEngine, jobs: usize) -> Table2Row {
+    let report = lcm_haunted::analyze_module(
+        module,
+        engine,
+        HauntedConfig {
+            jobs,
+            ..HauntedConfig::default()
+        },
+    );
     Table2Row {
         workload: workload.to_string(),
         pfun: module.public_functions().count(),
         loc: module.total_scheduled(),
-        tool: if engine == HauntedEngine::Pht { Tool::BhPht } else { Tool::BhStl },
+        tool: if engine == HauntedEngine::Pht {
+            Tool::BhPht
+        } else {
+            Tool::BhStl
+        },
         time: report.total_runtime(),
         counts: (report.total_leaks(), 0, 0, 0),
+        timings: PhaseTimings::default(),
     }
 }
 
 /// Merges a suite of single-program benches into one module per bench and
 /// aggregates rows (litmus suites are analyzed per program, like the
-/// paper's per-file runs).
-pub fn suite_rows(workload: &str, benches: &[Bench]) -> Vec<Table2Row> {
+/// paper's per-file runs). With `jobs > 1` the benches of a suite run on
+/// worker threads; aggregation order (and thus every aggregate) is
+/// unchanged.
+pub fn suite_rows(workload: &str, benches: &[Bench], jobs: usize) -> Vec<Table2Row> {
     let mut rows: Vec<Table2Row> = Vec::new();
     for tool in [Tool::ClouPht, Tool::ClouStl, Tool::BhPht, Tool::BhStl] {
         let mut acc = Table2Row {
@@ -111,15 +144,20 @@ pub fn suite_rows(workload: &str, benches: &[Bench]) -> Vec<Table2Row> {
             tool,
             time: Duration::ZERO,
             counts: (0, 0, 0, 0),
+            timings: PhaseTimings::default(),
         };
-        for bench in benches {
+        // Suites are many small single-function programs: parallelize
+        // across benches (inner analysis stays serial per module).
+        let per_bench = lcm_core::par::map_indexed(benches, jobs, |_, bench| {
             let m = bench.module();
-            let row = match tool {
-                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht),
-                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl),
-                Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht),
-                Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl),
-            };
+            match tool {
+                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht, 1),
+                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl, 1),
+                Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht, 1),
+                Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl, 1),
+            }
+        });
+        for row in per_bench {
             acc.pfun += row.pfun;
             acc.loc += row.loc;
             acc.time += row.time;
@@ -127,6 +165,7 @@ pub fn suite_rows(workload: &str, benches: &[Bench]) -> Vec<Table2Row> {
             acc.counts.1 += row.counts.1;
             acc.counts.2 += row.counts.2;
             acc.counts.3 += row.counts.3;
+            acc.timings.merge(&row.timings);
         }
         rows.push(acc);
     }
@@ -136,14 +175,16 @@ pub fn suite_rows(workload: &str, benches: &[Bench]) -> Vec<Table2Row> {
 /// Computes every row of the Table 2 analogue.
 ///
 /// `quick` skips the two synthetic-library workloads (used by the
-/// criterion bench to keep iterations short).
-pub fn table2_rows(quick: bool) -> Vec<Table2Row> {
+/// criterion bench to keep iterations short). `jobs` is the worker
+/// thread count (0 = all cores, 1 = serial); rows are identical either
+/// way.
+pub fn table2_rows(quick: bool, jobs: usize) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for (suite, benches) in all_litmus() {
-        rows.extend(suite_rows(suite, &benches));
+        rows.extend(suite_rows(suite, &benches, jobs));
     }
     for bench in crypto::all_crypto() {
-        rows.extend(suite_rows(bench.name, std::slice::from_ref(&bench)));
+        rows.extend(suite_rows(bench.name, std::slice::from_ref(&bench), jobs));
     }
     if !quick {
         for (name, cfg) in [
@@ -152,10 +193,10 @@ pub fn table2_rows(quick: bool) -> Vec<Table2Row> {
         ] {
             let (src, _) = synthetic_library(cfg);
             let m = lcm_minic::compile(&src).expect("synthetic library compiles");
-            rows.push(run_clou(name, &m, EngineKind::Pht));
-            rows.push(run_clou(name, &m, EngineKind::Stl));
-            rows.push(run_bh(name, &m, HauntedEngine::Pht));
-            rows.push(run_bh(name, &m, HauntedEngine::Stl));
+            rows.push(run_clou(name, &m, EngineKind::Pht, jobs));
+            rows.push(run_clou(name, &m, EngineKind::Stl, jobs));
+            rows.push(run_bh(name, &m, HauntedEngine::Pht, jobs));
+            rows.push(run_bh(name, &m, HauntedEngine::Stl, jobs));
         }
     }
     rows
@@ -175,8 +216,15 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         let _ = writeln!(
             s,
             "{:<20} {:>5} {:>7}  {:<10} {:>9.3?}  {:>6} {:>6} {:>6} {:>6}",
-            r.workload, r.pfun, r.loc, r.tool.name(), r.time,
-            r.counts.0, r.counts.1, r.counts.2, r.counts.3
+            r.workload,
+            r.pfun,
+            r.loc,
+            r.tool.name(),
+            r.time,
+            r.counts.0,
+            r.counts.1,
+            r.counts.2,
+            r.counts.3
         );
     }
     s
@@ -196,21 +244,27 @@ pub struct Fig8Point {
 }
 
 /// Computes the Fig. 8 scatter over the synthetic library.
-pub fn fig8_series(cfg: SynthConfig) -> Vec<Fig8Point> {
+///
+/// Each function's S-AEG is built **once** and both engines run over it
+/// (the engines only differ in the speculation primitive they consider,
+/// so the graph is shared). Functions fan out over `jobs` workers.
+pub fn fig8_series(cfg: SynthConfig, jobs: usize) -> Vec<Fig8Point> {
     let (src, _) = synthetic_library(cfg);
     let m = lcm_minic::compile(&src).expect("synthetic library compiles");
     let det = Detector::new(DetectorConfig::default());
-    let mut out = Vec::new();
-    for f in m.public_functions() {
-        let pht = det.analyze_function(&m, &f.name, EngineKind::Pht);
-        let stl = det.analyze_function(&m, &f.name, EngineKind::Stl);
-        out.push(Fig8Point {
-            function: f.name.clone(),
+    let names: Vec<String> = m.public_functions().map(|f| f.name.clone()).collect();
+    let mut out = lcm_core::par::map_indexed(&names, jobs, |_, name| {
+        let acfg = lcm_ir::acfg::build_acfg(&m, name).expect("A-CFG construction");
+        let saeg = Saeg::from_acfg(name, acfg, det.config().spec);
+        let pht = det.analyze_saeg_report(&m, &saeg, EngineKind::Pht);
+        let stl = det.analyze_saeg_report(&m, &saeg, EngineKind::Stl);
+        Fig8Point {
+            function: name.clone(),
             size: pht.saeg_size,
             pht_time: pht.runtime,
             stl_time: stl.runtime,
-        });
-    }
+        }
+    });
     out.sort_by_key(|p| p.size);
     out
 }
@@ -226,14 +280,18 @@ mod tests {
         // and criterion benches (release profile).
         let mut rows = Vec::new();
         for (suite, benches) in all_litmus() {
-            rows.extend(suite_rows(suite, &benches));
+            rows.extend(suite_rows(suite, &benches, 1));
         }
         assert_eq!(rows.len(), 4 * 4);
         let pht_row = rows
             .iter()
             .find(|r| r.workload == "litmus-pht" && r.tool == Tool::ClouPht)
             .unwrap();
-        assert!(pht_row.counts.2 >= 14, "one UDT per PHT program at least: {:?}", pht_row.counts);
+        assert!(
+            pht_row.counts.2 >= 14,
+            "one UDT per PHT program at least: {:?}",
+            pht_row.counts
+        );
         let rendered = render_table2(&rows);
         assert!(rendered.contains("Clou-pht"));
         assert!(rendered.contains("bh-stl"));

@@ -118,7 +118,11 @@ impl CatModel {
     ///
     /// Returns a [`CatError`] with the byte offset of the first problem.
     pub fn parse(name: &str, spec: &str) -> Result<CatModel, CatError> {
-        let mut p = Parser { src: spec.as_bytes(), pos: 0, defs: Vec::new() };
+        let mut p = Parser {
+            src: spec.as_bytes(),
+            pos: 0,
+            defs: Vec::new(),
+        };
         let mut clauses = Vec::new();
         loop {
             p.skip_ws();
@@ -135,12 +139,22 @@ impl CatModel {
             if p.pos == p.src.len() {
                 break;
             }
-            return Err(CatError { message: "expected `&&` or end".into(), at: p.pos });
+            return Err(CatError {
+                message: "expected `&&` or end".into(),
+                at: p.pos,
+            });
         }
         if clauses.is_empty() {
-            return Err(CatError { message: "a model needs at least one clause".into(), at: p.pos });
+            return Err(CatError {
+                message: "a model needs at least one clause".into(),
+                at: p.pos,
+            });
         }
-        Ok(CatModel { name: name.to_string(), defs: p.defs, clauses })
+        Ok(CatModel {
+            name: name.to_string(),
+            defs: p.defs,
+            clauses,
+        })
     }
 
     /// The model's name.
@@ -213,7 +227,12 @@ impl ConsistencyModel for CatModel {
 
 impl fmt::Display for CatModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cat model `{}` ({} clauses)", self.name, self.clauses.len())
+        write!(
+            f,
+            "cat model `{}` ({} clauses)",
+            self.name,
+            self.clauses.len()
+        )
     }
 }
 
@@ -267,8 +286,8 @@ fn eval_expr_env(e: &Expr, x: &Execution, env: &[(String, Relation)]) -> Relatio
 
 /// Known base names, for parse-time validation.
 const KNOWN: &[&str] = &[
-    "po", "tfo", "po_loc", "tfo_loc", "rf", "rfi", "rfe", "co", "fr", "com", "rfx", "cox",
-    "frx", "comx", "addr", "addr_gep", "data", "ctrl", "dep", "fence", "ppo_tso",
+    "po", "tfo", "po_loc", "tfo_loc", "rf", "rfi", "rfe", "co", "fr", "com", "rfx", "cox", "frx",
+    "comx", "addr", "addr_gep", "data", "ctrl", "dep", "fence", "ppo_tso",
 ];
 
 struct Parser<'s> {
@@ -295,7 +314,10 @@ impl<'s> Parser<'s> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, CatError> {
-        Err(CatError { message: msg.into(), at: self.pos })
+        Err(CatError {
+            message: msg.into(),
+            at: self.pos,
+        })
     }
 
     fn ident(&mut self) -> Option<String> {
@@ -366,7 +388,11 @@ impl<'s> Parser<'s> {
         if !self.eat(")") {
             return self.err("expected `)`");
         }
-        Ok(Clause { kind, name: head, expr })
+        Ok(Clause {
+            kind,
+            name: head,
+            expr,
+        })
     }
 
     fn parse_expr(&mut self) -> Result<Expr, CatError> {
@@ -377,9 +403,7 @@ impl<'s> Parser<'s> {
                 self.pos += 1;
                 let r = self.parse_seq()?;
                 e = Expr::Union(Box::new(e), Box::new(r));
-            } else if self.peek_byte() == Some(b'&')
-                && !self.src[self.pos..].starts_with(b"&&")
-            {
+            } else if self.peek_byte() == Some(b'&') && !self.src[self.pos..].starts_with(b"&&") {
                 self.pos += 1;
                 let r = self.parse_seq()?;
                 e = Expr::Intersect(Box::new(e), Box::new(r));
@@ -447,7 +471,10 @@ impl<'s> Parser<'s> {
         }
         let defined = self.defs.iter().any(|(n, _)| *n == name);
         if !defined && !KNOWN.contains(&name.as_str()) {
-            return Err(CatError { message: format!("unknown relation `{name}`"), at });
+            return Err(CatError {
+                message: format!("unknown relation `{name}`"),
+                at,
+            });
         }
         Ok(Expr::Base(name))
     }

@@ -123,11 +123,7 @@ impl ConfidentialityModel for NaiveTsoLift {
     fn check(&self, x: &Execution) -> Result<(), ConfidentialityViolation> {
         check_no_silent_stores(x)?;
         check_no_alias_prediction(x)?;
-        let r = x
-            .rfx()
-            .union(x.cox())
-            .union(&x.frx())
-            .union(&x.tfo_loc());
+        let r = x.rfx().union(x.cox()).union(&x.frx()).union(&x.tfo_loc());
         match r.find_cycle() {
             None => Ok(()),
             Some(c) => Err(ConfidentialityViolation {
@@ -257,4 +253,3 @@ mod tests {
         assert!(PsfLcm.check(&x).is_ok());
     }
 }
-

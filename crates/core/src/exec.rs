@@ -234,7 +234,11 @@ impl Execution {
                 }
                 if let Some(&w) = sources.first() {
                     if !self.events[w].kind.is_arch_write() {
-                        return Err(format!("rf source {} of {} is not a write", EventId(w), e.id));
+                        return Err(format!(
+                            "rf source {} of {} is not a write",
+                            EventId(w),
+                            e.id
+                        ));
                     }
                     if self.events[w].location != e.location {
                         return Err(format!("rf {} -> {} crosses locations", EventId(w), e.id));
@@ -304,7 +308,10 @@ impl Execution {
         }
         for (x, ws) in &by_xs {
             if !lcm_relalg::total_on(&self.cox, ws) {
-                return Err(format!("cox is not a total order on writers of xstate {}", x.0));
+                return Err(format!(
+                    "cox is not a total order on writers of xstate {}",
+                    x.0
+                ));
             }
         }
         Ok(())
@@ -317,8 +324,7 @@ impl Execution {
         let labels = self.events.iter().map(|e| e.to_string()).collect();
         let mut g = DotGraph::new(name, labels);
         let n = self.len();
-        let culprit_rel =
-            Relation::from_pairs(n, culprits.iter().map(|&(a, b)| (a.0, b.0)));
+        let culprit_rel = Relation::from_pairs(n, culprits.iter().map(|&(a, b)| (a.0, b.0)));
         let po_im = immediate_of(&self.po);
         let tfo_im = immediate_of(&self.tfo).difference(&po_im);
         g.add_relation(po_im, EdgeStyle::solid("po", "black"));
@@ -326,7 +332,10 @@ impl Execution {
         g.add_relation(self.addr.clone(), EdgeStyle::solid("addr", "gray55"));
         g.add_relation(self.data.clone(), EdgeStyle::solid("data", "gray55"));
         g.add_relation(self.ctrl.clone(), EdgeStyle::solid("ctrl", "gray70"));
-        g.add_relation(self.rf.difference(&culprit_rel), EdgeStyle::solid("rf", "blue"));
+        g.add_relation(
+            self.rf.difference(&culprit_rel),
+            EdgeStyle::solid("rf", "blue"),
+        );
         g.add_relation(self.co_immediate(), EdgeStyle::solid("co", "purple"));
         g.add_relation(self.rfx.clone(), EdgeStyle::solid("rfx", "darkgreen"));
         g.add_relation(culprit_rel, EdgeStyle::dashed("rf (leak)", "red"));
@@ -650,9 +659,8 @@ impl ExecutionBuilder {
     /// with ⊤-before-everything edges.
     pub fn build(self) -> Execution {
         let n = self.events.len();
-        let pairs = |v: &[(EventId, EventId)]| {
-            Relation::from_pairs(n, v.iter().map(|&(a, b)| (a.0, b.0)))
-        };
+        let pairs =
+            |v: &[(EventId, EventId)]| Relation::from_pairs(n, v.iter().map(|&(a, b)| (a.0, b.0)));
         let po = pairs(&self.po_edges).transitive_closure();
         let tfo = pairs(&self.po_edges)
             .union(&pairs(&self.tfo_edges))
@@ -685,9 +693,11 @@ impl ExecutionBuilder {
                 && rfx.predecessors(e.id.0).next().is_none()
             {
                 if let Some(xs) = e.xstate {
-                    if let Some(init) = self.events.iter().find(|c| {
-                        c.kind == EventKind::Init && c.xstate == Some(xs)
-                    }) {
+                    if let Some(init) = self
+                        .events
+                        .iter()
+                        .find(|c| c.kind == EventKind::Init && c.xstate == Some(xs))
+                    {
                         rfx.insert(init.id.0, e.id.0);
                     }
                 }
@@ -698,9 +708,11 @@ impl ExecutionBuilder {
         for e in &self.events {
             if e.writes_xstate() && e.kind != EventKind::Init {
                 if let Some(xs) = e.xstate {
-                    if let Some(init) = self.events.iter().find(|c| {
-                        c.kind == EventKind::Init && c.xstate == Some(xs)
-                    }) {
+                    if let Some(init) = self
+                        .events
+                        .iter()
+                        .find(|c| c.kind == EventKind::Init && c.xstate == Some(xs))
+                    {
                         cox.insert(init.id.0, e.id.0);
                     }
                 }
@@ -968,7 +980,10 @@ mod tests {
         let mut b = ExecutionBuilder::new();
         let r = b.read("my_loc");
         let exec = b.build();
-        assert_eq!(exec.location_name(exec.event(r).location().unwrap()), "my_loc");
+        assert_eq!(
+            exec.location_name(exec.event(r).location().unwrap()),
+            "my_loc"
+        );
     }
 
     #[test]

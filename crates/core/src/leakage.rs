@@ -86,7 +86,11 @@ pub fn detect_leakage(x: &Execution) -> LeakageReport {
             });
         }
     }
-    LeakageReport { violations, receivers, transmitters }
+    LeakageReport {
+        violations,
+        receivers,
+        transmitters,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +144,12 @@ mod tests {
         let udts = report.transmitters_at_least(TransmitterClass::UniversalData);
         assert_eq!(udts.len(), 1);
         assert_eq!(udts[0].event, t);
-        assert!(report.transmitters_at_least(TransmitterClass::Address).len() >= 3);
+        assert!(
+            report
+                .transmitters_at_least(TransmitterClass::Address)
+                .len()
+                >= 3
+        );
     }
 
     #[test]

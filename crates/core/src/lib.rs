@@ -55,6 +55,7 @@ pub mod exec;
 pub mod leakage;
 pub mod mcm;
 pub mod noninterference;
+pub mod par;
 pub mod speculation;
 pub mod taxonomy;
 

@@ -205,7 +205,7 @@ mod tests {
         let rx = b.read("x");
         b.po(ry, rx);
         b.rf(wy, ry); // observes the flag...
-        // rx reads from init (stale) -> fr(rx, wx)
+                      // rx reads from init (stale) -> fr(rx, wx)
         b.build()
     }
 

@@ -150,7 +150,11 @@ pub fn check_co_ni(x: &Execution) -> Vec<Violation> {
                 w0
             };
             out.push(Violation {
-                predicate: if from_read { NiPredicate::Fr } else { NiPredicate::Co },
+                predicate: if from_read {
+                    NiPredicate::Fr
+                } else {
+                    NiPredicate::Co
+                },
                 culprit: (EventId(culprit_src), EventId(w1)),
                 expected: (EventId(culprit_src), EventId(w1)),
                 actual_source: actual.map(EventId),
@@ -420,7 +424,9 @@ mod tests {
         let x = b.build();
         let vs = violations(&x);
         assert!(!vs.is_empty());
-        assert!(vs.iter().any(|v| v.receiver == w && v.predicate == NiPredicate::Fr));
+        assert!(vs
+            .iter()
+            .any(|v| v.receiver == w && v.predicate == NiPredicate::Fr));
     }
 
     #[test]

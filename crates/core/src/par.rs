@@ -1,0 +1,120 @@
+//! Deterministic fan-out over `std::thread::scope` (no dependencies).
+//!
+//! Per-function leakage analysis is embarrassingly parallel — Clou's
+//! evaluation (§6) exploits exactly this — but reports must stay
+//! byte-identical to a serial run. [`map_indexed`] therefore hands out
+//! work items through an atomic cursor (work stealing, so one slow
+//! function does not idle the other workers) and reassembles results in
+//! input order before returning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a `jobs` knob: `0` means "all available cores".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// `jobs == 0` uses all available cores; `jobs <= 1` (or a single item)
+/// runs serially on the caller thread, byte-for-byte identical to a
+/// plain loop. Workers claim items one at a time from a shared atomic
+/// cursor, so uneven per-item cost balances automatically.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn map_indexed<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len()).max(1);
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut tagged: Vec<(usize, R)> = per_worker.drain(..).flatten().collect();
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = map_indexed(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_uneven_work() {
+        let items: Vec<u64> = (0..40).map(|i| (i * 7919) % 1000).collect();
+        let slow = |_: usize, &n: &u64| -> u64 {
+            // Busy work proportional to the item, to skew worker loads.
+            (0..n * 50).fold(n, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+        };
+        let serial = map_indexed(&items, 1, slow);
+        let parallel = map_indexed(&items, 4, slow);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(map_indexed(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn jobs_capped_at_item_count() {
+        let items = [1u8, 2];
+        let out = map_indexed(&items, 64, |_, &x| x as u32);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

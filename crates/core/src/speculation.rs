@@ -53,13 +53,21 @@ pub struct SpeculationConfig {
 impl SpeculationConfig {
     /// The paper's default Clou configuration (ROB 250 / LSQ 50).
     pub fn new() -> Self {
-        SpeculationConfig { rob_size: 250, lsq_size: 50, speculation_depth: 250 }
+        SpeculationConfig {
+            rob_size: 250,
+            lsq_size: 50,
+            speculation_depth: 250,
+        }
     }
 
     /// The configuration the paper uses for Binsec/Haunted comparisons
     /// (ROB 200 / LSQ 20).
     pub fn haunted() -> Self {
-        SpeculationConfig { rob_size: 200, lsq_size: 20, speculation_depth: 200 }
+        SpeculationConfig {
+            rob_size: 200,
+            lsq_size: 20,
+            speculation_depth: 200,
+        }
     }
 
     /// Returns a copy with a different speculation depth.
@@ -106,7 +114,10 @@ mod tests {
 
     #[test]
     fn with_builders_override_fields() {
-        let c = SpeculationConfig::new().with_depth(2).with_rob(64).with_lsq(8);
+        let c = SpeculationConfig::new()
+            .with_depth(2)
+            .with_rob(64)
+            .with_lsq(8);
         assert_eq!(c.speculation_depth, 2);
         assert_eq!(c.rob_size, 64);
         assert_eq!(c.lsq_size, 8);
@@ -114,6 +125,8 @@ mod tests {
 
     #[test]
     fn primitive_display() {
-        assert!(SpeculationPrimitive::StoreForwarding.to_string().contains("STL"));
+        assert!(SpeculationPrimitive::StoreForwarding
+            .to_string()
+            .contains("STL"));
     }
 }

@@ -306,7 +306,11 @@ mod tests {
         let (x, e2, e5, e6, obs) = spectre_chain();
         let ts = classify(&x, &obs);
         let classes_of = |e: EventId| -> Vec<TransmitterClass> {
-            let mut v: Vec<_> = ts.iter().filter(|t| t.event == e).map(|t| t.class).collect();
+            let mut v: Vec<_> = ts
+                .iter()
+                .filter(|t| t.event == e)
+                .map(|t| t.class)
+                .collect();
             v.sort();
             v.dedup();
             v
@@ -346,10 +350,12 @@ mod tests {
         b.rfx(t, o);
         let x = b.build();
         let ts = classify(&x, &[o]);
-        assert!(ts
+        assert!(ts.iter().any(|tr| tr.event == t
+            && tr.class == TransmitterClass::Control
+            && tr.access == Some(r)));
+        assert!(!ts
             .iter()
-            .any(|tr| tr.event == t && tr.class == TransmitterClass::Control && tr.access == Some(r)));
-        assert!(!ts.iter().any(|tr| tr.class == TransmitterClass::UniversalControl));
+            .any(|tr| tr.class == TransmitterClass::UniversalControl));
     }
 
     #[test]

@@ -321,8 +321,14 @@ mod tests {
         // Note: mini-C words are i64 while TEA is defined over u32; the
         // encrypt/decrypt pair still inverts exactly because all ops are
         // ring operations (add/sub/xor/shift) applied symmetrically.
-        assert_eq!(mach.get_global("tea_v", 0) & 0xffff_ffff, 0x0123_4567_i64 & 0xffff_ffff);
-        assert_eq!(mach.get_global("tea_v", 1) & 0xffff_ffff, 0x89ab_cdef_u32 as i64 & 0xffff_ffff);
+        assert_eq!(
+            mach.get_global("tea_v", 0) & 0xffff_ffff,
+            0x0123_4567_i64 & 0xffff_ffff
+        );
+        assert_eq!(
+            mach.get_global("tea_v", 1) & 0xffff_ffff,
+            0x89ab_cdef_u32 as i64 & 0xffff_ffff
+        );
     }
 
     #[test]

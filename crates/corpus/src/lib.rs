@@ -110,8 +110,7 @@ mod tests {
         for (suite, benches) in all_litmus() {
             for b in benches {
                 let m = b.module();
-                let public: Vec<String> =
-                    m.public_functions().map(|f| f.name.clone()).collect();
+                let public: Vec<String> = m.public_functions().map(|f| f.name.clone()).collect();
                 for fname in public {
                     let arity = m.function(&fname).unwrap().params.len();
                     // Pointer parameters need real addresses; give them a

@@ -11,7 +11,11 @@
 use crate::{Bench, Intended};
 
 fn b(name: &'static str, intended: Intended, source: &str) -> Bench {
-    Bench { name, source: source.to_string(), intended }
+    Bench {
+        name,
+        source: source.to_string(),
+        intended,
+    }
 }
 
 /// The fifteen Kocher-style Spectre v1 (PHT) variants.
@@ -19,114 +23,174 @@ fn b(name: &'static str, intended: Intended, source: &str) -> Bench {
 pub fn litmus_pht() -> Vec<Bench> {
     let mut v = Vec::new();
     // 01: the classic bounds-checked double load.
-    v.push(b("pht01", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht01",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v01(int x) {
             if (x < array1_size)
                 temp &= array2[array1[x] * 512];
-        }"#));
+        }"#,
+    ));
     // 02: bitwise-masked comparison in the guard.
-    v.push(b("pht02", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht02",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v02(int x) {
             if ((x & 65535) < array1_size)
                 temp &= array2[array1[x & 65535] * 512];
-        }"#));
+        }"#,
+    ));
     // 03: the access sits in a separate (inlined) function.
-    v.push(b("pht03", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht03",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         int leak_helper(int x) { return array2[array1[x] * 512]; }
         void victim_function_v03(int x) {
             if (x < array1_size)
                 temp &= leak_helper(x);
-        }"#));
+        }"#,
+    ));
     // 04: <= comparison off-by-one style guard.
-    v.push(b("pht04", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht04",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v04(int x) {
             if (x <= array1_size - 1)
                 temp &= array2[array1[x] * 512];
-        }"#));
+        }"#,
+    ));
     // 05: access inside a loop over x.
-    v.push(b("pht05", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht05",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v05(int x) {
             int i;
             for (i = x - 1; i >= 0; i -= 1)
                 temp &= array2[array1[i] * 512];
-        }"#));
+        }"#,
+    ));
     // 06: guard on a global flag set elsewhere.
-    v.push(b("pht06", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht06",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp; int is_valid;
         void victim_function_v06(int x) {
             if (is_valid && x < array1_size)
                 temp &= array2[array1[x] * 512];
-        }"#));
+        }"#,
+    ));
     // 07: comparison against a constant bound.
-    v.push(b("pht07", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht07",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int temp;
         void victim_function_v07(int x) {
             if (x < 16)
                 temp &= array2[array1[x] * 512];
-        }"#));
+        }"#,
+    ));
     // 08: ternary select of the index.
-    v.push(b("pht08", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht08",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v08(int x) {
             temp &= array2[array1[x < array1_size ? x + 1 : 0] * 512];
-        }"#));
+        }"#,
+    ));
     // 09: leak via a store address instead of a load.
-    v.push(b("pht09", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht09",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v09(int x, int k) {
             if (x < array1_size)
                 array2[array1[x] * 512] = k;
-        }"#));
+        }"#,
+    ));
     // 10: compare loaded value, leak through the branch (control leak).
-    v.push(b("pht10", Intended::PhtDt, r#"
+    v.push(b(
+        "pht10",
+        Intended::PhtDt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp; int k;
         void victim_function_v10(int x) {
             if (x < array1_size) {
                 if (array1[x] == k)
                     temp &= array2[0];
             }
-        }"#));
+        }"#,
+    ));
     // 11: index arrives via memory (the attacker stored it earlier).
-    v.push(b("pht11", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht11",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp; int last_x;
         void victim_function_v11(int x) {
             last_x = x;
             if (last_x < array1_size)
                 temp &= array2[array1[last_x] * 512];
-        }"#));
+        }"#,
+    ));
     // 12: two sequential dependent accesses in the window.
-    v.push(b("pht12", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht12",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v12(int x, int y) {
             if (x + y < array1_size)
                 temp &= array2[array1[x + y] * 512];
-        }"#));
+        }"#,
+    ));
     // 13: the leaking index is scaled by shifting.
-    v.push(b("pht13", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht13",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v13(int x) {
             if (x < array1_size)
                 temp &= array2[array1[x] << 9];
-        }"#));
+        }"#,
+    ));
     // 14: leak of the secret via pointer arithmetic on the base.
-    v.push(b("pht14", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht14",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v14(int x) {
             if (x < array1_size)
                 temp &= *(array2 + array1[x] * 512);
-        }"#));
+        }"#,
+    ));
     // 15: attacker-controlled pointer to the index.
-    v.push(b("pht15", Intended::PhtUdt, r#"
+    v.push(b(
+        "pht15",
+        Intended::PhtUdt,
+        r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_function_v15(int *x) {
             if (*x < array1_size)
                 temp &= array2[array1[*x] * 512];
-        }"#));
+        }"#,
+    ));
     v
 }
 
@@ -136,115 +200,171 @@ pub fn litmus_stl() -> Vec<Bench> {
     let mut v = Vec::new();
     // 01: the paper's STL01 — overwrite then doubly-indexed read; the
     // stale read of sec_ary enables universal leakage (§6.1).
-    v.push(b("stl01", Intended::StlLeak, r#"
+    v.push(b(
+        "stl01",
+        Intended::StlLeak,
+        r#"
         int ary_size; int sec_ary[16]; int pub_ary[4096]; int tmp;
         void case_1(uint32_t idx) {
             uint32_t ridx = idx & (ary_size - 1);
             sec_ary[ridx] = 0;
             tmp &= pub_ary[sec_ary[ridx]];
-        }"#));
+        }"#,
+    ));
     // 02: stale stack slot read (the spill of idx is bypassed).
-    v.push(b("stl02", Intended::StlLeak, r#"
+    v.push(b(
+        "stl02",
+        Intended::StlLeak,
+        r#"
         int sec_ary[16]; int pub_ary[4096]; int tmp;
         void case_2(uint32_t idx) {
             uint32_t ridx = idx & 15;
             tmp &= pub_ary[sec_ary[ridx]];
-        }"#));
+        }"#,
+    ));
     // 03: pointer overwritten, then dereferenced.
-    v.push(b("stl03", Intended::StlLeak, r#"
+    v.push(b(
+        "stl03",
+        Intended::StlLeak,
+        r#"
         int pub0; int *p; int pub_ary[4096]; int tmp;
         void case_3(void) {
             p = &pub0;
             tmp &= pub_ary[*p];
-        }"#));
+        }"#,
+    ));
     // 04: store to an array slot, reload of the same slot.
-    v.push(b("stl04", Intended::StlLeak, r#"
+    v.push(b(
+        "stl04",
+        Intended::StlLeak,
+        r#"
         int slots[8]; int pub_ary[4096]; int tmp;
         void case_4(uint32_t idx) {
             slots[idx & 7] = 0;
             tmp &= pub_ary[slots[idx & 7]];
-        }"#));
+        }"#,
+    ));
     // 05: double overwrite before the read.
-    v.push(b("stl05", Intended::StlLeak, r#"
+    v.push(b(
+        "stl05",
+        Intended::StlLeak,
+        r#"
         int slot; int pub_ary[4096]; int tmp;
         void case_5(int v) {
             slot = v;
             slot = 0;
             tmp &= pub_ary[slot];
-        }"#));
+        }"#,
+    ));
     // 06: intended-secure via index masking *after* the reload (Clou
     // cannot reason about masking semantics: expected false positive,
     // §6.1).
-    v.push(b("stl06", Intended::Secure, r#"
+    v.push(b(
+        "stl06",
+        Intended::Secure,
+        r#"
         int slot; int pub_ary[4096]; int tmp;
         void case_6(int v) {
             slot = v;
             tmp &= pub_ary[slot & 0];
-        }"#));
+        }"#,
+    ));
     // 07: intended-secure via `register` (no spill to bypass).
-    v.push(b("stl07", Intended::Secure, r#"
+    v.push(b(
+        "stl07",
+        Intended::Secure,
+        r#"
         int pub_ary[4096]; int tmp;
         void case_7(register int idx) {
             register int ridx = idx & 15;
             tmp &= pub_ary[ridx];
-        }"#));
+        }"#,
+    ));
     // 08: secure via lfence between store and load (`register` keeps the
     // parameter out of memory so the spill itself cannot be bypassed).
-    v.push(b("stl08", Intended::Secure, r#"
+    v.push(b(
+        "stl08",
+        Intended::Secure,
+        r#"
         int slot; int pub_ary[4096]; int tmp;
         void case_8(register int v) {
             slot = v;
             lfence();
             tmp &= pub_ary[slot];
-        }"#));
+        }"#,
+    ));
     // 09: stale value used as a store address (speculative wild store).
-    v.push(b("stl09", Intended::StlLeak, r#"
+    v.push(b(
+        "stl09",
+        Intended::StlLeak,
+        r#"
         int idx_slot; int pub_ary[4096];
         void case_9(int v) {
             idx_slot = v & 15;
             pub_ary[idx_slot] = 1;
-        }"#));
+        }"#,
+    ));
     // 10: bypass through a struct-like pointer chain.
-    v.push(b("stl10", Intended::StlLeak, r#"
+    v.push(b(
+        "stl10",
+        Intended::StlLeak,
+        r#"
         int *field; int pub_ary[4096]; int tmp;
         void case_10(int v) {
             *field = v & 15;
             tmp &= pub_ary[*field];
-        }"#));
+        }"#,
+    ));
     // 11: two loads, only the second bypasses.
-    v.push(b("stl11", Intended::StlLeak, r#"
+    v.push(b(
+        "stl11",
+        Intended::StlLeak,
+        r#"
         int a_slot; int b_slot; int pub_ary[4096]; int tmp;
         void case_11(int v) {
             a_slot = v & 7;
             b_slot = a_slot;
             tmp &= pub_ary[b_slot];
-        }"#));
+        }"#,
+    ));
     // 12: intended-secure via masking the reloaded index into bounds —
     // semantically safe, but Clou has no semantic analysis and flags it
     // (a documented false positive, §6.1).
-    v.push(b("stl12", Intended::Secure, r#"
+    v.push(b(
+        "stl12",
+        Intended::Secure,
+        r#"
         int a_slot; int pub_ary[4096]; int tmp;
         void case_12(register int v) {
             a_slot = v;
             tmp &= pub_ary[a_slot & 15];
-        }"#));
+        }"#,
+    ));
     // 13: labelled secure by the benchmark authors, but the stale read of
     // the callee's spilled return slot leaks — the mislabelling Clou
     // exposed in §6.1.
-    v.push(b("stl13", Intended::MislabelledSecure, r#"
+    v.push(b(
+        "stl13",
+        Intended::MislabelledSecure,
+        r#"
         int pub_ary[4096]; int tmp;
         int sanitize(int idx) { int r = idx & 15; return r; }
         void case_13(int idx) {
             tmp &= pub_ary[sanitize(idx)];
-        }"#));
+        }"#,
+    ));
     // 14: bypass feeding a branch (control leakage).
-    v.push(b("stl14", Intended::StlLeak, r#"
+    v.push(b(
+        "stl14",
+        Intended::StlLeak,
+        r#"
         int flag_slot; int pub_ary[4096]; int tmp;
         void case_14(int v) {
             flag_slot = v & 1;
             if (flag_slot)
                 tmp &= pub_ary[64];
-        }"#));
+        }"#,
+    ));
     v
 }
 
@@ -252,37 +372,56 @@ pub fn litmus_stl() -> Vec<Bench> {
 /// pointers/indices that later transmit.
 pub fn litmus_fwd() -> Vec<Bench> {
     vec![
-        b("fwd01", Intended::PhtUdt, r#"
+        b(
+            "fwd01",
+            Intended::PhtUdt,
+            r#"
         int array1[16]; int array2[4096]; int array1_size; int temp; int idx2;
         void victim_fwd_1(int x, int v) {
             if (x < array1_size) {
                 array1[x] = v;
                 temp &= array2[array1[0] * 512];
             }
-        }"#),
-        b("fwd02", Intended::PhtUdt, r#"
+        }"#,
+        ),
+        b(
+            "fwd02",
+            Intended::PhtUdt,
+            r#"
         int array1[16]; int array2[4096]; int array1_size; int temp; int *ptr;
         void victim_fwd_2(int x, int v) {
             if (x < array1_size) {
                 array1[x] = v;
                 *ptr = temp;
             }
-        }"#),
-        b("fwd03", Intended::PhtUdt, r#"
+        }"#,
+        ),
+        b(
+            "fwd03",
+            Intended::PhtUdt,
+            r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_fwd_3(int x, int v) {
             if (x < array1_size)
                 array2[array1[x] * 512] = v;
-        }"#),
-        b("fwd04", Intended::PhtUdt, r#"
+        }"#,
+        ),
+        b(
+            "fwd04",
+            Intended::PhtUdt,
+            r#"
         int array1[16]; int array2[4096]; int array1_size; int temp; int saved;
         void victim_fwd_4(int x, int v) {
             if (x < array1_size) {
                 saved = array1[x];
                 temp &= array2[saved * 512];
             }
-        }"#),
-        b("fwd05", Intended::PhtUdt, r#"
+        }"#,
+        ),
+        b(
+            "fwd05",
+            Intended::PhtUdt,
+            r#"
         int array1[16]; int array2[4096]; int array1_size; int temp;
         void victim_fwd_5(int x, int v, int w) {
             if (x < array1_size) {
@@ -290,7 +429,8 @@ pub fn litmus_fwd() -> Vec<Bench> {
                 array1[x + 1] = w;
                 temp &= array2[array1[1] * 512];
             }
-        }"#),
+        }"#,
+        ),
     ]
 }
 
@@ -301,7 +441,10 @@ pub fn litmus_new() -> Vec<Bench> {
         // NEW01 verbatim from §6.1 (adapted syntax): the speculative write
         // to sec_ary2[idx2] can overwrite *ptr's target with a secret
         // returned by the attacker-controlled access sec_ary1[idx1].
-        b("new01", Intended::PhtUdt, r#"
+        b(
+            "new01",
+            Intended::PhtUdt,
+            r#"
         int sec_ary1[16]; int sec_ary2[16];
         int sec_ary1_size; int sec_ary2_size;
         int *ptr;
@@ -309,15 +452,20 @@ pub fn litmus_new() -> Vec<Bench> {
             if (idx1 < sec_ary1_size && idx2 < sec_ary2_size)
                 sec_ary2[idx2] += sec_ary1[idx1] * 512;
             *ptr = 0;
-        }"#),
+        }"#,
+        ),
         // NEW02: the overwritten index itself is dereferenced afterwards.
-        b("new02", Intended::PhtUdt, r#"
+        b(
+            "new02",
+            Intended::PhtUdt,
+            r#"
         int sec_ary1[16]; int sec_ary1_size;
         int table[4096]; int out_idx; int temp;
         void new_2(size_t idx1, size_t idx2) {
             if (idx1 < sec_ary1_size)
                 out_idx = sec_ary1[idx1] * 512;
             temp &= table[out_idx];
-        }"#),
+        }"#,
+        ),
     ]
 }

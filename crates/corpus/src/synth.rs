@@ -29,12 +29,24 @@ pub struct SynthConfig {
 impl SynthConfig {
     /// A libsodium-scale configuration (many small public functions).
     pub fn libsodium_scale() -> Self {
-        SynthConfig { seed: 0x50d1, functions: 64, max_stmts: 120, pht_gadget_pct: 10, stl_gadget_pct: 10 }
+        SynthConfig {
+            seed: 0x50d1,
+            functions: 64,
+            max_stmts: 120,
+            pht_gadget_pct: 10,
+            stl_gadget_pct: 10,
+        }
     }
 
     /// An OpenSSL-scale configuration (more and larger functions).
     pub fn openssl_scale() -> Self {
-        SynthConfig { seed: 0x055e, functions: 96, max_stmts: 220, pht_gadget_pct: 8, stl_gadget_pct: 8 }
+        SynthConfig {
+            seed: 0x055e,
+            functions: 96,
+            max_stmts: 220,
+            pht_gadget_pct: 8,
+            stl_gadget_pct: 8,
+        }
     }
 }
 
@@ -57,17 +69,15 @@ pub fn synthetic_library(cfg: SynthConfig) -> (String, Vec<GroundTruth>) {
     let mut src = String::new();
     let mut truth = Vec::new();
 
-    src.push_str(
-        "int gl_tab[4096]; int gl_buf[256]; int gl_state[64]; int gl_size; int gl_tmp;\n",
-    );
+    src.push_str("int gl_tab[4096]; int gl_buf[256]; int gl_state[64]; int gl_size; int gl_tmp;\n");
 
     for fi in 0..cfg.functions {
         // Geometric-ish size spread: many small, few large.
         let frac = (fi as f64 + 1.0) / cfg.functions as f64;
         let stmts = ((cfg.max_stmts as f64) * frac * frac).max(3.0) as usize;
         let name = format!("synth_fn_{fi:03}");
-        let pht = rng.gen_range(0..100) < cfg.pht_gadget_pct;
-        let stl = !pht && rng.gen_range(0..100) < cfg.stl_gadget_pct;
+        let pht = rng.gen_range(0u32..100) < cfg.pht_gadget_pct;
+        let stl = !pht && rng.gen_range(0u32..100) < cfg.stl_gadget_pct;
 
         src.push_str(&format!("void {name}(int a0, int a1, int a2) {{\n"));
         src.push_str("    int acc = a0;\n    int i;\n");
@@ -109,12 +119,15 @@ pub fn synthetic_library(cfg: SynthConfig) -> (String, Vec<GroundTruth>) {
             );
         }
         if stl {
-            src.push_str(
-                "    gl_state[a0 & 63] = 0;\n    gl_tmp &= gl_tab[gl_state[a0 & 63]];\n",
-            );
+            src.push_str("    gl_state[a0 & 63] = 0;\n    gl_tmp &= gl_tab[gl_state[a0 & 63]];\n");
         }
         src.push_str("}\n\n");
-        truth.push(GroundTruth { function: name, pht_gadget: pht, stl_gadget: stl, stmts });
+        truth.push(GroundTruth {
+            function: name,
+            pht_gadget: pht,
+            stl_gadget: stl,
+            stmts,
+        });
     }
     (src, truth)
 }
@@ -124,7 +137,13 @@ mod tests {
     use super::*;
 
     fn small() -> SynthConfig {
-        SynthConfig { seed: 7, functions: 12, max_stmts: 40, pht_gadget_pct: 30, stl_gadget_pct: 30 }
+        SynthConfig {
+            seed: 7,
+            functions: 12,
+            max_stmts: 40,
+            pht_gadget_pct: 30,
+            stl_gadget_pct: 30,
+        }
     }
 
     #[test]
@@ -144,7 +163,13 @@ mod tests {
 
     #[test]
     fn gadgets_seeded_at_roughly_requested_rate() {
-        let cfg = SynthConfig { seed: 3, functions: 100, max_stmts: 30, pht_gadget_pct: 25, stl_gadget_pct: 25 };
+        let cfg = SynthConfig {
+            seed: 3,
+            functions: 100,
+            max_stmts: 30,
+            pht_gadget_pct: 25,
+            stl_gadget_pct: 25,
+        };
         let (_, truth) = synthetic_library(cfg);
         let pht = truth.iter().filter(|t| t.pht_gadget).count();
         let stl = truth.iter().filter(|t| t.stl_gadget).count();

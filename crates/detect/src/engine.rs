@@ -1,6 +1,15 @@
 //! The leakage detection engines (§5.3).
+//!
+//! Functions are independent analysis units (each gets its own S-AEG,
+//! CNF, and solver), so [`Detector::analyze_module`] fans them out over
+//! [`lcm_core::par::map_indexed`] worker threads when
+//! [`DetectorConfig::jobs`] permits; results come back in module order,
+//! byte-identical to a serial run. Within one function the engines drive
+//! the shared [`Feasibility`] solver through its assumption stack
+//! (`mark`/`push`/`truncate`) instead of cloning request vectors per
+//! candidate chain.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lcm_aeg::addr::{alias, AliasResult};
 use lcm_aeg::deps::{ctrl_edges, generalized_addr, Gaddr};
@@ -10,9 +19,8 @@ use lcm_core::speculation::{SpeculationConfig, SpeculationPrimitive};
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_ir::{Inst, Module};
 use lcm_relalg::Relation;
-use lcm_sat::Lit;
 
-use crate::report::{Finding, FunctionReport, ModuleReport};
+use crate::report::{Finding, FunctionReport, ModuleReport, PhaseTimings};
 
 /// Which speculation primitive an engine considers (§5.3): Clou-pht and
 /// Clou-stl "differ only with regard to the speculation primitives they
@@ -56,6 +64,10 @@ pub struct DetectorConfig {
     /// line for a same-address committed load (an rf-NI violation whose
     /// receiver is architectural).
     pub detect_interference: bool,
+    /// Worker threads for per-function fan-out in
+    /// [`Detector::analyze_module`]: `0` uses all available cores, `1`
+    /// is exact serial execution. Output is identical either way.
+    pub jobs: usize,
 }
 
 impl Default for DetectorConfig {
@@ -68,6 +80,7 @@ impl Default for DetectorConfig {
             universal_needs_transient_access: true,
             secret_filter: false,
             detect_interference: false,
+            jobs: 0,
         }
     }
 }
@@ -90,13 +103,15 @@ impl Detector {
         &self.config
     }
 
-    /// Analyzes every public function of the module with one engine.
+    /// Analyzes every public function of the module with one engine,
+    /// fanning out over [`DetectorConfig::jobs`] worker threads. Reports
+    /// come back in module order regardless of the thread count.
     pub fn analyze_module(&self, module: &Module, engine: EngineKind) -> ModuleReport {
-        let mut out = ModuleReport::default();
-        for f in module.public_functions() {
-            out.functions.push(self.analyze_function(module, &f.name, engine));
-        }
-        out
+        let names: Vec<&str> = module.public_functions().map(|f| f.name.as_str()).collect();
+        let functions = lcm_core::par::map_indexed(&names, self.config.jobs, |_, name| {
+            self.analyze_function(module, name, engine)
+        });
+        ModuleReport { functions }
     }
 
     /// Analyzes a single function.
@@ -112,22 +127,53 @@ impl Detector {
         engine: EngineKind,
     ) -> FunctionReport {
         let start = Instant::now();
-        let saeg = Saeg::build(module, fname, self.config.spec).expect("A-CFG construction");
-        let mut findings = self.analyze_saeg(&saeg, engine);
+        let t0 = Instant::now();
+        let acfg = lcm_ir::acfg::build_acfg(module, fname).expect("A-CFG construction");
+        let acfg_build = t0.elapsed();
+        let t1 = Instant::now();
+        let saeg = Saeg::from_acfg(fname, acfg, self.config.spec);
+        let saeg_build = t1.elapsed();
+        let mut report = self.analyze_saeg_report(module, &saeg, engine);
+        report.timings.acfg_build = acfg_build;
+        report.timings.saeg_build = saeg_build;
+        report.runtime = start.elapsed();
+        report
+    }
+
+    /// Runs one engine over an already-built S-AEG, producing a full
+    /// report (filters, severity ordering, phase timings) — this lets
+    /// callers that need several engines over the same function build
+    /// the S-AEG once. `timings.acfg_build`/`saeg_build` are zero here;
+    /// [`Self::analyze_function`] fills them in.
+    pub fn analyze_saeg_report(
+        &self,
+        module: &Module,
+        saeg: &Saeg,
+        engine: EngineKind,
+    ) -> FunctionReport {
+        let start = Instant::now();
+        let (mut findings, timings) = self.analyze_saeg_timed(saeg, engine);
         if self.config.secret_filter {
-            findings.retain(|f| secret_relevant(module, &saeg, f));
+            findings.retain(|f| secret_relevant(module, saeg, f));
         }
         findings.sort_by_key(|f| std::cmp::Reverse(f.class.severity_rank()));
         FunctionReport {
-            name: fname.to_string(),
+            name: saeg.fname.clone(),
             transmitters: findings,
             saeg_size: saeg.events.len(),
             runtime: start.elapsed(),
+            timings,
         }
     }
 
     /// Runs one engine over an already-built S-AEG.
     pub fn analyze_saeg(&self, saeg: &Saeg, engine: EngineKind) -> Vec<Finding> {
+        self.analyze_saeg_timed(saeg, engine).0
+    }
+
+    /// Engine run with the encode/solve/classify breakdown attached.
+    fn analyze_saeg_timed(&self, saeg: &Saeg, engine: EngineKind) -> (Vec<Finding>, PhaseTimings) {
+        let t0 = Instant::now();
         let gaddr = generalized_addr(saeg);
         let ctrl = ctrl_edges(saeg);
         let mut feas = Feasibility::new(saeg);
@@ -142,7 +188,18 @@ impl Detector {
         if let Some(c) = self.config.target_class {
             raw.retain(|f| f.class == c);
         }
-        raw
+        let st = feas.stats();
+        let total = t0.elapsed();
+        let timings = PhaseTimings {
+            acfg_build: Duration::ZERO,
+            saeg_build: Duration::ZERO,
+            encode: st.encode,
+            solve: st.solve,
+            classify: total.saturating_sub(st.encode + st.solve),
+            sat_queries: st.queries,
+            memo_hits: st.memo_hits,
+        };
+        (raw, timings)
     }
 
     fn within_window(&self, saeg: &Saeg, a: EventId, t: EventId) -> bool {
@@ -162,18 +219,23 @@ impl Detector {
     ) -> Vec<Finding> {
         let mut out = Vec::new();
         for br in &saeg.branches {
-            let Some(dec) = feas.decision_lit(br.block) else { continue };
+            let Some(dec) = feas.decision_lit(br.block) else {
+                continue;
+            };
             for mispredict_then in [true, false] {
                 // Architectural direction is the opposite of the
                 // mispredicted fetch direction.
                 let arch_dir = if mispredict_then { !dec } else { dec };
-                let base_req = vec![feas.arch_lit(br.block), arch_dir];
-                if !feas.check(&base_req) {
+                let base = feas.mark();
+                let br_lit = feas.arch_lit(br.block);
+                feas.push(br_lit);
+                feas.push(arch_dir);
+                if !feas.check_stack() {
+                    feas.truncate(base);
                     continue;
                 }
                 let window = saeg.spec_window(br, mispredict_then);
-                let in_window =
-                    |e: EventId| window.binary_search(&e).is_ok();
+                let in_window = |e: EventId| window.binary_search(&e).is_ok();
                 for &t in &window {
                     let te = &saeg.events[t.0];
                     if te.kind == EventKind::Fence {
@@ -188,27 +250,34 @@ impl Detector {
                         if !access_transient && !saeg.precedes(access, t) {
                             continue;
                         }
-                        let mut req = base_req.clone();
+                        let m = feas.mark();
                         if !access_transient {
-                            req.push(feas.arch_lit(saeg.events[access.0].block));
+                            let l = feas.arch_lit(saeg.events[access.0].block);
+                            feas.push(l);
                         }
-                        if !feas.check(&req) {
+                        if !feas.check_stack() {
+                            feas.truncate(m);
                             continue;
                         }
                         out.extend(self.classify_data(
-                            saeg, gaddr, feas, &req, br.block, t, access, access_transient,
+                            saeg,
+                            gaddr,
+                            feas,
+                            br.block,
+                            t,
+                            access,
+                            access_transient,
                             SpeculationPrimitive::ConditionalBranch,
                             None,
                         ));
+                        feas.truncate(m);
                     }
                     // --- extension: speculative-interference DT (§6.1's
                     // "new attack variant"): the transient t warms the
                     // line of a committed same-address load, whose
                     // hit/miss then reveals t's (secret-derived) address.
                     if self.config.detect_interference {
-                        out.extend(self.interference_findings(
-                            saeg, gaddr, feas, &base_req, br.block, t,
-                        ));
+                        out.extend(self.interference_findings(saeg, gaddr, feas, br.block, t));
                     }
                     // --- control chains: access -ctrl-> t ---
                     for access in ctrl.predecessors(t.0).map(EventId) {
@@ -216,20 +285,30 @@ impl Detector {
                             continue;
                         }
                         let access_transient = in_window(access);
-                        let mut req = base_req.clone();
+                        let m = feas.mark();
                         if !access_transient {
-                            req.push(feas.arch_lit(saeg.events[access.0].block));
+                            let l = feas.arch_lit(saeg.events[access.0].block);
+                            feas.push(l);
                         }
-                        if !feas.check(&req) {
+                        if !feas.check_stack() {
+                            feas.truncate(m);
                             continue;
                         }
                         out.extend(self.classify_ctrl(
-                            saeg, gaddr, feas, &req, br.block, t, access, access_transient,
+                            saeg,
+                            gaddr,
+                            feas,
+                            br.block,
+                            t,
+                            access,
+                            access_transient,
                             SpeculationPrimitive::ConditionalBranch,
                             None,
                         ));
+                        feas.truncate(m);
                     }
                 }
+                feas.truncate(base);
             }
         }
         out
@@ -274,11 +353,13 @@ impl Detector {
                 break;
             }
             let Some(s) = bypassed else { continue };
-            let base_req = vec![
-                feas.arch_lit(saeg.events[s.0].block),
-                feas.arch_lit(saeg.events[l.0].block),
-            ];
-            if !feas.check(&base_req) {
+            let base = feas.mark();
+            let s_lit = feas.arch_lit(saeg.events[s.0].block);
+            let l_lit = feas.arch_lit(saeg.events[l.0].block);
+            feas.push(s_lit);
+            feas.push(l_lit);
+            if !feas.check_stack() {
+                feas.truncate(base);
                 continue;
             }
             // Stale value of l flows to transmitters. The stale read is a
@@ -287,15 +368,26 @@ impl Detector {
                 if t == l || !self.within_window(saeg, l, t) || !saeg.precedes(l, t) {
                     continue;
                 }
-                let mut req = base_req.clone();
-                req.push(feas.arch_lit(saeg.events[t.0].block));
-                if !feas.check(&req) {
+                let m = feas.mark();
+                let t_lit = feas.arch_lit(saeg.events[t.0].block);
+                feas.push(t_lit);
+                if !feas.check_stack() {
+                    feas.truncate(m);
                     continue;
                 }
                 // DT: t leaks l's stale data directly.
                 out.push(self.finding(
-                    saeg, feas, &req, t, TransmitterClass::Data, true, Some(l), true, None,
-                    SpeculationPrimitive::StoreForwarding, None, Some(s),
+                    saeg,
+                    feas,
+                    t,
+                    TransmitterClass::Data,
+                    true,
+                    Some(l),
+                    true,
+                    None,
+                    SpeculationPrimitive::StoreForwarding,
+                    None,
+                    Some(s),
                 ));
                 // UDT: l -> access(t') -> transmit(t''): here t is the
                 // access whose address carries stale data; its value
@@ -304,32 +396,56 @@ impl Detector {
                     if t2 == t || !self.within_window(saeg, t, t2) || !saeg.precedes(t, t2) {
                         continue;
                     }
-                    let mut req2 = req.clone();
-                    req2.push(feas.arch_lit(saeg.events[t2.0].block));
-                    if !feas.check(&req2) {
+                    let m2 = feas.mark();
+                    let t2_lit = feas.arch_lit(saeg.events[t2.0].block);
+                    feas.push(t2_lit);
+                    if !feas.check_stack() {
+                        feas.truncate(m2);
                         continue;
                     }
                     out.push(self.finding(
-                        saeg, feas, &req2, t2, TransmitterClass::UniversalData, true, Some(t),
-                        true, Some(l), SpeculationPrimitive::StoreForwarding, None, Some(s),
+                        saeg,
+                        feas,
+                        t2,
+                        TransmitterClass::UniversalData,
+                        true,
+                        Some(t),
+                        true,
+                        Some(l),
+                        SpeculationPrimitive::StoreForwarding,
+                        None,
+                        Some(s),
                     ));
+                    feas.truncate(m2);
                 }
                 // UCT: t's value steers a branch shadowing a transmitter.
                 for t2 in ctrl.successors(t.0).map(EventId) {
                     if t2 == t || !self.within_window(saeg, t, t2) {
                         continue;
                     }
-                    let mut req2 = req.clone();
-                    req2.push(feas.arch_lit(saeg.events[t2.0].block));
-                    if !feas.check(&req2) {
+                    let m2 = feas.mark();
+                    let t2_lit = feas.arch_lit(saeg.events[t2.0].block);
+                    feas.push(t2_lit);
+                    if !feas.check_stack() {
+                        feas.truncate(m2);
                         continue;
                     }
                     out.push(self.finding(
-                        saeg, feas, &req2, t2, TransmitterClass::UniversalControl, false,
-                        Some(t), true, Some(l), SpeculationPrimitive::StoreForwarding, None,
+                        saeg,
+                        feas,
+                        t2,
+                        TransmitterClass::UniversalControl,
+                        false,
+                        Some(t),
+                        true,
+                        Some(l),
+                        SpeculationPrimitive::StoreForwarding,
+                        None,
                         Some(s),
                     ));
+                    feas.truncate(m2);
                 }
+                feas.truncate(m);
             }
             // CT: the stale value feeds a branch condition whose shadow
             // contains a transmitter.
@@ -337,16 +453,29 @@ impl Detector {
                 if t == l || !self.within_window(saeg, l, t) {
                     continue;
                 }
-                let mut req = base_req.clone();
-                req.push(feas.arch_lit(saeg.events[t.0].block));
-                if !feas.check(&req) {
+                let m = feas.mark();
+                let t_lit = feas.arch_lit(saeg.events[t.0].block);
+                feas.push(t_lit);
+                if !feas.check_stack() {
+                    feas.truncate(m);
                     continue;
                 }
                 out.push(self.finding(
-                    saeg, feas, &req, t, TransmitterClass::Control, false, Some(l), true, None,
-                    SpeculationPrimitive::StoreForwarding, None, Some(s),
+                    saeg,
+                    feas,
+                    t,
+                    TransmitterClass::Control,
+                    false,
+                    Some(l),
+                    true,
+                    None,
+                    SpeculationPrimitive::StoreForwarding,
+                    None,
+                    Some(s),
                 ));
+                feas.truncate(m);
             }
+            feas.truncate(base);
         }
         out
     }
@@ -355,12 +484,13 @@ impl Detector {
     /// line of a committed same-address load `e` (whose architectural
     /// `rf` partner is not `t` — an rf-NI violation with an architectural
     /// receiver). Emitted as DTs when `t`'s address carries data.
+    /// Assumes the PHT base requirements (branch + architectural
+    /// direction) are already on `feas`'s assumption stack.
     fn interference_findings(
         &self,
         saeg: &Saeg,
         gaddr: &Gaddr,
         feas: &mut Feasibility,
-        base_req: &[Lit],
         branch: lcm_ir::BlockId,
         t: EventId,
     ) -> Vec<Finding> {
@@ -375,9 +505,11 @@ impl Detector {
             if alias(t_addr, e_addr) == AliasResult::No {
                 continue;
             }
-            let mut req = base_req.to_vec();
-            req.push(feas.arch_lit(e.block));
-            if !feas.check(&req) {
+            let m = feas.mark();
+            let e_lit = feas.arch_lit(e.block);
+            feas.push(e_lit);
+            if !feas.check_stack() {
+                feas.truncate(m);
                 continue;
             }
             for access in gaddr.plain.predecessors(t.0).map(EventId) {
@@ -385,12 +517,22 @@ impl Detector {
                     continue;
                 }
                 let mut f = self.finding(
-                    saeg, feas, &req, t, TransmitterClass::Data, true, Some(access), true,
-                    None, SpeculationPrimitive::ConditionalBranch, Some(branch), None,
+                    saeg,
+                    feas,
+                    t,
+                    TransmitterClass::Data,
+                    true,
+                    Some(access),
+                    true,
+                    None,
+                    SpeculationPrimitive::ConditionalBranch,
+                    Some(branch),
+                    None,
                 );
                 f.interference = true;
                 out.push(f);
             }
+            feas.truncate(m);
         }
         out
     }
@@ -425,11 +567,13 @@ impl Detector {
                 if saeg.always_fenced_between(s, l) {
                     continue;
                 }
-                let base_req = vec![
-                    feas.arch_lit(se.block),
-                    feas.arch_lit(saeg.events[l.0].block),
-                ];
-                if !feas.check(&base_req) {
+                let base = feas.mark();
+                let s_lit = feas.arch_lit(se.block);
+                let l_lit = feas.arch_lit(saeg.events[l.0].block);
+                feas.push(s_lit);
+                feas.push(l_lit);
+                if !feas.check_stack() {
+                    feas.truncate(base);
                     continue;
                 }
                 // The mispredicted forward gives l the *store's data*; any
@@ -438,44 +582,68 @@ impl Detector {
                     if t == l || !self.within_window(saeg, l, t) || !saeg.precedes(l, t) {
                         continue;
                     }
-                    let mut req = base_req.clone();
-                    req.push(feas.arch_lit(saeg.events[t.0].block));
-                    if !feas.check(&req) {
+                    let m = feas.mark();
+                    let t_lit = feas.arch_lit(saeg.events[t.0].block);
+                    feas.push(t_lit);
+                    if !feas.check_stack() {
+                        feas.truncate(m);
                         continue;
                     }
                     out.push(self.finding(
-                        saeg, feas, &req, t, TransmitterClass::Data, true, Some(l), true, None,
-                        SpeculationPrimitive::AliasPrediction, None, Some(s),
+                        saeg,
+                        feas,
+                        t,
+                        TransmitterClass::Data,
+                        true,
+                        Some(l),
+                        true,
+                        None,
+                        SpeculationPrimitive::AliasPrediction,
+                        None,
+                        Some(s),
                     ));
                     for t2 in gaddr.plain.successors(t.0).map(EventId) {
                         if t2 == t || !self.within_window(saeg, t, t2) || !saeg.precedes(t, t2) {
                             continue;
                         }
-                        let mut req2 = req.clone();
-                        req2.push(feas.arch_lit(saeg.events[t2.0].block));
-                        if !feas.check(&req2) {
+                        let m2 = feas.mark();
+                        let t2_lit = feas.arch_lit(saeg.events[t2.0].block);
+                        feas.push(t2_lit);
+                        if !feas.check_stack() {
+                            feas.truncate(m2);
                             continue;
                         }
                         out.push(self.finding(
-                            saeg, feas, &req2, t2, TransmitterClass::UniversalData, true,
-                            Some(t), true, Some(l),
-                            SpeculationPrimitive::AliasPrediction, None, Some(s),
+                            saeg,
+                            feas,
+                            t2,
+                            TransmitterClass::UniversalData,
+                            true,
+                            Some(t),
+                            true,
+                            Some(l),
+                            SpeculationPrimitive::AliasPrediction,
+                            None,
+                            Some(s),
                         ));
+                        feas.truncate(m2);
                     }
+                    feas.truncate(m);
                 }
+                feas.truncate(base);
             }
         }
         out
     }
 
-    /// Emits DT and (if steerable) UDT findings for a data chain.
+    /// Emits DT and (if steerable) UDT findings for a data chain. The
+    /// chain's feasibility requirements are the current assumption stack.
     #[allow(clippy::too_many_arguments)]
     fn classify_data(
         &self,
         saeg: &Saeg,
         gaddr: &Gaddr,
         feas: &mut Feasibility,
-        req: &[Lit],
         branch: lcm_ir::BlockId,
         t: EventId,
         access: EventId,
@@ -484,11 +652,24 @@ impl Detector {
         bypassed: Option<EventId>,
     ) -> Vec<Finding> {
         let mut out = vec![self.finding(
-            saeg, feas, req, t, TransmitterClass::Data, true, Some(access), access_transient,
-            None, primitive, Some(branch), bypassed,
+            saeg,
+            feas,
+            t,
+            TransmitterClass::Data,
+            true,
+            Some(access),
+            access_transient,
+            None,
+            primitive,
+            Some(branch),
+            bypassed,
         )];
         // Universal upgrade: an index steers the access.
-        let index_rel = if self.config.gep_filter { &gaddr.gep } else { &gaddr.plain };
+        let index_rel = if self.config.gep_filter {
+            &gaddr.gep
+        } else {
+            &gaddr.plain
+        };
         let steerable = self.access_steerable(saeg, access);
         if steerable && (!self.config.universal_needs_transient_access || access_transient) {
             for index in index_rel.predecessors(access.0).map(EventId) {
@@ -496,22 +677,31 @@ impl Detector {
                     continue;
                 }
                 out.push(self.finding(
-                    saeg, feas, req, t, TransmitterClass::UniversalData, true, Some(access),
-                    access_transient, Some(index), primitive, Some(branch), bypassed,
+                    saeg,
+                    feas,
+                    t,
+                    TransmitterClass::UniversalData,
+                    true,
+                    Some(access),
+                    access_transient,
+                    Some(index),
+                    primitive,
+                    Some(branch),
+                    bypassed,
                 ));
             }
         }
         out
     }
 
-    /// Emits CT and (if steerable) UCT findings for a control chain.
+    /// Emits CT and (if steerable) UCT findings for a control chain. The
+    /// chain's feasibility requirements are the current assumption stack.
     #[allow(clippy::too_many_arguments)]
     fn classify_ctrl(
         &self,
         saeg: &Saeg,
         gaddr: &Gaddr,
         feas: &mut Feasibility,
-        req: &[Lit],
         branch: lcm_ir::BlockId,
         t: EventId,
         access: EventId,
@@ -520,10 +710,23 @@ impl Detector {
         bypassed: Option<EventId>,
     ) -> Vec<Finding> {
         let mut out = vec![self.finding(
-            saeg, feas, req, t, TransmitterClass::Control, true, Some(access), access_transient,
-            None, primitive, Some(branch), bypassed,
+            saeg,
+            feas,
+            t,
+            TransmitterClass::Control,
+            true,
+            Some(access),
+            access_transient,
+            None,
+            primitive,
+            Some(branch),
+            bypassed,
         )];
-        let index_rel = if self.config.gep_filter { &gaddr.gep } else { &gaddr.plain };
+        let index_rel = if self.config.gep_filter {
+            &gaddr.gep
+        } else {
+            &gaddr.plain
+        };
         let steerable = self.access_steerable(saeg, access);
         if steerable && (!self.config.universal_needs_transient_access || access_transient) {
             for index in index_rel.predecessors(access.0).map(EventId) {
@@ -531,8 +734,17 @@ impl Detector {
                     continue;
                 }
                 out.push(self.finding(
-                    saeg, feas, req, t, TransmitterClass::UniversalControl, true, Some(access),
-                    access_transient, Some(index), primitive, Some(branch), bypassed,
+                    saeg,
+                    feas,
+                    t,
+                    TransmitterClass::UniversalControl,
+                    true,
+                    Some(access),
+                    access_transient,
+                    Some(index),
+                    primitive,
+                    Some(branch),
+                    bypassed,
                 ));
             }
         }
@@ -552,12 +764,13 @@ impl Detector {
         }
     }
 
+    /// Builds one finding; the witness path comes from the solver under
+    /// the current assumption stack.
     #[allow(clippy::too_many_arguments)]
     fn finding(
         &self,
         saeg: &Saeg,
         feas: &mut Feasibility,
-        req: &[Lit],
         t: EventId,
         class: TransmitterClass,
         transient_transmitter: bool,
@@ -581,7 +794,7 @@ impl Detector {
             branch,
             bypassed_store,
             interference: false,
-            witness_path: feas.witness_path(req).unwrap_or_default(),
+            witness_path: feas.witness_path_stack().unwrap_or_default(),
         }
     }
 }
@@ -593,10 +806,7 @@ pub fn secret_relevant(module: &Module, saeg: &Saeg, f: &Finding) -> bool {
     use lcm_aeg::addr::Region;
     let probe = f.access.unwrap_or(f.transmitter);
     match saeg.events[probe.0].addr.map(|a| a.region) {
-        Some(Region::Global(g)) => module
-            .globals
-            .get(g as usize)
-            .is_some_and(|gl| gl.secret),
+        Some(Region::Global(g)) => module.globals.get(g as usize).is_some_and(|gl| gl.secret),
         Some(Region::Alloca(_)) => false,
         Some(Region::Unknown) | None => true,
     }
@@ -723,7 +933,9 @@ mod tests {
             ..DetectorConfig::default()
         })
         .analyze_module(&m, EngineKind::Pht);
-        assert!(only_udt.findings().all(|f| f.class == TransmitterClass::UniversalData));
+        assert!(only_udt
+            .findings()
+            .all(|f| f.class == TransmitterClass::UniversalData));
         assert!(only_udt.count(TransmitterClass::UniversalData) >= 1);
     }
 
@@ -826,10 +1038,20 @@ mod tests {
             ..DetectorConfig::default()
         })
         .analyze_module(&m, EngineKind::Pht);
-        let sec = filtered.functions.iter().find(|f| f.name == "secret_victim").unwrap();
-        let pb = filtered.functions.iter().find(|f| f.name == "public_victim").unwrap();
+        let sec = filtered
+            .functions
+            .iter()
+            .find(|f| f.name == "secret_victim")
+            .unwrap();
+        let pb = filtered
+            .functions
+            .iter()
+            .find(|f| f.name == "public_victim")
+            .unwrap();
         assert!(
-            sec.transmitters.iter().any(|f| f.class == TransmitterClass::UniversalData),
+            sec.transmitters
+                .iter()
+                .any(|f| f.class == TransmitterClass::UniversalData),
             "secret-reading UDT survives the filter"
         );
         assert!(
@@ -847,8 +1069,15 @@ mod tests {
         // The unfiltered run flags both.
         let unfiltered =
             Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
-        let pb_all = unfiltered.functions.iter().find(|f| f.name == "public_victim").unwrap();
-        assert!(pb_all.transmitters.iter().any(|f| f.class == TransmitterClass::UniversalData));
+        let pb_all = unfiltered
+            .functions
+            .iter()
+            .find(|f| f.name == "public_victim")
+            .unwrap();
+        assert!(pb_all
+            .transmitters
+            .iter()
+            .any(|f| f.class == TransmitterClass::UniversalData));
     }
 
     /// §6.2.1's completeness guarantee: "As long as addr dependencies span
@@ -872,8 +1101,11 @@ mod tests {
         let m = lcm_minic::compile(src).unwrap();
         let full = Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
         assert!(full.count(TransmitterClass::UniversalData) >= 1);
-        let shrunk = Detector::new(DetectorConfig { window: 6, ..DetectorConfig::default() })
-            .analyze_module(&m, EngineKind::Pht);
+        let shrunk = Detector::new(DetectorConfig {
+            window: 6,
+            ..DetectorConfig::default()
+        })
+        .analyze_module(&m, EngineKind::Pht);
         assert_eq!(
             shrunk.count(TransmitterClass::UniversalData),
             0,
@@ -904,8 +1136,7 @@ mod tests {
         })
         .analyze_module(&m, EngineKind::Pht);
         assert!(with.findings().any(|f| f.interference));
-        let without =
-            Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
+        let without = Detector::new(DetectorConfig::default()).analyze_module(&m, EngineKind::Pht);
         assert!(without.findings().all(|f| !f.interference));
     }
 }

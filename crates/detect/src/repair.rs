@@ -38,8 +38,9 @@ pub fn repair_function(saeg: &Saeg, findings: &[Finding]) -> (Function, usize) {
                     // harbours the transmitter; fencing the side containing
                     // the transmitter suffices, but the witness only names
                     // the branch, so cover the side(s) reaching it.
-                    if let Terminator::CondBr { then_bb, else_bb, .. } =
-                        f.blocks[br_block.0 as usize].term.clone()
+                    if let Terminator::CondBr {
+                        then_bb, else_bb, ..
+                    } = f.blocks[br_block.0 as usize].term.clone()
                     {
                         let t_block = saeg.events[finding.transmitter.0].block;
                         for side in [then_bb, else_bb] {
@@ -53,7 +54,10 @@ pub fn repair_function(saeg: &Saeg, findings: &[Finding]) -> (Function, usize) {
             SpeculationPrimitive::StoreForwarding | SpeculationPrimitive::AliasPrediction => {
                 // Fence just before the bypassing load (the access /
                 // index event of the finding).
-                let target = finding.index.or(finding.access).unwrap_or(finding.transmitter);
+                let target = finding
+                    .index
+                    .or(finding.access)
+                    .unwrap_or(finding.transmitter);
                 let ev = &saeg.events[target.0];
                 let pos = f.blocks[ev.block.0 as usize]
                     .insts
@@ -157,8 +161,11 @@ mod tests {
         let (fixed, fences) = repair(&m, &det, EngineKind::Pht);
         assert_eq!(fences, 1, "paper: 1 fence per vulnerable PHT program");
         let re = det.analyze_module(&fixed, EngineKind::Pht);
-        assert!(re.is_clean(), "repaired module re-analyzes clean: {:?}",
-            re.findings().collect::<Vec<_>>());
+        assert!(
+            re.is_clean(),
+            "repaired module re-analyzes clean: {:?}",
+            re.findings().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -177,7 +184,11 @@ mod tests {
         let (fixed, fences) = repair(&m, &det, EngineKind::Stl);
         assert!(fences >= 1);
         let re = det.analyze_module(&fixed, EngineKind::Stl);
-        assert!(re.is_clean(), "still leaking: {:?}", re.findings().collect::<Vec<_>>());
+        assert!(
+            re.is_clean(),
+            "still leaking: {:?}",
+            re.findings().collect::<Vec<_>>()
+        );
     }
 
     #[test]

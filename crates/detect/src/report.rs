@@ -47,8 +47,14 @@ impl Finding {
     #[allow(clippy::type_complexity)]
     pub fn key(
         &self,
-    ) -> (u32, TransmitterClass, SpeculationPrimitive, Option<EventId>, Option<EventId>, bool)
-    {
+    ) -> (
+        u32,
+        TransmitterClass,
+        SpeculationPrimitive,
+        Option<EventId>,
+        Option<EventId>,
+        bool,
+    ) {
         (
             self.transmitter_inst.0,
             self.class,
@@ -56,6 +62,55 @@ impl Finding {
             self.access,
             self.index,
             self.interference,
+        )
+    }
+}
+
+/// Where one function's analysis time went (the profile future perf
+/// work aims at).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// A-CFG construction (IR → acyclic CFG).
+    pub acfg_build: Duration,
+    /// S-AEG construction over the A-CFG.
+    pub saeg_build: Duration,
+    /// CNF encoding of path feasibility (Fig. 7 edge formulas).
+    pub encode: Duration,
+    /// Time inside the SAT solver.
+    pub solve: Duration,
+    /// Engine chain enumeration and classification (everything in the
+    /// engines that is not solving).
+    pub classify: Duration,
+    /// Feasibility questions asked (including memo hits).
+    pub sat_queries: u64,
+    /// Questions answered from the feasibility memo.
+    pub memo_hits: u64,
+}
+
+impl PhaseTimings {
+    /// Accumulates another function's breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        self.acfg_build += other.acfg_build;
+        self.saeg_build += other.saeg_build;
+        self.encode += other.encode;
+        self.solve += other.solve;
+        self.classify += other.classify;
+        self.sat_queries += other.sat_queries;
+        self.memo_hits += other.memo_hits;
+    }
+
+    /// One-line human-readable breakdown for the bench binaries.
+    pub fn render(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | {} SAT queries ({} memo hits)",
+            ms(self.acfg_build),
+            ms(self.saeg_build),
+            ms(self.encode),
+            ms(self.solve),
+            ms(self.classify),
+            self.sat_queries,
+            self.memo_hits,
         )
     }
 }
@@ -71,12 +126,17 @@ pub struct FunctionReport {
     pub saeg_size: usize,
     /// Serial analysis runtime.
     pub runtime: Duration,
+    /// Phase breakdown of `runtime`.
+    pub timings: PhaseTimings,
 }
 
 impl FunctionReport {
     /// Count of findings at exactly the given class.
     pub fn count(&self, class: TransmitterClass) -> usize {
-        self.transmitters.iter().filter(|f| f.class == class).count()
+        self.transmitters
+            .iter()
+            .filter(|f| f.class == class)
+            .count()
     }
 
     /// `true` if no leakage was found.
@@ -101,6 +161,15 @@ impl ModuleReport {
     /// Total serial runtime.
     pub fn total_runtime(&self) -> Duration {
         self.functions.iter().map(|f| f.runtime).sum()
+    }
+
+    /// Module-wide phase breakdown (sum over functions).
+    pub fn timings(&self) -> PhaseTimings {
+        let mut t = PhaseTimings::default();
+        for f in &self.functions {
+            t.merge(&f.timings);
+        }
+        t
     }
 
     /// All findings flattened.
@@ -147,6 +216,7 @@ mod tests {
             ],
             saeg_size: 3,
             runtime: Duration::ZERO,
+            timings: PhaseTimings::default(),
         };
         assert_eq!(r.count(TransmitterClass::Data), 2);
         assert_eq!(r.count(TransmitterClass::UniversalData), 1);

@@ -45,8 +45,8 @@ pub fn witness_dot(saeg: &Saeg, finding: &Finding) -> String {
         } else {
             ""
         };
-        let label = format!("{}: {:?} {:?}", e.pos, e.kind, saeg.acfg.inst(e.inst))
-            .replace('"', "'");
+        let label =
+            format!("{}: {:?} {:?}", e.pos, e.kind, saeg.acfg.inst(e.inst)).replace('"', "'");
         let _ = writeln!(s, "  e{} [label=\"{}\"{}];", e.id.0, label, role);
     }
     // Chain edges.
@@ -72,7 +72,11 @@ pub fn witness_dot(saeg: &Saeg, finding: &Finding) -> String {
             "  br [shape=diamond, label=\"mispredicted branch @bb{}\", color=red];",
             br.0
         );
-        let _ = writeln!(s, "  br -> e{} [style=dotted, label=\"window\"];", finding.transmitter.0);
+        let _ = writeln!(
+            s,
+            "  br -> e{} [style=dotted, label=\"window\"];",
+            finding.transmitter.0
+        );
     }
     s.push_str("}\n");
     s
@@ -86,7 +90,11 @@ pub fn describe(saeg: &Saeg, finding: &Finding) -> String {
         finding.function,
         finding.class,
         ev(finding.transmitter),
-        if finding.transient_transmitter { "transient, " } else { "" },
+        if finding.transient_transmitter {
+            "transient, "
+        } else {
+            ""
+        },
         finding.primitive
     );
     if let Some(a) = finding.access {
@@ -94,7 +102,11 @@ pub fn describe(saeg: &Saeg, finding: &Finding) -> String {
             s,
             ", access {}{}",
             ev(a),
-            if finding.access_transient { " (transient)" } else { " (committed)" }
+            if finding.access_transient {
+                " (transient)"
+            } else {
+                " (committed)"
+            }
         );
     }
     if let Some(i) = finding.index {

@@ -35,9 +35,10 @@
 //! assert!(report.total_leaks() >= 1); // found, but with no taxonomy
 //! ```
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
+use lcm_aeg::addr::AddrOracle;
 use lcm_aeg::taint::attacker_controlled;
 use lcm_core::speculation::SpeculationPrimitive;
 use lcm_ir::acfg::build_acfg;
@@ -53,15 +54,27 @@ pub struct HauntedConfig {
     /// Cap on enumerated architectural paths per function (keeps the
     /// worst case finite, as BH's timeouts do).
     pub max_paths: usize,
-    /// Per-function wall-clock timeout in seconds. The paper runs BH with
-    /// 1-hour / 6-hour timeouts and reports partial results in bold; the
-    /// same convention applies here (partial leaks + `exhausted = true`).
-    pub timeout_secs: u64,
+    /// Per-function work budget in instruction visits (architectural and
+    /// transient) across path checks. The paper runs BH with 1-hour /
+    /// 6-hour wall-clock timeouts and reports partial results in bold;
+    /// the same convention applies here (partial leaks + `exhausted =
+    /// true`), but as a deterministic work budget rather than a wall
+    /// clock so results are independent of machine load and of `jobs`.
+    pub step_budget: u64,
+    /// Worker threads for per-function fan-out in [`analyze_module`]:
+    /// `0` uses all available cores, `1` is exact serial execution.
+    pub jobs: usize,
 }
 
 impl Default for HauntedConfig {
     fn default() -> Self {
-        HauntedConfig { rob: 200, lsq: 20, max_paths: 1 << 12, timeout_secs: 3 }
+        HauntedConfig {
+            rob: 200,
+            lsq: 20,
+            max_paths: 1 << 12,
+            step_budget: 50_000_000,
+            jobs: 0,
+        }
     }
 }
 
@@ -119,17 +132,18 @@ impl HauntedModuleReport {
     }
 }
 
-/// Runs the baseline over every public function.
+/// Runs the baseline over every public function, fanning out over
+/// [`HauntedConfig::jobs`] worker threads (reports stay in module order).
 pub fn analyze_module(
     module: &Module,
     engine: HauntedEngine,
     config: HauntedConfig,
 ) -> HauntedModuleReport {
-    let mut out = HauntedModuleReport::default();
-    for f in module.public_functions() {
-        out.functions.push(analyze_function(module, &f.name, engine, config));
-    }
-    out
+    let names: Vec<&str> = module.public_functions().map(|f| f.name.as_str()).collect();
+    let functions = lcm_core::par::map_indexed(&names, config.jobs, |_, name| {
+        analyze_function(module, name, engine, config)
+    });
+    HauntedModuleReport { functions }
 }
 
 /// Runs the baseline over one function.
@@ -145,24 +159,46 @@ pub fn analyze_function(
     config: HauntedConfig,
 ) -> HauntedReport {
     let start = Instant::now();
-    let deadline = start + Duration::from_secs(config.timeout_secs.max(1));
+    let mut budget: i64 = config.step_budget.max(1) as i64;
     let acfg = build_acfg(module, fname).expect("A-CFG");
     let mut paths = Vec::new();
     let mut exhausted = false;
-    enumerate_paths(&acfg, acfg.entry(), &mut Vec::new(), &mut paths, config.max_paths, &mut exhausted);
+    enumerate_paths(
+        &acfg,
+        acfg.entry(),
+        &mut Vec::new(),
+        &mut paths,
+        config.max_paths,
+        &mut exhausted,
+    );
 
     let mut leaks: HashSet<HauntedLeak> = HashSet::new();
+    // Symbolic addresses and feeding-load sets depend only on the
+    // function, not the path, so cache them across the 2^branches path
+    // enumeration instead of re-walking the operand graph per path.
+    let mut caches = StlCaches {
+        oracle: AddrOracle::new(&acfg),
+        feeds: HashMap::new(),
+    };
     for path in &paths {
-        if Instant::now() >= deadline {
+        if budget <= 0 {
             exhausted = true; // the BH-style timeout: partial results
             break;
         }
         match engine {
             HauntedEngine::Pht => {
-                check_pht_path(&acfg, fname, path, config, &mut leaks);
+                check_pht_path(&acfg, fname, path, config, &mut budget, &mut leaks);
             }
             HauntedEngine::Stl => {
-                check_stl_path(&acfg, fname, path, config, &mut leaks);
+                check_stl_path(
+                    &acfg,
+                    fname,
+                    path,
+                    config,
+                    &mut budget,
+                    &mut caches,
+                    &mut leaks,
+                );
             }
         }
     }
@@ -194,7 +230,9 @@ fn enumerate_paths(
     match &f.blocks[b.0 as usize].term {
         Terminator::Ret(_) => out.push(cur.clone()),
         Terminator::Br(t) => enumerate_paths(f, *t, cur, out, cap, exhausted),
-        Terminator::CondBr { then_bb, else_bb, .. } => {
+        Terminator::CondBr {
+            then_bb, else_bb, ..
+        } => {
             enumerate_paths(f, *then_bb, cur, out, cap, exhausted);
             enumerate_paths(f, *else_bb, cur, out, cap, exhausted);
         }
@@ -207,7 +245,10 @@ fn path_insts(f: &Function, path: &[BlockId]) -> Vec<InstId> {
     let mut out = Vec::new();
     for &b in path {
         for &i in &f.blocks[b.0 as usize].insts {
-            if matches!(f.inst(i), Inst::Load { .. } | Inst::Store { .. } | Inst::Havoc { .. } | Inst::Fence) {
+            if matches!(
+                f.inst(i),
+                Inst::Load { .. } | Inst::Store { .. } | Inst::Havoc { .. } | Inst::Fence
+            ) {
                 out.push(i);
             }
         }
@@ -223,25 +264,37 @@ fn check_pht_path(
     fname: &str,
     path: &[BlockId],
     config: HauntedConfig,
+    budget: &mut i64,
     leaks: &mut HashSet<HauntedLeak>,
 ) {
     for (i, &b) in path.iter().enumerate() {
-        let Terminator::CondBr { then_bb, else_bb, .. } = &f.blocks[b.0 as usize].term else {
+        if *budget <= 0 {
+            return;
+        }
+        let Terminator::CondBr {
+            then_bb, else_bb, ..
+        } = &f.blocks[b.0 as usize].term
+        else {
             continue;
         };
         let arch_next = path.get(i + 1).copied();
-        let wrong = if arch_next == Some(*then_bb) { *else_bb } else { *then_bb };
+        let wrong = if arch_next == Some(*then_bb) {
+            *else_bb
+        } else {
+            *then_bb
+        };
         // Explore every transient sub-path from the wrong successor.
         let mut stack: Vec<(BlockId, usize)> = vec![(wrong, 0)];
         let mut fork_guard = 0usize;
         while let Some((blk, depth)) = stack.pop() {
             fork_guard += 1;
-            if fork_guard > 4096 {
+            if fork_guard > 4096 || *budget <= 0 {
                 break;
             }
             let mut d = depth;
             let mut stop = false;
             for &iid in &f.blocks[blk.0 as usize].insts {
+                *budget -= 1;
                 if d >= config.rob {
                     stop = true;
                     break;
@@ -276,6 +329,14 @@ fn check_pht_path(
     }
 }
 
+/// Function-lifetime caches for the STL engine: memoized symbolic
+/// addresses plus the feeding-load sets of access addresses, both
+/// invariant across the enumerated paths.
+struct StlCaches<'f> {
+    oracle: AddrOracle<'f>,
+    feeds: HashMap<u32, Vec<(InstId, bool)>>,
+}
+
 /// STL: on each path, each load may bypass each older store within the
 /// store-queue window; a bypass whose stale value flows (syntactically)
 /// into a later access's address is a violation.
@@ -284,17 +345,28 @@ fn check_stl_path(
     fname: &str,
     path: &[BlockId],
     config: HauntedConfig,
+    budget: &mut i64,
+    caches: &mut StlCaches<'_>,
     leaks: &mut HashSet<HauntedLeak>,
 ) {
     let insts = path_insts(f, path);
     for (li, &l) in insts.iter().enumerate() {
-        let Inst::Load { addr: laddr, .. } = f.inst(l) else { continue };
-        let la = lcm_aeg::addr::symbolic_addr(f, *laddr);
+        *budget -= 1;
+        if *budget <= 0 {
+            return;
+        }
+        let Inst::Load { addr: laddr, .. } = f.inst(l) else {
+            continue;
+        };
+        let la = caches.oracle.addr(*laddr);
         // Enumerate older stores within the LSQ window (the per-path
         // product that dominates bh-stl's runtime).
         for &s in insts[li.saturating_sub(config.lsq)..li].iter() {
-            let Inst::Store { addr: saddr, .. } = f.inst(s) else { continue };
-            let sa = lcm_aeg::addr::symbolic_addr(f, *saddr);
+            *budget -= 1;
+            let Inst::Store { addr: saddr, .. } = f.inst(s) else {
+                continue;
+            };
+            let sa = caches.oracle.addr(*saddr);
             if lcm_aeg::addr::alias(la, sa) == lcm_aeg::addr::AliasResult::No {
                 continue;
             }
@@ -304,11 +376,15 @@ fn check_stl_path(
             }
             // Stale value of l flows into a later access's address?
             for &t in &insts[li + 1..] {
+                *budget -= 1;
                 let taddr = match f.inst(t) {
                     Inst::Load { addr, .. } | Inst::Store { addr, .. } => *addr,
                     _ => continue,
                 };
-                let feeds = lcm_aeg::addr::feeding_loads(f, taddr)
+                let feeds = caches
+                    .feeds
+                    .entry(taddr.0)
+                    .or_insert_with(|| lcm_aeg::addr::feeding_loads(f, taddr))
                     .iter()
                     .any(|&(ld, _)| ld == l);
                 if feeds {
@@ -324,7 +400,9 @@ fn check_stl_path(
 }
 
 fn fence_between(f: &Function, insts: &[InstId], from: usize, to: usize) -> bool {
-    insts[from..to].iter().any(|&i| matches!(f.inst(i), Inst::Fence))
+    insts[from..to]
+        .iter()
+        .any(|&i| matches!(f.inst(i), Inst::Fence))
 }
 
 #[cfg(test)]
@@ -423,7 +501,10 @@ mod tests {
             &m,
             "f",
             HauntedEngine::Pht,
-            HauntedConfig { max_paths: 4, ..HauntedConfig::default() },
+            HauntedConfig {
+                max_paths: 4,
+                ..HauntedConfig::default()
+            },
         );
         assert!(r.exhausted);
         assert_eq!(r.paths_explored, 4);

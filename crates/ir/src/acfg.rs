@@ -63,7 +63,12 @@ pub fn build_acfg(module: &Module, fname: &str) -> Result<Function, AcfgError> {
 /// Clones the pure operand tree of `v` inside `f`, remapping any reference
 /// found in `map` (scheduled instructions already cloned). Memoized in
 /// `memo`.
-fn clone_pure(f: &mut Function, v: Value, map: &HashMap<u32, u32>, memo: &mut HashMap<u32, u32>) -> Value {
+fn clone_pure(
+    f: &mut Function,
+    v: Value,
+    map: &HashMap<u32, u32>,
+    memo: &mut HashMap<u32, u32>,
+) -> Value {
     if let Some(&m) = map.get(&v.0) {
         return InstId(m);
     }
@@ -235,7 +240,11 @@ fn unroll_one(f: &mut Function, body: &[BlockId], header: BlockId, copies: usize
                         .collect(),
                     ty,
                 },
-                Inst::Havoc { callee, ptr_args, ty } => Inst::Havoc {
+                Inst::Havoc {
+                    callee,
+                    ptr_args,
+                    ty,
+                } => Inst::Havoc {
                     callee,
                     ptr_args: ptr_args
                         .iter()
@@ -265,7 +274,11 @@ fn unroll_one(f: &mut Function, body: &[BlockId], header: BlockId, copies: usize
             };
             let new_term = match term {
                 Terminator::Br(t) => Terminator::Br(remap_bb(t)),
-                Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => Terminator::CondBr {
                     cond: clone_pure(f, cond, &inst_map, &mut memo),
                     then_bb: remap_bb(then_bb),
                     else_bb: remap_bb(else_bb),
@@ -282,24 +295,25 @@ fn unroll_one(f: &mut Function, body: &[BlockId], header: BlockId, copies: usize
 
     // Fix up iteration edges: original body latches -> entries[0];
     // copy k latches -> entries[k+1]; last copy -> trunc.
-    let redirect =
-        |f: &mut Function, blocks: Vec<BlockId>, from: BlockId, to: BlockId| {
-            for b in blocks {
-                let term = &mut f.blocks[b.0 as usize].term;
-                match term {
-                    Terminator::Br(t) if *t == from => *t = to,
-                    Terminator::CondBr { then_bb, else_bb, .. } => {
-                        if *then_bb == from {
-                            *then_bb = to;
-                        }
-                        if *else_bb == from {
-                            *else_bb = to;
-                        }
+    let redirect = |f: &mut Function, blocks: Vec<BlockId>, from: BlockId, to: BlockId| {
+        for b in blocks {
+            let term = &mut f.blocks[b.0 as usize].term;
+            match term {
+                Terminator::Br(t) if *t == from => *t = to,
+                Terminator::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    if *then_bb == from {
+                        *then_bb = to;
                     }
-                    _ => {}
+                    if *else_bb == from {
+                        *else_bb = to;
+                    }
                 }
+                _ => {}
             }
-        };
+        }
+    };
     let originals: Vec<BlockId> = body.iter().copied().filter(|&b| b != header).collect();
     // Original header's back edges (do-while) also count; include header's
     // own latch edges but header->header self loops are handled uniformly:
@@ -307,9 +321,12 @@ fn unroll_one(f: &mut Function, body: &[BlockId], header: BlockId, copies: usize
     orig_all.push(header);
     redirect(f, orig_all, header, entries[0]);
     for k in 0..copies {
-        let copy_blocks: Vec<BlockId> =
-            copy_maps[k].values().map(|&b| BlockId(b)).collect();
-        let to = if k + 1 < copies { entries[k + 1] } else { trunc };
+        let copy_blocks: Vec<BlockId> = copy_maps[k].values().map(|&b| BlockId(b)).collect();
+        let to = if k + 1 < copies {
+            entries[k + 1]
+        } else {
+            trunc
+        };
         redirect(f, copy_blocks, header, to);
     }
 }
@@ -343,11 +360,25 @@ pub fn inline_all_calls(f: &mut Function, module: &Module) {
                 .copied()
                 .filter(|&a| f.inst(a).result_ty() == Some(Ty::Ptr))
                 .collect();
-            f.insts[call_id.0 as usize] = Inst::Havoc { callee, ptr_args, ty };
+            f.insts[call_id.0 as usize] = Inst::Havoc {
+                callee,
+                ptr_args,
+                ty,
+            };
             continue;
         }
         let callee_fn = module.function(&callee).unwrap().clone();
-        splice(f, bb, pos, call_id, &callee_fn, &args, ty, &stack, &mut stacks);
+        splice(
+            f,
+            bb,
+            pos,
+            call_id,
+            &callee_fn,
+            &args,
+            ty,
+            &stack,
+            &mut stacks,
+        );
     }
 }
 
@@ -384,7 +415,10 @@ fn splice(
 
     // Return slot (always materialized; harmless if unused).
     let ret_slot = f.insts.len();
-    f.insts.push(Inst::Alloca { name: format!("{}.ret", callee.name), size: 1 });
+    f.insts.push(Inst::Alloca {
+        name: format!("{}.ret", callee.name),
+        size: 1,
+    });
     let ret_slot = InstId(ret_slot as u32);
     f.blocks[bb.0 as usize].insts.push(ret_slot);
 
@@ -426,7 +460,11 @@ fn splice(
                 addr: import_pure(f, callee, addr, &inst_map, args, &mut memo),
                 value: import_pure(f, callee, value, &inst_map, args, &mut memo),
             },
-            Inst::Call { callee: c2, args: a2, ty } => Inst::Call {
+            Inst::Call {
+                callee: c2,
+                args: a2,
+                ty,
+            } => Inst::Call {
                 callee: c2,
                 args: a2
                     .iter()
@@ -434,7 +472,11 @@ fn splice(
                     .collect(),
                 ty,
             },
-            Inst::Havoc { callee: c2, ptr_args, ty } => Inst::Havoc {
+            Inst::Havoc {
+                callee: c2,
+                ptr_args,
+                ty,
+            } => Inst::Havoc {
                 callee: c2,
                 ptr_args: ptr_args
                     .iter()
@@ -455,7 +497,11 @@ fn splice(
         let term = callee.blocks[cbi.0 as usize].term.clone();
         let new_term = match term {
             Terminator::Br(t) => Terminator::Br(BlockId(block_map[&t.0])),
-            Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::CondBr {
                 cond: import_pure(f, callee, cond, &inst_map, args, &mut memo),
                 then_bb: BlockId(block_map[&then_bb.0]),
                 else_bb: BlockId(block_map[&else_bb.0]),
@@ -464,7 +510,10 @@ fn splice(
                 // Store return value and jump to continuation.
                 if let Some(v) = v {
                     let val = import_pure(f, callee, v, &inst_map, args, &mut memo);
-                    let st = Inst::Store { addr: ret_slot, value: val };
+                    let st = Inst::Store {
+                        addr: ret_slot,
+                        value: val,
+                    };
                     f.push(dst_b, st);
                 }
                 Terminator::Br(cont)
@@ -478,7 +527,10 @@ fn splice(
     // The call's result becomes a load of the return slot, scheduled at the
     // head of the continuation (reusing the call's arena slot keeps users
     // valid).
-    f.insts[call_id.0 as usize] = Inst::Load { addr: ret_slot, ty: ret_ty };
+    f.insts[call_id.0 as usize] = Inst::Load {
+        addr: ret_slot,
+        ty: ret_ty,
+    };
     f.blocks[cont.0 as usize].insts.insert(0, call_id);
 }
 
@@ -498,25 +550,92 @@ mod tests {
         let header = f.add_block("header");
         let body = f.add_block("body");
         let exit = f.add_block("exit");
-        let s = f.push(entry, Inst::Alloca { name: "s".into(), size: 1 });
-        let i = f.push(entry, Inst::Alloca { name: "i".into(), size: 1 });
+        let s = f.push(
+            entry,
+            Inst::Alloca {
+                name: "s".into(),
+                size: 1,
+            },
+        );
+        let i = f.push(
+            entry,
+            Inst::Alloca {
+                name: "i".into(),
+                size: 1,
+            },
+        );
         let zero = f.iconst(0);
-        f.push(entry, Inst::Store { addr: s, value: zero });
-        f.push(entry, Inst::Store { addr: i, value: zero });
+        f.push(
+            entry,
+            Inst::Store {
+                addr: s,
+                value: zero,
+            },
+        );
+        f.push(
+            entry,
+            Inst::Store {
+                addr: i,
+                value: zero,
+            },
+        );
         f.set_term(entry, Terminator::Br(header));
-        let iv = f.push(header, Inst::Load { addr: i, ty: Ty::Int });
+        let iv = f.push(
+            header,
+            Inst::Load {
+                addr: i,
+                ty: Ty::Int,
+            },
+        );
         let n = f.param(0);
         let cond = f.bin(BinOp::Lt, iv, n);
-        f.set_term(header, Terminator::CondBr { cond, then_bb: body, else_bb: exit });
-        let sv = f.push(body, Inst::Load { addr: s, ty: Ty::Int });
-        let iv2 = f.push(body, Inst::Load { addr: i, ty: Ty::Int });
+        f.set_term(
+            header,
+            Terminator::CondBr {
+                cond,
+                then_bb: body,
+                else_bb: exit,
+            },
+        );
+        let sv = f.push(
+            body,
+            Inst::Load {
+                addr: s,
+                ty: Ty::Int,
+            },
+        );
+        let iv2 = f.push(
+            body,
+            Inst::Load {
+                addr: i,
+                ty: Ty::Int,
+            },
+        );
         let sum = f.bin(BinOp::Add, sv, iv2);
-        f.push(body, Inst::Store { addr: s, value: sum });
+        f.push(
+            body,
+            Inst::Store {
+                addr: s,
+                value: sum,
+            },
+        );
         let one = f.iconst(1);
         let inc = f.bin(BinOp::Add, iv2, one);
-        f.push(body, Inst::Store { addr: i, value: inc });
+        f.push(
+            body,
+            Inst::Store {
+                addr: i,
+                value: inc,
+            },
+        );
         f.set_term(body, Terminator::Br(header));
-        let res = f.push(exit, Inst::Load { addr: s, ty: Ty::Int });
+        let res = f.push(
+            exit,
+            Inst::Load {
+                addr: s,
+                ty: Ty::Int,
+            },
+        );
         f.set_term(exit, Terminator::Ret(Some(res)));
         m.add_function(f);
         m
@@ -558,7 +677,13 @@ mod tests {
 
     fn callee_module() -> Module {
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "G".into(), size: 4, is_ptr: false, secret: false, init: vec![] });
+        let g = m.add_global(Global {
+            name: "G".into(),
+            size: 4,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
 
         let mut callee = Function::new("get", &[("i", Ty::Int)]);
         let e = callee.entry();
@@ -574,7 +699,14 @@ mod tests {
         let mut caller = Function::new("caller", &[("i", Ty::Int)]);
         let e = caller.entry();
         let i = caller.param(0);
-        let c = caller.push(e, Inst::Call { callee: "get".into(), args: vec![i], ty: Ty::Int });
+        let c = caller.push(
+            e,
+            Inst::Call {
+                callee: "get".into(),
+                args: vec![i],
+                ty: Ty::Int,
+            },
+        );
         let one = caller.iconst(1);
         let r = caller.bin(BinOp::Add, c, one);
         caller.set_term(e, Terminator::Ret(Some(r)));
@@ -612,12 +744,25 @@ mod tests {
     #[test]
     fn undefined_call_becomes_havoc_on_pointer_args() {
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "buf".into(), size: 8, is_ptr: false, secret: false, init: vec![] });
+        let g = m.add_global(Global {
+            name: "buf".into(),
+            size: 8,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
         let mut f = Function::new("f", &[("x", Ty::Int)]);
         let e = f.entry();
         let base = f.global_addr(g);
         let x = f.param(0);
-        let c = f.push(e, Inst::Call { callee: "memcmp".into(), args: vec![base, x], ty: Ty::Int });
+        let c = f.push(
+            e,
+            Inst::Call {
+                callee: "memcmp".into(),
+                args: vec![base, x],
+                ty: Ty::Int,
+            },
+        );
         f.set_term(e, Terminator::Ret(Some(c)));
         m.add_function(f);
         let acfg = build_acfg(&m, "f").unwrap();
@@ -625,7 +770,9 @@ mod tests {
             .insts
             .iter()
             .find_map(|i| match i {
-                Inst::Havoc { callee, ptr_args, .. } => Some((callee.clone(), ptr_args.len())),
+                Inst::Havoc {
+                    callee, ptr_args, ..
+                } => Some((callee.clone(), ptr_args.len())),
                 _ => None,
             })
             .expect("havoc present");
@@ -643,12 +790,26 @@ mod tests {
         let n = f.param(0);
         let zero = f.iconst(0);
         let cond = f.bin(BinOp::Le, n, zero);
-        f.set_term(e, Terminator::CondBr { cond, then_bb: then_b, else_bb: else_b });
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond,
+                then_bb: then_b,
+                else_bb: else_b,
+            },
+        );
         let z = f.iconst(0);
         f.set_term(then_b, Terminator::Ret(Some(z)));
         let one = f.iconst(1);
         let n1 = f.bin(BinOp::Sub, n, one);
-        let c = f.push(else_b, Inst::Call { callee: "rec".into(), args: vec![n1], ty: Ty::Int });
+        let c = f.push(
+            else_b,
+            Inst::Call {
+                callee: "rec".into(),
+                args: vec![n1],
+                ty: Ty::Int,
+            },
+        );
         let sum = f.bin(BinOp::Add, n, c);
         f.set_term(else_b, Terminator::Ret(Some(sum)));
         m.add_function(f);
@@ -703,27 +864,89 @@ mod tests {
         let ib = f.add_block("ib");
         let oinc = f.add_block("oinc");
         let exit = f.add_block("exit");
-        let iv = f.push(e, Inst::Alloca { name: "i".into(), size: 1 });
-        let jv = f.push(e, Inst::Alloca { name: "j".into(), size: 1 });
+        let iv = f.push(
+            e,
+            Inst::Alloca {
+                name: "i".into(),
+                size: 1,
+            },
+        );
+        let jv = f.push(
+            e,
+            Inst::Alloca {
+                name: "j".into(),
+                size: 1,
+            },
+        );
         let zero = f.iconst(0);
         let one = f.iconst(1);
         let n = f.param(0);
-        f.push(e, Inst::Store { addr: iv, value: zero });
+        f.push(
+            e,
+            Inst::Store {
+                addr: iv,
+                value: zero,
+            },
+        );
         f.set_term(e, Terminator::Br(oh));
-        let i0 = f.push(oh, Inst::Load { addr: iv, ty: Ty::Int });
+        let i0 = f.push(
+            oh,
+            Inst::Load {
+                addr: iv,
+                ty: Ty::Int,
+            },
+        );
         let c0 = f.bin(BinOp::Lt, i0, n);
-        f.set_term(oh, Terminator::CondBr { cond: c0, then_bb: ob, else_bb: exit });
-        f.push(ob, Inst::Store { addr: jv, value: zero });
+        f.set_term(
+            oh,
+            Terminator::CondBr {
+                cond: c0,
+                then_bb: ob,
+                else_bb: exit,
+            },
+        );
+        f.push(
+            ob,
+            Inst::Store {
+                addr: jv,
+                value: zero,
+            },
+        );
         f.set_term(ob, Terminator::Br(ih));
-        let j0 = f.push(ih, Inst::Load { addr: jv, ty: Ty::Int });
+        let j0 = f.push(
+            ih,
+            Inst::Load {
+                addr: jv,
+                ty: Ty::Int,
+            },
+        );
         let c1 = f.bin(BinOp::Lt, j0, n);
-        f.set_term(ih, Terminator::CondBr { cond: c1, then_bb: ib, else_bb: oinc });
+        f.set_term(
+            ih,
+            Terminator::CondBr {
+                cond: c1,
+                then_bb: ib,
+                else_bb: oinc,
+            },
+        );
         f.push(ib, Inst::Fence);
         let j1 = f.bin(BinOp::Add, j0, one);
-        f.push(ib, Inst::Store { addr: jv, value: j1 });
+        f.push(
+            ib,
+            Inst::Store {
+                addr: jv,
+                value: j1,
+            },
+        );
         f.set_term(ib, Terminator::Br(ih));
         let i1 = f.bin(BinOp::Add, i0, one);
-        f.push(oinc, Inst::Store { addr: iv, value: i1 });
+        f.push(
+            oinc,
+            Inst::Store {
+                addr: iv,
+                value: i1,
+            },
+        );
         f.set_term(oinc, Terminator::Br(oh));
         f.set_term(exit, Terminator::Ret(None));
         m.add_function(f);
@@ -733,6 +956,9 @@ mod tests {
         // 1x1 iteration still runs to completion.
         let mut m2 = Module::new();
         m2.add_function(acfg);
-        assert_eq!(run(&m2, "nest", &[1], 100_000).unwrap(), InterpOutcome::Returned(None));
+        assert_eq!(
+            run(&m2, "nest", &[1], 100_000).unwrap(),
+            InterpOutcome::Returned(None)
+        );
     }
 }

@@ -219,7 +219,14 @@ mod tests {
         let zero = f.iconst(0);
         let cond = f.bin(BinOp::Lt, zero, n);
         f.set_term(entry, Terminator::Br(header));
-        f.set_term(header, Terminator::CondBr { cond, then_bb: body, else_bb: exit });
+        f.set_term(
+            header,
+            Terminator::CondBr {
+                cond,
+                then_bb: body,
+                else_bb: exit,
+            },
+        );
         f.push(body, Inst::Fence);
         f.set_term(body, Terminator::Br(header));
         f.set_term(exit, Terminator::Ret(None));
@@ -280,7 +287,14 @@ mod tests {
         let r = f.add_block("r");
         let j = f.add_block("j");
         let c = f.param(0);
-        f.set_term(e, Terminator::CondBr { cond: c, then_bb: l, else_bb: r });
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: c,
+                then_bb: l,
+                else_bb: r,
+            },
+        );
         f.set_term(l, Terminator::Br(j));
         f.set_term(r, Terminator::Br(j));
         f.set_term(j, Terminator::Ret(None));
@@ -301,7 +315,14 @@ mod tests {
         f.set_term(e, Terminator::Br(body));
         f.push(body, Inst::Fence);
         f.set_term(body, Terminator::Br(latch));
-        f.set_term(latch, Terminator::CondBr { cond: n, then_bb: body, else_bb: exit });
+        f.set_term(
+            latch,
+            Terminator::CondBr {
+                cond: n,
+                then_bb: body,
+                else_bb: exit,
+            },
+        );
         f.set_term(exit, Terminator::Ret(None));
         let loops = natural_loops(&f);
         assert_eq!(loops.len(), 1);
@@ -321,8 +342,22 @@ mod tests {
         let exit = f.add_block("exit");
         let c = f.param(0);
         f.set_term(e, Terminator::Br(h));
-        f.set_term(h, Terminator::CondBr { cond: c, then_bb: a, else_bb: exit });
-        f.set_term(a, Terminator::CondBr { cond: c, then_bb: h, else_bb: b });
+        f.set_term(
+            h,
+            Terminator::CondBr {
+                cond: c,
+                then_bb: a,
+                else_bb: exit,
+            },
+        );
+        f.set_term(
+            a,
+            Terminator::CondBr {
+                cond: c,
+                then_bb: h,
+                else_bb: b,
+            },
+        );
         f.set_term(b, Terminator::Br(h));
         f.set_term(exit, Terminator::Ret(None));
         let loops = natural_loops(&f);
@@ -343,7 +378,14 @@ mod tests {
         let r = f.add_block("r");
         let j = f.add_block("j");
         let c = f.param(0);
-        f.set_term(e, Terminator::CondBr { cond: c, then_bb: l, else_bb: r });
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: c,
+                then_bb: l,
+                else_bb: r,
+            },
+        );
         f.set_term(l, Terminator::Br(j));
         f.set_term(r, Terminator::Br(j));
         f.set_term(j, Terminator::Ret(None));

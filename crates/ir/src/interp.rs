@@ -84,7 +84,13 @@ impl<'m> Machine<'m> {
                 memory.insert(base + i64::from(idx), v);
             }
         }
-        Machine { module, memory, next_alloca: ALLOCA_BASE, fuel: 0, trace: None }
+        Machine {
+            module,
+            memory,
+            next_alloca: ALLOCA_BASE,
+            fuel: 0,
+            trace: None,
+        }
     }
 
     /// The base address of a global.
@@ -151,12 +157,12 @@ impl<'m> Machine<'m> {
     }
 
     fn call_inner(&mut self, fname: &str, args: &[i64]) -> Result<InterpOutcome, InterpError> {
-        let func_idx = self
-            .module
-            .functions
-            .iter()
-            .position(|f| f.name == fname)
-            .ok_or_else(|| InterpError::UnknownFunction(fname.to_string()))? as u32;
+        let func_idx =
+            self.module
+                .functions
+                .iter()
+                .position(|f| f.name == fname)
+                .ok_or_else(|| InterpError::UnknownFunction(fname.to_string()))? as u32;
         let f = self.module.functions[func_idx as usize].clone();
         let mut env: HashMap<u32, i64> = HashMap::new();
         let mut bb = f.entry();
@@ -177,7 +183,14 @@ impl<'m> Machine<'m> {
                         let a = self.eval(&f, addr, args, &mut env)?;
                         let v = *self.memory.get(&a).unwrap_or(&0);
                         if let Some(t) = &mut self.trace {
-                            t.push(TraceEvent { func: func_idx, inst: iid, is_store: false, is_branch: false, addr: a, value: v });
+                            t.push(TraceEvent {
+                                func: func_idx,
+                                inst: iid,
+                                is_store: false,
+                                is_branch: false,
+                                addr: a,
+                                value: v,
+                            });
                         }
                         env.insert(iid.0, v);
                     }
@@ -185,11 +198,22 @@ impl<'m> Machine<'m> {
                         let a = self.eval(&f, addr, args, &mut env)?;
                         let v = self.eval(&f, value, args, &mut env)?;
                         if let Some(t) = &mut self.trace {
-                            t.push(TraceEvent { func: func_idx, inst: iid, is_store: true, is_branch: false, addr: a, value: v });
+                            t.push(TraceEvent {
+                                func: func_idx,
+                                inst: iid,
+                                is_store: true,
+                                is_branch: false,
+                                addr: a,
+                                value: v,
+                            });
                         }
                         self.memory.insert(a, v);
                     }
-                    Inst::Call { callee, args: cargs, .. } => {
+                    Inst::Call {
+                        callee,
+                        args: cargs,
+                        ..
+                    } => {
                         let argv: Result<Vec<i64>, _> = cargs
                             .iter()
                             .map(|&a| self.eval(&f, a, args, &mut env))
@@ -211,7 +235,11 @@ impl<'m> Machine<'m> {
             }
             match f.blocks[bb.0 as usize].term.clone() {
                 Terminator::Br(t) => bb = t,
-                Terminator::CondBr { cond, then_bb, else_bb } => {
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = self.eval(&f, cond, args, &mut env)?;
                     if let Some(t) = &mut self.trace {
                         t.push(TraceEvent {
@@ -297,7 +325,13 @@ mod tests {
     #[test]
     fn arithmetic_and_memory_roundtrip() {
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "A".into(), size: 4, is_ptr: false, secret: false, init: vec![] });
+        let g = m.add_global(Global {
+            name: "A".into(),
+            size: 4,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
         let mut f = Function::new("f", &[("x", Ty::Int)]);
         let e = f.entry();
         let base = f.global_addr(g);
@@ -309,13 +343,22 @@ mod tests {
         let sum = f.bin(BinOp::Add, back, x);
         f.set_term(e, Terminator::Ret(Some(sum)));
         m.add_function(f);
-        assert_eq!(run(&m, "f", &[3], 1000).unwrap(), InterpOutcome::Returned(Some(10)));
+        assert_eq!(
+            run(&m, "f", &[3], 1000).unwrap(),
+            InterpOutcome::Returned(Some(10))
+        );
     }
 
     #[test]
     fn globals_are_zero_initialized() {
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "A".into(), size: 2, is_ptr: false, secret: false, init: vec![] });
+        let g = m.add_global(Global {
+            name: "A".into(),
+            size: 2,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
         let mut f = Function::new("f", &[]);
         let e = f.entry();
         let base = f.global_addr(g);
@@ -324,13 +367,22 @@ mod tests {
         let v = f.push(e, Inst::Load { addr, ty: Ty::Int });
         f.set_term(e, Terminator::Ret(Some(v)));
         m.add_function(f);
-        assert_eq!(run(&m, "f", &[], 1000).unwrap(), InterpOutcome::Returned(Some(0)));
+        assert_eq!(
+            run(&m, "f", &[], 1000).unwrap(),
+            InterpOutcome::Returned(Some(0))
+        );
     }
 
     #[test]
     fn set_get_global() {
         let mut m = Module::new();
-        m.add_global(Global { name: "A".into(), size: 2, is_ptr: false, secret: false, init: vec![] });
+        m.add_global(Global {
+            name: "A".into(),
+            size: 2,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
         let mut mach = Machine::new(&m);
         mach.set_global("A", 1, 42);
         assert_eq!(mach.get_global("A", 1), 42);
@@ -342,16 +394,49 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("f", &[]);
         let e = f.entry();
-        let a = f.push(e, Inst::Alloca { name: "a".into(), size: 1 });
-        let b = f.push(e, Inst::Alloca { name: "b".into(), size: 1 });
+        let a = f.push(
+            e,
+            Inst::Alloca {
+                name: "a".into(),
+                size: 1,
+            },
+        );
+        let b = f.push(
+            e,
+            Inst::Alloca {
+                name: "b".into(),
+                size: 1,
+            },
+        );
         let one = f.iconst(1);
         let two = f.iconst(2);
-        f.push(e, Inst::Store { addr: a, value: one });
-        f.push(e, Inst::Store { addr: b, value: two });
-        let va = f.push(e, Inst::Load { addr: a, ty: Ty::Int });
+        f.push(
+            e,
+            Inst::Store {
+                addr: a,
+                value: one,
+            },
+        );
+        f.push(
+            e,
+            Inst::Store {
+                addr: b,
+                value: two,
+            },
+        );
+        let va = f.push(
+            e,
+            Inst::Load {
+                addr: a,
+                ty: Ty::Int,
+            },
+        );
         f.set_term(e, Terminator::Ret(Some(va)));
         m.add_function(f);
-        assert_eq!(run(&m, "f", &[], 1000).unwrap(), InterpOutcome::Returned(Some(1)));
+        assert_eq!(
+            run(&m, "f", &[], 1000).unwrap(),
+            InterpOutcome::Returned(Some(1))
+        );
     }
 
     #[test]
@@ -376,10 +461,20 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("f", &[]);
         let e = f.entry();
-        f.push(e, Inst::Havoc { callee: "ext".into(), ptr_args: vec![], ty: Ty::Int });
+        f.push(
+            e,
+            Inst::Havoc {
+                callee: "ext".into(),
+                ptr_args: vec![],
+                ty: Ty::Int,
+            },
+        );
         f.set_term(e, Terminator::Ret(None));
         m.add_function(f);
-        assert_eq!(run(&m, "f", &[], 100), Err(InterpError::UndefinedCall("ext".into())));
+        assert_eq!(
+            run(&m, "f", &[], 100),
+            Err(InterpError::UndefinedCall("ext".into()))
+        );
     }
 
     #[test]
@@ -402,9 +497,19 @@ mod tests {
         let mut f = Function::new("f", &[]);
         let e = f.entry();
         let five = f.iconst(5);
-        let c = f.push(e, Inst::Call { callee: "id".into(), args: vec![five], ty: Ty::Int });
+        let c = f.push(
+            e,
+            Inst::Call {
+                callee: "id".into(),
+                args: vec![five],
+                ty: Ty::Int,
+            },
+        );
         f.set_term(e, Terminator::Ret(Some(c)));
         m.add_function(f);
-        assert_eq!(run(&m, "f", &[], 1000).unwrap(), InterpOutcome::Returned(Some(5)));
+        assert_eq!(
+            run(&m, "f", &[], 1000).unwrap(),
+            InterpOutcome::Returned(Some(5))
+        );
     }
 }

@@ -29,6 +29,5 @@ mod types;
 pub mod verify;
 
 pub use types::{
-    BinOp, Block, BlockId, Function, Global, GlobalId, Inst, InstId, Module, Terminator, Ty,
-    Value,
+    BinOp, Block, BlockId, Function, Global, GlobalId, Inst, InstId, Module, Terminator, Ty, Value,
 };

@@ -170,7 +170,10 @@ impl Inst {
     /// The operand values of the instruction.
     pub fn operands(&self) -> Vec<Value> {
         match self {
-            Inst::Const(_) | Inst::Param { .. } | Inst::GlobalAddr(_) | Inst::Alloca { .. }
+            Inst::Const(_)
+            | Inst::Param { .. }
+            | Inst::GlobalAddr(_)
+            | Inst::Alloca { .. }
             | Inst::Fence => Vec::new(),
             Inst::Load { addr, .. } => vec![*addr],
             Inst::Store { addr, value } => vec![*addr, *value],
@@ -217,7 +220,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br(b) => vec![*b],
-            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) => Vec::new(),
         }
     }
@@ -254,7 +259,13 @@ pub struct Global {
 impl Global {
     /// A zero-initialized array global.
     pub fn array(name: &str, size: u32) -> Self {
-        Global { name: name.to_string(), size, is_ptr: false, secret: false, init: Vec::new() }
+        Global {
+            name: name.to_string(),
+            size,
+            is_ptr: false,
+            secret: false,
+            init: Vec::new(),
+        }
     }
 
     /// A zero-initialized scalar global.
@@ -279,7 +290,11 @@ impl Global {
     /// Sets initial words from the start of the global.
     #[must_use]
     pub fn with_init(mut self, values: &[i64]) -> Self {
-        self.init = values.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
+        self.init = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
         self
     }
 }
@@ -375,7 +390,11 @@ impl Function {
 
     /// Shorthand for a gep node with scale 1.
     pub fn gep(&mut self, base: Value, index: Value) -> Value {
-        self.value(Inst::Gep { base, index, scale: 1 })
+        self.value(Inst::Gep {
+            base,
+            index,
+            scale: 1,
+        })
     }
 
     /// The instruction behind a value.
@@ -504,17 +523,38 @@ mod tests {
     #[test]
     fn scheduled_vs_pure_classification() {
         assert!(Inst::Fence.is_scheduled());
-        assert!(Inst::Load { addr: InstId(0), ty: Ty::Int }.is_scheduled());
+        assert!(Inst::Load {
+            addr: InstId(0),
+            ty: Ty::Int
+        }
+        .is_scheduled());
         assert!(!Inst::Const(3).is_scheduled());
-        assert!(!Inst::Gep { base: InstId(0), index: InstId(1), scale: 1 }.is_scheduled());
+        assert!(!Inst::Gep {
+            base: InstId(0),
+            index: InstId(1),
+            scale: 1
+        }
+        .is_scheduled());
     }
 
     #[test]
     fn result_types() {
         assert_eq!(Inst::Const(1).result_ty(), Some(Ty::Int));
-        assert_eq!(Inst::Store { addr: InstId(0), value: InstId(1) }.result_ty(), None);
         assert_eq!(
-            Inst::Gep { base: InstId(0), index: InstId(1), scale: 4 }.result_ty(),
+            Inst::Store {
+                addr: InstId(0),
+                value: InstId(1)
+            }
+            .result_ty(),
+            None
+        );
+        assert_eq!(
+            Inst::Gep {
+                base: InstId(0),
+                index: InstId(1),
+                scale: 4
+            }
+            .result_ty(),
             Some(Ty::Ptr)
         );
     }
@@ -522,7 +562,13 @@ mod tests {
     #[test]
     fn function_builder_basics() {
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "A".into(), size: 16, is_ptr: false, secret: false, init: vec![] });
+        let g = m.add_global(Global {
+            name: "A".into(),
+            size: 16,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
         let mut f = Function::new("f", &[("y", Ty::Int)]);
         let bb = f.entry();
         let base = f.global_addr(g);
@@ -547,9 +593,13 @@ mod tests {
         assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
         assert!(Terminator::Ret(None).successors().is_empty());
         assert_eq!(
-            Terminator::CondBr { cond: InstId(0), then_bb: BlockId(1), else_bb: BlockId(2) }
-                .successors()
-                .len(),
+            Terminator::CondBr {
+                cond: InstId(0),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2)
+            }
+            .successors()
+            .len(),
             2
         );
     }

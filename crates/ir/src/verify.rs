@@ -48,14 +48,12 @@ pub fn verify_function(f: &Function) -> Vec<String> {
             }
         }
         match inst {
-            Inst::Load { addr, .. }
-                if addr.0 < n && ptr_ty(*addr) != Some(Ty::Ptr) => {
-                    errs.push(format!("inst %{i}: load from non-pointer %{}", addr.0));
-                }
-            Inst::Store { addr, .. }
-                if addr.0 < n && ptr_ty(*addr) != Some(Ty::Ptr) => {
-                    errs.push(format!("inst %{i}: store to non-pointer %{}", addr.0));
-                }
+            Inst::Load { addr, .. } if addr.0 < n && ptr_ty(*addr) != Some(Ty::Ptr) => {
+                errs.push(format!("inst %{i}: load from non-pointer %{}", addr.0));
+            }
+            Inst::Store { addr, .. } if addr.0 < n && ptr_ty(*addr) != Some(Ty::Ptr) => {
+                errs.push(format!("inst %{i}: store to non-pointer %{}", addr.0));
+            }
             Inst::Gep { base, index, .. } => {
                 if base.0 < n && ptr_ty(*base) != Some(Ty::Ptr) {
                     errs.push(format!("inst %{i}: gep base %{} is not a pointer", base.0));
@@ -64,10 +62,9 @@ pub fn verify_function(f: &Function) -> Vec<String> {
                     errs.push(format!("inst %{i}: gep index %{} has no value", index.0));
                 }
             }
-            Inst::Param { index, .. }
-                if *index >= f.params.len() => {
-                    errs.push(format!("inst %{i}: parameter index {index} out of range"));
-                }
+            Inst::Param { index, .. } if *index >= f.params.len() => {
+                errs.push(format!("inst %{i}: parameter index {index} out of range"));
+            }
             _ => {}
         }
     }
@@ -101,7 +98,13 @@ mod tests {
     #[test]
     fn clean_function_verifies() {
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "A".into(), size: 4, is_ptr: false, secret: false, init: vec![] });
+        let g = m.add_global(Global {
+            name: "A".into(),
+            size: 4,
+            is_ptr: false,
+            secret: false,
+            init: vec![],
+        });
         let mut f = Function::new("f", &[("x", Ty::Int)]);
         let e = f.entry();
         let base = f.global_addr(g);
@@ -120,7 +123,13 @@ mod tests {
         let mut f = Function::new("f", &[("x", Ty::Int)]);
         let e = f.entry();
         let x = f.param(0);
-        f.push(e, Inst::Load { addr: x, ty: Ty::Int });
+        f.push(
+            e,
+            Inst::Load {
+                addr: x,
+                ty: Ty::Int,
+            },
+        );
         f.set_term(e, Terminator::Ret(None));
         let errs = verify_function(&f);
         assert!(errs.iter().any(|e| e.contains("non-pointer")));
@@ -139,7 +148,10 @@ mod tests {
     #[test]
     fn bad_param_index_rejected() {
         let mut f = Function::new("f", &[]);
-        let v = f.value(Inst::Param { index: 3, ty: Ty::Int });
+        let v = f.value(Inst::Param {
+            index: 3,
+            ty: Ty::Int,
+        });
         let _ = v;
         let errs = verify_function(&f);
         assert!(errs.iter().any(|e| e.contains("parameter index")));
@@ -157,7 +169,13 @@ mod tests {
     fn out_of_range_operand_rejected() {
         let mut f = Function::new("f", &[]);
         let e = f.entry();
-        f.push(e, Inst::Load { addr: InstId(99), ty: Ty::Int });
+        f.push(
+            e,
+            Inst::Load {
+                addr: InstId(99),
+                ty: Ty::Int,
+            },
+        );
         f.set_term(e, Terminator::Ret(None));
         let errs = verify_function(&f);
         assert!(errs.iter().any(|e| e.contains("out of range")));

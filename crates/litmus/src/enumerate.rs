@@ -98,11 +98,7 @@ impl Litmus {
         self.len() == 0
     }
 
-    fn build_with(
-        &self,
-        rf_choice: &[Option<usize>],
-        co_orders: &[Vec<usize>],
-    ) -> Execution {
+    fn build_with(&self, rf_choice: &[Option<usize>], co_orders: &[Vec<usize>]) -> Execution {
         // rf_choice[i]: for read #i, the index of the write op (global op
         // numbering) it reads from, or None for ⊤. co_orders: per
         // location (sorted by name), a total order of write op indices.
@@ -192,10 +188,8 @@ impl Litmus {
             })
             .collect();
         // co orders per location: all permutations of its writes.
-        let co_candidates: Vec<Vec<Vec<usize>>> = locs
-            .iter()
-            .map(|l| permutations(&writes_to(l)))
-            .collect();
+        let co_candidates: Vec<Vec<Vec<usize>>> =
+            locs.iter().map(|l| permutations(&writes_to(l))).collect();
 
         let mut out = Vec::new();
         for rf in product(&rf_candidates) {
@@ -267,10 +261,8 @@ pub fn microarch_witnesses(
                 .collect::<Vec<_>>()
         })
         .collect();
-    let cox_orders: Vec<Vec<Vec<EventId>>> = cox_groups
-        .iter()
-        .map(|ws| permutations_e(ws))
-        .collect();
+    let cox_orders: Vec<Vec<Vec<EventId>>> =
+        cox_groups.iter().map(|ws| permutations_e(ws)).collect();
 
     let mut out = Vec::new();
     for rfx in product_e(&rfx_cands) {
@@ -473,10 +465,7 @@ mod tests {
     fn coherence_two_writes_one_reader() {
         // W x; W x || R x: co has 2 orders, read has 3 sources = 6
         // structurally, coherence (sc_per_loc) prunes.
-        let l = Litmus::new(vec![
-            vec![Op::w("x"), Op::w("x")],
-            vec![Op::r("x")],
-        ]);
+        let l = Litmus::new(vec![vec![Op::w("x"), Op::w("x")], vec![Op::r("x")]]);
         let all = l.candidate_executions();
         assert_eq!(all.len(), 6);
         let tso = l.consistent_executions(&Tso);
@@ -514,7 +503,10 @@ mod tests {
             .filter(|x| !noninterference::interference_free(x))
             .collect();
         assert!(!clean.is_empty(), "the implied witness is enumerated");
-        assert!(!leaky.is_empty(), "deviating witnesses exist and are detected");
+        assert!(
+            !leaky.is_empty(),
+            "deviating witnesses exist and are detected"
+        );
     }
 
     #[test]
@@ -562,10 +554,7 @@ mod tests {
     /// opposite orders (read-read coherence), enforced by sc_per_loc.
     #[test]
     fn corr_coherence_enforced() {
-        let l = Litmus::new(vec![
-            vec![Op::w("x")],
-            vec![Op::r("x"), Op::r("x")],
-        ]);
+        let l = Litmus::new(vec![vec![Op::w("x")], vec![Op::r("x"), Op::r("x")]]);
         for x in l.consistent_executions(&Tso) {
             // If the first read sees the new value, the second must too.
             let reads: Vec<_> = x
@@ -578,7 +567,10 @@ mod tests {
                 x.event(lcm_core::EventId(src)).kind() != lcm_core::EventKind::Init
             };
             if sees_new(reads[0]) {
-                assert!(sees_new(reads[1]), "new-then-old read order violates coherence");
+                assert!(
+                    sees_new(reads[1]),
+                    "new-then-old read order violates coherence"
+                );
             }
         }
     }
@@ -667,7 +659,10 @@ mod tests {
         let template = make(&[], &[]);
         let cmp = compare_models(&template, &SilentStoreLcm, &X86Lcm, &make);
         assert!(cmp.first_is_weaker(), "{cmp:?}");
-        assert!(cmp.leaky_only_first > 0, "silent stores add leaky behaviour: {cmp:?}");
+        assert!(
+            cmp.leaky_only_first > 0,
+            "silent stores add leaky behaviour: {cmp:?}"
+        );
         assert_eq!(cmp.both, 0, "x86 permits no silent-store witness");
     }
 

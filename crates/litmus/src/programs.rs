@@ -68,7 +68,17 @@ pub fn spectre_v1() -> (Execution, SpectreV1) {
     let xs = b.xstate_of(e6s).unwrap();
     b.set_xstate(o3, xs);
     b.rfx(e6s, o3);
-    (b.build(), SpectreV1 { e2, e5, e6, e5s, e6s, obs: [o0, o1, o2, o3] })
+    (
+        b.build(),
+        SpectreV1 {
+            e2,
+            e5,
+            e6,
+            e5s,
+            e6s,
+            obs: [o0, o1, o2, o3],
+        },
+    )
 }
 
 /// Named events of the Fig. 3 variant.
@@ -150,7 +160,17 @@ pub fn spectre_v4() -> (Execution, SpectreV4) {
     b.tfo_chain(&[e6s, obs_a, obs]);
     b.rfx(e5s, obs_a);
     b.rfx(e6s, obs);
-    (b.build(), SpectreV4 { e2, e3, e4s, e5s, e6s, obs })
+    (
+        b.build(),
+        SpectreV4 {
+            e2,
+            e3,
+            e4s,
+            e5s,
+            e6s,
+            obs,
+        },
+    )
 }
 
 /// Named events of the Spectre-PSF execution (Fig. 4b).
@@ -193,7 +213,16 @@ pub fn spectre_psf() -> (Execution, SpectrePsf) {
     let obs = b.observe("B+r4");
     b.tfo(e5s, obs);
     b.rfx(e5s, obs);
-    (b.build(), SpectrePsf { e2, e3s, e4s, e5s, obs })
+    (
+        b.build(),
+        SpectrePsf {
+            e2,
+            e3s,
+            e4s,
+            e5s,
+            obs,
+        },
+    )
 }
 
 /// Named events of the silent-store execution (Fig. 5a).
@@ -269,7 +298,11 @@ mod tests {
     use lcm_core::{detect_leakage, Transmitter};
 
     fn classes_of(ts: &[Transmitter], e: EventId) -> Vec<TransmitterClass> {
-        let mut v: Vec<_> = ts.iter().filter(|t| t.event == e).map(|t| t.class).collect();
+        let mut v: Vec<_> = ts
+            .iter()
+            .filter(|t| t.event == e)
+            .map(|t| t.class)
+            .collect();
         v.sort();
         v.dedup();
         v
@@ -286,10 +319,10 @@ mod tests {
         // UDTs with accesses 5/5s. 6s is the *true* universal transmitter.
         assert!(classes_of(&report.transmitters, ids.e2).contains(&TransmitterClass::Address));
         assert!(classes_of(&report.transmitters, ids.e5).contains(&TransmitterClass::Data));
-        assert!(classes_of(&report.transmitters, ids.e6)
-            .contains(&TransmitterClass::UniversalData));
-        assert!(classes_of(&report.transmitters, ids.e6s)
-            .contains(&TransmitterClass::UniversalData));
+        assert!(classes_of(&report.transmitters, ids.e6).contains(&TransmitterClass::UniversalData));
+        assert!(
+            classes_of(&report.transmitters, ids.e6s).contains(&TransmitterClass::UniversalData)
+        );
         let t6s = report
             .transmitters
             .iter()
@@ -312,7 +345,10 @@ mod tests {
             .expect("6s classified UDT");
         assert!(udt.transient);
         assert_eq!(udt.access, Some(ids.e5));
-        assert!(!udt.access_transient, "Fig. 3: the access instruction commits");
+        assert!(
+            !udt.access_transient,
+            "Fig. 3: the access instruction commits"
+        );
     }
 
     #[test]
@@ -357,8 +393,9 @@ mod tests {
         );
         assert!(PsfLcm.check(&x).is_ok());
         let report = detect_leakage(&x);
-        assert!(classes_of(&report.transmitters, ids.e5s)
-            .contains(&TransmitterClass::UniversalData));
+        assert!(
+            classes_of(&report.transmitters, ids.e5s).contains(&TransmitterClass::UniversalData)
+        );
     }
 
     #[test]
@@ -374,7 +411,11 @@ mod tests {
             .iter()
             .find(|t| t.event == ids.w2)
             .expect("silent store is the transmitter");
-        assert_eq!(t.field, TransmittedField::Data, "it transmits the data field");
+        assert_eq!(
+            t.field,
+            TransmittedField::Data,
+            "it transmits the data field"
+        );
     }
 
     #[test]
@@ -383,7 +424,10 @@ mod tests {
         assert!(x.well_formed().is_ok());
         let report = detect_leakage(&x);
         let classes = classes_of(&report.transmitters, ids.p3);
-        assert!(classes.contains(&TransmitterClass::UniversalData), "{classes:?}");
+        assert!(
+            classes.contains(&TransmitterClass::UniversalData),
+            "{classes:?}"
+        );
         // Prefetches never participate architecturally.
         assert!(x.rf().predecessors(ids.p3.0).next().is_none());
         assert!(x.po().successors(ids.p1.0).next().is_none());

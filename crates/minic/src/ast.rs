@@ -14,7 +14,11 @@ pub struct TypeSpec {
 impl TypeSpec {
     /// A plain word-sized value type.
     pub fn word() -> Self {
-        TypeSpec { is_void: false, ptr_depth: 0, is_register: false }
+        TypeSpec {
+            is_void: false,
+            ptr_depth: 0,
+            is_register: false,
+        }
     }
 
     /// `true` if the type is a pointer.

@@ -33,7 +33,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character {:?} on line {}",
+            self.ch, self.line
+        )
     }
 }
 
@@ -41,8 +45,8 @@ impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "&&", "||", "<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "->", "++", "--", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<",
-    ">", "=", "(", ")", "[", "]", "{", "}", ";", ",", "?", ":", ".",
+    "&=", "|=", "^=", "->", "++", "--", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    "=", "(", ")", "[", "]", "{", "}", ";", ",", "?", ":", ".",
 ];
 
 /// Tokenizes mini-C source. Line (`//`) and block (`/* */`) comments and
@@ -101,7 +105,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 1;
             }
             let word: String = bytes[start..i].iter().collect();
-            out.push(Token { kind: TokenKind::Ident(word), line });
+            out.push(Token {
+                kind: TokenKind::Ident(word),
+                line,
+            });
             continue;
         }
         // Numbers (decimal / hex).
@@ -114,14 +121,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text: String = bytes[start + 2..i].iter().collect();
                 let v = i64::from_str_radix(&text, 16).unwrap_or(0);
-                out.push(Token { kind: TokenKind::Int(v), line });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
             } else {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
                 let v: i64 = text.parse().unwrap_or(0);
-                out.push(Token { kind: TokenKind::Int(v), line });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
             }
             // Skip integer suffixes (u, U, l, L combinations).
             while i < bytes.len() && matches!(bytes[i], 'u' | 'U' | 'l' | 'L') {
@@ -131,14 +144,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
         // Character literals lex to their code point.
         if c == '\'' && i + 2 < bytes.len() && bytes[i + 2] == '\'' {
-            out.push(Token { kind: TokenKind::Int(bytes[i + 1] as i64), line });
+            out.push(Token {
+                kind: TokenKind::Int(bytes[i + 1] as i64),
+                line,
+            });
             i += 3;
             continue;
         }
         // Punctuation, longest match first.
         let rest: String = bytes[i..bytes.len().min(i + 3)].iter().collect();
         if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
-            out.push(Token { kind: TokenKind::Punct(p), line });
+            out.push(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
             i += p.len();
             continue;
         }
@@ -189,7 +208,10 @@ mod tests {
 
     #[test]
     fn hex_and_suffixes() {
-        assert_eq!(kinds("0xff 10UL"), vec![TokenKind::Int(255), TokenKind::Int(10)]);
+        assert_eq!(
+            kinds("0xff 10UL"),
+            vec![TokenKind::Int(255), TokenKind::Int(10)]
+        );
     }
 
     #[test]

@@ -179,7 +179,8 @@ mod tests {
 
     #[test]
     fn calls_between_functions() {
-        let src = "int add(int a, int b) { return a + b; } int f(int x) { return add(x, add(x, 1)); }";
+        let src =
+            "int add(int a, int b) { return a + b; } int f(int x) { return add(x, add(x, 1)); }";
         assert_eq!(run_fn(src, "f", &[10]), Some(21));
     }
 
@@ -235,7 +236,9 @@ mod tests {
         let m = compile("int f(register int x) { return x + x; }").unwrap();
         let f = m.function("f").unwrap();
         assert!(
-            !f.insts.iter().any(|i| matches!(i, lcm_ir::Inst::Store { .. })),
+            !f.insts
+                .iter()
+                .any(|i| matches!(i, lcm_ir::Inst::Store { .. })),
             "register parameter must not be spilled"
         );
     }
@@ -268,7 +271,10 @@ mod tests {
 
     #[test]
     fn syntax_error_reported() {
-        assert!(matches!(compile("int f( {").unwrap_err(), CompileError::Parse(_)));
+        assert!(matches!(
+            compile("int f( {").unwrap_err(),
+            CompileError::Parse(_)
+        ));
     }
 
     #[test]
@@ -318,8 +324,13 @@ mod tests {
 
     #[test]
     fn do_while_executes_at_least_once() {
-        let src = "int f(int n) { int s = 0; int i = 0; do { s += 10; i++; } while (i < n); return s; }";
-        assert_eq!(run_fn(src, "f", &[0]), Some(10), "body runs once even when cond is false");
+        let src =
+            "int f(int n) { int s = 0; int i = 0; do { s += 10; i++; } while (i < n); return s; }";
+        assert_eq!(
+            run_fn(src, "f", &[0]),
+            Some(10),
+            "body runs once even when cond is false"
+        );
         assert_eq!(run_fn(src, "f", &[2]), Some(20));
     }
 

@@ -21,14 +21,30 @@ pub fn lower(prog: &Program) -> Result<Module, String> {
     let mut module = Module::new();
     let mut globals: HashMap<String, (GlobalId, GlobalInfo)> = HashMap::new();
     for g in &prog.globals {
-        let secret = g.name.starts_with("sec") || g.name.contains("secret") || g.name.contains("key");
+        let secret =
+            g.name.starts_with("sec") || g.name.contains("secret") || g.name.contains("key");
         let mut global = Global::array(&g.name, g.size.max(1));
         global.is_ptr = g.ty.is_ptr();
         global.secret = secret;
-        global.init = g.init.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
+        global.init = g
+            .init
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
         let gid = module.add_global(global);
         let depth = g.ty.ptr_depth + usize::from(g.size > 1);
-        globals.insert(g.name.clone(), (gid, GlobalInfo { depth, is_array: g.size > 1, size: g.size }));
+        globals.insert(
+            g.name.clone(),
+            (
+                gid,
+                GlobalInfo {
+                    depth,
+                    is_array: g.size > 1,
+                    size: g.size,
+                },
+            ),
+        );
     }
     // Function signatures (return pointer depth), for call result typing.
     let sigs: HashMap<String, usize> = prog
@@ -55,7 +71,12 @@ struct GlobalInfo {
 #[derive(Debug, Clone)]
 enum Slot {
     /// A stack slot; the identifier's value has the given pointer depth.
-    Stack { addr: Value, depth: usize, is_array: bool, size: u32 },
+    Stack {
+        addr: Value,
+        depth: usize,
+        is_array: bool,
+        size: u32,
+    },
     /// A `register` variable: tracked as a plain value (no memory).
     Reg { value: Value, depth: usize },
 }
@@ -92,7 +113,15 @@ impl<'a> FuncLowerer<'a> {
             .collect();
         let f = Function::new(&fd.name, &params);
         let bb = f.entry();
-        FuncLowerer { fd, globals, sigs, f, bb, scopes: vec![HashMap::new()], loop_stack: Vec::new() }
+        FuncLowerer {
+            fd,
+            globals,
+            sigs,
+            f,
+            bb,
+            scopes: vec![HashMap::new()],
+            loop_stack: Vec::new(),
+        }
     }
 
     fn lower(mut self) -> Result<Function, String> {
@@ -101,16 +130,36 @@ impl<'a> FuncLowerer<'a> {
         for (i, (ty, name)) in self.fd.params.iter().enumerate() {
             let pv = self.f.param(i);
             if ty.is_register {
-                self.declare(name, Slot::Reg { value: pv, depth: ty.ptr_depth });
+                self.declare(
+                    name,
+                    Slot::Reg {
+                        value: pv,
+                        depth: ty.ptr_depth,
+                    },
+                );
             } else {
                 let slot = self.f.push(
                     self.bb,
-                    Inst::Alloca { name: format!("{name}.addr"), size: 1 },
+                    Inst::Alloca {
+                        name: format!("{name}.addr"),
+                        size: 1,
+                    },
                 );
-                self.f.push(self.bb, Inst::Store { addr: slot, value: pv });
+                self.f.push(
+                    self.bb,
+                    Inst::Store {
+                        addr: slot,
+                        value: pv,
+                    },
+                );
                 self.declare(
                     name,
-                    Slot::Stack { addr: slot, depth: ty.ptr_depth, is_array: false, size: 1 },
+                    Slot::Stack {
+                        addr: slot,
+                        depth: ty.ptr_depth,
+                        is_array: false,
+                        size: 1,
+                    },
                 );
             }
         }
@@ -122,7 +171,10 @@ impl<'a> FuncLowerer<'a> {
     }
 
     fn declare(&mut self, name: &str, slot: Slot) {
-        self.scopes.last_mut().unwrap().insert(name.to_string(), slot);
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), slot);
     }
 
     fn lookup(&self, name: &str) -> Option<Slot> {
@@ -155,17 +207,32 @@ impl<'a> FuncLowerer<'a> {
                         Some(e) => self.rvalue(e)?.0,
                         None => self.f.iconst(0),
                     };
-                    self.declare(name, Slot::Reg { value: init_v, depth: ty.ptr_depth });
+                    self.declare(
+                        name,
+                        Slot::Reg {
+                            value: init_v,
+                            depth: ty.ptr_depth,
+                        },
+                    );
                     return Ok(());
                 }
                 let n = size.unwrap_or(1).max(1);
-                let addr = self
-                    .f
-                    .push(self.bb, Inst::Alloca { name: name.clone(), size: n });
+                let addr = self.f.push(
+                    self.bb,
+                    Inst::Alloca {
+                        name: name.clone(),
+                        size: n,
+                    },
+                );
                 let depth = ty.ptr_depth + usize::from(size.is_some());
                 self.declare(
                     name,
-                    Slot::Stack { addr, depth, is_array: size.is_some(), size: n },
+                    Slot::Stack {
+                        addr,
+                        depth,
+                        is_array: size.is_some(),
+                        size: n,
+                    },
                 );
                 if let Some(e) = init {
                     let (v, _) = self.rvalue(e)?;
@@ -196,7 +263,14 @@ impl<'a> FuncLowerer<'a> {
                 let then_b = self.f.add_block("if.then");
                 let else_b = self.f.add_block("if.else");
                 let join = self.f.add_block("if.join");
-                self.f.set_term(self.bb, Terminator::CondBr { cond: c, then_bb: then_b, else_bb: else_b });
+                self.f.set_term(
+                    self.bb,
+                    Terminator::CondBr {
+                        cond: c,
+                        then_bb: then_b,
+                        else_bb: else_b,
+                    },
+                );
                 self.bb = then_b;
                 self.scopes.push(HashMap::new());
                 self.lower_stmts(then_s)?;
@@ -217,7 +291,14 @@ impl<'a> FuncLowerer<'a> {
                 self.f.set_term(self.bb, Terminator::Br(header));
                 self.bb = header;
                 let (c, _) = self.rvalue(cond)?;
-                self.f.set_term(self.bb, Terminator::CondBr { cond: c, then_bb: body_b, else_bb: exit });
+                self.f.set_term(
+                    self.bb,
+                    Terminator::CondBr {
+                        cond: c,
+                        then_bb: body_b,
+                        else_bb: exit,
+                    },
+                );
                 self.bb = body_b;
                 self.scopes.push(HashMap::new());
                 self.loop_stack.push((header, exit));
@@ -243,7 +324,14 @@ impl<'a> FuncLowerer<'a> {
                 self.f.set_term(self.bb, Terminator::Br(latch));
                 self.bb = latch;
                 let (c, _) = self.rvalue(cond)?;
-                self.f.set_term(self.bb, Terminator::CondBr { cond: c, then_bb: body_b, else_bb: exit });
+                self.f.set_term(
+                    self.bb,
+                    Terminator::CondBr {
+                        cond: c,
+                        then_bb: body_b,
+                        else_bb: exit,
+                    },
+                );
                 self.bb = exit;
                 Ok(())
             }
@@ -286,14 +374,23 @@ impl<'a> FuncLowerer<'a> {
             Expr::Ident(name) => {
                 match self.lookup(name) {
                     Some(Slot::Reg { value, depth }) => Ok((value, depth)),
-                    Some(Slot::Stack { addr, depth, is_array, .. }) => {
+                    Some(Slot::Stack {
+                        addr,
+                        depth,
+                        is_array,
+                        ..
+                    }) => {
                         if is_array {
                             // Arrays decay to their base address (no load).
                             Ok((addr, depth))
                         } else {
-                            let v = self
-                                .f
-                                .push(self.bb, Inst::Load { addr, ty: ty_of(depth) });
+                            let v = self.f.push(
+                                self.bb,
+                                Inst::Load {
+                                    addr,
+                                    ty: ty_of(depth),
+                                },
+                            );
                             Ok((v, depth))
                         }
                     }
@@ -303,9 +400,13 @@ impl<'a> FuncLowerer<'a> {
                             if info.is_array {
                                 Ok((base, info.depth))
                             } else {
-                                let v = self
-                                    .f
-                                    .push(self.bb, Inst::Load { addr: base, ty: ty_of(info.depth) });
+                                let v = self.f.push(
+                                    self.bb,
+                                    Inst::Load {
+                                        addr: base,
+                                        ty: ty_of(info.depth),
+                                    },
+                                );
                                 Ok((v, info.depth))
                             }
                         }
@@ -333,17 +434,25 @@ impl<'a> FuncLowerer<'a> {
                 if depth == 0 {
                     return Err("dereference of non-pointer".to_string());
                 }
-                let v = self
-                    .f
-                    .push(self.bb, Inst::Load { addr: p, ty: ty_of(depth - 1) });
+                let v = self.f.push(
+                    self.bb,
+                    Inst::Load {
+                        addr: p,
+                        ty: ty_of(depth - 1),
+                    },
+                );
                 Ok((v, depth - 1))
             }
             Expr::Un(UnAst::AddrOf, inner) => self.lvalue(inner),
             Expr::Index(base, idx) => {
                 let (addr, depth) = self.index_addr(base, idx)?;
-                let v = self
-                    .f
-                    .push(self.bb, Inst::Load { addr, ty: ty_of(depth) });
+                let v = self.f.push(
+                    self.bb,
+                    Inst::Load {
+                        addr,
+                        ty: ty_of(depth),
+                    },
+                );
                 Ok((v, depth))
             }
             Expr::Call(name, args) => {
@@ -358,7 +467,11 @@ impl<'a> FuncLowerer<'a> {
                 let ret_depth = self.sigs.get(name).copied().unwrap_or(0);
                 let v = self.f.push(
                     self.bb,
-                    Inst::Call { callee: name.clone(), args: avs, ty: ty_of(ret_depth) },
+                    Inst::Call {
+                        callee: name.clone(),
+                        args: avs,
+                        ty: ty_of(ret_depth),
+                    },
                 );
                 Ok((v, ret_depth))
             }
@@ -397,24 +510,53 @@ impl<'a> FuncLowerer<'a> {
                 Ok((self.f.bin(irop, va, vb), 0))
             }
             Expr::Ternary(c, a, b) => {
-                let slot = self
-                    .f
-                    .push(self.bb, Inst::Alloca { name: "ternary".into(), size: 1 });
+                let slot = self.f.push(
+                    self.bb,
+                    Inst::Alloca {
+                        name: "ternary".into(),
+                        size: 1,
+                    },
+                );
                 let (cv, _) = self.rvalue(c)?;
                 let then_b = self.f.add_block("tern.then");
                 let else_b = self.f.add_block("tern.else");
                 let join = self.f.add_block("tern.join");
-                self.f.set_term(self.bb, Terminator::CondBr { cond: cv, then_bb: then_b, else_bb: else_b });
+                self.f.set_term(
+                    self.bb,
+                    Terminator::CondBr {
+                        cond: cv,
+                        then_bb: then_b,
+                        else_bb: else_b,
+                    },
+                );
                 self.bb = then_b;
                 let (va, da) = self.rvalue(a)?;
-                self.f.push(self.bb, Inst::Store { addr: slot, value: va });
+                self.f.push(
+                    self.bb,
+                    Inst::Store {
+                        addr: slot,
+                        value: va,
+                    },
+                );
                 self.f.set_term(self.bb, Terminator::Br(join));
                 self.bb = else_b;
                 let (vb, _) = self.rvalue(b)?;
-                self.f.push(self.bb, Inst::Store { addr: slot, value: vb });
+                self.f.push(
+                    self.bb,
+                    Inst::Store {
+                        addr: slot,
+                        value: vb,
+                    },
+                );
                 self.f.set_term(self.bb, Terminator::Br(join));
                 self.bb = join;
-                let v = self.f.push(self.bb, Inst::Load { addr: slot, ty: ty_of(da) });
+                let v = self.f.push(
+                    self.bb,
+                    Inst::Load {
+                        addr: slot,
+                        ty: ty_of(da),
+                    },
+                );
                 Ok((v, da))
             }
             Expr::Assign(lhs, rhs) => {
@@ -459,7 +601,12 @@ impl<'a> FuncLowerer<'a> {
     fn lvalue(&mut self, e: &Expr) -> Result<(Value, usize), String> {
         match e {
             Expr::Ident(name) => match self.lookup(name) {
-                Some(Slot::Stack { addr, depth, is_array, .. }) => {
+                Some(Slot::Stack {
+                    addr,
+                    depth,
+                    is_array,
+                    ..
+                }) => {
                     if is_array {
                         Ok((addr, depth))
                     } else {
@@ -496,28 +643,69 @@ impl<'a> FuncLowerer<'a> {
 
     /// Short-circuit `&&` (and=true) / `||` (and=false) via control flow
     /// and a result slot, matching `clang -O0` structure.
-    fn short_circuit(&mut self, a: &Expr, b: &Expr, is_and: bool) -> Result<(Value, usize), String> {
-        let slot = self
-            .f
-            .push(self.bb, Inst::Alloca { name: if is_and { "and" } else { "or" }.into(), size: 1 });
+    fn short_circuit(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        is_and: bool,
+    ) -> Result<(Value, usize), String> {
+        let slot = self.f.push(
+            self.bb,
+            Inst::Alloca {
+                name: if is_and { "and" } else { "or" }.into(),
+                size: 1,
+            },
+        );
         let init = self.f.iconst(i64::from(!is_and));
-        self.f.push(self.bb, Inst::Store { addr: slot, value: init });
+        self.f.push(
+            self.bb,
+            Inst::Store {
+                addr: slot,
+                value: init,
+            },
+        );
         let (va, _) = self.rvalue(a)?;
         let eval_b = self.f.add_block("sc.rhs");
         let join = self.f.add_block("sc.join");
         if is_and {
-            self.f.set_term(self.bb, Terminator::CondBr { cond: va, then_bb: eval_b, else_bb: join });
+            self.f.set_term(
+                self.bb,
+                Terminator::CondBr {
+                    cond: va,
+                    then_bb: eval_b,
+                    else_bb: join,
+                },
+            );
         } else {
-            self.f.set_term(self.bb, Terminator::CondBr { cond: va, then_bb: join, else_bb: eval_b });
+            self.f.set_term(
+                self.bb,
+                Terminator::CondBr {
+                    cond: va,
+                    then_bb: join,
+                    else_bb: eval_b,
+                },
+            );
         }
         self.bb = eval_b;
         let (vb, _) = self.rvalue(b)?;
         let zero = self.f.iconst(0);
         let norm = self.f.bin(BinOp::Ne, vb, zero);
-        self.f.push(self.bb, Inst::Store { addr: slot, value: norm });
+        self.f.push(
+            self.bb,
+            Inst::Store {
+                addr: slot,
+                value: norm,
+            },
+        );
         self.f.set_term(self.bb, Terminator::Br(join));
         self.bb = join;
-        let v = self.f.push(self.bb, Inst::Load { addr: slot, ty: Ty::Int });
+        let v = self.f.push(
+            self.bb,
+            Inst::Load {
+                addr: slot,
+                ty: Ty::Int,
+            },
+        );
         Ok((v, 0))
     }
 }

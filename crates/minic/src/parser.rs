@@ -23,11 +23,29 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 const TYPE_WORDS: &[&str] = &[
-    "int", "char", "void", "long", "short", "unsigned", "signed", "uint8_t", "uint16_t",
-    "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t", "size_t", "ssize_t",
-    "bool", "uintptr_t",
+    "int",
+    "char",
+    "void",
+    "long",
+    "short",
+    "unsigned",
+    "signed",
+    "uint8_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+    "int8_t",
+    "int16_t",
+    "int32_t",
+    "int64_t",
+    "size_t",
+    "ssize_t",
+    "bool",
+    "uintptr_t",
 ];
-const QUALIFIERS: &[&str] = &["const", "volatile", "static", "register", "extern", "inline"];
+const QUALIFIERS: &[&str] = &[
+    "const", "volatile", "static", "register", "extern", "inline",
+];
 
 struct Parser<'t> {
     toks: &'t [Token],
@@ -40,7 +58,10 @@ struct Parser<'t> {
 ///
 /// Returns a [`ParseError`] describing the first syntax problem.
 pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     let mut prog = Program::default();
     while !p.at_end() {
         p.parse_top(&mut prog)?;
@@ -58,7 +79,10 @@ impl<'t> Parser<'t> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), line: self.line() })
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn peek_punct(&self, p: &str) -> bool {
@@ -67,7 +91,10 @@ impl<'t> Parser<'t> {
 
     fn peek_ident(&self) -> Option<&str> {
         match self.toks.get(self.pos) {
-            Some(Token { kind: TokenKind::Ident(s), .. }) => Some(s),
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Some(s),
             _ => None,
         }
     }
@@ -100,7 +127,10 @@ impl<'t> Parser<'t> {
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.toks.get(self.pos) {
-            Some(Token { kind: TokenKind::Ident(s), .. }) => {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)
@@ -111,7 +141,10 @@ impl<'t> Parser<'t> {
 
     fn expect_int(&mut self) -> Result<i64, ParseError> {
         match self.toks.get(self.pos) {
-            Some(Token { kind: TokenKind::Int(v), .. }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => {
                 let v = *v;
                 self.pos += 1;
                 Ok(v)
@@ -155,7 +188,11 @@ impl<'t> Parser<'t> {
         if ptr_depth > 0 {
             is_void = false; // void* is a pointer
         }
-        Some(TypeSpec { is_void, ptr_depth, is_register })
+        Some(TypeSpec {
+            is_void,
+            ptr_depth,
+            is_register,
+        })
     }
 
     fn parse_top(&mut self, prog: &mut Program) -> Result<(), ParseError> {
@@ -197,14 +234,22 @@ impl<'t> Parser<'t> {
                     init.push(self.parse_const_int()?);
                 }
             }
-            prog.globals.push(GlobalDecl { ty: ty.clone(), name, size, init });
+            prog.globals.push(GlobalDecl {
+                ty: ty.clone(),
+                name,
+                size,
+                init,
+            });
             if self.eat_punct(",") {
                 // subsequent declarators share the base type
                 let mut depth = 0;
                 while self.eat_punct("*") {
                     depth += 1;
                 }
-                ty = TypeSpec { ptr_depth: depth, ..ty.clone() };
+                ty = TypeSpec {
+                    ptr_depth: depth,
+                    ..ty.clone()
+                };
                 name = self.expect_ident()?;
                 continue;
             }
@@ -227,18 +272,19 @@ impl<'t> Parser<'t> {
                 // f(void)
             } else {
                 loop {
-                    let ty = self
-                        .try_type()
-                        .ok_or_else(|| ParseError {
-                            message: "expected parameter type".into(),
-                            line: self.line(),
-                        })?;
+                    let ty = self.try_type().ok_or_else(|| ParseError {
+                        message: "expected parameter type".into(),
+                        line: self.line(),
+                    })?;
                     let pname = self.expect_ident()?;
                     // array parameter decays to pointer
                     let ty = if self.eat_punct("[") {
                         let _ = self.expect_int();
                         self.expect_punct("]")?;
-                        TypeSpec { ptr_depth: ty.ptr_depth + 1, ..ty }
+                        TypeSpec {
+                            ptr_depth: ty.ptr_depth + 1,
+                            ..ty
+                        }
                     } else {
                         ty
                     };
@@ -252,7 +298,12 @@ impl<'t> Parser<'t> {
         self.expect_punct(")")?;
         self.expect_punct("{")?;
         let body = self.parse_block_body()?;
-        Ok(FuncDef { ret, name, params, body })
+        Ok(FuncDef {
+            ret,
+            name,
+            params,
+            body,
+        })
     }
 
     fn parse_block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -312,9 +363,17 @@ impl<'t> Parser<'t> {
                 Some(self.parse_simple_stmt()?)
             };
             self.expect_punct(";")?;
-            let cond = if self.peek_punct(";") { Expr::Int(1) } else { self.parse_expr()? };
+            let cond = if self.peek_punct(";") {
+                Expr::Int(1)
+            } else {
+                self.parse_expr()?
+            };
             self.expect_punct(";")?;
-            let step = if self.peek_punct(")") { None } else { Some(self.parse_expr()?) };
+            let step = if self.peek_punct(")") {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
             self.expect_punct(")")?;
             let mut body = vec![self.parse_stmt()?];
             if let Some(s) = step {
@@ -357,7 +416,11 @@ impl<'t> Parser<'t> {
                 size = Some(self.expect_int()? as u32);
                 self.expect_punct("]")?;
             }
-            let init = if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
+            let init = if self.eat_punct("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
             return Ok(Stmt::Decl(ty, name, size, init));
         }
         // lfence intrinsic.
@@ -590,7 +653,11 @@ impl<'t> Parser<'t> {
             self.expect_punct(")")?;
             return Ok(e);
         }
-        if let Some(Token { kind: TokenKind::Int(v), .. }) = self.toks.get(self.pos) {
+        if let Some(Token {
+            kind: TokenKind::Int(v),
+            ..
+        }) = self.toks.get(self.pos)
+        {
             let v = *v;
             self.pos += 1;
             return Ok(Expr::Int(v));

@@ -23,12 +23,20 @@ pub struct EdgeStyle {
 impl EdgeStyle {
     /// A solid edge with the given label and color.
     pub fn solid(label: &str, color: &str) -> Self {
-        EdgeStyle { label: label.to_string(), color: color.to_string(), dashed: false }
+        EdgeStyle {
+            label: label.to_string(),
+            color: color.to_string(),
+            dashed: false,
+        }
     }
 
     /// A dashed edge with the given label and color.
     pub fn dashed(label: &str, color: &str) -> Self {
-        EdgeStyle { label: label.to_string(), color: color.to_string(), dashed: true }
+        EdgeStyle {
+            label: label.to_string(),
+            color: color.to_string(),
+            dashed: true,
+        }
     }
 }
 
@@ -55,7 +63,11 @@ pub struct DotGraph {
 impl DotGraph {
     /// Creates a graph with one node per label.
     pub fn new(name: &str, node_labels: Vec<String>) -> Self {
-        DotGraph { name: name.to_string(), node_labels, layers: Vec::new() }
+        DotGraph {
+            name: name.to_string(),
+            node_labels,
+            layers: Vec::new(),
+        }
     }
 
     /// Adds a relation layer rendered with `style`.
@@ -77,7 +89,10 @@ impl DotGraph {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{}\" {{", escape(&self.name));
-        let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=\"monospace\"];");
+        let _ = writeln!(
+            out,
+            "  rankdir=TB; node [shape=box, fontname=\"monospace\"];"
+        );
         for (i, label) in self.node_labels.iter().enumerate() {
             let _ = writeln!(out, "  n{i} [label=\"{}\"];", escape(label));
         }
@@ -109,7 +124,10 @@ mod tests {
     #[test]
     fn renders_nodes_and_edges() {
         let mut g = DotGraph::new("t", vec!["R y".into(), "W x".into()]);
-        g.add_relation(Relation::from_pairs(2, [(0, 1)]), EdgeStyle::solid("po", "black"));
+        g.add_relation(
+            Relation::from_pairs(2, [(0, 1)]),
+            EdgeStyle::solid("po", "black"),
+        );
         let dot = g.render();
         assert!(dot.contains("n0 [label=\"R y\"]"));
         assert!(dot.contains("n0 -> n1 [label=\"po\""));
@@ -119,7 +137,10 @@ mod tests {
     #[test]
     fn dashed_edges_marked() {
         let mut g = DotGraph::new("t", vec!["a".into(), "b".into()]);
-        g.add_relation(Relation::from_pairs(2, [(1, 0)]), EdgeStyle::dashed("rf", "red"));
+        g.add_relation(
+            Relation::from_pairs(2, [(1, 0)]),
+            EdgeStyle::dashed("rf", "red"),
+        );
         assert!(g.render().contains("style=dashed"));
     }
 

@@ -21,7 +21,11 @@ impl Relation {
     /// Creates the empty relation over a universe of size `n`.
     pub fn empty(n: usize) -> Self {
         let words_per_row = n.div_ceil(WORD);
-        Relation { n, words_per_row, bits: vec![0; n * words_per_row] }
+        Relation {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
     }
 
     /// Creates the identity relation `{(i, i)}` over a universe of size `n`.
@@ -78,7 +82,11 @@ impl Relation {
     ///
     /// Panics if `a >= n` or `b >= n`.
     pub fn insert(&mut self, a: usize, b: usize) {
-        assert!(a < self.n && b < self.n, "pair ({a}, {b}) outside universe {}", self.n);
+        assert!(
+            a < self.n && b < self.n,
+            "pair ({a}, {b}) outside universe {}",
+            self.n
+        );
         self.bits[a * self.words_per_row + b / WORD] |= 1u64 << (b % WORD);
     }
 
@@ -103,9 +111,9 @@ impl Relation {
     /// Iterates over the successors of `a` (all `b` with `(a, b)` present).
     pub fn successors(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
         let row = self.row(a);
-        row.iter().enumerate().flat_map(|(wi, &w)| {
-            BitIter(w).map(move |b| wi * WORD + b)
-        })
+        row.iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| BitIter(w).map(move |b| wi * WORD + b))
     }
 
     /// Iterates over the predecessors of `b` (all `a` with `(a, b)` present).
@@ -233,10 +241,7 @@ impl Relation {
     /// Restricts the relation to pairs whose endpoints both satisfy `keep`.
     #[must_use]
     pub fn restrict(&self, keep: impl Fn(usize) -> bool) -> Relation {
-        Relation::from_pairs(
-            self.n,
-            self.pairs().filter(|&(a, b)| keep(a) && keep(b)),
-        )
+        Relation::from_pairs(self.n, self.pairs().filter(|&(a, b)| keep(a) && keep(b)))
     }
 
     /// Restricts to pairs whose *source* satisfies `keep`.
@@ -362,11 +367,7 @@ impl FromIterator<(usize, usize)> for Relation {
     /// Collects pairs into a relation sized to fit the largest element.
     fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
         let pairs: Vec<_> = iter.into_iter().collect();
-        let n = pairs
-            .iter()
-            .map(|&(a, b)| a.max(b) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = pairs.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0);
         Relation::from_pairs(n, pairs)
     }
 }

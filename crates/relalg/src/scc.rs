@@ -33,7 +33,8 @@ pub fn tarjan_scc(r: &Relation) -> Vec<Scc> {
         if index[root] != usize::MAX {
             continue;
         }
-        let mut call: Vec<(usize, Vec<usize>, usize)> = vec![(root, r.successors(root).collect(), 0)];
+        let mut call: Vec<(usize, Vec<usize>, usize)> =
+            vec![(root, r.successors(root).collect(), 0)];
         index[root] = next_index;
         low[root] = next_index;
         next_index += 1;

@@ -92,7 +92,12 @@ impl Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{}", if self.is_pos() { "" } else { "¬" }, self.var().0)
+        write!(
+            f,
+            "{}x{}",
+            if self.is_pos() { "" } else { "¬" },
+            self.var().0
+        )
     }
 }
 

@@ -104,7 +104,10 @@ pub struct Solver {
 impl Solver {
     /// An empty solver.
     pub fn new() -> Self {
-        Solver { var_inc: 1.0, ..Default::default() }
+        Solver {
+            var_inc: 1.0,
+            ..Default::default()
+        }
     }
 
     /// The number of variables.
@@ -149,7 +152,10 @@ impl Solver {
     /// Panics if a literal references a variable not created with
     /// [`Self::new_var`].
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
-        assert!(self.trail_lim.is_empty(), "add_clause at decision level 0 only");
+        assert!(
+            self.trail_lim.is_empty(),
+            "add_clause at decision level 0 only"
+        );
         if self.contradiction {
             return;
         }
@@ -160,7 +166,9 @@ impl Solver {
         c.sort_unstable();
         c.dedup();
         // Tautology?
-        if c.windows(2).any(|w| w[0] == !w[1] || w[0].var() == w[1].var()) {
+        if c.windows(2)
+            .any(|w| w[0] == !w[1] || w[0].var() == w[1].var())
+        {
             return;
         }
         // Remove root-level falsified literals; detect satisfied clauses.
@@ -472,7 +480,11 @@ impl Solver {
                 Some(v) => {
                     self.n_decisions += 1;
                     self.trail_lim.push(self.trail.len());
-                    let lit = if self.phase[v.index()] { Lit::pos(v) } else { Lit::neg(v) };
+                    let lit = if self.phase[v.index()] {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    };
                     self.enqueue(lit, None);
                 }
             }

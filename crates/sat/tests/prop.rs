@@ -13,8 +13,10 @@ struct Instance {
 fn instance_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Instance> {
     (2..=max_vars).prop_flat_map(move |nv| {
         let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=3);
-        proptest::collection::vec(clause, 1..=max_clauses)
-            .prop_map(move |clauses| Instance { num_vars: nv, clauses })
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |clauses| Instance {
+            num_vars: nv,
+            clauses,
+        })
     })
 }
 

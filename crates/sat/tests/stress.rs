@@ -6,7 +6,11 @@ use rand::{Rng, SeedableRng};
 
 fn random_instance(rng: &mut StdRng, nv: usize, nc: usize) -> Vec<Vec<(usize, bool)>> {
     (0..nc)
-        .map(|_| (0..3).map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5))).collect())
+        .map(|_| {
+            (0..3)
+                .map(|_| (rng.gen_range(0..nv), rng.gen_bool(0.5)))
+                .collect()
+        })
         .collect()
 }
 

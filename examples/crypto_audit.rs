@@ -37,8 +37,15 @@ fn main() {
             println!(
                 "{:<14} {:<10} {:>6} {:>6} {:>6} {:>6}  {verdict}",
                 bench.name,
-                if engine == EngineKind::Pht { "clou-pht" } else { "clou-stl" },
-                dt, ct, udt, uct
+                if engine == EngineKind::Pht {
+                    "clou-pht"
+                } else {
+                    "clou-stl"
+                },
+                dt,
+                ct,
+                udt,
+                uct
             );
         }
     }

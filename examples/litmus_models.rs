@@ -40,7 +40,10 @@ fn main() {
             Litmus::new(vec![vec![Op::w("x"), Op::w("x")], vec![Op::r("x")]]),
         ),
     ];
-    println!("{:<22} {:>10} {:>6} {:>6}", "litmus", "candidates", "SC", "TSO");
+    println!(
+        "{:<22} {:>10} {:>6} {:>6}",
+        "litmus", "candidates", "SC", "TSO"
+    );
     println!("{}", "-".repeat(48));
     for (name, l) in &tests {
         let all = l.candidate_executions().len();

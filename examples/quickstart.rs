@@ -44,14 +44,21 @@ fn main() {
         .max_by_key(|f| f.class.severity_rank())
         .expect("has findings");
     println!("\n== Witness ==\n{}", describe(&saeg, worst));
-    println!("\n// Graphviz (pipe into `dot -Tpdf`):\n{}", witness_dot(&saeg, worst));
+    println!(
+        "\n// Graphviz (pipe into `dot -Tpdf`):\n{}",
+        witness_dot(&saeg, worst)
+    );
 
     let (fixed, fences) = repair(&module, &det, EngineKind::Pht);
     println!("\n== Repair ==\ninserted {fences} fence(s)");
     let re = det.analyze_module(&fixed, EngineKind::Pht);
     println!(
         "re-analysis: {}",
-        if re.is_clean() { "clean — leak mitigated" } else { "still leaking!" }
+        if re.is_clean() {
+            "clean — leak mitigated"
+        } else {
+            "still leaking!"
+        }
     );
     assert!(re.is_clean());
 }

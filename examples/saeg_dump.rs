@@ -19,7 +19,11 @@ fn main() {
     let module = lcm::minic::compile(src).expect("compiles");
     let saeg = Saeg::build(&module, "victim", SpeculationConfig::default()).expect("S-AEG");
 
-    println!("// Fig. 7 — S-AEG for Spectre v1 ({} events, {} branches)", saeg.events.len(), saeg.branches.len());
+    println!(
+        "// Fig. 7 — S-AEG for Spectre v1 ({} events, {} branches)",
+        saeg.events.len(),
+        saeg.branches.len()
+    );
     println!("{}", saeg.to_dot());
 
     // The speculation windows the PHT engine will consider.

@@ -5,9 +5,9 @@
 //! Run with: `cargo run --example spectre_v1_graphs`
 //! Pipe any of the DOT blocks into `dot -Tpdf` to render.
 
+use lcm::core::detect_leakage;
 use lcm::core::exec::ExecutionBuilder;
 use lcm::core::mcm::{ConsistencyModel, Tso};
-use lcm::core::detect_leakage;
 use lcm::litmus::programs;
 
 fn main() {
@@ -49,7 +49,10 @@ fn main() {
     let (exec, ids) = programs::spectre_v1();
     let report = detect_leakage(&exec);
     println!("// Fig. 2b — speculative semantics; dashed edges = leakage");
-    println!("{}", exec.to_dot("fig2b_spectre_v1", &report.culprit_edges()));
+    println!(
+        "{}",
+        exec.to_dot("fig2b_spectre_v1", &report.culprit_edges())
+    );
 
     println!("// Transmitters (most severe per event):");
     for t in report.summary() {

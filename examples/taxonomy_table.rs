@@ -14,8 +14,14 @@ fn main() {
     println!("{}", "-".repeat(72));
     for (class, pattern) in [
         (TransmitterClass::Address, "transmit -rfx-> receiver"),
-        (TransmitterClass::Data, "access -addr-> transmit -rfx-> receiver"),
-        (TransmitterClass::Control, "access -ctrl-> transmit -rfx-> receiver"),
+        (
+            TransmitterClass::Data,
+            "access -addr-> transmit -rfx-> receiver",
+        ),
+        (
+            TransmitterClass::Control,
+            "access -ctrl-> transmit -rfx-> receiver",
+        ),
         (
             TransmitterClass::UniversalData,
             "index -addr-> access -addr-> transmit -rfx-> receiver",
@@ -29,7 +35,9 @@ fn main() {
     }
     println!("\nSeverity partial order: AT < CT < {{DT, UCT}} < UDT");
     assert!(
-        TransmitterClass::Data.compare_severity(TransmitterClass::UniversalControl).is_none(),
+        TransmitterClass::Data
+            .compare_severity(TransmitterClass::UniversalControl)
+            .is_none(),
         "DT and UCT are incomparable"
     );
 

@@ -38,7 +38,10 @@ fn fig3_variant_access_commits_limiting_scope() {
         .find(|t| t.event == ids.e6s && t.class == TransmitterClass::UniversalData)
         .expect("UDT present");
     assert!(udt.transient, "the transmitter is transient");
-    assert!(!udt.access_transient, "but the access commits (STT's blind spot)");
+    assert!(
+        !udt.access_transient,
+        "but the access commits (STT's blind spot)"
+    );
 }
 
 #[test]
@@ -48,7 +51,10 @@ fn fig4a_spectre_v4_confidentiality_predicate_design() {
     // frx ∪ tfo_loc cycle.
     let cycle_rel = x.frx().union(&x.tfo_loc());
     assert!(lcm::relalg::acyclic(&x.frx()), "frx alone is acyclic");
-    assert!(!lcm::relalg::acyclic(&cycle_rel), "frx ∪ tfo_loc has the v4 cycle");
+    assert!(
+        !lcm::relalg::acyclic(&cycle_rel),
+        "frx ∪ tfo_loc has the v4 cycle"
+    );
     // x86 permits it; the naive lift of sc_per_loc does not.
     assert!(X86Lcm.check(&x).is_ok());
     assert!(NaiveTsoLift.check(&x).is_err());
@@ -65,7 +71,10 @@ fn fig4a_spectre_v4_confidentiality_predicate_design() {
 #[test]
 fn fig4b_psf_needs_alias_prediction() {
     let (x, ids) = programs::spectre_psf();
-    assert!(X86Lcm.check(&x).is_err(), "no alias prediction on vanilla x86 model");
+    assert!(
+        X86Lcm.check(&x).is_err(),
+        "no alias prediction on vanilla x86 model"
+    );
     assert!(PsfLcm.check(&x).is_ok(), "PSF hardware permits it");
     let r = detect_leakage(&x);
     assert!(r
@@ -119,7 +128,10 @@ fn receivers_are_targets_of_culprit_edges() {
         let r = detect_leakage(&x);
         assert!(!r.is_clean(), "{name} leaks");
         for v in &r.violations {
-            assert_eq!(v.receiver, v.culprit.1, "{name}: receiver is the culprit target");
+            assert_eq!(
+                v.receiver, v.culprit.1,
+                "{name}: receiver is the culprit target"
+            );
             assert!(r.receivers.contains(&v.receiver));
         }
         for t in &r.transmitters {

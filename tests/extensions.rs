@@ -108,7 +108,9 @@ fn secret_filter_composes_with_engines() {
     })
     .analyze_module(&m, EngineKind::Pht);
     let count = |r: &lcm::detect::ModuleReport| {
-        r.findings().filter(|f| f.class == TransmitterClass::UniversalData).count()
+        r.findings()
+            .filter(|f| f.class == TransmitterClass::UniversalData)
+            .count()
     };
     assert!(count(&filtered) >= 1, "secret chain survives");
     assert!(count(&filtered) < count(&all), "public chain filtered out");
@@ -137,7 +139,10 @@ fn interference_findings_are_marked_and_self_describing() {
         ..DetectorConfig::default()
     });
     let report = det.analyze_module(&m, EngineKind::Pht);
-    let f = report.findings().find(|f| f.interference).expect("interference finding");
+    let f = report
+        .findings()
+        .find(|f| f.interference)
+        .expect("interference finding");
     let saeg = lcm::aeg::Saeg::build(&m, "victim", det.config().spec).unwrap();
     assert!(describe(&saeg, f).contains("speculative interference"));
 }

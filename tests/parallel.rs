@@ -1,0 +1,151 @@
+//! Tier-1: the parallel analysis driver is an observational no-op.
+//!
+//! Two guarantees back every `--jobs` flag in the bench binaries:
+//!
+//! 1. `analyze_module` produces *identical* findings (not just identical
+//!    counts) for any worker count — results are collected in function
+//!    order, and each function's analysis is self-contained;
+//! 2. the feasibility memo inside the SAT layer only short-circuits
+//!    queries whose answer a fresh, uncached solver would reproduce.
+
+use lcm::aeg::{Feasibility, Saeg};
+use lcm::corpus::synth::{synthetic_library, SynthConfig};
+use lcm::corpus::{all_litmus, litmus_pht, litmus_stl};
+use lcm::detect::{Detector, DetectorConfig, EngineKind};
+use lcm::haunted::{HauntedConfig, HauntedEngine};
+
+/// Findings must match exactly — same order, same witnesses — across
+/// jobs = 1, 2, 4 on every litmus program (pht + stl suites), so table
+/// output is byte-identical modulo the time columns.
+#[test]
+fn analyze_module_is_deterministic_across_job_counts() {
+    let suites = [("litmus-pht", litmus_pht()), ("litmus-stl", litmus_stl())];
+    for (suite, benches) in suites {
+        let engine = if suite == "litmus-stl" {
+            EngineKind::Stl
+        } else {
+            EngineKind::Pht
+        };
+        for b in benches {
+            let m = b.module();
+            let serial = Detector::new(DetectorConfig {
+                jobs: 1,
+                ..DetectorConfig::default()
+            })
+            .analyze_module(&m, engine);
+            for jobs in [2, 4] {
+                let par = Detector::new(DetectorConfig {
+                    jobs,
+                    ..DetectorConfig::default()
+                })
+                .analyze_module(&m, engine);
+                assert_eq!(
+                    serial.functions.len(),
+                    par.functions.len(),
+                    "{suite}/{}: function count, jobs={jobs}",
+                    b.name
+                );
+                for (s, p) in serial.functions.iter().zip(&par.functions) {
+                    assert_eq!(s.name, p.name, "{suite}/{}: order, jobs={jobs}", b.name);
+                    assert_eq!(
+                        s.transmitters, p.transmitters,
+                        "{suite}/{}/{}: findings, jobs={jobs}",
+                        b.name, s.name
+                    );
+                    assert_eq!(s.saeg_size, p.saeg_size);
+                }
+            }
+        }
+    }
+}
+
+/// The Binsec/Haunted baseline fans out the same way and must agree
+/// with its serial self on leak counts per function.
+#[test]
+fn haunted_baseline_is_deterministic_across_job_counts() {
+    for (suite, benches) in all_litmus() {
+        let engine = if suite == "litmus-stl" {
+            HauntedEngine::Stl
+        } else {
+            HauntedEngine::Pht
+        };
+        for b in benches {
+            let m = b.module();
+            let serial = lcm::haunted::analyze_module(
+                &m,
+                engine,
+                HauntedConfig {
+                    jobs: 1,
+                    ..HauntedConfig::default()
+                },
+            );
+            let par = lcm::haunted::analyze_module(
+                &m,
+                engine,
+                HauntedConfig {
+                    jobs: 4,
+                    ..HauntedConfig::default()
+                },
+            );
+            let leaks = |r: &lcm::haunted::HauntedModuleReport| {
+                r.functions
+                    .iter()
+                    .map(|f| (f.name.clone(), f.leaks.len()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(leaks(&serial), leaks(&par), "{suite}/{}", b.name);
+        }
+    }
+}
+
+/// Memoized feasibility answers equal fresh-solver answers: replay a
+/// deterministic query workload on a seeded synthetic module against
+/// (a) one memoizing instance and (b) a fresh instance per query.
+#[test]
+fn feasibility_memo_matches_uncached_solving() {
+    let cfg = SynthConfig {
+        seed: 0xfea5,
+        functions: 4,
+        ..SynthConfig::libsodium_scale()
+    };
+    let (src, _) = synthetic_library(cfg);
+    let m = lcm::minic::compile(&src).expect("synthetic library compiles");
+    let det = Detector::new(DetectorConfig::default());
+
+    let mut total_queries = 0u64;
+    let mut total_hits = 0u64;
+    for f in m.public_functions() {
+        let acfg = lcm::ir::acfg::build_acfg(&m, &f.name).expect("acfg");
+        let saeg = Saeg::from_acfg(&f.name, acfg, det.config().spec);
+        let mut memoized = Feasibility::new(&saeg);
+        let blocks: Vec<_> = saeg.topo_blocks().to_vec();
+        // Ask each pairwise reachability question twice: the second
+        // round is answered from the memo and must not change verdicts.
+        for round in 0..2 {
+            for &a in &blocks {
+                for &b in &blocks {
+                    let la = memoized.arch_lit(a);
+                    let lb = memoized.arch_lit(b);
+                    let mark = memoized.mark();
+                    memoized.push(la);
+                    memoized.push(lb);
+                    let got = memoized.check_stack();
+                    memoized.truncate(mark);
+
+                    let mut fresh = Feasibility::new(&saeg);
+                    let expect = fresh.check(&[la, lb]);
+                    assert_eq!(got, expect, "{}: {a:?},{b:?} round {round}", f.name);
+                }
+            }
+        }
+        let stats = memoized.stats();
+        total_queries += stats.queries;
+        total_hits += stats.memo_hits;
+    }
+    assert!(total_queries > 0);
+    // Round two is pure memo traffic, so at least half the queries hit.
+    assert!(
+        total_hits * 2 >= total_queries,
+        "memo should absorb the replay: {total_hits}/{total_queries}"
+    );
+}

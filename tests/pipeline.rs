@@ -29,7 +29,10 @@ fn full_pipeline_detect_repair_reanalyze() {
 
     let (fixed, fences) = repair(&module, &det, EngineKind::Pht);
     assert_eq!(fences, 1, "one lfence repairs vanilla Spectre v1 (§6.1)");
-    assert!(verify_module(&fixed).is_empty(), "repaired module is valid IR");
+    assert!(
+        verify_module(&fixed).is_empty(),
+        "repaired module is valid IR"
+    );
     assert!(det.analyze_module(&fixed, EngineKind::Pht).is_clean());
 }
 
@@ -135,7 +138,10 @@ fn inlined_callee_leak_detected_in_caller() {
     let det = Detector::new(DetectorConfig::default());
     let caller = det.analyze_function(&module, "caller", EngineKind::Pht);
     assert!(
-        caller.transmitters.iter().any(|f| f.class == TransmitterClass::UniversalData),
+        caller
+            .transmitters
+            .iter()
+            .any(|f| f.class == TransmitterClass::UniversalData),
         "the leak crosses the (inlined) call boundary"
     );
 }
@@ -156,5 +162,8 @@ fn loop_summarization_covers_loop_body_leaks() {
     .unwrap();
     let det = Detector::new(DetectorConfig::default());
     let r = det.analyze_function(&module, "f", EngineKind::Pht);
-    assert!(!r.transmitters.is_empty(), "two unrollings expose the body leak");
+    assert!(
+        !r.transmitters.is_empty(),
+        "two unrollings expose the body leak"
+    );
 }

@@ -86,7 +86,11 @@ fn expr_strategy(depth: u32) -> BoxedStrategy<String> {
     let sub = expr_strategy(depth - 1);
     prop_oneof![
         leaf,
-        (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("^")], sub)
+        (
+            sub.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("^")],
+            sub
+        )
             .prop_map(|(l, o, r)| format!("({l} {o} {r})")),
     ]
     .boxed()

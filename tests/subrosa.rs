@@ -49,9 +49,12 @@ fn exactly_one_interference_free_witness_for_straight_line_code() {
     // rejects them.
     let template = rwr(&[], &[]);
     let witnesses = microarch_witnesses(&template, &X86Lcm, &rwr);
-    assert!(witnesses.len() > 1, "several witnesses exist: {}", witnesses.len());
-    let clean: Vec<&Execution> =
-        witnesses.iter().filter(|x| interference_free(x)).collect();
+    assert!(
+        witnesses.len() > 1,
+        "several witnesses exist: {}",
+        witnesses.len()
+    );
+    let clean: Vec<&Execution> = witnesses.iter().filter(|x| interference_free(x)).collect();
     assert_eq!(clean.len(), 1, "exactly one interference-free witness");
     // And it carries the implied rfx/cox.
     let (rfx, cox) = implied_microarch(clean[0]);
@@ -133,5 +136,7 @@ fn paper_attacks_all_violate_rf_non_interference() {
     }
     // The silent-store attack is the co-NI case instead.
     let (x, _) = programs::silent_stores();
-    assert!(violations(&x).iter().any(|v| v.predicate == NiPredicate::Co));
+    assert!(violations(&x)
+        .iter()
+        .any(|v| v.predicate == NiPredicate::Co));
 }

@@ -74,7 +74,10 @@ fn masked_stl_programs_are_documented_false_positives() {
     for name in fp {
         let b = litmus_stl().into_iter().find(|b| b.name == name).unwrap();
         let r = det().analyze_module(&b.module(), EngineKind::Stl);
-        assert!(!r.is_clean(), "{name}: expected (documented) false positive");
+        assert!(
+            !r.is_clean(),
+            "{name}: expected (documented) false positive"
+        );
     }
 }
 
@@ -205,7 +208,11 @@ fn non_transient_crypto_leakage_caught_dynamically() {
         "tea is constant-time at trace level too"
     );
     let chacha = crypto::chacha_like();
-    assert_eq!(dt_count(&chacha, "double_round", &[]), 0, "chacha is constant-time");
+    assert_eq!(
+        dt_count(&chacha, "double_round", &[]),
+        0,
+        "chacha is constant-time"
+    );
 }
 
 #[test]
@@ -220,7 +227,11 @@ fn baseline_detects_but_does_not_classify() {
     for b in litmus_new() {
         let m = b.module();
         let r = lcm::haunted::analyze_module(&m, HauntedEngine::Pht, HauntedConfig::default());
-        assert!(r.total_leaks() >= 1, "{}: baseline finds NEW leakage", b.name);
+        assert!(
+            r.total_leaks() >= 1,
+            "{}: baseline finds NEW leakage",
+            b.name
+        );
     }
 }
 
@@ -233,6 +244,10 @@ fn tea_is_clean_of_universal_transmitters_under_both_engines() {
         let r = d.analyze_module(&m, engine);
         assert_eq!(r.count(TransmitterClass::UniversalData), 0);
         assert_eq!(r.count(TransmitterClass::UniversalControl), 0);
-        assert_eq!(r.count(TransmitterClass::Data), 0, "tea is fully constant-time");
+        assert_eq!(
+            r.count(TransmitterClass::Data),
+            0,
+            "tea is fully constant-time"
+        );
     }
 }
