@@ -263,6 +263,100 @@ impl Saeg {
         self.block_reach[a.0 as usize][b.0 as usize]
     }
 
+    /// Deterministically expands a witness seed — blocks that must
+    /// execute, plus the constrained branch's direction — into a concrete
+    /// architectural path (executed blocks, in control-flow order from
+    /// the entry to a return). Findings store only the compact seed; the
+    /// path is built here on demand when a witness is rendered.
+    ///
+    /// Returns an empty path when no such path exists (a seed taken from
+    /// a verified-feasible assumption stack always expands).
+    pub fn arch_witness_path(
+        &self,
+        required: &[BlockId],
+        branch_dir: Option<(BlockId, bool)>,
+    ) -> Vec<BlockId> {
+        let nb = self.acfg.blocks.len();
+        // Successors, honoring the constrained branch's direction.
+        let succs = |b: BlockId| -> Vec<BlockId> {
+            if let Some((c, then)) = branch_dir {
+                if b == c {
+                    if let Terminator::CondBr {
+                        then_bb, else_bb, ..
+                    } = &self.acfg.blocks[b.0 as usize].term
+                    {
+                        return vec![if then { *then_bb } else { *else_bb }];
+                    }
+                }
+            }
+            self.acfg.blocks[b.0 as usize].term.successors()
+        };
+        // Visit required blocks in topological order: in an acyclic CFG
+        // any joint path must pass them in that order.
+        let mut tpos = vec![usize::MAX; nb];
+        for (i, &b) in self.topo.iter().enumerate() {
+            tpos[b.0 as usize] = i;
+        }
+        let mut targets: Vec<BlockId> = required.to_vec();
+        targets.sort_by_key(|b| tpos[b.0 as usize]);
+        targets.dedup();
+        // Shortest `from → goal` block segment (excluding `from`),
+        // breadth-first so the expansion is deterministic.
+        let bfs = |from: BlockId, goal: &dyn Fn(BlockId) -> bool| -> Option<Vec<BlockId>> {
+            if goal(from) {
+                return Some(Vec::new());
+            }
+            let mut parent = vec![u32::MAX; nb];
+            let mut seen = vec![false; nb];
+            seen[from.0 as usize] = true;
+            let mut queue = std::collections::VecDeque::from([from]);
+            while let Some(b) = queue.pop_front() {
+                for s in succs(b) {
+                    if seen[s.0 as usize] {
+                        continue;
+                    }
+                    seen[s.0 as usize] = true;
+                    parent[s.0 as usize] = b.0;
+                    if goal(s) {
+                        let mut seg = vec![s];
+                        let mut x = b;
+                        while x != from {
+                            seg.push(x);
+                            x = BlockId(parent[x.0 as usize]);
+                        }
+                        seg.reverse();
+                        return Some(seg);
+                    }
+                    queue.push_back(s);
+                }
+            }
+            None
+        };
+        let entry = BlockId(0);
+        let mut path = vec![entry];
+        let mut cur = entry;
+        for &t in &targets {
+            if t == cur {
+                continue;
+            }
+            match bfs(cur, &|b| b == t) {
+                Some(seg) => {
+                    path.extend(seg);
+                    cur = t;
+                }
+                None => return Vec::new(),
+            }
+        }
+        let is_ret = |b: BlockId| matches!(self.acfg.blocks[b.0 as usize].term, Terminator::Ret(_));
+        if !is_ret(cur) {
+            match bfs(cur, &is_ret) {
+                Some(seg) => path.extend(seg),
+                None => return Vec::new(),
+            }
+        }
+        path
+    }
+
     /// `true` iff event `a` can precede event `b` on some path.
     pub fn precedes(&self, a: EventId, b: EventId) -> bool {
         let (ea, eb) = (&self.events[a.0], &self.events[b.0]);

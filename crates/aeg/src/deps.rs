@@ -82,9 +82,15 @@ pub fn generalized_addr(saeg: &Saeg) -> Gaddr {
     let dr = data_rf_edges(saeg);
     let star = dr.reflexive_transitive_closure();
     let (addr_all, addr_gep) = addr_edges(saeg);
+    // compose_into writes straight into the retained relations instead
+    // of allocating intermediates.
+    let mut plain = Relation::empty(saeg.events.len());
+    let mut gep = Relation::empty(saeg.events.len());
+    star.compose_into(&addr_all, &mut plain);
+    star.compose_into(&addr_gep, &mut gep);
     Gaddr {
-        plain: star.compose(&addr_all),
-        gep: star.compose(&addr_gep),
+        plain,
+        gep,
         data_rf: dr,
     }
 }

@@ -44,4 +44,4 @@ mod build;
 mod reach;
 
 pub use build::{EventId, EventKind, MemEvent, Saeg};
-pub use reach::{FeasStats, Feasibility};
+pub use reach::{prefilter_disabled_by_env, FeasStats, Feasibility, WitnessSeed};

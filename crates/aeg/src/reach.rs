@@ -10,29 +10,145 @@
 //! Engines drive queries through an **assumption stack** ([`Feasibility::push`],
 //! [`Feasibility::mark`], [`Feasibility::truncate`]) instead of cloning a
 //! base request per candidate, so the hot loops allocate nothing per
-//! query; results are memoized on the (sorted, deduped) assumption set
-//! and cache statistics are tracked in [`FeasStats`].
+//! query.
+//!
+//! Two layers answer queries before the solver does:
+//!
+//! 1. A **block-reachability pre-screen** ([`BlockScreen`]): since the
+//!    A-CFG is acyclic and every satisfying model of the path formula is
+//!    exactly one root-to-return path (entry is asserted, and the in-edge
+//!    equivalences force the executed set to follow branch decisions),
+//!    a stack of positive `A[b]` literals plus at most one decision
+//!    literal can be decided *exactly* from the reflexive-transitive
+//!    reachability relation — no solver, no memo, O(k²) bit probes.
+//!    Stacks outside that fragment (negated arch literals, several
+//!    decision literals, literals from gate encodings) fall through.
+//! 2. A **stack-structured trie memo**: queries that reach the memo walk
+//!    a trie keyed by the literal sequence itself (deduplicated on the
+//!    walk), so a hit costs a pointer chase with no allocation and no
+//!    sort, unlike the previous sorted-`Vec<Lit>` hash key.
+//!
+//! Counters for both layers are tracked in [`FeasStats`].
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use lcm_ir::{BlockId, Terminator};
+use lcm_relalg::Relation;
 use lcm_sat::cnf::Cnf;
 use lcm_sat::{Lit, SolveResult};
 
 use crate::build::Saeg;
 
+/// Environment variable that force-disables the reachability pre-screen
+/// (every query goes through the memo + solver). Used by the
+/// differential test suite; any value other than `0` disables.
+pub const DISABLE_PREFILTER_ENV: &str = "LCM_DISABLE_PREFILTER";
+
+/// `true` when [`DISABLE_PREFILTER_ENV`] is set in the environment.
+pub fn prefilter_disabled_by_env() -> bool {
+    std::env::var_os(DISABLE_PREFILTER_ENV).is_some_and(|v| v != "0")
+}
+
 /// Query counters and phase timings for one [`Feasibility`] instance.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FeasStats {
-    /// Feasibility questions asked (including memo hits).
+    /// Feasibility questions that reached the memo/solver layer
+    /// (including memo hits).
     pub queries: u64,
     /// Questions answered from the memo without touching the solver.
     pub memo_hits: u64,
-    /// Time spent building the CNF encoding.
+    /// Questions answered by the block-reachability pre-screen without
+    /// reaching the memo or the solver.
+    pub queries_avoided: u64,
+    /// Engine-level candidate checks skipped entirely because a hoisted
+    /// pre-screen (window bitsets, duplicate-block fast paths) proved the
+    /// stack unchanged or the answer forced.
+    pub prefilter_hits: u64,
+    /// Time spent building the CNF encoding and the reachability matrix.
     pub encode: Duration,
     /// Time spent inside the SAT solver.
     pub solve: Duration,
+}
+
+/// The architectural skeleton of a witness, recoverable from an
+/// assumption stack without solving: the blocks required to execute and
+/// the direction of the constrained branch, if any.
+///
+/// [`Saeg::arch_witness_path`] expands a seed into a concrete
+/// root-to-return block path on demand, so findings can stay compact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WitnessSeed {
+    /// Blocks asserted architecturally executed, in push order.
+    pub blocks: Vec<BlockId>,
+    /// Constrained branch block and its direction (`true` = then-target).
+    pub branch_dir: Option<(BlockId, bool)>,
+}
+
+/// What a solver variable means, for pre-screening and seed recovery.
+#[derive(Debug, Clone, Copy)]
+enum LitKind {
+    /// `A[b]`: block `b` executes architecturally.
+    Arch(u32),
+    /// Decision literal of the conditional branch terminating `b`.
+    Decision(u32),
+}
+
+/// One-shot reachability data consulted before the solver.
+#[derive(Debug)]
+struct BlockScreen {
+    /// Reflexive-transitive reachability over A-CFG blocks.
+    reach: Relation,
+    /// `(then, else)` targets per conditional-branch block.
+    targets: HashMap<u32, (u32, u32)>,
+}
+
+/// A trie node keyed by assumption literals; the memo for one
+/// [`Feasibility`] instance. Children are unsorted — stacks are short
+/// and push order is deterministic, so a linear probe wins over sorting.
+#[derive(Debug, Default)]
+struct MemoNode {
+    children: Vec<(Lit, u32)>,
+    /// Memoized `check_stack` answer.
+    result: Option<bool>,
+    /// Memoized `witness_path_stack` answer.
+    path: Option<Option<Vec<BlockId>>>,
+}
+
+#[derive(Debug)]
+struct Memo {
+    nodes: Vec<MemoNode>,
+}
+
+impl Memo {
+    fn new() -> Memo {
+        Memo {
+            nodes: vec![MemoNode::default()],
+        }
+    }
+
+    /// Walks (creating nodes as needed) to the node for `stack`'s literal
+    /// sequence, skipping literals already seen earlier in the stack so
+    /// `[l, l]` and `[l]` share a node. Allocation-free when the path
+    /// already exists.
+    fn locate(&mut self, stack: &[Lit]) -> usize {
+        let mut cur = 0usize;
+        for (i, &lit) in stack.iter().enumerate() {
+            if stack[..i].contains(&lit) {
+                continue;
+            }
+            cur = match self.nodes[cur].children.iter().find(|&&(l, _)| l == lit) {
+                Some(&(_, child)) => child as usize,
+                None => {
+                    let id = self.nodes.len();
+                    self.nodes.push(MemoNode::default());
+                    self.nodes[cur].children.push((lit, id as u32));
+                    id
+                }
+            };
+        }
+        cur
+    }
 }
 
 /// A reusable feasibility checker over one S-AEG.
@@ -44,19 +160,32 @@ pub struct Feasibility {
     cnf: Cnf,
     arch: Vec<Lit>,
     decision: HashMap<u32, Lit>,
-    memo: HashMap<Vec<Lit>, bool>,
-    path_memo: HashMap<Vec<Lit>, Option<Vec<BlockId>>>,
+    /// Solver-variable index → meaning, for the pre-screen and seeds.
+    lit_kind: HashMap<u32, LitKind>,
+    /// Reachability pre-screen; `None` when force-disabled.
+    screen: Option<BlockScreen>,
+    memo: Memo,
     /// Current assumption set, manipulated via `push`/`mark`/`truncate`.
     stack: Vec<Lit>,
-    /// Scratch buffer for the sorted/deduped memo key; reused across
-    /// queries so a memo hit allocates nothing.
-    key_buf: Vec<Lit>,
+    /// Scratch for the pre-screen's required-block set; reused across
+    /// queries so screening allocates nothing.
+    blocks_buf: Vec<u32>,
     stats: FeasStats,
 }
 
 impl Feasibility {
-    /// Builds the path-constraint formula for the S-AEG's A-CFG.
+    /// Builds the path-constraint formula for the S-AEG's A-CFG, with
+    /// the reachability pre-screen enabled (unless
+    /// [`DISABLE_PREFILTER_ENV`] is set).
     pub fn new(saeg: &Saeg) -> Self {
+        Self::with_prefilter(saeg, true)
+    }
+
+    /// Like [`Self::new`], but with explicit control over the
+    /// reachability pre-screen. With `prefilter == false` every query
+    /// goes through the memo and solver — the differential-testing
+    /// configuration.
+    pub fn with_prefilter(saeg: &Saeg, prefilter: bool) -> Self {
         let t0 = Instant::now();
         let f = &saeg.acfg;
         let mut cnf = Cnf::new();
@@ -67,14 +196,24 @@ impl Feasibility {
                 decision.insert(bi.0, cnf.fresh());
             }
         }
+        let mut lit_kind: HashMap<u32, LitKind> = HashMap::new();
+        for (bi, &l) in arch.iter().enumerate() {
+            lit_kind.insert(l.var().0, LitKind::Arch(bi as u32));
+        }
+        for (&bi, &l) in &decision {
+            lit_kind.insert(l.var().0, LitKind::Decision(bi));
+        }
         // Entry is executed.
         cnf.assert_lit(arch[0]);
-        // In-edge literals per block.
+        // In-edge literals per block; CFG edges for the pre-screen.
         let mut in_edges: Vec<Vec<Lit>> = vec![Vec::new(); f.blocks.len()];
+        let mut edges = Relation::empty(f.blocks.len());
+        let mut targets: HashMap<u32, (u32, u32)> = HashMap::new();
         for (bi, b) in f.iter_blocks() {
             match &b.term {
                 Terminator::Br(t) => {
                     in_edges[t.0 as usize].push(arch[bi.0 as usize]);
+                    edges.insert(bi.0 as usize, t.0 as usize);
                 }
                 Terminator::CondBr {
                     then_bb, else_bb, ..
@@ -84,19 +223,30 @@ impl Feasibility {
                     let not_taken = cnf.and(arch[bi.0 as usize], !d);
                     in_edges[then_bb.0 as usize].push(taken);
                     in_edges[else_bb.0 as usize].push(not_taken);
+                    edges.insert(bi.0 as usize, then_bb.0 as usize);
+                    edges.insert(bi.0 as usize, else_bb.0 as usize);
+                    targets.insert(bi.0, (then_bb.0, else_bb.0));
                 }
                 Terminator::Ret(_) => {}
             }
         }
-        for (bi, edges) in in_edges.iter().enumerate() {
+        for (bi, block_edges) in in_edges.iter().enumerate() {
             if bi == 0 {
                 continue;
             }
-            let any = cnf.or_all(edges);
+            let any = cnf.or_all(block_edges);
             // arch[bi] <-> any
             cnf.assert_implies(arch[bi], any);
             cnf.assert_implies(any, arch[bi]);
         }
+        let screen = if prefilter && !prefilter_disabled_by_env() {
+            Some(BlockScreen {
+                reach: edges.reflexive_transitive_closure(),
+                targets,
+            })
+        } else {
+            None
+        };
         let stats = FeasStats {
             encode: t0.elapsed(),
             ..FeasStats::default()
@@ -105,10 +255,11 @@ impl Feasibility {
             cnf,
             arch,
             decision,
-            memo: HashMap::new(),
-            path_memo: HashMap::new(),
+            lit_kind,
+            screen,
+            memo: Memo::new(),
             stack: Vec::new(),
-            key_buf: Vec::new(),
+            blocks_buf: Vec::new(),
             stats,
         }
     }
@@ -127,6 +278,11 @@ impl Feasibility {
     /// Query counters and timings accumulated so far.
     pub fn stats(&self) -> FeasStats {
         self.stats
+    }
+
+    /// Records one engine-level check skipped by a hoisted pre-screen.
+    pub fn note_prefilter_hit(&mut self) {
+        self.stats.prefilter_hits += 1;
     }
 
     // ----- assumption stack ---------------------------------------------
@@ -152,15 +308,117 @@ impl Feasibility {
         self.stack.truncate(mark);
     }
 
+    /// The witness skeleton encoded by the current stack: required
+    /// blocks (in push order, deduplicated) and the constrained branch's
+    /// direction. Valid for any stack the engines build — literals from
+    /// gate encodings are ignored.
+    pub fn stack_seed(&self) -> WitnessSeed {
+        let mut seed = WitnessSeed::default();
+        for &lit in &self.stack {
+            match self.lit_kind.get(&lit.var().0) {
+                Some(&LitKind::Arch(b)) if lit.is_pos() => {
+                    let b = BlockId(b);
+                    if !seed.blocks.contains(&b) {
+                        seed.blocks.push(b);
+                    }
+                }
+                Some(&LitKind::Decision(c)) => {
+                    if seed.branch_dir.is_none() {
+                        seed.branch_dir = Some((BlockId(c), lit.is_pos()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        seed
+    }
+
+    /// Decides the current stack from block reachability alone, when it
+    /// lies in the decidable fragment: positive `A[b]` literals plus at
+    /// most one decision literal whose branch block is itself required.
+    ///
+    /// The answer is exact, not conservative. In an acyclic A-CFG a set
+    /// of blocks lies on a common root path iff every block is
+    /// entry-reachable and every pair is reach-comparable (paths in a
+    /// DAG concatenate without revisiting); a decision constraint
+    /// additionally forces every required block after the branch to be
+    /// reachable *through the chosen target*.
+    fn screen_stack(&mut self) -> Option<bool> {
+        let screen = self.screen.as_ref()?;
+        self.blocks_buf.clear();
+        let mut dec: Option<(u32, bool)> = None;
+        for &lit in &self.stack {
+            match self.lit_kind.get(&lit.var().0) {
+                Some(&LitKind::Arch(b)) => {
+                    if !lit.is_pos() {
+                        return None;
+                    }
+                    self.blocks_buf.push(b);
+                }
+                Some(&LitKind::Decision(c)) => {
+                    let then = lit.is_pos();
+                    match dec {
+                        None => dec = Some((c, then)),
+                        Some((c0, then0)) if c0 == c => {
+                            if then0 != then {
+                                // d ∧ ¬d on the same branch.
+                                return Some(false);
+                            }
+                        }
+                        Some(_) => return None,
+                    }
+                }
+                None => return None,
+            }
+        }
+        let blocks = &self.blocks_buf;
+        for &b in blocks {
+            if !screen.reach.contains(0, b as usize) {
+                return Some(false);
+            }
+        }
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                let (a, b) = (blocks[i] as usize, blocks[j] as usize);
+                if a != b && !screen.reach.contains(a, b) && !screen.reach.contains(b, a) {
+                    return Some(false);
+                }
+            }
+        }
+        if let Some((c, then)) = dec {
+            // The constraint is only exactly checkable when the branch
+            // block itself is required to execute.
+            if !blocks.contains(&c) {
+                return None;
+            }
+            let (then_t, else_t) = screen.targets[&c];
+            let t = if then { then_t } else { else_t } as usize;
+            for &b in blocks {
+                if b == c {
+                    continue;
+                }
+                if screen.reach.contains(c as usize, b as usize)
+                    && !screen.reach.contains(t, b as usize)
+                {
+                    return Some(false);
+                }
+            }
+        }
+        Some(true)
+    }
+
     /// Checks whether the current assumption stack is jointly
-    /// satisfiable. Allocation-free on a memo hit.
+    /// satisfiable. Answered by the reachability pre-screen when
+    /// possible; otherwise by the trie memo, then the solver.
+    /// Allocation-free on screened and memoized queries.
     pub fn check_stack(&mut self) -> bool {
-        self.key_buf.clear();
-        self.key_buf.extend_from_slice(&self.stack);
-        self.key_buf.sort_unstable();
-        self.key_buf.dedup();
+        if let Some(ans) = self.screen_stack() {
+            self.stats.queries_avoided += 1;
+            return ans;
+        }
         self.stats.queries += 1;
-        if let Some(&r) = self.memo.get(self.key_buf.as_slice()) {
+        let node = self.memo.locate(&self.stack);
+        if let Some(r) = self.memo.nodes[node].result {
             self.stats.memo_hits += 1;
             return r;
         }
@@ -170,19 +428,22 @@ impl Feasibility {
             SolveResult::Sat(_)
         );
         self.stats.solve += t0.elapsed();
-        self.memo.insert(self.key_buf.clone(), r);
+        self.memo.nodes[node].result = Some(r);
         r
     }
 
     /// Like [`Self::check_stack`] but returning the architectural path
-    /// (executed blocks) of a witness, if satisfiable.
+    /// (executed blocks) of a witness, if satisfiable. Only the
+    /// infeasible case can be screened — a feasible answer still needs
+    /// the model.
     pub fn witness_path_stack(&mut self) -> Option<Vec<BlockId>> {
-        self.key_buf.clear();
-        self.key_buf.extend_from_slice(&self.stack);
-        self.key_buf.sort_unstable();
-        self.key_buf.dedup();
+        if self.screen_stack() == Some(false) {
+            self.stats.queries_avoided += 1;
+            return None;
+        }
         self.stats.queries += 1;
-        if let Some(r) = self.path_memo.get(self.key_buf.as_slice()) {
+        let node = self.memo.locate(&self.stack);
+        if let Some(r) = &self.memo.nodes[node].path {
             self.stats.memo_hits += 1;
             return r.clone();
         }
@@ -199,7 +460,7 @@ impl Feasibility {
             SolveResult::Unsat(_) => None,
         };
         self.stats.solve += t0.elapsed();
-        self.path_memo.insert(self.key_buf.clone(), r.clone());
+        self.memo.nodes[node].path = Some(r.clone());
         r
     }
 
@@ -359,14 +620,107 @@ mod tests {
 
     #[test]
     fn memo_hits_accumulate() {
+        // Pre-screen disabled so the queries reach the memo layer.
+        let m = lcm_minic::compile("int G; void f(int c) { if (c) { G = 1; } }").unwrap();
+        let s = Saeg::build(&m, "f", SpeculationConfig::default()).unwrap();
+        let mut fe = Feasibility::with_prefilter(&s, false);
+        let lit = fe.arch_lit(s.topo_blocks()[0]);
+        assert!(fe.check(&[lit]));
+        assert!(fe.check(&[lit]));
+        assert!(fe.check(&[lit, lit])); // dedups to the same trie node
+        let st = fe.stats();
+        assert_eq!(st.queries, 3);
+        assert_eq!(st.memo_hits, 2);
+        assert_eq!(st.queries_avoided, 0);
+    }
+
+    #[test]
+    fn prescreen_counts_avoided_queries() {
         let (s, mut fe) = feas("int G; void f(int c) { if (c) { G = 1; } }", "f");
         let lit = fe.arch_lit(s.topo_blocks()[0]);
         assert!(fe.check(&[lit]));
         assert!(fe.check(&[lit]));
-        assert!(fe.check(&[lit, lit])); // dedups to the same key
         let st = fe.stats();
-        assert_eq!(st.queries, 3);
-        assert_eq!(st.memo_hits, 2);
+        assert_eq!(st.queries, 0, "screened queries never reach the solver");
+        assert_eq!(st.queries_avoided, 2);
+    }
+
+    #[test]
+    fn prescreen_matches_solver_on_block_pairs_and_decisions() {
+        let srcs = [
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } G = 3; }",
+            "int G; void f(int a, int b) { if (a) { if (b) { G = 1; } } else { G = 2; } }",
+            "int G; void f(int c, int d) { if (c) { G = 1; } if (d) { G = 2; } G = 3; }",
+        ];
+        for src in srcs {
+            let m = lcm_minic::compile(src).unwrap();
+            let s = Saeg::build(&m, "f", SpeculationConfig::default()).unwrap();
+            let mut screened = Feasibility::new(&s);
+            let mut solved = Feasibility::with_prefilter(&s, false);
+            assert!(screened.screen.is_some());
+            let blocks = s.topo_blocks().to_vec();
+            for &a in &blocks {
+                for &b in &blocks {
+                    let req = [screened.arch_lit(a), screened.arch_lit(b)];
+                    assert_eq!(
+                        screened.check(&req),
+                        solved.check(&req),
+                        "{src}: {a:?},{b:?}"
+                    );
+                    // With one decision literal on a required branch.
+                    for &c in &blocks {
+                        if let Some(d) = screened.decision_lit(c) {
+                            for dir in [d, !d] {
+                                let req3 = [
+                                    screened.arch_lit(a),
+                                    screened.arch_lit(b),
+                                    screened.arch_lit(c),
+                                    dir,
+                                ];
+                                assert_eq!(
+                                    screened.check(&req3),
+                                    solved.check(&req3),
+                                    "{src}: {a:?},{b:?} br {c:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // Everything decidable here lies in the screened fragment.
+            assert_eq!(screened.stats().queries, 0);
+            assert!(screened.stats().queries_avoided > 0);
+        }
+    }
+
+    #[test]
+    fn contradictory_decision_screens_infeasible() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } }",
+            "f",
+        );
+        let br = &s.branches[0];
+        let d = fe.decision_lit(br.block).unwrap();
+        let b = fe.arch_lit(br.block);
+        assert!(!fe.check(&[b, d, !d]));
+        assert_eq!(fe.stats().queries, 0);
+    }
+
+    #[test]
+    fn stack_seed_recovers_blocks_and_direction() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } }",
+            "f",
+        );
+        let br = &s.branches[0];
+        let d = fe.decision_lit(br.block).unwrap();
+        fe.push(fe.arch_lit(br.block));
+        fe.push(fe.arch_lit(br.block)); // duplicates collapse
+        fe.push(!d);
+        fe.push(fe.arch_lit(br.else_bb));
+        let seed = fe.stack_seed();
+        assert_eq!(seed.blocks, vec![br.block, br.else_bb]);
+        assert_eq!(seed.branch_dir, Some((br.block, false)));
     }
 
     #[test]

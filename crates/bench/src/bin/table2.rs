@@ -39,7 +39,8 @@ fn main() {
     for r in &rows {
         phases.merge(&r.timings);
     }
-    println!("phase breakdown (Clou rows): {}", phases.render());
+    phases.fill_other(wall);
+    println!("phase breakdown: {}", phases.render());
 
     if let Some(path) = &args.json {
         std::fs::write(path, json::table2_json(&rows, args.jobs, wall))

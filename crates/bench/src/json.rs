@@ -34,14 +34,18 @@ fn secs(d: Duration) -> String {
 
 fn timings_obj(t: &PhaseTimings) -> String {
     format!(
-        "{{\"acfg_build_secs\": {}, \"saeg_build_secs\": {}, \"encode_secs\": {}, \"solve_secs\": {}, \"classify_secs\": {}, \"sat_queries\": {}, \"memo_hits\": {}}}",
+        "{{\"acfg_build_secs\": {}, \"saeg_build_secs\": {}, \"encode_secs\": {}, \"solve_secs\": {}, \"classify_secs\": {}, \"baseline_secs\": {}, \"other_secs\": {}, \"sat_queries\": {}, \"memo_hits\": {}, \"queries_avoided\": {}, \"prefilter_hits\": {}}}",
         secs(t.acfg_build),
         secs(t.saeg_build),
         secs(t.encode),
         secs(t.solve),
         secs(t.classify),
+        secs(t.baseline),
+        secs(t.other),
         t.sat_queries,
         t.memo_hits,
+        t.queries_avoided,
+        t.prefilter_hits,
     )
 }
 
@@ -59,6 +63,9 @@ pub fn table2_json(rows: &[Table2Row], jobs: usize, wall_clock: Duration) -> Str
     for r in rows {
         total.merge(&r.timings);
     }
+    // The breakdown sums to wall clock: whatever the phase clocks did
+    // not attribute lands in `other_secs`.
+    total.fill_other(wall_clock);
     s.push_str(&format!("  \"phase_timings\": {},\n", timings_obj(&total)));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {

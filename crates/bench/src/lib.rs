@@ -125,7 +125,10 @@ fn run_bh(workload: &str, module: &Module, engine: HauntedEngine, jobs: usize) -
         },
         time: report.total_runtime(),
         counts: (report.total_leaks(), 0, 0, 0),
-        timings: PhaseTimings::default(),
+        timings: PhaseTimings {
+            baseline: report.total_runtime(),
+            ..PhaseTimings::default()
+        },
     }
 }
 

@@ -9,7 +9,7 @@
 //! (`mark`/`push`/`truncate`) instead of cloning request vectors per
 //! candidate chain.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use lcm_aeg::addr::{alias, AliasResult};
 use lcm_aeg::deps::{ctrl_edges, generalized_addr, Gaddr};
@@ -68,6 +68,12 @@ pub struct DetectorConfig {
     /// [`Detector::analyze_module`]: `0` uses all available cores, `1`
     /// is exact serial execution. Output is identical either way.
     pub jobs: usize,
+    /// Force-disables the query-avoidance layer (the block-reachability
+    /// pre-screen in [`Feasibility`] and the engines' duplicate-block
+    /// fast paths), sending every feasibility question through the memo
+    /// and solver. Findings are identical either way — this exists for
+    /// the differential test suite and for debugging.
+    pub disable_prefilter: bool,
 }
 
 impl Default for DetectorConfig {
@@ -81,6 +87,36 @@ impl Default for DetectorConfig {
             secret_filter: false,
             detect_interference: false,
             jobs: 0,
+            disable_prefilter: false,
+        }
+    }
+}
+
+/// Predecessor lists of the dependency relations, hoisted out of the
+/// engines' nested loops: [`Relation::predecessors`] is an O(n) column
+/// scan, far too slow to re-run once per (transmitter, access) pair.
+/// Iteration order matches `predecessors` exactly (ascending).
+struct DepPreds {
+    /// `gaddr.plain` predecessors per event.
+    gaddr: Vec<Vec<EventId>>,
+    /// `gaddr.gep` predecessors per event.
+    gep: Vec<Vec<EventId>>,
+    /// `ctrl` predecessors per event.
+    ctrl: Vec<Vec<EventId>>,
+}
+
+impl DepPreds {
+    fn build(n: usize, gaddr: &Gaddr, ctrl: &Relation) -> DepPreds {
+        let lists = |r: &Relation| -> Vec<Vec<EventId>> {
+            let t = r.transpose();
+            (0..n)
+                .map(|e| t.successors(e).map(EventId).collect())
+                .collect()
+        };
+        DepPreds {
+            gaddr: lists(&gaddr.plain),
+            gep: lists(&gaddr.gep),
+            ctrl: lists(ctrl),
         }
     }
 }
@@ -176,11 +212,15 @@ impl Detector {
         let t0 = Instant::now();
         let gaddr = generalized_addr(saeg);
         let ctrl = ctrl_edges(saeg);
-        let mut feas = Feasibility::new(saeg);
+        let preds = DepPreds::build(saeg.events.len(), &gaddr, &ctrl);
+        // Whether the engines' duplicate-block fast paths may answer
+        // checks without consulting the solver layer at all.
+        let pf = !self.config.disable_prefilter && !lcm_aeg::prefilter_disabled_by_env();
+        let mut feas = Feasibility::with_prefilter(saeg, !self.config.disable_prefilter);
         let mut raw = match engine {
-            EngineKind::Pht => self.run_pht(saeg, &gaddr, &ctrl, &mut feas),
-            EngineKind::Stl => self.run_stl(saeg, &gaddr, &ctrl, &mut feas),
-            EngineKind::Psf => self.run_psf(saeg, &gaddr, &mut feas),
+            EngineKind::Pht => self.run_pht(saeg, &preds, pf, &mut feas),
+            EngineKind::Stl => self.run_stl(saeg, &gaddr, &ctrl, pf, &mut feas),
+            EngineKind::Psf => self.run_psf(saeg, &gaddr, pf, &mut feas),
         };
         // Deduplicate by (transmitter, class, primitive); keep first.
         let mut seen = std::collections::HashSet::new();
@@ -191,13 +231,14 @@ impl Detector {
         let st = feas.stats();
         let total = t0.elapsed();
         let timings = PhaseTimings {
-            acfg_build: Duration::ZERO,
-            saeg_build: Duration::ZERO,
             encode: st.encode,
             solve: st.solve,
             classify: total.saturating_sub(st.encode + st.solve),
             sat_queries: st.queries,
             memo_hits: st.memo_hits,
+            queries_avoided: st.queries_avoided,
+            prefilter_hits: st.prefilter_hits,
+            ..PhaseTimings::default()
         };
         (raw, timings)
     }
@@ -213,11 +254,14 @@ impl Detector {
     fn run_pht(
         &self,
         saeg: &Saeg,
-        gaddr: &Gaddr,
-        ctrl: &Relation,
+        preds: &DepPreds,
+        pf: bool,
         feas: &mut Feasibility,
     ) -> Vec<Finding> {
         let mut out = Vec::new();
+        // Window membership bitset, reused across (branch, direction)
+        // pairs so the hot loops avoid a binary search per candidate.
+        let mut in_win = vec![false; saeg.events.len()];
         for br in &saeg.branches {
             let Some(dec) = feas.decision_lit(br.block) else {
                 continue;
@@ -235,18 +279,20 @@ impl Detector {
                     continue;
                 }
                 let window = saeg.spec_window(br, mispredict_then);
-                let in_window = |e: EventId| window.binary_search(&e).is_ok();
+                for &e in &window {
+                    in_win[e.0] = true;
+                }
                 for &t in &window {
                     let te = &saeg.events[t.0];
                     if te.kind == EventKind::Fence {
                         continue;
                     }
                     // --- data chains: access -gaddr-> t ---
-                    for access in gaddr.plain.predecessors(t.0).map(EventId) {
+                    for &access in &preds.gaddr[t.0] {
                         if access == t || !self.within_window(saeg, access, t) {
                             continue;
                         }
-                        let access_transient = in_window(access);
+                        let access_transient = in_win[access.0];
                         if !access_transient && !saeg.precedes(access, t) {
                             continue;
                         }
@@ -255,13 +301,21 @@ impl Detector {
                             let l = feas.arch_lit(saeg.events[access.0].block);
                             feas.push(l);
                         }
-                        if !feas.check_stack() {
+                        // A transient access adds nothing to the stack:
+                        // the answer is the base query's, already true.
+                        let ok = if pf && access_transient {
+                            feas.note_prefilter_hit();
+                            true
+                        } else {
+                            feas.check_stack()
+                        };
+                        if !ok {
                             feas.truncate(m);
                             continue;
                         }
                         out.extend(self.classify_data(
                             saeg,
-                            gaddr,
+                            preds,
                             feas,
                             br.block,
                             t,
@@ -277,26 +331,32 @@ impl Detector {
                     // line of a committed same-address load, whose
                     // hit/miss then reveals t's (secret-derived) address.
                     if self.config.detect_interference {
-                        out.extend(self.interference_findings(saeg, gaddr, feas, br.block, t));
+                        out.extend(self.interference_findings(saeg, preds, feas, br.block, t, pf));
                     }
                     // --- control chains: access -ctrl-> t ---
-                    for access in ctrl.predecessors(t.0).map(EventId) {
+                    for &access in &preds.ctrl[t.0] {
                         if access == t || !self.within_window(saeg, access, t) {
                             continue;
                         }
-                        let access_transient = in_window(access);
+                        let access_transient = in_win[access.0];
                         let m = feas.mark();
                         if !access_transient {
                             let l = feas.arch_lit(saeg.events[access.0].block);
                             feas.push(l);
                         }
-                        if !feas.check_stack() {
+                        let ok = if pf && access_transient {
+                            feas.note_prefilter_hit();
+                            true
+                        } else {
+                            feas.check_stack()
+                        };
+                        if !ok {
                             feas.truncate(m);
                             continue;
                         }
                         out.extend(self.classify_ctrl(
                             saeg,
-                            gaddr,
+                            preds,
                             feas,
                             br.block,
                             t,
@@ -307,6 +367,9 @@ impl Detector {
                         ));
                         feas.truncate(m);
                     }
+                }
+                for &e in &window {
+                    in_win[e.0] = false;
                 }
                 feas.truncate(base);
             }
@@ -322,6 +385,7 @@ impl Detector {
         saeg: &Saeg,
         gaddr: &Gaddr,
         ctrl: &Relation,
+        pf: bool,
         feas: &mut Feasibility,
     ) -> Vec<Finding> {
         let mut out = Vec::new();
@@ -354,10 +418,10 @@ impl Detector {
             }
             let Some(s) = bypassed else { continue };
             let base = feas.mark();
-            let s_lit = feas.arch_lit(saeg.events[s.0].block);
-            let l_lit = feas.arch_lit(saeg.events[l.0].block);
-            feas.push(s_lit);
-            feas.push(l_lit);
+            let s_blk = saeg.events[s.0].block;
+            let l_blk = saeg.events[l.0].block;
+            feas.push(feas.arch_lit(s_blk));
+            feas.push(feas.arch_lit(l_blk));
             if !feas.check_stack() {
                 feas.truncate(base);
                 continue;
@@ -369,9 +433,17 @@ impl Detector {
                     continue;
                 }
                 let m = feas.mark();
-                let t_lit = feas.arch_lit(saeg.events[t.0].block);
-                feas.push(t_lit);
-                if !feas.check_stack() {
+                let t_blk = saeg.events[t.0].block;
+                feas.push(feas.arch_lit(t_blk));
+                // A block already on the verified stack adds nothing:
+                // the check's answer is the previous one, already true.
+                let ok = if pf && (t_blk == s_blk || t_blk == l_blk) {
+                    feas.note_prefilter_hit();
+                    true
+                } else {
+                    feas.check_stack()
+                };
+                if !ok {
                     feas.truncate(m);
                     continue;
                 }
@@ -397,9 +469,15 @@ impl Detector {
                         continue;
                     }
                     let m2 = feas.mark();
-                    let t2_lit = feas.arch_lit(saeg.events[t2.0].block);
-                    feas.push(t2_lit);
-                    if !feas.check_stack() {
+                    let t2_blk = saeg.events[t2.0].block;
+                    feas.push(feas.arch_lit(t2_blk));
+                    let ok = if pf && (t2_blk == s_blk || t2_blk == l_blk || t2_blk == t_blk) {
+                        feas.note_prefilter_hit();
+                        true
+                    } else {
+                        feas.check_stack()
+                    };
+                    if !ok {
                         feas.truncate(m2);
                         continue;
                     }
@@ -424,9 +502,15 @@ impl Detector {
                         continue;
                     }
                     let m2 = feas.mark();
-                    let t2_lit = feas.arch_lit(saeg.events[t2.0].block);
-                    feas.push(t2_lit);
-                    if !feas.check_stack() {
+                    let t2_blk = saeg.events[t2.0].block;
+                    feas.push(feas.arch_lit(t2_blk));
+                    let ok = if pf && (t2_blk == s_blk || t2_blk == l_blk || t2_blk == t_blk) {
+                        feas.note_prefilter_hit();
+                        true
+                    } else {
+                        feas.check_stack()
+                    };
+                    if !ok {
                         feas.truncate(m2);
                         continue;
                     }
@@ -454,9 +538,15 @@ impl Detector {
                     continue;
                 }
                 let m = feas.mark();
-                let t_lit = feas.arch_lit(saeg.events[t.0].block);
-                feas.push(t_lit);
-                if !feas.check_stack() {
+                let t_blk = saeg.events[t.0].block;
+                feas.push(feas.arch_lit(t_blk));
+                let ok = if pf && (t_blk == s_blk || t_blk == l_blk) {
+                    feas.note_prefilter_hit();
+                    true
+                } else {
+                    feas.check_stack()
+                };
+                if !ok {
                     feas.truncate(m);
                     continue;
                 }
@@ -489,10 +579,11 @@ impl Detector {
     fn interference_findings(
         &self,
         saeg: &Saeg,
-        gaddr: &Gaddr,
+        preds: &DepPreds,
         feas: &mut Feasibility,
         branch: lcm_ir::BlockId,
         t: EventId,
+        pf: bool,
     ) -> Vec<Finding> {
         let mut out = Vec::new();
         let te = &saeg.events[t.0];
@@ -506,13 +597,18 @@ impl Detector {
                 continue;
             }
             let m = feas.mark();
-            let e_lit = feas.arch_lit(e.block);
-            feas.push(e_lit);
-            if !feas.check_stack() {
+            feas.push(feas.arch_lit(e.block));
+            let ok = if pf && e.block == branch {
+                feas.note_prefilter_hit();
+                true
+            } else {
+                feas.check_stack()
+            };
+            if !ok {
                 feas.truncate(m);
                 continue;
             }
-            for access in gaddr.plain.predecessors(t.0).map(EventId) {
+            for &access in &preds.gaddr[t.0] {
                 if access == t {
                     continue;
                 }
@@ -542,7 +638,13 @@ impl Detector {
     /// in-LSQ store is a forwarding candidate — including ones the alias
     /// oracle proves distinct, which is exactly what distinguishes PSF
     /// from ordinary store forwarding.
-    fn run_psf(&self, saeg: &Saeg, gaddr: &Gaddr, feas: &mut Feasibility) -> Vec<Finding> {
+    fn run_psf(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        pf: bool,
+        feas: &mut Feasibility,
+    ) -> Vec<Finding> {
         let mut out = Vec::new();
         let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
         let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
@@ -568,10 +670,10 @@ impl Detector {
                     continue;
                 }
                 let base = feas.mark();
-                let s_lit = feas.arch_lit(se.block);
-                let l_lit = feas.arch_lit(saeg.events[l.0].block);
-                feas.push(s_lit);
-                feas.push(l_lit);
+                let s_blk = se.block;
+                let l_blk = saeg.events[l.0].block;
+                feas.push(feas.arch_lit(s_blk));
+                feas.push(feas.arch_lit(l_blk));
                 if !feas.check_stack() {
                     feas.truncate(base);
                     continue;
@@ -583,9 +685,15 @@ impl Detector {
                         continue;
                     }
                     let m = feas.mark();
-                    let t_lit = feas.arch_lit(saeg.events[t.0].block);
-                    feas.push(t_lit);
-                    if !feas.check_stack() {
+                    let t_blk = saeg.events[t.0].block;
+                    feas.push(feas.arch_lit(t_blk));
+                    let ok = if pf && (t_blk == s_blk || t_blk == l_blk) {
+                        feas.note_prefilter_hit();
+                        true
+                    } else {
+                        feas.check_stack()
+                    };
+                    if !ok {
                         feas.truncate(m);
                         continue;
                     }
@@ -607,9 +715,15 @@ impl Detector {
                             continue;
                         }
                         let m2 = feas.mark();
-                        let t2_lit = feas.arch_lit(saeg.events[t2.0].block);
-                        feas.push(t2_lit);
-                        if !feas.check_stack() {
+                        let t2_blk = saeg.events[t2.0].block;
+                        feas.push(feas.arch_lit(t2_blk));
+                        let ok = if pf && (t2_blk == s_blk || t2_blk == l_blk || t2_blk == t_blk) {
+                            feas.note_prefilter_hit();
+                            true
+                        } else {
+                            feas.check_stack()
+                        };
+                        if !ok {
                             feas.truncate(m2);
                             continue;
                         }
@@ -642,7 +756,7 @@ impl Detector {
     fn classify_data(
         &self,
         saeg: &Saeg,
-        gaddr: &Gaddr,
+        preds: &DepPreds,
         feas: &mut Feasibility,
         branch: lcm_ir::BlockId,
         t: EventId,
@@ -666,13 +780,13 @@ impl Detector {
         )];
         // Universal upgrade: an index steers the access.
         let index_rel = if self.config.gep_filter {
-            &gaddr.gep
+            &preds.gep
         } else {
-            &gaddr.plain
+            &preds.gaddr
         };
         let steerable = self.access_steerable(saeg, access);
         if steerable && (!self.config.universal_needs_transient_access || access_transient) {
-            for index in index_rel.predecessors(access.0).map(EventId) {
+            for &index in &index_rel[access.0] {
                 if index == access || !self.within_window(saeg, index, t) {
                     continue;
                 }
@@ -700,7 +814,7 @@ impl Detector {
     fn classify_ctrl(
         &self,
         saeg: &Saeg,
-        gaddr: &Gaddr,
+        preds: &DepPreds,
         feas: &mut Feasibility,
         branch: lcm_ir::BlockId,
         t: EventId,
@@ -723,13 +837,13 @@ impl Detector {
             bypassed,
         )];
         let index_rel = if self.config.gep_filter {
-            &gaddr.gep
+            &preds.gep
         } else {
-            &gaddr.plain
+            &preds.gaddr
         };
         let steerable = self.access_steerable(saeg, access);
         if steerable && (!self.config.universal_needs_transient_access || access_transient) {
-            for index in index_rel.predecessors(access.0).map(EventId) {
+            for &index in &index_rel[access.0] {
                 if index == access || !self.within_window(saeg, index, t) {
                     continue;
                 }
@@ -764,8 +878,9 @@ impl Detector {
         }
     }
 
-    /// Builds one finding; the witness path comes from the solver under
-    /// the current assumption stack.
+    /// Builds one finding; the witness seed is read off the current
+    /// assumption stack — no solver call. The full path is materialized
+    /// lazily by [`Finding::witness_path`] when a witness is rendered.
     #[allow(clippy::too_many_arguments)]
     fn finding(
         &self,
@@ -781,6 +896,7 @@ impl Detector {
         branch: Option<lcm_ir::BlockId>,
         bypassed_store: Option<EventId>,
     ) -> Finding {
+        let seed = feas.stack_seed();
         Finding {
             function: saeg.fname.clone(),
             transmitter: t,
@@ -794,7 +910,8 @@ impl Detector {
             branch,
             bypassed_store,
             interference: false,
-            witness_path: feas.witness_path_stack().unwrap_or_default(),
+            witness_blocks: seed.blocks,
+            witness_dir: seed.branch_dir,
         }
     }
 }
@@ -848,7 +965,13 @@ mod tests {
         assert!(udt.access_transient, "v1's access is transient");
         assert_eq!(udt.primitive, SpeculationPrimitive::ConditionalBranch);
         assert!(udt.branch.is_some());
-        assert!(!udt.witness_path.is_empty());
+        assert!(!udt.witness_blocks.is_empty());
+        // Lazy witness: the path materializes from the seed on demand.
+        let m = lcm_minic::compile(SPECTRE_V1).unwrap();
+        let saeg = Saeg::build(&m, "victim", SpeculationConfig::default()).unwrap();
+        let path = udt.witness_path(&saeg);
+        assert!(path.contains(&lcm_ir::BlockId(0)));
+        assert!(path.contains(&udt.branch.unwrap()));
     }
 
     #[test]

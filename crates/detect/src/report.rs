@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use lcm_aeg::EventId;
+use lcm_aeg::{EventId, Saeg};
 use lcm_core::speculation::SpeculationPrimitive;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_ir::{BlockId, InstId};
@@ -37,11 +37,23 @@ pub struct Finding {
     /// receiver is a *committed* load whose line the transient transmitter
     /// warmed (§6.1's "new attack variant").
     pub interference: bool,
-    /// Blocks of the witnessing architectural path.
-    pub witness_path: Vec<BlockId>,
+    /// Witness seed: blocks the witnessing architectural path must
+    /// execute, in chain order. The full path is expanded on demand by
+    /// [`Finding::witness_path`], so findings stay compact even at the
+    /// 150k-findings scale of the synthetic-library rows.
+    pub witness_blocks: Vec<BlockId>,
+    /// Witness seed: the constrained branch and its architectural
+    /// direction (`true` = then-target), if the primitive is a branch.
+    pub witness_dir: Option<(BlockId, bool)>,
 }
 
 impl Finding {
+    /// Materializes the witnessing architectural path (executed blocks,
+    /// entry to return) from the stored seed.
+    pub fn witness_path(&self, saeg: &Saeg) -> Vec<BlockId> {
+        saeg.arch_witness_path(&self.witness_blocks, self.witness_dir)
+    }
+
     /// Deduplication key: one finding per distinct chain
     /// (transmitter, class, primitive, access, index, interference).
     #[allow(clippy::type_complexity)]
@@ -81,10 +93,22 @@ pub struct PhaseTimings {
     /// Engine chain enumeration and classification (everything in the
     /// engines that is not solving).
     pub classify: Duration,
-    /// Feasibility questions asked (including memo hits).
+    /// Time spent in baseline tools (the haunted re-execution checker)
+    /// when a bench row runs one.
+    pub baseline: Duration,
+    /// Wall-clock remainder not attributed to any tracked phase
+    /// (module compilation, corpus generation, aggregation). Set by
+    /// [`PhaseTimings::fill_other`] so the breakdown sums to wall clock.
+    pub other: Duration,
+    /// Feasibility questions that reached the memo/solver (incl. hits).
     pub sat_queries: u64,
     /// Questions answered from the feasibility memo.
     pub memo_hits: u64,
+    /// Questions answered by the block-reachability pre-screen without
+    /// reaching the memo or solver.
+    pub queries_avoided: u64,
+    /// Engine-level candidate checks skipped by hoisted pre-screens.
+    pub prefilter_hits: u64,
 }
 
 impl PhaseTimings {
@@ -95,22 +119,41 @@ impl PhaseTimings {
         self.encode += other.encode;
         self.solve += other.solve;
         self.classify += other.classify;
+        self.baseline += other.baseline;
+        self.other += other.other;
         self.sat_queries += other.sat_queries;
         self.memo_hits += other.memo_hits;
+        self.queries_avoided += other.queries_avoided;
+        self.prefilter_hits += other.prefilter_hits;
+    }
+
+    /// Sum of every tracked phase.
+    pub fn tracked(&self) -> Duration {
+        self.acfg_build + self.saeg_build + self.encode + self.solve + self.classify + self.baseline
+    }
+
+    /// Sets `other` to whatever part of `wall` the tracked phases do not
+    /// account for, so the rendered breakdown sums to wall clock.
+    pub fn fill_other(&mut self, wall: Duration) {
+        self.other = wall.saturating_sub(self.tracked());
     }
 
     /// One-line human-readable breakdown for the bench binaries.
     pub fn render(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         format!(
-            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | {} SAT queries ({} memo hits)",
+            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | baseline {:.1}ms | other {:.1}ms | {} SAT queries ({} memo hits, {} avoided, {} prefilter hits)",
             ms(self.acfg_build),
             ms(self.saeg_build),
             ms(self.encode),
             ms(self.solve),
             ms(self.classify),
+            ms(self.baseline),
+            ms(self.other),
             self.sat_queries,
             self.memo_hits,
+            self.queries_avoided,
+            self.prefilter_hits,
         )
     }
 }
@@ -201,7 +244,8 @@ mod tests {
             branch: None,
             bypassed_store: None,
             interference: false,
-            witness_path: vec![],
+            witness_blocks: vec![],
+            witness_dir: None,
         }
     }
 

@@ -23,7 +23,10 @@ pub fn witness_dot(saeg: &Saeg, finding: &Finding) -> String {
         finding.function, finding.class, finding.primitive
     );
 
-    let on_path = |b: lcm_ir::BlockId| finding.witness_path.contains(&b);
+    // Materialize the witness path from the finding's compact seed; this
+    // is the one place findings pay for a path.
+    let witness_path = finding.witness_path(saeg);
+    let on_path = |b: lcm_ir::BlockId| witness_path.contains(&b);
     let chain: Vec<_> = [finding.index, finding.access, Some(finding.transmitter)]
         .into_iter()
         .flatten()

@@ -39,13 +39,20 @@ impl Relation {
 
     /// Creates the full relation (every ordered pair) over `n` elements.
     pub fn full(n: usize) -> Self {
-        let mut r = Self::empty(n);
-        for a in 0..n {
-            for b in 0..n {
-                r.insert(a, b);
+        let words_per_row = n.div_ceil(WORD);
+        let mut bits = vec![!0u64; n * words_per_row];
+        let tail = n % WORD;
+        if tail != 0 {
+            let mask = (1u64 << tail) - 1;
+            for row in 0..n {
+                bits[row * words_per_row + words_per_row - 1] = mask;
             }
         }
-        r
+        Relation {
+            n,
+            words_per_row,
+            bits,
+        }
     }
 
     /// Creates a relation from an iterator of pairs.
@@ -199,18 +206,34 @@ impl Relation {
     /// literature.
     #[must_use]
     pub fn compose(&self, other: &Relation) -> Relation {
-        self.assert_same_universe(other);
         let mut out = Relation::empty(self.n);
+        self.compose_into(other, &mut out);
+        out
+    }
+
+    /// Relational composition into a caller-provided buffer.
+    ///
+    /// `out` is cleared and overwritten with `self ; other`; its
+    /// allocation is reused, so closure-style loops that compose
+    /// repeatedly allocate nothing after the first iteration.
+    pub fn compose_into(&self, other: &Relation, out: &mut Relation) {
+        self.assert_same_universe(other);
+        self.assert_same_universe(out);
+        out.bits.fill(0);
         for a in 0..self.n {
-            let out_row_start = a * self.words_per_row;
-            for b in self.successors(a).collect::<Vec<_>>() {
-                let other_row = other.row(b);
-                for (wi, &w) in other_row.iter().enumerate() {
-                    out.bits[out_row_start + wi] |= w;
+            let row_start = a * self.words_per_row;
+            for wi in 0..self.words_per_row {
+                let mut w = self.bits[row_start + wi];
+                while w != 0 {
+                    let b = wi * WORD + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let other_row = other.row(b);
+                    for (oi, &ow) in other_row.iter().enumerate() {
+                        out.bits[row_start + oi] |= ow;
+                    }
                 }
             }
         }
-        out
     }
 
     /// Transitive closure `r⁺` via iterated squaring over the bit matrix.
@@ -429,6 +452,31 @@ mod tests {
         assert!(c.contains(0, 3));
         assert!(c.contains(1, 0));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn full_covers_every_pair_across_word_boundaries() {
+        for n in [0, 1, 63, 64, 65, 70, 128] {
+            let f = Relation::full(n);
+            assert_eq!(f.len(), n * n, "n={n}");
+            if n > 0 {
+                assert!(f.contains(0, n - 1));
+                assert!(f.contains(n - 1, 0));
+                assert!(!f.contains(n, 0), "out-of-universe stays absent");
+            }
+        }
+    }
+
+    #[test]
+    fn compose_into_matches_compose_and_clears_buffer() {
+        let a = rel(70, &[(0, 1), (1, 65), (69, 0)]);
+        let b = rel(70, &[(1, 3), (65, 69)]);
+        let mut out = Relation::full(70); // stale contents must be cleared
+        a.compose_into(&b, &mut out);
+        assert_eq!(out, a.compose(&b));
+        assert!(out.contains(0, 3));
+        assert!(out.contains(1, 69));
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

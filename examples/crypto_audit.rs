@@ -56,13 +56,16 @@ fn main() {
     let module = bench.module();
     let r = det.analyze_module(&module, EngineKind::Pht);
     for f in r.findings().filter(|f| f.class.is_universal()) {
+        // Findings carry a compact seed; the path materializes on demand.
+        let saeg = lcm::aeg::Saeg::build(&module, &f.function, det.config().spec)
+            .expect("S-AEG for reported function");
         println!(
             "  {} {} at inst %{} — speculative out-of-bounds pointer load, \
              dereferenced transiently (witness path: {} blocks)",
             f.function,
             f.class,
             f.transmitter_inst.0,
-            f.witness_path.len()
+            f.witness_path(&saeg).len()
         );
     }
     assert!(

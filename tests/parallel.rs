@@ -100,7 +100,10 @@ fn haunted_baseline_is_deterministic_across_job_counts() {
 
 /// Memoized feasibility answers equal fresh-solver answers: replay a
 /// deterministic query workload on a seeded synthetic module against
-/// (a) one memoizing instance and (b) a fresh instance per query.
+/// (a) one trie-memoizing instance with the reachability pre-screen
+/// force-disabled and (b) a fresh pre-screening instance per query —
+/// cross-validating the trie memo, the solver, and the pre-screen
+/// against each other.
 #[test]
 fn feasibility_memo_matches_uncached_solving() {
     let cfg = SynthConfig {
@@ -117,7 +120,7 @@ fn feasibility_memo_matches_uncached_solving() {
     for f in m.public_functions() {
         let acfg = lcm::ir::acfg::build_acfg(&m, &f.name).expect("acfg");
         let saeg = Saeg::from_acfg(&f.name, acfg, det.config().spec);
-        let mut memoized = Feasibility::new(&saeg);
+        let mut memoized = Feasibility::with_prefilter(&saeg, false);
         let blocks: Vec<_> = saeg.topo_blocks().to_vec();
         // Ask each pairwise reachability question twice: the second
         // round is answered from the memo and must not change verdicts.

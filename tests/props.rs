@@ -173,3 +173,61 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Relational algebra: closure laws against a naive reference.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `Relation::transitive_closure` (the bitset doubling in lcm-relalg)
+    /// agrees with a textbook Floyd–Warshall on random relations up to
+    /// n = 24 — the query-avoidance pre-filter in lcm-aeg leans on this
+    /// closure for its reachability verdicts, so it gets its own oracle.
+    #[test]
+    fn transitive_closure_matches_floyd_warshall(
+        n in 2..=24usize,
+        bits in proptest::collection::vec(any::<bool>(), (24 * 24)..=(24 * 24)),
+    ) {
+        use lcm::relalg::Relation;
+        let mut r = Relation::empty(n);
+        for a in 0..n {
+            for b in 0..n {
+                if bits[a * 24 + b] {
+                    r.insert(a, b);
+                }
+            }
+        }
+        let closed = r.transitive_closure();
+
+        // Reference: plain boolean Floyd–Warshall.
+        let mut reach = vec![vec![false; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                reach[a][b] = bits[a * 24 + b];
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    for j in 0..n {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    closed.contains(a, b),
+                    reach[a][b],
+                    "pair ({}, {}) of n={}", a, b, n
+                );
+            }
+        }
+    }
+}
