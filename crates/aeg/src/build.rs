@@ -104,6 +104,21 @@ impl Saeg {
         Ok(Self::from_acfg(fname, acfg, config))
     }
 
+    /// Total dependency-edge count (address, value, and branch-condition
+    /// dependencies) — the edge measure the resource governor's S-AEG
+    /// budget is checked against.
+    pub fn edge_count(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.addr_deps.len() + e.value_deps.len())
+            .sum::<usize>()
+            + self
+                .branches
+                .iter()
+                .map(|b| b.cond_deps.len())
+                .sum::<usize>()
+    }
+
     /// Builds the S-AEG from an already-constructed (acyclic) A-CFG.
     pub fn from_acfg(fname: &str, acfg: Function, config: SpeculationConfig) -> Saeg {
         let topo = reverse_postorder(&acfg);

@@ -31,12 +31,15 @@
 //! Counters for both layers are tracked in [`FeasStats`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lcm_core::fault::site;
+use lcm_core::govern::{AnalysisError, BudgetKind, ResourceGovernor};
 use lcm_ir::{BlockId, Terminator};
 use lcm_relalg::Relation;
 use lcm_sat::cnf::Cnf;
-use lcm_sat::{Lit, SolveResult};
+use lcm_sat::{AbortReason, Lit, SolveLimits, SolveResult};
 
 use crate::build::Saeg;
 
@@ -171,6 +174,8 @@ pub struct Feasibility {
     /// queries so screening allocates nothing.
     blocks_buf: Vec<u32>,
     stats: FeasStats,
+    /// Per-function resource governor, when the caller runs governed.
+    governor: Option<Arc<ResourceGovernor>>,
 }
 
 impl Feasibility {
@@ -261,7 +266,70 @@ impl Feasibility {
             stack: Vec::new(),
             blocks_buf: Vec::new(),
             stats,
+            governor: None,
         }
+    }
+
+    /// Attaches a per-function resource governor: subsequent queries
+    /// honour its deadline and conflict budget, and once it trips every
+    /// query answers "infeasible" so the engines drain quickly. With no
+    /// budgets set and no faults armed the governed instance behaves
+    /// identically to an ungoverned one.
+    pub fn attach_governor(&mut self, gov: Arc<ResourceGovernor>) {
+        self.governor = Some(gov);
+    }
+
+    /// Strided governor poll for engine loop heads. Always true when
+    /// ungoverned; false once the governor has tripped.
+    #[inline]
+    pub fn governor_ok(&self) -> bool {
+        self.governor.as_ref().is_none_or(|g| g.poll())
+    }
+
+    /// Governor gate at query entry: fires the `solver_abort` /
+    /// `conflict_budget` fault sites and polls the deadline. Returns
+    /// false when the query must not run (the governor has tripped).
+    #[inline]
+    fn governor_gate(&self) -> bool {
+        let Some(g) = &self.governor else { return true };
+        if g.fault_fires(site::SOLVER_ABORT) {
+            g.trip(AnalysisError::SolverAbort);
+            return false;
+        }
+        if g.fault_fires(site::CONFLICT_BUDGET) {
+            g.trip(AnalysisError::BudgetExceeded {
+                kind: BudgetKind::SolverConflicts,
+            });
+            return false;
+        }
+        g.poll()
+    }
+
+    /// One governed solver call over the current stack: applies the
+    /// governor's remaining budget as [`SolveLimits`], charges the
+    /// conflicts the call spent, and converts an abort into a trip.
+    fn solve_stack_governed(&mut self) -> SolveResult {
+        if let Some(g) = &self.governor {
+            self.cnf.solver_mut().set_limits(SolveLimits {
+                max_conflicts: g.remaining_conflicts(),
+                deadline: g.deadline(),
+            });
+        }
+        let (c0, _, _) = self.cnf.solver_mut().stats();
+        let res = self.cnf.solver_mut().solve_with(&self.stack);
+        if let Some(g) = &self.governor {
+            let (c1, _, _) = self.cnf.solver_mut().stats();
+            g.charge_conflicts(c1 - c0);
+            if let SolveResult::Aborted(reason) = &res {
+                match reason {
+                    AbortReason::Deadline => g.trip_timeout(),
+                    AbortReason::Conflicts => g.trip(AnalysisError::BudgetExceeded {
+                        kind: BudgetKind::SolverConflicts,
+                    }),
+                }
+            }
+        }
+        res
     }
 
     /// The literal asserting block `b` is architecturally executed.
@@ -411,7 +479,13 @@ impl Feasibility {
     /// satisfiable. Answered by the reachability pre-screen when
     /// possible; otherwise by the trie memo, then the solver.
     /// Allocation-free on screened and memoized queries.
+    /// Once the attached governor (if any) trips, every call answers
+    /// `false` — engines treat the remaining candidates as infeasible
+    /// and drain quickly; the driver reports the function `Degraded`.
     pub fn check_stack(&mut self) -> bool {
+        if !self.governor_gate() {
+            return false;
+        }
         if let Some(ans) = self.screen_stack() {
             self.stats.queries_avoided += 1;
             return ans;
@@ -423,11 +497,13 @@ impl Feasibility {
             return r;
         }
         let t0 = Instant::now();
-        let r = matches!(
-            self.cnf.solver_mut().solve_with(&self.stack),
-            SolveResult::Sat(_)
-        );
+        let res = self.solve_stack_governed();
         self.stats.solve += t0.elapsed();
+        if res.is_aborted() {
+            // Not an answer: leave the memo untouched.
+            return false;
+        }
+        let r = res.is_sat();
         self.memo.nodes[node].result = Some(r);
         r
     }
@@ -437,6 +513,9 @@ impl Feasibility {
     /// infeasible case can be screened — a feasible answer still needs
     /// the model.
     pub fn witness_path_stack(&mut self) -> Option<Vec<BlockId>> {
+        if !self.governor_gate() {
+            return None;
+        }
         if self.screen_stack() == Some(false) {
             self.stats.queries_avoided += 1;
             return None;
@@ -448,7 +527,9 @@ impl Feasibility {
             return r.clone();
         }
         let t0 = Instant::now();
-        let r = match self.cnf.solver_mut().solve_with(&self.stack) {
+        let res = self.solve_stack_governed();
+        self.stats.solve += t0.elapsed();
+        let r = match res {
             SolveResult::Sat(m) => Some(
                 self.arch
                     .iter()
@@ -458,8 +539,9 @@ impl Feasibility {
                     .collect(),
             ),
             SolveResult::Unsat(_) => None,
+            // Not an answer: leave the memo untouched.
+            SolveResult::Aborted(_) => return None,
         };
-        self.stats.solve += t0.elapsed();
         self.memo.nodes[node].path = Some(r.clone());
         r
     }

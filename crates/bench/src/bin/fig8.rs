@@ -3,7 +3,11 @@
 //! plus a log-log summary by size bucket.
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin fig8 -- [--big]
-//! [--jobs N] [--json PATH]`
+//! [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]`
+//!
+//! `--timeout-ms` / `--max-conflicts` set per-function analysis budgets;
+//! points whose analysis degrades are listed at the end and the exit
+//! status is 1.
 
 use std::time::Instant;
 
@@ -26,7 +30,7 @@ fn main() {
     );
     println!("function,size,pht_us,stl_us");
     let t0 = Instant::now();
-    let points = fig8_series(cfg, args.jobs);
+    let points = fig8_series(cfg, args.jobs, args.budgets());
     let wall = t0.elapsed();
     for p in &points {
         println!(
@@ -75,5 +79,15 @@ fn main() {
         std::fs::write(path, json::fig8_json(&points, args.jobs, wall))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("json written to {path}");
+    }
+
+    let degraded: Vec<_> = points.iter().filter(|p| p.degraded.is_some()).collect();
+    if !degraded.is_empty() {
+        println!("\nDEGRADED analyses (points are a lower bound):");
+        for p in &degraded {
+            println!("  {}: {}", p.function, p.degraded.as_deref().unwrap_or(""));
+        }
+        eprintln!("error: {} analyses degraded", degraded.len());
+        std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 //! and transmitter counts.
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin table2 -- [--quick]
-//! [--repair] [--jobs N] [--json PATH]`
+//! [--repair] [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]`
 //!
 //! `--quick` skips the synthetic-library workloads; `--repair` additionally
 //! runs fence-insertion repair on every vulnerable litmus program and
@@ -10,7 +10,9 @@
 //! initially-detected leakage is mitigated). `--jobs N` sets the worker
 //! thread count (0/omitted = all cores, 1 = serial; the table is
 //! identical either way) and `--json PATH` writes the machine-readable
-//! run record.
+//! run record. `--timeout-ms` / `--max-conflicts` set per-function
+//! analysis budgets; functions that trip one are reported as degraded
+//! (their counts become a lower bound) and the exit status is 1.
 
 use std::time::Instant;
 
@@ -31,7 +33,7 @@ fn main() {
         lcm_core::par::effective_jobs(args.jobs)
     );
     let t0 = Instant::now();
-    let rows = table2_rows(quick, args.jobs);
+    let rows = table2_rows(quick, args.jobs, args.budgets());
     let wall = t0.elapsed();
     println!("{}", render_table2(&rows));
     println!("wall clock: {wall:.3?}");
@@ -41,6 +43,16 @@ fn main() {
     }
     phases.fill_other(wall);
     println!("phase breakdown: {}", phases.render());
+
+    let degraded: Vec<_> = rows.iter().filter(|r| !r.degraded.is_empty()).collect();
+    if !degraded.is_empty() {
+        println!("\nDEGRADED analyses (findings are a lower bound):");
+        for r in &degraded {
+            for (func, reason) in &r.degraded {
+                println!("  {} [{}] {}: {}", r.workload, r.tool.name(), func, reason);
+            }
+        }
+    }
 
     if let Some(path) = &args.json {
         std::fs::write(path, json::table2_json(&rows, args.jobs, wall))
@@ -90,5 +102,11 @@ fn main() {
                 );
             }
         }
+    }
+
+    let n_degraded: usize = rows.iter().map(|r| r.degraded.len()).sum();
+    if n_degraded > 0 {
+        eprintln!("error: {n_degraded} analyses degraded; see summary above");
+        std::process::exit(1);
     }
 }

@@ -6,6 +6,9 @@
 //! harness does not know end up in [`BenchArgs::rest`] for the binary's
 //! own switches (`--quick`, `--repair`, `--big`, …).
 
+use lcm_core::govern::Budgets;
+use std::time::Duration;
+
 /// Parsed common flags plus whatever was left over.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
@@ -13,6 +16,12 @@ pub struct BenchArgs {
     pub jobs: usize,
     /// `--json PATH`: where to write the JSON report, if requested.
     pub json: Option<String>,
+    /// `--timeout-ms N`: per-function wall-clock budget (0 or omitted =
+    /// unlimited).
+    pub timeout_ms: u64,
+    /// `--max-conflicts N`: per-function solver-conflict budget (0 or
+    /// omitted = unlimited).
+    pub max_conflicts: u64,
     /// Unrecognized arguments, in order.
     pub rest: Vec<String>,
 }
@@ -21,6 +30,16 @@ impl BenchArgs {
     /// `true` if a leftover flag like `--quick` is present.
     pub fn has(&self, flag: &str) -> bool {
         self.rest.iter().any(|a| a == flag)
+    }
+
+    /// The per-function resource budgets these flags request
+    /// (unlimited when neither flag was given).
+    pub fn budgets(&self) -> Budgets {
+        Budgets {
+            timeout: (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms)),
+            max_conflicts: (self.max_conflicts > 0).then_some(self.max_conflicts),
+            ..Budgets::default()
+        }
     }
 }
 
@@ -45,6 +64,20 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
         } else if a == "--json" {
             let v = args.next().unwrap_or_else(|| die("--json needs a path"));
             out.json = Some(v);
+        } else if let Some(v) = a.strip_prefix("--timeout-ms=") {
+            out.timeout_ms = parse_num(v, "--timeout-ms");
+        } else if a == "--timeout-ms" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--timeout-ms needs a value"));
+            out.timeout_ms = parse_num(&v, "--timeout-ms");
+        } else if let Some(v) = a.strip_prefix("--max-conflicts=") {
+            out.max_conflicts = parse_num(v, "--max-conflicts");
+        } else if a == "--max-conflicts" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--max-conflicts needs a value"));
+            out.max_conflicts = parse_num(&v, "--max-conflicts");
         } else {
             out.rest.push(a);
         }
@@ -55,6 +88,11 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
 fn parse_jobs(v: &str) -> usize {
     v.parse()
         .unwrap_or_else(|_| die(&format!("--jobs expects a number, got {v:?}")))
+}
+
+fn parse_num(v: &str, flag: &str) -> u64 {
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("{flag} expects a number, got {v:?}")))
 }
 
 fn die(msg: &str) -> ! {
@@ -86,6 +124,19 @@ mod tests {
         let b = args(&["--jobs=2", "--json=x.json"]);
         assert_eq!(b.jobs, 2);
         assert_eq!(b.json.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn budget_flags_parse_and_build_budgets() {
+        let a = args(&["--timeout-ms", "500", "--max-conflicts=10000"]);
+        assert_eq!(a.timeout_ms, 500);
+        assert_eq!(a.max_conflicts, 10000);
+        let b = a.budgets();
+        assert_eq!(b.timeout, Some(Duration::from_millis(500)));
+        assert_eq!(b.max_conflicts, Some(10000));
+        assert_eq!(b.max_saeg_nodes, None);
+        // Omitted flags mean unlimited.
+        assert!(args(&[]).budgets().is_unlimited());
     }
 
     #[test]

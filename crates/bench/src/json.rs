@@ -49,6 +49,21 @@ fn timings_obj(t: &PhaseTimings) -> String {
     )
 }
 
+/// The per-row `degraded` array: `{"function", "reason"}` objects.
+fn degraded_list(entries: &[(String, String)]) -> String {
+    entries
+        .iter()
+        .map(|(f, r)| {
+            format!(
+                "{{\"function\": \"{}\", \"reason\": \"{}\"}}",
+                esc(f),
+                esc(r)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Serializes a `table2` run. `wall_clock` is the end-to-end time of
 /// computing the rows (the parallel-speedup measure; the per-row `time`
 /// fields sum *per-function* runtimes and so stay roughly constant
@@ -70,7 +85,7 @@ pub fn table2_json(rows: &[Table2Row], jobs: usize, wall_clock: Duration) -> Str
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"tool\": \"{}\", \"pfun\": {}, \"loc\": {}, \"time_secs\": {}, \"dt\": {}, \"ct\": {}, \"udt\": {}, \"uct\": {}}}{}\n",
+            "    {{\"workload\": \"{}\", \"tool\": \"{}\", \"pfun\": {}, \"loc\": {}, \"time_secs\": {}, \"dt\": {}, \"ct\": {}, \"udt\": {}, \"uct\": {}, \"status\": \"{}\", \"degraded\": [{}]}}{}\n",
             esc(&r.workload),
             esc(r.tool.name()),
             r.pfun,
@@ -80,6 +95,12 @@ pub fn table2_json(rows: &[Table2Row], jobs: usize, wall_clock: Duration) -> Str
             r.counts.1,
             r.counts.2,
             r.counts.3,
+            if r.degraded.is_empty() {
+                "completed"
+            } else {
+                "degraded"
+            },
+            degraded_list(&r.degraded),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -97,11 +118,19 @@ pub fn fig8_json(points: &[Fig8Point], jobs: usize, wall_clock: Duration) -> Str
     s.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"function\": \"{}\", \"size\": {}, \"pht_secs\": {}, \"stl_secs\": {}}}{}\n",
+            "    {{\"function\": \"{}\", \"size\": {}, \"pht_secs\": {}, \"stl_secs\": {}, \"status\": \"{}\", \"degraded\": {}}}{}\n",
             esc(&p.function),
             p.size,
             secs(p.pht_time),
             secs(p.stl_time),
+            if p.degraded.is_none() {
+                "completed"
+            } else {
+                "degraded"
+            },
+            p.degraded
+                .as_deref()
+                .map_or_else(|| "null".to_string(), |d| format!("\"{}\"", esc(d))),
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -123,6 +152,7 @@ mod tests {
             time: Duration::from_millis(12),
             counts: (1, 2, 3, 4),
             timings: PhaseTimings::default(),
+            degraded: Vec::new(),
         }
     }
 
@@ -149,12 +179,38 @@ mod tests {
             size: 7,
             pht_time: Duration::from_millis(3),
             stl_time: Duration::from_millis(5),
+            degraded: None,
         };
         let s = fig8_json(&[p], 1, Duration::from_millis(8));
         assert!(s.contains("\"bench\": \"fig8\""));
         assert!(s.contains("\"size\": 7"));
         assert!(s.contains("\"pht_secs\": 0.003000"));
+        assert!(s.contains("\"status\": \"completed\""));
+        assert!(s.contains("\"degraded\": null"));
         assert!(balanced(&s));
+    }
+
+    #[test]
+    fn degraded_entries_serialize() {
+        let mut r = row("litmus-pht");
+        r.degraded
+            .push(("victim_1".to_string(), "timeout (budget 5 ms)".to_string()));
+        let s = table2_json(&[r], 1, Duration::from_secs(1));
+        assert!(s.contains("\"status\": \"degraded\""));
+        assert!(s.contains("\"function\": \"victim_1\""));
+        assert!(s.contains("\"reason\": \"timeout (budget 5 ms)\""));
+        assert!(balanced(&s), "balanced: {s}");
+
+        let p = Fig8Point {
+            function: "f".into(),
+            size: 0,
+            pht_time: Duration::ZERO,
+            stl_time: Duration::ZERO,
+            degraded: Some("worker panic: boom".into()),
+        };
+        let s = fig8_json(&[p], 1, Duration::from_millis(1));
+        assert!(s.contains("\"degraded\": \"worker panic: boom\""));
+        assert!(balanced(&s), "balanced: {s}");
     }
 
     /// Brace/bracket balance outside string literals — a cheap

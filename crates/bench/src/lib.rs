@@ -21,10 +21,11 @@ pub mod json;
 use std::time::Duration;
 
 use lcm_aeg::Saeg;
+use lcm_core::govern::Budgets;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::synth::{synthetic_library, SynthConfig};
 use lcm_corpus::{all_litmus, crypto, Bench};
-use lcm_detect::{Detector, DetectorConfig, EngineKind, PhaseTimings};
+use lcm_detect::{Detector, DetectorConfig, EngineKind, FunctionStatus, PhaseTimings};
 use lcm_haunted::{HauntedConfig, HauntedEngine};
 use lcm_ir::Module;
 
@@ -70,6 +71,9 @@ pub struct Table2Row {
     pub counts: (usize, usize, usize, usize),
     /// Phase breakdown (Clou tools only; zero for BH rows).
     pub timings: PhaseTimings,
+    /// Functions whose analysis was cut short, as `(function, reason)`.
+    /// Their findings still count toward `counts` as a lower bound.
+    pub degraded: Vec<(String, String)>,
 }
 
 impl Table2Row {
@@ -79,12 +83,29 @@ impl Table2Row {
     }
 }
 
-fn run_clou(workload: &str, module: &Module, engine: EngineKind, jobs: usize) -> Table2Row {
+fn run_clou(
+    workload: &str,
+    module: &Module,
+    engine: EngineKind,
+    jobs: usize,
+    budgets: Budgets,
+) -> Table2Row {
     let det = Detector::new(DetectorConfig {
         jobs,
+        budgets,
         ..DetectorConfig::default()
     });
     let report = det.analyze_module(module, engine);
+    let degraded = report
+        .degraded()
+        .map(|f| {
+            let reason = f
+                .status
+                .error()
+                .map_or_else(String::new, ToString::to_string);
+            (f.name.clone(), reason)
+        })
+        .collect();
     Table2Row {
         workload: workload.to_string(),
         pfun: module.public_functions().count(),
@@ -102,6 +123,7 @@ fn run_clou(workload: &str, module: &Module, engine: EngineKind, jobs: usize) ->
             report.count(TransmitterClass::UniversalControl),
         ),
         timings: report.timings(),
+        degraded,
     }
 }
 
@@ -129,6 +151,11 @@ fn run_bh(workload: &str, module: &Module, engine: HauntedEngine, jobs: usize) -
             baseline: report.total_runtime(),
             ..PhaseTimings::default()
         },
+        degraded: report
+            .functions
+            .iter()
+            .filter_map(|f| f.degraded.as_ref().map(|d| (f.name.clone(), d.clone())))
+            .collect(),
     }
 }
 
@@ -137,7 +164,12 @@ fn run_bh(workload: &str, module: &Module, engine: HauntedEngine, jobs: usize) -
 /// paper's per-file runs). With `jobs > 1` the benches of a suite run on
 /// worker threads; aggregation order (and thus every aggregate) is
 /// unchanged.
-pub fn suite_rows(workload: &str, benches: &[Bench], jobs: usize) -> Vec<Table2Row> {
+pub fn suite_rows(
+    workload: &str,
+    benches: &[Bench],
+    jobs: usize,
+    budgets: Budgets,
+) -> Vec<Table2Row> {
     let mut rows: Vec<Table2Row> = Vec::new();
     for tool in [Tool::ClouPht, Tool::ClouStl, Tool::BhPht, Tool::BhStl] {
         let mut acc = Table2Row {
@@ -148,14 +180,15 @@ pub fn suite_rows(workload: &str, benches: &[Bench], jobs: usize) -> Vec<Table2R
             time: Duration::ZERO,
             counts: (0, 0, 0, 0),
             timings: PhaseTimings::default(),
+            degraded: Vec::new(),
         };
         // Suites are many small single-function programs: parallelize
         // across benches (inner analysis stays serial per module).
         let per_bench = lcm_core::par::map_indexed(benches, jobs, |_, bench| {
             let m = bench.module();
             match tool {
-                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht, 1),
-                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl, 1),
+                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht, 1, budgets),
+                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl, 1, budgets),
                 Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht, 1),
                 Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl, 1),
             }
@@ -169,6 +202,7 @@ pub fn suite_rows(workload: &str, benches: &[Bench], jobs: usize) -> Vec<Table2R
             acc.counts.2 += row.counts.2;
             acc.counts.3 += row.counts.3;
             acc.timings.merge(&row.timings);
+            acc.degraded.extend(row.degraded);
         }
         rows.push(acc);
     }
@@ -181,13 +215,18 @@ pub fn suite_rows(workload: &str, benches: &[Bench], jobs: usize) -> Vec<Table2R
 /// criterion bench to keep iterations short). `jobs` is the worker
 /// thread count (0 = all cores, 1 = serial); rows are identical either
 /// way.
-pub fn table2_rows(quick: bool, jobs: usize) -> Vec<Table2Row> {
+pub fn table2_rows(quick: bool, jobs: usize, budgets: Budgets) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for (suite, benches) in all_litmus() {
-        rows.extend(suite_rows(suite, &benches, jobs));
+        rows.extend(suite_rows(suite, &benches, jobs, budgets));
     }
     for bench in crypto::all_crypto() {
-        rows.extend(suite_rows(bench.name, std::slice::from_ref(&bench), jobs));
+        rows.extend(suite_rows(
+            bench.name,
+            std::slice::from_ref(&bench),
+            jobs,
+            budgets,
+        ));
     }
     if !quick {
         for (name, cfg) in [
@@ -196,8 +235,8 @@ pub fn table2_rows(quick: bool, jobs: usize) -> Vec<Table2Row> {
         ] {
             let (src, _) = synthetic_library(cfg);
             let m = lcm_minic::compile(&src).expect("synthetic library compiles");
-            rows.push(run_clou(name, &m, EngineKind::Pht, jobs));
-            rows.push(run_clou(name, &m, EngineKind::Stl, jobs));
+            rows.push(run_clou(name, &m, EngineKind::Pht, jobs, budgets));
+            rows.push(run_clou(name, &m, EngineKind::Stl, jobs, budgets));
             rows.push(run_bh(name, &m, HauntedEngine::Pht, jobs));
             rows.push(run_bh(name, &m, HauntedEngine::Stl, jobs));
         }
@@ -244,30 +283,79 @@ pub struct Fig8Point {
     pub pht_time: Duration,
     /// STL-engine serial runtime.
     pub stl_time: Duration,
+    /// `Some(reason)` when either engine's analysis was cut short (the
+    /// point's times/counts are then a lower bound).
+    pub degraded: Option<String>,
+}
+
+/// Reason string for a degraded point, labelled by engine.
+fn fig8_degraded(pht: &FunctionStatus, stl: &FunctionStatus) -> Option<String> {
+    let mut parts = Vec::new();
+    if let Some(e) = pht.error() {
+        parts.push(format!("pht: {e}"));
+    }
+    if let Some(e) = stl.error() {
+        parts.push(format!("stl: {e}"));
+    }
+    (!parts.is_empty()).then(|| parts.join("; "))
 }
 
 /// Computes the Fig. 8 scatter over the synthetic library.
 ///
 /// Each function's S-AEG is built **once** and both engines run over it
 /// (the engines only differ in the speculation primitive they consider,
-/// so the graph is shared). Functions fan out over `jobs` workers.
-pub fn fig8_series(cfg: SynthConfig, jobs: usize) -> Vec<Fig8Point> {
+/// so the graph is shared). Functions fan out over `jobs` workers; a
+/// worker that panics or trips a budget degrades only its own point.
+pub fn fig8_series(cfg: SynthConfig, jobs: usize, budgets: Budgets) -> Vec<Fig8Point> {
     let (src, _) = synthetic_library(cfg);
     let m = lcm_minic::compile(&src).expect("synthetic library compiles");
-    let det = Detector::new(DetectorConfig::default());
+    let det = Detector::new(DetectorConfig {
+        budgets,
+        ..DetectorConfig::default()
+    });
     let names: Vec<String> = m.public_functions().map(|f| f.name.clone()).collect();
-    let mut out = lcm_core::par::map_indexed(&names, jobs, |_, name| {
-        let acfg = lcm_ir::acfg::build_acfg(&m, name).expect("A-CFG construction");
+    let faults = det.config().faults.merged_with_env();
+    let per_fn = lcm_core::par::map_indexed_catch(&names, jobs, |i, name| {
+        if faults.fires(lcm_core::fault::site::WORKER_PANIC, i) {
+            panic!("injected fault: worker_panic in function {i} (`{name}`)");
+        }
+        let acfg = match lcm_ir::acfg::build_acfg(&m, name) {
+            Ok(a) => a,
+            Err(e) => {
+                return Fig8Point {
+                    function: name.clone(),
+                    size: 0,
+                    pht_time: Duration::ZERO,
+                    stl_time: Duration::ZERO,
+                    degraded: Some(format!("malformed IR: {e}")),
+                }
+            }
+        };
         let saeg = Saeg::from_acfg(name, acfg, det.config().spec);
-        let pht = det.analyze_saeg_report(&m, &saeg, EngineKind::Pht);
-        let stl = det.analyze_saeg_report(&m, &saeg, EngineKind::Stl);
+        let pht = det.analyze_saeg_report_at(&m, &saeg, EngineKind::Pht, i);
+        let stl = det.analyze_saeg_report_at(&m, &saeg, EngineKind::Stl, i);
         Fig8Point {
             function: name.clone(),
-            size: pht.saeg_size,
+            size: saeg.events.len(),
             pht_time: pht.runtime,
             stl_time: stl.runtime,
+            degraded: fig8_degraded(&pht.status, &stl.status),
         }
     });
+    let mut out: Vec<Fig8Point> = per_fn
+        .into_iter()
+        .zip(&names)
+        .map(|(r, name)| match r {
+            Ok(p) => p,
+            Err(message) => Fig8Point {
+                function: name.clone(),
+                size: 0,
+                pht_time: Duration::ZERO,
+                stl_time: Duration::ZERO,
+                degraded: Some(format!("worker panic: {message}")),
+            },
+        })
+        .collect();
     out.sort_by_key(|p| p.size);
     out
 }
@@ -283,9 +371,13 @@ mod tests {
         // and criterion benches (release profile).
         let mut rows = Vec::new();
         for (suite, benches) in all_litmus() {
-            rows.extend(suite_rows(suite, &benches, 1));
+            rows.extend(suite_rows(suite, &benches, 1, Budgets::default()));
         }
         assert_eq!(rows.len(), 4 * 4);
+        assert!(
+            rows.iter().all(|r| r.degraded.is_empty()),
+            "unlimited budgets must not degrade anything"
+        );
         let pht_row = rows
             .iter()
             .find(|r| r.workload == "litmus-pht" && r.tool == Tool::ClouPht)

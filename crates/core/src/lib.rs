@@ -52,6 +52,8 @@ pub mod cat;
 pub mod confidentiality;
 pub mod event;
 pub mod exec;
+pub mod fault;
+pub mod govern;
 pub mod leakage;
 pub mod mcm;
 pub mod noninterference;
@@ -61,6 +63,8 @@ pub mod taxonomy;
 
 pub use event::{AccessMode, Event, EventId, EventKind, Location, XState};
 pub use exec::{Execution, ExecutionBuilder};
+pub use fault::FaultPlan;
+pub use govern::{AnalysisError, BudgetKind, Budgets, ResourceGovernor};
 pub use leakage::{detect_leakage, LeakageReport};
 pub use noninterference::{NiPredicate, Violation};
 pub use taxonomy::{Transmitter, TransmitterClass};

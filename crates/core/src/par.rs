@@ -70,6 +70,38 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Like [`map_indexed`], but each item's closure runs under
+/// `catch_unwind`: a panic in `f` degrades *that item* to
+/// `Err(message)` instead of tearing down the whole fan-out. The other
+/// workers keep draining the cursor untouched.
+///
+/// The panic payload is rendered with [`panic_message`]; the default
+/// panic hook still prints its usual report to stderr (suppress it in
+/// tests with a custom hook if the noise matters).
+pub fn map_indexed_catch<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_indexed(items, jobs, |i, x| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, x)))
+            .map_err(|p| panic_message(p.as_ref()))
+    })
+}
+
+/// Best-effort rendering of a panic payload (the `&str`/`String` cases
+/// cover `panic!` with a message, which is all our code produces).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +148,28 @@ mod tests {
         let items = [1u8, 2];
         let out = map_indexed(&items, 64, |_, &x| x as u32);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn catch_isolates_a_panicking_item() {
+        let items: Vec<u32> = (0..8).collect();
+        // Quiet the default panic hook for the intentional panic.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = map_indexed_catch(&items, 4, |_, &x| {
+            if x == 3 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(*r, Err("boom at 3".to_string()));
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 2));
+            }
+        }
     }
 }

@@ -9,18 +9,21 @@
 //! (`mark`/`push`/`truncate`) instead of cloning request vectors per
 //! candidate chain.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use lcm_aeg::addr::{alias, AliasResult};
 use lcm_aeg::deps::{ctrl_edges, generalized_addr, Gaddr};
 use lcm_aeg::taint::attacker_controlled;
 use lcm_aeg::{EventId, EventKind, Feasibility, Saeg};
+use lcm_core::fault::{site, FaultPlan};
+use lcm_core::govern::{AnalysisError, Budgets, ResourceGovernor};
 use lcm_core::speculation::{SpeculationConfig, SpeculationPrimitive};
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_ir::{Inst, Module};
 use lcm_relalg::Relation;
 
-use crate::report::{Finding, FunctionReport, ModuleReport, PhaseTimings};
+use crate::report::{Finding, FunctionReport, FunctionStatus, ModuleReport, PhaseTimings};
 
 /// Which speculation primitive an engine considers (§5.3): Clou-pht and
 /// Clou-stl "differ only with regard to the speculation primitives they
@@ -74,6 +77,14 @@ pub struct DetectorConfig {
     /// and solver. Findings are identical either way — this exists for
     /// the differential test suite and for debugging.
     pub disable_prefilter: bool,
+    /// Per-function resource budgets (wall-clock deadline, solver
+    /// conflicts, S-AEG size). The default is unlimited; a function
+    /// exceeding a budget is reported `Degraded` instead of blocking
+    /// the module (Clou's §6 per-function-timeout discipline).
+    pub budgets: Budgets,
+    /// Armed fault-injection sites (tests only). Merged with the
+    /// `LCM_FAULT` environment variable at analysis time.
+    pub faults: FaultPlan,
 }
 
 impl Default for DetectorConfig {
@@ -88,6 +99,8 @@ impl Default for DetectorConfig {
             detect_interference: false,
             jobs: 0,
             disable_prefilter: false,
+            budgets: Budgets::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -142,34 +155,102 @@ impl Detector {
     /// Analyzes every public function of the module with one engine,
     /// fanning out over [`DetectorConfig::jobs`] worker threads. Reports
     /// come back in module order regardless of the thread count.
+    ///
+    /// The report is *partial on failure*: a function that exceeds a
+    /// [`DetectorConfig::budgets`] limit, fails A-CFG construction, or
+    /// panics its worker comes back `Degraded` with a typed
+    /// [`AnalysisError`]; the other functions are unaffected.
     pub fn analyze_module(&self, module: &Module, engine: EngineKind) -> ModuleReport {
         let names: Vec<&str> = module.public_functions().map(|f| f.name.as_str()).collect();
-        let functions = lcm_core::par::map_indexed(&names, self.config.jobs, |_, name| {
-            self.analyze_function(module, name, engine)
+        let faults = self.config.faults.merged_with_env();
+        let results = lcm_core::par::map_indexed_catch(&names, self.config.jobs, |i, name| {
+            self.analyze_function_governed(module, name, engine, i, &faults)
         });
+        let functions = results
+            .into_iter()
+            .zip(&names)
+            .map(|(res, name)| match res {
+                Ok(report) => report,
+                Err(message) => FunctionReport::degraded(
+                    name.to_string(),
+                    AnalysisError::WorkerPanic { message },
+                ),
+            })
+            .collect();
         ModuleReport { functions }
     }
 
-    /// Analyzes a single function.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the function does not exist or has irreducible control
-    /// flow (our front end cannot produce either).
+    /// Analyzes a single function. A missing function, irreducible
+    /// control flow, an exceeded budget, or an armed fault site yields a
+    /// `Degraded` report rather than a panic.
     pub fn analyze_function(
         &self,
         module: &Module,
         fname: &str,
         engine: EngineKind,
     ) -> FunctionReport {
+        let index = module
+            .public_functions()
+            .position(|f| f.name == fname)
+            .unwrap_or(0);
+        let faults = self.config.faults.merged_with_env();
+        self.analyze_function_governed(module, fname, engine, index, &faults)
+    }
+
+    /// The governed per-function pipeline. `index` is the function's
+    /// position in module order (keys the fault plan); panics from the
+    /// `worker_panic` site (or real bugs) are caught by
+    /// [`Self::analyze_module`]'s `catch_unwind` fan-out.
+    fn analyze_function_governed(
+        &self,
+        module: &Module,
+        fname: &str,
+        engine: EngineKind,
+        index: usize,
+        faults: &FaultPlan,
+    ) -> FunctionReport {
         let start = Instant::now();
+        let gov = Arc::new(ResourceGovernor::new(
+            self.config.budgets.clone(),
+            faults,
+            index,
+        ));
+        if gov.fault_fires(site::WORKER_PANIC) {
+            panic!("injected fault: worker_panic in function {index} (`{fname}`)");
+        }
+        let degraded = |err: AnalysisError, start: Instant| {
+            let mut r = FunctionReport::degraded(fname.to_string(), err);
+            r.runtime = start.elapsed();
+            r
+        };
+        if !gov.poll_now() {
+            return degraded(gov.tripped().expect("governor tripped"), start);
+        }
         let t0 = Instant::now();
-        let acfg = lcm_ir::acfg::build_acfg(module, fname).expect("A-CFG construction");
+        let acfg = if gov.fault_fires(site::MALFORMED_IR) {
+            Err(AnalysisError::MalformedIr {
+                message: format!("injected fault: malformed_ir in `{fname}`"),
+            })
+        } else {
+            lcm_ir::acfg::build_acfg(module, fname).map_err(|e| AnalysisError::MalformedIr {
+                message: e.to_string(),
+            })
+        };
+        let acfg = match acfg {
+            Ok(a) => a,
+            Err(e) => return degraded(e, start),
+        };
         let acfg_build = t0.elapsed();
         let t1 = Instant::now();
         let saeg = Saeg::from_acfg(fname, acfg, self.config.spec);
         let saeg_build = t1.elapsed();
-        let mut report = self.analyze_saeg_report(module, &saeg, engine);
+        let mut report = if !gov.check_saeg(saeg.events.len(), saeg.edge_count()) || !gov.poll_now()
+        {
+            degraded(gov.tripped().expect("governor tripped"), start)
+        } else {
+            self.analyze_saeg_report_governed(module, &saeg, engine, Some(&gov))
+        };
+        report.saeg_size = saeg.events.len();
         report.timings.acfg_build = acfg_build;
         report.timings.saeg_build = saeg_build;
         report.runtime = start.elapsed();
@@ -180,35 +261,86 @@ impl Detector {
     /// report (filters, severity ordering, phase timings) — this lets
     /// callers that need several engines over the same function build
     /// the S-AEG once. `timings.acfg_build`/`saeg_build` are zero here;
-    /// [`Self::analyze_function`] fills them in.
+    /// [`Self::analyze_function`] fills them in. Ungoverned: budgets and
+    /// fault sites are not applied (see [`Self::analyze_saeg_report_at`]).
     pub fn analyze_saeg_report(
         &self,
         module: &Module,
         saeg: &Saeg,
         engine: EngineKind,
     ) -> FunctionReport {
+        self.analyze_saeg_report_governed(module, saeg, engine, None)
+    }
+
+    /// Like [`Self::analyze_saeg_report`], but governed by
+    /// [`DetectorConfig::budgets`] and the fault plan, with the function
+    /// at `index` in module order. Used by callers that build S-AEGs
+    /// themselves (the fig8 bench) but still want graceful degradation.
+    pub fn analyze_saeg_report_at(
+        &self,
+        module: &Module,
+        saeg: &Saeg,
+        engine: EngineKind,
+        index: usize,
+    ) -> FunctionReport {
+        let faults = self.config.faults.merged_with_env();
+        let gov = Arc::new(ResourceGovernor::new(
+            self.config.budgets.clone(),
+            &faults,
+            index,
+        ));
+        if !gov.check_saeg(saeg.events.len(), saeg.edge_count()) || !gov.poll_now() {
+            let mut r = FunctionReport::degraded(
+                saeg.fname.clone(),
+                gov.tripped().expect("governor tripped"),
+            );
+            r.saeg_size = saeg.events.len();
+            return r;
+        }
+        self.analyze_saeg_report_governed(module, saeg, engine, Some(&gov))
+    }
+
+    fn analyze_saeg_report_governed(
+        &self,
+        module: &Module,
+        saeg: &Saeg,
+        engine: EngineKind,
+        gov: Option<&Arc<ResourceGovernor>>,
+    ) -> FunctionReport {
         let start = Instant::now();
-        let (mut findings, timings) = self.analyze_saeg_timed(saeg, engine);
+        let (mut findings, timings) = self.analyze_saeg_timed(saeg, engine, gov);
         if self.config.secret_filter {
             findings.retain(|f| secret_relevant(module, saeg, f));
         }
         findings.sort_by_key(|f| std::cmp::Reverse(f.class.severity_rank()));
+        // Findings gathered before a trip are kept: a degraded report is
+        // a lower bound, not garbage.
+        let status = match gov.and_then(|g| g.tripped()) {
+            Some(err) => FunctionStatus::Degraded(err),
+            None => FunctionStatus::Completed,
+        };
         FunctionReport {
             name: saeg.fname.clone(),
             transmitters: findings,
             saeg_size: saeg.events.len(),
             runtime: start.elapsed(),
             timings,
+            status,
         }
     }
 
     /// Runs one engine over an already-built S-AEG.
     pub fn analyze_saeg(&self, saeg: &Saeg, engine: EngineKind) -> Vec<Finding> {
-        self.analyze_saeg_timed(saeg, engine).0
+        self.analyze_saeg_timed(saeg, engine, None).0
     }
 
     /// Engine run with the encode/solve/classify breakdown attached.
-    fn analyze_saeg_timed(&self, saeg: &Saeg, engine: EngineKind) -> (Vec<Finding>, PhaseTimings) {
+    fn analyze_saeg_timed(
+        &self,
+        saeg: &Saeg,
+        engine: EngineKind,
+        gov: Option<&Arc<ResourceGovernor>>,
+    ) -> (Vec<Finding>, PhaseTimings) {
         let t0 = Instant::now();
         let gaddr = generalized_addr(saeg);
         let ctrl = ctrl_edges(saeg);
@@ -217,6 +349,9 @@ impl Detector {
         // checks without consulting the solver layer at all.
         let pf = !self.config.disable_prefilter && !lcm_aeg::prefilter_disabled_by_env();
         let mut feas = Feasibility::with_prefilter(saeg, !self.config.disable_prefilter);
+        if let Some(g) = gov {
+            feas.attach_governor(Arc::clone(g));
+        }
         let mut raw = match engine {
             EngineKind::Pht => self.run_pht(saeg, &preds, pf, &mut feas),
             EngineKind::Stl => self.run_stl(saeg, &gaddr, &ctrl, pf, &mut feas),
@@ -263,6 +398,9 @@ impl Detector {
         // pairs so the hot loops avoid a binary search per candidate.
         let mut in_win = vec![false; saeg.events.len()];
         for br in &saeg.branches {
+            if !feas.governor_ok() {
+                break;
+            }
             let Some(dec) = feas.decision_lit(br.block) else {
                 continue;
             };
@@ -283,6 +421,9 @@ impl Detector {
                     in_win[e.0] = true;
                 }
                 for &t in &window {
+                    if !feas.governor_ok() {
+                        break;
+                    }
                     let te = &saeg.events[t.0];
                     if te.kind == EventKind::Fence {
                         continue;
@@ -392,6 +533,9 @@ impl Detector {
         let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
         let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
         for &l in &loads {
+            if !feas.governor_ok() {
+                break;
+            }
             let le = &saeg.events[l.0];
             // Find a bypassable older store to a may/must-aliasing address.
             let mut bypassed: Option<EventId> = None;
@@ -649,6 +793,9 @@ impl Detector {
         let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
         let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
         for &l in &loads {
+            if !feas.governor_ok() {
+                break;
+            }
             for &s in &stores {
                 if s == l || !saeg.precedes(s, l) {
                     continue;

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use lcm_aeg::{EventId, Saeg};
+use lcm_core::govern::AnalysisError;
 use lcm_core::speculation::SpeculationPrimitive;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_ir::{BlockId, InstId};
@@ -158,6 +159,36 @@ impl PhaseTimings {
     }
 }
 
+/// Whether a function's analysis ran to completion.
+///
+/// `Degraded` findings are *partial*: whatever the engines established
+/// before the governor tripped (or the worker panicked) is kept, but
+/// absence of a finding proves nothing. Completed functions are
+/// byte-identical to an ungoverned run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FunctionStatus {
+    /// Analysis ran to completion; findings are exhaustive.
+    #[default]
+    Completed,
+    /// Analysis was cut short; findings are a lower bound.
+    Degraded(AnalysisError),
+}
+
+impl FunctionStatus {
+    /// `true` when analysis ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, FunctionStatus::Completed)
+    }
+
+    /// The degradation error, if any.
+    pub fn error(&self) -> Option<&AnalysisError> {
+        match self {
+            FunctionStatus::Completed => None,
+            FunctionStatus::Degraded(e) => Some(e),
+        }
+    }
+}
+
 /// Per-function analysis result.
 #[derive(Debug, Clone)]
 pub struct FunctionReport {
@@ -171,9 +202,24 @@ pub struct FunctionReport {
     pub runtime: Duration,
     /// Phase breakdown of `runtime`.
     pub timings: PhaseTimings,
+    /// Completed, or degraded with the reason analysis was cut short.
+    pub status: FunctionStatus,
 }
 
 impl FunctionReport {
+    /// An empty report for a function whose analysis was cut short
+    /// before producing anything.
+    pub fn degraded(name: String, error: AnalysisError) -> FunctionReport {
+        FunctionReport {
+            name,
+            transmitters: Vec::new(),
+            saeg_size: 0,
+            runtime: Duration::ZERO,
+            timings: PhaseTimings::default(),
+            status: FunctionStatus::Degraded(error),
+        }
+    }
+
     /// Count of findings at exactly the given class.
     pub fn count(&self, class: TransmitterClass) -> usize {
         self.transmitters
@@ -224,6 +270,22 @@ impl ModuleReport {
     pub fn is_clean(&self) -> bool {
         self.functions.iter().all(FunctionReport::is_clean)
     }
+
+    /// The functions whose analysis was cut short.
+    pub fn degraded(&self) -> impl Iterator<Item = &FunctionReport> {
+        self.functions.iter().filter(|f| !f.status.is_completed())
+    }
+
+    /// How many functions were degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.degraded().count()
+    }
+
+    /// `true` when every function ran to completion (findings are
+    /// exhaustive module-wide).
+    pub fn all_completed(&self) -> bool {
+        self.functions.iter().all(|f| f.status.is_completed())
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +323,7 @@ mod tests {
             saeg_size: 3,
             runtime: Duration::ZERO,
             timings: PhaseTimings::default(),
+            status: FunctionStatus::Completed,
         };
         assert_eq!(r.count(TransmitterClass::Data), 2);
         assert_eq!(r.count(TransmitterClass::UniversalData), 1);
@@ -268,5 +331,27 @@ mod tests {
         let m = ModuleReport { functions: vec![r] };
         assert_eq!(m.count(TransmitterClass::Data), 2);
         assert!(!m.is_clean());
+        assert!(m.all_completed());
+        assert_eq!(m.degraded_count(), 0);
+    }
+
+    #[test]
+    fn degraded_reports_are_tracked() {
+        let ok = FunctionReport {
+            name: "good".into(),
+            transmitters: vec![],
+            saeg_size: 1,
+            runtime: Duration::ZERO,
+            timings: PhaseTimings::default(),
+            status: FunctionStatus::Completed,
+        };
+        let bad = FunctionReport::degraded("bad".into(), AnalysisError::SolverAbort);
+        assert!(bad.status.error().is_some());
+        let m = ModuleReport {
+            functions: vec![ok, bad],
+        };
+        assert!(!m.all_completed());
+        assert_eq!(m.degraded_count(), 1);
+        assert_eq!(m.degraded().next().unwrap().name, "bad");
     }
 }

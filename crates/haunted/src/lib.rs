@@ -111,6 +111,10 @@ pub struct HauntedReport {
     pub exhausted: bool,
     /// Serial runtime.
     pub runtime: Duration,
+    /// `Some(reason)` when this function's analysis was cut short (the
+    /// A-CFG failed to build, or the worker panicked); its `leaks` are
+    /// then a lower bound. `None` for a completed run.
+    pub degraded: Option<String>,
 }
 
 /// Module-level result.
@@ -130,28 +134,52 @@ impl HauntedModuleReport {
     pub fn total_runtime(&self) -> Duration {
         self.functions.iter().map(|f| f.runtime).sum()
     }
+
+    /// How many functions were degraded (cut short).
+    pub fn degraded_count(&self) -> usize {
+        self.functions
+            .iter()
+            .filter(|f| f.degraded.is_some())
+            .count()
+    }
 }
 
 /// Runs the baseline over every public function, fanning out over
 /// [`HauntedConfig::jobs`] worker threads (reports stay in module order).
+///
+/// Workers are isolated: a panic while analyzing one function degrades
+/// that function's report ([`HauntedReport::degraded`]) and leaves the
+/// rest of the module untouched.
 pub fn analyze_module(
     module: &Module,
     engine: HauntedEngine,
     config: HauntedConfig,
 ) -> HauntedModuleReport {
     let names: Vec<&str> = module.public_functions().map(|f| f.name.as_str()).collect();
-    let functions = lcm_core::par::map_indexed(&names, config.jobs, |_, name| {
+    let results = lcm_core::par::map_indexed_catch(&names, config.jobs, |_, name| {
         analyze_function(module, name, engine, config)
     });
+    let functions = results
+        .into_iter()
+        .zip(&names)
+        .map(|(res, name)| match res {
+            Ok(report) => report,
+            Err(message) => HauntedReport {
+                name: name.to_string(),
+                leaks: Vec::new(),
+                paths_explored: 0,
+                exhausted: false,
+                runtime: Duration::ZERO,
+                degraded: Some(format!("worker panic: {message}")),
+            },
+        })
+        .collect();
     HauntedModuleReport { functions }
 }
 
-/// Runs the baseline over one function.
-///
-/// # Panics
-///
-/// Panics if the function does not exist (callers iterate module
-/// functions).
+/// Runs the baseline over one function. A function that does not exist
+/// (or has irreducible control flow) yields a degraded report, not a
+/// panic.
 pub fn analyze_function(
     module: &Module,
     fname: &str,
@@ -160,7 +188,19 @@ pub fn analyze_function(
 ) -> HauntedReport {
     let start = Instant::now();
     let mut budget: i64 = config.step_budget.max(1) as i64;
-    let acfg = build_acfg(module, fname).expect("A-CFG");
+    let acfg = match build_acfg(module, fname) {
+        Ok(a) => a,
+        Err(e) => {
+            return HauntedReport {
+                name: fname.to_string(),
+                leaks: Vec::new(),
+                paths_explored: 0,
+                exhausted: false,
+                runtime: start.elapsed(),
+                degraded: Some(format!("malformed IR: {e}")),
+            }
+        }
+    };
     let mut paths = Vec::new();
     let mut exhausted = false;
     enumerate_paths(
@@ -210,6 +250,7 @@ pub fn analyze_function(
         paths_explored: paths.len(),
         exhausted,
         runtime: start.elapsed(),
+        degraded: None,
     }
 }
 

@@ -24,20 +24,35 @@ pub struct Token {
 
 /// Lexical error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LexError {
-    /// Offending character.
-    pub ch: char,
-    /// 1-based source line.
-    pub line: usize,
+pub enum LexError {
+    /// An unrecognized character.
+    UnexpectedChar {
+        /// Offending character.
+        ch: char,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// An integer literal that does not fit in `i64` (or an empty hex
+    /// literal like `0x`). Previously lexed as `0`, silently changing
+    /// program semantics.
+    IntOutOfRange {
+        /// The literal's text as written.
+        text: String,
+        /// 1-based source line.
+        line: usize,
+    },
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unexpected character {:?} on line {}",
-            self.ch, self.line
-        )
+        match self {
+            LexError::UnexpectedChar { ch, line } => {
+                write!(f, "unexpected character {ch:?} on line {line}")
+            }
+            LexError::IntOutOfRange { text, line } => {
+                write!(f, "integer literal `{text}` out of range on line {line}")
+            }
+        }
     }
 }
 
@@ -120,7 +135,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = bytes[start + 2..i].iter().collect();
-                let v = i64::from_str_radix(&text, 16).unwrap_or(0);
+                let v = i64::from_str_radix(&text, 16).map_err(|_| LexError::IntOutOfRange {
+                    text: format!("0x{text}"),
+                    line,
+                })?;
                 out.push(Token {
                     kind: TokenKind::Int(v),
                     line,
@@ -130,7 +148,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                let v: i64 = text.parse().unwrap_or(0);
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| LexError::IntOutOfRange { text, line })?;
                 out.push(Token {
                     kind: TokenKind::Int(v),
                     line,
@@ -161,7 +181,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             i += p.len();
             continue;
         }
-        return Err(LexError { ch: c, line });
+        return Err(LexError::UnexpectedChar { ch: c, line });
     }
     Ok(out)
 }
@@ -243,7 +263,21 @@ mod tests {
     #[test]
     fn unexpected_character_errors() {
         let e = lex("int $x;").unwrap_err();
-        assert_eq!(e.ch, '$');
-        assert_eq!(e.line, 1);
+        assert_eq!(e, LexError::UnexpectedChar { ch: '$', line: 1 });
+    }
+
+    #[test]
+    fn out_of_range_literal_errors() {
+        // One past i64::MAX: used to silently lex as 0.
+        let e = lex("int x = 9223372036854775808;").unwrap_err();
+        assert!(matches!(e, LexError::IntOutOfRange { line: 1, .. }));
+        let e = lex("int y = 0xFFFFFFFFFFFFFFFFFF;").unwrap_err();
+        assert!(matches!(e, LexError::IntOutOfRange { line: 1, .. }));
+    }
+
+    #[test]
+    fn in_range_literals_still_lex() {
+        assert_eq!(kinds("9223372036854775807"), vec![TokenKind::Int(i64::MAX)]);
+        assert_eq!(kinds("0x7fffffffffffffff"), vec![TokenKind::Int(i64::MAX)]);
     }
 }

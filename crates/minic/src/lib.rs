@@ -77,6 +77,14 @@ impl From<ParseError> for CompileError {
     }
 }
 
+impl From<CompileError> for lcm_core::govern::AnalysisError {
+    fn from(e: CompileError) -> Self {
+        lcm_core::govern::AnalysisError::MalformedIr {
+            message: e.to_string(),
+        }
+    }
+}
+
 /// Compiles mini-C source to an IR module.
 ///
 /// # Errors

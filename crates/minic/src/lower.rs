@@ -171,10 +171,14 @@ impl<'a> FuncLowerer<'a> {
     }
 
     fn declare(&mut self, name: &str, slot: Slot) {
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(name.to_string(), slot);
+        match self.scopes.last_mut() {
+            Some(scope) => {
+                scope.insert(name.to_string(), slot);
+            }
+            // The scope stack starts non-empty and push/pop is balanced,
+            // but recover rather than panic if that invariant breaks.
+            None => self.scopes.push(HashMap::from([(name.to_string(), slot)])),
+        }
     }
 
     fn lookup(&self, name: &str) -> Option<Slot> {
@@ -488,25 +492,29 @@ impl<'a> FuncLowerer<'a> {
                 if matches!(op, BinAst::Add) && db > 0 && da == 0 {
                     return Ok((self.f.gep(vb, va), db));
                 }
-                let irop = match op {
-                    BinAst::Add => BinOp::Add,
-                    BinAst::Sub => BinOp::Sub,
-                    BinAst::Mul => BinOp::Mul,
-                    BinAst::Div => BinOp::Div,
-                    BinAst::Rem => BinOp::Rem,
-                    BinAst::BitAnd => BinOp::And,
-                    BinAst::BitOr => BinOp::Or,
-                    BinAst::BitXor => BinOp::Xor,
-                    BinAst::Shl => BinOp::Shl,
-                    BinAst::Shr => BinOp::Shr,
-                    BinAst::Lt => BinOp::Lt,
-                    BinAst::Le => BinOp::Le,
-                    BinAst::Gt => BinOp::Gt,
-                    BinAst::Ge => BinOp::Ge,
-                    BinAst::Eq => BinOp::Eq,
-                    BinAst::Ne => BinOp::Ne,
-                    BinAst::LogAnd | BinAst::LogOr => unreachable!(),
-                };
+                let irop =
+                    match op {
+                        BinAst::Add => BinOp::Add,
+                        BinAst::Sub => BinOp::Sub,
+                        BinAst::Mul => BinOp::Mul,
+                        BinAst::Div => BinOp::Div,
+                        BinAst::Rem => BinOp::Rem,
+                        BinAst::BitAnd => BinOp::And,
+                        BinAst::BitOr => BinOp::Or,
+                        BinAst::BitXor => BinOp::Xor,
+                        BinAst::Shl => BinOp::Shl,
+                        BinAst::Shr => BinOp::Shr,
+                        BinAst::Lt => BinOp::Lt,
+                        BinAst::Le => BinOp::Le,
+                        BinAst::Gt => BinOp::Gt,
+                        BinAst::Ge => BinOp::Ge,
+                        BinAst::Eq => BinOp::Eq,
+                        BinAst::Ne => BinOp::Ne,
+                        BinAst::LogAnd | BinAst::LogOr => return Err(
+                            "internal error: short-circuit operator reached arithmetic lowering"
+                                .to_string(),
+                        ),
+                    };
                 Ok((self.f.bin(irop, va, vb), 0))
             }
             Expr::Ternary(c, a, b) => {
@@ -566,7 +574,11 @@ impl<'a> FuncLowerer<'a> {
                         // `register` variable: update the tracked value.
                         let depth = match self.lookup(name) {
                             Some(Slot::Reg { depth, .. }) => depth,
-                            _ => unreachable!(),
+                            _ => {
+                                return Err(format!(
+                                    "internal error: `register` slot for `{name}` vanished"
+                                ))
+                            }
                         };
                         // Rebind in the innermost scope that declares it.
                         for scope in self.scopes.iter_mut().rev() {

@@ -153,6 +153,17 @@ impl<'t> Parser<'t> {
         }
     }
 
+    /// An array dimension: a positive integer literal that fits in `u32`.
+    /// Rejects negative, zero, and oversized sizes instead of silently
+    /// wrapping through an `as u32` cast.
+    fn expect_array_size(&mut self) -> Result<u32, ParseError> {
+        let v = self.expect_int()?;
+        match u32::try_from(v) {
+            Ok(n) if n > 0 => Ok(n),
+            _ => self.err(format!("invalid array size {v}")),
+        }
+    }
+
     /// Parses a type if one starts here.
     fn try_type(&mut self) -> Option<TypeSpec> {
         let start = self.pos;
@@ -210,11 +221,15 @@ impl<'t> Parser<'t> {
         loop {
             let mut size = 1u32;
             if self.eat_punct("[") {
-                size = self.expect_int()? as u32;
+                size = self.expect_array_size()?;
                 self.expect_punct("]")?;
                 // multi-dimensional arrays flattened
                 while self.eat_punct("[") {
-                    size *= self.expect_int()? as u32;
+                    let dim = self.expect_array_size()?;
+                    size = match size.checked_mul(dim) {
+                        Some(s) => s,
+                        None => return self.err("array size overflows u32"),
+                    };
                     self.expect_punct("]")?;
                 }
             }
@@ -413,7 +428,7 @@ impl<'t> Parser<'t> {
             let name = self.expect_ident()?;
             let mut size = None;
             if self.eat_punct("[") {
-                size = Some(self.expect_int()? as u32);
+                size = Some(self.expect_array_size()?);
                 self.expect_punct("]")?;
             }
             let init = if self.eat_punct("=") {
@@ -733,6 +748,27 @@ mod tests {
         assert_eq!(p.globals[0].size, 16);
         assert_eq!(p.globals[1].init, vec![0, 0]);
         assert_eq!(p.globals[2].init, vec![7]);
+    }
+
+    #[test]
+    fn invalid_array_sizes_are_rejected() {
+        // Used to wrap through `as u32` into a bogus (usually huge) size.
+        for src in [
+            "int A[-1];",
+            "int A[0];",
+            "int A[4294967296];",
+            "int A[65536][65536];", // per-dim ok, product overflows u32
+            "void f() { int a[-4]; }",
+        ] {
+            let toks = lex(src).unwrap();
+            assert!(parse(&toks).is_err(), "accepted {src:?}");
+        }
+    }
+
+    #[test]
+    fn multi_dimensional_sizes_flatten() {
+        let p = parse_src("int A[4][8];");
+        assert_eq!(p.globals[0].size, 32);
     }
 
     #[test]

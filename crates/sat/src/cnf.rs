@@ -196,7 +196,7 @@ mod tests {
     fn model_of(f: &mut Cnf) -> crate::Model {
         match f.solver_mut().solve() {
             SolveResult::Sat(m) => m,
-            SolveResult::Unsat(_) => panic!("expected sat"),
+            _ => panic!("expected sat"),
         }
     }
 

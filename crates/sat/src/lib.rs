@@ -31,14 +31,14 @@
 //! s.add_clause([Lit::neg(a)]);
 //! match s.solve() {
 //!     SolveResult::Sat(model) => assert!(model.value(Lit::pos(b))),
-//!     SolveResult::Unsat(_) => unreachable!(),
+//!     _ => unreachable!(),
 //! }
 //! ```
 
 pub mod cnf;
 mod solver;
 
-pub use solver::{Model, SolveResult, Solver};
+pub use solver::{AbortReason, Model, SolveLimits, SolveResult, Solver};
 
 use std::fmt;
 use std::ops::Not;

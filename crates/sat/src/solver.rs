@@ -1,5 +1,7 @@
 //! The CDCL solving engine.
 
+use std::time::Instant;
+
 use crate::{Lit, Var};
 
 /// A satisfying assignment.
@@ -25,6 +27,36 @@ impl Model {
     }
 }
 
+/// Why a solve call gave up before reaching SAT or UNSAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The conflict budget of [`SolveLimits::max_conflicts`] ran out.
+    Conflicts,
+    /// The wall-clock deadline of [`SolveLimits::deadline`] passed.
+    Deadline,
+}
+
+/// Resource limits for a solve call. The default is unlimited; limits
+/// persist across calls until changed via [`Solver::set_limits`].
+///
+/// These deliberately mirror (a subset of) the resource governor in
+/// `lcm-core` without depending on it — `lcm-sat` stays a leaf crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveLimits {
+    /// Conflicts this call may spend before aborting. A call that
+    /// finishes with at most this many conflicts is unaffected.
+    pub max_conflicts: Option<u64>,
+    /// Absolute deadline, checked at entry and every 128 conflicts.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveLimits {
+    /// No limits (same as `Default`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
+
 /// Outcome of a solve call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveResult {
@@ -34,6 +66,10 @@ pub enum SolveResult {
     /// the assumptions that is already jointly unsatisfiable with the
     /// clauses.
     Unsat(Vec<Lit>),
+    /// The call gave up (see [`SolveLimits`]) before determining
+    /// satisfiability. The solver remains usable; learned clauses from
+    /// the aborted call are kept.
+    Aborted(AbortReason),
 }
 
 impl SolveResult {
@@ -42,19 +78,24 @@ impl SolveResult {
         matches!(self, SolveResult::Sat(_))
     }
 
+    /// `true` if the call hit a resource limit.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, SolveResult::Aborted(_))
+    }
+
     /// The model, if satisfiable.
     pub fn model(&self) -> Option<&Model> {
         match self {
             SolveResult::Sat(m) => Some(m),
-            SolveResult::Unsat(_) => None,
+            _ => None,
         }
     }
 
     /// The unsat core, if unsatisfiable.
     pub fn core(&self) -> Option<&[Lit]> {
         match self {
-            SolveResult::Sat(_) => None,
             SolveResult::Unsat(c) => Some(c),
+            _ => None,
         }
     }
 }
@@ -99,6 +140,7 @@ pub struct Solver {
     n_conflicts: u64,
     n_decisions: u64,
     n_propagations: u64,
+    limits: SolveLimits,
 }
 
 impl Solver {
@@ -118,6 +160,16 @@ impl Solver {
     /// Statistics: `(conflicts, decisions, propagations)`.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.n_conflicts, self.n_decisions, self.n_propagations)
+    }
+
+    /// Sets the resource limits for subsequent solve calls.
+    pub fn set_limits(&mut self, limits: SolveLimits) {
+        self.limits = limits;
+    }
+
+    /// The limits currently in force.
+    pub fn limits(&self) -> SolveLimits {
+        self.limits
     }
 
     /// Allocates a fresh variable.
@@ -409,13 +461,35 @@ impl Solver {
         if self.contradiction {
             return SolveResult::Unsat(Vec::new());
         }
+        if let Some(d) = self.limits.deadline {
+            if Instant::now() >= d {
+                return SolveResult::Aborted(AbortReason::Deadline);
+            }
+        }
         self.cancel_until(0);
+        let call_conflicts_start = self.n_conflicts;
         let mut restarts = 0u32;
         let mut conflicts_budget = luby(restarts) * 64;
 
         loop {
             if let Some(confl) = self.propagate() {
                 self.n_conflicts += 1;
+                let call_conflicts = self.n_conflicts - call_conflicts_start;
+                if self
+                    .limits
+                    .max_conflicts
+                    .is_some_and(|max| call_conflicts > max)
+                {
+                    self.cancel_until(0);
+                    return SolveResult::Aborted(AbortReason::Conflicts);
+                }
+                if self.limits.deadline.is_some() && call_conflicts % 128 == 0 {
+                    let d = self.limits.deadline.unwrap();
+                    if Instant::now() >= d {
+                        self.cancel_until(0);
+                        return SolveResult::Aborted(AbortReason::Deadline);
+                    }
+                }
                 if self.decision_level() == 0 {
                     self.contradiction = true;
                     self.cancel_until(0);
@@ -577,7 +651,7 @@ mod tests {
                     assert!(m.var_value(v));
                 }
             }
-            SolveResult::Unsat(_) => panic!("should be sat"),
+            _ => panic!("should be sat"),
         }
     }
 
@@ -642,7 +716,7 @@ mod tests {
                     assert!(c.iter().any(|&l| m.value(l)), "clause {c:?} unsatisfied");
                 }
             }
-            SolveResult::Unsat(_) => panic!("should be sat"),
+            _ => panic!("should be sat"),
         }
     }
 
@@ -695,6 +769,67 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (0..9).map(luby).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    /// A pigeonhole instance big enough to guarantee conflicts.
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let v: Vec<Vec<Var>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &v {
+            s.add_clause(row.iter().map(|&x| p(x)));
+        }
+        for j in 0..n {
+            for i1 in 0..n + 1 {
+                for i2 in (i1 + 1)..n + 1 {
+                    s.add_clause([n_(v[i1][j]), n_(v[i2][j])]);
+                }
+            }
+        }
+        s
+    }
+
+    fn n_(v: Var) -> Lit {
+        Lit::neg(v)
+    }
+
+    #[test]
+    fn conflict_limit_aborts_and_solver_stays_usable() {
+        let mut s = pigeonhole(6);
+        s.set_limits(SolveLimits {
+            max_conflicts: Some(5),
+            deadline: None,
+        });
+        let r = s.solve();
+        assert_eq!(r, SolveResult::Aborted(AbortReason::Conflicts));
+        assert!(r.model().is_none());
+        assert!(r.core().is_none());
+        // Lifting the limit finds the real answer on the same solver.
+        s.set_limits(SolveLimits::unlimited());
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn past_deadline_aborts_before_any_work() {
+        let mut s = pigeonhole(4);
+        s.set_limits(SolveLimits {
+            max_conflicts: None,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        });
+        assert_eq!(s.solve(), SolveResult::Aborted(AbortReason::Deadline));
+        s.set_limits(SolveLimits::unlimited());
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn generous_limits_do_not_change_results() {
+        let mut s = pigeonhole(4);
+        s.set_limits(SolveLimits {
+            max_conflicts: Some(u64::MAX),
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+        });
+        assert!(!s.solve().is_sat());
     }
 
     #[test]

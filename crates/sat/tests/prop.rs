@@ -72,6 +72,7 @@ proptest! {
                 }
             }
             SolveResult::Unsat(_) => prop_assert!(!expected, "solver said UNSAT, brute force says SAT"),
+            SolveResult::Aborted(_) => prop_assert!(false, "no limits set, abort impossible"),
         }
     }
 
@@ -115,6 +116,7 @@ proptest! {
                     "unsat core {core:?} is not actually unsat"
                 );
             }
+            SolveResult::Aborted(_) => prop_assert!(false, "no limits set, abort impossible"),
         }
     }
 

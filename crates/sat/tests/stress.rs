@@ -53,6 +53,7 @@ fn models_satisfy_all_clauses_at_scale() {
                 }
             }
             SolveResult::Unsat(_) => unsat += 1,
+            SolveResult::Aborted(_) => panic!("no limits set, abort impossible"),
         }
     }
     // The mix must exercise both outcomes.
@@ -69,6 +70,7 @@ fn solving_is_deterministic() {
         match s.solve() {
             SolveResult::Sat(m) => Some(format!("{m:?}")),
             SolveResult::Unsat(_) => None,
+            SolveResult::Aborted(_) => panic!("no limits set, abort impossible"),
         }
     };
     assert_eq!(run(), run(), "same instance, same result");

@@ -37,3 +37,25 @@ pub use lcm_litmus as litmus;
 pub use lcm_minic as minic;
 pub use lcm_relalg as relalg;
 pub use lcm_sat as sat;
+
+use lcm_core::govern::AnalysisError;
+use lcm_detect::{Detector, EngineKind, ModuleReport};
+
+/// Compiles mini-C source and analyzes every public function with the
+/// given engine.
+///
+/// Front-end failures surface as [`AnalysisError::MalformedIr`] rather
+/// than a panic, mirroring how the detector degrades individual
+/// functions whose IR cannot be built.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::MalformedIr`] when `src` does not compile.
+pub fn analyze_source(
+    src: &str,
+    detector: &Detector,
+    engine: EngineKind,
+) -> Result<ModuleReport, AnalysisError> {
+    let module = minic::compile(src).map_err(AnalysisError::from)?;
+    Ok(detector.analyze_module(&module, engine))
+}
