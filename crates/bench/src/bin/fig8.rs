@@ -3,11 +3,14 @@
 //! plus a log-log summary by size bucket.
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin fig8 -- [--big]
-//! [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]`
+//! [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]
+//! [--cache-dir DIR] [--no-cache]`
 //!
 //! `--timeout-ms` / `--max-conflicts` set per-function analysis budgets;
 //! points whose analysis degrades are listed at the end and the exit
-//! status is 1.
+//! status is 1. `--cache-dir DIR` serves unchanged functions from the
+//! content-addressed result store (both engines must hit for a point to
+//! skip its S-AEG build); `--no-cache` runs cold.
 
 use std::time::Instant;
 
@@ -29,8 +32,9 @@ fn main() {
         lcm_core::par::effective_jobs(args.jobs)
     );
     println!("function,size,pht_us,stl_us");
+    let store = args.open_store();
     let t0 = Instant::now();
-    let points = fig8_series(cfg, args.jobs, args.budgets());
+    let points = fig8_series(cfg, args.jobs, args.budgets(), store.as_ref());
     let wall = t0.elapsed();
     for p in &points {
         println!(
@@ -74,6 +78,13 @@ fn main() {
         lo = hi;
     }
     println!("\nwall clock: {wall:.3?}");
+    if store.is_some() {
+        let hits = points
+            .iter()
+            .filter(|p| p.cache == lcm_detect::CacheStatus::Hit)
+            .count();
+        println!("cache: hits={} misses={}", hits, points.len() - hits);
+    }
 
     if let Some(path) = &args.json {
         std::fs::write(path, json::fig8_json(&points, args.jobs, wall))

@@ -2,7 +2,8 @@
 //! and transmitter counts.
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin table2 -- [--quick]
-//! [--repair] [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]`
+//! [--repair] [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]
+//! [--cache-dir DIR] [--no-cache]`
 //!
 //! `--quick` skips the synthetic-library workloads; `--repair` additionally
 //! runs fence-insertion repair on every vulnerable litmus program and
@@ -13,6 +14,10 @@
 //! run record. `--timeout-ms` / `--max-conflicts` set per-function
 //! analysis budgets; functions that trip one are reported as degraded
 //! (their counts become a lower bound) and the exit status is 1.
+//! `--cache-dir DIR` routes every analysis through the content-addressed
+//! result store at `DIR/results.lcmstore`: a warm re-run on an unchanged
+//! corpus performs zero engine analyses and serves every row from the
+//! cache. `--no-cache` ignores the directory and runs cold.
 
 use std::time::Instant;
 
@@ -32,8 +37,9 @@ fn main() {
         args.jobs,
         lcm_core::par::effective_jobs(args.jobs)
     );
+    let store = args.open_store();
     let t0 = Instant::now();
-    let rows = table2_rows(quick, args.jobs, args.budgets());
+    let rows = table2_rows(quick, args.jobs, args.budgets(), store.as_ref());
     let wall = t0.elapsed();
     println!("{}", render_table2(&rows));
     println!("wall clock: {wall:.3?}");
@@ -43,6 +49,22 @@ fn main() {
     }
     phases.fill_other(wall);
     println!("phase breakdown: {}", phases.render());
+    if let Some(store) = &store {
+        let mut cache = lcm_store::CacheCounts::default();
+        for r in &rows {
+            cache.merge(r.cache);
+        }
+        let s = store.stats();
+        println!(
+            "cache: hits={} misses={} bypassed={} (store: {} entries, {} loaded, {} dropped by recovery)",
+            cache.hits,
+            cache.misses,
+            cache.bypassed,
+            store.len(),
+            s.loaded,
+            s.recovered_drop,
+        );
+    }
 
     let degraded: Vec<_> = rows.iter().filter(|r| !r.degraded.is_empty()).collect();
     if !degraded.is_empty() {

@@ -22,6 +22,11 @@ pub struct BenchArgs {
     /// `--max-conflicts N`: per-function solver-conflict budget (0 or
     /// omitted = unlimited).
     pub max_conflicts: u64,
+    /// `--cache-dir PATH`: directory holding the incremental result
+    /// store (`results.lcmstore`); created if missing.
+    pub cache_dir: Option<String>,
+    /// `--no-cache`: ignore `--cache-dir` and run every analysis cold.
+    pub no_cache: bool,
     /// Unrecognized arguments, in order.
     pub rest: Vec<String>,
 }
@@ -39,6 +44,28 @@ impl BenchArgs {
             timeout: (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms)),
             max_conflicts: (self.max_conflicts > 0).then_some(self.max_conflicts),
             ..Budgets::default()
+        }
+    }
+
+    /// Opens the result store these flags request: `--cache-dir` unless
+    /// `--no-cache`. An unopenable store *warns and runs uncached* —
+    /// a broken cache disk must never fail a benchmark run (the same
+    /// degrade-don't-abort discipline the store itself applies to
+    /// damaged records).
+    pub fn open_store(&self) -> Option<lcm_store::Store> {
+        if self.no_cache {
+            return None;
+        }
+        let dir = self.cache_dir.as_deref()?;
+        let path = std::path::Path::new(dir);
+        let open = std::fs::create_dir_all(path)
+            .and_then(|()| lcm_store::Store::open(&path.join("results.lcmstore")));
+        match open {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("warning: cache at {dir} unavailable ({e}); running uncached");
+                None
+            }
         }
     }
 }
@@ -78,6 +105,15 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
                 .next()
                 .unwrap_or_else(|| die("--max-conflicts needs a value"));
             out.max_conflicts = parse_num(&v, "--max-conflicts");
+        } else if let Some(v) = a.strip_prefix("--cache-dir=") {
+            out.cache_dir = Some(v.to_string());
+        } else if a == "--cache-dir" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--cache-dir needs a path"));
+            out.cache_dir = Some(v);
+        } else if a == "--no-cache" {
+            out.no_cache = true;
         } else {
             out.rest.push(a);
         }
@@ -137,6 +173,20 @@ mod tests {
         assert_eq!(b.max_saeg_nodes, None);
         // Omitted flags mean unlimited.
         assert!(args(&[]).budgets().is_unlimited());
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let a = args(&["--cache-dir", "/tmp/c", "--quick"]);
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/c"));
+        assert!(!a.no_cache);
+        let b = args(&["--cache-dir=/tmp/c", "--no-cache"]);
+        assert_eq!(b.cache_dir.as_deref(), Some("/tmp/c"));
+        assert!(b.no_cache);
+        // `--no-cache` wins: no store is opened even with a dir given.
+        assert!(b.open_store().is_none());
+        // No flags at all: no store.
+        assert!(args(&[]).open_store().is_none());
     }
 
     #[test]

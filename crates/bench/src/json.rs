@@ -1,5 +1,7 @@
 //! Hand-rolled JSON for the `BENCH_*.json` trajectory files (no serde,
-//! per the DESIGN.md §6 dependency policy).
+//! per the DESIGN.md §6 dependency policy). String escaping is the
+//! workspace-wide [`lcm_core::jsonw::esc`] — one implementation shared
+//! with the store metadata and the serve wire protocol.
 //!
 //! The schema is deliberately flat: a top-level object with run
 //! metadata (`bench`, `jobs`, `wall_clock_secs`), the row/point arrays,
@@ -8,25 +10,11 @@
 
 use std::time::Duration;
 
+use lcm_core::jsonw::esc;
 use lcm_detect::PhaseTimings;
+use lcm_store::CacheCounts;
 
 use crate::{Fig8Point, Table2Row};
-
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 fn secs(d: Duration) -> String {
     format!("{:.6}", d.as_secs_f64())
@@ -34,18 +22,28 @@ fn secs(d: Duration) -> String {
 
 fn timings_obj(t: &PhaseTimings) -> String {
     format!(
-        "{{\"acfg_build_secs\": {}, \"saeg_build_secs\": {}, \"encode_secs\": {}, \"solve_secs\": {}, \"classify_secs\": {}, \"baseline_secs\": {}, \"other_secs\": {}, \"sat_queries\": {}, \"memo_hits\": {}, \"queries_avoided\": {}, \"prefilter_hits\": {}}}",
+        "{{\"acfg_build_secs\": {}, \"saeg_build_secs\": {}, \"encode_secs\": {}, \"solve_secs\": {}, \"classify_secs\": {}, \"baseline_secs\": {}, \"cache_secs\": {}, \"other_secs\": {}, \"sat_queries\": {}, \"memo_hits\": {}, \"queries_avoided\": {}, \"prefilter_hits\": {}, \"cache_hits\": {}}}",
         secs(t.acfg_build),
         secs(t.saeg_build),
         secs(t.encode),
         secs(t.solve),
         secs(t.classify),
         secs(t.baseline),
+        secs(t.cache),
         secs(t.other),
         t.sat_queries,
         t.memo_hits,
         t.queries_avoided,
         t.prefilter_hits,
+        t.cache_hits,
+    )
+}
+
+/// The per-row / top-level cache-traffic object.
+fn cache_obj(c: &CacheCounts) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"bypassed\": {}}}",
+        c.hits, c.misses, c.bypassed
     )
 }
 
@@ -82,10 +80,15 @@ pub fn table2_json(rows: &[Table2Row], jobs: usize, wall_clock: Duration) -> Str
     // not attribute lands in `other_secs`.
     total.fill_other(wall_clock);
     s.push_str(&format!("  \"phase_timings\": {},\n", timings_obj(&total)));
+    let mut cache = CacheCounts::default();
+    for r in rows {
+        cache.merge(r.cache);
+    }
+    s.push_str(&format!("  \"cache\": {},\n", cache_obj(&cache)));
     s.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"tool\": \"{}\", \"pfun\": {}, \"loc\": {}, \"time_secs\": {}, \"dt\": {}, \"ct\": {}, \"udt\": {}, \"uct\": {}, \"status\": \"{}\", \"degraded\": [{}]}}{}\n",
+            "    {{\"workload\": \"{}\", \"tool\": \"{}\", \"pfun\": {}, \"loc\": {}, \"time_secs\": {}, \"dt\": {}, \"ct\": {}, \"udt\": {}, \"uct\": {}, \"status\": \"{}\", \"cache\": {}, \"degraded\": [{}]}}{}\n",
             esc(&r.workload),
             esc(r.tool.name()),
             r.pfun,
@@ -100,6 +103,7 @@ pub fn table2_json(rows: &[Table2Row], jobs: usize, wall_clock: Duration) -> Str
             } else {
                 "degraded"
             },
+            cache_obj(&r.cache),
             degraded_list(&r.degraded),
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -118,7 +122,7 @@ pub fn fig8_json(points: &[Fig8Point], jobs: usize, wall_clock: Duration) -> Str
     s.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"function\": \"{}\", \"size\": {}, \"pht_secs\": {}, \"stl_secs\": {}, \"status\": \"{}\", \"degraded\": {}}}{}\n",
+            "    {{\"function\": \"{}\", \"size\": {}, \"pht_secs\": {}, \"stl_secs\": {}, \"status\": \"{}\", \"cache\": \"{}\", \"degraded\": {}}}{}\n",
             esc(&p.function),
             p.size,
             secs(p.pht_time),
@@ -128,6 +132,7 @@ pub fn fig8_json(points: &[Fig8Point], jobs: usize, wall_clock: Duration) -> Str
             } else {
                 "degraded"
             },
+            p.cache.label(),
             p.degraded
                 .as_deref()
                 .map_or_else(|| "null".to_string(), |d| format!("\"{}\"", esc(d))),
@@ -153,6 +158,7 @@ mod tests {
             counts: (1, 2, 3, 4),
             timings: PhaseTimings::default(),
             degraded: Vec::new(),
+            cache: CacheCounts::default(),
         }
     }
 
@@ -167,8 +173,10 @@ mod tests {
         assert!(s.contains("\"jobs\": 4"));
         assert!(s.contains("\"wall_clock_secs\": 1.000000"));
         assert!(s.contains("cr\\\"ypto"), "quotes escaped: {s}");
-        // Exactly one comma between the two rows, none after the last.
-        assert_eq!(s.matches("}},\n").count() + s.matches("},\n").count(), 2);
+        // Line-ending `},` occurrences: the phase_timings line, the
+        // top-level cache line, and the comma between the two rows —
+        // none after the last row.
+        assert_eq!(s.matches("}},\n").count() + s.matches("},\n").count(), 3);
         assert!(balanced(&s), "balanced braces/brackets: {s}");
     }
 
@@ -180,6 +188,7 @@ mod tests {
             pht_time: Duration::from_millis(3),
             stl_time: Duration::from_millis(5),
             degraded: None,
+            cache: lcm_detect::CacheStatus::Bypass,
         };
         let s = fig8_json(&[p], 1, Duration::from_millis(8));
         assert!(s.contains("\"bench\": \"fig8\""));
@@ -207,6 +216,7 @@ mod tests {
             pht_time: Duration::ZERO,
             stl_time: Duration::ZERO,
             degraded: Some("worker panic: boom".into()),
+            cache: lcm_detect::CacheStatus::Bypass,
         };
         let s = fig8_json(&[p], 1, Duration::from_millis(1));
         assert!(s.contains("\"degraded\": \"worker panic: boom\""));

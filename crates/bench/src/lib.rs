@@ -13,7 +13,16 @@
 //! Every entry point takes a `jobs` knob (0 = all cores, 1 = exact
 //! serial) threaded down to [`lcm_core::par::map_indexed`]; results are
 //! independent of the thread count. [`cli`] parses the shared `--jobs` /
-//! `--json` flags and [`json`] hand-rolls the `BENCH_*.json` output.
+//! `--json` flags and [`json`] renders the `BENCH_*.json` output through
+//! `lcm_core::jsonw`.
+//!
+//! Every entry point also takes an optional [`Store`] (`--cache-dir` on
+//! the binaries): with one, per-function results are served from the
+//! content-addressed cache when the function, engine, and
+//! findings-affecting config are unchanged, and engines only run on
+//! misses. A warm re-run over an unchanged corpus performs zero engine
+//! analyses; rows carry per-row [`CacheCounts`] so both the table and
+//! the JSON make the short-circuit visible.
 
 pub mod cli;
 pub mod json;
@@ -25,9 +34,10 @@ use lcm_core::govern::Budgets;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::synth::{synthetic_library, SynthConfig};
 use lcm_corpus::{all_litmus, crypto, Bench};
-use lcm_detect::{Detector, DetectorConfig, EngineKind, FunctionStatus, PhaseTimings};
+use lcm_detect::{CacheStatus, Detector, DetectorConfig, EngineKind, FunctionStatus, PhaseTimings};
 use lcm_haunted::{HauntedConfig, HauntedEngine};
 use lcm_ir::Module;
+use lcm_store::{CacheCounts, Store};
 
 /// Which tool produced a row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +84,9 @@ pub struct Table2Row {
     /// Functions whose analysis was cut short, as `(function, reason)`.
     /// Their findings still count toward `counts` as a lower bound.
     pub degraded: Vec<(String, String)>,
+    /// How this row's functions interacted with the result cache
+    /// (all-bypass when no store was configured).
+    pub cache: CacheCounts,
 }
 
 impl Table2Row {
@@ -89,13 +102,18 @@ fn run_clou(
     engine: EngineKind,
     jobs: usize,
     budgets: Budgets,
+    store: Option<&Store>,
 ) -> Table2Row {
     let det = Detector::new(DetectorConfig {
         jobs,
         budgets,
         ..DetectorConfig::default()
     });
-    let report = det.analyze_module(module, engine);
+    let report = match store {
+        Some(store) => lcm_store::analyze_module_cached(&det, module, engine, store),
+        None => det.analyze_module(module, engine),
+    };
+    let cache = CacheCounts::of(&report);
     let degraded = report
         .degraded()
         .map(|f| {
@@ -124,18 +142,32 @@ fn run_clou(
         ),
         timings: report.timings(),
         degraded,
+        cache,
     }
 }
 
-fn run_bh(workload: &str, module: &Module, engine: HauntedEngine, jobs: usize) -> Table2Row {
-    let report = lcm_haunted::analyze_module(
-        module,
-        engine,
-        HauntedConfig {
-            jobs,
-            ..HauntedConfig::default()
-        },
-    );
+fn run_bh(
+    workload: &str,
+    module: &Module,
+    engine: HauntedEngine,
+    jobs: usize,
+    store: Option<&Store>,
+) -> Table2Row {
+    let config = HauntedConfig {
+        jobs,
+        ..HauntedConfig::default()
+    };
+    let (report, cache) = match store {
+        Some(store) => lcm_store::analyze_module_bh_cached(module, engine, config, store),
+        None => {
+            let report = lcm_haunted::analyze_module(module, engine, config);
+            let cache = CacheCounts {
+                bypassed: report.functions.len() as u64,
+                ..CacheCounts::default()
+            };
+            (report, cache)
+        }
+    };
     Table2Row {
         workload: workload.to_string(),
         pfun: module.public_functions().count(),
@@ -156,6 +188,7 @@ fn run_bh(workload: &str, module: &Module, engine: HauntedEngine, jobs: usize) -
             .iter()
             .filter_map(|f| f.degraded.as_ref().map(|d| (f.name.clone(), d.clone())))
             .collect(),
+        cache,
     }
 }
 
@@ -169,6 +202,7 @@ pub fn suite_rows(
     benches: &[Bench],
     jobs: usize,
     budgets: Budgets,
+    store: Option<&Store>,
 ) -> Vec<Table2Row> {
     let mut rows: Vec<Table2Row> = Vec::new();
     for tool in [Tool::ClouPht, Tool::ClouStl, Tool::BhPht, Tool::BhStl] {
@@ -181,16 +215,17 @@ pub fn suite_rows(
             counts: (0, 0, 0, 0),
             timings: PhaseTimings::default(),
             degraded: Vec::new(),
+            cache: CacheCounts::default(),
         };
         // Suites are many small single-function programs: parallelize
         // across benches (inner analysis stays serial per module).
         let per_bench = lcm_core::par::map_indexed(benches, jobs, |_, bench| {
             let m = bench.module();
             match tool {
-                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht, 1, budgets),
-                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl, 1, budgets),
-                Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht, 1),
-                Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl, 1),
+                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht, 1, budgets, store),
+                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl, 1, budgets, store),
+                Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht, 1, store),
+                Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl, 1, store),
             }
         });
         for row in per_bench {
@@ -203,6 +238,7 @@ pub fn suite_rows(
             acc.counts.3 += row.counts.3;
             acc.timings.merge(&row.timings);
             acc.degraded.extend(row.degraded);
+            acc.cache.merge(row.cache);
         }
         rows.push(acc);
     }
@@ -215,10 +251,15 @@ pub fn suite_rows(
 /// criterion bench to keep iterations short). `jobs` is the worker
 /// thread count (0 = all cores, 1 = serial); rows are identical either
 /// way.
-pub fn table2_rows(quick: bool, jobs: usize, budgets: Budgets) -> Vec<Table2Row> {
+pub fn table2_rows(
+    quick: bool,
+    jobs: usize,
+    budgets: Budgets,
+    store: Option<&Store>,
+) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for (suite, benches) in all_litmus() {
-        rows.extend(suite_rows(suite, &benches, jobs, budgets));
+        rows.extend(suite_rows(suite, &benches, jobs, budgets, store));
     }
     for bench in crypto::all_crypto() {
         rows.extend(suite_rows(
@@ -226,6 +267,7 @@ pub fn table2_rows(quick: bool, jobs: usize, budgets: Budgets) -> Vec<Table2Row>
             std::slice::from_ref(&bench),
             jobs,
             budgets,
+            store,
         ));
     }
     if !quick {
@@ -235,10 +277,10 @@ pub fn table2_rows(quick: bool, jobs: usize, budgets: Budgets) -> Vec<Table2Row>
         ] {
             let (src, _) = synthetic_library(cfg);
             let m = lcm_minic::compile(&src).expect("synthetic library compiles");
-            rows.push(run_clou(name, &m, EngineKind::Pht, jobs, budgets));
-            rows.push(run_clou(name, &m, EngineKind::Stl, jobs, budgets));
-            rows.push(run_bh(name, &m, HauntedEngine::Pht, jobs));
-            rows.push(run_bh(name, &m, HauntedEngine::Stl, jobs));
+            rows.push(run_clou(name, &m, EngineKind::Pht, jobs, budgets, store));
+            rows.push(run_clou(name, &m, EngineKind::Stl, jobs, budgets, store));
+            rows.push(run_bh(name, &m, HauntedEngine::Pht, jobs, store));
+            rows.push(run_bh(name, &m, HauntedEngine::Stl, jobs, store));
         }
     }
     rows
@@ -286,6 +328,9 @@ pub struct Fig8Point {
     /// `Some(reason)` when either engine's analysis was cut short (the
     /// point's times/counts are then a lower bound).
     pub degraded: Option<String>,
+    /// `Hit` when *both* engines' results came from the store, `Miss`
+    /// when they ran and were inserted, `Bypass` with no store.
+    pub cache: CacheStatus,
 }
 
 /// Reason string for a degraded point, labelled by engine.
@@ -306,7 +351,12 @@ fn fig8_degraded(pht: &FunctionStatus, stl: &FunctionStatus) -> Option<String> {
 /// (the engines only differ in the speculation primitive they consider,
 /// so the graph is shared). Functions fan out over `jobs` workers; a
 /// worker that panics or trips a budget degrades only its own point.
-pub fn fig8_series(cfg: SynthConfig, jobs: usize, budgets: Budgets) -> Vec<Fig8Point> {
+pub fn fig8_series(
+    cfg: SynthConfig,
+    jobs: usize,
+    budgets: Budgets,
+    store: Option<&Store>,
+) -> Vec<Fig8Point> {
     let (src, _) = synthetic_library(cfg);
     let m = lcm_minic::compile(&src).expect("synthetic library compiles");
     let det = Detector::new(DetectorConfig {
@@ -319,6 +369,32 @@ pub fn fig8_series(cfg: SynthConfig, jobs: usize, budgets: Budgets) -> Vec<Fig8P
         if faults.fires(lcm_core::fault::site::WORKER_PANIC, i) {
             panic!("injected fault: worker_panic in function {i} (`{name}`)");
         }
+        // Both engines' fingerprints: a point is only a hit when the
+        // store answers for *both* (they share one S-AEG build, so a
+        // half-hit saves nothing — the graph gets built regardless).
+        let fps = store.map(|_| {
+            (
+                lcm_store::clou_fingerprint(&m, name, det.config(), EngineKind::Pht),
+                lcm_store::clou_fingerprint(&m, name, det.config(), EngineKind::Stl),
+            )
+        });
+        if let (Some(store), Some((fp_pht, fp_stl))) = (store, fps) {
+            let t0 = std::time::Instant::now();
+            if let Some(pht) = store.lookup_clou(fp_pht) {
+                let pht_time = t0.elapsed();
+                let t1 = std::time::Instant::now();
+                if store.lookup_clou(fp_stl).is_some() {
+                    return Fig8Point {
+                        function: name.clone(),
+                        size: pht.saeg_size,
+                        pht_time,
+                        stl_time: t1.elapsed(),
+                        degraded: None,
+                        cache: CacheStatus::Hit,
+                    };
+                }
+            }
+        }
         let acfg = match lcm_ir::acfg::build_acfg(&m, name) {
             Ok(a) => a,
             Err(e) => {
@@ -328,18 +404,36 @@ pub fn fig8_series(cfg: SynthConfig, jobs: usize, budgets: Budgets) -> Vec<Fig8P
                     pht_time: Duration::ZERO,
                     stl_time: Duration::ZERO,
                     degraded: Some(format!("malformed IR: {e}")),
+                    cache: CacheStatus::Bypass,
                 }
             }
         };
         let saeg = Saeg::from_acfg(name, acfg, det.config().spec);
-        let pht = det.analyze_saeg_report_at(&m, &saeg, EngineKind::Pht, i);
-        let stl = det.analyze_saeg_report_at(&m, &saeg, EngineKind::Stl, i);
+        let mut pht = det.analyze_saeg_report_at(&m, &saeg, EngineKind::Pht, i);
+        let mut stl = det.analyze_saeg_report_at(&m, &saeg, EngineKind::Stl, i);
+        let cache = match (store, fps) {
+            (Some(store), Some((fp_pht, fp_stl))) => {
+                // Degraded results are never stored (their findings are
+                // a lower bound, not the answer).
+                if pht.status.is_completed() {
+                    pht.cache = CacheStatus::Miss;
+                    store.insert_clou(fp_pht, &pht);
+                }
+                if stl.status.is_completed() {
+                    stl.cache = CacheStatus::Miss;
+                    store.insert_clou(fp_stl, &stl);
+                }
+                CacheStatus::Miss
+            }
+            _ => CacheStatus::Bypass,
+        };
         Fig8Point {
             function: name.clone(),
             size: saeg.events.len(),
             pht_time: pht.runtime,
             stl_time: stl.runtime,
             degraded: fig8_degraded(&pht.status, &stl.status),
+            cache,
         }
     });
     let mut out: Vec<Fig8Point> = per_fn
@@ -353,6 +447,7 @@ pub fn fig8_series(cfg: SynthConfig, jobs: usize, budgets: Budgets) -> Vec<Fig8P
                 pht_time: Duration::ZERO,
                 stl_time: Duration::ZERO,
                 degraded: Some(format!("worker panic: {message}")),
+                cache: CacheStatus::Bypass,
             },
         })
         .collect();
@@ -371,7 +466,7 @@ mod tests {
         // and criterion benches (release profile).
         let mut rows = Vec::new();
         for (suite, benches) in all_litmus() {
-            rows.extend(suite_rows(suite, &benches, 1, Budgets::default()));
+            rows.extend(suite_rows(suite, &benches, 1, Budgets::default(), None));
         }
         assert_eq!(rows.len(), 4 * 4);
         assert!(
@@ -391,5 +486,45 @@ mod tests {
         assert!(rendered.contains("Clou-pht"));
         assert!(rendered.contains("bh-stl"));
         assert!(rendered.contains("litmus-fwd"));
+    }
+
+    #[test]
+    fn warm_suite_rows_are_all_hits_with_identical_counts() {
+        let path = std::env::temp_dir().join(format!(
+            "lcm-bench-warm-{}-{:?}.lcmstore",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let store = Store::open(&path).unwrap();
+        // One suite keeps the debug-profile cost down; the full-corpus
+        // differential runs in CI against the release binaries.
+        let (suite, benches) = &all_litmus()[0];
+        let cold = suite_rows(suite, benches, 1, Budgets::default(), Some(&store));
+        let warm = suite_rows(suite, benches, 1, Budgets::default(), Some(&store));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.cache.hits, 0, "{}: cold run cannot hit", c.workload);
+            assert_eq!(c.cache.bypassed, 0, "{}: everything cacheable", c.workload);
+            assert_eq!(
+                w.cache,
+                CacheCounts {
+                    hits: c.cache.misses,
+                    misses: 0,
+                    bypassed: 0
+                },
+                "{} [{}]: warm run must be all hits",
+                w.workload,
+                w.tool.name()
+            );
+            // Findings identical across the hit/miss boundary.
+            assert_eq!(c.counts, w.counts);
+            assert_eq!(c.pfun, w.pfun);
+        }
+        // Warm Clou rows never ran an engine: zero SAT queries, zero
+        // graph builds — the cache bucket is the only phase with time.
+        let warm_clou = &warm[0];
+        assert_eq!(warm_clou.timings.sat_queries, 0);
+        assert_eq!(warm_clou.timings.cache_hits as usize, warm_clou.pfun);
+        std::fs::remove_file(&path).ok();
     }
 }

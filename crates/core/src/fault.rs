@@ -42,6 +42,15 @@ pub mod site {
     /// Makes the SAT backend report an abort (models a solver
     /// `unknown`/resource-out that is not attributable to our budgets).
     pub const SOLVER_ABORT: &str = "solver_abort";
+    /// Corrupts the `index`-th record appended to the result store
+    /// (checksum damage on disk; the in-memory copy stays valid), so the
+    /// next open exercises the corruption-recovery path. The index is
+    /// the append ordinal, not a function index.
+    pub const STORE_CORRUPT_RECORD: &str = "store.corrupt_record";
+    /// Makes the analysis server drop the `index`-th accepted connection
+    /// without replying (exercises client retry). The index is the
+    /// request ordinal, not a function index.
+    pub const SERVE_DROP_CONN: &str = "serve.drop_conn";
 
     /// All site names, for validation and the CI matrix.
     pub const ALL: &[&str] = &[
@@ -52,6 +61,8 @@ pub mod site {
         MALFORMED_IR,
         WORKER_PANIC,
         SOLVER_ABORT,
+        STORE_CORRUPT_RECORD,
+        SERVE_DROP_CONN,
     ];
 }
 

@@ -54,6 +54,7 @@ pub mod event;
 pub mod exec;
 pub mod fault;
 pub mod govern;
+pub mod jsonw;
 pub mod leakage;
 pub mod mcm;
 pub mod noninterference;

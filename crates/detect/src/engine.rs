@@ -23,7 +23,9 @@ use lcm_core::taxonomy::TransmitterClass;
 use lcm_ir::{Inst, Module};
 use lcm_relalg::Relation;
 
-use crate::report::{Finding, FunctionReport, FunctionStatus, ModuleReport, PhaseTimings};
+use crate::report::{
+    CacheStatus, Finding, FunctionReport, FunctionStatus, ModuleReport, PhaseTimings,
+};
 
 /// Which speculation primitive an engine considers (§5.3): Clou-pht and
 /// Clou-stl "differ only with regard to the speculation primitives they
@@ -326,6 +328,7 @@ impl Detector {
             runtime: start.elapsed(),
             timings,
             status,
+            cache: CacheStatus::Bypass,
         }
     }
 

@@ -46,5 +46,7 @@ mod witness;
 
 pub use engine::{secret_relevant, Detector, DetectorConfig, EngineKind};
 pub use repair::{repair, repair_function, repair_once};
-pub use report::{Finding, FunctionReport, FunctionStatus, ModuleReport, PhaseTimings};
+pub use report::{
+    CacheStatus, Finding, FunctionReport, FunctionStatus, ModuleReport, PhaseTimings,
+};
 pub use witness::{describe, witness_dot};

@@ -97,6 +97,11 @@ pub struct PhaseTimings {
     /// Time spent in baseline tools (the haunted re-execution checker)
     /// when a bench row runs one.
     pub baseline: Duration,
+    /// Time spent in the incremental result cache: fingerprinting,
+    /// lookup, and (on a miss) record insertion. On a warm run this is
+    /// the *only* per-function phase with time in it — without this
+    /// bucket a warm breakdown would not sum to wall clock.
+    pub cache: Duration,
     /// Wall-clock remainder not attributed to any tracked phase
     /// (module compilation, corpus generation, aggregation). Set by
     /// [`PhaseTimings::fill_other`] so the breakdown sums to wall clock.
@@ -110,6 +115,10 @@ pub struct PhaseTimings {
     pub queries_avoided: u64,
     /// Engine-level candidate checks skipped by hoisted pre-screens.
     pub prefilter_hits: u64,
+    /// Functions whose entire engine run was short-circuited by a
+    /// content-addressed cache hit (the strongest form of avoidance:
+    /// zero queries, zero encoding, zero graph builds).
+    pub cache_hits: u64,
 }
 
 impl PhaseTimings {
@@ -121,16 +130,24 @@ impl PhaseTimings {
         self.solve += other.solve;
         self.classify += other.classify;
         self.baseline += other.baseline;
+        self.cache += other.cache;
         self.other += other.other;
         self.sat_queries += other.sat_queries;
         self.memo_hits += other.memo_hits;
         self.queries_avoided += other.queries_avoided;
         self.prefilter_hits += other.prefilter_hits;
+        self.cache_hits += other.cache_hits;
     }
 
     /// Sum of every tracked phase.
     pub fn tracked(&self) -> Duration {
-        self.acfg_build + self.saeg_build + self.encode + self.solve + self.classify + self.baseline
+        self.acfg_build
+            + self.saeg_build
+            + self.encode
+            + self.solve
+            + self.classify
+            + self.baseline
+            + self.cache
     }
 
     /// Sets `other` to whatever part of `wall` the tracked phases do not
@@ -143,18 +160,20 @@ impl PhaseTimings {
     pub fn render(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         format!(
-            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | baseline {:.1}ms | other {:.1}ms | {} SAT queries ({} memo hits, {} avoided, {} prefilter hits)",
+            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | baseline {:.1}ms | cache {:.1}ms | other {:.1}ms | {} SAT queries ({} memo hits, {} avoided, {} prefilter hits, {} cache hits)",
             ms(self.acfg_build),
             ms(self.saeg_build),
             ms(self.encode),
             ms(self.solve),
             ms(self.classify),
             ms(self.baseline),
+            ms(self.cache),
             ms(self.other),
             self.sat_queries,
             self.memo_hits,
             self.queries_avoided,
             self.prefilter_hits,
+            self.cache_hits,
         )
     }
 }
@@ -189,6 +208,33 @@ impl FunctionStatus {
     }
 }
 
+/// How the incremental result cache participated in producing a
+/// [`FunctionReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheStatus {
+    /// The report came straight from the content-addressed store; no
+    /// engine ran.
+    Hit,
+    /// The store was consulted, missed, and the fresh result was
+    /// inserted for next time.
+    Miss,
+    /// The cache was not in play: no store configured, or the result
+    /// was not cacheable (degraded analyses are never stored).
+    #[default]
+    Bypass,
+}
+
+impl CacheStatus {
+    /// Lower-case wire/JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        }
+    }
+}
+
 /// Per-function analysis result.
 #[derive(Debug, Clone)]
 pub struct FunctionReport {
@@ -204,6 +250,9 @@ pub struct FunctionReport {
     pub timings: PhaseTimings,
     /// Completed, or degraded with the reason analysis was cut short.
     pub status: FunctionStatus,
+    /// Whether this report was served from, stored into, or produced
+    /// without the incremental cache.
+    pub cache: CacheStatus,
 }
 
 impl FunctionReport {
@@ -217,6 +266,7 @@ impl FunctionReport {
             runtime: Duration::ZERO,
             timings: PhaseTimings::default(),
             status: FunctionStatus::Degraded(error),
+            cache: CacheStatus::Bypass,
         }
     }
 
@@ -324,6 +374,7 @@ mod tests {
             runtime: Duration::ZERO,
             timings: PhaseTimings::default(),
             status: FunctionStatus::Completed,
+            cache: CacheStatus::Bypass,
         };
         assert_eq!(r.count(TransmitterClass::Data), 2);
         assert_eq!(r.count(TransmitterClass::UniversalData), 1);
@@ -344,6 +395,7 @@ mod tests {
             runtime: Duration::ZERO,
             timings: PhaseTimings::default(),
             status: FunctionStatus::Completed,
+            cache: CacheStatus::Bypass,
         };
         let bad = FunctionReport::degraded("bad".into(), AnalysisError::SolverAbort);
         assert!(bad.status.error().is_some());

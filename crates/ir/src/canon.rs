@@ -1,0 +1,357 @@
+//! Canonical byte encoding of functions for content addressing.
+//!
+//! The incremental result cache (`lcm-store`) keys cached per-function
+//! analysis results by a *structural fingerprint*: a hash of everything
+//! about the program that can influence the function's findings. This
+//! module produces the byte stream under that hash.
+//!
+//! Because A-CFG construction inlines calls exhaustively and unrolls
+//! loops ([`acfg::SUMMARY_COPIES`] times), a function's analysis result
+//! depends not just on its own body but on the bodies of every
+//! transitively-called defined function and on every global any of them
+//! references (sizes, pointer-ness, secrecy labels, initializers all
+//! feed the alias/taint/secret layers). [`encode_function_deps`]
+//! therefore encodes, deterministically:
+//!
+//! 1. a format version and the unroll depth,
+//! 2. the target function's full structure (params, instruction arena,
+//!    blocks, terminators),
+//! 3. every transitive callee defined in the module, sorted by name,
+//! 4. every global referenced by any encoded function, in id order.
+//!
+//! Changing one byte of one function's source changes only that
+//! function's encoding (plus its callers', which inline it) — the
+//! invalidation granularity the cache needs.
+
+use std::collections::BTreeSet;
+
+use crate::acfg;
+use crate::{Block, Function, GlobalId, Inst, Module, Terminator, Ty};
+
+/// Bumped whenever the encoding (or anything upstream of it that alters
+/// analysis results for identical bytes) changes shape.
+pub const CANON_VERSION: u8 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ty(out: &mut Vec<u8>, ty: Ty) {
+    out.push(match ty {
+        Ty::Int => 0,
+        Ty::Ptr => 1,
+    });
+}
+
+fn encode_inst(out: &mut Vec<u8>, inst: &Inst) {
+    match inst {
+        Inst::Const(v) => {
+            out.push(0);
+            put_i64(out, *v);
+        }
+        Inst::Param { index, ty } => {
+            out.push(1);
+            put_u32(out, *index as u32);
+            put_ty(out, *ty);
+        }
+        Inst::GlobalAddr(g) => {
+            out.push(2);
+            put_u32(out, g.0);
+        }
+        Inst::Alloca { name, size } => {
+            out.push(3);
+            put_str(out, name);
+            put_u32(out, *size);
+        }
+        Inst::Load { addr, ty } => {
+            out.push(4);
+            put_u32(out, addr.0);
+            put_ty(out, *ty);
+        }
+        Inst::Store { addr, value } => {
+            out.push(5);
+            put_u32(out, addr.0);
+            put_u32(out, value.0);
+        }
+        Inst::Gep { base, index, scale } => {
+            out.push(6);
+            put_u32(out, base.0);
+            put_u32(out, index.0);
+            put_u32(out, *scale);
+        }
+        Inst::Bin { op, lhs, rhs } => {
+            out.push(7);
+            out.push(*op as u8);
+            put_u32(out, lhs.0);
+            put_u32(out, rhs.0);
+        }
+        Inst::Call { callee, args, ty } => {
+            out.push(8);
+            put_str(out, callee);
+            put_u32(out, args.len() as u32);
+            for a in args {
+                put_u32(out, a.0);
+            }
+            put_ty(out, *ty);
+        }
+        Inst::Havoc {
+            callee,
+            ptr_args,
+            ty,
+        } => {
+            out.push(9);
+            put_str(out, callee);
+            put_u32(out, ptr_args.len() as u32);
+            for a in ptr_args {
+                put_u32(out, a.0);
+            }
+            put_ty(out, *ty);
+        }
+        Inst::Fence => out.push(10),
+    }
+}
+
+fn encode_block(out: &mut Vec<u8>, b: &Block) {
+    put_u32(out, b.insts.len() as u32);
+    for i in &b.insts {
+        put_u32(out, i.0);
+    }
+    match &b.term {
+        Terminator::Br(t) => {
+            out.push(0);
+            put_u32(out, t.0);
+        }
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            out.push(1);
+            put_u32(out, cond.0);
+            put_u32(out, then_bb.0);
+            put_u32(out, else_bb.0);
+        }
+        Terminator::Ret(v) => {
+            out.push(2);
+            match v {
+                Some(v) => {
+                    out.push(1);
+                    put_u32(out, v.0);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+}
+
+/// Encodes one function's full structure (name, params, instruction
+/// arena, CFG shape). Used by [`encode_function_deps`]; exposed for
+/// callers that want single-function (no-inlining) addressing.
+pub fn encode_function(out: &mut Vec<u8>, f: &Function) {
+    put_str(out, &f.name);
+    out.push(f.is_public as u8);
+    put_u32(out, f.params.len() as u32);
+    for (name, ty) in &f.params {
+        put_str(out, name);
+        put_ty(out, *ty);
+    }
+    put_u32(out, f.insts.len() as u32);
+    for inst in &f.insts {
+        encode_inst(out, inst);
+    }
+    put_u32(out, f.blocks.len() as u32);
+    for b in &f.blocks {
+        encode_block(out, b);
+    }
+}
+
+/// Names of defined functions `f` transitively calls (excluding `f`
+/// itself unless recursive), plus the globals any of them (or `f`)
+/// references.
+fn closure(module: &Module, f: &Function) -> (BTreeSet<String>, BTreeSet<u32>) {
+    let mut callees: BTreeSet<String> = BTreeSet::new();
+    let mut globals: BTreeSet<u32> = BTreeSet::new();
+    let mut work: Vec<&Function> = vec![f];
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    seen.insert(&f.name);
+    while let Some(cur) = work.pop() {
+        for inst in &cur.insts {
+            match inst {
+                Inst::GlobalAddr(GlobalId(g)) => {
+                    globals.insert(*g);
+                }
+                Inst::Call { callee, .. } | Inst::Havoc { callee, .. } => {
+                    if let Some(def) = module.function(callee) {
+                        if seen.insert(&def.name) {
+                            callees.insert(def.name.clone());
+                            work.push(def);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (callees, globals)
+}
+
+/// The canonical byte stream addressing `fname`'s analysis inputs: the
+/// function itself, its transitive defined callees, and every global
+/// they reference. Returns the target function's own encoding even when
+/// it is absent from the module (the fingerprint then addresses "no such
+/// function", which callers never cache).
+pub fn encode_function_deps(module: &Module, fname: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.push(CANON_VERSION);
+    put_u32(&mut out, acfg::SUMMARY_COPIES as u32);
+    let Some(f) = module.function(fname) else {
+        put_str(&mut out, fname);
+        return out;
+    };
+    encode_function(&mut out, f);
+    let (callees, globals) = closure(module, f);
+    put_u32(&mut out, callees.len() as u32);
+    for name in &callees {
+        // Defined by construction of `closure`.
+        encode_function(&mut out, module.function(name).expect("defined callee"));
+    }
+    put_u32(&mut out, globals.len() as u32);
+    for &g in &globals {
+        let gl = &module.globals[g as usize];
+        put_u32(&mut out, g);
+        put_str(&mut out, &gl.name);
+        put_u32(&mut out, gl.size);
+        out.push(gl.is_ptr as u8);
+        out.push(gl.secret as u8);
+        put_u32(&mut out, gl.init.len() as u32);
+        for (idx, v) in &gl.init {
+            put_u32(&mut out, *idx);
+            put_i64(&mut out, *v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Global, Inst, InstId, Terminator, Ty};
+
+    fn two_fn_module() -> Module {
+        let mut m = Module::new();
+        let g = m.add_global(Global::array("A", 16));
+        for name in ["f", "g"] {
+            let mut f = Function::new(name, &[("y", Ty::Int)]);
+            let bb = f.entry();
+            let base = f.global_addr(g);
+            let y = f.param(0);
+            let addr = f.gep(base, y);
+            let ld = f.push(bb, Inst::Load { addr, ty: Ty::Int });
+            f.set_term(bb, Terminator::Ret(Some(ld)));
+            m.add_function(f);
+        }
+        m
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let m = two_fn_module();
+        assert_eq!(encode_function_deps(&m, "f"), encode_function_deps(&m, "f"));
+    }
+
+    #[test]
+    fn touching_one_function_leaves_the_other_encoding_unchanged() {
+        let m1 = two_fn_module();
+        let mut m2 = two_fn_module();
+        // Append an instruction to g only.
+        let f = m2.functions.iter_mut().find(|f| f.name == "g").unwrap();
+        f.push(crate::BlockId(0), Inst::Fence);
+        assert_eq!(
+            encode_function_deps(&m1, "f"),
+            encode_function_deps(&m2, "f")
+        );
+        assert_ne!(
+            encode_function_deps(&m1, "g"),
+            encode_function_deps(&m2, "g")
+        );
+    }
+
+    #[test]
+    fn callee_changes_invalidate_callers() {
+        let mut m = Module::new();
+        let mut callee = Function::new("helper", &[]);
+        callee.is_public = false;
+        let mut caller = Function::new("top", &[]);
+        let bb = caller.entry();
+        caller.push(
+            bb,
+            Inst::Call {
+                callee: "helper".into(),
+                args: vec![],
+                ty: Ty::Int,
+            },
+        );
+        m.add_function(caller);
+        let before = encode_function_deps(&m, "top");
+        // Define the callee: inlining now sees a body, so `top` changes.
+        callee.push(crate::BlockId(0), Inst::Fence);
+        m.add_function(callee);
+        let after = encode_function_deps(&m, "top");
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn global_labels_feed_the_encoding() {
+        let m1 = two_fn_module();
+        let mut m2 = two_fn_module();
+        m2.globals[0].secret = true;
+        assert_ne!(
+            encode_function_deps(&m1, "f"),
+            encode_function_deps(&m2, "f")
+        );
+    }
+
+    #[test]
+    fn missing_function_still_encodes() {
+        let m = two_fn_module();
+        let e = encode_function_deps(&m, "nope");
+        assert!(!e.is_empty());
+        assert_ne!(e, encode_function_deps(&m, "f"));
+    }
+
+    #[test]
+    fn instid_references_not_order_change_encoding() {
+        // Two structurally different functions with the same scheduled
+        // count must encode differently.
+        let mut f1 = Function::new("x", &[("a", Ty::Int)]);
+        let mut f2 = Function::new("x", &[("a", Ty::Int)]);
+        let p1 = f1.param(0);
+        let p2 = f2.param(0);
+        let c1 = f1.iconst(1);
+        let c2 = f2.iconst(2);
+        f1.value(Inst::Bin {
+            op: crate::BinOp::Add,
+            lhs: p1,
+            rhs: c1,
+        });
+        f2.value(Inst::Bin {
+            op: crate::BinOp::Add,
+            lhs: p2,
+            rhs: c2,
+        });
+        let _ = InstId(0);
+        let (mut b1, mut b2) = (Vec::new(), Vec::new());
+        encode_function(&mut b1, &f1);
+        encode_function(&mut b2, &f2);
+        assert_ne!(b1, b2);
+    }
+}

@@ -23,6 +23,7 @@
 //! that those transformations preserve straight-line semantics.
 
 pub mod acfg;
+pub mod canon;
 pub mod cfg;
 pub mod interp;
 mod types;

@@ -1,0 +1,231 @@
+//! The daemon's connector: one request per connection, bounded retry.
+//!
+//! The protocol is deliberately stateless — a client connects, writes
+//! one JSON line, reads one JSON line, and the server closes. That
+//! makes connection loss trivially safe to retry: a request that never
+//! produced a reply byte cannot have half-happened (analysis is pure;
+//! at worst the server did work whose result the cache now holds). The
+//! client therefore retries a dropped connection a bounded number of
+//! times before surfacing [`ClientError::Dropped`] — the recovery path
+//! the `serve.drop_conn` fault site exists to exercise.
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use lcm_core::jsonw::{self, Json};
+use lcm_detect::EngineKind;
+
+use crate::wire;
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect / write / read (after retries, where retryable).
+    Io(std::io::Error),
+    /// The server accepted the connection but closed it without a reply
+    /// on every attempt.
+    Dropped {
+        /// Connections attempted before giving up.
+        attempts: usize,
+    },
+    /// The reply was not a parseable JSON line.
+    BadReply(String),
+    /// The server answered `"ok": false`; the payload is its `error`.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Dropped { attempts } => {
+                write!(
+                    f,
+                    "connection dropped without a reply ({attempts} attempts)"
+                )
+            }
+            ClientError::BadReply(e) => write!(f, "unparseable reply: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connector to one daemon socket. Cheap to construct; holds no
+/// connection between requests.
+#[derive(Debug, Clone)]
+pub struct Client {
+    socket: PathBuf,
+    retries: usize,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the daemon at `socket`, retrying a dropped
+    /// connection once and waiting up to 60 s for a reply.
+    pub fn new(socket: impl Into<PathBuf>) -> Client {
+        Client {
+            socket: socket.into(),
+            retries: 1,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Overrides how many *extra* attempts a dropped connection gets
+    /// (`0` = fail on the first drop).
+    #[must_use]
+    pub fn retries(mut self, retries: usize) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Overrides the per-request reply timeout.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One connect → write → read-to-EOF exchange.
+    fn round_trip_once(&self, line: &str) -> std::io::Result<String> {
+        let mut conn = UnixStream::connect(&self.socket)?;
+        conn.set_read_timeout(Some(self.timeout))?;
+        conn.write_all(line.as_bytes())?;
+        if !line.ends_with('\n') {
+            conn.write_all(b"\n")?;
+        }
+        conn.flush()?;
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply)?;
+        Ok(reply)
+    }
+
+    /// Sends one raw request line and returns the raw reply line,
+    /// retrying (up to the configured count) when the server closes the
+    /// connection without replying.
+    pub fn request_line(&self, line: &str) -> Result<String, ClientError> {
+        // A drop shows up as clean EOF *or* as a reset/broken-pipe,
+        // depending on whether the peer had unread data when it closed.
+        // Both are the same logical condition.
+        let is_drop = |e: &std::io::Error| {
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+            )
+        };
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.round_trip_once(line) {
+                Ok(reply) if !reply.trim().is_empty() => return Ok(reply),
+                // EOF without a byte: the server (or a fault) dropped us.
+                Ok(_) => {
+                    if attempts > self.retries {
+                        return Err(ClientError::Dropped { attempts });
+                    }
+                }
+                Err(e) if is_drop(&e) => {
+                    if attempts > self.retries {
+                        return Err(ClientError::Dropped { attempts });
+                    }
+                }
+                // Anything else (socket missing, refused, timeout) is a
+                // real failure; bounded retries still apply.
+                Err(e) => {
+                    if attempts > self.retries {
+                        return Err(ClientError::Io(e));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends one request and decodes the reply, mapping `"ok": false`
+    /// to [`ClientError::Server`].
+    pub fn request(&self, line: &str) -> Result<Json, ClientError> {
+        let reply = self.request_line(line)?;
+        let v = jsonw::parse(reply.trim()).map_err(|e| ClientError::BadReply(e.to_string()))?;
+        if v.get("ok").and_then(Json::as_bool) == Some(false) {
+            let message = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            return Err(ClientError::Server(message));
+        }
+        Ok(v)
+    }
+
+    /// `{"cmd": "status"}` — liveness, uptime, queue occupancy.
+    pub fn status(&self) -> Result<Json, ClientError> {
+        self.request(r#"{"cmd":"status"}"#)
+    }
+
+    /// `{"cmd": "stats"}` — the daemon's monotonic counters.
+    pub fn stats(&self) -> Result<Json, ClientError> {
+        self.request(r#"{"cmd":"stats"}"#)
+    }
+
+    /// `{"cmd": "shutdown"}` — graceful stop; returns the ack.
+    pub fn shutdown(&self) -> Result<Json, ClientError> {
+        self.request(r#"{"cmd":"shutdown"}"#)
+    }
+
+    /// Analyzes inline mini-C source with the given engine.
+    pub fn analyze_source(&self, source: &str, engine: EngineKind) -> Result<Json, ClientError> {
+        self.request(&analyze_request(Some(source), None, engine))
+    }
+
+    /// Analyzes a file the *server* reads (the path must be visible to
+    /// the daemon's filesystem, not the client's).
+    pub fn analyze_file(&self, path: &str, engine: EngineKind) -> Result<Json, ClientError> {
+        self.request(&analyze_request(None, Some(path), engine))
+    }
+}
+
+/// Builds an analyze request line (exactly one of `source` / `file`).
+pub fn analyze_request(source: Option<&str>, file: Option<&str>, engine: EngineKind) -> String {
+    let mut members = vec![("cmd".to_string(), Json::Str("analyze".into()))];
+    if let Some(s) = source {
+        members.push(("source".into(), Json::Str(s.into())));
+    }
+    if let Some(f) = file {
+        members.push(("file".into(), Json::Str(f.into())));
+    }
+    members.push(("engine".into(), Json::Str(wire::engine_name(engine).into())));
+    Json::Obj(members).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Request;
+
+    #[test]
+    fn analyze_request_round_trips_through_the_parser() {
+        let line = analyze_request(Some("int x; void f() { x = 1; }"), None, EngineKind::Stl);
+        let parsed = crate::wire::parse_request(&line).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Analyze {
+                source: Some("int x; void f() { x = 1; }".into()),
+                file: None,
+                engine: EngineKind::Stl,
+            }
+        );
+        let line = analyze_request(None, Some("/tmp/prog.c"), EngineKind::Pht);
+        assert!(matches!(
+            crate::wire::parse_request(&line).unwrap(),
+            Request::Analyze {
+                source: None,
+                engine: EngineKind::Pht,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,34 @@
+//! `lcm-serve`: the resident analysis daemon.
+//!
+//! The ROADMAP's north star is a service, not a batch script: analysis
+//! requests arrive continuously, most submissions are unchanged since
+//! the last run, and the marginal cost of a repeat should be a cache
+//! lookup, not a SAT campaign. This crate provides that shell:
+//!
+//! * [`Server`] — a long-running daemon on a Unix domain socket
+//!   speaking one-line JSON requests (`analyze` / `status` / `stats` /
+//!   `shutdown`), with a bounded queue (bursts beyond it are answered
+//!   `busy` instead of growing without bound), a fixed worker pool, and
+//!   per-request resource governance reusing the `DetectorConfig`
+//!   budgets wholesale;
+//! * [`Client`] — the matching connector: one request per connection,
+//!   with a bounded retry when the connection is dropped before a reply
+//!   (the `serve.drop_conn` fault site exercises exactly this path);
+//! * [`wire`] — the line-delimited JSON protocol shared by both ends,
+//!   built on `lcm_core::jsonw` (the workspace's single hand-rolled
+//!   JSON implementation; no serde, per the DESIGN.md §6 policy).
+//!
+//! When the server is configured with a cache directory, every analyze
+//! request routes through `lcm-store`: unchanged functions are served
+//! from the content-addressed result cache without running an engine,
+//! and the reply's per-function `cache` labels plus the `stats`
+//! counters (`cache_hits` / `cache_misses`) make the short-circuit
+//! observable end to end.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Counters, ServeConfig, Server, ServerHandle};
+pub use wire::Request;

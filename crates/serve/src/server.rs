@@ -1,0 +1,430 @@
+//! The analysis daemon.
+//!
+//! A [`Server`] binds a Unix domain socket and serves the wire protocol
+//! with a fixed pool of worker threads behind a *bounded* connection
+//! queue — a client burst beyond the bound is answered with a `busy`
+//! error immediately rather than queued without limit (the same
+//! "degrade, don't fall over" discipline as the resource governor).
+//!
+//! Worker isolation reuses the PR 1–3 machinery wholesale: each analyze
+//! request runs under the configured [`DetectorConfig`] budgets (plus an
+//! optional per-request `timeout_ms` override), worker panics degrade
+//! the one function, and a configured cache directory routes every
+//! request through `lcm-store` so repeat submissions short-circuit the
+//! engines entirely.
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lcm_core::fault::{site, FaultPlan};
+use lcm_detect::{Detector, DetectorConfig, EngineKind, ModuleReport};
+use lcm_store::Store;
+
+use crate::wire::{self, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path (a stale file at this path is replaced).
+    pub socket: PathBuf,
+    /// Worker threads serving requests. `0` means available cores.
+    pub workers: usize,
+    /// Connections queued beyond the in-flight workers before new ones
+    /// are answered `busy`.
+    pub queue_cap: usize,
+    /// Directory holding `results.lcmstore`; `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Analysis configuration every request runs under.
+    pub detector: DetectorConfig,
+    /// Armed fault sites (tests). `LCM_FAULT` is merged in as well.
+    pub faults: FaultPlan,
+}
+
+impl ServeConfig {
+    /// A default configuration on the given socket path.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            workers: 0,
+            queue_cap: 32,
+            cache_dir: None,
+            detector: DetectorConfig::default(),
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Monotonic counters exposed by `stats` (and used by tests).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Connections accepted.
+    pub requests: AtomicU64,
+    /// Analyze requests that ran (hit or miss).
+    pub analyses: AtomicU64,
+    /// Functions served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Functions analyzed and stored.
+    pub cache_misses: AtomicU64,
+    /// Functions degraded across all requests.
+    pub degraded: AtomicU64,
+    /// Connections refused with `busy`.
+    pub rejected: AtomicU64,
+    /// Connections dropped by the `serve.drop_conn` fault.
+    pub dropped: AtomicU64,
+    /// Requests that failed to parse.
+    pub parse_errors: AtomicU64,
+}
+
+struct QueueState {
+    queue: std::collections::VecDeque<UnixStream>,
+    shutdown: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    detector: Detector,
+    store: Option<Store>,
+    counters: Counters,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    started: Instant,
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: UnixListener,
+    shared: Arc<Shared>,
+    faults: FaultPlan,
+}
+
+impl Server {
+    /// Binds the socket and opens the cache. An unopenable cache
+    /// *disables* caching (with a line on stderr) instead of failing
+    /// the server: a broken disk must not take analysis down.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        // Replace a stale socket file from a previous run.
+        if config.socket.exists() {
+            std::fs::remove_file(&config.socket)?;
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        let faults = config.faults.merged_with_env();
+        let store = match &config.cache_dir {
+            None => None,
+            Some(dir) => {
+                let open = std::fs::create_dir_all(dir).and_then(|()| {
+                    Store::open_with_faults(&dir.join("results.lcmstore"), faults.clone())
+                });
+                match open {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!(
+                            "lcm-serve: cache at {} unavailable ({e}); serving uncached",
+                            dir.display()
+                        );
+                        None
+                    }
+                }
+            }
+        };
+        let detector = Detector::new(config.detector.clone());
+        Ok(Server {
+            shared: Arc::new(Shared {
+                detector,
+                store,
+                counters: Counters::default(),
+                queue: Mutex::new(QueueState {
+                    queue: std::collections::VecDeque::new(),
+                    shutdown: false,
+                }),
+                ready: Condvar::new(),
+                started: Instant::now(),
+                config,
+            }),
+            listener,
+            faults,
+        })
+    }
+
+    /// Runs the accept loop until a `shutdown` request, then drains the
+    /// queue, joins the workers, and removes the socket file.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers = match self.shared.config.workers {
+            0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+            n => n,
+        };
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let shared = self.shared.clone();
+            pool.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+
+        let mut accepted: usize = 0;
+        loop {
+            if self.shared.queue.lock().unwrap().shutdown {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((conn, _)) => {
+                    let ordinal = accepted;
+                    accepted += 1;
+                    self.shared
+                        .counters
+                        .requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self.faults.fires(site::SERVE_DROP_CONN, ordinal) {
+                        // Injected connection loss: close without a
+                        // byte of reply. Clients retry once.
+                        self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                        drop(conn);
+                        continue;
+                    }
+                    let mut state = self.shared.queue.lock().unwrap();
+                    if state.queue.len() >= self.shared.config.queue_cap.max(1) {
+                        drop(state);
+                        self.shared
+                            .counters
+                            .rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut conn = conn;
+                        let _ = conn.write_all(wire::error_reply("busy: queue full").as_bytes());
+                        continue;
+                    }
+                    state.queue.push_back(conn);
+                    drop(state);
+                    self.shared.ready.notify_one();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Wake every worker so they observe the shutdown flag.
+        self.shared.ready.notify_all();
+        for t in pool {
+            let _ = t.join();
+        }
+        std::fs::remove_file(&self.shared.config.socket).ok();
+        Ok(())
+    }
+
+    /// Binds and runs on a background thread (tests / embedding).
+    /// Returns once the socket is accepting.
+    pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let socket = server.shared.config.socket.clone();
+        let shared = server.shared.clone();
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            socket,
+            shared,
+            thread,
+        })
+    }
+}
+
+/// Handle to a background server.
+pub struct ServerHandle {
+    socket: PathBuf,
+    shared: Arc<Shared>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The socket the server listens on.
+    pub fn socket(&self) -> &PathBuf {
+        &self.socket
+    }
+
+    /// Counter snapshot: `(requests, analyses, cache_hits, dropped)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        let c = &self.shared.counters;
+        (
+            c.requests.load(Ordering::Relaxed),
+            c.analyses.load(Ordering::Relaxed),
+            c.cache_hits.load(Ordering::Relaxed),
+            c.dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Waits for the server to exit (after a `shutdown` request).
+    pub fn join(self) -> std::io::Result<()> {
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(std::io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut state = shared.queue.lock().unwrap();
+            loop {
+                if let Some(c) = state.queue.pop_front() {
+                    break c;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.ready.wait(state).unwrap();
+            }
+        };
+        handle_conn(shared, conn);
+    }
+}
+
+/// Reads the request line (bounded, with a read timeout so a stalled
+/// client cannot pin a worker forever).
+fn read_line(conn: &mut UnixStream) -> std::io::Result<String> {
+    conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = conn.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.contains(&b'\n') {
+            break;
+        }
+        // 64 MiB of request without a newline is an attack or a bug.
+        if buf.len() > 64 << 20 {
+            return Err(std::io::Error::other("request too large"));
+        }
+    }
+    let end = buf.iter().position(|&b| b == b'\n').unwrap_or(buf.len());
+    String::from_utf8(buf[..end].to_vec()).map_err(|_| std::io::Error::other("request not UTF-8"))
+}
+
+fn handle_conn(shared: &Shared, mut conn: UnixStream) {
+    let line = match read_line(&mut conn) {
+        Ok(l) => l,
+        Err(_) => return, // client vanished; nothing to answer
+    };
+    let reply = match wire::parse_request(&line) {
+        Err(e) => {
+            shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+            wire::error_reply(&e)
+        }
+        Ok(Request::Status) => status_reply(shared),
+        Ok(Request::Stats) => stats_reply(shared),
+        Ok(Request::Shutdown) => {
+            let mut state = shared.queue.lock().unwrap();
+            state.shutdown = true;
+            drop(state);
+            shared.ready.notify_all();
+            let mut line = lcm_core::jsonw::Json::Obj(vec![
+                ("ok".into(), lcm_core::jsonw::Json::Bool(true)),
+                ("shutting_down".into(), lcm_core::jsonw::Json::Bool(true)),
+            ])
+            .render();
+            line.push('\n');
+            line
+        }
+        Ok(Request::Analyze {
+            source,
+            file,
+            engine,
+        }) => analyze(shared, source, file, engine),
+    };
+    let _ = conn.write_all(reply.as_bytes());
+    let _ = conn.flush();
+}
+
+fn analyze(
+    shared: &Shared,
+    source: Option<String>,
+    file: Option<String>,
+    engine: EngineKind,
+) -> String {
+    let source = match (source, file) {
+        (Some(s), _) => s,
+        (None, Some(path)) => match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => return wire::error_reply(&format!("cannot read `{path}`: {e}")),
+        },
+        (None, None) => return wire::error_reply("analyze needs `source` or `file`"),
+    };
+    let module = match lcm_minic::compile(&source) {
+        Ok(m) => m,
+        Err(e) => return wire::error_reply(&format!("compile error: {e}")),
+    };
+    shared.counters.analyses.fetch_add(1, Ordering::Relaxed);
+    let report: ModuleReport = match &shared.store {
+        Some(store) => lcm_store::analyze_module_cached(&shared.detector, &module, engine, store),
+        None => shared.detector.analyze_module(&module, engine),
+    };
+    let counts = lcm_store::CacheCounts::of(&report);
+    shared
+        .counters
+        .cache_hits
+        .fetch_add(counts.hits, Ordering::Relaxed);
+    shared
+        .counters
+        .cache_misses
+        .fetch_add(counts.misses, Ordering::Relaxed);
+    shared
+        .counters
+        .degraded
+        .fetch_add(report.degraded_count() as u64, Ordering::Relaxed);
+    wire::analyze_reply(&report, engine)
+}
+
+fn status_reply(shared: &Shared) -> String {
+    use lcm_core::jsonw::Json;
+    let queue_len = shared.queue.lock().unwrap().queue.len();
+    let mut line = Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "uptime_secs".into(),
+            Json::Num(shared.started.elapsed().as_secs_f64()),
+        ),
+        ("queue_len".into(), Json::Num(queue_len as f64)),
+        (
+            "cache".into(),
+            Json::Str(if shared.store.is_some() {
+                "enabled".into()
+            } else {
+                "disabled".into()
+            }),
+        ),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+fn stats_reply(shared: &Shared) -> String {
+    use lcm_core::jsonw::Json;
+    let c = &shared.counters;
+    let n = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+    let mut members = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("requests".into(), n(&c.requests)),
+        ("analyses".into(), n(&c.analyses)),
+        ("cache_hits".into(), n(&c.cache_hits)),
+        ("cache_misses".into(), n(&c.cache_misses)),
+        ("degraded".into(), n(&c.degraded)),
+        ("rejected".into(), n(&c.rejected)),
+        ("dropped".into(), n(&c.dropped)),
+        ("parse_errors".into(), n(&c.parse_errors)),
+    ];
+    if let Some(store) = &shared.store {
+        let s = store.stats();
+        members.push(("store_entries".into(), Json::Num(store.len() as f64)));
+        members.push((
+            "store_recovered_drop".into(),
+            Json::Num(s.recovered_drop as f64),
+        ));
+    }
+    let mut line = Json::Obj(members).render();
+    line.push('\n');
+    line
+}

@@ -1,0 +1,244 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per connection: the client writes a single JSON object
+//! terminated by `\n`, the server writes a single JSON object
+//! terminated by `\n` and closes. Requests:
+//!
+//! ```text
+//! {"cmd": "analyze", "source": "<mini-C>", "engine": "pht"}
+//! {"cmd": "analyze", "file": "/path/to/prog.c", "engine": "stl"}
+//! {"cmd": "status"}
+//! {"cmd": "stats"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! `engine` defaults to `pht`. Responses always carry `"ok": true|false`;
+//! failures add `"error"`. Analyze responses embed the full per-function
+//! report (findings, status, cache labels) in the same shape the bench
+//! JSON uses, so the round-trip test can compare the daemon's answer
+//! against an in-process run field by field.
+
+use lcm_core::jsonw::{self, Json};
+use lcm_detect::{EngineKind, Finding, FunctionReport, ModuleReport};
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Analyze mini-C source (inline or from a file the *server* reads).
+    Analyze {
+        /// Inline source text, if given.
+        source: Option<String>,
+        /// Server-side path to read instead, if given.
+        file: Option<String>,
+        /// Engine to run.
+        engine: EngineKind,
+    },
+    /// Liveness probe: uptime and queue occupancy.
+    Status,
+    /// Counter snapshot (requests, cache traffic, degradations).
+    Stats,
+    /// Graceful shutdown after in-flight requests drain.
+    Shutdown,
+}
+
+/// The wire name of an engine.
+pub fn engine_name(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Pht => "pht",
+        EngineKind::Stl => "stl",
+        EngineKind::Psf => "psf",
+    }
+}
+
+/// Parses a wire engine name.
+pub fn engine_of_name(name: &str) -> Option<EngineKind> {
+    match name {
+        "pht" => Some(EngineKind::Pht),
+        "stl" => Some(EngineKind::Stl),
+        "psf" => Some(EngineKind::Psf),
+        _ => None,
+    }
+}
+
+/// Decodes one request line. Errors are strings destined for the
+/// `"error"` field of the reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = jsonw::parse(line.trim()).map_err(|e| format!("bad request JSON: {e}"))?;
+    let cmd = v.get("cmd").and_then(Json::as_str).ok_or("missing `cmd`")?;
+    match cmd {
+        "status" => Ok(Request::Status),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "analyze" => {
+            let source = v.get("source").and_then(Json::as_str).map(String::from);
+            let file = v.get("file").and_then(Json::as_str).map(String::from);
+            if source.is_none() && file.is_none() {
+                return Err("analyze needs `source` or `file`".into());
+            }
+            if source.is_some() && file.is_some() {
+                return Err("analyze takes `source` or `file`, not both".into());
+            }
+            let engine = match v.get("engine") {
+                None => EngineKind::Pht,
+                Some(e) => {
+                    let name = e.as_str().ok_or("`engine` must be a string")?;
+                    engine_of_name(name)
+                        .ok_or_else(|| format!("unknown engine `{name}` (pht|stl|psf)"))?
+                }
+            };
+            Ok(Request::Analyze {
+                source,
+                file,
+                engine,
+            })
+        }
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+/// A failure reply.
+pub fn error_reply(message: &str) -> String {
+    let mut line = Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(message.into())),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+fn finding_json(f: &Finding) -> Json {
+    let opt = |v: Option<u64>| match v {
+        None => Json::Null,
+        Some(v) => Json::Num(v as f64),
+    };
+    Json::Obj(vec![
+        ("function".into(), Json::Str(f.function.clone())),
+        ("transmitter".into(), Json::Num(f.transmitter.0 as f64)),
+        (
+            "transmitter_inst".into(),
+            Json::Num(f.transmitter_inst.0 as f64),
+        ),
+        ("class".into(), Json::Str(f.class.to_string())),
+        (
+            "transient_transmitter".into(),
+            Json::Bool(f.transient_transmitter),
+        ),
+        ("access".into(), opt(f.access.map(|e| e.0 as u64))),
+        ("access_transient".into(), Json::Bool(f.access_transient)),
+        ("index".into(), opt(f.index.map(|e| e.0 as u64))),
+        ("primitive".into(), Json::Str(f.primitive.to_string())),
+        ("branch".into(), opt(f.branch.map(|b| b.0 as u64))),
+        (
+            "bypassed_store".into(),
+            opt(f.bypassed_store.map(|e| e.0 as u64)),
+        ),
+        ("interference".into(), Json::Bool(f.interference)),
+    ])
+}
+
+fn function_report_json(f: &FunctionReport) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(f.name.clone())),
+        ("saeg_size".into(), Json::Num(f.saeg_size as f64)),
+        (
+            "status".into(),
+            match f.status.error() {
+                None => Json::Str("completed".into()),
+                Some(e) => Json::Str(format!("degraded: {e}")),
+            },
+        ),
+        ("cache".into(), Json::Str(f.cache.label().into())),
+        (
+            "findings".into(),
+            Json::Arr(f.transmitters.iter().map(finding_json).collect()),
+        ),
+    ])
+}
+
+/// The `functions` array of an analyze reply: everything about the
+/// result except timing (which can never match across processes).
+pub fn module_report_json(report: &ModuleReport) -> Json {
+    Json::Arr(report.functions.iter().map(function_report_json).collect())
+}
+
+/// A successful analyze reply.
+pub fn analyze_reply(report: &ModuleReport, engine: EngineKind) -> String {
+    let timings = report.timings();
+    let mut line = Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("engine".into(), Json::Str(engine_name(engine).into())),
+        ("functions".into(), module_report_json(report)),
+        ("cache_hits".into(), Json::Num(timings.cache_hits as f64)),
+        (
+            "queries_avoided".into(),
+            Json::Num(timings.queries_avoided as f64),
+        ),
+        (
+            "prefilter_hits".into(),
+            Json::Num(timings.prefilter_hits as f64),
+        ),
+        ("degraded".into(), Json::Num(report.degraded_count() as f64)),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request(r#"{"cmd":"status"}"#), Ok(Request::Status));
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        let r = parse_request(r#"{"cmd":"analyze","source":"int x;","engine":"stl"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Analyze {
+                source: Some("int x;".into()),
+                file: None,
+                engine: EngineKind::Stl,
+            }
+        );
+        let r = parse_request(r#"{"cmd":"analyze","file":"/tmp/a.c"}"#).unwrap();
+        assert!(matches!(
+            r,
+            Request::Analyze {
+                engine: EngineKind::Pht,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"cmd":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"analyze"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"analyze","source":"a","file":"b"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"analyze","source":"a","engine":"quantum"}"#).is_err());
+        assert!(parse_request(r#"{"source":"a"}"#).is_err());
+    }
+
+    #[test]
+    fn replies_are_single_parseable_lines() {
+        let e = error_reply("no \"such\" engine");
+        assert!(e.ends_with('\n'));
+        let v = jsonw::parse(e.trim()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("no \"such\" engine"));
+
+        let report = ModuleReport::default();
+        let a = analyze_reply(&report, EngineKind::Psf);
+        let v = jsonw::parse(a.trim()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("engine").unwrap().as_str(), Some("psf"));
+        assert_eq!(v.get("functions").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end daemon tests: spawn a real server on a temp socket, talk
+//! to it with the real client.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lcm_core::fault::{site, FaultPlan};
+use lcm_core::jsonw::Json;
+use lcm_detect::EngineKind;
+use lcm_serve::{Client, ClientError, ServeConfig, Server};
+
+/// A fresh socket path under the system temp dir (Unix socket paths
+/// have a ~100-byte limit, so keep it short).
+fn temp_socket(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("lcm-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+const VICTIM: &str = r#"
+    int A[16]; int B[4096]; int size; int tmp;
+    void victim(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+"#;
+
+#[test]
+fn round_trip_status_analyze_stats_shutdown() {
+    let socket = temp_socket("rt");
+    let handle = Server::spawn(ServeConfig::new(&socket)).unwrap();
+    let client = Client::new(&socket);
+
+    let status = client.status().unwrap();
+    assert_eq!(status.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(status.get("cache").unwrap().as_str(), Some("disabled"));
+
+    let reply = client.analyze_source(VICTIM, EngineKind::Pht).unwrap();
+    let functions = reply.get("functions").unwrap().as_arr().unwrap();
+    assert_eq!(functions.len(), 1);
+    assert_eq!(functions[0].get("name").unwrap().as_str(), Some("victim"));
+    assert_eq!(
+        functions[0].get("status").unwrap().as_str(),
+        Some("completed")
+    );
+    // No cache configured: every function is a bypass.
+    assert_eq!(functions[0].get("cache").unwrap().as_str(), Some("bypass"));
+    assert!(!functions[0]
+        .get("findings")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("analyses").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(0));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    assert!(!socket.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn cache_dir_short_circuits_repeat_submissions() {
+    let socket = temp_socket("cache");
+    let cache_dir = std::env::temp_dir().join(format!(
+        "lcm-serve-cache-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut config = ServeConfig::new(&socket);
+    config.cache_dir = Some(cache_dir.clone());
+    let handle = Server::spawn(config).unwrap();
+    let client = Client::new(&socket);
+
+    let cold = client.analyze_source(VICTIM, EngineKind::Pht).unwrap();
+    let warm = client.analyze_source(VICTIM, EngineKind::Pht).unwrap();
+    assert_eq!(cold.get("cache_hits").unwrap().as_u64(), Some(0));
+    assert_eq!(warm.get("cache_hits").unwrap().as_u64(), Some(1));
+    let label = |r: &Json| {
+        r.get("functions").unwrap().as_arr().unwrap()[0]
+            .get("cache")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(label(&cold), "miss");
+    assert_eq!(label(&warm), "hit");
+    // Findings identical across the hit/miss boundary.
+    assert_eq!(
+        cold.get("functions").unwrap().as_arr().unwrap()[0].get("findings"),
+        warm.get("functions").unwrap().as_arr().unwrap()[0].get("findings"),
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+#[test]
+fn dropped_connection_is_retried_once_and_succeeds() {
+    let socket = temp_socket("drop");
+    let mut config = ServeConfig::new(&socket);
+    // Drop the first accepted connection without a reply byte.
+    config.faults = FaultPlan::default().arm(site::SERVE_DROP_CONN, Some(0));
+    let handle = Server::spawn(config).unwrap();
+
+    let client = Client::new(&socket);
+    let status = client.status().unwrap();
+    assert_eq!(status.get("ok").unwrap().as_bool(), Some(true));
+    let (requests, _, _, dropped) = handle.snapshot();
+    assert_eq!(dropped, 1, "first connection was dropped by the fault");
+    assert!(requests >= 2, "the retry produced a second connection");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn dropped_connection_without_retries_surfaces_as_error() {
+    let socket = temp_socket("drop0");
+    let mut config = ServeConfig::new(&socket);
+    config.faults = FaultPlan::default().arm(site::SERVE_DROP_CONN, Some(0));
+    let handle = Server::spawn(config).unwrap();
+
+    let client = Client::new(&socket).retries(0);
+    match client.status() {
+        Err(ClientError::Dropped { attempts }) => assert_eq!(attempts, 1),
+        other => panic!("expected Dropped, got {other:?}"),
+    }
+    // A fresh request (connection ordinal 1) is served normally.
+    client.status().unwrap();
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_error_replies_not_hangs() {
+    let socket = temp_socket("bad");
+    let handle = Server::spawn(ServeConfig::new(&socket)).unwrap();
+    let client = Client::new(&socket);
+
+    match client.request(r#"{"cmd":"frobnicate"}"#) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("unknown cmd"), "{msg}"),
+        other => panic!("expected Server error, got {other:?}"),
+    }
+    match client.request(r#"{"cmd":"analyze","source":"int x = ;"}"#) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("compile error"), "{msg}"),
+        other => panic!("expected compile error, got {other:?}"),
+    }
+    // The daemon survives garbage and still serves.
+    client.status().unwrap();
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,192 @@
+//! `lcm-cli` — the workspace's command-line front door for the analysis
+//! daemon: `lcm-cli serve` runs an `lcm-serve` daemon on a Unix socket,
+//! `lcm-cli client` talks to one (one JSON line per request, one per
+//! reply, printed verbatim so shell pipelines can post-process it).
+//!
+//! ```text
+//! lcm-cli serve  --socket PATH [--workers N] [--queue N] [--cache-dir DIR] [--jobs N]
+//! lcm-cli client --socket PATH status
+//! lcm-cli client --socket PATH stats
+//! lcm-cli client --socket PATH shutdown
+//! lcm-cli client --socket PATH analyze [--engine pht|stl] [--retries N]
+//!                (--file PATH | --source SRC | -)   # `-` reads stdin
+//! ```
+//!
+//! Exit status: 0 on success, 1 on a server/protocol error, 2 on a
+//! usage error.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use lcm::detect::EngineKind;
+use lcm::serve::{Client, ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => usage_error("expected a subcommand: serve | client"),
+    }
+}
+
+const USAGE: &str = "\
+lcm-cli — analysis daemon and client
+
+  lcm-cli serve  --socket PATH [--workers N] [--queue N] [--cache-dir DIR] [--jobs N]
+  lcm-cli client --socket PATH status | stats | shutdown
+  lcm-cli client --socket PATH analyze [--engine pht|stl] [--retries N]
+                 (--file PATH | --source SRC | -)
+
+`serve` runs until a client sends `shutdown`. `--cache-dir` persists
+results in DIR/results.lcmstore so repeat submissions are cache hits.
+`client analyze -` reads mini-C source from stdin.
+";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag VALUE` / `--flag=VALUE` out of `args`, leaving the rest.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{flag}=");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&prefix) {
+            let v = v.to_string();
+            args.remove(i);
+            return Ok(Some(v));
+        }
+        if args[i] == flag {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} needs a value"));
+            }
+            args.remove(i);
+            return Ok(Some(args.remove(i)));
+        }
+        i += 1;
+    }
+    Ok(None)
+}
+
+fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} expects a number, got {v:?}"))
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<ServeConfig, String> {
+        let socket = take_value(&mut args, "--socket")?
+            .ok_or_else(|| "serve needs --socket PATH".to_string())?;
+        let mut config = ServeConfig::new(socket);
+        if let Some(v) = take_value(&mut args, "--workers")? {
+            config.workers = parse_num(&v, "--workers")?;
+        }
+        if let Some(v) = take_value(&mut args, "--queue")? {
+            config.queue_cap = parse_num(&v, "--queue")?;
+        }
+        if let Some(v) = take_value(&mut args, "--jobs")? {
+            config.detector.jobs = parse_num(&v, "--jobs")?;
+        }
+        if let Some(v) = take_value(&mut args, "--cache-dir")? {
+            config.cache_dir = Some(v.into());
+        }
+        if let Some(extra) = args.first() {
+            return Err(format!("unknown serve argument {extra:?}"));
+        }
+        Ok(config)
+    })();
+    let config = match parsed {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    eprintln!(
+        "lcm-serve: listening on {} (cache: {})",
+        config.socket.display(),
+        config
+            .cache_dir
+            .as_ref()
+            .map_or("disabled".to_string(), |d| d.display().to_string()),
+    );
+    match Server::bind(config).and_then(Server::run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lcm-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn client(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let run = (|| -> Result<String, String> {
+        let socket = take_value(&mut args, "--socket")?
+            .ok_or_else(|| "client needs --socket PATH".to_string())?;
+        let retries = match take_value(&mut args, "--retries")? {
+            Some(v) => parse_num(&v, "--retries")?,
+            None => 1,
+        };
+        let client = Client::new(socket).retries(retries);
+        let cmd = if args.is_empty() {
+            return Err("client needs a command: status | stats | shutdown | analyze".into());
+        } else {
+            args.remove(0)
+        };
+        let reply = match cmd.as_str() {
+            "status" => client.status(),
+            "stats" => client.stats(),
+            "shutdown" => client.shutdown(),
+            "analyze" => {
+                let engine = match take_value(&mut args, "--engine")? {
+                    None => EngineKind::Pht,
+                    Some(name) => lcm::serve::wire::engine_of_name(&name)
+                        .ok_or_else(|| format!("unknown engine {name:?} (pht | stl)"))?,
+                };
+                let file = take_value(&mut args, "--file")?;
+                let source = take_value(&mut args, "--source")?;
+                let stdin = args.iter().any(|a| a == "-");
+                args.retain(|a| a != "-");
+                match (source, file, stdin) {
+                    (Some(src), None, false) => client.analyze_source(&src, engine),
+                    (None, Some(path), false) => client.analyze_file(&path, engine),
+                    (None, None, true) => {
+                        let mut src = String::new();
+                        std::io::stdin()
+                            .read_to_string(&mut src)
+                            .map_err(|e| format!("reading stdin: {e}"))?;
+                        client.analyze_source(&src, engine)
+                    }
+                    _ => {
+                        return Err(
+                            "analyze needs exactly one of --file PATH, --source SRC, or -".into(),
+                        )
+                    }
+                }
+            }
+            other => return Err(format!("unknown client command {other:?}")),
+        };
+        if let Some(extra) = args.first() {
+            return Err(format!("unknown client argument {extra:?}"));
+        }
+        reply
+            .map(|json| json.render())
+            .map_err(|e| format!("request failed: {e}"))
+    })();
+    match run {
+        Ok(reply) => {
+            println!("{reply}");
+            ExitCode::SUCCESS
+        }
+        Err(e) if e.starts_with("request failed:") => {
+            eprintln!("lcm-cli: {e}");
+            ExitCode::FAILURE
+        }
+        Err(e) => usage_error(&e),
+    }
+}

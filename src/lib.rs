@@ -37,6 +37,8 @@ pub use lcm_litmus as litmus;
 pub use lcm_minic as minic;
 pub use lcm_relalg as relalg;
 pub use lcm_sat as sat;
+pub use lcm_serve as serve;
+pub use lcm_store as store;
 
 use lcm_core::govern::AnalysisError;
 use lcm_detect::{Detector, EngineKind, ModuleReport};
@@ -58,4 +60,28 @@ pub fn analyze_source(
 ) -> Result<ModuleReport, AnalysisError> {
     let module = minic::compile(src).map_err(AnalysisError::from)?;
     Ok(detector.analyze_module(&module, engine))
+}
+
+/// [`analyze_source`] routed through a content-addressed result store:
+/// functions whose fingerprint (canonical IR + findings-affecting
+/// config) is already in `store` are served from it without running an
+/// engine, and fresh completed results are inserted for next time.
+///
+/// Each [`detect::FunctionReport::cache`] records whether that function
+/// hit, missed, or bypassed the store. Warm re-runs of unchanged source
+/// are all hits and byte-identical in their findings.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::MalformedIr`] when `src` does not compile.
+pub fn analyze_source_cached(
+    src: &str,
+    detector: &Detector,
+    engine: EngineKind,
+    store: &store::Store,
+) -> Result<ModuleReport, AnalysisError> {
+    let module = minic::compile(src).map_err(AnalysisError::from)?;
+    Ok(store::analyze_module_cached(
+        detector, &module, engine, store,
+    ))
 }

@@ -1,0 +1,147 @@
+//! Tier-1: the analysis daemon answers exactly what an in-process run
+//! answers.
+//!
+//! The wire reply embeds the full per-function report minus timing, so
+//! the round-trip test can demand *rendered-JSON equality* between the
+//! daemon's `functions` array and `lcm::serve::wire::module_report_json`
+//! of an in-process [`lcm::analyze_source`] run — same findings, same
+//! order, same fields, for every engine. A second group proves the
+//! retry/fault path: a dropped connection (the `serve.drop_conn` site)
+//! is retried and succeeds without the caller noticing.
+
+use lcm::core::fault::{site, FaultPlan};
+use lcm::detect::{Detector, DetectorConfig, EngineKind};
+use lcm::serve::wire::module_report_json;
+use lcm::serve::{Client, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn env_faults_armed() -> bool {
+    std::env::var(lcm::core::fault::FAULT_ENV).is_ok_and(|v| !v.trim().is_empty())
+}
+
+/// Unix socket paths are length-limited (~100 bytes); keep them short
+/// and unique.
+fn temp_socket(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("lcm-t-{tag}-{}-{n}.sock", std::process::id()))
+}
+
+const VICTIMS: &str = r#"
+    int A[16]; int B[4096]; int size; int tmp; int sec_key;
+    void victim_a(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+    void victim_b(int y) { if (y < size) tmp &= B[A[y] * 256]; }
+"#;
+
+#[test]
+fn daemon_reply_matches_in_process_run_for_every_engine() {
+    if env_faults_armed() {
+        return;
+    }
+    let handle = Server::spawn(ServeConfig::new(temp_socket("rt"))).unwrap();
+    let client = Client::new(handle.socket().clone());
+    let det = Detector::new(DetectorConfig::default());
+    for engine in [EngineKind::Pht, EngineKind::Stl, EngineKind::Psf] {
+        let reply = client.analyze_source(VICTIMS, engine).unwrap();
+        let in_process = lcm::analyze_source(VICTIMS, &det, engine).unwrap();
+        assert_eq!(
+            reply.get("functions").unwrap().render(),
+            module_report_json(&in_process).render(),
+            "{engine:?}: daemon and in-process reports must render identically"
+        );
+        assert_eq!(reply.get("degraded").and_then(|v| v.as_u64()), Some(0));
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn daemon_serves_files_and_reports_cache_traffic() {
+    if env_faults_armed() {
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("lcm-t-filecache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("victim.c");
+    std::fs::write(&prog, VICTIMS).unwrap();
+
+    let mut config = ServeConfig::new(temp_socket("fc"));
+    config.cache_dir = Some(dir.join("cache"));
+    let handle = Server::spawn(config).unwrap();
+    let client = Client::new(handle.socket().clone());
+
+    // `file` and `source` submissions of the same program share cache
+    // entries: addressing is by content, not by transport.
+    let cold = client
+        .analyze_file(prog.to_str().unwrap(), EngineKind::Pht)
+        .unwrap();
+    assert_eq!(cold.get("cache_hits").and_then(|v| v.as_u64()), Some(0));
+    let warm = client.analyze_source(VICTIMS, EngineKind::Pht).unwrap();
+    assert_eq!(warm.get("cache_hits").and_then(|v| v.as_u64()), Some(2));
+    // Findings identical modulo the hit/miss labels.
+    let strip = |v: &lcm::core::jsonw::Json| {
+        v.render()
+            .replace("\"cache\":\"hit\"", "\"cache\":\"-\"")
+            .replace("\"cache\":\"miss\"", "\"cache\":\"-\"")
+    };
+    assert_eq!(
+        strip(cold.get("functions").unwrap()),
+        strip(warm.get("functions").unwrap())
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("analyses").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(stats.get("cache_hits").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(stats.get("store_entries").and_then(|v| v.as_u64()), Some(2));
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_connection_is_invisible_behind_the_retry() {
+    if env_faults_armed() {
+        return;
+    }
+    let mut config = ServeConfig::new(temp_socket("drop"));
+    config.faults = FaultPlan::default().arm(site::SERVE_DROP_CONN, Some(0));
+    let handle = Server::spawn(config).unwrap();
+    // Default client: one retry. The first accepted connection is
+    // dropped; the retry lands on ordinal 1 and succeeds.
+    let client = Client::new(handle.socket().clone());
+    let reply = client.analyze_source(VICTIMS, EngineKind::Pht).unwrap();
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let (_, _, _, dropped) = handle.snapshot();
+    assert_eq!(dropped, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// CI fault-matrix entry point for `serve.drop_conn`: with the site
+/// armed through `LCM_FAULT` (an `@index` spec), the daemon must drop
+/// that connection and the client's bounded retry must still deliver
+/// the answer — proving the env wiring end to end. A no-op otherwise.
+#[test]
+fn env_armed_drop_conn_is_retried_end_to_end() {
+    let Ok(armed) = std::env::var(lcm::core::fault::FAULT_ENV) else {
+        return;
+    };
+    // Only meaningful for an indexed drop_conn plan: an unindexed one
+    // drops *every* connection and no bounded retry can succeed.
+    let indexed_drop = armed
+        .split(',')
+        .any(|spec| spec.trim().starts_with(site::SERVE_DROP_CONN) && spec.contains('@'));
+    if !indexed_drop {
+        return;
+    }
+    // `Server::bind` merges `LCM_FAULT` itself; nothing to arm here.
+    let handle = Server::spawn(ServeConfig::new(temp_socket("envdrop"))).unwrap();
+    let client = Client::new(handle.socket().clone()).retries(2);
+    let reply = client.status().unwrap();
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let (_, _, _, dropped) = handle.snapshot();
+    assert!(dropped >= 1, "armed fault never fired");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
