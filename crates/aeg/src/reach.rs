@@ -74,6 +74,17 @@ pub struct FeasStats {
     pub solve: Duration,
 }
 
+fn solve_latency() -> &'static lcm_obs::metrics::Histogram {
+    static H: std::sync::OnceLock<lcm_obs::metrics::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| {
+        lcm_obs::metrics::global().histogram(
+            lcm_obs::metrics::names::SOLVE_LATENCY,
+            "Wall-clock latency of SAT solver calls (screened and memoized queries never reach here)",
+            lcm_obs::metrics::latency_buckets(),
+        )
+    })
+}
+
 /// The architectural skeleton of a witness, recoverable from an
 /// assumption stack without solving: the blocks required to execute and
 /// the direction of the constrained branch, if any.
@@ -316,7 +327,12 @@ impl Feasibility {
             });
         }
         let (c0, _, _) = self.cnf.solver_mut().stats();
+        let mut span = lcm_obs::span("sat_solve", "sat");
+        span.arg_u64("assumptions", self.stack.len() as u64);
+        let t0 = Instant::now();
         let res = self.cnf.solver_mut().solve_with(&self.stack);
+        solve_latency().observe(t0.elapsed());
+        drop(span);
         if let Some(g) = &self.governor {
             let (c1, _, _) = self.cnf.solver_mut().stats();
             g.charge_conflicts(c1 - c0);

@@ -4,11 +4,12 @@
 //! depth. Reports UDT/DT counts and runtime per configuration over the
 //! litmus suites.
 //!
-//! Usage: `cargo run --release -p lcm-bench --bin ablation -- [--jobs N]`
+//! Usage: `cargo run --release -p lcm-bench --bin ablation --
+//! [--jobs N] [--trace-out PATH]`
 
 use std::time::Instant;
 
-use lcm_bench::cli;
+use lcm_bench::{cli, json};
 use lcm_core::speculation::SpeculationConfig;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::all_litmus;
@@ -34,6 +35,8 @@ fn run(cfg: DetectorConfig, engine: EngineKind) -> (usize, usize, usize, u128) {
 fn main() {
     let args = cli::parse(std::env::args().skip(1));
     let jobs = args.jobs;
+    args.start_tracing();
+    let t0 = Instant::now();
     println!("Ablation study over the 36 litmus programs (both engines)\n");
     println!(
         "{:<44} {:<6} {:>6} {:>6} {:>10} {:>10}",
@@ -113,4 +116,11 @@ fn main() {
          span more instructions (depth 2 wipes out every PHT universal);\n\
          the interference variant adds the §6.1 'new DT' findings."
     );
+
+    let summary = json::RunSummary {
+        wall: t0.elapsed(),
+        ..json::RunSummary::default()
+    };
+    println!("\n{}", summary.render());
+    args.finish_tracing();
 }

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin fig8 -- [--big]
 //! [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]
-//! [--cache-dir DIR] [--no-cache]`
+//! [--cache-dir DIR] [--no-cache] [--trace-out PATH]`
 //!
 //! `--timeout-ms` / `--max-conflicts` set per-function analysis budgets;
 //! points whose analysis degrades are listed at the end and the exit
@@ -33,6 +33,7 @@ fn main() {
     );
     println!("function,size,pht_us,stl_us");
     let store = args.open_store();
+    args.start_tracing();
     let t0 = Instant::now();
     let points = fig8_series(cfg, args.jobs, args.budgets(), store.as_ref());
     let wall = t0.elapsed();
@@ -77,14 +78,28 @@ fn main() {
         }
         lo = hi;
     }
-    println!("\nwall clock: {wall:.3?}");
+    let mut summary = json::RunSummary {
+        wall,
+        degraded_noun: "points",
+        ..json::RunSummary::default()
+    };
     if store.is_some() {
-        let hits = points
-            .iter()
-            .filter(|p| p.cache == lcm_detect::CacheStatus::Hit)
-            .count();
-        println!("cache: hits={} misses={}", hits, points.len() - hits);
+        let mut cache = lcm_store::CacheCounts::default();
+        for p in &points {
+            match p.cache {
+                lcm_detect::CacheStatus::Hit => cache.hits += 1,
+                lcm_detect::CacheStatus::Miss => cache.misses += 1,
+                lcm_detect::CacheStatus::Bypass => cache.bypassed += 1,
+            }
+        }
+        summary.cache = Some(cache);
     }
+    for p in &points {
+        if let Some(reason) = &p.degraded {
+            summary.degraded.push((p.function.clone(), reason.clone()));
+        }
+    }
+    println!("\n{}", summary.render());
 
     if let Some(path) = &args.json {
         std::fs::write(path, json::fig8_json(&points, args.jobs, wall))
@@ -92,13 +107,10 @@ fn main() {
         println!("json written to {path}");
     }
 
-    let degraded: Vec<_> = points.iter().filter(|p| p.degraded.is_some()).collect();
-    if !degraded.is_empty() {
-        println!("\nDEGRADED analyses (points are a lower bound):");
-        for p in &degraded {
-            println!("  {}: {}", p.function, p.degraded.as_deref().unwrap_or(""));
-        }
-        eprintln!("error: {} analyses degraded", degraded.len());
+    args.finish_tracing();
+    let degraded = points.iter().filter(|p| p.degraded.is_some()).count();
+    if degraded > 0 {
+        eprintln!("error: {degraded} analyses degraded");
         std::process::exit(1);
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin table2 -- [--quick]
 //! [--repair] [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]
-//! [--cache-dir DIR] [--no-cache]`
+//! [--cache-dir DIR] [--no-cache] [--trace-out PATH]`
 //!
 //! `--quick` skips the synthetic-library workloads; `--repair` additionally
 //! runs fence-insertion repair on every vulnerable litmus program and
@@ -38,43 +38,40 @@ fn main() {
         lcm_core::par::effective_jobs(args.jobs)
     );
     let store = args.open_store();
+    args.start_tracing();
     let t0 = Instant::now();
     let rows = table2_rows(quick, args.jobs, args.budgets(), store.as_ref());
     let wall = t0.elapsed();
     println!("{}", render_table2(&rows));
-    println!("wall clock: {wall:.3?}");
     let mut phases = lcm_detect::PhaseTimings::default();
     for r in &rows {
         phases.merge(&r.timings);
     }
     phases.fill_other(wall);
-    println!("phase breakdown: {}", phases.render());
+    let mut summary = json::RunSummary {
+        wall,
+        phases: Some(phases),
+        degraded_noun: "findings",
+        ..json::RunSummary::default()
+    };
     if let Some(store) = &store {
         let mut cache = lcm_store::CacheCounts::default();
         for r in &rows {
             cache.merge(r.cache);
         }
         let s = store.stats();
-        println!(
-            "cache: hits={} misses={} bypassed={} (store: {} entries, {} loaded, {} dropped by recovery)",
-            cache.hits,
-            cache.misses,
-            cache.bypassed,
-            store.len(),
-            s.loaded,
-            s.recovered_drop,
-        );
+        summary.cache = Some(cache);
+        summary.store = Some((store.len(), s.loaded, s.recovered_drop));
     }
-
-    let degraded: Vec<_> = rows.iter().filter(|r| !r.degraded.is_empty()).collect();
-    if !degraded.is_empty() {
-        println!("\nDEGRADED analyses (findings are a lower bound):");
-        for r in &degraded {
-            for (func, reason) in &r.degraded {
-                println!("  {} [{}] {}: {}", r.workload, r.tool.name(), func, reason);
-            }
+    for r in &rows {
+        for (func, reason) in &r.degraded {
+            summary.degraded.push((
+                format!("{} [{}] {}", r.workload, r.tool.name(), func),
+                reason.clone(),
+            ));
         }
     }
+    println!("{}", summary.render());
 
     if let Some(path) = &args.json {
         std::fs::write(path, json::table2_json(&rows, args.jobs, wall))
@@ -126,6 +123,7 @@ fn main() {
         }
     }
 
+    args.finish_tracing();
     let n_degraded: usize = rows.iter().map(|r| r.degraded.len()).sum();
     if n_degraded > 0 {
         eprintln!("error: {n_degraded} analyses degraded; see summary above");

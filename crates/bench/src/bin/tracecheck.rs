@@ -1,0 +1,36 @@
+//! Validates a Chrome-trace JSON file's shape (balanced begin/end
+//! events, per-thread monotone timestamps, proper nesting) — the CI
+//! gate behind the `--trace-out` artifact.
+//!
+//! Usage: `cargo run --release -p lcm-bench --bin tracecheck -- FILE`
+//!
+//! Exits 0 and prints a one-line summary when the file is a valid
+//! trace; exits 1 with the first violated invariant otherwise.
+
+use lcm_bench::trace;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: tracecheck FILE");
+        std::process::exit(2);
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match trace::validate(&doc) {
+        Ok(s) => {
+            println!(
+                "{path}: ok — {} events, {} spans, {} threads, max depth {}",
+                s.events, s.spans, s.threads, s.max_depth
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}

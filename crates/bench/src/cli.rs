@@ -2,9 +2,10 @@
 //!
 //! Every binary accepts `--jobs N` (worker threads; `0` or omitted =
 //! all cores, `1` = exact serial) and most accept `--json PATH`
-//! (machine-readable output next to the printed table). Flags the
-//! harness does not know end up in [`BenchArgs::rest`] for the binary's
-//! own switches (`--quick`, `--repair`, `--big`, …).
+//! (machine-readable output next to the printed table) and
+//! `--trace-out PATH` (span recording to a Chrome-trace JSON). Flags
+//! the harness does not know end up in [`BenchArgs::rest`] for the
+//! binary's own switches (`--quick`, `--repair`, `--big`, …).
 
 use lcm_core::govern::Budgets;
 use std::time::Duration;
@@ -27,6 +28,9 @@ pub struct BenchArgs {
     pub cache_dir: Option<String>,
     /// `--no-cache`: ignore `--cache-dir` and run every analysis cold.
     pub no_cache: bool,
+    /// `--trace-out PATH`: record spans and write a Chrome-trace JSON
+    /// (`chrome://tracing` / Perfetto loadable) at exit.
+    pub trace_out: Option<String>,
     /// Unrecognized arguments, in order.
     pub rest: Vec<String>,
 }
@@ -44,6 +48,25 @@ impl BenchArgs {
             timeout: (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms)),
             max_conflicts: (self.max_conflicts > 0).then_some(self.max_conflicts),
             ..Budgets::default()
+        }
+    }
+
+    /// Turns span recording on when `--trace-out` was given. Call once
+    /// at binary start, before the timed work.
+    pub fn start_tracing(&self) {
+        if self.trace_out.is_some() {
+            lcm_obs::trace::enable();
+        }
+    }
+
+    /// Writes the recorded trace to the `--trace-out` path, if any.
+    /// Call once after the timed work; prints the destination.
+    pub fn finish_tracing(&self) {
+        let Some(path) = &self.trace_out else { return };
+        lcm_obs::trace::disable();
+        match lcm_obs::trace::export_to_file(std::path::Path::new(path)) {
+            Ok(()) => println!("trace written to {path}"),
+            Err(e) => eprintln!("warning: cannot write trace to {path}: {e}"),
         }
     }
 
@@ -114,6 +137,13 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
             out.cache_dir = Some(v);
         } else if a == "--no-cache" {
             out.no_cache = true;
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            out.trace_out = Some(v.to_string());
+        } else if a == "--trace-out" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--trace-out needs a path"));
+            out.trace_out = Some(v);
         } else {
             out.rest.push(a);
         }
@@ -187,6 +217,19 @@ mod tests {
         assert!(b.open_store().is_none());
         // No flags at all: no store.
         assert!(args(&[]).open_store().is_none());
+    }
+
+    #[test]
+    fn trace_out_parses_both_styles() {
+        assert_eq!(
+            args(&["--trace-out", "t.json"]).trace_out.as_deref(),
+            Some("t.json")
+        );
+        assert_eq!(
+            args(&["--trace-out=t.json"]).trace_out.as_deref(),
+            Some("t.json")
+        );
+        assert!(args(&[]).trace_out.is_none());
     }
 
     #[test]

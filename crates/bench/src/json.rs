@@ -20,6 +20,66 @@ fn secs(d: Duration) -> String {
     format!("{:.6}", d.as_secs_f64())
 }
 
+/// The human-readable summary block every bench binary prints after its
+/// table: wall clock, phase breakdown, cache traffic, the process
+/// metrics registry as one JSON line, and the degraded list. One
+/// renderer (backed by `lcm-obs`) instead of a hand-rolled block per
+/// binary, so the lines grep the same everywhere.
+#[derive(Debug, Default)]
+pub struct RunSummary {
+    /// End-to-end wall clock of the run.
+    pub wall: Duration,
+    /// Module-wide phase breakdown (table2); `None` skips the line.
+    pub phases: Option<PhaseTimings>,
+    /// Cache traffic; `None` (no store) skips the line.
+    pub cache: Option<CacheCounts>,
+    /// Store detail for the cache line: `(entries, loaded, recovered_drop)`.
+    pub store: Option<(usize, u64, u64)>,
+    /// Degraded analyses as `(label, reason)`; empty prints nothing.
+    pub degraded: Vec<(String, String)>,
+    /// What a degraded entry bounds (e.g. `"findings"`, `"points"`).
+    pub degraded_noun: &'static str,
+}
+
+impl RunSummary {
+    /// Renders the block (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = format!("wall clock: {:.3?}", self.wall);
+        if let Some(p) = &self.phases {
+            out.push_str(&format!("\nphase breakdown: {}", p.render()));
+        }
+        if let Some(c) = &self.cache {
+            out.push_str(&format!(
+                "\ncache: hits={} misses={} bypassed={}",
+                c.hits, c.misses, c.bypassed
+            ));
+            if let Some((entries, loaded, recovered)) = self.store {
+                out.push_str(&format!(
+                    " (store: {entries} entries, {loaded} loaded, {recovered} dropped by recovery)"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\nmetrics: {}",
+            lcm_obs::metrics::global().render_json()
+        ));
+        if !self.degraded.is_empty() {
+            let noun = if self.degraded_noun.is_empty() {
+                "findings"
+            } else {
+                self.degraded_noun
+            };
+            out.push_str(&format!(
+                "\n\nDEGRADED analyses ({noun} are a lower bound):"
+            ));
+            for (label, reason) in &self.degraded {
+                out.push_str(&format!("\n  {label}: {reason}"));
+            }
+        }
+        out
+    }
+}
+
 fn timings_obj(t: &PhaseTimings) -> String {
     format!(
         "{{\"acfg_build_secs\": {}, \"saeg_build_secs\": {}, \"encode_secs\": {}, \"solve_secs\": {}, \"classify_secs\": {}, \"baseline_secs\": {}, \"cache_secs\": {}, \"other_secs\": {}, \"sat_queries\": {}, \"memo_hits\": {}, \"queries_avoided\": {}, \"prefilter_hits\": {}, \"cache_hits\": {}}}",

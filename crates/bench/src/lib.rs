@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod json;
+pub mod trace;
 
 use std::time::Duration;
 

@@ -1,0 +1,194 @@
+//! Shape validation for Chrome `trace_event` JSON.
+//!
+//! `lcm-obs` writes traces but (deliberately) carries no JSON parser;
+//! this module closes the loop using [`lcm_core::jsonw`]. CI runs the
+//! `tracecheck` binary over the artifact `table2 --quick --trace-out`
+//! produced; the tier-1 `obs` test validates an in-process export the
+//! same way.
+//!
+//! Checks enforced — the invariants Perfetto / `chrome://tracing`
+//! need to reconstruct span nesting:
+//!
+//! * top level is an object with a `traceEvents` array;
+//! * every event has `ph` (`"B"` or `"E"`), numeric `ts`/`pid`/`tid`,
+//!   and string `name`/`cat`;
+//! * per thread, timestamps are monotone non-decreasing in array
+//!   order;
+//! * per thread, `B`/`E` events balance like a well-nested call stack,
+//!   with each `E` matching the name of the innermost open `B`.
+
+use std::collections::HashMap;
+
+use lcm_core::jsonw::{self, Json};
+
+/// What a valid trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// Begin events (== end events, or validation failed).
+    pub spans: usize,
+    /// Distinct `(pid, tid)` threads.
+    pub threads: usize,
+    /// Deepest nesting observed on any thread.
+    pub max_depth: usize,
+}
+
+/// Validates one Chrome-trace document. Returns the stats on success,
+/// or a message naming the first violated invariant.
+///
+/// # Errors
+///
+/// Any parse failure or shape violation, as a human-readable string.
+pub fn validate(doc: &str) -> Result<TraceStats, String> {
+    let v = jsonw::parse(doc.trim()).map_err(|e| format!("not JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+
+    // Per-thread open-span name stack and last timestamp.
+    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut spans = 0usize;
+    let mut max_depth = 0usize;
+
+    for (i, e) in events.iter().enumerate() {
+        let field_str = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("event {i}: missing string `{k}`"))
+        };
+        let field_num = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("event {i}: missing numeric `{k}`"))
+        };
+        let ph = field_str("ph")?;
+        let name = field_str("name")?;
+        field_str("cat")?;
+        let ts = field_num("ts")?;
+        let key = (field_num("pid")? as u64, field_num("tid")? as u64);
+
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ({name}): timestamp {ts} < {prev} on thread {key:?}"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+
+        let stack = stacks.entry(key).or_default();
+        match ph.as_str() {
+            "B" => {
+                spans += 1;
+                stack.push(name);
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: end `{name}` does not match open span `{open}`"
+                    ));
+                }
+                None => return Err(format!("event {i}: end `{name}` with no open span")),
+            },
+            other => return Err(format!("event {i}: unsupported phase `{other}`")),
+        }
+    }
+
+    for (key, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("thread {key:?}: span `{open}` never ended"));
+        }
+    }
+
+    Ok(TraceStats {
+        events: events.len(),
+        spans,
+        threads: stacks.len(),
+        max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ph: &str, ts: u64, tid: u64, name: &str) -> String {
+        format!(
+            "{{\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"name\":\"{name}\",\"cat\":\"t\"}}"
+        )
+    }
+
+    fn doc(events: &[String]) -> String {
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    #[test]
+    fn accepts_balanced_nested_multithreaded() {
+        let d = doc(&[
+            ev("B", 1, 1, "outer"),
+            ev("B", 2, 1, "inner"),
+            ev("B", 2, 2, "worker"),
+            ev("E", 3, 1, "inner"),
+            ev("E", 4, 2, "worker"),
+            ev("E", 5, 1, "outer"),
+        ]);
+        let s = validate(&d).unwrap();
+        assert_eq!(s.events, 6);
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn rejects_shape_violations() {
+        // Unbalanced: begin without end.
+        let d = doc(&[ev("B", 1, 1, "a")]);
+        assert!(validate(&d).unwrap_err().contains("never ended"));
+        // End without begin.
+        let d = doc(&[ev("E", 1, 1, "a")]);
+        assert!(validate(&d).unwrap_err().contains("no open span"));
+        // Misnested.
+        let d = doc(&[
+            ev("B", 1, 1, "a"),
+            ev("B", 2, 1, "b"),
+            ev("E", 3, 1, "a"),
+            ev("E", 4, 1, "b"),
+        ]);
+        assert!(validate(&d).unwrap_err().contains("does not match"));
+        // Time going backwards on one thread.
+        let d = doc(&[ev("B", 5, 1, "a"), ev("E", 4, 1, "a")]);
+        assert!(validate(&d).unwrap_err().contains("timestamp"));
+        // Interleaved threads may each be monotone independently.
+        let d = doc(&[
+            ev("B", 9, 1, "a"),
+            ev("B", 1, 2, "b"),
+            ev("E", 10, 1, "a"),
+            ev("E", 2, 2, "b"),
+        ]);
+        assert!(validate(&d).is_ok());
+        // Not JSON at all.
+        assert!(validate("nope").is_err());
+        assert!(validate("{}").unwrap_err().contains("traceEvents"));
+    }
+
+    #[test]
+    fn validates_a_real_lcm_obs_export() {
+        lcm_obs::trace::enable();
+        {
+            let mut s = lcm_obs::span("outer", "test");
+            s.arg_str("fn", "f");
+            let _inner = lcm_obs::span("inner", "test");
+        }
+        lcm_obs::trace::disable();
+        let doc = lcm_obs::trace::export_chrome_trace();
+        let stats = validate(&doc).unwrap();
+        assert!(stats.spans >= 2);
+        assert!(stats.max_depth >= 2);
+    }
+}

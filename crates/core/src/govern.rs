@@ -124,6 +124,16 @@ impl Budgets {
 /// couple of atomic ops; 32 keeps worst-case deadline overshoot tiny.
 const POLL_STRIDE: u64 = 32;
 
+fn governor_trips() -> &'static lcm_obs::metrics::Counter {
+    static C: std::sync::OnceLock<lcm_obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        lcm_obs::metrics::global().counter(
+            lcm_obs::metrics::names::GOVERNOR_TRIPS,
+            "Resource-governor budget trips (timeouts, conflict/node/edge budgets, injected faults)",
+        )
+    })
+}
+
 /// One per analyzed function; shared across the solver/AEG/engine
 /// layers via `Arc`. All state is atomic, so polling needs no lock.
 #[derive(Debug)]
@@ -178,10 +188,13 @@ impl ResourceGovernor {
     }
 
     /// Trips the governor; the first error wins and later calls no-op.
+    /// The first trip per governor also counts into the process-wide
+    /// `lcm_governor_trips_total` metric.
     pub fn trip(&self, err: AnalysisError) {
         let mut slot = self.error.lock().unwrap();
         if slot.is_none() {
             *slot = Some(err);
+            governor_trips().inc();
         }
         self.dead.store(true, Ordering::Release);
     }

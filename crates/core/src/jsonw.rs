@@ -318,18 +318,36 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = &self.bytes[self.pos..self.pos + 4];
-                            let hex = std::str::from_utf8(hex)
-                                .ok()
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogates are not produced by our writers;
-                            // map unpaired ones to the replacement char.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            let hi = self.hex4()?;
+                            // Our writers emit non-BMP characters as raw
+                            // UTF-8, but other producers (python's
+                            // json.dumps, browsers) encode them as UTF-16
+                            // surrogate pairs: 😀 for U+1F600.
+                            // Decode a high surrogate followed by \uDC00..
+                            // DFFF into the supplementary-plane scalar;
+                            // anything unpaired becomes the replacement
+                            // character rather than an error.
+                            let scalar = if (0xd800..0xdc00).contains(&hi) {
+                                let lo_follows = self.bytes[self.pos..].starts_with(b"\\u");
+                                if lo_follows {
+                                    let mark = self.pos;
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xdc00..0xe000).contains(&lo) {
+                                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                    } else {
+                                        // Not a low surrogate: rewind so
+                                        // the escape parses on its own.
+                                        self.pos = mark;
+                                        hi
+                                    }
+                                } else {
+                                    hi
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -348,6 +366,21 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself
+    /// already consumed).
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = &self.bytes[self.pos..self.pos + 4];
+        let v = std::str::from_utf8(hex)
+            .ok()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -446,5 +479,100 @@ mod tests {
         assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
         assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
         assert_eq!(parse(" [ ] ").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn non_bmp_characters_round_trip_and_surrogate_pairs_decode() {
+        // Our writers pass supplementary-plane characters through as raw
+        // UTF-8 (esc only rewrites controls, quotes, and backslashes).
+        let emoji = "grin \u{1f600} math \u{1d54a} flag \u{1f1e6}\u{1f1e6}";
+        assert_eq!(esc(emoji), emoji);
+        assert_eq!(parse(&str_lit(emoji)).unwrap(), Json::Str(emoji.into()));
+
+        // Foreign producers encode the same characters as UTF-16
+        // surrogate pairs; those must decode to the same scalar.
+        let pair = "\"\\ud83d\\ude00\"";
+        assert_eq!(parse(pair).unwrap(), Json::Str("\u{1f600}".into()));
+        // BMP escapes (no pairing involved) still work, case-insensitive.
+        let bmp = "\"\\u00e9\\u00E9\"";
+        assert_eq!(parse(bmp).unwrap(), Json::Str("éé".into()));
+        // Unpaired surrogates are data errors, not panics: each becomes
+        // U+FFFD and the rest of the string survives.
+        assert_eq!(
+            parse(r#""a\ud83db""#).unwrap(),
+            Json::Str("a\u{fffd}b".into())
+        );
+        assert_eq!(
+            parse(r#""\udc00x""#).unwrap(),
+            Json::Str("\u{fffd}x".into())
+        );
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape must still parse independently.
+        assert_eq!(
+            parse(r#""\ud83dA""#).unwrap(),
+            Json::Str("\u{fffd}A".into())
+        );
+        // Truncated pair tail is a syntax error.
+        assert!(parse(r#""\ud83d\u12""#).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_arrays_stream_through_parse_and_render() {
+        // The wire protocol and trace exporter build arrays element by
+        // element; make sure nesting depth well past anything they emit
+        // round-trips bit-exactly through the recursive parser/renderer.
+        const DEPTH: usize = 200;
+        let mut doc = String::new();
+        for _ in 0..DEPTH {
+            doc.push('[');
+        }
+        doc.push_str("\"leaf\"");
+        for _ in 0..DEPTH {
+            doc.push(']');
+        }
+        let v = parse(&doc).unwrap();
+        let mut cur = &v;
+        for _ in 0..DEPTH {
+            let items = cur.as_arr().unwrap();
+            assert_eq!(items.len(), 1);
+            cur = &items[0];
+        }
+        assert_eq!(cur.as_str(), Some("leaf"));
+        assert_eq!(v.render(), doc);
+
+        // Wide arrays too: 10k heterogeneous elements.
+        let wide = Json::Arr(
+            (0..10_000)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        Json::Num(i as f64)
+                    } else {
+                        Json::Str(format!("s{i}"))
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(parse(&wide.render()).unwrap(), wide);
+    }
+
+    #[test]
+    fn strings_beyond_64kib_round_trip() {
+        // Store headers can carry large metadata blobs; make sure the
+        // byte-at-a-time string scanner has no length cliffs. Mix plain
+        // ASCII, escapes, and multi-byte UTF-8 so every path runs.
+        let unit = "0123456789 \"quoted\\slash\" tabs\there π≠😀 | ";
+        let mut big = String::new();
+        while big.len() <= 64 * 1024 {
+            big.push_str(unit);
+        }
+        assert!(big.len() > 64 * 1024);
+        let lit = str_lit(&big);
+        assert_eq!(parse(&lit).unwrap(), Json::Str(big.clone()));
+        // And embedded in an object, as the store writes it.
+        let doc = format!("{{\"meta\":{lit}}}");
+        assert_eq!(
+            parse(&doc).unwrap().get("meta").unwrap().as_str(),
+            Some(big.as_str())
+        );
     }
 }

@@ -85,8 +85,20 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     map_indexed(items, jobs, |i, x| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, x)))
-            .map_err(|p| panic_message(p.as_ref()))
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, x))).map_err(|p| {
+            worker_panics().inc();
+            panic_message(p.as_ref())
+        })
+    })
+}
+
+fn worker_panics() -> &'static lcm_obs::metrics::Counter {
+    static C: std::sync::OnceLock<lcm_obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        lcm_obs::metrics::global().counter(
+            lcm_obs::metrics::names::WORKER_PANICS,
+            "Worker panics caught and degraded to per-item errors by the parallel driver",
+        )
     })
 }
 

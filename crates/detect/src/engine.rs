@@ -42,6 +42,53 @@ pub enum EngineKind {
     Psf,
 }
 
+impl EngineKind {
+    /// Stable lower-case name (`pht` / `stl` / `psf`) shared by the
+    /// wire protocol, trace span args, and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Pht => "pht",
+            EngineKind::Stl => "stl",
+            EngineKind::Psf => "psf",
+        }
+    }
+}
+
+/// Folds one function's [`lcm_aeg::FeasStats`] into the process-wide
+/// metrics registry — the cumulative view the daemon's `metrics`
+/// request and the bench summary expose. One batch of counter adds per
+/// analyzed function, nothing on the query hot path.
+fn absorb_feas_stats(st: &lcm_aeg::FeasStats) {
+    use lcm_obs::metrics::{global, names, Counter};
+    use std::sync::OnceLock;
+    static HANDLES: OnceLock<[Counter; 4]> = OnceLock::new();
+    let [queries, memo, avoided, prefilter] = HANDLES.get_or_init(|| {
+        let g = global();
+        [
+            g.counter(
+                names::SAT_QUERIES,
+                "Feasibility queries that reached the memo/solver layer",
+            ),
+            g.counter(
+                names::SAT_MEMO_HITS,
+                "Feasibility queries answered from the assumption-trie memo",
+            ),
+            g.counter(
+                names::SAT_QUERIES_AVOIDED,
+                "Feasibility queries answered by the reachability pre-screen",
+            ),
+            g.counter(
+                names::SAT_PREFILTER_HITS,
+                "Engine-level candidate checks skipped by hoisted pre-screens",
+            ),
+        ]
+    });
+    queries.add(st.queries);
+    memo.add(st.memo_hits);
+    avoided.add(st.queries_avoided);
+    prefilter.add(st.prefilter_hits);
+}
+
 /// Detector configuration (Fig. 6's "configuration parameters").
 #[derive(Debug, Clone)]
 pub struct DetectorConfig {
@@ -229,6 +276,8 @@ impl Detector {
             return degraded(gov.tripped().expect("governor tripped"), start);
         }
         let t0 = Instant::now();
+        let mut sp = lcm_obs::span("acfg_build", "detect");
+        sp.arg_str("fn", fname);
         let acfg = if gov.fault_fires(site::MALFORMED_IR) {
             Err(AnalysisError::MalformedIr {
                 message: format!("injected fault: malformed_ir in `{fname}`"),
@@ -238,13 +287,18 @@ impl Detector {
                 message: e.to_string(),
             })
         };
+        drop(sp);
         let acfg = match acfg {
             Ok(a) => a,
             Err(e) => return degraded(e, start),
         };
         let acfg_build = t0.elapsed();
         let t1 = Instant::now();
+        let mut sp = lcm_obs::span("saeg_build", "detect");
+        sp.arg_str("fn", fname);
         let saeg = Saeg::from_acfg(fname, acfg, self.config.spec);
+        sp.arg_u64("events", saeg.events.len() as u64);
+        drop(sp);
         let saeg_build = t1.elapsed();
         let mut report = if !gov.check_saeg(saeg.events.len(), saeg.edge_count()) || !gov.poll_now()
         {
@@ -345,6 +399,9 @@ impl Detector {
         gov: Option<&Arc<ResourceGovernor>>,
     ) -> (Vec<Finding>, PhaseTimings) {
         let t0 = Instant::now();
+        let mut sp = lcm_obs::span("engine_run", "detect");
+        sp.arg_str("fn", &saeg.fname);
+        sp.arg_str("engine", engine.label());
         let gaddr = generalized_addr(saeg);
         let ctrl = ctrl_edges(saeg);
         let preds = DepPreds::build(saeg.events.len(), &gaddr, &ctrl);
@@ -367,6 +424,11 @@ impl Detector {
             raw.retain(|f| f.class == c);
         }
         let st = feas.stats();
+        sp.arg_u64("sat_queries", st.queries);
+        sp.arg_u64("queries_avoided", st.queries_avoided);
+        sp.arg_u64("findings", raw.len() as u64);
+        drop(sp);
+        absorb_feas_stats(&st);
         let total = t0.elapsed();
         let timings = PhaseTimings {
             encode: st.encode,

@@ -406,4 +406,85 @@ mod tests {
         assert_eq!(m.degraded_count(), 1);
         assert_eq!(m.degraded().next().unwrap().name, "bad");
     }
+
+    /// Builds a `PhaseTimings` whose every field is a distinct non-zero
+    /// value derived from `seed`, via exhaustive struct-literal syntax:
+    /// adding a field to the struct breaks this function's compile, so
+    /// `merge`/`fill_other` can't silently miss it.
+    fn distinct(seed: u64) -> PhaseTimings {
+        let d = |i: u64| Duration::from_millis(seed * 100 + i);
+        PhaseTimings {
+            acfg_build: d(1),
+            saeg_build: d(2),
+            encode: d(3),
+            solve: d(4),
+            classify: d(5),
+            baseline: d(6),
+            cache: d(7),
+            other: d(8),
+            sat_queries: seed * 100 + 9,
+            memo_hits: seed * 100 + 10,
+            queries_avoided: seed * 100 + 11,
+            prefilter_hits: seed * 100 + 12,
+            cache_hits: seed * 100 + 13,
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut acc = distinct(1);
+        acc.merge(&distinct(2));
+        // Destructure WITHOUT `..`: a new field must be added here (and,
+        // by the same token, to `merge` itself) or this fails to build.
+        let PhaseTimings {
+            acfg_build,
+            saeg_build,
+            encode,
+            solve,
+            classify,
+            baseline,
+            cache,
+            other,
+            sat_queries,
+            memo_hits,
+            queries_avoided,
+            prefilter_hits,
+            cache_hits,
+        } = acc;
+        let ms = |x: u64| Duration::from_millis(x);
+        assert_eq!(acfg_build, ms(101 + 201));
+        assert_eq!(saeg_build, ms(102 + 202));
+        assert_eq!(encode, ms(103 + 203));
+        assert_eq!(solve, ms(104 + 204));
+        assert_eq!(classify, ms(105 + 205));
+        assert_eq!(baseline, ms(106 + 206));
+        assert_eq!(cache, ms(107 + 207));
+        assert_eq!(other, ms(108 + 208));
+        assert_eq!(sat_queries, 109 + 209);
+        assert_eq!(memo_hits, 110 + 210);
+        assert_eq!(queries_avoided, 111 + 211);
+        assert_eq!(prefilter_hits, 112 + 212);
+        assert_eq!(cache_hits, 113 + 213);
+    }
+
+    #[test]
+    fn fill_other_covers_every_duration_phase() {
+        let mut t = distinct(1);
+        t.other = Duration::ZERO;
+        // tracked() must include every Duration field except `other`:
+        // 101+102+...+107 ms.
+        let tracked = Duration::from_millis(101 + 102 + 103 + 104 + 105 + 106 + 107);
+        assert_eq!(t.tracked(), tracked);
+        let wall = tracked + Duration::from_millis(42);
+        t.fill_other(wall);
+        assert_eq!(t.other, Duration::from_millis(42));
+        // A wall clock shorter than the tracked sum (timer skew across
+        // threads) saturates to zero instead of panicking.
+        t.fill_other(tracked - Duration::from_millis(1));
+        assert_eq!(t.other, Duration::ZERO);
+        // And merge + fill_other round-trip: after filling, tracked +
+        // other == wall exactly.
+        t.fill_other(wall);
+        assert_eq!(t.tracked() + t.other, wall);
+    }
 }

@@ -1,0 +1,34 @@
+//! Observability for the LCM pipeline: spans and metrics, zero deps.
+//!
+//! This crate sits *below* `lcm-core` in the dependency graph — it uses
+//! nothing but `std`, so every other crate (including `lcm-core`'s
+//! governor and parallel driver) can report through it without cycles.
+//!
+//! Two halves:
+//!
+//! * [`trace`] — a span tracer. Code brackets a region with
+//!   [`span`]; when tracing is enabled the begin/end pair lands in a
+//!   per-thread buffer and [`trace::export_chrome_trace`] renders the
+//!   whole process history as Chrome `trace_event` JSON that
+//!   `chrome://tracing` and Perfetto load directly. When tracing is
+//!   *disabled* (the default) a span costs one relaxed atomic load —
+//!   the same discipline as the resource governor's poll, bounded well
+//!   under the 2% overhead budget.
+//!
+//! * [`metrics`] — a registry of named counters, gauges, and
+//!   log-scaled-bucket histograms, always on (each update is a handful
+//!   of relaxed atomic adds). One registry per process
+//!   ([`metrics::global`]) absorbs the pipeline's scattered tallies —
+//!   SAT query counts, cache hit/miss traffic, governor trips, worker
+//!   panics — and renders them as Prometheus text exposition (for the
+//!   daemon's `{"cmd":"metrics"}` request) or a JSON block (for bench
+//!   output).
+//!
+//! Neither half ever changes an analysis result: instrumentation only
+//! observes. The tier-1 differential test byte-compares rendered
+//! reports with tracing on vs. off to hold that line.
+
+pub mod metrics;
+pub mod trace;
+
+pub use trace::{span, Span};

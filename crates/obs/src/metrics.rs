@@ -1,0 +1,409 @@
+//! Named counters, gauges, and histograms with Prometheus / JSON
+//! exposition.
+//!
+//! Metrics are always on: an update is a handful of relaxed atomic
+//! adds, cheap enough for every hot path in the pipeline (the most
+//! frequent observer, the SAT solve-latency histogram, sits next to an
+//! actual solver call). Registration is get-or-create by name, so
+//! independent subsystems can share a metric without coordination;
+//! hot call sites should cache the returned handle (it is an `Arc`)
+//! in a `OnceLock` rather than re-resolving the name.
+//!
+//! Naming follows Prometheus conventions: `lcm_` prefix, `_total`
+//! suffix on counters, `_seconds` on time histograms. The well-known
+//! names the pipeline registers live in [`names`] — one place to look
+//! when grepping a scrape.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Well-known metric names registered by the pipeline.
+pub mod names {
+    /// SAT queries that reached screen/memo/solver (`FeasStats::queries`).
+    pub const SAT_QUERIES: &str = "lcm_sat_queries_total";
+    /// Queries answered by the assumption-trie memo.
+    pub const SAT_MEMO_HITS: &str = "lcm_sat_memo_hits_total";
+    /// Queries avoided entirely by the reachability pre-screen.
+    pub const SAT_QUERIES_AVOIDED: &str = "lcm_sat_queries_avoided_total";
+    /// Candidate pairs dismissed by the block-reachability prefilter.
+    pub const SAT_PREFILTER_HITS: &str = "lcm_sat_prefilter_hits_total";
+    /// Wall-clock latency of actual solver calls.
+    pub const SOLVE_LATENCY: &str = "lcm_solve_latency_seconds";
+    /// Function results served from the store.
+    pub const CACHE_HITS: &str = "lcm_cache_hits_total";
+    /// Function results analyzed and inserted.
+    pub const CACHE_MISSES: &str = "lcm_cache_misses_total";
+    /// Function results that skipped the store (degraded/uncacheable).
+    pub const CACHE_BYPASS: &str = "lcm_cache_bypass_total";
+    /// Resource-governor budget trips (timeouts, conflict/node/edge).
+    pub const GOVERNOR_TRIPS: &str = "lcm_governor_trips_total";
+    /// Worker panics caught and degraded by the parallel driver.
+    pub const WORKER_PANICS: &str = "lcm_worker_panics_total";
+    /// Daemon connections accepted.
+    pub const SERVE_REQUESTS: &str = "lcm_serve_requests_total";
+    /// Daemon analyze requests completed, by engine.
+    pub const SERVE_ANALYSES_PHT: &str = "lcm_serve_analyses_pht_total";
+    /// Daemon analyze requests completed, by engine.
+    pub const SERVE_ANALYSES_STL: &str = "lcm_serve_analyses_stl_total";
+    /// Daemon analyze requests completed, by engine.
+    pub const SERVE_ANALYSES_PSF: &str = "lcm_serve_analyses_psf_total";
+    /// Time a queued daemon connection waited for a worker.
+    pub const SERVE_QUEUE_WAIT: &str = "lcm_serve_queue_wait_seconds";
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds (inclusive), ascending; an implicit `+Inf` bucket
+    /// follows the last.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts; `len() == bounds.len() + 1`.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observations, in nanoseconds-as-integer (no atomic f64
+    /// in std; overflows after ~584 years of accumulated latency).
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A histogram with fixed (typically log-scaled) buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one duration observation.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_secs(d.as_secs_f64());
+    }
+
+    /// Records one observation, in seconds.
+    pub fn observe_secs(&self, v: f64) {
+        let i = self
+            .0
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0
+            .sum_nanos
+            .fetch_add((v * 1e9) as u64, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// `count` log-scaled bucket bounds: `start, start·factor, …`.
+pub fn exp_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    (0..count).map(|i| start * factor.powi(i as i32)).collect()
+}
+
+/// The default latency scale: 1 µs to ~4.2 s in ×4 steps (12 buckets
+/// plus the implicit `+Inf`). Wide enough for screen-avoided queries
+/// and governed solver timeouts alike.
+pub fn latency_buckets() -> Vec<f64> {
+    exp_buckets(1e-6, 4.0, 12)
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter { help: String, handle: Counter },
+    Gauge { help: String, handle: Gauge },
+    Histogram { help: String, handle: Histogram },
+}
+
+/// A set of named metrics. One per process in practice ([`global`]).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Gets or registers a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        let m = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter {
+                help: help.to_string(),
+                handle: Counter(Arc::new(AtomicU64::new(0))),
+            });
+        match m {
+            Metric::Counter { handle, .. } => handle.clone(),
+            _ => panic!("metric `{name}` already registered as a non-counter"),
+        }
+    }
+
+    /// Gets or registers a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        let m = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge {
+                help: help.to_string(),
+                handle: Gauge(Arc::new(AtomicI64::new(0))),
+            });
+        match m {
+            Metric::Gauge { handle, .. } => handle.clone(),
+            _ => panic!("metric `{name}` already registered as a non-gauge"),
+        }
+    }
+
+    /// Gets or registers a histogram. `bounds` are inclusive upper
+    /// bounds in ascending order; a `+Inf` bucket is implicit. The
+    /// bounds of an already-registered histogram win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different type.
+    pub fn histogram(&self, name: &str, help: &str, bounds: Vec<f64>) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        let m = inner.entry(name.to_string()).or_insert_with(|| {
+            let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Metric::Histogram {
+                help: help.to_string(),
+                handle: Histogram(Arc::new(HistogramInner {
+                    bounds,
+                    buckets,
+                    sum_nanos: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                })),
+            }
+        });
+        match m {
+            Metric::Histogram { handle, .. } => handle.clone(),
+            _ => panic!("metric `{name}` already registered as a non-histogram"),
+        }
+    }
+
+    /// Renders the registry as Prometheus text exposition (version
+    /// 0.0.4): `# HELP` / `# TYPE` preambles, `_bucket{le="…"}` /
+    /// `_sum` / `_count` series for histograms. Names sort
+    /// lexicographically (the registry is a `BTreeMap`), so output is
+    /// deterministic.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, m) in inner.iter() {
+            match m {
+                Metric::Counter { help, handle } => {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Metric::Gauge { help, handle } => {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name} {}\n", handle.get()));
+                }
+                Metric::Histogram { help, handle } => {
+                    out.push_str(&format!("# HELP {name} {help}\n"));
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (i, b) in handle.0.bounds.iter().enumerate() {
+                        cumulative += handle.0.buckets[i].load(Ordering::Relaxed);
+                        out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+                    }
+                    cumulative += handle.0.buckets[handle.0.bounds.len()].load(Ordering::Relaxed);
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", handle.sum_secs()));
+                    out.push_str(&format!("{name}_count {}\n", handle.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object keyed by metric name.
+    /// Counters and gauges map to numbers; histograms to
+    /// `{"buckets": [{"le": …, "count": …}, …], "sum": …, "count": …}`
+    /// with per-bucket (non-cumulative) counts and `"le": "+Inf"` for
+    /// the overflow bucket.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from("{");
+        for (i, (name, m)) in inner.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":"));
+            match m {
+                Metric::Counter { handle, .. } => out.push_str(&handle.get().to_string()),
+                Metric::Gauge { handle, .. } => out.push_str(&handle.get().to_string()),
+                Metric::Histogram { handle, .. } => {
+                    out.push_str("{\"buckets\":[");
+                    for (j, b) in handle.0.bounds.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let c = handle.0.buckets[j].load(Ordering::Relaxed);
+                        out.push_str(&format!("{{\"le\":{b},\"count\":{c}}}"));
+                    }
+                    let c = handle.0.buckets[handle.0.bounds.len()].load(Ordering::Relaxed);
+                    if !handle.0.bounds.is_empty() {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"le\":\"+Inf\",\"count\":{c}}}"));
+                    out.push_str(&format!(
+                        "],\"sum\":{},\"count\":{}}}",
+                        handle.sum_secs(),
+                        handle.count()
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The process-wide registry every subsystem reports into.
+pub fn global() -> &'static MetricsRegistry {
+    static G: OnceLock<MetricsRegistry> = OnceLock::new();
+    G.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let r = MetricsRegistry::new();
+        let c1 = r.counter("lcm_test_total", "a test counter");
+        let c2 = r.counter("lcm_test_total", "ignored duplicate help");
+        c1.inc();
+        c2.add(4);
+        assert_eq!(c1.get(), 5);
+        let g = r.gauge("lcm_depth", "a depth");
+        g.set(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn type_confusion_panics() {
+        let r = MetricsRegistry::new();
+        r.gauge("lcm_x", "");
+        r.counter("lcm_x", "");
+    }
+
+    #[test]
+    fn histogram_buckets_and_sums() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lcm_lat_seconds", "latency", vec![0.001, 0.01, 0.1]);
+        h.observe_secs(0.0005); // bucket 0
+        h.observe_secs(0.05); // bucket 2
+        h.observe_secs(5.0); // +Inf
+        h.observe(Duration::from_millis(2)); // bucket 1
+        assert_eq!(h.count(), 4);
+        assert!((h.sum_secs() - 5.0525).abs() < 1e-6);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lcm_lat_seconds histogram"));
+        assert!(text.contains("lcm_lat_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("lcm_lat_seconds_bucket{le=\"0.01\"} 2"));
+        assert!(text.contains("lcm_lat_seconds_bucket{le=\"0.1\"} 3"));
+        assert!(text.contains("lcm_lat_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lcm_lat_seconds_count 4"));
+    }
+
+    #[test]
+    fn json_render_is_valid_and_ordered() {
+        let r = MetricsRegistry::new();
+        r.counter("lcm_b_total", "").add(2);
+        r.counter("lcm_a_total", "").add(1);
+        let h = r.histogram("lcm_h_seconds", "", vec![1.0]);
+        h.observe_secs(0.5);
+        let json = r.render_json();
+        // BTreeMap order: a before b before h.
+        let a = json.find("lcm_a_total").unwrap();
+        let b = json.find("lcm_b_total").unwrap();
+        assert!(a < b);
+        assert!(json.contains("\"lcm_a_total\":1"));
+        assert!(json.contains("{\"le\":1,\"count\":1}"));
+        assert!(json.contains("{\"le\":\"+Inf\",\"count\":0}"));
+    }
+
+    #[test]
+    fn exp_buckets_scale_geometrically() {
+        let b = latency_buckets();
+        assert_eq!(b.len(), 12);
+        assert!((b[0] - 1e-6).abs() < 1e-12);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 4.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Span tracing with Chrome `trace_event` export.
+//!
+//! # Model
+//!
+//! A [`Span`] brackets a region of one thread's execution. Creating a
+//! span records a `"ph": "B"` (begin) event; dropping it records the
+//! matching `"ph": "E"` (end). Events accumulate in per-thread buffers
+//! (a `Mutex<Vec<_>>` owned by the recording thread — uncontended
+//! except during export) and [`export_chrome_trace`] drains them all
+//! into one `{"traceEvents": [...]}` document.
+//!
+//! # Invariants the export guarantees
+//!
+//! * **Balanced**: every `B` has a matching `E` on the same thread.
+//!   Spans still open at export time get a synthesized `E` at the
+//!   export timestamp; their guards notice (via an epoch counter) and
+//!   skip the now-stale end on drop.
+//! * **Per-thread monotone timestamps**: all timestamps come from one
+//!   process-wide [`Instant`] base and each thread appends in order.
+//! * **Properly nested**: guards are droppped in reverse creation
+//!   order (Rust scoping), so `B`/`E` pairs nest like a call stack.
+//!
+//! # Cost when disabled
+//!
+//! [`span`] starts with a single relaxed atomic load and returns an
+//! inert guard when no one has called [`enable`]. No allocation, no
+//! clock read, no thread-local touch. Argument attachment
+//! ([`Span::arg_str`] / [`Span::arg_u64`]) is likewise a no-op on an
+//! inert guard — callers may compute cheap integers unconditionally
+//! but should keep anything expensive behind [`is_enabled`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Soft cap on buffered events per thread (~tens of MB worst case).
+/// When a thread's buffer is full new spans stop recording their begin
+/// event; ends of already-recorded begins are always appended so the
+/// stream stays balanced.
+const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Bumped by every export; guards created before the bump skip their
+/// end event (the export already synthesized it).
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// One value a span argument can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string argument (function name, engine, cache disposition…).
+    Str(String),
+    /// An integer argument (query counts, sizes…).
+    U64(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    name: &'static str,
+    cat: &'static str,
+    begin: bool,
+    ts_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Mutex<Vec<Event>>,
+}
+
+fn base() -> Instant {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    *BASE.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    base().elapsed().as_micros() as u64
+}
+
+fn buffers() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static R: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<ThreadBuf> = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        let buf = Arc::new(ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Mutex::new(Vec::new()),
+        });
+        buffers().lock().unwrap().push(Arc::clone(&buf));
+        buf
+    };
+}
+
+/// Turns recording on. Idempotent. Also pins the timestamp base so the
+/// first span does not pay for clock initialization.
+pub fn enable() {
+    base();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns recording off. Spans already open still record their end
+/// event (streams stay balanced); new spans become inert.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether spans are currently being recorded. Use to gate argument
+/// computation that is too expensive for the hot path.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An RAII guard for one traced region. Create with [`span`]; the end
+/// event is recorded on drop.
+pub struct Span {
+    recorded: bool,
+    epoch: u64,
+    name: &'static str,
+    cat: &'static str,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Opens a span named `name` in category `cat` on the current thread.
+///
+/// `cat` groups spans for trace-viewer filtering; this workspace uses
+/// the stage names `detect`, `sat`, `store`, and `serve` (see
+/// DESIGN.md §6e for the taxonomy). When tracing is disabled this is
+/// one relaxed atomic load.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span {
+            recorded: false,
+            epoch: 0,
+            name,
+            cat,
+            args: Vec::new(),
+        };
+    }
+    Span::begin(name, cat)
+}
+
+impl Span {
+    #[cold]
+    fn begin(name: &'static str, cat: &'static str) -> Span {
+        let epoch = EPOCH.load(Ordering::Acquire);
+        let ts_us = now_us();
+        let recorded = LOCAL.with(|buf| {
+            let mut events = buf.events.lock().unwrap();
+            if events.len() >= MAX_EVENTS_PER_THREAD {
+                return false;
+            }
+            events.push(Event {
+                name,
+                cat,
+                begin: true,
+                ts_us,
+                args: Vec::new(),
+            });
+            true
+        });
+        Span {
+            recorded,
+            epoch,
+            name,
+            cat,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches a string argument, shown in the trace viewer on the
+    /// span. No-op (and no allocation) on an inert guard.
+    #[inline]
+    pub fn arg_str(&mut self, key: &'static str, value: &str) {
+        if self.recorded {
+            self.args.push((key, ArgValue::Str(value.to_string())));
+        }
+    }
+
+    /// Attaches an integer argument. No-op on an inert guard.
+    #[inline]
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) {
+        if self.recorded {
+            self.args.push((key, ArgValue::U64(value)));
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if !self.recorded {
+            return;
+        }
+        // An export ran while this span was open: it synthesized our
+        // end event already, so recording another would unbalance the
+        // *next* export.
+        if EPOCH.load(Ordering::Acquire) != self.epoch {
+            return;
+        }
+        let ts_us = now_us();
+        let args = std::mem::take(&mut self.args);
+        let (name, cat) = (self.name, self.cat);
+        LOCAL.with(|buf| {
+            // Deliberately past the soft cap: a recorded begin must get
+            // its end.
+            buf.events.lock().unwrap().push(Event {
+                name,
+                cat,
+                begin: false,
+                ts_us,
+                args,
+            });
+        });
+    }
+}
+
+/// Minimal JSON string escaper (the crate takes no dependency on
+/// `lcm-core`). Non-ASCII passes through raw — UTF-8 is valid JSON.
+fn esc_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn event_into(out: &mut String, pid: u32, tid: u64, e: &Event) {
+    out.push_str("{\"ph\":\"");
+    out.push(if e.begin { 'B' } else { 'E' });
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.ts_us.to_string());
+    out.push_str(",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"name\":");
+    esc_into(out, e.name);
+    out.push_str(",\"cat\":");
+    esc_into(out, e.cat);
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            esc_into(out, k);
+            out.push(':');
+            match v {
+                ArgValue::Str(s) => esc_into(out, s),
+                ArgValue::U64(n) => out.push_str(&n.to_string()),
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Drains every thread's buffer into one Chrome `trace_event` JSON
+/// document (`{"traceEvents": [...]}`), loadable by `chrome://tracing`
+/// and Perfetto.
+///
+/// Spans still open get a synthesized end event at the export
+/// timestamp, so the document is always balanced; their guards skip
+/// the stale end when they eventually drop. Buffers are left empty but
+/// registered — recording continues afterwards if still enabled.
+pub fn export_chrome_trace() -> String {
+    // Bump first: guards that drop from here on skip their end event.
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    let pid = std::process::id();
+    let bufs: Vec<Arc<ThreadBuf>> = buffers().lock().unwrap().clone();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for buf in bufs {
+        let events: Vec<Event> = std::mem::take(&mut *buf.events.lock().unwrap());
+        // Indices of begins not yet matched by an end, innermost last.
+        let mut open: Vec<usize> = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if e.begin {
+                open.push(i);
+            } else {
+                open.pop();
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            event_into(&mut out, pid, buf.tid, e);
+        }
+        let close_ts = now_us().max(events.last().map_or(0, |e| e.ts_us));
+        for &i in open.iter().rev() {
+            let e = Event {
+                name: events[i].name,
+                cat: events[i].cat,
+                begin: false,
+                ts_us: close_ts,
+                args: Vec::new(),
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            event_into(&mut out, pid, buf.tid, &e);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// [`export_chrome_trace`] straight to a file.
+///
+/// # Errors
+///
+/// Propagates the underlying write failure.
+pub fn export_to_file(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, export_chrome_trace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracing state is process-global, so everything lives in one test
+    // (the default harness runs tests concurrently).
+    #[test]
+    fn spans_record_balanced_nested_monotone_events() {
+        // Disabled: inert guards, nothing buffered, args free.
+        assert!(!is_enabled());
+        {
+            let mut s = span("idle", "test");
+            s.arg_str("k", "v");
+            s.arg_u64("n", 1);
+        }
+        enable();
+        {
+            let mut outer = span("outer", "test");
+            outer.arg_str("fn", "victim \"quoted\"");
+            {
+                let mut inner = span("inner", "test");
+                inner.arg_u64("queries", 7);
+            }
+        }
+        let t = std::thread::spawn(|| {
+            let _s = span("worker", "test");
+        });
+        t.join().unwrap();
+        // An open span at export time gets a synthesized end…
+        let dangling = span("dangling", "test");
+        let doc = export_chrome_trace();
+        disable();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        let begins = doc.matches("\"ph\":\"B\"").count();
+        let ends = doc.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends, "balanced: {doc}");
+        assert_eq!(doc.matches("\"name\":\"dangling\"").count(), 2);
+        assert!(doc.contains("\"queries\":7"));
+        assert!(doc.contains("victim \\\"quoted\\\""));
+        assert!(doc.contains("\"name\":\"worker\""));
+        // …and its guard skips the stale end: the next export holds
+        // nothing from it.
+        drop(dangling);
+        let empty = export_chrome_trace();
+        assert!(!empty.contains("dangling"), "stale end leaked: {empty}");
+        // The disabled span never recorded.
+        assert!(!doc.contains("idle"));
+    }
+}

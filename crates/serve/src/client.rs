@@ -171,6 +171,12 @@ impl Client {
         self.request(r#"{"cmd":"stats"}"#)
     }
 
+    /// `{"cmd": "metrics"}` — the daemon's metrics registry as raw
+    /// Prometheus text exposition (the reply is *not* JSON).
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        self.request_line(r#"{"cmd":"metrics"}"#)
+    }
+
     /// `{"cmd": "shutdown"}` — graceful stop; returns the ack.
     pub fn shutdown(&self) -> Result<Json, ClientError> {
         self.request(r#"{"cmd":"shutdown"}"#)

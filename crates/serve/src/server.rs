@@ -79,8 +79,70 @@ pub struct Counters {
     pub parse_errors: AtomicU64,
 }
 
+/// Registry-backed handles the daemon reports through; the same
+/// numbers surface in `{"cmd":"metrics"}` (Prometheus) and the
+/// enriched tail of `{"cmd":"stats"}`.
+struct ServeMetrics {
+    requests: lcm_obs::metrics::Counter,
+    /// Analyze requests completed, indexed pht/stl/psf.
+    analyses: [lcm_obs::metrics::Counter; 3],
+    /// Cumulative cache traffic (shared with `lcm-store`'s counters),
+    /// indexed hits/misses/bypassed.
+    cache: [lcm_obs::metrics::Counter; 3],
+    queue_wait: lcm_obs::metrics::Histogram,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        use lcm_obs::metrics::{global, latency_buckets, names};
+        let g = global();
+        ServeMetrics {
+            requests: g.counter(names::SERVE_REQUESTS, "Daemon connections accepted"),
+            analyses: [
+                g.counter(
+                    names::SERVE_ANALYSES_PHT,
+                    "Analyze requests completed with the pht engine",
+                ),
+                g.counter(
+                    names::SERVE_ANALYSES_STL,
+                    "Analyze requests completed with the stl engine",
+                ),
+                g.counter(
+                    names::SERVE_ANALYSES_PSF,
+                    "Analyze requests completed with the psf engine",
+                ),
+            ],
+            cache: [
+                g.counter(names::CACHE_HITS, "Function results served from the store"),
+                g.counter(
+                    names::CACHE_MISSES,
+                    "Function results analyzed and inserted into the store",
+                ),
+                g.counter(
+                    names::CACHE_BYPASS,
+                    "Function results that skipped the store (degraded/uncacheable)",
+                ),
+            ],
+            queue_wait: g.histogram(
+                names::SERVE_QUEUE_WAIT,
+                "Time a queued daemon connection waited for a worker",
+                latency_buckets(),
+            ),
+        }
+    }
+
+    fn analyses_for(&self, engine: EngineKind) -> &lcm_obs::metrics::Counter {
+        match engine {
+            EngineKind::Pht => &self.analyses[0],
+            EngineKind::Stl => &self.analyses[1],
+            EngineKind::Psf => &self.analyses[2],
+        }
+    }
+}
+
 struct QueueState {
-    queue: std::collections::VecDeque<UnixStream>,
+    /// Queued connections with their enqueue time (queue-wait metric).
+    queue: std::collections::VecDeque<(UnixStream, Instant)>,
     shutdown: bool,
 }
 
@@ -89,6 +151,7 @@ struct Shared {
     detector: Detector,
     store: Option<Store>,
     counters: Counters,
+    metrics: ServeMetrics,
     queue: Mutex<QueueState>,
     ready: Condvar,
     started: Instant,
@@ -137,6 +200,7 @@ impl Server {
                 detector,
                 store,
                 counters: Counters::default(),
+                metrics: ServeMetrics::new(),
                 queue: Mutex::new(QueueState {
                     queue: std::collections::VecDeque::new(),
                     shutdown: false,
@@ -176,6 +240,7 @@ impl Server {
                         .counters
                         .requests
                         .fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.requests.inc();
                     if self.faults.fires(site::SERVE_DROP_CONN, ordinal) {
                         // Injected connection loss: close without a
                         // byte of reply. Clients retry once.
@@ -194,7 +259,7 @@ impl Server {
                         let _ = conn.write_all(wire::error_reply("busy: queue full").as_bytes());
                         continue;
                     }
-                    state.queue.push_back(conn);
+                    state.queue.push_back((conn, Instant::now()));
                     drop(state);
                     self.shared.ready.notify_one();
                 }
@@ -263,7 +328,7 @@ impl ServerHandle {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let conn = {
+        let (conn, enqueued) = {
             let mut state = shared.queue.lock().unwrap();
             loop {
                 if let Some(c) = state.queue.pop_front() {
@@ -275,6 +340,7 @@ fn worker_loop(shared: &Shared) {
                 state = shared.ready.wait(state).unwrap();
             }
         };
+        shared.metrics.queue_wait.observe(enqueued.elapsed());
         handle_conn(shared, conn);
     }
 }
@@ -308,13 +374,30 @@ fn handle_conn(shared: &Shared, mut conn: UnixStream) {
         Ok(l) => l,
         Err(_) => return, // client vanished; nothing to answer
     };
-    let reply = match wire::parse_request(&line) {
+    let parsed = wire::parse_request(&line);
+    let mut span = lcm_obs::span("serve_request", "serve");
+    span.arg_str(
+        "cmd",
+        match &parsed {
+            Err(_) => "parse_error",
+            Ok(Request::Status) => "status",
+            Ok(Request::Stats) => "stats",
+            Ok(Request::Metrics) => "metrics",
+            Ok(Request::Shutdown) => "shutdown",
+            Ok(Request::Analyze { .. }) => "analyze",
+        },
+    );
+    if let Ok(Request::Analyze { engine, .. }) = &parsed {
+        span.arg_str("engine", engine.label());
+    }
+    let reply = match parsed {
         Err(e) => {
             shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
             wire::error_reply(&e)
         }
         Ok(Request::Status) => status_reply(shared),
         Ok(Request::Stats) => stats_reply(shared),
+        Ok(Request::Metrics) => lcm_obs::metrics::global().render_prometheus(),
         Ok(Request::Shutdown) => {
             let mut state = shared.queue.lock().unwrap();
             state.shutdown = true;
@@ -357,6 +440,7 @@ fn analyze(
         Err(e) => return wire::error_reply(&format!("compile error: {e}")),
     };
     shared.counters.analyses.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.analyses_for(engine).inc();
     let report: ModuleReport = match &shared.store {
         Some(store) => lcm_store::analyze_module_cached(&shared.detector, &module, engine, store),
         None => shared.detector.analyze_module(&module, engine),
@@ -424,6 +508,28 @@ fn stats_reply(shared: &Shared) -> String {
             Json::Num(s.recovered_drop as f64),
         ));
     }
+    // Enrichment (PR 5): appended after every pre-existing field so old
+    // clients' replies stay byte-stable up to here.
+    let m = &shared.metrics;
+    members.push((
+        "uptime_secs".into(),
+        Json::Num(shared.started.elapsed().as_secs_f64()),
+    ));
+    members.push(("analyses_pht".into(), Json::Num(m.analyses[0].get() as f64)));
+    members.push(("analyses_stl".into(), Json::Num(m.analyses[1].get() as f64)));
+    members.push(("analyses_psf".into(), Json::Num(m.analyses[2].get() as f64)));
+    members.push((
+        "cache_traffic_hits".into(),
+        Json::Num(m.cache[0].get() as f64),
+    ));
+    members.push((
+        "cache_traffic_misses".into(),
+        Json::Num(m.cache[1].get() as f64),
+    ));
+    members.push((
+        "cache_traffic_bypassed".into(),
+        Json::Num(m.cache[2].get() as f64),
+    ));
     let mut line = Json::Obj(members).render();
     line.push('\n');
     line

@@ -9,6 +9,7 @@
 //! {"cmd": "analyze", "file": "/path/to/prog.c", "engine": "stl"}
 //! {"cmd": "status"}
 //! {"cmd": "stats"}
+//! {"cmd": "metrics"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
@@ -17,6 +18,11 @@
 //! report (findings, status, cache labels) in the same shape the bench
 //! JSON uses, so the round-trip test can compare the daemon's answer
 //! against an in-process run field by field.
+//!
+//! `metrics` is the one exception to the JSON-reply rule: it answers
+//! with raw Prometheus text exposition (multi-line, `# HELP`/`# TYPE`
+//! preambles) so a scraper can hit the daemon without a translation
+//! shim. Everything else stays line-delimited JSON.
 
 use lcm_core::jsonw::{self, Json};
 use lcm_detect::{EngineKind, Finding, FunctionReport, ModuleReport};
@@ -37,6 +43,8 @@ pub enum Request {
     Status,
     /// Counter snapshot (requests, cache traffic, degradations).
     Stats,
+    /// Prometheus text exposition of the process metrics registry.
+    Metrics,
     /// Graceful shutdown after in-flight requests drain.
     Shutdown,
 }
@@ -68,6 +76,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match cmd {
         "status" => Ok(Request::Status),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "analyze" => {
             let source = v.get("source").and_then(Json::as_str).map(String::from);
@@ -193,6 +202,7 @@ mod tests {
     fn parses_every_command() {
         assert_eq!(parse_request(r#"{"cmd":"status"}"#), Ok(Request::Status));
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse_request(r#"{"cmd":"metrics"}"#), Ok(Request::Metrics));
         assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#),
             Ok(Request::Shutdown)

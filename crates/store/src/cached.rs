@@ -65,14 +65,19 @@ pub fn cached_function_report(
     store: &Store,
 ) -> FunctionReport {
     let t0 = Instant::now();
+    let mut sp = lcm_obs::span("cache_lookup", "store");
+    sp.arg_str("fn", fname);
     let fp = clou_fingerprint(module, fname, det.config(), engine);
     if let Some(mut hit) = store.lookup_clou(fp) {
+        sp.arg_str("cache", CacheStatus::Hit.label());
+        cache_traffic(CacheStatus::Hit).inc();
         let elapsed = t0.elapsed();
         hit.runtime = elapsed;
         hit.timings.cache = elapsed;
         hit.timings.cache_hits = 1;
         return hit;
     }
+    drop(sp);
     let mut report = det.analyze_function(module, fname, engine);
     if report.status.is_completed() {
         report.cache = CacheStatus::Miss;
@@ -80,6 +85,7 @@ pub fn cached_function_report(
     } else {
         report.cache = CacheStatus::Bypass;
     }
+    cache_traffic(report.cache).inc();
     // Everything this function spent beyond the engine run itself —
     // fingerprinting, lookup, insertion — lands in the cache bucket so
     // the breakdown still sums to wall clock.
@@ -87,6 +93,33 @@ pub fn cached_function_report(
     report.timings.cache = wall.saturating_sub(report.runtime);
     report.runtime = wall;
     report
+}
+
+/// The process-wide counter tracking one cache disposition
+/// (`lcm_cache_{hits,misses,bypass}_total`).
+fn cache_traffic(status: CacheStatus) -> &'static lcm_obs::metrics::Counter {
+    use lcm_obs::metrics::{global, names, Counter};
+    use std::sync::OnceLock;
+    static HANDLES: OnceLock<[Counter; 3]> = OnceLock::new();
+    let [hits, misses, bypass] = HANDLES.get_or_init(|| {
+        let g = global();
+        [
+            g.counter(names::CACHE_HITS, "Function results served from the store"),
+            g.counter(
+                names::CACHE_MISSES,
+                "Function results analyzed and inserted into the store",
+            ),
+            g.counter(
+                names::CACHE_BYPASS,
+                "Function results that skipped the store (degraded/uncacheable)",
+            ),
+        ]
+    });
+    match status {
+        CacheStatus::Hit => hits,
+        CacheStatus::Miss => misses,
+        CacheStatus::Bypass => bypass,
+    }
 }
 
 /// [`Detector::analyze_module`] with the store in front: every public

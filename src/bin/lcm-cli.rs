@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! lcm-cli serve  --socket PATH [--workers N] [--queue N] [--cache-dir DIR] [--jobs N]
+//!                [--trace-out PATH]
 //! lcm-cli client --socket PATH status
 //! lcm-cli client --socket PATH stats
+//! lcm-cli client --socket PATH metrics    # Prometheus text, not JSON
 //! lcm-cli client --socket PATH shutdown
 //! lcm-cli client --socket PATH analyze [--engine pht|stl] [--retries N]
 //!                (--file PATH | --source SRC | -)   # `-` reads stdin
@@ -38,13 +40,17 @@ const USAGE: &str = "\
 lcm-cli — analysis daemon and client
 
   lcm-cli serve  --socket PATH [--workers N] [--queue N] [--cache-dir DIR] [--jobs N]
-  lcm-cli client --socket PATH status | stats | shutdown
+                 [--trace-out PATH]
+  lcm-cli client --socket PATH status | stats | metrics | shutdown
   lcm-cli client --socket PATH analyze [--engine pht|stl] [--retries N]
                  (--file PATH | --source SRC | -)
 
 `serve` runs until a client sends `shutdown`. `--cache-dir` persists
 results in DIR/results.lcmstore so repeat submissions are cache hits.
-`client analyze -` reads mini-C source from stdin.
+`--trace-out` records a Chrome trace of the daemon's lifetime, written
+on shutdown. `client metrics` prints Prometheus exposition text (the
+one reply that is not a JSON line). `client analyze -` reads mini-C
+source from stdin.
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -81,9 +87,10 @@ fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
 
 fn serve(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
-    let parsed = (|| -> Result<ServeConfig, String> {
+    let parsed = (|| -> Result<(ServeConfig, Option<String>), String> {
         let socket = take_value(&mut args, "--socket")?
             .ok_or_else(|| "serve needs --socket PATH".to_string())?;
+        let trace_out = take_value(&mut args, "--trace-out")?;
         let mut config = ServeConfig::new(socket);
         if let Some(v) = take_value(&mut args, "--workers")? {
             config.workers = parse_num(&v, "--workers")?;
@@ -100,9 +107,9 @@ fn serve(args: &[String]) -> ExitCode {
         if let Some(extra) = args.first() {
             return Err(format!("unknown serve argument {extra:?}"));
         }
-        Ok(config)
+        Ok((config, trace_out))
     })();
-    let config = match parsed {
+    let (config, trace_out) = match parsed {
         Ok(c) => c,
         Err(e) => return usage_error(&e),
     };
@@ -114,7 +121,18 @@ fn serve(args: &[String]) -> ExitCode {
             .as_ref()
             .map_or("disabled".to_string(), |d| d.display().to_string()),
     );
-    match Server::bind(config).and_then(Server::run) {
+    if trace_out.is_some() {
+        lcm::obs::trace::enable();
+    }
+    let outcome = Server::bind(config).and_then(Server::run);
+    if let Some(path) = trace_out {
+        lcm::obs::trace::disable();
+        match lcm::obs::trace::export_to_file(std::path::Path::new(&path)) {
+            Ok(()) => eprintln!("lcm-serve: trace written to {path}"),
+            Err(e) => eprintln!("lcm-serve: writing trace to {path}: {e}"),
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("lcm-serve: {e}");
@@ -134,13 +152,26 @@ fn client(args: &[String]) -> ExitCode {
         };
         let client = Client::new(socket).retries(retries);
         let cmd = if args.is_empty() {
-            return Err("client needs a command: status | stats | shutdown | analyze".into());
+            return Err(
+                "client needs a command: status | stats | metrics | shutdown | analyze".into(),
+            );
         } else {
             args.remove(0)
         };
         let reply = match cmd.as_str() {
             "status" => client.status(),
             "stats" => client.stats(),
+            "metrics" => {
+                // The one non-JSON reply: raw Prometheus text, printed
+                // verbatim (no `.render()` round-trip).
+                if let Some(extra) = args.first() {
+                    return Err(format!("unknown client argument {extra:?}"));
+                }
+                return client
+                    .metrics()
+                    .map(|text| text.trim_end().to_string())
+                    .map_err(|e| format!("request failed: {e}"));
+            }
             "shutdown" => client.shutdown(),
             "analyze" => {
                 let engine = match take_value(&mut args, "--engine")? {

@@ -35,6 +35,7 @@ pub use lcm_haunted as haunted;
 pub use lcm_ir as ir;
 pub use lcm_litmus as litmus;
 pub use lcm_minic as minic;
+pub use lcm_obs as obs;
 pub use lcm_relalg as relalg;
 pub use lcm_sat as sat;
 pub use lcm_serve as serve;

@@ -1,0 +1,107 @@
+//! Tier-1: observability must never observe its way into the results.
+//!
+//! The `lcm-obs` tracer and metrics registry sit inside every analysis
+//! phase (A-CFG build, S-AEG build, engines, solver, cache, daemon).
+//! The contract is that they are *write-only* side channels: enabling
+//! tracing changes what gets recorded, never what gets computed. This
+//! test enforces that differentially — the rendered `ModuleReport`
+//! wire JSON (timing-free by construction) must be byte-identical with
+//! tracing off and on, for every engine, including under any
+//! `LCM_FAULT` campaign the CI matrix arms (faults key off the function
+//! index, so both runs see the same failures).
+//!
+//! The same test then validates the trace it just recorded with the
+//! bench crate's Chrome-trace shape checker (the library behind the
+//! `tracecheck` binary CI runs on `--trace-out` artifacts): balanced
+//! begin/end, per-thread monotone timestamps, proper nesting.
+
+use lcm::detect::{Detector, DetectorConfig, EngineKind};
+use lcm::serve::wire::module_report_json;
+
+fn env_faults_armed() -> bool {
+    std::env::var(lcm::core::fault::FAULT_ENV).is_ok_and(|v| !v.trim().is_empty())
+}
+
+const VICTIMS: &str = r#"
+    int A[16]; int B[4096]; int size; int tmp; int sec_key;
+    void victim_a(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+    void victim_b(int y) { if (y < size) tmp &= B[A[y] * 256]; }
+    void safe(int y) { tmp = y + sec_key; }
+"#;
+
+/// One test function on purpose: the tracer's enabled flag is process
+/// global, so interleaving with a concurrently running sibling test
+/// would make "tracing off" a lie.
+#[test]
+fn reports_are_byte_identical_with_tracing_on_and_off() {
+    let det = Detector::new(DetectorConfig::default());
+    // The litmus-shaped victims fall entirely inside the pre-screen's
+    // decidable fragment (see tests/budgets.rs), so a second detector
+    // with the pre-filter disabled forces real solver traffic — that
+    // covers the `sat_solve` span and the latency histogram.
+    let det_solver = Detector::new(DetectorConfig {
+        disable_prefilter: true,
+        ..DetectorConfig::default()
+    });
+    let engines = [EngineKind::Pht, EngineKind::Stl, EngineKind::Psf];
+    let run_all = || -> Vec<Result<String, String>> {
+        let mut out = Vec::new();
+        for d in [&det, &det_solver] {
+            for engine in engines {
+                out.push(
+                    lcm::analyze_source(VICTIMS, d, engine)
+                        .map(|r| module_report_json(&r).render())
+                        .map_err(|e| e.to_string()),
+                );
+            }
+        }
+        out
+    };
+
+    assert!(!lcm::obs::trace::is_enabled());
+    let off = run_all();
+
+    lcm::obs::trace::enable();
+    let on = run_all();
+    lcm::obs::trace::disable();
+
+    for (i, (off, on)) in off.iter().zip(&on).enumerate() {
+        assert_eq!(
+            off,
+            on,
+            "{:?} (config {}): rendered report must not depend on tracing",
+            engines[i % engines.len()],
+            i / engines.len(),
+        );
+    }
+
+    // The traced runs must have produced a structurally valid Chrome
+    // trace covering the analysis pipeline.
+    let doc = lcm::obs::trace::export_chrome_trace();
+    let stats = lcm_bench::trace::validate(&doc).expect("exported trace must be shape-valid");
+
+    // Span taxonomy: with no faults armed, a full three-engine run over
+    // a compiling module must include the pipeline's named phases.
+    // (Under a fault campaign a fault can fire before any span opens —
+    // e.g. `worker_panic` aborts every worker at its first instruction —
+    // so there only the exported shape is asserted.)
+    if !env_faults_armed() {
+        assert!(stats.spans > 0, "traced analysis produced no spans");
+        for name in ["acfg_build", "saeg_build", "engine_run", "sat_solve"] {
+            assert!(
+                doc.contains(&format!("\"name\":\"{name}\"")),
+                "trace is missing expected span `{name}`"
+            );
+        }
+        // The same pipeline feeds the registry; a clean run must have
+        // registered the query counters and the solver histogram.
+        let prom = lcm::obs::metrics::global().render_prometheus();
+        assert!(prom.contains("# TYPE lcm_sat_queries_total counter"));
+        assert!(prom.contains("lcm_solve_latency_seconds_bucket"));
+    }
+
+    // Whatever the fault plan did to the run, the JSON exposition block
+    // the bench binaries print must stay parseable.
+    let json = lcm::obs::metrics::global().render_json();
+    lcm::core::jsonw::parse(&json).expect("metrics JSON block must parse");
+}
