@@ -43,5 +43,7 @@ pub mod trace;
 mod build;
 mod reach;
 
-pub use build::{EventId, EventKind, MemEvent, Saeg};
-pub use reach::{prefilter_disabled_by_env, FeasStats, Feasibility, WitnessSeed};
+pub use build::{BranchInfo, EventId, EventKind, MemEvent, Saeg};
+pub use reach::{
+    incremental_disabled_by_env, prefilter_disabled_by_env, FeasStats, Feasibility, WitnessSeed,
+};

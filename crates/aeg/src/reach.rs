@@ -53,6 +53,19 @@ pub fn prefilter_disabled_by_env() -> bool {
     std::env::var_os(DISABLE_PREFILTER_ENV).is_some_and(|v| v != "0")
 }
 
+/// Environment variable that force-disables persistent incremental
+/// solving: every solver-bound query runs on a fresh clone of the
+/// pristine encoded instance instead of the long-lived solver, so no
+/// learnt clause survives across queries. This is the oracle half of
+/// the incremental-SAT differential tests; any value other than `0`
+/// disables.
+pub const DISABLE_INCREMENTAL_ENV: &str = "LCM_DISABLE_INCREMENTAL";
+
+/// `true` when [`DISABLE_INCREMENTAL_ENV`] is set in the environment.
+pub fn incremental_disabled_by_env() -> bool {
+    std::env::var_os(DISABLE_INCREMENTAL_ENV).is_some_and(|v| v != "0")
+}
+
 /// Query counters and phase timings for one [`Feasibility`] instance.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FeasStats {
@@ -72,6 +85,13 @@ pub struct FeasStats {
     pub encode: Duration,
     /// Time spent inside the SAT solver.
     pub solve: Duration,
+    /// Solver calls answered by a solver that had already served an
+    /// earlier call on this instance — the persistent-incremental reuse
+    /// count. Always 0 in fresh-per-query oracle mode.
+    pub solver_reuses: u64,
+    /// Learnt clauses newly retained in the persistent solver's database
+    /// across calls (clauses learned and kept for future queries).
+    pub clauses_retained: u64,
 }
 
 fn solve_latency() -> &'static lcm_obs::metrics::Histogram {
@@ -109,7 +129,7 @@ enum LitKind {
 }
 
 /// One-shot reachability data consulted before the solver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BlockScreen {
     /// Reflexive-transitive reachability over A-CFG blocks.
     reach: Relation,
@@ -120,7 +140,7 @@ struct BlockScreen {
 /// A trie node keyed by assumption literals; the memo for one
 /// [`Feasibility`] instance. Children are unsorted — stacks are short
 /// and push order is deterministic, so a linear probe wins over sorting.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct MemoNode {
     children: Vec<(Lit, u32)>,
     /// Memoized `check_stack` answer.
@@ -129,7 +149,7 @@ struct MemoNode {
     path: Option<Option<Vec<BlockId>>>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Memo {
     nodes: Vec<MemoNode>,
 }
@@ -169,7 +189,15 @@ impl Memo {
 ///
 /// Queries are memoized: leakage engines re-ask the same path questions
 /// for every chain sharing a speculation site.
-#[derive(Debug)]
+///
+/// The underlying solver is **persistent and incremental**: one
+/// [`Cnf`]-wrapped solver answers every query via assumptions, so learnt
+/// clauses accumulate across stacks (bounded by the solver's clause-DB
+/// reduction policy). `Clone` clones the whole checker — encoding, memo,
+/// learnt clauses, governor handle — which is how intra-function work
+/// splitting gives each worker its own persistent solver without paying
+/// the CNF encoding again.
+#[derive(Debug, Clone)]
 pub struct Feasibility {
     cnf: Cnf,
     arch: Vec<Lit>,
@@ -187,6 +215,13 @@ pub struct Feasibility {
     stats: FeasStats,
     /// Per-function resource governor, when the caller runs governed.
     governor: Option<Arc<ResourceGovernor>>,
+    /// Pristine encoded solver, present only in fresh-per-query oracle
+    /// mode (see [`Self::set_incremental`]): each solver-bound query
+    /// clones it and discards the clone, so nothing persists.
+    oracle_base: Option<Box<lcm_sat::Solver>>,
+    /// Whether the persistent solver has served a call yet (drives
+    /// [`FeasStats::solver_reuses`]).
+    solver_used: bool,
 }
 
 impl Feasibility {
@@ -278,7 +313,28 @@ impl Feasibility {
             blocks_buf: Vec::new(),
             stats,
             governor: None,
+            oracle_base: None,
+            solver_used: false,
         }
+    }
+
+    /// Switches between persistent incremental solving (the default) and
+    /// a fresh-solver-per-query oracle mode. Turning incrementality
+    /// *off* snapshots the current solver as the pristine instance every
+    /// later query re-starts from — call it right after construction,
+    /// before any query, so the snapshot carries no learnt clauses.
+    ///
+    /// Findings are identical either way: engines consume only the
+    /// sat/unsat verdict (plus the stack-derived witness seed), and
+    /// satisfiability under assumptions is a semantic property learnt
+    /// clauses cannot change. The mode exists for the differential tests
+    /// and for memory-constrained runs.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.oracle_base = if on {
+            None
+        } else {
+            Some(Box::new(self.cnf.solver_mut().clone()))
+        };
     }
 
     /// Attaches a per-function resource governor: subsequent queries
@@ -319,23 +375,50 @@ impl Feasibility {
     /// One governed solver call over the current stack: applies the
     /// governor's remaining budget as [`SolveLimits`], charges the
     /// conflicts the call spent, and converts an abort into a trip.
+    ///
+    /// In the default incremental mode the call runs on the persistent
+    /// solver, so its learnt clauses carry into the next query; in
+    /// oracle mode it runs on a throwaway clone of the pristine
+    /// encoding.
     fn solve_stack_governed(&mut self) -> SolveResult {
-        if let Some(g) = &self.governor {
-            self.cnf.solver_mut().set_limits(SolveLimits {
-                max_conflicts: g.remaining_conflicts(),
-                deadline: g.deadline(),
-            });
-        }
-        let (c0, _, _) = self.cnf.solver_mut().stats();
+        let limits = self.governor.as_ref().map(|g| SolveLimits {
+            max_conflicts: g.remaining_conflicts(),
+            deadline: g.deadline(),
+        });
         let mut span = lcm_obs::span("sat_solve", "sat");
         span.arg_u64("assumptions", self.stack.len() as u64);
-        let t0 = Instant::now();
-        let res = self.cnf.solver_mut().solve_with(&self.stack);
-        solve_latency().observe(t0.elapsed());
+        let (res, spent) = if let Some(base) = &self.oracle_base {
+            let mut fresh = (**base).clone();
+            if let Some(l) = limits {
+                fresh.set_limits(l);
+            }
+            let (c0, _, _) = fresh.stats();
+            let t0 = Instant::now();
+            let res = fresh.solve_with(&self.stack);
+            solve_latency().observe(t0.elapsed());
+            let (c1, _, _) = fresh.stats();
+            (res, c1 - c0)
+        } else {
+            if let Some(l) = limits {
+                self.cnf.solver_mut().set_limits(l);
+            }
+            if self.solver_used {
+                self.stats.solver_reuses += 1;
+            }
+            self.solver_used = true;
+            let retained0 = self.cnf.solver_mut().learnt_stats().retained;
+            let (c0, _, _) = self.cnf.solver_mut().stats();
+            let t0 = Instant::now();
+            let res = self.cnf.solver_mut().solve_with(&self.stack);
+            solve_latency().observe(t0.elapsed());
+            let (c1, _, _) = self.cnf.solver_mut().stats();
+            let retained1 = self.cnf.solver_mut().learnt_stats().retained;
+            self.stats.clauses_retained += retained1.saturating_sub(retained0) as u64;
+            (res, c1 - c0)
+        };
         drop(span);
         if let Some(g) = &self.governor {
-            let (c1, _, _) = self.cnf.solver_mut().stats();
-            g.charge_conflicts(c1 - c0);
+            g.charge_conflicts(spent);
             if let SolveResult::Aborted(reason) = &res {
                 match reason {
                     AbortReason::Deadline => g.trip_timeout(),
@@ -819,6 +902,51 @@ mod tests {
         let seed = fe.stack_seed();
         assert_eq!(seed.blocks, vec![br.block, br.else_bb]);
         assert_eq!(seed.branch_dir, Some((br.block, false)));
+    }
+
+    #[test]
+    fn oracle_mode_matches_incremental_and_never_reuses() {
+        let src = "int G; void f(int a, int b) { if (a) { if (b) { G = 1; } } else { G = 2; } }";
+        let m = lcm_minic::compile(src).unwrap();
+        let s = Saeg::build(&m, "f", SpeculationConfig::default()).unwrap();
+        // Pre-screen off so every query is solver traffic.
+        let mut inc = Feasibility::with_prefilter(&s, false);
+        let mut fresh = Feasibility::with_prefilter(&s, false);
+        fresh.set_incremental(false);
+        let blocks = s.topo_blocks().to_vec();
+        for &a in &blocks {
+            for &b in &blocks {
+                let req = [inc.arch_lit(a), inc.arch_lit(b)];
+                assert_eq!(inc.check(&req), fresh.check(&req), "{a:?},{b:?}");
+            }
+        }
+        assert!(
+            inc.stats().solver_reuses > 0,
+            "persistent solver must be reused"
+        );
+        assert_eq!(
+            fresh.stats().solver_reuses,
+            0,
+            "oracle mode must never reuse a solver"
+        );
+    }
+
+    #[test]
+    fn cloned_feasibility_answers_independently() {
+        let (s, mut fe) = feas(
+            "int G; void f(int c) { if (c) { G = 1; } else { G = 2; } }",
+            "f",
+        );
+        let br = &s.branches[0];
+        let d = fe.decision_lit(br.block).unwrap();
+        fe.push(d);
+        let mut worker = fe.clone();
+        // The clone carries the stack; both sides answer the same query,
+        // then diverge without affecting each other.
+        worker.push(worker.arch_lit(br.else_bb));
+        assert!(!worker.check_stack());
+        fe.push(fe.arch_lit(br.then_bb));
+        assert!(fe.check_stack());
     }
 
     #[test]

@@ -180,9 +180,24 @@ fn run_bh(
         },
         time: report.total_runtime(),
         counts: (report.total_leaks(), 0, 0, 0),
-        timings: PhaseTimings {
-            baseline: report.total_runtime(),
-            ..PhaseTimings::default()
+        timings: {
+            let sum = |f: fn(&lcm_haunted::HauntedReport) -> std::time::Duration| {
+                report.functions.iter().map(f).sum::<std::time::Duration>()
+            };
+            let (enu, exe, wit) = (
+                sum(|r| r.t_enumerate),
+                sum(|r| r.t_execute),
+                sum(|r| r.t_witness),
+            );
+            PhaseTimings {
+                // `baseline` keeps only the remainder the three
+                // sub-phases don't account for (setup, merge).
+                baseline: report.total_runtime().saturating_sub(enu + exe + wit),
+                bh_enumerate: enu,
+                bh_execute: exe,
+                bh_witness: wit,
+                ..PhaseTimings::default()
+            }
         },
         degraded: report
             .functions

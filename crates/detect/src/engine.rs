@@ -2,12 +2,27 @@
 //!
 //! Functions are independent analysis units (each gets its own S-AEG,
 //! CNF, and solver), so [`Detector::analyze_module`] fans them out over
-//! [`lcm_core::par::map_indexed`] worker threads when
-//! [`DetectorConfig::jobs`] permits; results come back in module order,
-//! byte-identical to a serial run. Within one function the engines drive
-//! the shared [`Feasibility`] solver through its assumption stack
-//! (`mark`/`push`/`truncate`) instead of cloning request vectors per
-//! candidate chain.
+//! [`lcm_core::par`] worker threads when [`DetectorConfig::jobs`]
+//! permits; results come back in module order, byte-identical to a
+//! serial run. Worker threads left over after the per-function split
+//! are pushed *into* the functions: each engine's candidate loop is a
+//! sequence of independent work units ((branch, direction) pairs for
+//! PHT, loads for STL/PSF), and with more than one intra-function
+//! worker each unit runs on a per-worker **clone** of the function's
+//! [`Feasibility`] stack (solver, memo, and all). Every unit starts
+//! from an empty assumption stack and checks are answered semantically
+//! (sat/unsat), so per-unit findings are a pure function of the unit —
+//! merging them in unit order reproduces the serial output byte for
+//! byte at any job count. Only the *counters* (memo hits, solver
+//! reuses) are scheduling-dependent in the intra-parallel mode, which
+//! is why the query-budget pins run at `jobs = 1`.
+//!
+//! Within one unit the engines drive the [`Feasibility`] solver through
+//! its assumption stack (`mark`/`push`/`truncate`) instead of cloning
+//! request vectors per candidate chain; the solver underneath is
+//! persistent and incremental across the whole function unless
+//! [`DetectorConfig::disable_incremental`] opts into the
+//! fresh-solver-per-query oracle mode.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,8 +76,8 @@ impl EngineKind {
 fn absorb_feas_stats(st: &lcm_aeg::FeasStats) {
     use lcm_obs::metrics::{global, names, Counter};
     use std::sync::OnceLock;
-    static HANDLES: OnceLock<[Counter; 4]> = OnceLock::new();
-    let [queries, memo, avoided, prefilter] = HANDLES.get_or_init(|| {
+    static HANDLES: OnceLock<[Counter; 6]> = OnceLock::new();
+    let [queries, memo, avoided, prefilter, reuses, retained] = HANDLES.get_or_init(|| {
         let g = global();
         [
             g.counter(
@@ -81,12 +96,120 @@ fn absorb_feas_stats(st: &lcm_aeg::FeasStats) {
                 names::SAT_PREFILTER_HITS,
                 "Engine-level candidate checks skipped by hoisted pre-screens",
             ),
+            g.counter(
+                names::SOLVER_REUSES,
+                "Solver calls served by an already-warm persistent solver",
+            ),
+            g.counter(
+                names::SAT_CLAUSES_RETAINED,
+                "Learnt clauses retained across solver calls",
+            ),
         ]
     });
     queries.add(st.queries);
     memo.add(st.memo_hits);
     avoided.add(st.queries_avoided);
     prefilter.add(st.prefilter_hits);
+    reuses.add(st.solver_reuses);
+    retained.add(st.clauses_retained);
+}
+
+/// Counter of intra-function work units dispatched to the parallel
+/// splitter (one per (branch, direction) pair or per load). Zero in
+/// serial runs — the serial path never touches the splitter.
+fn work_units() -> &'static lcm_obs::metrics::Counter {
+    use std::sync::OnceLock;
+    static C: OnceLock<lcm_obs::metrics::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        lcm_obs::metrics::global().counter(
+            lcm_obs::metrics::names::WORK_UNITS,
+            "Intra-function work units dispatched to parallel workers",
+        )
+    })
+}
+
+/// `after - before`, field-wise: the stats one worker accumulated on its
+/// cloned [`Feasibility`] during a work unit (the clone inherits the
+/// template's construction-time counters, which must not be re-counted).
+fn stats_delta(after: lcm_aeg::FeasStats, before: lcm_aeg::FeasStats) -> lcm_aeg::FeasStats {
+    lcm_aeg::FeasStats {
+        queries: after.queries.saturating_sub(before.queries),
+        memo_hits: after.memo_hits.saturating_sub(before.memo_hits),
+        queries_avoided: after.queries_avoided.saturating_sub(before.queries_avoided),
+        prefilter_hits: after.prefilter_hits.saturating_sub(before.prefilter_hits),
+        encode: after.encode.saturating_sub(before.encode),
+        solve: after.solve.saturating_sub(before.solve),
+        solver_reuses: after.solver_reuses.saturating_sub(before.solver_reuses),
+        clauses_retained: after
+            .clauses_retained
+            .saturating_sub(before.clauses_retained),
+    }
+}
+
+/// Field-wise sum of two stats records.
+fn stats_add(a: lcm_aeg::FeasStats, b: lcm_aeg::FeasStats) -> lcm_aeg::FeasStats {
+    lcm_aeg::FeasStats {
+        queries: a.queries + b.queries,
+        memo_hits: a.memo_hits + b.memo_hits,
+        queries_avoided: a.queries_avoided + b.queries_avoided,
+        prefilter_hits: a.prefilter_hits + b.prefilter_hits,
+        encode: a.encode + b.encode,
+        solve: a.solve + b.solve,
+        solver_reuses: a.solver_reuses + b.solver_reuses,
+        clauses_retained: a.clauses_retained + b.clauses_retained,
+    }
+}
+
+/// Concatenates per-unit findings in unit order (= serial engine order)
+/// and sums the per-unit stats deltas.
+fn merge_units(
+    results: Vec<(Vec<Finding>, lcm_aeg::FeasStats)>,
+) -> (Vec<Finding>, lcm_aeg::FeasStats) {
+    let mut out = Vec::new();
+    let mut st = lcm_aeg::FeasStats::default();
+    for (findings, delta) in results {
+        out.extend(findings);
+        st = stats_add(st, delta);
+    }
+    (out, st)
+}
+
+/// Lazily memoized per-event steerability (the §5.3 taint filter):
+/// [`access_steerable`] is a pure operand-graph walk per access event,
+/// but the classify helpers ask it once per feasible chain — hundreds of
+/// times per event on branch-dense functions. One byte per event:
+/// 0 unknown, 1 not steerable, 2 steerable.
+struct SteerCache(Vec<u8>);
+
+impl SteerCache {
+    fn new(events: usize) -> SteerCache {
+        SteerCache(vec![0; events])
+    }
+
+    fn steerable(&mut self, saeg: &Saeg, access: EventId) -> bool {
+        match self.0[access.0] {
+            0 => {
+                let v = access_steerable(saeg, access);
+                self.0[access.0] = 1 + u8::from(v);
+                v
+            }
+            v => v == 2,
+        }
+    }
+}
+
+/// Taint filter (§5.3): can the attacker steer the access's address
+/// toward arbitrary memory? Pure in `(saeg, access)` — memoized per
+/// function by [`SteerCache`].
+fn access_steerable(saeg: &Saeg, access: EventId) -> bool {
+    let e = &saeg.events[access.0];
+    match saeg.acfg.inst(e.inst) {
+        Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
+            attacker_controlled(&saeg.acfg, *addr)
+        }
+        Inst::Havoc { .. } => true,
+        _ => false,
+    }
 }
 
 /// Detector configuration (Fig. 6's "configuration parameters").
@@ -116,10 +239,22 @@ pub struct DetectorConfig {
     /// line for a same-address committed load (an rf-NI violation whose
     /// receiver is architectural).
     pub detect_interference: bool,
-    /// Worker threads for per-function fan-out in
-    /// [`Detector::analyze_module`]: `0` uses all available cores, `1`
-    /// is exact serial execution. Output is identical either way.
+    /// Worker threads: `0` uses all available cores, `1` is exact
+    /// serial execution. [`Detector::analyze_module`] splits the pool
+    /// two-level: first across functions, then any left-over workers go
+    /// *into* each function's engine loops (so a one-big-function
+    /// module still uses every core). Findings are identical at every
+    /// value; only scheduling-dependent counters (memo hits, solver
+    /// reuses) vary above `1`.
     pub jobs: usize,
+    /// Force-disables persistent incremental SAT: every solver-bound
+    /// feasibility query runs on a fresh clone of the pristine encoded
+    /// solver, so no learnt clause or heuristic state survives between
+    /// queries. Findings are identical either way (satisfiability is
+    /// semantic) — this is the fresh-solver oracle the differential
+    /// test suite compares against. Also reachable via the
+    /// `LCM_DISABLE_INCREMENTAL` environment variable.
+    pub disable_incremental: bool,
     /// Force-disables the query-avoidance layer (the block-reachability
     /// pre-screen in [`Feasibility`] and the engines' duplicate-block
     /// fast paths), sending every feasibility question through the memo
@@ -147,6 +282,7 @@ impl Default for DetectorConfig {
             secret_filter: false,
             detect_interference: false,
             jobs: 0,
+            disable_incremental: false,
             disable_prefilter: false,
             budgets: Budgets::default(),
             faults: FaultPlan::default(),
@@ -212,8 +348,18 @@ impl Detector {
     pub fn analyze_module(&self, module: &Module, engine: EngineKind) -> ModuleReport {
         let names: Vec<&str> = module.public_functions().map(|f| f.name.as_str()).collect();
         let faults = self.config.faults.merged_with_env();
-        let results = lcm_core::par::map_indexed_catch(&names, self.config.jobs, |i, name| {
-            self.analyze_function_governed(module, name, engine, i, &faults)
+        // Two-level split: functions first, then left-over workers go
+        // into each function's engine loops. `total = outer * inner`
+        // (rounded down), so a module with one big function gets the
+        // whole pool intra-function.
+        let total = lcm_core::par::effective_jobs(self.config.jobs);
+        let outer = total.min(names.len()).max(1);
+        let inner = Detector::new(DetectorConfig {
+            jobs: (total / outer).max(1),
+            ..self.config.clone()
+        });
+        let results = lcm_core::par::map_indexed_catch(&names, outer, |i, name| {
+            inner.analyze_function_governed(module, name, engine, i, &faults)
         });
         let functions = results
             .into_iter()
@@ -408,14 +554,18 @@ impl Detector {
         // Whether the engines' duplicate-block fast paths may answer
         // checks without consulting the solver layer at all.
         let pf = !self.config.disable_prefilter && !lcm_aeg::prefilter_disabled_by_env();
+        let incremental =
+            !self.config.disable_incremental && !lcm_aeg::incremental_disabled_by_env();
         let mut feas = Feasibility::with_prefilter(saeg, !self.config.disable_prefilter);
+        feas.set_incremental(incremental);
         if let Some(g) = gov {
             feas.attach_governor(Arc::clone(g));
         }
-        let mut raw = match engine {
-            EngineKind::Pht => self.run_pht(saeg, &preds, pf, &mut feas),
-            EngineKind::Stl => self.run_stl(saeg, &gaddr, &ctrl, pf, &mut feas),
-            EngineKind::Psf => self.run_psf(saeg, &gaddr, pf, &mut feas),
+        let jobs = lcm_core::par::effective_jobs(self.config.jobs);
+        let (mut raw, extra) = match engine {
+            EngineKind::Pht => self.run_pht(saeg, &preds, pf, &mut feas, jobs),
+            EngineKind::Stl => self.run_stl(saeg, &gaddr, &ctrl, pf, &mut feas, jobs),
+            EngineKind::Psf => self.run_psf(saeg, &gaddr, pf, &mut feas, jobs),
         };
         // Deduplicate by (transmitter, class, primitive); keep first.
         let mut seen = std::collections::HashSet::new();
@@ -423,9 +573,10 @@ impl Detector {
         if let Some(c) = self.config.target_class {
             raw.retain(|f| f.class == c);
         }
-        let st = feas.stats();
+        let st = stats_add(feas.stats(), extra);
         sp.arg_u64("sat_queries", st.queries);
         sp.arg_u64("queries_avoided", st.queries_avoided);
+        sp.arg_u64("solver_reuses", st.solver_reuses);
         sp.arg_u64("findings", raw.len() as u64);
         drop(sp);
         absorb_feas_stats(&st);
@@ -438,6 +589,8 @@ impl Detector {
             memo_hits: st.memo_hits,
             queries_avoided: st.queries_avoided,
             prefilter_hits: st.prefilter_hits,
+            solver_reuses: st.solver_reuses,
+            clauses_retained: st.clauses_retained,
             ..PhaseTimings::default()
         };
         (raw, timings)
@@ -451,136 +604,211 @@ impl Detector {
     /// PHT engine: for each conditional branch and misprediction
     /// direction, the attacker poisons the predictor (§3.3) and every
     /// event in the speculative window may execute transiently.
+    ///
+    /// `jobs > 1` splits the (branch, direction) pairs across workers,
+    /// each on its own [`Feasibility`] clone; unit-order merge keeps the
+    /// output byte-identical to the serial loop.
     fn run_pht(
         &self,
         saeg: &Saeg,
         preds: &DepPreds,
         pf: bool,
         feas: &mut Feasibility,
-    ) -> Vec<Finding> {
-        let mut out = Vec::new();
-        // Window membership bitset, reused across (branch, direction)
-        // pairs so the hot loops avoid a binary search per candidate.
-        let mut in_win = vec![false; saeg.events.len()];
-        for br in &saeg.branches {
-            if !feas.governor_ok() {
-                break;
+        jobs: usize,
+    ) -> (Vec<Finding>, lcm_aeg::FeasStats) {
+        let n = saeg.events.len();
+        let units: Vec<(usize, bool)> = (0..saeg.branches.len())
+            .flat_map(|bi| [(bi, true), (bi, false)])
+            .collect();
+        if jobs <= 1 || units.len() <= 1 {
+            let mut out = Vec::new();
+            // Window membership bitset, reused across (branch,
+            // direction) pairs so the hot loops avoid a binary search
+            // per candidate.
+            let mut in_win = vec![false; n];
+            let mut steer = SteerCache::new(n);
+            for br in &saeg.branches {
+                if !feas.governor_ok() {
+                    break;
+                }
+                for mispredict_then in [true, false] {
+                    self.pht_unit(
+                        saeg,
+                        preds,
+                        pf,
+                        feas,
+                        br,
+                        mispredict_then,
+                        &mut in_win,
+                        &mut steer,
+                        &mut out,
+                    );
+                }
             }
-            let Some(dec) = feas.decision_lit(br.block) else {
-                continue;
-            };
-            for mispredict_then in [true, false] {
-                // Architectural direction is the opposite of the
-                // mispredicted fetch direction.
-                let arch_dir = if mispredict_then { !dec } else { dec };
-                let base = feas.mark();
-                let br_lit = feas.arch_lit(br.block);
-                feas.push(br_lit);
-                feas.push(arch_dir);
-                if !feas.check_stack() {
-                    feas.truncate(base);
+            return (out, lcm_aeg::FeasStats::default());
+        }
+        work_units().add(units.len() as u64);
+        let template: &Feasibility = feas;
+        let results = lcm_core::par::map_indexed_with(
+            &units,
+            jobs,
+            || (template.clone(), vec![false; n], SteerCache::new(n)),
+            |(wf, in_win, steer), _, &(bi, mispredict_then)| {
+                let before = wf.stats();
+                let mut out = Vec::new();
+                if wf.governor_ok() {
+                    self.pht_unit(
+                        saeg,
+                        preds,
+                        pf,
+                        wf,
+                        &saeg.branches[bi],
+                        mispredict_then,
+                        in_win,
+                        steer,
+                        &mut out,
+                    );
+                }
+                (out, stats_delta(wf.stats(), before))
+            },
+        );
+        merge_units(results)
+    }
+
+    /// One PHT work unit: everything the engine does for a single
+    /// (branch, misprediction-direction) pair. Starts and ends with an
+    /// empty assumption stack; `in_win` is caller-provided scratch
+    /// (cleared again on exit) sized to the event count.
+    #[allow(clippy::too_many_arguments)]
+    fn pht_unit(
+        &self,
+        saeg: &Saeg,
+        preds: &DepPreds,
+        pf: bool,
+        feas: &mut Feasibility,
+        br: &lcm_aeg::BranchInfo,
+        mispredict_then: bool,
+        in_win: &mut [bool],
+        steer: &mut SteerCache,
+        out: &mut Vec<Finding>,
+    ) {
+        let Some(dec) = feas.decision_lit(br.block) else {
+            return;
+        };
+        {
+            // Architectural direction is the opposite of the
+            // mispredicted fetch direction.
+            let arch_dir = if mispredict_then { !dec } else { dec };
+            let base = feas.mark();
+            let br_lit = feas.arch_lit(br.block);
+            feas.push(br_lit);
+            feas.push(arch_dir);
+            if !feas.check_stack() {
+                feas.truncate(base);
+                return;
+            }
+            let window = saeg.spec_window(br, mispredict_then);
+            for &e in &window {
+                in_win[e.0] = true;
+            }
+            for &t in &window {
+                if !feas.governor_ok() {
+                    break;
+                }
+                let te = &saeg.events[t.0];
+                if te.kind == EventKind::Fence {
                     continue;
                 }
-                let window = saeg.spec_window(br, mispredict_then);
-                for &e in &window {
-                    in_win[e.0] = true;
-                }
-                for &t in &window {
-                    if !feas.governor_ok() {
-                        break;
-                    }
-                    let te = &saeg.events[t.0];
-                    if te.kind == EventKind::Fence {
+                // --- data chains: access -gaddr-> t ---
+                for &access in &preds.gaddr[t.0] {
+                    if access == t || !self.within_window(saeg, access, t) {
                         continue;
                     }
-                    // --- data chains: access -gaddr-> t ---
-                    for &access in &preds.gaddr[t.0] {
-                        if access == t || !self.within_window(saeg, access, t) {
-                            continue;
-                        }
-                        let access_transient = in_win[access.0];
-                        if !access_transient && !saeg.precedes(access, t) {
-                            continue;
-                        }
-                        let m = feas.mark();
-                        if !access_transient {
-                            let l = feas.arch_lit(saeg.events[access.0].block);
-                            feas.push(l);
-                        }
-                        // A transient access adds nothing to the stack:
-                        // the answer is the base query's, already true.
-                        let ok = if pf && access_transient {
-                            feas.note_prefilter_hit();
-                            true
-                        } else {
-                            feas.check_stack()
-                        };
-                        if !ok {
-                            feas.truncate(m);
-                            continue;
-                        }
-                        out.extend(self.classify_data(
-                            saeg,
-                            preds,
-                            feas,
-                            br.block,
-                            t,
-                            access,
-                            access_transient,
-                            SpeculationPrimitive::ConditionalBranch,
-                            None,
-                        ));
+                    let access_transient = in_win[access.0];
+                    if !access_transient && !saeg.precedes(access, t) {
+                        continue;
+                    }
+                    let m = feas.mark();
+                    if !access_transient {
+                        let l = feas.arch_lit(saeg.events[access.0].block);
+                        feas.push(l);
+                    }
+                    // A transient access adds nothing to the stack:
+                    // the answer is the base query's, already true.
+                    let ok = if pf && access_transient {
+                        feas.note_prefilter_hit();
+                        true
+                    } else {
+                        feas.check_stack()
+                    };
+                    if !ok {
                         feas.truncate(m);
+                        continue;
                     }
-                    // --- extension: speculative-interference DT (§6.1's
-                    // "new attack variant"): the transient t warms the
-                    // line of a committed same-address load, whose
-                    // hit/miss then reveals t's (secret-derived) address.
-                    if self.config.detect_interference {
-                        out.extend(self.interference_findings(saeg, preds, feas, br.block, t, pf));
+                    self.classify_data(
+                        saeg,
+                        preds,
+                        feas,
+                        br.block,
+                        t,
+                        access,
+                        access_transient,
+                        SpeculationPrimitive::ConditionalBranch,
+                        None,
+                        steer,
+                        out,
+                    );
+                    feas.truncate(m);
+                }
+                // --- extension: speculative-interference DT (§6.1's
+                // "new attack variant"): the transient t warms the
+                // line of a committed same-address load, whose
+                // hit/miss then reveals t's (secret-derived) address.
+                if self.config.detect_interference {
+                    self.interference_findings(saeg, preds, feas, br.block, t, pf, out);
+                }
+                // --- control chains: access -ctrl-> t ---
+                for &access in &preds.ctrl[t.0] {
+                    if access == t || !self.within_window(saeg, access, t) {
+                        continue;
                     }
-                    // --- control chains: access -ctrl-> t ---
-                    for &access in &preds.ctrl[t.0] {
-                        if access == t || !self.within_window(saeg, access, t) {
-                            continue;
-                        }
-                        let access_transient = in_win[access.0];
-                        let m = feas.mark();
-                        if !access_transient {
-                            let l = feas.arch_lit(saeg.events[access.0].block);
-                            feas.push(l);
-                        }
-                        let ok = if pf && access_transient {
-                            feas.note_prefilter_hit();
-                            true
-                        } else {
-                            feas.check_stack()
-                        };
-                        if !ok {
-                            feas.truncate(m);
-                            continue;
-                        }
-                        out.extend(self.classify_ctrl(
-                            saeg,
-                            preds,
-                            feas,
-                            br.block,
-                            t,
-                            access,
-                            access_transient,
-                            SpeculationPrimitive::ConditionalBranch,
-                            None,
-                        ));
+                    let access_transient = in_win[access.0];
+                    let m = feas.mark();
+                    if !access_transient {
+                        let l = feas.arch_lit(saeg.events[access.0].block);
+                        feas.push(l);
+                    }
+                    let ok = if pf && access_transient {
+                        feas.note_prefilter_hit();
+                        true
+                    } else {
+                        feas.check_stack()
+                    };
+                    if !ok {
                         feas.truncate(m);
+                        continue;
                     }
+                    self.classify_ctrl(
+                        saeg,
+                        preds,
+                        feas,
+                        br.block,
+                        t,
+                        access,
+                        access_transient,
+                        SpeculationPrimitive::ConditionalBranch,
+                        None,
+                        steer,
+                        out,
+                    );
+                    feas.truncate(m);
                 }
-                for &e in &window {
-                    in_win[e.0] = false;
-                }
-                feas.truncate(base);
             }
+            for &e in &window {
+                in_win[e.0] = false;
+            }
+            feas.truncate(base);
         }
-        out
     }
 
     /// STL engine: a load may bypass an older same-address store whose
@@ -593,18 +821,57 @@ impl Detector {
         ctrl: &Relation,
         pf: bool,
         feas: &mut Feasibility,
-    ) -> Vec<Finding> {
-        let mut out = Vec::new();
+        jobs: usize,
+    ) -> (Vec<Finding>, lcm_aeg::FeasStats) {
         let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
         let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
-        for &l in &loads {
-            if !feas.governor_ok() {
-                break;
+        if jobs <= 1 || loads.len() <= 1 {
+            let mut out = Vec::new();
+            for &l in &loads {
+                if !feas.governor_ok() {
+                    break;
+                }
+                self.stl_unit(saeg, gaddr, ctrl, &stores, pf, feas, l, &mut out);
             }
+            return (out, lcm_aeg::FeasStats::default());
+        }
+        work_units().add(loads.len() as u64);
+        let template: &Feasibility = feas;
+        let results = lcm_core::par::map_indexed_with(
+            &loads,
+            jobs,
+            || template.clone(),
+            |wf, _, &l| {
+                let before = wf.stats();
+                let mut out = Vec::new();
+                if wf.governor_ok() {
+                    self.stl_unit(saeg, gaddr, ctrl, &stores, pf, wf, l, &mut out);
+                }
+                (out, stats_delta(wf.stats(), before))
+            },
+        );
+        merge_units(results)
+    }
+
+    /// One STL work unit: the full bypass + chain search for a single
+    /// load. Starts and ends with an empty assumption stack.
+    #[allow(clippy::too_many_arguments)]
+    fn stl_unit(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        ctrl: &Relation,
+        stores: &[EventId],
+        pf: bool,
+        feas: &mut Feasibility,
+        l: EventId,
+        out: &mut Vec<Finding>,
+    ) {
+        {
             let le = &saeg.events[l.0];
             // Find a bypassable older store to a may/must-aliasing address.
             let mut bypassed: Option<EventId> = None;
-            for &s in &stores {
+            for &s in stores {
                 if s == l || !saeg.precedes(s, l) {
                     continue;
                 }
@@ -625,7 +892,7 @@ impl Detector {
                 bypassed = Some(s);
                 break;
             }
-            let Some(s) = bypassed else { continue };
+            let Some(s) = bypassed else { return };
             let base = feas.mark();
             let s_blk = saeg.events[s.0].block;
             let l_blk = saeg.events[l.0].block;
@@ -633,7 +900,7 @@ impl Detector {
             feas.push(feas.arch_lit(l_blk));
             if !feas.check_stack() {
                 feas.truncate(base);
-                continue;
+                return;
             }
             // Stale value of l flows to transmitters. The stale read is a
             // transient access (its value is squashed on re-execution).
@@ -776,7 +1043,6 @@ impl Detector {
             }
             feas.truncate(base);
         }
-        out
     }
 
     /// Extension: findings where a transient event `t` fills the cache
@@ -793,10 +1059,10 @@ impl Detector {
         branch: lcm_ir::BlockId,
         t: EventId,
         pf: bool,
-    ) -> Vec<Finding> {
-        let mut out = Vec::new();
+        out: &mut Vec<Finding>,
+    ) {
         let te = &saeg.events[t.0];
-        let Some(t_addr) = te.addr else { return out };
+        let Some(t_addr) = te.addr else { return };
         for e in saeg.loads() {
             if e.id == t {
                 continue;
@@ -839,7 +1105,6 @@ impl Detector {
             }
             feas.truncate(m);
         }
-        out
     }
 
     /// PSF engine (extension): alias prediction forwards an older store's
@@ -853,15 +1118,54 @@ impl Detector {
         gaddr: &Gaddr,
         pf: bool,
         feas: &mut Feasibility,
-    ) -> Vec<Finding> {
-        let mut out = Vec::new();
+        jobs: usize,
+    ) -> (Vec<Finding>, lcm_aeg::FeasStats) {
         let loads: Vec<EventId> = saeg.loads().map(|e| e.id).collect();
         let stores: Vec<EventId> = saeg.stores().map(|e| e.id).collect();
-        for &l in &loads {
-            if !feas.governor_ok() {
-                break;
+        if jobs <= 1 || loads.len() <= 1 {
+            let mut out = Vec::new();
+            for &l in &loads {
+                if !feas.governor_ok() {
+                    break;
+                }
+                self.psf_unit(saeg, gaddr, &stores, pf, feas, l, &mut out);
             }
-            for &s in &stores {
+            return (out, lcm_aeg::FeasStats::default());
+        }
+        work_units().add(loads.len() as u64);
+        let template: &Feasibility = feas;
+        let results = lcm_core::par::map_indexed_with(
+            &loads,
+            jobs,
+            || template.clone(),
+            |wf, _, &l| {
+                let before = wf.stats();
+                let mut out = Vec::new();
+                if wf.governor_ok() {
+                    self.psf_unit(saeg, gaddr, &stores, pf, wf, l, &mut out);
+                }
+                (out, stats_delta(wf.stats(), before))
+            },
+        );
+        merge_units(results)
+    }
+
+    /// One PSF work unit: all mismatching-address forwarding candidates
+    /// for a single load. Starts and ends with an empty assumption
+    /// stack.
+    #[allow(clippy::too_many_arguments)]
+    fn psf_unit(
+        &self,
+        saeg: &Saeg,
+        gaddr: &Gaddr,
+        stores: &[EventId],
+        pf: bool,
+        feas: &mut Feasibility,
+        l: EventId,
+        out: &mut Vec<Finding>,
+    ) {
+        {
+            for &s in stores {
                 if s == l || !saeg.precedes(s, l) {
                     continue;
                 }
@@ -959,7 +1263,6 @@ impl Detector {
                 feas.truncate(base);
             }
         }
-        out
     }
 
     /// Emits DT and (if steerable) UDT findings for a data chain. The
@@ -976,8 +1279,10 @@ impl Detector {
         access_transient: bool,
         primitive: SpeculationPrimitive,
         bypassed: Option<EventId>,
-    ) -> Vec<Finding> {
-        let mut out = vec![self.finding(
+        steer: &mut SteerCache,
+        out: &mut Vec<Finding>,
+    ) {
+        out.push(self.finding(
             saeg,
             feas,
             t,
@@ -989,14 +1294,14 @@ impl Detector {
             primitive,
             Some(branch),
             bypassed,
-        )];
+        ));
         // Universal upgrade: an index steers the access.
         let index_rel = if self.config.gep_filter {
             &preds.gep
         } else {
             &preds.gaddr
         };
-        let steerable = self.access_steerable(saeg, access);
+        let steerable = steer.steerable(saeg, access);
         if steerable && (!self.config.universal_needs_transient_access || access_transient) {
             for &index in &index_rel[access.0] {
                 if index == access || !self.within_window(saeg, index, t) {
@@ -1017,7 +1322,6 @@ impl Detector {
                 ));
             }
         }
-        out
     }
 
     /// Emits CT and (if steerable) UCT findings for a control chain. The
@@ -1034,8 +1338,10 @@ impl Detector {
         access_transient: bool,
         primitive: SpeculationPrimitive,
         bypassed: Option<EventId>,
-    ) -> Vec<Finding> {
-        let mut out = vec![self.finding(
+        steer: &mut SteerCache,
+        out: &mut Vec<Finding>,
+    ) {
+        out.push(self.finding(
             saeg,
             feas,
             t,
@@ -1047,13 +1353,13 @@ impl Detector {
             primitive,
             Some(branch),
             bypassed,
-        )];
+        ));
         let index_rel = if self.config.gep_filter {
             &preds.gep
         } else {
             &preds.gaddr
         };
-        let steerable = self.access_steerable(saeg, access);
+        let steerable = steer.steerable(saeg, access);
         if steerable && (!self.config.universal_needs_transient_access || access_transient) {
             for &index in &index_rel[access.0] {
                 if index == access || !self.within_window(saeg, index, t) {
@@ -1073,20 +1379,6 @@ impl Detector {
                     bypassed,
                 ));
             }
-        }
-        out
-    }
-
-    /// Taint filter (§5.3): can the attacker steer the access's address
-    /// toward arbitrary memory?
-    fn access_steerable(&self, saeg: &Saeg, access: EventId) -> bool {
-        let e = &saeg.events[access.0];
-        match saeg.acfg.inst(e.inst) {
-            Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
-                attacker_controlled(&saeg.acfg, *addr)
-            }
-            Inst::Havoc { .. } => true,
-            _ => false,
         }
     }
 

@@ -94,9 +94,21 @@ pub struct PhaseTimings {
     /// Engine chain enumeration and classification (everything in the
     /// engines that is not solving).
     pub classify: Duration,
-    /// Time spent in baseline tools (the haunted re-execution checker)
-    /// when a bench row runs one.
+    /// Baseline-tool (haunted re-execution checker) time *not*
+    /// attributed to one of the three `bh_*` sub-phases below: config
+    /// setup, per-function merge, report assembly. The full baseline
+    /// cost of a bench row is `baseline + bh_enumerate + bh_execute +
+    /// bh_witness`.
     pub baseline: Duration,
+    /// Baseline sub-phase: architectural path enumeration (the
+    /// 2^branches walk into the flat path arena).
+    pub bh_enumerate: Duration,
+    /// Baseline sub-phase: relational execution — per-path transient
+    /// sub-path forking and candidate collection.
+    pub bh_execute: Duration,
+    /// Baseline sub-phase: witness checking — confirming deduplicated
+    /// candidates via taint/feeding-load queries.
+    pub bh_witness: Duration,
     /// Time spent in the incremental result cache: fingerprinting,
     /// lookup, and (on a miss) record insertion. On a warm run this is
     /// the *only* per-function phase with time in it — without this
@@ -115,6 +127,11 @@ pub struct PhaseTimings {
     pub queries_avoided: u64,
     /// Engine-level candidate checks skipped by hoisted pre-screens.
     pub prefilter_hits: u64,
+    /// Solver calls served by a persistent solver that had already
+    /// served an earlier call (always 0 with incremental SAT disabled).
+    pub solver_reuses: u64,
+    /// Learnt clauses retained in persistent solvers across calls.
+    pub clauses_retained: u64,
     /// Functions whose entire engine run was short-circuited by a
     /// content-addressed cache hit (the strongest form of avoidance:
     /// zero queries, zero encoding, zero graph builds).
@@ -130,12 +147,17 @@ impl PhaseTimings {
         self.solve += other.solve;
         self.classify += other.classify;
         self.baseline += other.baseline;
+        self.bh_enumerate += other.bh_enumerate;
+        self.bh_execute += other.bh_execute;
+        self.bh_witness += other.bh_witness;
         self.cache += other.cache;
         self.other += other.other;
         self.sat_queries += other.sat_queries;
         self.memo_hits += other.memo_hits;
         self.queries_avoided += other.queries_avoided;
         self.prefilter_hits += other.prefilter_hits;
+        self.solver_reuses += other.solver_reuses;
+        self.clauses_retained += other.clauses_retained;
         self.cache_hits += other.cache_hits;
     }
 
@@ -147,6 +169,9 @@ impl PhaseTimings {
             + self.solve
             + self.classify
             + self.baseline
+            + self.bh_enumerate
+            + self.bh_execute
+            + self.bh_witness
             + self.cache
     }
 
@@ -160,19 +185,24 @@ impl PhaseTimings {
     pub fn render(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         format!(
-            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | baseline {:.1}ms | cache {:.1}ms | other {:.1}ms | {} SAT queries ({} memo hits, {} avoided, {} prefilter hits, {} cache hits)",
+            "acfg {:.1}ms | saeg {:.1}ms | encode {:.1}ms | solve {:.1}ms | classify {:.1}ms | baseline {:.1}ms (enum {:.1}ms, exec {:.1}ms, witness {:.1}ms) | cache {:.1}ms | other {:.1}ms | {} SAT queries ({} memo hits, {} avoided, {} prefilter hits, {} solver reuses, {} clauses retained, {} cache hits)",
             ms(self.acfg_build),
             ms(self.saeg_build),
             ms(self.encode),
             ms(self.solve),
             ms(self.classify),
             ms(self.baseline),
+            ms(self.bh_enumerate),
+            ms(self.bh_execute),
+            ms(self.bh_witness),
             ms(self.cache),
             ms(self.other),
             self.sat_queries,
             self.memo_hits,
             self.queries_avoided,
             self.prefilter_hits,
+            self.solver_reuses,
+            self.clauses_retained,
             self.cache_hits,
         )
     }
@@ -420,12 +450,17 @@ mod tests {
             solve: d(4),
             classify: d(5),
             baseline: d(6),
+            bh_enumerate: d(14),
+            bh_execute: d(15),
+            bh_witness: d(16),
             cache: d(7),
             other: d(8),
             sat_queries: seed * 100 + 9,
             memo_hits: seed * 100 + 10,
             queries_avoided: seed * 100 + 11,
             prefilter_hits: seed * 100 + 12,
+            solver_reuses: seed * 100 + 17,
+            clauses_retained: seed * 100 + 18,
             cache_hits: seed * 100 + 13,
         }
     }
@@ -443,12 +478,17 @@ mod tests {
             solve,
             classify,
             baseline,
+            bh_enumerate,
+            bh_execute,
+            bh_witness,
             cache,
             other,
             sat_queries,
             memo_hits,
             queries_avoided,
             prefilter_hits,
+            solver_reuses,
+            clauses_retained,
             cache_hits,
         } = acc;
         let ms = |x: u64| Duration::from_millis(x);
@@ -458,12 +498,17 @@ mod tests {
         assert_eq!(solve, ms(104 + 204));
         assert_eq!(classify, ms(105 + 205));
         assert_eq!(baseline, ms(106 + 206));
+        assert_eq!(bh_enumerate, ms(114 + 214));
+        assert_eq!(bh_execute, ms(115 + 215));
+        assert_eq!(bh_witness, ms(116 + 216));
         assert_eq!(cache, ms(107 + 207));
         assert_eq!(other, ms(108 + 208));
         assert_eq!(sat_queries, 109 + 209);
         assert_eq!(memo_hits, 110 + 210);
         assert_eq!(queries_avoided, 111 + 211);
         assert_eq!(prefilter_hits, 112 + 212);
+        assert_eq!(solver_reuses, 117 + 217);
+        assert_eq!(clauses_retained, 118 + 218);
         assert_eq!(cache_hits, 113 + 213);
     }
 
@@ -471,9 +516,9 @@ mod tests {
     fn fill_other_covers_every_duration_phase() {
         let mut t = distinct(1);
         t.other = Duration::ZERO;
-        // tracked() must include every Duration field except `other`:
-        // 101+102+...+107 ms.
-        let tracked = Duration::from_millis(101 + 102 + 103 + 104 + 105 + 106 + 107);
+        // tracked() must include every Duration field except `other`.
+        let tracked =
+            Duration::from_millis(101 + 102 + 103 + 104 + 105 + 106 + 114 + 115 + 116 + 107);
         assert_eq!(t.tracked(), tracked);
         let wall = tracked + Duration::from_millis(42);
         t.fill_other(wall);

@@ -41,6 +41,13 @@ pub mod names {
     pub const GOVERNOR_TRIPS: &str = "lcm_governor_trips_total";
     /// Worker panics caught and degraded by the parallel driver.
     pub const WORKER_PANICS: &str = "lcm_worker_panics_total";
+    /// Intra-function work units scheduled on the parallel pool
+    /// (engine candidate splits and haunted path splits).
+    pub const WORK_UNITS: &str = "lcm_work_units_total";
+    /// Solver calls served by an already-warm persistent solver.
+    pub const SOLVER_REUSES: &str = "lcm_solver_reuses_total";
+    /// Learnt clauses retained across queries by persistent solvers.
+    pub const SAT_CLAUSES_RETAINED: &str = "lcm_sat_clauses_retained_total";
     /// Daemon connections accepted.
     pub const SERVE_REQUESTS: &str = "lcm_serve_requests_total";
     /// Daemon analyze requests completed, by engine.

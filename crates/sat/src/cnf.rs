@@ -23,7 +23,7 @@ use crate::{Lit, Solver, Var};
 /// let m = m.model().unwrap();
 /// assert!(m.value(a) && m.value(b));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Cnf {
     solver: Solver,
     true_lit: Option<Lit>,

@@ -38,7 +38,7 @@
 pub mod cnf;
 mod solver;
 
-pub use solver::{AbortReason, Model, SolveLimits, SolveResult, Solver};
+pub use solver::{AbortReason, LearntStats, Model, SolveLimits, SolveResult, Solver};
 
 use std::fmt;
 use std::ops::Not;

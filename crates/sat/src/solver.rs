@@ -104,6 +104,22 @@ const UNASSIGNED: u8 = 2;
 
 type ClauseRef = u32;
 
+/// Learnt clauses retained before a reduction pass halves the long ones,
+/// when no explicit cap is set via [`Solver::set_learnt_cap`].
+const DEFAULT_LEARNT_CAP: usize = 8192;
+
+/// Learnt-clause database statistics (see [`Solver::learnt_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LearntStats {
+    /// Learnt clauses currently retained in the database.
+    pub retained: usize,
+    /// Learnt clauses deleted by reduction passes over the solver's
+    /// lifetime.
+    pub deleted: u64,
+    /// Reduction passes run.
+    pub reductions: u64,
+}
+
 /// A CDCL SAT solver (MiniSat-style).
 ///
 /// # Examples
@@ -120,7 +136,7 @@ type ClauseRef = u32;
 /// assert!(!r.is_sat());
 /// assert_eq!(r.core().unwrap().len(), 2);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Solver {
     clauses: Vec<Vec<Lit>>,
     // watches[lit.index()] = clause refs watching ¬lit... we watch the
@@ -141,6 +157,14 @@ pub struct Solver {
     n_decisions: u64,
     n_propagations: u64,
     limits: SolveLimits,
+    /// Refs of retained learnt clauses, in learn (age) order.
+    learnts: Vec<ClauseRef>,
+    /// Clause slots freed by reduction, reusable by `attach_clause`.
+    free: Vec<ClauseRef>,
+    /// Reduction threshold; `0` means [`DEFAULT_LEARNT_CAP`].
+    learnt_cap: usize,
+    n_learnts_deleted: u64,
+    n_reductions: u64,
 }
 
 impl Solver {
@@ -165,6 +189,24 @@ impl Solver {
     /// Sets the resource limits for subsequent solve calls.
     pub fn set_limits(&mut self, limits: SolveLimits) {
         self.limits = limits;
+    }
+
+    /// Sets the learnt-clause cap: when more learnt clauses than this
+    /// are retained at the start of a solve call, a reduction pass
+    /// deletes the older half of the non-binary ones. `0` restores the
+    /// default cap; `usize::MAX` effectively disables reduction.
+    pub fn set_learnt_cap(&mut self, cap: usize) {
+        self.learnt_cap = cap;
+    }
+
+    /// Learnt-clause database statistics: clauses currently retained,
+    /// clauses deleted, and reduction passes run.
+    pub fn learnt_stats(&self) -> LearntStats {
+        LearntStats {
+            retained: self.learnts.len(),
+            deleted: self.n_learnts_deleted,
+            reductions: self.n_reductions,
+        }
     }
 
     /// The limits currently in force.
@@ -237,17 +279,79 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(c);
+                self.attach_clause(c, false);
             }
         }
     }
 
-    fn attach_clause(&mut self, c: Vec<Lit>) -> ClauseRef {
-        let cref = self.clauses.len() as ClauseRef;
-        self.watches[(!c[0]).index()].push(cref);
-        self.watches[(!c[1]).index()].push(cref);
-        self.clauses.push(c);
+    fn attach_clause(&mut self, c: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let cref = match self.free.pop() {
+            Some(r) => {
+                self.clauses[r as usize] = c;
+                r
+            }
+            None => {
+                self.clauses.push(c);
+                (self.clauses.len() - 1) as ClauseRef
+            }
+        };
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            (c[0], c[1])
+        };
+        self.watches[(!w0).index()].push(cref);
+        self.watches[(!w1).index()].push(cref);
+        if learnt {
+            self.learnts.push(cref);
+        }
         cref
+    }
+
+    /// Deletes the older half of the non-binary learnt clauses once the
+    /// database exceeds the cap. Runs only at decision level 0 with no
+    /// assumptions applied, so no in-flight reason can dangle: conflict
+    /// analysis (`analyze`, `analyze_final`) never follows the reason of
+    /// a level-0 assignment, and those are the only assignments alive
+    /// here. Deterministic: age order, no heuristics with ties.
+    fn maybe_reduce(&mut self) {
+        debug_assert!(self.trail_lim.is_empty());
+        let cap = if self.learnt_cap == 0 {
+            DEFAULT_LEARNT_CAP
+        } else {
+            self.learnt_cap
+        };
+        if self.learnts.len() <= cap {
+            return;
+        }
+        self.n_reductions += 1;
+        let long: Vec<ClauseRef> = self
+            .learnts
+            .iter()
+            .copied()
+            .filter(|&c| self.clauses[c as usize].len() > 2)
+            .collect();
+        let mut dead: Vec<ClauseRef> = long[..long.len() / 2].to_vec();
+        // Free-list reuse means learnt refs are not monotone; sort for
+        // the membership probes below (still deterministic).
+        dead.sort_unstable();
+        for &cref in &dead {
+            let c = std::mem::take(&mut self.clauses[cref as usize]);
+            self.watches[(!c[0]).index()].retain(|&r| r != cref);
+            self.watches[(!c[1]).index()].retain(|&r| r != cref);
+            self.free.push(cref);
+            self.n_learnts_deleted += 1;
+        }
+        let is_dead = |r: ClauseRef| dead.binary_search(&r).is_ok();
+        self.learnts.retain(|&r| !is_dead(r));
+        // Level-0 assignments may cite a deleted clause as their reason;
+        // analysis never reads those, but clear them so the slot can be
+        // reused without leaving a confusable reference behind.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            if self.reason[v].is_some_and(is_dead) {
+                self.reason[v] = None;
+            }
+        }
     }
 
     fn decision_level(&self) -> u32 {
@@ -467,6 +571,7 @@ impl Solver {
             }
         }
         self.cancel_until(0);
+        self.maybe_reduce();
         let call_conflicts_start = self.n_conflicts;
         let mut restarts = 0u32;
         let mut conflicts_budget = luby(restarts) * 64;
@@ -509,7 +614,7 @@ impl Solver {
                     self.cancel_until(0);
                     self.enqueue(assert_lit, None);
                 } else {
-                    let cref = self.attach_clause(learnt);
+                    let cref = self.attach_clause(learnt, true);
                     self.enqueue(assert_lit, Some(cref));
                 }
                 conflicts_budget -= 1;
@@ -830,6 +935,78 @@ mod tests {
             deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
         });
         assert!(!s.solve().is_sat());
+    }
+
+    /// Pigeonhole with a selector literal: satisfiable outright, the
+    /// full unsat pigeonhole under the assumption `¬sel` — so repeated
+    /// queries keep generating conflicts on a reusable solver.
+    fn guarded_pigeonhole(n: usize) -> (Solver, Lit) {
+        let mut s = Solver::new();
+        let sel = Lit::pos(s.new_var());
+        let v: Vec<Vec<Var>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &v {
+            s.add_clause(row.iter().map(|&x| p(x)).chain(std::iter::once(sel)));
+        }
+        for j in 0..n {
+            for i1 in 0..n + 1 {
+                for i2 in (i1 + 1)..n + 1 {
+                    s.add_clause([n_(v[i1][j]), n_(v[i2][j])]);
+                }
+            }
+        }
+        (s, sel)
+    }
+
+    #[test]
+    fn learnt_reduction_bounds_db_and_preserves_answers() {
+        let (mut s, sel) = guarded_pigeonhole(6);
+        s.set_learnt_cap(16);
+        for _ in 0..3 {
+            assert!(s.solve().is_sat());
+            assert!(!s.solve_with(&[!sel]).is_sat());
+        }
+        let st = s.learnt_stats();
+        assert!(st.reductions >= 1, "cap 16 must trigger reduction: {st:?}");
+        assert!(st.deleted > 0, "reduction must delete clauses: {st:?}");
+    }
+
+    #[test]
+    fn reduction_reuses_freed_clause_slots() {
+        let (mut s, sel) = guarded_pigeonhole(6);
+        s.set_learnt_cap(8);
+        assert!(!s.solve_with(&[!sel]).is_sat());
+        s.maybe_reduce();
+        let freed = s.free.len();
+        assert!(freed > 0, "reduction must free slots");
+        for &r in &s.free {
+            assert!(s.clauses[r as usize].is_empty(), "freed slot not cleared");
+            assert!(
+                !s.learnts.contains(&r),
+                "freed slot still tracked as learnt"
+            );
+        }
+        // A new clause must fill a freed slot instead of growing the arena.
+        let before = s.clauses.len();
+        let (x, y, z) = (s.new_var(), s.new_var(), s.new_var());
+        s.add_clause([p(x), p(y), p(z)]);
+        assert_eq!(s.clauses.len(), before, "clause arena must not grow");
+        assert_eq!(s.free.len(), freed - 1);
+    }
+
+    #[test]
+    fn cloned_solver_diverges_independently() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([p(a), p(b)]);
+        let mut t = s.clone();
+        t.add_clause([n(a)]);
+        t.add_clause([n(b)]);
+        assert!(!t.solve().is_sat());
+        assert!(s.solve().is_sat());
+        assert!(s.solve_with(&[n(a)]).is_sat());
     }
 
     #[test]

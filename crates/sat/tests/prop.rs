@@ -120,6 +120,67 @@ proptest! {
         }
     }
 
+    /// The persistent-incremental usage pattern (one solver serving a
+    /// whole sequence of assumption-stack queries, with a learnt-clause
+    /// cap small enough to force clause-DB reductions mid-sequence)
+    /// answers every query exactly like a fresh solver built for that
+    /// query alone — and both agree with brute force. Unsat cores stay
+    /// valid (subset of the assumptions, jointly unsat) even when the
+    /// clauses that produced them have since been learned, retained,
+    /// or deleted by a reduction.
+    #[test]
+    fn persistent_incremental_agrees_with_fresh_oracle(
+        inst in instance_strategy(8, 24),
+        stacks in proptest::collection::vec(
+            proptest::collection::vec((0..8usize, any::<bool>()), 0..4),
+            1..10,
+        ),
+    ) {
+        let (mut persistent, vars) = load(&inst);
+        // Tiny cap: a few conflicts trigger a reduction, so the
+        // sequence exercises retention *and* deletion.
+        persistent.set_learnt_cap(4);
+        for stack in &stacks {
+            let assumps: Vec<(usize, bool)> = stack
+                .iter()
+                .copied()
+                .filter(|&(v, _)| v < inst.num_vars)
+                .collect();
+            let to_lits = |vs: &[Var]| -> Vec<Lit> {
+                assumps
+                    .iter()
+                    .map(|&(v, pos)| if pos { Lit::pos(vs[v]) } else { Lit::neg(vs[v]) })
+                    .collect()
+            };
+            let lits = to_lits(&vars);
+            let expected = brute_force_sat(&inst, &assumps);
+            // Fresh-per-query oracle: new solver, same formula, one query.
+            let (mut fresh, fvars) = load(&inst);
+            let fres = fresh.solve_with(&to_lits(&fvars));
+            let pres = persistent.solve_with(&lits);
+            prop_assert_eq!(
+                pres.is_sat(),
+                fres.is_sat(),
+                "persistent and fresh-per-query disagree on {:?}",
+                assumps
+            );
+            prop_assert_eq!(pres.is_sat(), expected, "solver disagrees with brute force");
+            if let SolveResult::Unsat(core) = &pres {
+                for l in core {
+                    prop_assert!(lits.contains(l), "core literal {} not an assumption", l);
+                }
+                let core_fixed: Vec<(usize, bool)> = core
+                    .iter()
+                    .map(|l| (vars.iter().position(|&v| v == l.var()).unwrap(), l.is_pos()))
+                    .collect();
+                prop_assert!(
+                    !brute_force_sat(&inst, &core_fixed),
+                    "unsat core {core:?} is not actually unsat after retention"
+                );
+            }
+        }
+    }
+
     #[test]
     fn solver_is_reusable_after_any_query(
         inst in instance_strategy(8, 24),

@@ -320,6 +320,9 @@ pub fn decode_bh(payload: &[u8]) -> Result<HauntedReport, Corrupt> {
         paths_explored,
         exhausted,
         runtime: Duration::ZERO,
+        t_enumerate: Duration::ZERO,
+        t_execute: Duration::ZERO,
+        t_witness: Duration::ZERO,
         degraded: None,
     })
 }
@@ -379,6 +382,9 @@ mod tests {
             paths_explored: 12,
             exhausted: true,
             runtime: Duration::ZERO,
+            t_enumerate: Duration::ZERO,
+            t_execute: Duration::ZERO,
+            t_witness: Duration::ZERO,
             degraded: None,
         };
         let bytes = encode_bh(&report);
@@ -413,6 +419,9 @@ mod tests {
             paths_explored: 0,
             exhausted: false,
             runtime: Duration::ZERO,
+            t_enumerate: Duration::ZERO,
+            t_execute: Duration::ZERO,
+            t_witness: Duration::ZERO,
             degraded: None,
         });
         assert!(decode_bh(&bytes).is_ok());
