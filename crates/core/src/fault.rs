@@ -51,6 +51,12 @@ pub mod site {
     /// without replying (exercises client retry). The index is the
     /// request ordinal, not a function index.
     pub const SERVE_DROP_CONN: &str = "serve.drop_conn";
+    /// Tears the `index`-th reply the server writes: half the frame's
+    /// bytes go out, then the connection is shut down mid-line
+    /// (exercises the client's torn-frame detection + backoff retry).
+    /// The index is the global reply-write ordinal, not a function
+    /// index.
+    pub const SERVE_PARTIAL_WRITE: &str = "serve.partial_write";
 
     /// All site names, for validation and the CI matrix.
     pub const ALL: &[&str] = &[
@@ -63,6 +69,7 @@ pub mod site {
         SOLVER_ABORT,
         STORE_CORRUPT_RECORD,
         SERVE_DROP_CONN,
+        SERVE_PARTIAL_WRITE,
     ];
 }
 

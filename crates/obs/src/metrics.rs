@@ -58,6 +58,16 @@ pub mod names {
     pub const SERVE_ANALYSES_PSF: &str = "lcm_serve_analyses_psf_total";
     /// Time a queued daemon connection waited for a worker.
     pub const SERVE_QUEUE_WAIT: &str = "lcm_serve_queue_wait_seconds";
+    /// v2 protocol frames received by the daemon.
+    pub const SERVE_FRAMES: &str = "lcm_serve_frames_total";
+    /// Programs submitted inside batched analyze frames.
+    pub const SERVE_BATCH_ITEMS: &str = "lcm_serve_batch_items_total";
+    /// Frames shed with a `busy` reply (in-flight queue full).
+    pub const SERVE_BUSY: &str = "lcm_serve_busy_total";
+    /// Enqueue-to-reply latency of daemon analyze frames.
+    pub const SERVE_REQUEST_LATENCY: &str = "lcm_serve_request_latency_seconds";
+    /// Client-observed request latency recorded by the `loadgen` bench.
+    pub const LOADGEN_LATENCY: &str = "lcm_loadgen_latency_seconds";
 }
 
 /// A monotonically increasing counter.
@@ -153,6 +163,78 @@ impl Histogram {
     /// Sum of observations, in seconds.
     pub fn sum_secs(&self) -> f64 {
         self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// A point-in-time copy of the buckets, for quantile estimation and
+    /// reporting (the bench harness reads percentiles from this).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum_secs: self.sum_secs(),
+            count: self.count(),
+        }
+    }
+
+    /// Estimated `q`-quantile in seconds (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a histogram: bucket bounds, per-bucket
+/// (non-cumulative) counts (`counts.len() == bounds.len() + 1`, the
+/// last being the `+Inf` overflow bucket), total sum and count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; one longer than `bounds`.
+    pub counts: Vec<u64>,
+    /// Sum of all observations, in seconds.
+    pub sum_secs: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) in seconds by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// same estimator `histogram_quantile()` applies to a Prometheus
+    /// scrape, so numbers quoted from here match dashboards built on
+    /// the exposition. Observations in the `+Inf` overflow bucket clamp
+    /// to the highest finite bound. Returns `None` when the histogram
+    /// is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let below = cumulative as f64;
+            cumulative += c;
+            if (cumulative as f64) < rank || c == 0 {
+                continue;
+            }
+            // Rank falls in bucket `i`.
+            let Some(&upper) = self.bounds.get(i) else {
+                // +Inf bucket: the best we can say is "at least the
+                // largest finite bound".
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let frac = ((rank - below) / c as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * frac);
+        }
+        self.bounds.last().copied()
     }
 }
 
@@ -402,6 +484,42 @@ mod tests {
         assert!(json.contains("\"lcm_a_total\":1"));
         assert!(json.contains("{\"le\":1,\"count\":1}"));
         assert!(json.contains("{\"le\":\"+Inf\",\"count\":0}"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lcm_q_seconds", "", vec![0.1, 0.2, 0.4]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 10 observations spread 4 / 4 / 2 across the finite buckets.
+        for _ in 0..4 {
+            h.observe_secs(0.05);
+        }
+        for _ in 0..4 {
+            h.observe_secs(0.15);
+        }
+        for _ in 0..2 {
+            h.observe_secs(0.3);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![4, 4, 2, 0]);
+        assert_eq!(snap.count, 10);
+        // Rank 5 is the 1st of 4 observations in (0.1, 0.2]:
+        // 0.1 + 0.1·(1/4) = 0.125.
+        assert!((snap.quantile(0.5).unwrap() - 0.125).abs() < 1e-9);
+        // Rank 10 is the 2nd of 2 in (0.2, 0.4]: 0.2 + 0.2·(2/2) = 0.4.
+        assert!((snap.quantile(1.0).unwrap() - 0.4).abs() < 1e-9);
+        // Rank 2 is midway through the first bucket: 0.1·(2/4) = 0.05.
+        assert!((snap.quantile(0.2).unwrap() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_finite_bound() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lcm_qo_seconds", "", vec![0.1, 1.0]);
+        h.observe_secs(50.0); // +Inf bucket
+        h.observe_secs(0.05);
+        assert!((h.quantile(0.99).unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,31 +1,73 @@
-//! The daemon's connector: one request per connection, bounded retry.
+//! The daemon's connectors: the v1 one-shot [`Client`] and the v2
+//! multiplexed [`Connection`].
 //!
-//! The protocol is deliberately stateless — a client connects, writes
-//! one JSON line, reads one JSON line, and the server closes. That
-//! makes connection loss trivially safe to retry: a request that never
-//! produced a reply byte cannot have half-happened (analysis is pure;
-//! at worst the server did work whose result the cache now holds). The
-//! client therefore retries a dropped connection a bounded number of
-//! times before surfacing [`ClientError::Dropped`] — the recovery path
-//! the `serve.drop_conn` fault site exists to exercise.
+//! The v1 protocol is deliberately stateless — a client connects,
+//! writes one JSON line, reads one JSON line, and the server closes.
+//! That makes connection loss trivially safe to retry: a request that
+//! never produced a complete reply cannot have half-happened (analysis
+//! is pure; at worst the server did work whose result the cache now
+//! holds). The client therefore retries a dropped connection a bounded
+//! number of times — spaced by the deterministic, jitter-free
+//! exponential [`backoff_delay`] schedule — before surfacing
+//! [`ClientError::Dropped`]. A reply without its terminating newline is
+//! treated exactly like a drop: that is what a torn frame (the
+//! `serve.partial_write` fault) looks like from this side.
+//!
+//! [`Connection`] is the v2 connector: one persistent connection,
+//! every frame carries a client-chosen numeric `id`, frames may be
+//! pipelined without waiting for replies, and replies are matched by
+//! `id` (they may arrive out of order). [`Connection::send_batch`]
+//! packs many programs into one frame with one aggregated reply.
 
 use std::io::{Read, Write};
-use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
 use lcm_core::jsonw::{self, Json};
 use lcm_detect::EngineKind;
 
+use crate::conn::Stream;
 use crate::wire;
+
+/// Base delay of the retry backoff schedule.
+const BACKOFF_BASE: Duration = Duration::from_millis(5);
+/// Ceiling of the retry backoff schedule.
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// The deterministic, jitter-free retry schedule: the delay before
+/// retry `attempt` (1-based) is `5 ms · 2^(attempt-1)`, capped at
+/// 500 ms — 5, 10, 20, 40, … Deterministic on purpose: a fault-matrix
+/// run must reproduce the same timing decisions every time.
+pub fn backoff_delay(attempt: usize) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16) as u32;
+    BACKOFF_BASE.saturating_mul(1u32 << exp).min(BACKOFF_CAP)
+}
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum ServerAddr {
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl ServerAddr {
+    fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            ServerAddr::Unix(path) => Stream::connect_unix(path),
+            ServerAddr::Tcp(addr) => Stream::connect_tcp(addr),
+        }
+    }
+}
 
 /// Why a request failed.
 #[derive(Debug)]
 pub enum ClientError {
     /// Could not connect / write / read (after retries, where retryable).
     Io(std::io::Error),
-    /// The server accepted the connection but closed it without a reply
-    /// on every attempt.
+    /// The server accepted the connection but closed it without a
+    /// complete reply (no bytes, or a torn frame) on every attempt.
     Dropped {
         /// Connections attempted before giving up.
         attempts: usize,
@@ -54,11 +96,12 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// A connector to one daemon socket. Cheap to construct; holds no
-/// connection between requests.
+/// A connector to one daemon. Cheap to construct; holds no connection
+/// between v1 requests. [`Client::connect`] opens a persistent v2
+/// [`Connection`].
 #[derive(Debug, Clone)]
 pub struct Client {
-    socket: PathBuf,
+    addr: ServerAddr,
     retries: usize,
     timeout: Duration,
 }
@@ -68,14 +111,24 @@ impl Client {
     /// connection once and waiting up to 60 s for a reply.
     pub fn new(socket: impl Into<PathBuf>) -> Client {
         Client {
-            socket: socket.into(),
+            addr: ServerAddr::Unix(socket.into()),
+            retries: 1,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// A client for the daemon's TCP listener at `addr` (`host:port`).
+    pub fn tcp(addr: impl Into<String>) -> Client {
+        Client {
+            addr: ServerAddr::Tcp(addr.into()),
             retries: 1,
             timeout: Duration::from_secs(60),
         }
     }
 
     /// Overrides how many *extra* attempts a dropped connection gets
-    /// (`0` = fail on the first drop).
+    /// (`0` = fail on the first drop). Retry `n` waits
+    /// [`backoff_delay`]`(n)` first.
     #[must_use]
     pub fn retries(mut self, retries: usize) -> Client {
         self.retries = retries;
@@ -91,7 +144,7 @@ impl Client {
 
     /// One connect → write → read-to-EOF exchange.
     fn round_trip_once(&self, line: &str) -> std::io::Result<String> {
-        let mut conn = UnixStream::connect(&self.socket)?;
+        let mut conn = self.addr.connect()?;
         conn.set_read_timeout(Some(self.timeout))?;
         conn.write_all(line.as_bytes())?;
         if !line.ends_with('\n') {
@@ -103,9 +156,9 @@ impl Client {
         Ok(reply)
     }
 
-    /// Sends one raw request line and returns the raw reply line,
-    /// retrying (up to the configured count) when the server closes the
-    /// connection without replying.
+    /// Sends one raw request line and returns the raw reply, retrying
+    /// (up to the configured count, spaced by [`backoff_delay`]) when
+    /// the server closes the connection without a complete reply.
     pub fn request_line(&self, line: &str) -> Result<String, ClientError> {
         // A drop shows up as clean EOF *or* as a reset/broken-pipe,
         // depending on whether the peer had unread data when it closed.
@@ -122,8 +175,10 @@ impl Client {
         loop {
             attempts += 1;
             match self.round_trip_once(line) {
-                Ok(reply) if !reply.trim().is_empty() => return Ok(reply),
-                // EOF without a byte: the server (or a fault) dropped us.
+                // A complete reply always ends in a newline; a
+                // non-empty reply without one is a torn frame (the
+                // `serve.partial_write` fault) — retryable like a drop.
+                Ok(reply) if reply.ends_with('\n') => return Ok(reply),
                 Ok(_) => {
                     if attempts > self.retries {
                         return Err(ClientError::Dropped { attempts });
@@ -142,6 +197,7 @@ impl Client {
                     }
                 }
             }
+            std::thread::sleep(backoff_delay(attempts));
         }
     }
 
@@ -192,6 +248,177 @@ impl Client {
     pub fn analyze_file(&self, path: &str, engine: EngineKind) -> Result<Json, ClientError> {
         self.request(&analyze_request(None, Some(path), engine))
     }
+
+    /// Opens a persistent v2 multiplexed connection. Ids are numeric
+    /// and chosen by the connection; pipeline as deep as you like and
+    /// match replies by the returned ids.
+    pub fn connect(&self) -> Result<Connection, ClientError> {
+        let writer = self.addr.connect().map_err(ClientError::Io)?;
+        let reader = writer.try_clone().map_err(ClientError::Io)?;
+        reader
+            .set_read_timeout(Some(self.timeout))
+            .map_err(ClientError::Io)?;
+        Ok(Connection {
+            writer,
+            reader,
+            buf: Vec::with_capacity(4096),
+            scanned: 0,
+            next_id: 0,
+        })
+    }
+}
+
+/// A persistent v2 connection: pipelined sends, id-matched receives.
+///
+/// `send_*` methods write one frame and return its `id` without
+/// waiting; [`Connection::recv`] blocks for the *next* reply on the
+/// wire, whichever request it answers. A typical pipelined loop keeps
+/// `depth` requests in flight:
+///
+/// ```text
+/// for _ in 0..depth { conn.send_analyze(src, engine)?; }
+/// loop {
+///     let (id, reply) = conn.recv()?;
+///     conn.send_analyze(next_src, engine)?;
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Connection {
+    writer: Stream,
+    reader: Stream,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline, so a reply
+    /// spanning many reads (a large batch reply) is scanned once
+    /// overall, not re-scanned from the start after every read.
+    scanned: usize,
+    next_id: u64,
+}
+
+impl Connection {
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Writes one raw frame carrying `id` (appends the newline).
+    pub fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| {
+                if line.ends_with('\n') {
+                    Ok(())
+                } else {
+                    self.writer.write_all(b"\n")
+                }
+            })
+            .and_then(|()| self.writer.flush())
+            .map_err(ClientError::Io)
+    }
+
+    /// Pipelines one analyze frame; returns its id immediately.
+    pub fn send_analyze(&mut self, source: &str, engine: EngineKind) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let mut members = vec![
+            ("cmd".to_string(), Json::Str("analyze".into())),
+            ("id".to_string(), Json::Num(id as f64)),
+            ("source".to_string(), Json::Str(source.into())),
+            (
+                "engine".to_string(),
+                Json::Str(wire::engine_name(engine).into()),
+            ),
+        ];
+        let line = Json::Obj(std::mem::take(&mut members)).render();
+        self.send_line(&line)?;
+        Ok(id)
+    }
+
+    /// Pipelines one batched analyze frame (`sources` all analyzed with
+    /// their own engine, one aggregated reply); returns its id.
+    pub fn send_batch(&mut self, items: &[(&str, EngineKind)]) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let batch: Vec<Json> = items
+            .iter()
+            .map(|(src, engine)| {
+                Json::Obj(vec![
+                    ("source".to_string(), Json::Str((*src).into())),
+                    (
+                        "engine".to_string(),
+                        Json::Str(wire::engine_name(*engine).into()),
+                    ),
+                ])
+            })
+            .collect();
+        let line = Json::Obj(vec![
+            ("cmd".to_string(), Json::Str("analyze_batch".into())),
+            ("id".to_string(), Json::Num(id as f64)),
+            ("batch".to_string(), Json::Arr(batch)),
+        ])
+        .render();
+        self.send_line(&line)?;
+        Ok(id)
+    }
+
+    /// Pipelines one control frame (`status` / `stats` / `shutdown` /
+    /// `metrics`); returns its id.
+    pub fn send_cmd(&mut self, cmd: &str) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        let line = Json::Obj(vec![
+            ("cmd".to_string(), Json::Str(cmd.into())),
+            ("id".to_string(), Json::Num(id as f64)),
+        ])
+        .render();
+        self.send_line(&line)?;
+        Ok(id)
+    }
+
+    /// Blocks for the next reply frame on the wire (replies may arrive
+    /// in any order) and returns `(id, reply)`. The reply is returned
+    /// even when `"ok": false` — per-request failures (`busy`, compile
+    /// errors) are data to a pipelining caller, not connection faults.
+    pub fn recv(&mut self) -> Result<(u64, Json), ClientError> {
+        let line = self.recv_raw_line()?;
+        let v = jsonw::parse(line.trim()).map_err(|e| ClientError::BadReply(e.to_string()))?;
+        let id = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::BadReply(format!("reply without numeric id: {line}")))?;
+        Ok((id, v))
+    }
+
+    /// Reads one complete raw reply line, whether or not it carries an
+    /// `id` (per-frame decode errors for unparseable frames do not).
+    /// EOF mid-line (a torn frame — the `serve.partial_write` fault) or
+    /// before any byte reports as [`ClientError::Dropped`]; the caller
+    /// owns reconnection.
+    pub fn recv_raw_line(&mut self) -> Result<String, ClientError> {
+        let mut chunk = [0u8; 65536];
+        loop {
+            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(self.scanned + nl + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                self.scanned = 0;
+                return String::from_utf8(line)
+                    .map_err(|_| ClientError::BadReply("reply not UTF-8".into()));
+            }
+            self.scanned = self.buf.len();
+            match self.reader.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Dropped { attempts: 1 }),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    return Err(ClientError::Dropped { attempts: 1 })
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
 }
 
 /// Builds an analyze request line (exactly one of `source` / `file`).
@@ -233,5 +460,19 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let ms = |n| backoff_delay(n).as_millis();
+        assert_eq!(ms(1), 5);
+        assert_eq!(ms(2), 10);
+        assert_eq!(ms(3), 20);
+        assert_eq!(ms(4), 40);
+        assert_eq!(ms(5), 80);
+        assert_eq!(ms(8), 500, "capped");
+        assert_eq!(ms(100), 500, "stays capped, no overflow");
+        // Jitter-free: the same attempt always gets the same delay.
+        assert_eq!(backoff_delay(3), backoff_delay(3));
     }
 }

@@ -1,0 +1,139 @@
+//! Transport abstraction: one connection type over Unix *and* TCP.
+//!
+//! The wire protocol (v1 one-shot and v2 multiplexed alike) is defined
+//! over "a bidirectional byte stream"; nothing in it cares whether the
+//! bytes ride a Unix domain socket or a TCP connection. This module
+//! makes that literal: [`Stream`] and [`Listener`] are two-variant
+//! enums over the std socket types, and every line of server, client,
+//! and wire code is written against them — the `--tcp` listener is the
+//! same code path as the Unix socket, not a parallel implementation.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::time::Duration;
+
+/// A connected byte stream, Unix or TCP.
+#[derive(Debug)]
+pub enum Stream {
+    /// A Unix domain socket connection.
+    Unix(UnixStream),
+    /// A TCP connection (`--tcp` listener / `Client::tcp`).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to a Unix socket path.
+    pub fn connect_unix(path: &Path) -> std::io::Result<Stream> {
+        UnixStream::connect(path).map(Stream::Unix)
+    }
+
+    /// Connects to a TCP address (`host:port`).
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Stream> {
+        TcpStream::connect(addr).map(Stream::Tcp)
+    }
+
+    /// An independently owned handle to the same connection (used to
+    /// split a connection into a reader half and a writer half).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Sets the read timeout (`None` = block forever).
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d),
+            Stream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    /// Shuts down both directions (the reader on the other side sees
+    /// EOF; used by shutdown to unblock per-connection reader threads
+    /// and by the `serve.partial_write` fault to tear a reply).
+    pub fn shutdown(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener, Unix or TCP.
+#[derive(Debug)]
+pub enum Listener {
+    /// Listening on a Unix socket path.
+    Unix(UnixListener),
+    /// Listening on a TCP address.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a Unix socket path (the caller removes stale files).
+    pub fn bind_unix(path: &Path) -> std::io::Result<Listener> {
+        UnixListener::bind(path).map(Listener::Unix)
+    }
+
+    /// Binds a TCP address (`host:port`; `host:0` picks a free port).
+    pub fn bind_tcp(addr: &str) -> std::io::Result<Listener> {
+        TcpListener::bind(addr).map(Listener::Tcp)
+    }
+
+    /// Puts the listener into non-blocking accept mode (the server's
+    /// accept loop polls several listeners).
+    pub fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    /// The TCP address actually bound (e.g. to learn the port after
+    /// binding `127.0.0.1:0`); `None` for Unix listeners.
+    pub fn tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        match self {
+            Listener::Unix(_) => None,
+            Listener::Tcp(l) => l.local_addr().ok(),
+        }
+    }
+}

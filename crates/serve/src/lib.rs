@@ -5,30 +5,42 @@
 //! the last run, and the marginal cost of a repeat should be a cache
 //! lookup, not a SAT campaign. This crate provides that shell:
 //!
-//! * [`Server`] — a long-running daemon on a Unix domain socket
-//!   speaking one-line JSON requests (`analyze` / `status` / `stats` /
-//!   `shutdown`), with a bounded queue (bursts beyond it are answered
-//!   `busy` instead of growing without bound), a fixed worker pool, and
-//!   per-request resource governance reusing the `DetectorConfig`
-//!   budgets wholesale;
-//! * [`Client`] — the matching connector: one request per connection,
-//!   with a bounded retry when the connection is dropped before a reply
-//!   (the `serve.drop_conn` fault site exercises exactly this path);
-//! * [`wire`] — the line-delimited JSON protocol shared by both ends,
-//!   built on `lcm_core::jsonw` (the workspace's single hand-rolled
-//!   JSON implementation; no serde, per the DESIGN.md §6 policy).
+//! * [`Server`] — a long-running daemon on a Unix domain socket (plus
+//!   an opt-in TCP listener sharing every line of protocol code)
+//!   speaking line-delimited JSON. Connections are persistent and
+//!   multiplexed (protocol v2): frames carry client-chosen `id`s,
+//!   clients pipeline without waiting, replies arrive out of order and
+//!   match by `id`, and a batched `analyze` submits many programs in
+//!   one frame. A bounded in-flight request queue sheds bursts with
+//!   `busy` replies naming the rejected `id`; a per-connection fairness
+//!   cap keeps one pipelining client from starving the rest. A first
+//!   frame without an `id` is protocol v1 — one request, one reply,
+//!   close — served byte-identically to the original daemon;
+//! * [`Client`] — the v1 connector: one request per connection, with a
+//!   bounded deterministic-backoff retry when the connection is dropped
+//!   or a reply frame is torn (the `serve.drop_conn` and
+//!   `serve.partial_write` fault sites exercise exactly these paths);
+//! * [`Connection`] — the v2 connector ([`Client::connect`]):
+//!   pipelined sends, id-matched receives, batched analyze;
+//! * [`wire`] — the frame protocol shared by both ends, built on
+//!   `lcm_core::jsonw` (the workspace's single hand-rolled JSON
+//!   implementation; no serde, per the DESIGN.md §6 policy);
+//! * [`conn`] — the Unix/TCP transport abstraction.
 //!
 //! When the server is configured with a cache directory, every analyze
 //! request routes through `lcm-store`: unchanged functions are served
 //! from the content-addressed result cache without running an engine,
 //! and the reply's per-function `cache` labels plus the `stats`
 //! counters (`cache_hits` / `cache_misses`) make the short-circuit
-//! observable end to end.
+//! observable end to end. The standing invariant: every reply — v1 or
+//! v2, pipelined or batched, Unix or TCP — renders byte-identical to
+//! an in-process run of the same program.
 
 pub mod client;
+pub mod conn;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{backoff_delay, Client, ClientError, Connection, ServerAddr};
 pub use server::{Counters, ServeConfig, Server, ServerHandle};
 pub use wire::Request;

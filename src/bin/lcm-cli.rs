@@ -4,13 +4,13 @@
 //! reply, printed verbatim so shell pipelines can post-process it).
 //!
 //! ```text
-//! lcm-cli serve  --socket PATH [--workers N] [--queue N] [--cache-dir DIR] [--jobs N]
-//!                [--trace-out PATH]
-//! lcm-cli client --socket PATH status
-//! lcm-cli client --socket PATH stats
-//! lcm-cli client --socket PATH metrics    # Prometheus text, not JSON
-//! lcm-cli client --socket PATH shutdown
-//! lcm-cli client --socket PATH analyze [--engine pht|stl] [--retries N]
+//! lcm-cli serve  --socket PATH [--tcp ADDR] [--workers N] [--queue N]
+//!                [--cache-dir DIR] [--jobs N] [--trace-out PATH]
+//! lcm-cli client (--socket PATH | --tcp ADDR) status
+//! lcm-cli client (--socket PATH | --tcp ADDR) stats
+//! lcm-cli client (--socket PATH | --tcp ADDR) metrics    # Prometheus text, not JSON
+//! lcm-cli client (--socket PATH | --tcp ADDR) shutdown
+//! lcm-cli client (--socket PATH | --tcp ADDR) analyze [--engine pht|stl] [--retries N]
 //!                (--file PATH | --source SRC | -)   # `-` reads stdin
 //! ```
 //!
@@ -39,14 +39,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 lcm-cli — analysis daemon and client
 
-  lcm-cli serve  --socket PATH [--workers N] [--queue N] [--cache-dir DIR] [--jobs N]
-                 [--trace-out PATH]
-  lcm-cli client --socket PATH status | stats | metrics | shutdown
-  lcm-cli client --socket PATH analyze [--engine pht|stl] [--retries N]
+  lcm-cli serve  --socket PATH [--tcp ADDR] [--workers N] [--queue N]
+                 [--cache-dir DIR] [--jobs N] [--trace-out PATH]
+  lcm-cli client (--socket PATH | --tcp ADDR) status | stats | metrics | shutdown
+  lcm-cli client (--socket PATH | --tcp ADDR) analyze [--engine pht|stl] [--retries N]
                  (--file PATH | --source SRC | -)
 
-`serve` runs until a client sends `shutdown`. `--cache-dir` persists
-results in DIR/results.lcmstore so repeat submissions are cache hits.
+`serve` runs until a client sends `shutdown`. `--tcp ADDR` additionally
+listens on a TCP address (`host:port`; `host:0` picks a free port) with
+the identical protocol. `--cache-dir` persists results in
+DIR/results.lcmstore so repeat submissions are cache hits.
 `--trace-out` records a Chrome trace of the daemon's lifetime, written
 on shutdown. `client metrics` prints Prometheus exposition text (the
 one reply that is not a JSON line). `client analyze -` reads mini-C
@@ -92,6 +94,7 @@ fn serve(args: &[String]) -> ExitCode {
             .ok_or_else(|| "serve needs --socket PATH".to_string())?;
         let trace_out = take_value(&mut args, "--trace-out")?;
         let mut config = ServeConfig::new(socket);
+        config.tcp = take_value(&mut args, "--tcp")?;
         if let Some(v) = take_value(&mut args, "--workers")? {
             config.workers = parse_num(&v, "--workers")?;
         }
@@ -124,7 +127,12 @@ fn serve(args: &[String]) -> ExitCode {
     if trace_out.is_some() {
         lcm::obs::trace::enable();
     }
-    let outcome = Server::bind(config).and_then(Server::run);
+    let outcome = Server::bind(config).and_then(|server| {
+        if let Some(addr) = server.tcp_addr() {
+            eprintln!("lcm-serve: listening on tcp {addr}");
+        }
+        server.run()
+    });
     if let Some(path) = trace_out {
         lcm::obs::trace::disable();
         match lcm::obs::trace::export_to_file(std::path::Path::new(&path)) {
@@ -144,13 +152,18 @@ fn serve(args: &[String]) -> ExitCode {
 fn client(args: &[String]) -> ExitCode {
     let mut args = args.to_vec();
     let run = (|| -> Result<String, String> {
-        let socket = take_value(&mut args, "--socket")?
-            .ok_or_else(|| "client needs --socket PATH".to_string())?;
+        let socket = take_value(&mut args, "--socket")?;
+        let tcp = take_value(&mut args, "--tcp")?;
         let retries = match take_value(&mut args, "--retries")? {
             Some(v) => parse_num(&v, "--retries")?,
             None => 1,
         };
-        let client = Client::new(socket).retries(retries);
+        let client = match (socket, tcp) {
+            (Some(path), None) => Client::new(path),
+            (None, Some(addr)) => Client::tcp(addr),
+            _ => return Err("client needs exactly one of --socket PATH or --tcp ADDR".into()),
+        }
+        .retries(retries);
         let cmd = if args.is_empty() {
             return Err(
                 "client needs a command: status | stats | metrics | shutdown | analyze".into(),

@@ -5,9 +5,14 @@
 //! the round-trip test can demand *rendered-JSON equality* between the
 //! daemon's `functions` array and `lcm::serve::wire::module_report_json`
 //! of an in-process [`lcm::analyze_source`] run — same findings, same
-//! order, same fields, for every engine. A second group proves the
-//! retry/fault path: a dropped connection (the `serve.drop_conn` site)
-//! is retried and succeeds without the caller noticing.
+//! order, same fields, for every engine, over every protocol shape
+//! (v1 one-shot, v2 pipelined, v2 batched) and both transports (Unix,
+//! TCP). The warm-path pin extends this to the hot-reply memo: every
+//! replay of a fully cache-hit program must be byte-identical to the
+//! first fully-hit reply. A further group proves the retry/fault
+//! paths: a dropped connection (`serve.drop_conn`) and a torn reply
+//! (`serve.partial_write`) are retried and succeed without the caller
+//! noticing.
 
 use lcm::core::fault::{site, FaultPlan};
 use lcm::detect::{Detector, DetectorConfig, EngineKind};
@@ -114,6 +119,140 @@ fn dropped_connection_is_invisible_behind_the_retry() {
     assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
     let (_, _, _, dropped) = handle.snapshot();
     assert_eq!(dropped, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The protocol-v2 byte-equality pin: every reply shape — v1 one-shot,
+/// v2 pipelined at depths 1/4/8, v2 batched — over both Unix and TCP
+/// must embed the exact `functions` array an in-process run renders.
+#[test]
+fn v2_replies_match_in_process_runs_over_unix_and_tcp() {
+    if env_faults_armed() {
+        return;
+    }
+    let mut config = ServeConfig::new(temp_socket("v2rt"));
+    config.tcp = Some("127.0.0.1:0".into());
+    let handle = Server::spawn(config).unwrap();
+    let det = Detector::new(DetectorConfig::default());
+    let expected =
+        module_report_json(&lcm::analyze_source(VICTIMS, &det, EngineKind::Pht).unwrap()).render();
+    let clients = [
+        Client::new(handle.socket().clone()),
+        Client::tcp(handle.tcp_addr().unwrap().to_string()),
+    ];
+    for client in &clients {
+        // v1 one-shot.
+        let reply = client.analyze_source(VICTIMS, EngineKind::Pht).unwrap();
+        assert_eq!(reply.get("functions").unwrap().render(), expected);
+        // v2 pipelined, replies matched by id.
+        for depth in [1usize, 4, 8] {
+            let mut conn = client.connect().unwrap();
+            let mut pending: std::collections::HashSet<u64> = (0..depth)
+                .map(|_| conn.send_analyze(VICTIMS, EngineKind::Pht).unwrap())
+                .collect();
+            while !pending.is_empty() {
+                let (id, v) = conn.recv().unwrap();
+                assert!(pending.remove(&id), "unexpected reply id {id}");
+                assert_eq!(v.get("functions").unwrap().render(), expected);
+            }
+        }
+        // v2 batched: every element renders as its one-shot would.
+        let mut conn = client.connect().unwrap();
+        let items = vec![(VICTIMS, EngineKind::Pht); 3];
+        let bid = conn.send_batch(&items).unwrap();
+        let (id, v) = conn.recv().unwrap();
+        assert_eq!(id, bid);
+        assert_eq!(v.get("failed").and_then(|v| v.as_u64()), Some(0));
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        for r in results {
+            assert_eq!(r.get("functions").unwrap().render(), expected);
+        }
+    }
+    clients[0].shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The warm-path (hot-reply memo) byte pin: once a program is fully
+/// cache-hit, every later reply — v1 replay, v2 pipelined, v2 batched,
+/// Unix or TCP — must be byte-identical to the first fully-hit reply.
+#[test]
+fn warm_replies_replay_byte_identically() {
+    if env_faults_armed() {
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("lcm-t-warmpin-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut config = ServeConfig::new(temp_socket("wp"));
+    config.tcp = Some("127.0.0.1:0".into());
+    config.cache_dir = Some(dir.clone());
+    let handle = Server::spawn(config).unwrap();
+    let client = Client::new(handle.socket().clone());
+    let frame = lcm::serve::client::analyze_request(Some(VICTIMS), None, EngineKind::Pht);
+
+    let _cold = client.request_line(&frame).unwrap();
+    // The first fully-hit run: the reply every replay must reproduce.
+    let warm = client.request_line(&frame).unwrap();
+    let warm = warm.trim_end();
+    assert!(warm.contains("\"cache\":\"hit\""), "{warm}");
+
+    // v1 replay (served from the memo) is byte-identical.
+    assert_eq!(client.request_line(&frame).unwrap().trim_end(), warm);
+    // ... over TCP too.
+    let tcp = Client::tcp(handle.tcp_addr().unwrap().to_string());
+    assert_eq!(tcp.request_line(&frame).unwrap().trim_end(), warm);
+
+    // v2 pipelined: each reply is the warm line with the id prepended.
+    let mut conn = client.connect().unwrap();
+    let ids: Vec<u64> = (0..8)
+        .map(|_| conn.send_analyze(VICTIMS, EngineKind::Pht).unwrap())
+        .collect();
+    for _ in &ids {
+        let line = conn.recv_raw_line().unwrap();
+        let line = line.trim_end();
+        let comma = line.find(',').unwrap();
+        assert!(line.starts_with("{\"id\":"), "{line}");
+        assert_eq!(&line[comma + 1..], &warm[1..]);
+    }
+
+    // v2 batched: elements are the warm line verbatim.
+    let items = vec![(VICTIMS, EngineKind::Pht); 4];
+    let bid = conn.send_batch(&items).unwrap();
+    let line = conn.recv_raw_line().unwrap();
+    let elems = vec![warm.to_string(); 4].join(",");
+    assert_eq!(
+        line.trim_end(),
+        format!("{{\"id\":{bid},\"ok\":true,\"results\":[{elems}],\"failed\":0}}")
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CI fault-matrix entry point for `serve.partial_write`: with the
+/// site armed through `LCM_FAULT` (an `@index` spec), the indexed
+/// reply is torn mid-line and the connection shut down — the v1
+/// client must treat the newline-less reply as a drop and its bounded
+/// retry must still deliver the full answer. A no-op otherwise.
+#[test]
+fn env_armed_partial_write_is_retried_end_to_end() {
+    let Ok(armed) = std::env::var(lcm::core::fault::FAULT_ENV) else {
+        return;
+    };
+    let indexed_tear = armed
+        .split(',')
+        .any(|spec| spec.trim().starts_with(site::SERVE_PARTIAL_WRITE) && spec.contains('@'));
+    if !indexed_tear {
+        return;
+    }
+    let handle = Server::spawn(ServeConfig::new(temp_socket("envtear"))).unwrap();
+    let client = Client::new(handle.socket().clone()).retries(2);
+    let reply = client.analyze_source(VICTIMS, EngineKind::Pht).unwrap();
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let (_, _, _, torn, _) = handle.snapshot_v2();
+    assert!(torn >= 1, "armed fault never fired");
     client.shutdown().unwrap();
     handle.join().unwrap();
 }
