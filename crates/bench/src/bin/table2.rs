@@ -21,11 +21,14 @@
 
 use std::time::Instant;
 
-use lcm_bench::{cli, json, render_table2, table2_rows};
+use lcm_bench::{cli, findings_digest, json, render_table2, table2_rows};
 use lcm_corpus::all_litmus;
 use lcm_detect::{repair, Detector, DetectorConfig, EngineKind};
 
 fn main() {
+    // Fleet workers re-execute this binary (default `worker_cmd` is the
+    // current executable): divert to the worker loop before any parsing.
+    lcm_fleet::maybe_run_worker();
     let args = cli::parse(std::env::args().skip(1));
     let quick = args.has("--quick");
     let do_repair = args.has("--repair");
@@ -37,11 +40,30 @@ fn main() {
         args.jobs,
         lcm_core::par::effective_jobs(args.jobs)
     );
+    let fleet =
+        (args.fleet > 0).then(|| lcm_fleet::Fleet::new(lcm_fleet::FleetConfig::new(args.fleet)));
+    if let Some(fleet) = &fleet {
+        println!("(fleet: {} worker processes)\n", fleet.workers());
+    }
     let store = args.open_store();
     args.start_tracing();
     let t0 = Instant::now();
-    let rows = table2_rows(quick, args.jobs, args.budgets(), store.as_ref());
+    let rows = table2_rows(
+        quick,
+        args.jobs,
+        args.budgets(),
+        store.as_ref(),
+        fleet.as_ref(),
+    );
     let wall = t0.elapsed();
+    if let Some(fleet) = &fleet {
+        fleet.shutdown();
+    }
+    if let Some(path) = &args.findings_out {
+        std::fs::write(path, findings_digest(&rows))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("findings digest written to {path}");
+    }
     println!("{}", render_table2(&rows));
     let mut phases = lcm_detect::PhaseTimings::default();
     for r in &rows {

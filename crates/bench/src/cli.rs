@@ -31,6 +31,13 @@ pub struct BenchArgs {
     /// `--trace-out PATH`: record spans and write a Chrome-trace JSON
     /// (`chrome://tracing` / Perfetto loadable) at exit.
     pub trace_out: Option<String>,
+    /// `--fleet N`: run Clou analyses in N supervised worker *processes*
+    /// (crash isolation; 0 or omitted = in-process).
+    pub fleet: usize,
+    /// `--findings-out PATH`: write a timing-free findings digest
+    /// (workload/tool/counts/degradations, no durations) for byte-level
+    /// comparison across runs.
+    pub findings_out: Option<String>,
     /// Unrecognized arguments, in order.
     pub rest: Vec<String>,
 }
@@ -144,6 +151,18 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
                 .next()
                 .unwrap_or_else(|| die("--trace-out needs a path"));
             out.trace_out = Some(v);
+        } else if let Some(v) = a.strip_prefix("--fleet=") {
+            out.fleet = parse_fleet(v);
+        } else if a == "--fleet" {
+            let v = args.next().unwrap_or_else(|| die("--fleet needs a value"));
+            out.fleet = parse_fleet(&v);
+        } else if let Some(v) = a.strip_prefix("--findings-out=") {
+            out.findings_out = Some(v.to_string());
+        } else if a == "--findings-out" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--findings-out needs a path"));
+            out.findings_out = Some(v);
         } else {
             out.rest.push(a);
         }
@@ -154,6 +173,11 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
 fn parse_jobs(v: &str) -> usize {
     v.parse()
         .unwrap_or_else(|_| die(&format!("--jobs expects a number, got {v:?}")))
+}
+
+fn parse_fleet(v: &str) -> usize {
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("--fleet expects a number, got {v:?}")))
 }
 
 fn parse_num(v: &str, flag: &str) -> u64 {
@@ -230,6 +254,19 @@ mod tests {
             Some("t.json")
         );
         assert!(args(&[]).trace_out.is_none());
+    }
+
+    #[test]
+    fn fleet_and_findings_out_parse_both_styles() {
+        let a = args(&["--fleet", "4", "--findings-out", "f.txt"]);
+        assert_eq!(a.fleet, 4);
+        assert_eq!(a.findings_out.as_deref(), Some("f.txt"));
+        let b = args(&["--fleet=2", "--findings-out=g.txt"]);
+        assert_eq!(b.fleet, 2);
+        assert_eq!(b.findings_out.as_deref(), Some("g.txt"));
+        // Defaults: in-process, no digest.
+        assert_eq!(args(&[]).fleet, 0);
+        assert!(args(&[]).findings_out.is_none());
     }
 
     #[test]

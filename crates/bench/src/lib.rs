@@ -36,6 +36,7 @@ use lcm_core::taxonomy::TransmitterClass;
 use lcm_corpus::synth::{synthetic_library, SynthConfig};
 use lcm_corpus::{all_litmus, crypto, Bench};
 use lcm_detect::{CacheStatus, Detector, DetectorConfig, EngineKind, FunctionStatus, PhaseTimings};
+use lcm_fleet::Fleet;
 use lcm_haunted::{HauntedConfig, HauntedEngine};
 use lcm_ir::Module;
 use lcm_store::{CacheCounts, Store};
@@ -99,20 +100,25 @@ impl Table2Row {
 
 fn run_clou(
     workload: &str,
+    source: &str,
     module: &Module,
     engine: EngineKind,
     jobs: usize,
     budgets: Budgets,
     store: Option<&Store>,
+    fleet: Option<&Fleet>,
 ) -> Table2Row {
     let det = Detector::new(DetectorConfig {
         jobs,
         budgets,
         ..DetectorConfig::default()
     });
-    let report = match store {
-        Some(store) => lcm_store::analyze_module_cached(&det, module, engine, store),
-        None => det.analyze_module(module, engine),
+    let report = match (fleet, store) {
+        // Process-level parallelism: the fleet ships `source` to its
+        // workers and applies the identical cache discipline itself.
+        (Some(fleet), store) => fleet.analyze_module(source, module, engine, det.config(), store),
+        (None, Some(store)) => lcm_store::analyze_module_cached(&det, module, engine, store),
+        (None, None) => det.analyze_module(module, engine),
     };
     let cache = CacheCounts::of(&report);
     let degraded = report
@@ -219,6 +225,7 @@ pub fn suite_rows(
     jobs: usize,
     budgets: Budgets,
     store: Option<&Store>,
+    fleet: Option<&Fleet>,
 ) -> Vec<Table2Row> {
     let mut rows: Vec<Table2Row> = Vec::new();
     for tool in [Tool::ClouPht, Tool::ClouStl, Tool::BhPht, Tool::BhStl] {
@@ -234,12 +241,20 @@ pub fn suite_rows(
             cache: CacheCounts::default(),
         };
         // Suites are many small single-function programs: parallelize
-        // across benches (inner analysis stays serial per module).
-        let per_bench = lcm_core::par::map_indexed(benches, jobs, |_, bench| {
+        // across benches (inner analysis stays serial per module). With
+        // a fleet the parallelism is process-level instead — the outer
+        // loop goes serial so modules reach the supervisor in order.
+        let outer_jobs = if fleet.is_some() { 1 } else { jobs };
+        let per_bench = lcm_core::par::map_indexed(benches, outer_jobs, |_, bench| {
             let m = bench.module();
+            let src = &bench.source;
             match tool {
-                Tool::ClouPht => run_clou(workload, &m, EngineKind::Pht, 1, budgets, store),
-                Tool::ClouStl => run_clou(workload, &m, EngineKind::Stl, 1, budgets, store),
+                Tool::ClouPht => {
+                    run_clou(workload, src, &m, EngineKind::Pht, 1, budgets, store, fleet)
+                }
+                Tool::ClouStl => {
+                    run_clou(workload, src, &m, EngineKind::Stl, 1, budgets, store, fleet)
+                }
                 Tool::BhPht => run_bh(workload, &m, HauntedEngine::Pht, 1, store),
                 Tool::BhStl => run_bh(workload, &m, HauntedEngine::Stl, 1, store),
             }
@@ -272,10 +287,11 @@ pub fn table2_rows(
     jobs: usize,
     budgets: Budgets,
     store: Option<&Store>,
+    fleet: Option<&Fleet>,
 ) -> Vec<Table2Row> {
     let mut rows = Vec::new();
     for (suite, benches) in all_litmus() {
-        rows.extend(suite_rows(suite, &benches, jobs, budgets, store));
+        rows.extend(suite_rows(suite, &benches, jobs, budgets, store, fleet));
     }
     for bench in crypto::all_crypto() {
         rows.extend(suite_rows(
@@ -284,6 +300,7 @@ pub fn table2_rows(
             jobs,
             budgets,
             store,
+            fleet,
         ));
     }
     if !quick {
@@ -293,13 +310,45 @@ pub fn table2_rows(
         ] {
             let (src, _) = synthetic_library(cfg);
             let m = lcm_minic::compile(&src).expect("synthetic library compiles");
-            rows.push(run_clou(name, &m, EngineKind::Pht, jobs, budgets, store));
-            rows.push(run_clou(name, &m, EngineKind::Stl, jobs, budgets, store));
+            let pht = run_clou(name, &src, &m, EngineKind::Pht, jobs, budgets, store, fleet);
+            rows.push(pht);
+            let stl = run_clou(name, &src, &m, EngineKind::Stl, jobs, budgets, store, fleet);
+            rows.push(stl);
             rows.push(run_bh(name, &m, HauntedEngine::Pht, jobs, store));
             rows.push(run_bh(name, &m, HauntedEngine::Stl, jobs, store));
         }
     }
     rows
+}
+
+/// Renders `rows` as a timing-free findings digest: one line per row
+/// with workload, tool, function/LoC counts, the four finding counts,
+/// and every degradation (function + reason). Runtimes are the one
+/// field that varies run to run, so this digest is byte-identical
+/// between any two runs that found the same things — CI diffs it
+/// across in-process vs `--fleet N` runs and across armed fault sites.
+pub fn findings_digest(rows: &[Table2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for r in rows {
+        let _ = write!(
+            s,
+            "{}|{}|pfun={}|loc={}|dt={}|ct={}|udt={}|uct={}",
+            r.workload,
+            r.tool.name(),
+            r.pfun,
+            r.loc,
+            r.counts.0,
+            r.counts.1,
+            r.counts.2,
+            r.counts.3
+        );
+        for (func, reason) in &r.degraded {
+            let _ = write!(s, "|degraded:{func}={reason}");
+        }
+        s.push('\n');
+    }
+    s
 }
 
 /// Renders rows as the paper-style text table.
@@ -482,7 +531,14 @@ mod tests {
         // and criterion benches (release profile).
         let mut rows = Vec::new();
         for (suite, benches) in all_litmus() {
-            rows.extend(suite_rows(suite, &benches, 1, Budgets::default(), None));
+            rows.extend(suite_rows(
+                suite,
+                &benches,
+                1,
+                Budgets::default(),
+                None,
+                None,
+            ));
         }
         assert_eq!(rows.len(), 4 * 4);
         assert!(
@@ -516,8 +572,8 @@ mod tests {
         // One suite keeps the debug-profile cost down; the full-corpus
         // differential runs in CI against the release binaries.
         let (suite, benches) = &all_litmus()[0];
-        let cold = suite_rows(suite, benches, 1, Budgets::default(), Some(&store));
-        let warm = suite_rows(suite, benches, 1, Budgets::default(), Some(&store));
+        let cold = suite_rows(suite, benches, 1, Budgets::default(), Some(&store), None);
+        let warm = suite_rows(suite, benches, 1, Budgets::default(), Some(&store), None);
         for (c, w) in cold.iter().zip(&warm) {
             assert_eq!(c.cache.hits, 0, "{}: cold run cannot hit", c.workload);
             assert_eq!(c.cache.bypassed, 0, "{}: everything cacheable", c.workload);

@@ -1,0 +1,44 @@
+//! The workspace's one retry-backoff schedule.
+//!
+//! Every layer that retries a failed peer — the daemon client
+//! reconnecting after a dropped connection, the worker-fleet supervisor
+//! respawning a crashed analysis process — uses this same deterministic,
+//! jitter-free schedule. Determinism is the point: a fault-matrix run
+//! must reproduce the same timing decisions every time, and two layers
+//! sharing one schedule keeps the resilience story auditable in one
+//! place.
+
+use std::time::Duration;
+
+/// Base delay of the retry backoff schedule.
+const BACKOFF_BASE: Duration = Duration::from_millis(5);
+/// Ceiling of the retry backoff schedule.
+const BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// The deterministic, jitter-free retry schedule: the delay before
+/// retry `attempt` (1-based) is `5 ms · 2^(attempt-1)`, capped at
+/// 500 ms — 5, 10, 20, 40, … Deterministic on purpose: a fault-matrix
+/// run must reproduce the same timing decisions every time.
+pub fn backoff_delay(attempt: usize) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16) as u32;
+    BACKOFF_BASE.saturating_mul(1u32 << exp).min(BACKOFF_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let ms = |n| backoff_delay(n).as_millis();
+        assert_eq!(ms(1), 5);
+        assert_eq!(ms(2), 10);
+        assert_eq!(ms(3), 20);
+        assert_eq!(ms(4), 40);
+        assert_eq!(ms(5), 80);
+        assert_eq!(ms(8), 500, "capped");
+        assert_eq!(ms(100), 500, "stays capped, no overflow");
+        // Jitter-free: the same attempt always gets the same delay.
+        assert_eq!(backoff_delay(3), backoff_delay(3));
+    }
+}

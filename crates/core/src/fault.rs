@@ -57,6 +57,26 @@ pub mod site {
     /// The index is the global reply-write ordinal, not a function
     /// index.
     pub const SERVE_PARTIAL_WRITE: &str = "serve.partial_write";
+    /// Aborts `Store::compact` after writing `index` live records to
+    /// the temp file, *before* the atomic rename — leaving exactly the
+    /// disk state a crash mid-compact leaves (intact old log + partial
+    /// temp file). The index is the compaction-write ordinal, not a
+    /// function index.
+    pub const STORE_COMPACT_CRASH: &str = "store.compact_crash";
+    /// Makes the fleet worker process analyzing the function at `index`
+    /// kill itself (SIGKILL) mid-task, on the task's first attempt only
+    /// — the supervisor's restart + redistribution retry completes, so
+    /// the run converges to the in-process result.
+    pub const FLEET_WORKER_CRASH: &str = "fleet.worker_crash";
+    /// Makes the fleet worker analyzing the function at `index` stall
+    /// past the supervisor's per-task deadline (first attempt only); the
+    /// supervisor kills and restarts it, and the retry completes.
+    pub const FLEET_WORKER_HANG: &str = "fleet.worker_hang";
+    /// Tears the fleet result frame for the function at `index` mid
+    /// write (half the frame's bytes, then the worker exits; first
+    /// attempt only) — exercises the supervisor's torn-frame detection
+    /// and redelivery.
+    pub const FLEET_TASK_TORN: &str = "fleet.task_torn";
 
     /// All site names, for validation and the CI matrix.
     pub const ALL: &[&str] = &[
@@ -68,8 +88,12 @@ pub mod site {
         WORKER_PANIC,
         SOLVER_ABORT,
         STORE_CORRUPT_RECORD,
+        STORE_COMPACT_CRASH,
         SERVE_DROP_CONN,
         SERVE_PARTIAL_WRITE,
+        FLEET_WORKER_CRASH,
+        FLEET_WORKER_HANG,
+        FLEET_TASK_TORN,
     ];
 }
 
@@ -177,6 +201,37 @@ impl FaultPlan {
             .iter()
             .any(|s| s.site == site && s.index.is_none_or(|i| i == index))
     }
+
+    /// The canonical `site[@index],…` spec string, round-trippable
+    /// through [`FaultPlan::parse`]. This is how a plan crosses a
+    /// process boundary (the fleet supervisor ships it to workers
+    /// inside each task frame).
+    pub fn render(&self) -> String {
+        self.specs
+            .iter()
+            .map(|s| match s.index {
+                Some(i) => format!("{}@{i}", s.site),
+                None => s.site.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// This plan with every spec naming one of `sites` removed. The
+    /// fleet supervisor disarms the `fleet.*` sites on a task's retry
+    /// dispatch this way, so an injected process fault fires once and
+    /// the run converges.
+    #[must_use]
+    pub fn without_sites(&self, sites: &[&str]) -> Self {
+        FaultPlan {
+            specs: self
+                .specs
+                .iter()
+                .filter(|s| !sites.contains(&s.site.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +274,24 @@ mod tests {
             let p = FaultPlan::parse(&format!("{s}@0")).unwrap();
             assert!(p.fires(s, 0), "{s}");
         }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let p = FaultPlan::parse("worker_panic@1,timeout,fleet.worker_crash@3").unwrap();
+        assert_eq!(p.render(), "worker_panic@1,timeout,fleet.worker_crash@3");
+        assert_eq!(FaultPlan::parse(&p.render()).unwrap(), p);
+        assert_eq!(FaultPlan::default().render(), "");
+    }
+
+    #[test]
+    fn without_sites_strips_only_named_sites() {
+        let p = FaultPlan::parse("timeout@0,fleet.worker_crash,fleet.task_torn@2").unwrap();
+        let stripped = p.without_sites(&[site::FLEET_WORKER_CRASH, site::FLEET_TASK_TORN]);
+        assert!(stripped.fires(site::TIMEOUT, 0));
+        assert!(!stripped.fires(site::FLEET_WORKER_CRASH, 5));
+        assert!(!stripped.fires(site::FLEET_TASK_TORN, 2));
+        // The original plan is untouched.
+        assert!(p.fires(site::FLEET_WORKER_CRASH, 5));
     }
 }

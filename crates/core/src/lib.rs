@@ -48,6 +48,7 @@
 //! assert!(Tso.check(&exec).is_ok());
 //! ```
 
+pub mod backoff;
 pub mod cat;
 pub mod confidentiality;
 pub mod event;
@@ -62,6 +63,7 @@ pub mod par;
 pub mod speculation;
 pub mod taxonomy;
 
+pub use backoff::backoff_delay;
 pub use event::{AccessMode, Event, EventId, EventKind, Location, XState};
 pub use exec::{Execution, ExecutionBuilder};
 pub use fault::FaultPlan;

@@ -1,0 +1,37 @@
+//! `lcm-fleet`: a supervised multi-process analysis worker fleet.
+//!
+//! The in-process analysis pipeline already degrades gracefully when a
+//! worker *thread* panics or blows a budget (`lcm_core::par`,
+//! `ResourceGovernor`), but a thread cannot survive a segfault, an
+//! OOM-kill, or a wedged solver that never polls its governor. This
+//! crate moves that blast radius across a process boundary: a
+//! supervisor ([`Fleet`]) shards a module's functions over child
+//! *processes* by content fingerprint, speaks a length-delimited binary
+//! protocol ([`proto`]) over their stdin/stdout pipes, and enforces
+//! per-worker health — heartbeats, per-task deadlines, crash/hang/
+//! stuck-output detection, restart with the workspace's deterministic
+//! capped-exponential [`lcm_core::backoff_delay`] schedule, and
+//! restart-storm circuit breakers that degrade instead of spinning
+//! (DESIGN.md §6h).
+//!
+//! The standing invariant of the whole resilience layer extends to the
+//! fleet: rendered results are **byte-identical** to an in-process run
+//! at every worker count, under every armed `fleet.*` fault. Findings
+//! cross the pipe through the store's own codec, the supervisor mirrors
+//! the store's cache discipline exactly (hits served supervisor-side,
+//! completed results inserted, degraded results never cached), and
+//! functions are reassembled in module order.
+//!
+//! Worker identity is solved by re-execution: the supervisor spawns
+//! *its own executable* with the [`worker::WORKER_ENV`] marker set, and
+//! every host binary calls [`maybe_run_worker`] first thing in `main`.
+//! `lcm-cli` additionally exposes the loop as the hidden `worker`
+//! subcommand, which is also what the integration tests point
+//! `worker_cmd` at.
+
+pub mod proto;
+pub mod supervisor;
+pub mod worker;
+
+pub use supervisor::{Fleet, FleetConfig};
+pub use worker::{maybe_run_worker, worker_main, WORKER_ENV};

@@ -1,0 +1,560 @@
+//! The supervisor ↔ worker wire protocol.
+//!
+//! Length-delimited binary frames (`u32le` length + body) over the
+//! child's stdin/stdout pipes, encoded with the same hand-rolled
+//! little-endian codec the result store uses on disk (the workspace
+//! carries no serde). Findings cross the process boundary through
+//! [`lcm_store::codec::encode_finding`] verbatim, so a result decoded
+//! from a worker is bit-for-bit the result an in-process run produces.
+//!
+//! Decoding is *total*: every read is bounds-checked and every tag
+//! validated, returning [`Corrupt`] instead of panicking. A worker that
+//! ships garbage (torn frame, bad tag) is treated exactly like a worker
+//! that crashed: killed, restarted, its task redelivered.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use lcm_core::govern::{AnalysisError, BudgetKind, Budgets};
+use lcm_core::speculation::SpeculationConfig;
+use lcm_core::taxonomy::TransmitterClass;
+use lcm_core::FaultPlan;
+use lcm_detect::{DetectorConfig, EngineKind, FunctionReport, FunctionStatus, PhaseTimings};
+use lcm_store::codec::{self, Corrupt, R, W};
+
+/// Refuse absurd frames (a corrupt length prefix must not drive a
+/// multi-gigabyte allocation). Same ceiling as the store's payloads.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Writes one `u32le`-length-delimited frame and flushes it (results
+/// must not sit in a BufWriter while the supervisor waits).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is EOF at a frame boundary (the peer
+/// closed the stream cleanly — or died before starting a frame, which
+/// the caller distinguishes by whether work was in flight). EOF *mid*
+/// frame is an error: a torn frame from a peer that died mid-write.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::other("fleet frame exceeds MAX_FRAME"));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// One analysis task: which function of which module, under which
+/// findings-affecting configuration. The fault plan rides inside the
+/// config as its canonical spec string, so the supervisor can strip
+/// the `fleet.*` sites on redelivery.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Supervisor-assigned id echoed back in the result.
+    pub task_id: u64,
+    /// Which previously-shipped module this task targets.
+    pub module_id: u64,
+    /// The function's index in module order (keys the fault plan).
+    pub fn_index: u64,
+    /// The function's name.
+    pub fn_name: String,
+    /// Which engine to run.
+    pub engine: EngineKind,
+    /// The detector configuration (jobs is forced to 1 worker-side).
+    pub config: DetectorConfig,
+}
+
+/// Supervisor → worker messages.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// Ship a module's source; the worker compiles and caches it under
+    /// `id` (one module at a time — a new one replaces the old).
+    Module { id: u64, source: String },
+    /// Analyze one function of the current module.
+    Task(Task),
+}
+
+/// One finished task: the worker's verbatim [`FunctionReport`]
+/// (including partial findings and the error of a degraded run — the
+/// supervisor owns the cache discipline, the worker just reports).
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    pub task_id: u64,
+    pub report: FunctionReport,
+}
+
+/// Worker → supervisor messages.
+#[derive(Debug, Clone)]
+pub enum FromWorker {
+    /// First frame after spawn: the worker is alive.
+    Hello { pid: u64 },
+    /// Liveness beat, sent periodically while a task is in flight.
+    Beat,
+    /// A finished task.
+    Result(TaskResult),
+}
+
+fn engine_code(e: EngineKind) -> u8 {
+    match e {
+        EngineKind::Pht => 0,
+        EngineKind::Stl => 1,
+        EngineKind::Psf => 2,
+    }
+}
+
+fn engine_of(code: u8) -> Result<EngineKind, Corrupt> {
+    Ok(match code {
+        0 => EngineKind::Pht,
+        1 => EngineKind::Stl,
+        2 => EngineKind::Psf,
+        _ => return Err(Corrupt),
+    })
+}
+
+fn class_code(c: TransmitterClass) -> u8 {
+    match c {
+        TransmitterClass::Address => 0,
+        TransmitterClass::Control => 1,
+        TransmitterClass::Data => 2,
+        TransmitterClass::UniversalControl => 3,
+        TransmitterClass::UniversalData => 4,
+    }
+}
+
+fn class_of(code: u8) -> Result<TransmitterClass, Corrupt> {
+    Ok(match code {
+        0 => TransmitterClass::Address,
+        1 => TransmitterClass::Control,
+        2 => TransmitterClass::Data,
+        3 => TransmitterClass::UniversalControl,
+        4 => TransmitterClass::UniversalData,
+        _ => return Err(Corrupt),
+    })
+}
+
+fn opt_u64(w: &mut W, v: Option<u64>) {
+    match v {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.u64(v);
+        }
+    }
+}
+
+fn opt_u64_of(r: &mut R) -> Result<Option<u64>, Corrupt> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        _ => Err(Corrupt),
+    }
+}
+
+fn encode_config(w: &mut W, c: &DetectorConfig) {
+    w.u64(c.spec.rob_size as u64);
+    w.u64(c.spec.lsq_size as u64);
+    w.u64(c.spec.speculation_depth as u64);
+    w.u64(c.window as u64);
+    // u64::MAX = every class (the fingerprint uses the same sentinel).
+    w.u64(c.target_class.map_or(u64::MAX, |tc| class_code(tc) as u64));
+    w.bool(c.gep_filter);
+    w.bool(c.universal_needs_transient_access);
+    w.bool(c.secret_filter);
+    w.bool(c.detect_interference);
+    w.bool(c.disable_incremental);
+    w.bool(c.disable_prefilter);
+    opt_u64(w, c.budgets.timeout.map(|d| d.as_nanos() as u64));
+    opt_u64(w, c.budgets.max_conflicts);
+    opt_u64(w, c.budgets.max_saeg_nodes.map(|n| n as u64));
+    opt_u64(w, c.budgets.max_saeg_edges.map(|n| n as u64));
+    w.str(&c.faults.render());
+}
+
+fn decode_config(r: &mut R) -> Result<DetectorConfig, Corrupt> {
+    let mut c = DetectorConfig::default();
+    c.spec = SpeculationConfig {
+        rob_size: r.u64()? as usize,
+        lsq_size: r.u64()? as usize,
+        speculation_depth: r.u64()? as usize,
+    };
+    c.window = r.u64()? as usize;
+    c.target_class = match r.u64()? {
+        u64::MAX => None,
+        code => Some(class_of(u8::try_from(code).map_err(|_| Corrupt)?)?),
+    };
+    c.gep_filter = r.bool()?;
+    c.universal_needs_transient_access = r.bool()?;
+    c.secret_filter = r.bool()?;
+    c.detect_interference = r.bool()?;
+    c.disable_incremental = r.bool()?;
+    c.disable_prefilter = r.bool()?;
+    c.budgets = Budgets {
+        timeout: opt_u64_of(r)?.map(Duration::from_nanos),
+        max_conflicts: opt_u64_of(r)?,
+        max_saeg_nodes: opt_u64_of(r)?.map(|n| n as usize),
+        max_saeg_edges: opt_u64_of(r)?.map(|n| n as usize),
+    };
+    c.faults = FaultPlan::parse(&r.str()?).map_err(|_| Corrupt)?;
+    // The worker analyzes exactly one function per task; intra-function
+    // parallelism inside a crash-isolated child would only perturb
+    // scheduling-dependent counters.
+    c.jobs = 1;
+    Ok(c)
+}
+
+fn encode_error(w: &mut W, e: &AnalysisError) {
+    match e {
+        AnalysisError::Timeout { budget_ms } => {
+            w.u8(0);
+            w.u64(*budget_ms);
+        }
+        AnalysisError::BudgetExceeded { kind } => {
+            w.u8(1);
+            w.u8(match kind {
+                BudgetKind::SolverConflicts => 0,
+                BudgetKind::SaegNodes => 1,
+                BudgetKind::SaegEdges => 2,
+            });
+        }
+        AnalysisError::MalformedIr { message } => {
+            w.u8(2);
+            w.str(message);
+        }
+        AnalysisError::WorkerPanic { message } => {
+            w.u8(3);
+            w.str(message);
+        }
+        AnalysisError::SolverAbort => w.u8(4),
+    }
+}
+
+fn decode_error(r: &mut R) -> Result<AnalysisError, Corrupt> {
+    Ok(match r.u8()? {
+        0 => AnalysisError::Timeout {
+            budget_ms: r.u64()?,
+        },
+        1 => AnalysisError::BudgetExceeded {
+            kind: match r.u8()? {
+                0 => BudgetKind::SolverConflicts,
+                1 => BudgetKind::SaegNodes,
+                2 => BudgetKind::SaegEdges,
+                _ => return Err(Corrupt),
+            },
+        },
+        2 => AnalysisError::MalformedIr { message: r.str()? },
+        3 => AnalysisError::WorkerPanic { message: r.str()? },
+        4 => AnalysisError::SolverAbort,
+        _ => return Err(Corrupt),
+    })
+}
+
+fn encode_timings(w: &mut W, t: &PhaseTimings) {
+    for d in [
+        t.acfg_build,
+        t.saeg_build,
+        t.encode,
+        t.solve,
+        t.classify,
+        t.baseline,
+        t.bh_enumerate,
+        t.bh_execute,
+        t.bh_witness,
+        t.cache,
+        t.other,
+    ] {
+        w.u64(d.as_nanos() as u64);
+    }
+    for v in [
+        t.sat_queries,
+        t.memo_hits,
+        t.queries_avoided,
+        t.prefilter_hits,
+        t.solver_reuses,
+        t.clauses_retained,
+        t.cache_hits,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_timings(r: &mut R) -> Result<PhaseTimings, Corrupt> {
+    let mut t = PhaseTimings::default();
+    for d in [
+        &mut t.acfg_build,
+        &mut t.saeg_build,
+        &mut t.encode,
+        &mut t.solve,
+        &mut t.classify,
+        &mut t.baseline,
+        &mut t.bh_enumerate,
+        &mut t.bh_execute,
+        &mut t.bh_witness,
+        &mut t.cache,
+        &mut t.other,
+    ] {
+        *d = Duration::from_nanos(r.u64()?);
+    }
+    for v in [
+        &mut t.sat_queries,
+        &mut t.memo_hits,
+        &mut t.queries_avoided,
+        &mut t.prefilter_hits,
+        &mut t.solver_reuses,
+        &mut t.clauses_retained,
+        &mut t.cache_hits,
+    ] {
+        *v = r.u64()?;
+    }
+    Ok(t)
+}
+
+/// Serializes a full [`FunctionReport`] — unlike the store's
+/// `encode_clou`, degraded reports are legal here: their partial
+/// findings are a lower bound the supervisor keeps (and never caches).
+fn encode_report(w: &mut W, report: &FunctionReport) {
+    w.str(&report.name);
+    w.u64(report.saeg_size as u64);
+    w.u64(report.runtime.as_nanos() as u64);
+    encode_timings(w, &report.timings);
+    match report.status.error() {
+        None => w.u8(0),
+        Some(e) => {
+            w.u8(1);
+            encode_error(w, e);
+        }
+    }
+    w.u32(report.transmitters.len() as u32);
+    for f in &report.transmitters {
+        codec::encode_finding(w, f);
+    }
+}
+
+fn decode_report(r: &mut R) -> Result<FunctionReport, Corrupt> {
+    let name = r.str()?;
+    let saeg_size = r.u64()? as usize;
+    let runtime = Duration::from_nanos(r.u64()?);
+    let timings = decode_timings(r)?;
+    let status = match r.u8()? {
+        0 => FunctionStatus::Completed,
+        1 => FunctionStatus::Degraded(decode_error(r)?),
+        _ => return Err(Corrupt),
+    };
+    let n = r.u32()? as usize;
+    let mut transmitters = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        transmitters.push(codec::decode_finding(r)?);
+    }
+    Ok(FunctionReport {
+        name,
+        transmitters,
+        saeg_size,
+        runtime,
+        timings,
+        status,
+        // The supervisor stamps the real disposition (hit/miss/bypass);
+        // the worker has no cache to consult.
+        cache: lcm_detect::CacheStatus::Bypass,
+    })
+}
+
+impl ToWorker {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W::new();
+        match self {
+            ToWorker::Module { id, source } => {
+                w.u8(1);
+                w.u64(*id);
+                w.str(source);
+            }
+            ToWorker::Task(t) => {
+                w.u8(2);
+                w.u64(t.task_id);
+                w.u64(t.module_id);
+                w.u64(t.fn_index);
+                w.str(&t.fn_name);
+                w.u8(engine_code(t.engine));
+                encode_config(&mut w, &t.config);
+            }
+        }
+        w.0
+    }
+
+    pub fn decode(body: &[u8]) -> Result<Self, Corrupt> {
+        let mut r = R::new(body);
+        let msg = match r.u8()? {
+            1 => ToWorker::Module {
+                id: r.u64()?,
+                source: r.str()?,
+            },
+            2 => ToWorker::Task(Task {
+                task_id: r.u64()?,
+                module_id: r.u64()?,
+                fn_index: r.u64()?,
+                fn_name: r.str()?,
+                engine: engine_of(r.u8()?)?,
+                config: decode_config(&mut r)?,
+            }),
+            _ => return Err(Corrupt),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+impl FromWorker {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W::new();
+        match self {
+            FromWorker::Hello { pid } => {
+                w.u8(1);
+                w.u64(*pid);
+            }
+            FromWorker::Beat => w.u8(2),
+            FromWorker::Result(res) => {
+                w.u8(3);
+                w.u64(res.task_id);
+                encode_report(&mut w, &res.report);
+            }
+        }
+        w.0
+    }
+
+    pub fn decode(body: &[u8]) -> Result<Self, Corrupt> {
+        let mut r = R::new(body);
+        let msg = match r.u8()? {
+            1 => FromWorker::Hello { pid: r.u64()? },
+            2 => FromWorker::Beat,
+            3 => FromWorker::Result(TaskResult {
+                task_id: r.u64()?,
+                report: decode_report(&mut r)?,
+            }),
+            _ => return Err(Corrupt),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_core::fault::site;
+
+    fn sample_config() -> DetectorConfig {
+        let mut c = DetectorConfig::default();
+        c.window = 99;
+        c.target_class = Some(TransmitterClass::UniversalData);
+        c.secret_filter = true;
+        c.budgets.timeout = Some(Duration::from_millis(1500));
+        c.budgets.max_conflicts = Some(4096);
+        c.faults = FaultPlan::default().arm(site::WORKER_PANIC, Some(1));
+        c
+    }
+
+    #[test]
+    fn task_round_trips() {
+        let msg = ToWorker::Task(Task {
+            task_id: 7,
+            module_id: 3,
+            fn_index: 2,
+            fn_name: "victim".into(),
+            engine: EngineKind::Stl,
+            config: sample_config(),
+        });
+        let body = msg.encode();
+        let ToWorker::Task(t) = ToWorker::decode(&body).unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!(t.task_id, 7);
+        assert_eq!(t.fn_name, "victim");
+        assert_eq!(t.engine, EngineKind::Stl);
+        assert_eq!(t.config.window, 99);
+        assert_eq!(t.config.target_class, Some(TransmitterClass::UniversalData));
+        assert_eq!(t.config.budgets.timeout, Some(Duration::from_millis(1500)));
+        assert_eq!(t.config.budgets.max_conflicts, Some(4096));
+        assert!(t.config.faults.fires(site::WORKER_PANIC, 1));
+        assert_eq!(t.config.jobs, 1, "workers always run serial");
+    }
+
+    #[test]
+    fn module_round_trips() {
+        let msg = ToWorker::Module {
+            id: 5,
+            source: "int x;".into(),
+        };
+        let ToWorker::Module { id, source } = ToWorker::decode(&msg.encode()).unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!((id, source.as_str()), (5, "int x;"));
+    }
+
+    #[test]
+    fn degraded_result_round_trips_with_partial_findings() {
+        use lcm_detect::CacheStatus;
+        // A degraded report that still carries findings (the governor
+        // tripping mid-run keeps what it found): the fleet codec must
+        // ship both, which the store's encode_clou refuses.
+        let mut report = FunctionReport::degraded(
+            "victim".into(),
+            AnalysisError::BudgetExceeded {
+                kind: BudgetKind::SaegNodes,
+            },
+        );
+        report.saeg_size = 41;
+        let msg = FromWorker::Result(TaskResult { task_id: 9, report });
+        let FromWorker::Result(res) = FromWorker::decode(&msg.encode()).unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!(res.task_id, 9);
+        assert_eq!(res.report.saeg_size, 41);
+        assert_eq!(res.report.cache, CacheStatus::Bypass);
+        assert_eq!(
+            res.report.status.error().map(|e| e.to_string()),
+            Some("budget exceeded: S-AEG nodes".into())
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_corrupt_not_panic() {
+        let body = ToWorker::Task(Task {
+            task_id: 1,
+            module_id: 1,
+            fn_index: 0,
+            fn_name: "f".into(),
+            engine: EngineKind::Pht,
+            config: sample_config(),
+        })
+        .encode();
+        for cut in 0..body.len() {
+            assert!(ToWorker::decode(&body[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_layer_round_trips_and_detects_tears() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // A torn frame (length says 5, only 2 bytes arrive) is an error,
+        // not a silent EOF.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"hello").unwrap();
+        torn.truncate(6);
+        let mut r = &torn[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

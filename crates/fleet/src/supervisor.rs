@@ -1,0 +1,841 @@
+//! The supervisor: spawns, shards, watches, restarts, and reaps.
+//!
+//! One [`Fleet`] owns a pool of worker child processes. A module run
+//! ([`Fleet::analyze_module`]) shards the module's cache-missing
+//! functions across the pool by their content fingerprint (the same
+//! [`lcm_store::fp::clou_fingerprint`] that keys the result store), so
+//! the same function lands on the same worker slot run after run.
+//! Idle workers steal from the longest remaining queue, so one straggler
+//! function never serializes the tail.
+//!
+//! Per-worker health, in escalating order of suspicion:
+//!
+//! * **crash** — the stdout reader sees EOF or a torn frame while a
+//!   task is in flight (covers SIGKILL, abort, nonzero exit);
+//! * **stuck output** — a busy worker that stops heartbeating past
+//!   [`FleetConfig::heartbeat_grace`];
+//! * **hang** — a busy worker that beats but blows
+//!   [`FleetConfig::task_deadline`] (the process-level layer above the
+//!   in-engine `ResourceGovernor` deadline).
+//!
+//! Every detection kills the incarnation and restarts the slot after
+//! the shared deterministic [`lcm_core::backoff_delay`] schedule; the
+//! orphaned task is redistributed to survivors. The circuit breakers:
+//! a task that kills its worker [`FleetConfig::max_task_attempts`]
+//! times is reported `Degraded` (partial result kept as a lower bound,
+//! never cached) instead of being retried forever, and a slot restarted
+//! past [`FleetConfig::max_worker_restarts`] *within one module run* is
+//! retired for that run. A fleet whose every slot is retired degrades
+//! the remaining work and returns — a restart storm ends the run, never
+//! the process — and the next run starts with a fresh budget.
+//!
+//! Injected `fleet.*` faults are stripped from a task's plan on
+//! redelivery (unless [`FleetConfig::refire_faults_on_retry`] keeps
+//! them armed, which the restart-storm tests use), so an armed fault
+//! fires once and the run converges to the in-process result —
+//! byte-identical rendered reports at every worker count, under every
+//! armed fault.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lcm_core::backoff_delay;
+use lcm_core::fault::{site, FaultPlan};
+use lcm_core::govern::AnalysisError;
+use lcm_detect::{CacheStatus, DetectorConfig, EngineKind, FunctionReport, ModuleReport};
+use lcm_ir::Module;
+use lcm_store::{clou_fingerprint, Store};
+
+use crate::proto::{self, FromWorker, Task, ToWorker};
+use crate::worker::WORKER_ENV;
+
+/// The fault sites the supervisor disarms on a task's redelivery.
+const FLEET_SITES: &[&str] = &[
+    site::FLEET_WORKER_CRASH,
+    site::FLEET_WORKER_HANG,
+    site::FLEET_TASK_TORN,
+];
+
+/// Supervision knobs. `new(workers)` gives production defaults; tests
+/// shrink the time knobs to keep fault campaigns fast.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker process count (min 1).
+    pub workers: usize,
+    /// Worker command line. Default: this executable with the
+    /// [`WORKER_ENV`] marker — any host binary that calls
+    /// `maybe_run_worker` first thing in `main` can be its own worker.
+    pub worker_cmd: Vec<String>,
+    /// Process-level per-task deadline, layered above the in-engine
+    /// governor's wall-clock budget: a worker that blows it is killed
+    /// even if the governor is wedged or the engine never polls.
+    pub task_deadline: Duration,
+    /// How long a *busy* worker may go without a heartbeat before it is
+    /// declared stuck and killed.
+    pub heartbeat_grace: Duration,
+    /// How many workers one task may kill before it is reported
+    /// `Degraded` instead of redelivered (the per-function circuit
+    /// breaker).
+    pub max_task_attempts: usize,
+    /// How many times one slot may be restarted within one module run
+    /// before it is retired for that run (the per-slot circuit breaker;
+    /// all slots retired ends the run). The budget resets every run.
+    pub max_worker_restarts: usize,
+    /// Keep `fleet.*` fault specs armed on redelivered tasks. Off by
+    /// default so injected process faults fire once and the run
+    /// converges; the restart-storm tests switch it on to drive the
+    /// circuit breaker.
+    pub refire_faults_on_retry: bool,
+}
+
+impl FleetConfig {
+    /// Production defaults for `workers` worker processes.
+    pub fn new(workers: usize) -> FleetConfig {
+        let exe = std::env::current_exe()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|_| "lcm-cli".into());
+        FleetConfig {
+            workers: workers.max(1),
+            worker_cmd: vec![exe],
+            task_deadline: Duration::from_secs(600),
+            heartbeat_grace: Duration::from_secs(10),
+            max_task_attempts: 2,
+            max_worker_restarts: 8,
+            refire_faults_on_retry: false,
+        }
+    }
+}
+
+/// What a reader thread learned from one worker incarnation.
+enum Event {
+    Hello,
+    Beat,
+    Result(proto::TaskResult),
+    /// Stream ended (EOF, torn frame, or undecodable garbage — all
+    /// treated as the death of that incarnation).
+    Gone,
+}
+
+/// One worker slot: at most one live child process at a time, restarted
+/// in place across incarnations.
+struct Slot {
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    /// Monotonic incarnation id; events from dead incarnations are
+    /// discarded by comparing against this.
+    incarnation: u64,
+    /// Which module id this incarnation has been shipped.
+    sent_module: Option<u64>,
+    /// The in-flight task (index into the run's task table) and its
+    /// dispatch time.
+    busy: Option<(usize, Instant)>,
+    last_beat: Instant,
+    /// Consecutive failures since the last successful result — drives
+    /// the backoff exponent.
+    consecutive_failures: usize,
+    restarts: usize,
+    retired: bool,
+    /// When the next respawn is allowed (backoff).
+    restart_at: Option<Instant>,
+}
+
+impl Slot {
+    fn fresh() -> Slot {
+        Slot {
+            child: None,
+            stdin: None,
+            incarnation: 0,
+            sent_module: None,
+            busy: None,
+            last_beat: Instant::now(),
+            consecutive_failures: 0,
+            restarts: 0,
+            retired: false,
+            restart_at: None,
+        }
+    }
+
+    fn live(&self) -> bool {
+        self.child.is_some() && !self.retired
+    }
+}
+
+struct Inner {
+    config: FleetConfig,
+    slots: Vec<Slot>,
+    tx: Sender<(usize, u64, Event)>,
+    rx: Receiver<(usize, u64, Event)>,
+    next_module: u64,
+    next_incarnation: u64,
+}
+
+/// A supervised pool of worker processes. Cheap to share (`&self`
+/// methods; a mutex serializes module runs). Dropping the fleet drains
+/// nothing — callers finish their runs first by construction — but does
+/// close every worker's stdin and reap the children.
+pub struct Fleet {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("Fleet")
+            .field("workers", &inner.config.workers)
+            .field("cmd", &inner.config.worker_cmd)
+            .finish()
+    }
+}
+
+/// One function's lifecycle through a module run.
+struct TaskState {
+    fn_index: usize,
+    name: String,
+    /// Dispatches so far (first attempt = 0 when dispatched).
+    attempts: usize,
+    /// Times a worker died (crash/hang/stuck/torn) holding this task.
+    lost: usize,
+}
+
+impl Fleet {
+    /// Builds the fleet. Workers are spawned lazily on the first run —
+    /// a fleet that is constructed but never used costs nothing.
+    pub fn new(config: FleetConfig) -> Fleet {
+        let (tx, rx) = channel();
+        let slots = (0..config.workers.max(1)).map(|_| Slot::fresh()).collect();
+        Fleet {
+            inner: Mutex::new(Inner {
+                config,
+                slots,
+                tx,
+                rx,
+                next_module: 1,
+                next_incarnation: 1,
+            }),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.inner.lock().unwrap().config.workers
+    }
+
+    /// Analyzes `module` (compiled from `source`) across the worker
+    /// pool, mirroring the in-process cache discipline exactly: hits
+    /// are served supervisor-side and never reach a worker; completed
+    /// worker results are inserted as misses; degraded results bypass
+    /// the cache (their findings are a lower bound, kept but never
+    /// cached). Functions come back in module order — rendered output
+    /// is byte-identical to `analyze_module_cached` /
+    /// `Detector::analyze_module` at every worker count.
+    pub fn analyze_module(
+        &self,
+        source: &str,
+        module: &Module,
+        engine: EngineKind,
+        config: &DetectorConfig,
+        store: Option<&Store>,
+    ) -> ModuleReport {
+        let mut inner = self.inner.lock().unwrap();
+        inner.run_module(source, module, engine, config, store)
+    }
+
+    /// Closes every worker's stdin (they exit on EOF) and reaps the
+    /// children, killing any that linger past a short grace.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.shutdown();
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.shutdown();
+        }
+    }
+}
+
+impl Inner {
+    fn run_module(
+        &mut self,
+        source: &str,
+        module: &Module,
+        engine: EngineKind,
+        config: &DetectorConfig,
+        store: Option<&Store>,
+    ) -> ModuleReport {
+        let names: Vec<String> = module.public_functions().map(|f| f.name.clone()).collect();
+        let n = names.len();
+        let mut done: Vec<Option<FunctionReport>> = (0..n).map(|_| None).collect();
+        let faults = config.faults.merged_with_env();
+
+        // Cache pre-pass: hits never reach a worker. Mirrors
+        // `cached_function_report`'s hit path (runtime = lookup time,
+        // the `cache` phase bucket, cache_hits = 1).
+        let fps: Vec<_> = names
+            .iter()
+            .map(|name| clou_fingerprint(module, name, config, engine))
+            .collect();
+        let mut pending: Vec<TaskState> = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            if let Some(store) = store {
+                let t0 = Instant::now();
+                if let Some(mut hit) = store.lookup_clou(fps[i]) {
+                    cache_traffic(CacheStatus::Hit).inc();
+                    let elapsed = t0.elapsed();
+                    hit.runtime = elapsed;
+                    hit.timings.cache = elapsed;
+                    hit.timings.cache_hits = 1;
+                    done[i] = Some(hit);
+                    continue;
+                }
+            }
+            pending.push(TaskState {
+                fn_index: i,
+                name: name.clone(),
+                attempts: 0,
+                lost: 0,
+            });
+        }
+
+        if !pending.is_empty() {
+            // The restart/retire budget is scoped to one module run: a
+            // long-lived fleet (a daemon) must not permanently retire
+            // its slots over crashes accumulated across thousands of
+            // earlier modules. Within a run the budget still bounds a
+            // restart storm.
+            for slot in &mut self.slots {
+                slot.restarts = 0;
+                slot.consecutive_failures = 0;
+                slot.retired = false;
+                slot.restart_at = None;
+            }
+            let module_id = self.next_module;
+            self.next_module += 1;
+            self.drain_stale_events();
+            self.supervise(
+                source,
+                module_id,
+                engine,
+                config,
+                &faults,
+                &mut pending,
+                &fps,
+                store,
+                &mut done,
+            );
+        }
+
+        ModuleReport {
+            functions: done
+                .into_iter()
+                .zip(names)
+                .map(|(r, name)| {
+                    r.unwrap_or_else(|| {
+                        // Unreachable by construction (every pending task
+                        // ends done or degraded), but never panic a run.
+                        FunctionReport::degraded(
+                            name,
+                            AnalysisError::WorkerPanic {
+                                message: "fleet: task lost by supervisor".into(),
+                            },
+                        )
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// The supervision loop for one module's pending (cache-missing)
+    /// functions.
+    #[allow(clippy::too_many_arguments)]
+    fn supervise(
+        &mut self,
+        source: &str,
+        module_id: u64,
+        engine: EngineKind,
+        config: &DetectorConfig,
+        faults: &FaultPlan,
+        pending: &mut [TaskState],
+        fps: &[lcm_store::Fingerprint],
+        store: Option<&Store>,
+        done: &mut [Option<FunctionReport>],
+    ) {
+        let workers = self.slots.len();
+        // Shard by content fingerprint: the same function lands on the
+        // same slot run after run (and across processes).
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (t, task) in pending.iter().enumerate() {
+            let slot = (fps[task.fn_index].0 % workers as u128) as usize;
+            queues[slot].push_back(t);
+        }
+        let mut remaining = pending.len();
+
+        while remaining > 0 {
+            self.respawn_due();
+            if self.slots.iter().all(|s| s.retired) {
+                // Restart storm: the whole pool burned through its
+                // restart budget. Degrade everything still pending —
+                // a deterministic lower-bound report, never a spin.
+                for q in &mut queues {
+                    while let Some(t) = q.pop_front() {
+                        let task = &pending[t];
+                        done[task.fn_index] = Some(degraded_pool_exhausted(&task.name));
+                    }
+                }
+                for i in 0..self.slots.len() {
+                    if let Some((t, _)) = self.slots[i].busy.take() {
+                        let task = &pending[t];
+                        done[task.fn_index] = Some(degraded_pool_exhausted(&task.name));
+                    }
+                }
+                // Every undone task was queued or in flight, so the run
+                // is over (the loop condition sees zero).
+                remaining = 0;
+                continue;
+            }
+
+            self.dispatch(
+                source,
+                module_id,
+                engine,
+                config,
+                faults,
+                pending,
+                &mut queues,
+            );
+
+            let timeout = self.next_wakeup();
+            match self.rx.recv_timeout(timeout) {
+                Ok((slot, incarnation, event)) => {
+                    if self.slots[slot].incarnation != incarnation {
+                        continue; // ghost of a dead incarnation
+                    }
+                    self.slots[slot].last_beat = Instant::now();
+                    match event {
+                        Event::Hello | Event::Beat => {}
+                        Event::Result(res) => {
+                            let Some((t, _)) = self.slots[slot].busy.take() else {
+                                continue; // result for nothing? ignore
+                            };
+                            if res.task_id != t as u64 {
+                                // Protocol confusion: kill and redeliver.
+                                self.slots[slot].busy = Some((t, Instant::now()));
+                                self.fail_slot(slot, pending, &mut queues, done, &mut remaining);
+                                continue;
+                            }
+                            self.slots[slot].consecutive_failures = 0;
+                            let task = &pending[t];
+                            done[task.fn_index] =
+                                Some(finish_report(res.report, fps[task.fn_index], store));
+                            remaining -= 1;
+                        }
+                        Event::Gone => {
+                            self.fail_slot(slot, pending, &mut queues, done, &mut remaining);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => unreachable!("Inner holds a Sender"),
+            }
+
+            // Health sweep: deadline-blown and stuck-output workers.
+            for i in 0..self.slots.len() {
+                let slot = &self.slots[i];
+                let Some((_, since)) = slot.busy else {
+                    continue;
+                };
+                if slot.child.is_none() {
+                    continue;
+                }
+                let deadline_blown = since.elapsed() > self.config.task_deadline;
+                let beat_stale = slot.last_beat.elapsed() > self.config.heartbeat_grace;
+                if deadline_blown || beat_stale {
+                    self.fail_slot(i, pending, &mut queues, done, &mut remaining);
+                }
+            }
+        }
+    }
+
+    /// Spawns every slot whose backoff has elapsed (or that was never
+    /// spawned). Spawn errors count as an instant failure of the new
+    /// incarnation, feeding the same backoff/retire path as a crash.
+    fn respawn_due(&mut self) {
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[i];
+            if slot.child.is_some() || slot.retired {
+                continue;
+            }
+            if let Some(at) = slot.restart_at {
+                if Instant::now() < at {
+                    continue;
+                }
+            }
+            let incarnation = self.next_incarnation;
+            self.next_incarnation += 1;
+            match spawn_worker(&self.config.worker_cmd, i, incarnation, &self.tx) {
+                Ok((child, stdin)) => {
+                    let slot = &mut self.slots[i];
+                    slot.child = Some(child);
+                    slot.stdin = Some(stdin);
+                    slot.incarnation = incarnation;
+                    slot.sent_module = None;
+                    slot.busy = None;
+                    slot.last_beat = Instant::now();
+                    slot.restart_at = None;
+                }
+                Err(_) => {
+                    let slot = &mut self.slots[i];
+                    slot.consecutive_failures += 1;
+                    slot.restarts += 1;
+                    if slot.restarts > self.config.max_worker_restarts {
+                        slot.retired = true;
+                    } else {
+                        slot.restart_at =
+                            Some(Instant::now() + backoff_delay(slot.consecutive_failures));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands tasks to every idle live worker: first from its own
+    /// fingerprint-sharded queue, then stolen from the longest queue of
+    /// a peer (straggler work-stealing).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &mut self,
+        source: &str,
+        module_id: u64,
+        engine: EngineKind,
+        config: &DetectorConfig,
+        faults: &FaultPlan,
+        pending: &mut [TaskState],
+        queues: &mut [VecDeque<usize>],
+    ) {
+        for i in 0..self.slots.len() {
+            if !self.slots[i].live() || self.slots[i].busy.is_some() {
+                continue;
+            }
+            let t = match queues[i].pop_front() {
+                Some(t) => t,
+                None => {
+                    // Steal from the back of the longest peer queue.
+                    let victim = (0..queues.len())
+                        .filter(|&j| j != i && !queues[j].is_empty())
+                        .max_by_key(|&j| queues[j].len());
+                    match victim {
+                        Some(j) => queues[j].pop_back().unwrap(),
+                        None => continue,
+                    }
+                }
+            };
+            let task = &mut pending[t];
+            let attempt = task.attempts;
+            task.attempts += 1;
+            // First delivery carries the armed plan; redeliveries strip
+            // the fleet.* sites so injected process faults fire once.
+            let plan = if attempt == 0 || self.config.refire_faults_on_retry {
+                faults.clone()
+            } else {
+                faults.without_sites(FLEET_SITES)
+            };
+            let mut cfg = config.clone();
+            cfg.faults = plan;
+            let frame = ToWorker::Task(Task {
+                task_id: t as u64,
+                module_id,
+                fn_index: task.fn_index as u64,
+                fn_name: task.name.clone(),
+                engine,
+                config: cfg,
+            });
+            let needs_module = self.slots[i].sent_module != Some(module_id);
+            let sent = {
+                let stdin = self.slots[i].stdin.as_mut().expect("live slot has stdin");
+                let module_ok = !needs_module
+                    || proto::write_frame(
+                        stdin,
+                        &ToWorker::Module {
+                            id: module_id,
+                            source: source.to_string(),
+                        }
+                        .encode(),
+                    )
+                    .is_ok();
+                module_ok && proto::write_frame(stdin, &frame.encode()).is_ok()
+            };
+            if sent {
+                self.slots[i].sent_module = Some(module_id);
+                self.slots[i].busy = Some((t, Instant::now()));
+                self.slots[i].last_beat = Instant::now();
+            } else {
+                // Dead on arrival (EPIPE): put the task back exactly as
+                // it was and let the failure path restart the slot. The
+                // attempt did not reach a worker, so it does not count.
+                task.attempts = attempt;
+                queues[i].push_front(t);
+                self.kill_incarnation(i);
+                self.bump_failure(i);
+            }
+        }
+    }
+
+    /// A worker incarnation died (or was declared dead) — redistribute
+    /// its task, count the loss, restart with backoff or retire.
+    fn fail_slot(
+        &mut self,
+        i: usize,
+        pending: &mut [TaskState],
+        queues: &mut [VecDeque<usize>],
+        done: &mut [Option<FunctionReport>],
+        remaining: &mut usize,
+    ) {
+        if let Some((t, _)) = self.slots[i].busy.take() {
+            let task = &mut pending[t];
+            task.lost += 1;
+            if task.lost >= self.config.max_task_attempts {
+                // Per-function circuit breaker: this function has now
+                // killed enough workers. Degrade deterministically.
+                done[task.fn_index] = Some(degraded_task_fatal(&task.name, task.lost));
+                *remaining -= 1;
+            } else {
+                // Redistribute to the least-loaded surviving queue (the
+                // failed slot's own queue is still valid — it restarts).
+                let target = (0..queues.len())
+                    .filter(|&j| !self.slots[j].retired)
+                    .min_by_key(|&j| queues[j].len())
+                    .unwrap_or(i);
+                queues[target].push_front(t);
+            }
+        }
+        self.kill_incarnation(i);
+        self.bump_failure(i);
+    }
+
+    fn bump_failure(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        slot.consecutive_failures += 1;
+        slot.restarts += 1;
+        if slot.restarts > self.config.max_worker_restarts {
+            slot.retired = true;
+        } else {
+            slot.restart_at = Some(Instant::now() + backoff_delay(slot.consecutive_failures));
+        }
+    }
+
+    /// Kills and reaps the slot's current child (idempotent).
+    fn kill_incarnation(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        slot.stdin = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        slot.sent_module = None;
+        slot.busy = None;
+    }
+
+    /// How long the event loop may sleep: until the nearest task
+    /// deadline, heartbeat-grace expiry, or restart due-time — capped
+    /// so supervision stays responsive.
+    fn next_wakeup(&self) -> Duration {
+        let mut wake = Duration::from_millis(100);
+        let now = Instant::now();
+        for slot in &self.slots {
+            if let Some((_, since)) = slot.busy {
+                let deadline = self
+                    .config
+                    .task_deadline
+                    .saturating_sub(now.saturating_duration_since(since));
+                let grace = self
+                    .config
+                    .heartbeat_grace
+                    .saturating_sub(now.saturating_duration_since(slot.last_beat));
+                wake = wake.min(deadline).min(grace);
+            }
+            if let Some(at) = slot.restart_at {
+                wake = wake.min(at.saturating_duration_since(now));
+            }
+        }
+        // A zero timeout would busy-spin; events still arrive during
+        // the minimum sleep.
+        wake.max(Duration::from_millis(1))
+    }
+
+    /// Throws away events left over from previous runs (dead
+    /// incarnations, late beats). Current-incarnation `Gone` events are
+    /// kept meaningful by re-checking child liveness lazily — a worker
+    /// that died between runs fails on first dispatch write instead.
+    fn drain_stale_events(&mut self) {
+        while self.rx.try_recv().is_ok() {}
+    }
+
+    fn shutdown(&mut self) {
+        // Close every stdin: workers exit on EOF.
+        for slot in &mut self.slots {
+            slot.stdin = None;
+        }
+        // Grace period for clean exits, then kill stragglers.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let mut alive = false;
+            for slot in &mut self.slots {
+                if let Some(child) = slot.child.as_mut() {
+                    match child.try_wait() {
+                        Ok(Some(_)) => {
+                            slot.child = None;
+                        }
+                        _ => alive = true,
+                    }
+                }
+            }
+            if !alive || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for slot in &mut self.slots {
+            if let Some(mut child) = slot.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Spawns one worker and its stdout-reader thread. The reader tags
+/// every event with the incarnation id so ghosts of dead incarnations
+/// are filtered out by the event loop.
+fn spawn_worker(
+    cmd: &[String],
+    slot: usize,
+    incarnation: u64,
+    tx: &Sender<(usize, u64, Event)>,
+) -> std::io::Result<(Child, ChildStdin)> {
+    let (program, args) = cmd.split_first().expect("worker_cmd non-empty");
+    let mut child = Command::new(program)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .env(WORKER_ENV, "1")
+        // Workers must see exactly the plan the supervisor ships in each
+        // task — an inherited LCM_FAULT would re-arm stripped fleet
+        // sites on every retry and turn one injected crash into a loop.
+        .env_remove(lcm_core::fault::FAULT_ENV)
+        .spawn()?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        loop {
+            match proto::read_frame(&mut reader) {
+                Ok(Some(body)) => match FromWorker::decode(&body) {
+                    Ok(FromWorker::Hello { .. }) => {
+                        let _ = tx.send((slot, incarnation, Event::Hello));
+                    }
+                    Ok(FromWorker::Beat) => {
+                        let _ = tx.send((slot, incarnation, Event::Beat));
+                    }
+                    Ok(FromWorker::Result(res)) => {
+                        let _ = tx.send((slot, incarnation, Event::Result(res)));
+                    }
+                    Err(_) => {
+                        let _ = tx.send((slot, incarnation, Event::Gone));
+                        return;
+                    }
+                },
+                Ok(None) | Err(_) => {
+                    let _ = tx.send((slot, incarnation, Event::Gone));
+                    return;
+                }
+            }
+        }
+    });
+    Ok((child, stdin))
+}
+
+/// Applies the in-process cache discipline to a worker's report:
+/// completed results are inserted and labeled `Miss`; degraded results
+/// bypass the cache. Mirrors `cached_function_report`'s miss path.
+fn finish_report(
+    mut report: FunctionReport,
+    fp: lcm_store::Fingerprint,
+    store: Option<&Store>,
+) -> FunctionReport {
+    match store {
+        Some(store) if report.status.is_completed() => {
+            report.cache = CacheStatus::Miss;
+            store.insert_clou(fp, &report);
+            cache_traffic(CacheStatus::Miss).inc();
+        }
+        Some(_) => {
+            report.cache = CacheStatus::Bypass;
+            // The in-process path skips the bypass counter for worker
+            // panics (the panic unwinds past the increment); mirror it.
+            if !matches!(
+                report.status.error(),
+                Some(AnalysisError::WorkerPanic { .. })
+            ) {
+                cache_traffic(CacheStatus::Bypass).inc();
+            }
+        }
+        None => report.cache = CacheStatus::Bypass,
+    }
+    report
+}
+
+/// Deterministic degradation for a function that kept killing its
+/// workers (the per-function circuit breaker).
+fn degraded_task_fatal(name: &str, lost: usize) -> FunctionReport {
+    FunctionReport::degraded(
+        name.to_string(),
+        AnalysisError::WorkerPanic {
+            message: format!("fleet: worker process lost {lost} time(s) analyzing `{name}`"),
+        },
+    )
+}
+
+/// Deterministic degradation when the whole pool retired mid-run.
+fn degraded_pool_exhausted(name: &str) -> FunctionReport {
+    FunctionReport::degraded(
+        name.to_string(),
+        AnalysisError::WorkerPanic {
+            message: format!("fleet: worker pool exhausted analyzing `{name}`"),
+        },
+    )
+}
+
+/// The process-wide cache-traffic counters, same names as the store's
+/// own (`lcm_cache_{hits,misses,bypass}_total`) — fleet-mode runs and
+/// in-process runs report cache traffic through one set of metrics.
+fn cache_traffic(status: CacheStatus) -> &'static lcm_obs::metrics::Counter {
+    use lcm_obs::metrics::{global, names, Counter};
+    use std::sync::OnceLock;
+    static HANDLES: OnceLock<[Counter; 3]> = OnceLock::new();
+    let [hits, misses, bypass] = HANDLES.get_or_init(|| {
+        let g = global();
+        [
+            g.counter(names::CACHE_HITS, "Function results served from the store"),
+            g.counter(
+                names::CACHE_MISSES,
+                "Function results analyzed and inserted into the store",
+            ),
+            g.counter(
+                names::CACHE_BYPASS,
+                "Function results that skipped the store (degraded/uncacheable)",
+            ),
+        ]
+    });
+    match status {
+        CacheStatus::Hit => hits,
+        CacheStatus::Miss => misses,
+        CacheStatus::Bypass => bypass,
+    }
+}

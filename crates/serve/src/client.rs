@@ -29,19 +29,11 @@ use lcm_detect::EngineKind;
 use crate::conn::Stream;
 use crate::wire;
 
-/// Base delay of the retry backoff schedule.
-const BACKOFF_BASE: Duration = Duration::from_millis(5);
-/// Ceiling of the retry backoff schedule.
-const BACKOFF_CAP: Duration = Duration::from_millis(500);
-
-/// The deterministic, jitter-free retry schedule: the delay before
-/// retry `attempt` (1-based) is `5 ms · 2^(attempt-1)`, capped at
-/// 500 ms — 5, 10, 20, 40, … Deterministic on purpose: a fault-matrix
-/// run must reproduce the same timing decisions every time.
-pub fn backoff_delay(attempt: usize) -> Duration {
-    let exp = attempt.saturating_sub(1).min(16) as u32;
-    BACKOFF_BASE.saturating_mul(1u32 << exp).min(BACKOFF_CAP)
-}
+// The deterministic, jitter-free retry schedule lives in `lcm-core` so
+// the worker-fleet supervisor (which `lcm-serve` depends on) shares the
+// identical timings; re-exported here because this is where callers
+// historically found it.
+pub use lcm_core::backoff::backoff_delay;
 
 /// Where the daemon listens.
 #[derive(Debug, Clone)]
@@ -104,6 +96,7 @@ pub struct Client {
     addr: ServerAddr,
     retries: usize,
     timeout: Duration,
+    retry_busy: usize,
 }
 
 impl Client {
@@ -114,6 +107,7 @@ impl Client {
             addr: ServerAddr::Unix(socket.into()),
             retries: 1,
             timeout: Duration::from_secs(60),
+            retry_busy: 0,
         }
     }
 
@@ -123,6 +117,7 @@ impl Client {
             addr: ServerAddr::Tcp(addr.into()),
             retries: 1,
             timeout: Duration::from_secs(60),
+            retry_busy: 0,
         }
     }
 
@@ -132,6 +127,18 @@ impl Client {
     #[must_use]
     pub fn retries(mut self, retries: usize) -> Client {
         self.retries = retries;
+        self
+    }
+
+    /// Treats the daemon's shed-load `busy` reply as retryable: up to
+    /// `retries` *extra* attempts, each preceded by the same
+    /// deterministic [`backoff_delay`] schedule the drop path uses. Off
+    /// by default (`0`): a `busy` surfaces as [`ClientError::Server`] on
+    /// first contact, because silently waiting out an overloaded daemon
+    /// is a policy the caller must opt into.
+    #[must_use]
+    pub fn retry_busy(mut self, retries: usize) -> Client {
+        self.retry_busy = retries;
         self
     }
 
@@ -202,19 +209,30 @@ impl Client {
     }
 
     /// Sends one request and decodes the reply, mapping `"ok": false`
-    /// to [`ClientError::Server`].
+    /// to [`ClientError::Server`]. With [`Client::retry_busy`] armed, a
+    /// `busy` shed-load reply is retried (bounded, backoff-spaced)
+    /// before surfacing — the daemon sheds deterministically, so a
+    /// short wait is usually enough for the queue to drain.
     pub fn request(&self, line: &str) -> Result<Json, ClientError> {
-        let reply = self.request_line(line)?;
-        let v = jsonw::parse(reply.trim()).map_err(|e| ClientError::BadReply(e.to_string()))?;
-        if v.get("ok").and_then(Json::as_bool) == Some(false) {
-            let message = v
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown error")
-                .to_string();
-            return Err(ClientError::Server(message));
+        let mut busy_attempts = 0;
+        loop {
+            let reply = self.request_line(line)?;
+            let v = jsonw::parse(reply.trim()).map_err(|e| ClientError::BadReply(e.to_string()))?;
+            if v.get("ok").and_then(Json::as_bool) == Some(false) {
+                let message = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string();
+                if message.starts_with("busy") && busy_attempts < self.retry_busy {
+                    busy_attempts += 1;
+                    std::thread::sleep(backoff_delay(busy_attempts));
+                    continue;
+                }
+                return Err(ClientError::Server(message));
+            }
+            return Ok(v);
         }
-        Ok(v)
     }
 
     /// `{"cmd": "status"}` — liveness, uptime, queue occupancy.

@@ -72,6 +72,20 @@ pub struct ServeConfig {
     pub detector: DetectorConfig,
     /// Armed fault sites (tests). `LCM_FAULT` is merged in as well.
     pub faults: FaultPlan,
+    /// Worker *processes* for crash-isolated analysis (`--fleet N`).
+    /// `0` (the default) analyzes in-process; `N > 0` routes every
+    /// analyze through an `lcm_fleet::Fleet` of `N` supervised
+    /// children. Rendered replies are byte-identical either way.
+    pub fleet: usize,
+    /// Worker command line override for fleet mode. `None` uses the
+    /// fleet default (re-execute the current binary). Tests must set
+    /// this — their "current binary" is the test harness.
+    pub fleet_cmd: Option<Vec<String>>,
+    /// Install SIGTERM/SIGINT handlers that trigger the same graceful
+    /// drain as a `shutdown` request. Off by default (a library user's
+    /// process-wide signal dispositions are not ours to change); the
+    /// `lcm-cli serve` binary turns it on.
+    pub handle_signals: bool,
 }
 
 impl ServeConfig {
@@ -87,6 +101,9 @@ impl ServeConfig {
             cache_dir: None,
             detector: DetectorConfig::default(),
             faults: FaultPlan::default(),
+            fleet: 0,
+            fleet_cmd: None,
+            handle_signals: false,
         }
     }
 }
@@ -250,6 +267,9 @@ struct Shared {
     config: ServeConfig,
     detector: Detector,
     store: Option<Store>,
+    /// The worker-process fleet (`--fleet N`); `None` analyzes
+    /// in-process.
+    fleet: Option<lcm_fleet::Fleet>,
     counters: Counters,
     metrics: ServeMetrics,
     work: Mutex<WorkState>,
@@ -363,10 +383,18 @@ impl Server {
             }
         };
         let detector = Detector::new(config.detector.clone());
+        let fleet = (config.fleet > 0).then(|| {
+            let mut fc = lcm_fleet::FleetConfig::new(config.fleet);
+            if let Some(cmd) = &config.fleet_cmd {
+                fc.worker_cmd = cmd.clone();
+            }
+            lcm_fleet::Fleet::new(fc)
+        });
         Ok(Server {
             shared: Arc::new(Shared {
                 detector,
                 store,
+                fleet,
                 counters: Counters::default(),
                 metrics: ServeMetrics::new(),
                 work: Mutex::new(WorkState {
@@ -398,6 +426,24 @@ impl Server {
     /// everything, and removes the socket file. Per-connection reader
     /// threads exit on their next poll tick.
     pub fn run(self) -> std::io::Result<()> {
+        if self.shared.config.handle_signals {
+            install_shutdown_signals();
+            // The handler only flips an AtomicBool (the one thing that
+            // is async-signal-safe); this watcher does the real work,
+            // reusing the exact drain + stop-condvar + self-connection
+            // wake path a `shutdown` request takes.
+            let shared = self.shared.clone();
+            std::thread::spawn(move || loop {
+                if shared.is_shutdown() {
+                    return;
+                }
+                if SIGNAL_PENDING.swap(false, Ordering::SeqCst) {
+                    drain_on_shutdown(&shared);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            });
+        }
         let workers = match self.shared.config.workers {
             0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
             n => n,
@@ -449,6 +495,10 @@ impl Server {
         self.shared.ready.notify_all();
         for t in pool {
             let _ = t.join();
+        }
+        // In-flight requests are done: reap the worker fleet.
+        if let Some(fleet) = &self.shared.fleet {
+            fleet.shutdown();
         }
         std::fs::remove_file(&self.shared.config.socket).ok();
         result
@@ -895,6 +945,33 @@ fn enqueue(shared: &Arc<Shared>, conn: &Arc<ConnShared>, id: Option<Json>, kind:
     v1
 }
 
+/// Set by the SIGTERM/SIGINT handler, consumed by the watcher thread
+/// [`Server::run`] spawns under [`ServeConfig::handle_signals`].
+static SIGNAL_PENDING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// The handler body: store one flag. Nothing else is async-signal-safe
+/// (no locks, no allocation, no I/O).
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    SIGNAL_PENDING.store(true, Ordering::SeqCst);
+}
+
+/// Registers `on_shutdown_signal` for SIGTERM and SIGINT through the
+/// raw libc `signal` symbol (std links libc; the workspace carries no
+/// libc crate).
+fn install_shutdown_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_shutdown_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
 /// Flips the shutdown flag and drains every queued job with an explicit
 /// `shutting down` reply — queued clients get an answer, never a silent
 /// close. Workers finish their executing job, then exit.
@@ -983,9 +1060,20 @@ fn analyze_rendered(shared: &Shared, item: &AnalyzeItem) -> Result<Arc<str>, Str
     let module = lcm_minic::compile(&source).map_err(|e| format!("compile error: {e}"))?;
     shared.counters.analyses.fetch_add(1, Ordering::Relaxed);
     shared.metrics.analyses_for(engine).inc();
-    let report: ModuleReport = match &shared.store {
-        Some(store) => lcm_store::analyze_module_cached(&shared.detector, &module, engine, store),
-        None => shared.detector.analyze_module(&module, engine),
+    let report: ModuleReport = match (&shared.fleet, &shared.store) {
+        // Fleet mode: crash-isolated worker processes, same cache
+        // discipline, byte-identical rendered reply.
+        (Some(fleet), store) => fleet.analyze_module(
+            &source,
+            &module,
+            engine,
+            shared.detector.config(),
+            store.as_ref(),
+        ),
+        (None, Some(store)) => {
+            lcm_store::analyze_module_cached(&shared.detector, &module, engine, store)
+        }
+        (None, None) => shared.detector.analyze_module(&module, engine),
     };
     let counts = lcm_store::CacheCounts::of(&report);
     shared

@@ -165,7 +165,10 @@ fn primitive_of(code: u8) -> Result<SpeculationPrimitive, Corrupt> {
     })
 }
 
-fn encode_finding(w: &mut W, f: &Finding) {
+/// Serializes one [`Finding`] into `w`. Public because the fleet wire
+/// protocol (`lcm-fleet`) ships findings across the worker-process
+/// boundary with the identical encoding the store uses on disk.
+pub fn encode_finding(w: &mut W, f: &Finding) {
     w.str(&f.function);
     w.u64(f.transmitter.0 as u64);
     w.u32(f.transmitter_inst.0);
@@ -192,7 +195,8 @@ fn encode_finding(w: &mut W, f: &Finding) {
     }
 }
 
-fn decode_finding(r: &mut R) -> Result<Finding, Corrupt> {
+/// Deserializes one [`Finding`] (inverse of [`encode_finding`]).
+pub fn decode_finding(r: &mut R) -> Result<Finding, Corrupt> {
     let function = r.str()?;
     let transmitter = EventId(r.u64()? as usize);
     let transmitter_inst = InstId(r.u32()?);

@@ -28,7 +28,8 @@ pub mod fp;
 pub mod log;
 
 use std::collections::HashMap;
-use std::fs::File;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -195,6 +196,55 @@ impl Store {
         }
     }
 
+    /// Rewrites the log so it holds exactly the live entries — shadowed
+    /// duplicates and recovered-over garbage dropped — in deterministic
+    /// `(kind, fingerprint)` order. Returns the record count of the
+    /// compacted log.
+    ///
+    /// Crash discipline: every byte goes to a sibling temp file first
+    /// and the old log is only replaced by one atomic `rename`, so a
+    /// crash at any point (the `store.compact_crash` fault site
+    /// simulates one after `index` records) leaves either the old log
+    /// fully intact or the new one fully written — never a torn store.
+    /// A leftover temp file is inert debris; the next compact
+    /// overwrites it.
+    pub fn compact(&self) -> std::io::Result<u64> {
+        let mut inner = self.inner.lock().unwrap();
+        let tmp_path = compact_tmp_path(&inner.path);
+        let mut entries: Vec<((u8, Fingerprint), Vec<u8>)> =
+            inner.map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|&((kind, fp), _)| (kind, fp.0));
+        {
+            let tmp = File::create(&tmp_path)?;
+            let mut w = std::io::BufWriter::new(tmp);
+            w.write_all(log::header_line().as_bytes())?;
+            for (i, ((kind_code, fp), payload)) in entries.iter().enumerate() {
+                if inner.faults.fires(site::STORE_COMPACT_CRASH, i) {
+                    // Simulated crash: flush the partial temp file (the
+                    // debris a real crash leaves) and bail before the
+                    // rename. The live log is untouched.
+                    w.flush()?;
+                    return Err(std::io::Error::other(format!(
+                        "injected fault: store.compact_crash after {i} records"
+                    )));
+                }
+                let kind = kind_of_code(*kind_code);
+                w.write_all(&log::encode_record(kind, *fp, payload))?;
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &inner.path)?;
+        // Swap the append handle onto the compacted file.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&inner.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.file = file;
+        Ok(entries.len() as u64)
+    }
+
     fn insert(&self, kind: RecordKind, fp: Fingerprint, payload: Vec<u8>) {
         let mut inner = self.inner.lock().unwrap();
         let mut encoded = log::encode_record(kind, fp, &payload);
@@ -225,6 +275,24 @@ fn kind_code(kind: RecordKind) -> u8 {
         RecordKind::Clou => 1,
         RecordKind::Bh => 2,
     }
+}
+
+fn kind_of_code(code: u8) -> RecordKind {
+    match code {
+        1 => RecordKind::Clou,
+        2 => RecordKind::Bh,
+        _ => unreachable!("kind codes come from kind_code"),
+    }
+}
+
+/// The sibling temp file `compact` writes before the atomic rename.
+fn compact_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "store".into());
+    name.push(".compact-tmp");
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -293,6 +361,57 @@ mod tests {
         let store = Store::open(&path).unwrap();
         assert!(store.stats().recovered_drop >= 1);
         assert!(store.lookup_clou(fp0).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_keeps_only_live_records() {
+        let path = temp_store("compact");
+        {
+            let store = Store::open(&path).unwrap();
+            // Shadow fp 1 twice: three appends, two live entries.
+            store.insert_clou(Fingerprint(1), &sample_report("old"));
+            store.insert_clou(Fingerprint(1), &sample_report("new"));
+            store.insert_clou(Fingerprint(2), &sample_report("other"));
+            assert_eq!(store.compact().unwrap(), 2);
+            // The compacted store keeps serving this session.
+            assert_eq!(store.lookup_clou(Fingerprint(1)).unwrap().name, "new");
+            store.insert_clou(Fingerprint(3), &sample_report("appended"));
+        }
+        // Reopen: exactly the live records (+ the post-compact append),
+        // the shadowed duplicate gone.
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.stats().loaded, 3);
+        assert_eq!(store.stats().recovered_drop, 0);
+        assert_eq!(store.lookup_clou(Fingerprint(1)).unwrap().name, "new");
+        assert_eq!(store.lookup_clou(Fingerprint(3)).unwrap().name, "appended");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_crash_leaves_old_log_fully_intact() {
+        let path = temp_store("compact-crash");
+        {
+            let faults = FaultPlan::default().arm(site::STORE_COMPACT_CRASH, Some(1));
+            let store = Store::open_with_faults(&path, faults).unwrap();
+            store.insert_clou(Fingerprint(1), &sample_report("a"));
+            store.insert_clou(Fingerprint(2), &sample_report("b"));
+            let err = store.compact().unwrap_err();
+            assert!(err.to_string().contains("store.compact_crash"));
+            // The crash left partial-temp debris but never touched the
+            // live log.
+            assert!(compact_tmp_path(&path).exists());
+        }
+        // Reopen the old log: every record still there, nothing torn.
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.stats().loaded, 2);
+        assert!(!store.stats().reset);
+        assert_eq!(store.stats().recovered_drop, 0);
+        assert!(store.lookup_clou(Fingerprint(1)).is_some());
+        assert!(store.lookup_clou(Fingerprint(2)).is_some());
+        // A retry without the fault completes and replaces the debris.
+        assert_eq!(store.compact().unwrap(), 2);
+        assert!(!compact_tmp_path(&path).exists());
         std::fs::remove_file(&path).ok();
     }
 

@@ -24,15 +24,23 @@ use lcm::detect::EngineKind;
 use lcm::serve::{Client, ServeConfig, Server};
 
 fn main() -> ExitCode {
+    // When re-executed by a fleet supervisor (LCM_FLEET_WORKER=1) this
+    // process is an analysis worker, not a CLI: divert before parsing.
+    lcm::fleet::maybe_run_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("store") => store(&args[1..]),
+        // Hidden: the fleet worker entry point (`lcm-cli worker`), used
+        // as an explicit `worker_cmd` target. Speaks the length-delimited
+        // task protocol on stdin/stdout and never returns.
+        Some("worker") => lcm::fleet::worker_main(),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        _ => usage_error("expected a subcommand: serve | client"),
+        _ => usage_error("expected a subcommand: serve | client | store"),
     }
 }
 
@@ -40,19 +48,25 @@ const USAGE: &str = "\
 lcm-cli — analysis daemon and client
 
   lcm-cli serve  --socket PATH [--tcp ADDR] [--workers N] [--queue N]
-                 [--cache-dir DIR] [--jobs N] [--trace-out PATH]
+                 [--cache-dir DIR] [--jobs N] [--fleet N] [--trace-out PATH]
   lcm-cli client (--socket PATH | --tcp ADDR) status | stats | metrics | shutdown
   lcm-cli client (--socket PATH | --tcp ADDR) analyze [--engine pht|stl] [--retries N]
                  (--file PATH | --source SRC | -)
+  lcm-cli store  compact --cache-dir DIR
 
-`serve` runs until a client sends `shutdown`. `--tcp ADDR` additionally
-listens on a TCP address (`host:port`; `host:0` picks a free port) with
-the identical protocol. `--cache-dir` persists results in
-DIR/results.lcmstore so repeat submissions are cache hits.
-`--trace-out` records a Chrome trace of the daemon's lifetime, written
-on shutdown. `client metrics` prints Prometheus exposition text (the
-one reply that is not a JSON line). `client analyze -` reads mini-C
-source from stdin.
+`serve` runs until a client sends `shutdown`, SIGTERM, or SIGINT (both
+signals drain queued requests before exiting). `--tcp ADDR`
+additionally listens on a TCP address (`host:port`; `host:0` picks a
+free port) with the identical protocol. `--cache-dir` persists results
+in DIR/results.lcmstore so repeat submissions are cache hits.
+`--fleet N` runs analyses in N supervised child processes (crash
+isolation: a worker segfault degrades one function instead of killing
+the daemon). `--trace-out` records a Chrome trace of the daemon's
+lifetime, written on shutdown. `client metrics` prints Prometheus
+exposition text (the one reply that is not a JSON line).
+`client analyze -` reads mini-C source from stdin. `store compact`
+rewrites DIR/results.lcmstore keeping only the live (latest) record
+per fingerprint, via an atomic temp-file-plus-rename.
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -107,6 +121,10 @@ fn serve(args: &[String]) -> ExitCode {
         if let Some(v) = take_value(&mut args, "--cache-dir")? {
             config.cache_dir = Some(v.into());
         }
+        if let Some(v) = take_value(&mut args, "--fleet")? {
+            config.fleet = parse_num(&v, "--fleet")?;
+        }
+        config.handle_signals = true;
         if let Some(extra) = args.first() {
             return Err(format!("unknown serve argument {extra:?}"));
         }
@@ -144,6 +162,34 @@ fn serve(args: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("lcm-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn store(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    if args.first().map(String::as_str) != Some("compact") {
+        return usage_error("store needs a command: compact");
+    }
+    args.remove(0);
+    let dir = match take_value(&mut args, "--cache-dir") {
+        Ok(Some(dir)) => dir,
+        Ok(None) => return usage_error("store compact needs --cache-dir DIR"),
+        Err(e) => return usage_error(&e),
+    };
+    if let Some(extra) = args.first() {
+        return usage_error(&format!("unknown store argument {extra:?}"));
+    }
+    let path = std::path::Path::new(&dir).join("results.lcmstore");
+    let run = lcm::store::Store::open(&path).and_then(|store| store.compact());
+    match run {
+        Ok(live) => {
+            println!("compacted {}: {live} live record(s)", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lcm-cli: compacting {}: {e}", path.display());
             ExitCode::FAILURE
         }
     }

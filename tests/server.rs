@@ -231,6 +231,114 @@ fn warm_replies_replay_byte_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A daemon in `--fleet` mode answers byte-identically to a plain
+/// daemon (and thus to the in-process run): crash isolation is
+/// invisible on the wire. Workers are the sibling `lcm-cli` binary in
+/// `worker` mode, never the test harness.
+#[test]
+fn fleet_daemon_replies_match_in_process_runs() {
+    if env_faults_armed() {
+        return;
+    }
+    let mut config = ServeConfig::new(temp_socket("fleet"));
+    config.fleet = 2;
+    config.fleet_cmd = Some(vec![
+        env!("CARGO_BIN_EXE_lcm-cli").to_string(),
+        "worker".into(),
+    ]);
+    let handle = Server::spawn(config).unwrap();
+    let client = Client::new(handle.socket().clone());
+    let det = Detector::new(DetectorConfig::default());
+    for engine in [EngineKind::Pht, EngineKind::Stl, EngineKind::Psf] {
+        let reply = client.analyze_source(VICTIMS, engine).unwrap();
+        let in_process = lcm::analyze_source(VICTIMS, &det, engine).unwrap();
+        assert_eq!(
+            reply.get("functions").unwrap().render(),
+            module_report_json(&in_process).render(),
+            "{engine:?}: fleet daemon and in-process reports must render identically"
+        );
+        assert_eq!(reply.get("degraded").and_then(|v| v.as_u64()), Some(0));
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// SIGTERM triggers the same graceful drain a `shutdown` request does:
+/// the daemon answers in-flight work, stops accepting, and `run`
+/// returns cleanly. The handler is opt-in (`handle_signals`), flips one
+/// flag, and the watcher reuses the drain/stop/self-connection path.
+#[test]
+fn sigterm_drains_the_daemon_gracefully() {
+    if env_faults_armed() {
+        return;
+    }
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn getpid() -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    let mut config = ServeConfig::new(temp_socket("sigterm"));
+    config.handle_signals = true;
+    let handle = Server::spawn(config).unwrap();
+    let client = Client::new(handle.socket().clone());
+    // The daemon is alive and answering before the signal.
+    let reply = client.analyze_source(VICTIMS, EngineKind::Pht).unwrap();
+    assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+    unsafe { kill(getpid(), SIGTERM) };
+    // The watcher polls every 100ms; the drain then stops the run loop.
+    handle.join().unwrap();
+}
+
+/// The shed-load satellite: a `busy` reply is retryable when (and only
+/// when) the caller opts in with `retry_busy`. A hand-rolled one-shot
+/// server replies `busy` to the first connection and a real answer to
+/// the second — the opted-in client's bounded backoff absorbs the
+/// first, the default client surfaces it.
+#[test]
+fn busy_replies_are_retried_only_by_opted_in_clients() {
+    use std::io::{BufRead, BufReader, Write};
+    let path = temp_socket("busy");
+    std::fs::remove_file(&path).ok();
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let server = std::thread::spawn(move || {
+        for (i, conn) in listener.incoming().take(3).enumerate() {
+            let conn = conn.unwrap();
+            let mut line = String::new();
+            BufReader::new(&conn).read_line(&mut line).unwrap();
+            let reply = if i < 2 {
+                "{\"ok\":false,\"error\":\"busy: queue full\"}\n"
+            } else {
+                "{\"ok\":true,\"drained\":true}\n"
+            };
+            (&conn).write_all(reply.as_bytes()).unwrap();
+            conn.shutdown(std::net::Shutdown::Both).ok();
+        }
+    });
+
+    // Two busy replies, two extra attempts allowed: the third attempt
+    // lands the real answer.
+    let client = Client::new(path.clone()).retry_busy(2);
+    let reply = client.status().unwrap();
+    assert_eq!(reply.get("drained").and_then(|v| v.as_bool()), Some(true));
+    server.join().unwrap();
+
+    // Off by default: the same first contact surfaces the busy error.
+    std::fs::remove_file(&path).ok();
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let server = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        let mut line = String::new();
+        BufReader::new(&conn).read_line(&mut line).unwrap();
+        (&conn)
+            .write_all(b"{\"ok\":false,\"error\":\"busy: queue full\"}\n")
+            .unwrap();
+    });
+    let err = Client::new(path.clone()).status().unwrap_err();
+    assert!(err.to_string().contains("busy"), "got {err}");
+    server.join().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
 /// CI fault-matrix entry point for `serve.partial_write`: with the
 /// site armed through `LCM_FAULT` (an `@index` spec), the indexed
 /// reply is torn mid-line and the connection shut down — the v1
