@@ -1,0 +1,136 @@
+//! Regression programs folded in from the differential fuzz harness
+//! (`lcm-fuzz`, DESIGN.md §6i).
+//!
+//! Each entry is a shrunk representative of one gadget family from the
+//! fuzz generator's grammar, with its ground truth confirmed by the
+//! speculative reference oracle (two-run non-interference) *and* the
+//! matching engine. They are deliberately **not** part of
+//! [`crate::all_litmus`]: the 56-row paper suite stays byte-identical;
+//! these are a separate suite consumed by the fuzz regression tests and
+//! CI's corpus-regression step.
+
+use crate::{Bench, Intended};
+
+/// The shared global environment of the fuzz generator (`lcm_fuzz::gen`).
+const GLOBALS: &str =
+    "int pub_a[16]; int pub_b[512]; int sec_key[8]; int scratch[8]; int guard; int temp;";
+
+fn bench(name: &'static str, body: &str, intended: Intended) -> Bench {
+    Bench {
+        name,
+        source: format!("{GLOBALS}\nvoid victim(int x, int y) {{\n{body}}}\n"),
+        intended,
+    }
+}
+
+/// Fuzz-derived regression suite.
+pub fn fuzz_regressions() -> Vec<Bench> {
+    vec![
+        // Bounds-checked double load: the guard global is zero, so the
+        // access is architecturally dead; misprediction leaks pub_a[x]
+        // (which reaches sec_key for the right x) through the transmit
+        // address.
+        bench(
+            "fz-pht",
+            "    if (x < guard) {\n        temp &= pub_b[(pub_a[x]) * 64];\n    }\n",
+            Intended::PhtUdt,
+        ),
+        // Same shape, fence at the head of the guarded side: the window
+        // is squashed before the loads.
+        bench(
+            "fz-pht-fence",
+            "    if (x < guard) {\n        lfence();\n        temp &= pub_b[(pub_a[x]) * 64];\n    }\n",
+            Intended::Secure,
+        ),
+        // Same shape with a masked inner index: semantically secure; the
+        // engines still flag it (documented masking false positive,
+        // matching stl06/stl12 in the paper suite).
+        bench(
+            "fz-pht-mask",
+            "    if (x < guard) {\n        temp &= pub_b[(pub_a[(x) & 15]) * 64];\n    }\n",
+            Intended::Secure,
+        ),
+        // Overwrite a secret slot, then reload it: a bypassing load reads
+        // the stale secret (Spectre v4).
+        bench(
+            "fz-stl",
+            "    sec_key[(x) & 7] = 0;\n    temp &= pub_b[(sec_key[(x) & 7]) * 64];\n",
+            Intended::StlLeak,
+        ),
+        // Fence between store and reload drains the store buffer first.
+        bench(
+            "fz-stl-fence",
+            "    sec_key[(x) & 7] = 0;\n    lfence();\n    temp &= pub_b[(sec_key[(x) & 7]) * 64];\n",
+            Intended::Secure,
+        ),
+        // The public twin of fz-stl: the stale value is public zero, so
+        // the oracle proves it secure; engines over-approximate.
+        bench(
+            "fz-stl-pub",
+            "    scratch[(x) & 7] = y;\n    temp &= pub_b[(scratch[(x) & 7]) * 64];\n",
+            Intended::Secure,
+        ),
+        // Park a secret in scratch[0], transmit scratch[1]: predictive
+        // store forwarding across the address mismatch leaks the secret.
+        bench(
+            "fz-psf",
+            "    scratch[0] = sec_key[(x) & 7];\n    scratch[1] = 0;\n    temp &= pub_b[(scratch[1]) * 64];\n",
+            Intended::PsfLeak,
+        ),
+        // Fenced variant: no store is forwardable across the fence.
+        bench(
+            "fz-psf-fence",
+            "    scratch[0] = sec_key[(x) & 7];\n    scratch[1] = 0;\n    lfence();\n    temp &= pub_b[(scratch[1]) * 64];\n",
+            Intended::Secure,
+        ),
+        // Architectural secret-indexed lookup: a classic non-transient
+        // leak, outside the Spectre engines' threat model.
+        bench(
+            "fz-arch",
+            "    temp &= pub_b[(sec_key[(x) & 7]) * 64];\n",
+            Intended::NonTransientLeak,
+        ),
+        // Public-only control: stores and loads over public state.
+        bench(
+            "fz-secure",
+            "    scratch[(y) & 7] = x;\n    temp &= pub_b[(pub_a[(y) & 15]) * 8];\n",
+            Intended::Secure,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressions_compile_and_have_unique_names() {
+        let benches = fuzz_regressions();
+        let mut names: Vec<&str> = benches.iter().map(|b| b.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        for b in &benches {
+            let m = b.module();
+            assert!(m.function("victim").is_some(), "{}", b.name);
+            let (_, sec) = m.global("sec_key").expect("secret global");
+            assert!(sec.secret, "{}: sec_key must be secret", b.name);
+        }
+    }
+
+    #[test]
+    fn regressions_stay_out_of_the_paper_suites() {
+        let litmus: Vec<&str> = crate::all_litmus()
+            .iter()
+            .flat_map(|(_, bs)| bs.iter().map(|b| b.name).collect::<Vec<_>>())
+            .collect();
+        for b in fuzz_regressions() {
+            assert!(
+                !litmus.contains(&b.name),
+                "{} leaked into the pinned 56-row suite",
+                b.name
+            );
+        }
+    }
+}

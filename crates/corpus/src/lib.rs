@@ -15,10 +15,12 @@
 //! harness can compute detection agreement, not just raw counts.
 
 pub mod crypto;
+pub mod fuzzed;
 pub mod synth;
 
 mod suites;
 
+pub use fuzzed::fuzz_regressions;
 pub use suites::{litmus_fwd, litmus_new, litmus_pht, litmus_stl};
 
 use lcm_ir::Module;
@@ -32,6 +34,10 @@ pub enum Intended {
     PhtDt,
     /// Leakage via store-to-load forwarding.
     StlLeak,
+    /// Leakage via predictive store forwarding across an address
+    /// mismatch (the PSF engine's primitive; used by the fuzz-derived
+    /// regression suite).
+    PsfLeak,
     /// Intended to be secure.
     Secure,
     /// No speculative leakage, but classic *non-transient* leakage

@@ -139,6 +139,36 @@ pub fn repair(
     (current, total)
 }
 
+/// Repairs against **all three engines** to a joint fixpoint: PHT, STL
+/// and PSF findings are eliminated in turn until every engine reports the
+/// module clean. Returns the repaired module and total fences inserted.
+///
+/// Used by the fuzz harness's repair re-verification: a program repaired
+/// under one primitive may still leak under another, and the union
+/// fixpoint is what "the fenced program is leak-free" means.
+pub fn repair_all(module: &Module, detector: &crate::Detector) -> (Module, usize) {
+    let engines = [
+        crate::EngineKind::Pht,
+        crate::EngineKind::Stl,
+        crate::EngineKind::Psf,
+    ];
+    let mut current = module.clone();
+    let mut total = 0;
+    for _ in 0..8 {
+        let mut inserted = 0;
+        for engine in engines {
+            let (fixed, n) = repair(&current, detector, engine);
+            inserted += n;
+            current = fixed;
+        }
+        if inserted == 0 {
+            break;
+        }
+        total += inserted;
+    }
+    (current, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +219,20 @@ mod tests {
             "still leaking: {:?}",
             re.findings().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn repair_all_is_clean_under_every_engine() {
+        let m = lcm_minic::compile(SPECTRE_V1).unwrap();
+        let det = Detector::new(DetectorConfig::default());
+        let (fixed, fences) = repair_all(&m, &det);
+        assert!(fences >= 1);
+        for engine in [EngineKind::Pht, EngineKind::Stl, EngineKind::Psf] {
+            assert!(
+                det.analyze_module(&fixed, engine).is_clean(),
+                "{engine:?} still finds leaks after repair_all"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Deterministic, seed-keyed random program generation (DESIGN.md §6i).
+//!
+//! Programs are drawn as small statement ASTs over a fixed global
+//! environment and rendered to minic source, so every generated program
+//! goes through the same front end as the corpus suites and the engines
+//! see exactly the IR shape they were built for. The grammar is weighted
+//! toward the three speculation gadget families (bounds-checked double
+//! loads for PHT, store-then-reload for STL, cross-address forwarding for
+//! PSF) plus secure variants (fences, masked indices) and benign filler,
+//! so a sweep exercises both directions of the differential check.
+//!
+//! Determinism contract: program `i` of a batch depends only on
+//! `(seed, i)` — each index derives its own SplitMix64 stream — so a batch
+//! is byte-identical at every `--jobs` level and across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The fixed global environment every generated program lives in.
+///
+/// Sizes are powers of two so masked indexing stays in bounds; `sec_key`
+/// follows the front end's secret naming convention.
+pub const GLOBALS: &str =
+    "int pub_a[16]; int pub_b[512]; int sec_key[8]; int scratch[8]; int guard; int temp;";
+
+/// Arrays a generated statement may address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arr {
+    /// Public input array (16 words).
+    PubA,
+    /// Public transmit array (512 words).
+    PubB,
+    /// Secret array (8 words).
+    SecKey,
+    /// Public scratch array (8 words).
+    Scratch,
+}
+
+impl Arr {
+    /// minic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arr::PubA => "pub_a",
+            Arr::PubB => "pub_b",
+            Arr::SecKey => "sec_key",
+            Arr::Scratch => "scratch",
+        }
+    }
+
+    /// Declared size in words.
+    pub fn size(self) -> i64 {
+        match self {
+            Arr::PubA => 16,
+            Arr::PubB => 512,
+            Arr::SecKey => 8,
+            Arr::Scratch => 8,
+        }
+    }
+}
+
+/// Index expressions (kept first-order so rendering and shrinking stay
+/// simple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A function parameter (`x` or `y`).
+    Param(usize),
+    /// An integer literal.
+    Const(i64),
+    /// `arr[e]`.
+    Load(Arr, Box<Expr>),
+    /// `(e) & mask` — the in-bounds hardening idiom.
+    Mask(Box<Expr>, i64),
+    /// `(a) + (b)`.
+    Add(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self, out: &mut String) {
+        match self {
+            Expr::Param(0) => out.push('x'),
+            Expr::Param(_) => out.push('y'),
+            Expr::Const(c) => {
+                let _ = write!(out, "{c}");
+            }
+            Expr::Load(a, e) => {
+                let _ = write!(out, "{}[", a.name());
+                e.render(out);
+                out.push(']');
+            }
+            Expr::Mask(e, m) => {
+                out.push('(');
+                e.render(out);
+                let _ = write!(out, ") & {m}");
+            }
+            Expr::Add(a, b) => {
+                out.push('(');
+                a.render(out);
+                out.push_str(") + (");
+                b.render(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Statements of the generated language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `if (cond_lhs < guard) { body }` — the PHT bounds-check shape.
+    /// `guard` is zero-initialized, so the then-side is architecturally
+    /// dead unless an earlier statement wrote `guard`.
+    GuardedIf {
+        /// Left-hand side of the comparison.
+        lhs: Expr,
+        /// Guarded body.
+        body: Vec<Stmt>,
+    },
+    /// `temp &= pub_b[(idx) * scale];` — the transmitter idiom.
+    Transmit {
+        /// Transmitted index expression.
+        idx: Expr,
+        /// Element stride (cache-line spreading in the originals).
+        scale: i64,
+    },
+    /// `arr[idx] = val;`
+    Store {
+        /// Target array.
+        arr: Arr,
+        /// Index expression.
+        idx: Expr,
+        /// Stored value.
+        val: Expr,
+    },
+    /// `guard = val;` — opens the bounds check architecturally.
+    SetGuard(Expr),
+    /// `lfence();`
+    Fence,
+}
+
+impl Stmt {
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "    ".repeat(indent);
+        match self {
+            Stmt::GuardedIf { lhs, body } => {
+                let _ = write!(out, "{pad}if (");
+                lhs.render(out);
+                out.push_str(" < guard) {\n");
+                for s in body {
+                    s.render(out, indent + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Transmit { idx, scale } => {
+                let _ = write!(out, "{pad}temp &= pub_b[(");
+                idx.render(out);
+                let _ = writeln!(out, ") * {scale}];");
+            }
+            Stmt::Store { arr, idx, val } => {
+                let _ = write!(out, "{pad}{}[", arr.name());
+                idx.render(out);
+                out.push_str("] = ");
+                val.render(out);
+                out.push_str(";\n");
+            }
+            Stmt::SetGuard(val) => {
+                let _ = write!(out, "{pad}guard = ");
+                val.render(out);
+                out.push_str(";\n");
+            }
+            Stmt::Fence => {
+                let _ = writeln!(out, "{pad}lfence();");
+            }
+        }
+    }
+}
+
+/// A generated program: statement AST plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Sweep seed this program was derived from.
+    pub seed: u64,
+    /// Index within the sweep batch.
+    pub index: usize,
+    /// Top-level statements of `victim(int x, int y)`.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Renders the program as minic source.
+    pub fn source(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{GLOBALS}");
+        out.push_str("void victim(int x, int y) {\n");
+        for s in &self.stmts {
+            s.render(&mut out, 1);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Compiles the rendered source. The grammar only emits well-formed
+    /// minic, so failure indicates a generator bug.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the front end's error.
+    pub fn compile(&self) -> Result<lcm_ir::Module, lcm_minic::CompileError> {
+        lcm_minic::compile(&self.source())
+    }
+}
+
+/// Derives the per-program RNG stream: mixes the index into the sweep
+/// seed so neighbouring indices get unrelated streams regardless of the
+/// batch's job split.
+fn program_rng(seed: u64, index: usize) -> StdRng {
+    let mixed = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((index as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .rotate_left(17);
+    StdRng::seed_from_u64(mixed)
+}
+
+fn gen_param(rng: &mut StdRng) -> Expr {
+    Expr::Param(rng.gen_range(0..2usize))
+}
+
+/// A public index expression, optionally hardened by masking.
+fn gen_public_index(rng: &mut StdRng, arr: Arr) -> Expr {
+    let p = gen_param(rng);
+    match rng.gen_range(0..3u32) {
+        0 => Expr::Mask(Box::new(p), arr.size() - 1),
+        1 => Expr::Const(rng.gen_range(0..arr.size())),
+        _ => Expr::Mask(
+            Box::new(Expr::Add(
+                Box::new(p),
+                Box::new(Expr::Const(rng.gen_range(0..4))),
+            )),
+            arr.size() - 1,
+        ),
+    }
+}
+
+fn gen_transmit_scale(rng: &mut StdRng) -> i64 {
+    *[1, 8, 64].get(rng.gen_range(0..3usize)).unwrap_or(&64)
+}
+
+/// One statement burst from a gadget family. Families deliberately mix
+/// leaky and hardened variants of the same shape.
+fn gen_family(rng: &mut StdRng, depth: usize, out: &mut Vec<Stmt>) {
+    match rng.gen_range(0..10u32) {
+        // PHT: bounds-checked double load, unmasked index — the v1 shape.
+        0 | 1 => {
+            let mut body = Vec::new();
+            if rng.gen_bool(0.25) {
+                body.push(Stmt::Fence); // hardened variant
+            }
+            body.push(Stmt::Transmit {
+                idx: Expr::Load(Arr::PubA, Box::new(gen_param(rng))),
+                scale: gen_transmit_scale(rng),
+            });
+            out.push(Stmt::GuardedIf {
+                lhs: gen_param(rng),
+                body,
+            });
+        }
+        // PHT hardened: same shape with a masked inner index.
+        2 => {
+            let idx = Expr::Load(
+                Arr::PubA,
+                Box::new(Expr::Mask(Box::new(gen_param(rng)), Arr::PubA.size() - 1)),
+            );
+            out.push(Stmt::GuardedIf {
+                lhs: gen_param(rng),
+                body: vec![Stmt::Transmit {
+                    idx,
+                    scale: gen_transmit_scale(rng),
+                }],
+            });
+        }
+        // STL: overwrite a secret slot then reload it — the v4 shape.
+        // The bypassed load reads the stale (secret) initial value.
+        3 | 4 => {
+            let idx = Expr::Mask(Box::new(gen_param(rng)), Arr::SecKey.size() - 1);
+            out.push(Stmt::Store {
+                arr: Arr::SecKey,
+                idx: idx.clone(),
+                val: Expr::Const(0),
+            });
+            if rng.gen_bool(0.25) {
+                out.push(Stmt::Fence); // hardened variant
+            }
+            out.push(Stmt::Transmit {
+                idx: Expr::Load(Arr::SecKey, Box::new(idx)),
+                scale: gen_transmit_scale(rng),
+            });
+        }
+        // STL public twin: same shape over a public array; the stale
+        // value is public, so the oracle calls it secure while the
+        // engines may still flag it (expected overapproximation).
+        5 => {
+            let idx = Expr::Mask(Box::new(gen_param(rng)), Arr::Scratch.size() - 1);
+            out.push(Stmt::Store {
+                arr: Arr::Scratch,
+                idx: idx.clone(),
+                val: gen_param(rng),
+            });
+            out.push(Stmt::Transmit {
+                idx: Expr::Load(Arr::Scratch, Box::new(idx)),
+                scale: gen_transmit_scale(rng),
+            });
+        }
+        // PSF: park a secret in scratch, then transmit a *different*
+        // scratch slot — forwarding across the address mismatch leaks.
+        6 | 7 => {
+            let secret = Expr::Load(
+                Arr::SecKey,
+                Box::new(Expr::Mask(Box::new(gen_param(rng)), Arr::SecKey.size() - 1)),
+            );
+            out.push(Stmt::Store {
+                arr: Arr::Scratch,
+                idx: Expr::Const(0),
+                val: secret,
+            });
+            out.push(Stmt::Store {
+                arr: Arr::Scratch,
+                idx: Expr::Const(1),
+                val: Expr::Const(0),
+            });
+            if rng.gen_bool(0.2) {
+                out.push(Stmt::Fence); // hardened variant
+            }
+            out.push(Stmt::Transmit {
+                idx: Expr::Load(Arr::Scratch, Box::new(Expr::Const(1))),
+                scale: gen_transmit_scale(rng),
+            });
+        }
+        // Benign filler: public stores, guard writes, safe transmits.
+        _ => match rng.gen_range(0..3u32) {
+            0 => out.push(Stmt::Store {
+                arr: Arr::Scratch,
+                idx: gen_public_index(rng, Arr::Scratch),
+                val: gen_param(rng),
+            }),
+            1 => out.push(Stmt::SetGuard(Expr::Mask(
+                Box::new(gen_param(rng)),
+                Arr::PubA.size() - 1,
+            ))),
+            _ => out.push(Stmt::Transmit {
+                idx: gen_public_index(rng, Arr::PubA),
+                scale: gen_transmit_scale(rng),
+            }),
+        },
+    }
+    // Occasionally nest a family inside a fresh bounds check.
+    if depth == 0 && rng.gen_bool(0.15) {
+        let mut body = Vec::new();
+        gen_family(rng, depth + 1, &mut body);
+        out.push(Stmt::GuardedIf {
+            lhs: gen_param(rng),
+            body,
+        });
+    }
+}
+
+/// Generates program `index` of the sweep keyed by `seed`.
+pub fn generate(seed: u64, index: usize) -> Program {
+    let mut rng = program_rng(seed, index);
+    let mut stmts = Vec::new();
+    let bursts = rng.gen_range(1..=3u32);
+    for _ in 0..bursts {
+        gen_family(&mut rng, 0, &mut stmts);
+    }
+    Program { seed, index, stmts }
+}
+
+/// Generates a batch of `count` programs in parallel. The result is
+/// byte-identical for every `jobs` value because each program depends
+/// only on `(seed, index)`.
+pub fn generate_batch(seed: u64, count: usize, jobs: usize) -> Vec<Program> {
+    let indices: Vec<usize> = (0..count).collect();
+    lcm_core::par::map_indexed(&indices, jobs, |_, &i| generate(seed, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(9, 17);
+        let b = generate(9, 17);
+        assert_eq!(a, b);
+        assert_eq!(a.source(), b.source());
+    }
+
+    #[test]
+    fn batches_are_job_invariant() {
+        let s1 = generate_batch(9, 32, 1);
+        let s4 = generate_batch(9, 32, 4);
+        let s8 = generate_batch(9, 32, 8);
+        assert_eq!(s1, s4);
+        assert_eq!(s1, s8);
+    }
+
+    #[test]
+    fn every_generated_program_compiles() {
+        for i in 0..128 {
+            let p = generate(7, i);
+            let m = p
+                .compile()
+                .unwrap_or_else(|e| panic!("program {i} failed to compile: {e:?}\n{}", p.source()));
+            assert!(m.function("victim").is_some());
+            let (_, sec) = m.global("sec_key").expect("secret global");
+            assert!(sec.secret, "naming convention marks sec_key secret");
+        }
+    }
+
+    #[test]
+    fn distinct_indices_differ() {
+        let distinct = (0..64)
+            .map(|i| generate(3, i).source())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(
+            distinct.len() > 32,
+            "only {} distinct programs",
+            distinct.len()
+        );
+    }
+}

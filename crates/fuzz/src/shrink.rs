@@ -1,0 +1,151 @@
+//! Greedy program minimization.
+//!
+//! Works on the generator AST, not on source text: candidate reductions
+//! are (a) deleting any single statement, at any nesting depth, and
+//! (b) splicing a guarded body into its parent (dropping the branch).
+//! A reduction is kept when the caller's predicate still holds; the loop
+//! runs to a fixpoint, so the result is 1-minimal with respect to these
+//! operations. Deterministic: candidates are tried in program order.
+
+use crate::gen::{Program, Stmt};
+
+/// A path to a statement: indices into nested statement lists.
+type Path = Vec<usize>;
+
+fn collect_paths(stmts: &[Stmt], prefix: &Path, out: &mut Vec<Path>) {
+    for (i, s) in stmts.iter().enumerate() {
+        let mut p = prefix.clone();
+        p.push(i);
+        if let Stmt::GuardedIf { body, .. } = s {
+            collect_paths(body, &p, out);
+        }
+        out.push(p);
+    }
+}
+
+fn remove_at(stmts: &mut Vec<Stmt>, path: &[usize]) {
+    match path {
+        [] => {}
+        [i] => {
+            if *i < stmts.len() {
+                stmts.remove(*i);
+            }
+        }
+        [i, rest @ ..] => {
+            if let Some(Stmt::GuardedIf { body, .. }) = stmts.get_mut(*i) {
+                remove_at(body, rest);
+            }
+        }
+    }
+}
+
+fn unwrap_if_at(stmts: &mut Vec<Stmt>, path: &[usize]) -> bool {
+    match path {
+        [] => false,
+        [i] => match stmts.get(*i) {
+            Some(Stmt::GuardedIf { body, .. }) => {
+                let body = body.clone();
+                stmts.splice(*i..=*i, body);
+                true
+            }
+            _ => false,
+        },
+        [i, rest @ ..] => match stmts.get_mut(*i) {
+            Some(Stmt::GuardedIf { body, .. }) => unwrap_if_at(body, rest),
+            _ => false,
+        },
+    }
+}
+
+/// Shrinks `program` while `still_failing` holds, to a fixpoint.
+pub fn shrink(program: &Program, still_failing: impl Fn(&Program) -> bool) -> Program {
+    let mut cur = program.clone();
+    loop {
+        let mut paths = Vec::new();
+        collect_paths(&cur.stmts, &Vec::new(), &mut paths);
+        let mut progressed = false;
+        for path in &paths {
+            let mut cand = cur.clone();
+            remove_at(&mut cand.stmts, path);
+            if cand != cur && still_failing(&cand) {
+                cur = cand;
+                progressed = true;
+                break;
+            }
+            let mut cand = cur.clone();
+            if unwrap_if_at(&mut cand.stmts, path) && still_failing(&cand) {
+                cur = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Arr, Expr};
+
+    fn prog(stmts: Vec<Stmt>) -> Program {
+        Program {
+            seed: 0,
+            index: 0,
+            stmts,
+        }
+    }
+
+    #[test]
+    fn removes_irrelevant_statements() {
+        let p = prog(vec![
+            Stmt::Fence,
+            Stmt::Transmit {
+                idx: Expr::Const(1),
+                scale: 8,
+            },
+            Stmt::SetGuard(Expr::Const(3)),
+        ]);
+        // Failure predicate: "contains a transmit".
+        let shrunk = shrink(&p, |q| {
+            q.stmts.iter().any(|s| matches!(s, Stmt::Transmit { .. }))
+        });
+        assert_eq!(shrunk.stmts.len(), 1);
+        assert!(matches!(shrunk.stmts[0], Stmt::Transmit { .. }));
+    }
+
+    #[test]
+    fn unwraps_guards_when_possible() {
+        let p = prog(vec![Stmt::GuardedIf {
+            lhs: Expr::Param(0),
+            body: vec![Stmt::Store {
+                arr: Arr::Scratch,
+                idx: Expr::Const(0),
+                val: Expr::Const(1),
+            }],
+        }]);
+        let shrunk = shrink(&p, |q| {
+            fn has_store(s: &[Stmt]) -> bool {
+                s.iter().any(|s| match s {
+                    Stmt::Store { .. } => true,
+                    Stmt::GuardedIf { body, .. } => has_store(body),
+                    _ => false,
+                })
+            }
+            has_store(&q.stmts)
+        });
+        assert_eq!(shrunk.stmts.len(), 1);
+        assert!(matches!(shrunk.stmts[0], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let p = crate::gen::generate(11, 5);
+        let pred = |q: &Program| !q.stmts.is_empty();
+        let a = shrink(&p, pred);
+        let b = shrink(&p, pred);
+        assert_eq!(a, b);
+    }
+}

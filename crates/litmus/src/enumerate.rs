@@ -143,24 +143,24 @@ impl Litmus {
         b.build()
     }
 
-    /// Enumerates every structurally well-formed candidate execution:
-    /// all `rf` choices × all per-location `co` total orders.
-    pub fn candidate_executions(&self) -> Vec<Execution> {
-        // Collect ops with global indices.
+    /// The per-dimension choice space behind candidate enumeration: one
+    /// dimension per read (`rf` source: ⊤ or a same-location write) and
+    /// one per location (a total `co` order of its writes).
+    fn choice_space(&self) -> ChoiceSpace {
         let mut flat: Vec<&Op> = Vec::new();
         for t in &self.threads {
             flat.extend(t.iter());
         }
-        let reads: Vec<usize> = flat
+        let read_ops: Vec<usize> = flat
             .iter()
             .enumerate()
             .filter(|(_, o)| matches!(o, Op::R(_)))
             .map(|(i, _)| i)
             .collect();
-        let mut locs: Vec<&str> = flat
+        let mut locs: Vec<String> = flat
             .iter()
             .filter_map(|o| match o {
-                Op::R(l) | Op::W(l) => Some(l.as_str()),
+                Op::R(l) | Op::W(l) => Some(l.clone()),
                 Op::F => None,
             })
             .collect();
@@ -173,9 +173,7 @@ impl Litmus {
                 .map(|(i, _)| i)
                 .collect()
         };
-
-        // rf choices per read.
-        let rf_candidates: Vec<Vec<Option<usize>>> = reads
+        let rf = read_ops
             .iter()
             .map(|&r| {
                 let loc = match flat[r] {
@@ -187,30 +185,411 @@ impl Litmus {
                 c
             })
             .collect();
-        // co orders per location: all permutations of its writes.
-        let co_candidates: Vec<Vec<Vec<usize>>> =
-            locs.iter().map(|l| permutations(&writes_to(l))).collect();
+        let co = locs.iter().map(|l| permutations(&writes_to(l))).collect();
+        let mut read_ord = vec![usize::MAX; flat.len()];
+        for (ord, &op) in read_ops.iter().enumerate() {
+            read_ord[op] = ord;
+        }
+        ChoiceSpace {
+            rf,
+            co,
+            locs,
+            read_ord,
+        }
+    }
 
+    /// The program's automorphism group: pairs of a location renaming and
+    /// a thread renaming that map the program to itself. Capped — if the
+    /// naive `threads! × locs!` search space exceeds [`SYMMETRY_CAP`],
+    /// only the identity is returned (no reduction, still exact).
+    fn automorphisms(&self, space: &ChoiceSpace) -> Vec<Automorphism> {
+        let nthreads = self.threads.len();
+        let nlocs = space.locs.len();
+        let cost = factorial(nthreads).saturating_mul(factorial(nlocs));
+        let nops = self.len();
+        let identity = Automorphism {
+            opmap: (0..nops).collect(),
+            locmap: (0..nlocs).collect(),
+        };
+        if cost > SYMMETRY_CAP {
+            return vec![identity];
+        }
+        // Global op index of (thread, position).
+        let mut offsets = Vec::with_capacity(nthreads);
+        let mut acc = 0usize;
+        for t in &self.threads {
+            offsets.push(acc);
+            acc += t.len();
+        }
+        let loc_index = |l: &str| space.locs.iter().position(|m| m == l).unwrap();
+        let thread_perms = permutations(&(0..nthreads).collect::<Vec<_>>());
+        let loc_perms = permutations(&(0..nlocs).collect::<Vec<_>>());
         let mut out = Vec::new();
-        for rf in product(&rf_candidates) {
-            for co in product(&co_candidates) {
-                let x = self.build_with(&rf, &co);
-                if x.well_formed().is_ok() {
-                    out.push(x);
+        for sigma in &thread_perms {
+            if self
+                .threads
+                .iter()
+                .enumerate()
+                .any(|(t, ops)| ops.len() != self.threads[sigma[t]].len())
+            {
+                continue;
+            }
+            'pi: for pi in &loc_perms {
+                for (t, ops) in self.threads.iter().enumerate() {
+                    for (p, op) in ops.iter().enumerate() {
+                        let image = &self.threads[sigma[t]][p];
+                        let matches = match (op, image) {
+                            (Op::F, Op::F) => true,
+                            (Op::R(l), Op::R(m)) | (Op::W(l), Op::W(m)) => {
+                                space.locs[pi[loc_index(l)]] == *m
+                            }
+                            _ => false,
+                        };
+                        if !matches {
+                            continue 'pi;
+                        }
+                    }
                 }
+                let mut opmap = vec![0usize; nops];
+                for (t, ops) in self.threads.iter().enumerate() {
+                    for p in 0..ops.len() {
+                        opmap[offsets[t] + p] = offsets[sigma[t]] + p;
+                    }
+                }
+                out.push(Automorphism {
+                    opmap,
+                    locmap: pi.clone(),
+                });
             }
         }
+        if out.is_empty() {
+            out.push(identity);
+        }
         out
+    }
+
+    /// Streams every structurally well-formed candidate execution to the
+    /// visitor **without materializing the choice space** (the seed
+    /// implementation built the full cartesian product of rf choices ×
+    /// co orders up front, which is what capped tractable program size).
+    /// Returns `false` from the visitor to stop early.
+    pub fn for_each_candidate(&self, mut visit: impl FnMut(&Execution) -> bool) -> EnumStats {
+        let space = self.choice_space();
+        let total = space.total();
+        self.stream_range(&space, 0, total, None, &mut |x, _| visit(x))
+    }
+
+    /// Enumerates every structurally well-formed candidate execution:
+    /// all `rf` choices × all per-location `co` total orders.
+    ///
+    /// Materializes the full set — prefer [`Litmus::for_each_candidate`]
+    /// or the counting APIs for anything beyond toy sizes.
+    pub fn candidate_executions(&self) -> Vec<Execution> {
+        let mut out = Vec::new();
+        self.for_each_candidate(|x| {
+            out.push(x.clone());
+            true
+        });
+        out
+    }
+
+    /// Streaming count of well-formed candidate executions.
+    pub fn count_candidates(&self) -> u64 {
+        self.for_each_candidate(|_| true).visited
+    }
+
+    /// The size of the candidate space (`rf` choices × `co` orders),
+    /// computed arithmetically — no enumeration. `u128` because large
+    /// programs overflow `u64`.
+    pub fn candidate_count(&self) -> u128 {
+        self.choice_space().total()
+    }
+
+    /// Streaming count of model-consistent executions.
+    pub fn count_consistent(&self, model: &dyn ConsistencyModel) -> u64 {
+        let mut n = 0;
+        self.for_each_candidate(|x| {
+            if model.check(x).is_ok() {
+                n += 1;
+            }
+            true
+        });
+        n
+    }
+
+    /// Parallel streaming count of model-consistent executions: the flat
+    /// choice space is split into `jobs` contiguous ranges fanned over
+    /// [`lcm_core::par::map_indexed`]; each worker decodes its range
+    /// independently (mixed-radix), so the count is identical at every
+    /// job count.
+    pub fn count_consistent_par<M: ConsistencyModel + Sync>(&self, model: &M, jobs: usize) -> u64 {
+        let space = self.choice_space();
+        let total = space.total();
+        let jobs = lcm_core::par::effective_jobs(jobs).max(1) as u128;
+        let chunks: Vec<(u128, u128)> = (0..jobs)
+            .map(|j| (total * j / jobs, total * (j + 1) / jobs))
+            .filter(|(a, b)| a < b)
+            .collect();
+        lcm_core::par::map_indexed(&chunks, chunks.len(), |_, &(start, end)| {
+            let mut n = 0u64;
+            self.stream_range(&space, start, end, None, &mut |x, _| {
+                if model.check(x).is_ok() {
+                    n += 1;
+                }
+                true
+            });
+            n
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Symmetry-reduced count of model-consistent executions: only
+    /// canonical choice vectors (lexicographically least under the
+    /// program's location/thread-renaming group) are built and checked;
+    /// each contributes its orbit size. `total` equals the exhaustive
+    /// [`Litmus::count_consistent`] — consistency predicates are
+    /// invariant under renaming — while only `canonical` executions were
+    /// actually built.
+    pub fn count_consistent_symmetric(&self, model: &dyn ConsistencyModel) -> SymmetricCount {
+        let space = self.choice_space();
+        let auts = self.automorphisms(&space);
+        let total = space.total();
+        let mut out = SymmetricCount::default();
+        let stats = self.stream_range(&space, 0, total, Some(&auts), &mut |x, orbit| {
+            if model.check(x).is_ok() {
+                out.canonical += 1;
+                out.total += orbit;
+            }
+            true
+        });
+        out.pruned = stats.pruned;
+        out
+    }
+
+    /// Decodes and visits the choice vectors in `[start, end)` (mixed-
+    /// radix over the space's dimension sizes, co dimensions fastest).
+    /// With `symmetry`, non-canonical vectors are skipped (counted in
+    /// `pruned`) and the visitor receives each canonical vector's orbit
+    /// size; otherwise every well-formed execution is visited with
+    /// orbit size 1.
+    fn stream_range(
+        &self,
+        space: &ChoiceSpace,
+        start: u128,
+        end: u128,
+        symmetry: Option<&[Automorphism]>,
+        visit: &mut dyn FnMut(&Execution, u64) -> bool,
+    ) -> EnumStats {
+        let mut stats = EnumStats::default();
+        if start >= end {
+            return stats;
+        }
+        let sizes = space.sizes();
+        let mut idx = space.decode(start, &sizes);
+        let nreads = space.rf.len();
+        let mut rf: Vec<Option<usize>> = Vec::with_capacity(nreads);
+        let mut co: Vec<Vec<usize>> = Vec::with_capacity(space.co.len());
+        let mut cursor = start;
+        while cursor < end {
+            rf.clear();
+            co.clear();
+            for (r, &i) in idx.iter().take(nreads).enumerate() {
+                rf.push(space.rf[r][i]);
+            }
+            for (l, &i) in idx.iter().skip(nreads).enumerate() {
+                co.push(space.co[l][i].clone());
+            }
+            let orbit = match symmetry {
+                None => 1,
+                Some(auts) => match space.orbit_of_canonical(auts, &rf, &co) {
+                    Some(orbit) => orbit,
+                    None => {
+                        stats.pruned += 1;
+                        cursor += 1;
+                        if !space.advance(&mut idx, &sizes) {
+                            break;
+                        }
+                        continue;
+                    }
+                },
+            };
+            let x = self.build_with(&rf, &co);
+            stats.built += 1;
+            if x.well_formed().is_ok() {
+                stats.visited += 1;
+                if !visit(&x, orbit) {
+                    break;
+                }
+            }
+            cursor += 1;
+            if !space.advance(&mut idx, &sizes) {
+                break;
+            }
+        }
+        enum_executions_counter().add(stats.built);
+        if stats.pruned > 0 {
+            enum_pruned_counter().add(stats.pruned);
+        }
+        stats
     }
 
     /// The candidate executions consistent with a memory model: the
     /// program's **architectural semantics** (§2.2).
     pub fn consistent_executions(&self, model: &dyn ConsistencyModel) -> Vec<Execution> {
-        self.candidate_executions()
-            .into_iter()
-            .filter(|x| model.check(x).is_ok())
+        let mut out = Vec::new();
+        self.for_each_candidate(|x| {
+            if model.check(x).is_ok() {
+                out.push(x.clone());
+            }
+            true
+        });
+        out
+    }
+}
+
+/// Search cap for [`Litmus::automorphisms`]: above this many `(σ, π)`
+/// pairs the group search is skipped and enumeration runs unreduced.
+const SYMMETRY_CAP: u64 = 40_320; // 8!
+
+fn factorial(n: usize) -> u64 {
+    (1..=n as u64).product::<u64>().max(1)
+}
+
+/// Streaming enumeration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Choice vectors decoded and built into executions.
+    pub built: u64,
+    /// Executions that passed well-formedness and reached the visitor.
+    pub visited: u64,
+    /// Choice vectors skipped as non-canonical under symmetry.
+    pub pruned: u64,
+}
+
+/// Result of a symmetry-reduced consistent-execution count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymmetricCount {
+    /// Canonical (actually built and checked) consistent executions.
+    pub canonical: u64,
+    /// Exhaustive-equivalent total: Σ orbit sizes over canonical reps.
+    pub total: u64,
+    /// Choice vectors skipped without building an execution.
+    pub pruned: u64,
+}
+
+/// One program automorphism: a thread renaming composed with a location
+/// renaming, realized as a permutation of global op indices plus the
+/// induced permutation of sorted-location indices.
+#[derive(Debug, Clone)]
+struct Automorphism {
+    opmap: Vec<usize>,
+    locmap: Vec<usize>,
+}
+
+/// The enumeration choice space (see [`Litmus::choice_space`]).
+struct ChoiceSpace {
+    /// Per read (in global op order): candidate rf sources.
+    rf: Vec<Vec<Option<usize>>>,
+    /// Per sorted location: candidate co orders (write op indices).
+    co: Vec<Vec<Vec<usize>>>,
+    /// Sorted location names.
+    locs: Vec<String>,
+    /// Global op index → read ordinal (`usize::MAX` for non-reads).
+    read_ord: Vec<usize>,
+}
+
+impl ChoiceSpace {
+    fn sizes(&self) -> Vec<usize> {
+        self.rf
+            .iter()
+            .map(Vec::len)
+            .chain(self.co.iter().map(Vec::len))
             .collect()
     }
+
+    /// Total number of choice vectors (may exceed `u64` for large
+    /// programs, hence `u128`).
+    fn total(&self) -> u128 {
+        self.sizes().iter().map(|&s| s as u128).product()
+    }
+
+    /// Mixed-radix decode of a flat index (last dimension fastest).
+    fn decode(&self, mut flat: u128, sizes: &[usize]) -> Vec<usize> {
+        let mut idx = vec![0usize; sizes.len()];
+        for (i, &s) in sizes.iter().enumerate().rev() {
+            idx[i] = (flat % s as u128) as usize;
+            flat /= s as u128;
+        }
+        idx
+    }
+
+    /// Odometer increment; `false` on wrap-around (space exhausted).
+    fn advance(&self, idx: &mut [usize], sizes: &[usize]) -> bool {
+        for i in (0..idx.len()).rev() {
+            idx[i] += 1;
+            if idx[i] < sizes[i] {
+                return true;
+            }
+            idx[i] = 0;
+        }
+        false
+    }
+
+    /// `Some(orbit size)` if the choice vector is the lexicographic
+    /// minimum of its orbit under the automorphism group, else `None`.
+    fn orbit_of_canonical(
+        &self,
+        auts: &[Automorphism],
+        rf: &[Option<usize>],
+        co: &[Vec<usize>],
+    ) -> Option<u64> {
+        let mut stabilizer = 0u64;
+        let mut rf2: Vec<Option<usize>> = vec![None; rf.len()];
+        let mut co2: Vec<Vec<usize>> = vec![Vec::new(); co.len()];
+        for aut in auts {
+            // rf: read at op i maps to the read at opmap[i]; its source
+            // write maps through opmap as well.
+            for (r, choice) in rf.iter().enumerate() {
+                let op = self
+                    .read_ord
+                    .iter()
+                    .position(|&ord| ord == r)
+                    .expect("read ordinal");
+                let r2 = self.read_ord[aut.opmap[op]];
+                rf2[r2] = choice.map(|w| aut.opmap[w]);
+            }
+            for (l, order) in co.iter().enumerate() {
+                co2[aut.locmap[l]] = order.iter().map(|&w| aut.opmap[w]).collect();
+            }
+            match (rf2.as_slice(), co2.as_slice()).cmp(&(rf, co)) {
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Equal => stabilizer += 1,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        Some(auts.len() as u64 / stabilizer.max(1))
+    }
+}
+
+fn enum_executions_counter() -> &'static lcm_obs::metrics::Counter {
+    static C: std::sync::OnceLock<lcm_obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        lcm_obs::metrics::global().counter(
+            lcm_obs::metrics::names::ENUM_EXECUTIONS,
+            "Candidate executions built by the litmus enumerator",
+        )
+    })
+}
+
+fn enum_pruned_counter() -> &'static lcm_obs::metrics::Counter {
+    static C: std::sync::OnceLock<lcm_obs::metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        lcm_obs::metrics::global().counter(
+            lcm_obs::metrics::names::ENUM_SYMMETRY_PRUNED,
+            "Choice vectors skipped as non-canonical under program symmetry",
+        )
+    })
 }
 
 /// Enumerates every microarchitectural witness of a fixed architectural
@@ -686,5 +1065,86 @@ mod tests {
         assert_eq!(cmp.only_first, 0);
         assert_eq!(cmp.only_second, 0);
         assert!(cmp.both > 0);
+    }
+
+    #[test]
+    fn streaming_count_matches_materialized() {
+        for l in [
+            sb(),
+            Litmus::new(vec![vec![Op::w("x"), Op::w("x")], vec![Op::r("x")]]),
+            Litmus::new(vec![
+                vec![Op::w("x"), Op::F, Op::r("y")],
+                vec![Op::w("y"), Op::F, Op::r("x")],
+            ]),
+            Litmus::new(vec![]),
+        ] {
+            assert_eq!(
+                l.count_candidates() as usize,
+                l.candidate_executions().len()
+            );
+            assert_eq!(
+                l.count_consistent(&Tso) as usize,
+                l.consistent_executions(&Tso).len()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_early_exit_stops() {
+        let l = sb();
+        let mut seen = 0;
+        l.for_each_candidate(|_| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn parallel_count_is_job_invariant() {
+        let l = Litmus::new(vec![
+            vec![Op::w("x"), Op::r("y"), Op::w("y")],
+            vec![Op::w("y"), Op::r("x"), Op::w("x")],
+        ]);
+        let serial = l.count_consistent(&Tso);
+        for jobs in [1, 2, 4, 8] {
+            assert_eq!(l.count_consistent_par(&Tso, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sb_symmetry_group_halves_the_work() {
+        // SB is invariant under swapping the threads together with x↔y:
+        // |G| = 2, so roughly half the choice vectors are non-canonical.
+        let l = sb();
+        let sym = l.count_consistent_symmetric(&Tso);
+        assert_eq!(
+            sym.total,
+            l.count_consistent(&Tso),
+            "orbit totals are exact"
+        );
+        assert!(sym.pruned > 0, "the swap automorphism prunes: {sym:?}");
+        assert!(sym.canonical < sym.total);
+    }
+
+    #[test]
+    fn symmetric_count_exact_on_asymmetric_program() {
+        // No non-trivial automorphism: different ops per thread.
+        let l = Litmus::new(vec![vec![Op::w("x"), Op::w("x")], vec![Op::r("x")]]);
+        let sym = l.count_consistent_symmetric(&Tso);
+        assert_eq!(sym.total, l.count_consistent(&Tso));
+        assert_eq!(sym.pruned, 0, "identity-only group prunes nothing");
+        assert_eq!(sym.canonical, sym.total);
+    }
+
+    #[test]
+    fn symmetric_count_exact_under_sc_with_fences() {
+        let l = Litmus::new(vec![
+            vec![Op::w("x"), Op::F, Op::r("y")],
+            vec![Op::w("y"), Op::F, Op::r("x")],
+        ]);
+        let sym = l.count_consistent_symmetric(&Sc);
+        assert_eq!(sym.total, l.count_consistent(&Sc));
+        assert!(sym.pruned > 0);
     }
 }

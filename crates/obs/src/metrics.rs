@@ -68,6 +68,15 @@ pub mod names {
     pub const SERVE_REQUEST_LATENCY: &str = "lcm_serve_request_latency_seconds";
     /// Client-observed request latency recorded by the `loadgen` bench.
     pub const LOADGEN_LATENCY: &str = "lcm_loadgen_latency_seconds";
+    /// Programs generated and analyzed by the differential fuzz harness.
+    pub const FUZZ_PROGRAMS: &str = "lcm_fuzz_programs_total";
+    /// Engine-vs-oracle disagreements found by the fuzz harness.
+    pub const FUZZ_MISMATCHES: &str = "lcm_fuzz_mismatches_total";
+    /// Candidate executions built by the litmus enumerator.
+    pub const ENUM_EXECUTIONS: &str = "lcm_enum_executions_total";
+    /// Candidate choice vectors skipped as non-canonical under the
+    /// program's symmetry group (location/thread renaming).
+    pub const ENUM_SYMMETRY_PRUNED: &str = "lcm_enum_symmetry_pruned_total";
 }
 
 /// A monotonically increasing counter.

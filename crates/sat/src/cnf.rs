@@ -186,6 +186,51 @@ impl Cnf {
         self.assert_or(lits.iter().copied());
         self.assert_at_most_one(lits);
     }
+
+    /// Asserts that at most `k` of the literals are true, via Sinz's
+    /// sequential-counter encoding (O(n·k) clauses and auxiliaries).
+    /// Used by the fence-minimality certificate in `lcm-fuzz` for its
+    /// MaxSAT-style descending-`k` search.
+    pub fn assert_at_most_k(&mut self, lits: &[Lit], k: usize) {
+        if k >= lits.len() {
+            return; // vacuous
+        }
+        if k == 0 {
+            for &l in lits {
+                self.assert_lit(!l);
+            }
+            return;
+        }
+        if k == 1 {
+            self.assert_at_most_one(lits);
+            return;
+        }
+        // s[i][j] ⇔ "at least j+1 of lits[..=i] are true".
+        let mut prev: Vec<Lit> = Vec::new();
+        for (i, &x) in lits.iter().enumerate() {
+            let width = k.min(i + 1);
+            let row: Vec<Lit> = (0..width).map(|_| self.fresh()).collect();
+            // x → s[i][0]
+            self.assert_implies(x, row[0]);
+            if i > 0 {
+                // s[i-1][j] → s[i][j]
+                for j in 0..prev.len().min(width) {
+                    self.assert_implies(prev[j], row[j]);
+                }
+                // x ∧ s[i-1][j-1] → s[i][j]
+                for j in 1..width {
+                    if j - 1 < prev.len() {
+                        self.solver.add_clause([!x, !prev[j - 1], row[j]]);
+                    }
+                }
+                // Overflow: x ∧ s[i-1][k-1] is forbidden.
+                if prev.len() == k && i >= k {
+                    self.solver.add_clause([!x, !prev[k - 1]]);
+                }
+            }
+            prev = row;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,5 +355,52 @@ mod tests {
     #[should_panic(expected = "exactly-one over no literals")]
     fn exactly_one_empty_panics() {
         Cnf::new().assert_exactly_one(&[]);
+    }
+
+    #[test]
+    fn at_most_k_bounds_true_count() {
+        for n in 1..7usize {
+            for k in 0..=n {
+                let mut f = Cnf::new();
+                let xs: Vec<Lit> = (0..n).map(|_| f.fresh()).collect();
+                f.assert_at_most_k(&xs, k);
+                let m = model_of(&mut f);
+                assert!(
+                    xs.iter().filter(|&&x| m.value(x)).count() <= k,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_allows_exactly_k() {
+        let mut f = Cnf::new();
+        let xs: Vec<Lit> = (0..6).map(|_| f.fresh()).collect();
+        f.assert_at_most_k(&xs, 3);
+        for &x in &xs[..3] {
+            f.assert_lit(x);
+        }
+        assert!(f.solver_mut().solve().is_sat(), "k true literals are fine");
+    }
+
+    #[test]
+    fn at_most_k_rejects_k_plus_one() {
+        let mut f = Cnf::new();
+        let xs: Vec<Lit> = (0..6).map(|_| f.fresh()).collect();
+        f.assert_at_most_k(&xs, 3);
+        for &x in &xs[..4] {
+            f.assert_lit(x);
+        }
+        assert!(!f.solver_mut().solve().is_sat(), "k+1 must be unsat");
+    }
+
+    #[test]
+    fn at_most_zero_forces_all_false() {
+        let mut f = Cnf::new();
+        let xs: Vec<Lit> = (0..4).map(|_| f.fresh()).collect();
+        f.assert_at_most_k(&xs, 0);
+        let m = model_of(&mut f);
+        assert!(xs.iter().all(|&x| !m.value(x)));
     }
 }

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
         Some("store") => store(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         // Hidden: the fleet worker entry point (`lcm-cli worker`), used
         // as an explicit `worker_cmd` target. Speaks the length-delimited
         // task protocol on stdin/stdout and never returns.
@@ -40,7 +41,7 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        _ => usage_error("expected a subcommand: serve | client | store"),
+        _ => usage_error("expected a subcommand: serve | client | store | fuzz"),
     }
 }
 
@@ -53,6 +54,7 @@ lcm-cli — analysis daemon and client
   lcm-cli client (--socket PATH | --tcp ADDR) analyze [--engine pht|stl] [--retries N]
                  (--file PATH | --source SRC | -)
   lcm-cli store  compact --cache-dir DIR
+  lcm-cli fuzz   [--seed N] [--count N] [--jobs N] [--quick]
 
 `serve` runs until a client sends `shutdown`, SIGTERM, or SIGINT (both
 signals drain queued requests before exiting). `--tcp ADDR`
@@ -66,7 +68,13 @@ lifetime, written on shutdown. `client metrics` prints Prometheus
 exposition text (the one reply that is not a JSON line).
 `client analyze -` reads mini-C source from stdin. `store compact`
 rewrites DIR/results.lcmstore keeping only the live (latest) record
-per fingerprint, via an atomic temp-file-plus-rename.
+per fingerprint, via an atomic temp-file-plus-rename. `fuzz` runs the
+differential sweep of DESIGN.md §6i: COUNT seed-keyed random programs
+through the speculative reference oracle and all three static engines,
+re-verifies repairs, and certifies fence minimality on a sample; it
+prints a JSON report line and exits 1 on any soundness mismatch
+(shrunk counterexamples go to stderr). `--quick` shrinks the oracle's
+input lattice and choice budget for CI latency.
 ";
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -192,6 +200,87 @@ fn store(args: &[String]) -> ExitCode {
             eprintln!("lcm-cli: compacting {}: {e}", path.display());
             ExitCode::FAILURE
         }
+    }
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    use lcm::core::jsonw::Json;
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<lcm::fuzz::FuzzConfig, String> {
+        let mut cfg = lcm::fuzz::FuzzConfig::default();
+        if let Some(v) = take_value(&mut args, "--seed")? {
+            cfg.seed = v
+                .parse()
+                .map_err(|_| format!("--seed expects a number, got {v:?}"))?;
+        }
+        if let Some(v) = take_value(&mut args, "--count")? {
+            cfg.count = parse_num(&v, "--count")?;
+        }
+        if let Some(v) = take_value(&mut args, "--jobs")? {
+            cfg.jobs = parse_num(&v, "--jobs")?;
+        }
+        if let Some(at) = args.iter().position(|a| a == "--quick") {
+            args.remove(at);
+            cfg.quick = true;
+        }
+        if let Some(extra) = args.first() {
+            return Err(format!("unknown fuzz argument {extra:?}"));
+        }
+        Ok(cfg)
+    })();
+    let cfg = match parsed {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    eprintln!(
+        "lcm-fuzz: sweeping {} programs (seed {}, {})",
+        cfg.count,
+        cfg.seed,
+        if cfg.quick {
+            "quick oracle"
+        } else {
+            "full oracle"
+        },
+    );
+    let report = lcm::fuzz::run_sweep(&cfg);
+    for m in &report.mismatches {
+        eprintln!(
+            "lcm-fuzz: MISMATCH at seed {} index {} — {:?} engine clean, oracle leaks; shrunk:\n{}",
+            m.seed, m.index, m.engine, m.shrunk_source
+        );
+    }
+    let num = |n: usize| Json::Num(n as f64);
+    let line = Json::Obj(vec![
+        ("ok".into(), Json::Bool(report.ok())),
+        ("seed".into(), Json::Num(cfg.seed as f64)),
+        ("programs".into(), num(report.programs)),
+        ("compile_failures".into(), num(report.compile_failures)),
+        ("arch_leaky".into(), num(report.arch_leaky)),
+        ("spec_leaky".into(), num(report.spec_leaky)),
+        ("secure".into(), num(report.secure)),
+        (
+            "engine_flagged".into(),
+            Json::Arr(report.engine_flagged.iter().map(|&n| num(n)).collect()),
+        ),
+        ("overapprox".into(), Json::Num(report.overapprox as f64)),
+        ("mismatches".into(), num(report.mismatches.len())),
+        ("repairs_checked".into(), num(report.repairs_checked)),
+        ("repairs_clean".into(), num(report.repairs_clean)),
+        (
+            "repairs_oracle_clean".into(),
+            num(report.repairs_oracle_clean),
+        ),
+        ("minimality_checked".into(), num(report.minimality_checked)),
+        (
+            "minimality_certified".into(),
+            num(report.minimality_certified),
+        ),
+    ]);
+    println!("{}", line.render());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

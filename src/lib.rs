@@ -32,6 +32,7 @@ pub use lcm_core as core;
 pub use lcm_corpus as corpus;
 pub use lcm_detect as detect;
 pub use lcm_fleet as fleet;
+pub use lcm_fuzz as fuzz;
 pub use lcm_haunted as haunted;
 pub use lcm_ir as ir;
 pub use lcm_litmus as litmus;

@@ -1,0 +1,71 @@
+//! Tier-1: repair re-verification over the litmus corpus.
+//!
+//! Closes the gap where `repair()` outputs were never re-checked: every
+//! repaired litmus program must re-analyze leak-free — under *all three*
+//! engines for the joint `repair_all` fixpoint — and single-pass
+//! `repair_once` fence counts are pinned per suite so a placement change
+//! shows up as a diff here.
+
+use lcm::corpus::all_litmus;
+use lcm::detect::{repair_all, repair_once, Detector, DetectorConfig, EngineKind};
+
+const ENGINES: [EngineKind; 3] = [EngineKind::Pht, EngineKind::Stl, EngineKind::Psf];
+
+fn det() -> Detector {
+    Detector::new(DetectorConfig::default())
+}
+
+#[test]
+fn every_litmus_repair_re_verifies_clean_under_all_engines() {
+    let det = det();
+    for (suite, benches) in all_litmus() {
+        for b in benches {
+            let m = b.module();
+            let (fixed, _fences) = repair_all(&m, &det);
+            for engine in ENGINES {
+                let r = det.analyze_module(&fixed, engine);
+                assert!(
+                    r.is_clean(),
+                    "{suite}/{}: {engine:?} still finds {} leak(s) after repair_all",
+                    b.name,
+                    r.findings().count()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repair_once_fence_counts_are_pinned() {
+    // Single-pass fence totals per (suite, engine). These pin the repair
+    // *placement* strategy: a change to the greedy set cover or to the
+    // engines' findings moves these numbers.
+    let expected: &[(&str, [usize; 3])] = &[
+        ("litmus-pht", [17, 45, 29]),
+        ("litmus-stl", [1, 29, 18]),
+        ("litmus-fwd", [5, 17, 15]),
+        ("litmus-new", [4, 8, 7]),
+    ];
+    let det = det();
+    for (suite, benches) in all_litmus() {
+        let want = expected
+            .iter()
+            .find(|(s, _)| *s == suite)
+            .map(|(_, c)| *c)
+            .expect("suite in table");
+        for (ei, engine) in ENGINES.into_iter().enumerate() {
+            let total: usize = benches
+                .iter()
+                .map(|b| {
+                    let m = b.module();
+                    let report = det.analyze_module(&m, engine);
+                    repair_once(&m, &report, det.config().spec).1
+                })
+                .sum();
+            assert_eq!(
+                total, want[ei],
+                "{suite} under {engine:?}: single-pass fence total changed"
+            );
+        }
+    }
+}
