@@ -4,7 +4,8 @@
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin fig8 -- [--big]
 //! [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]
-//! [--cache-dir DIR] [--no-cache] [--trace-out PATH]`
+//! [--cache-dir DIR] [--no-cache] [--trace-out PATH]
+//! [--metrics-out PATH]`
 //!
 //! `--timeout-ms` / `--max-conflicts` set per-function analysis budgets;
 //! points whose analysis degrades are listed at the end and the exit
@@ -108,6 +109,7 @@ fn main() {
     }
 
     args.finish_tracing();
+    args.finish_metrics();
     let degraded = points.iter().filter(|p| p.degraded.is_some()).count();
     if degraded > 0 {
         eprintln!("error: {degraded} analyses degraded");

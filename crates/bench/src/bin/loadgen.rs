@@ -18,8 +18,12 @@
 //!
 //! With no `--socket` / `--tcp`, the harness spawns an in-process
 //! server on a temp socket (workers from `--jobs`, cache from
-//! `--cache-dir` or a temp dir) and shuts it down at exit — the
-//! normal way to run it, and what CI's smoke step does:
+//! `--cache-dir` or a temp dir, worker *processes* from `--fleet N`)
+//! and shuts it down at exit — the normal way to run it, and what CI's
+//! smoke step does. In fleet mode the report ends with fleet-wide
+//! solver-latency percentiles, aggregated from the metric deltas every
+//! worker shipped back to the supervisor; `--metrics-out PATH` dumps
+//! the merged registry as JSON:
 //!
 //! ```text
 //! loadgen --mode pipeline --requests 64 --depth 8 --mix warm \
@@ -425,6 +429,9 @@ fn suite_json(opts: &Opts, results: &[ModeResult], speedups: &[(String, f64)]) -
 }
 
 fn main() {
+    // The self-spawned in-process server's fleet (`--fleet N`) re-execs
+    // *this* binary as its workers: divert before any parsing.
+    lcm_fleet::maybe_run_worker();
     let mut args = cli::parse(std::env::args().skip(1));
     let opts = parse_opts(&mut args.rest);
     if let Some(unknown) = args.rest.first() {
@@ -442,6 +449,8 @@ fn main() {
                 std::env::temp_dir().join(format!("lcm-loadgen-{}.sock", std::process::id()));
             let mut config = ServeConfig::new(&socket);
             config.workers = args.jobs;
+            config.fleet = args.fleet;
+            config.events_out = args.events_out.clone().map(Into::into);
             config.cache_dir = match (&args.cache_dir, args.no_cache) {
                 (_, true) => None,
                 (Some(dir), _) => Some(dir.into()),
@@ -502,6 +511,7 @@ fn main() {
     }
 
     // Tear down the self-spawned server before judging assertions.
+    let self_spawned = spawned.is_some();
     if let Some((handle, socket)) = spawned {
         let _ = Client::new(&socket).shutdown();
         let _ = handle.join();
@@ -509,6 +519,31 @@ fn main() {
     if let Some(dir) = temp_cache {
         let _ = std::fs::remove_dir_all(dir);
     }
+
+    // Fleet-wide daemon-side percentiles: with `--fleet N`, solver
+    // calls ran inside worker *processes*; their metric deltas rode
+    // each result frame and the supervisor folded them into this
+    // process's global registry, so these quantiles aggregate every
+    // worker. Only meaningful for the self-spawned server (a remote
+    // daemon's registry is not ours to read).
+    if self_spawned && args.fleet > 0 {
+        let hist = lcm_obs::metrics::global().histogram(
+            lcm_obs::metrics::names::SOLVE_LATENCY,
+            "Wall-clock latency of SAT solver calls (screened and memoized queries never reach here)",
+            latency_buckets(),
+        );
+        let snap = hist.snapshot();
+        let ms = |v: Option<f64>| v.map_or("-".to_string(), |s| format!("{:.3}", s * 1e3));
+        println!(
+            "fleet-wide solver latency ({} workers, {} observations): p50 {} ms, p90 {} ms, p99 {} ms",
+            args.fleet,
+            snap.count,
+            ms(snap.quantile(0.50)),
+            ms(snap.quantile(0.90)),
+            ms(snap.quantile(0.99)),
+        );
+    }
+    args.finish_metrics();
 
     let mut failed = false;
     let total_errors: u64 = results.iter().map(|r| r.errors).sum();

@@ -3,7 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lcm-bench --bin table2 -- [--quick]
 //! [--repair] [--jobs N] [--json PATH] [--timeout-ms N] [--max-conflicts N]
-//! [--cache-dir DIR] [--no-cache] [--trace-out PATH]`
+//! [--cache-dir DIR] [--no-cache] [--trace-out PATH] [--fleet N]
+//! [--metrics-out PATH] [--events-out PATH]`
 //!
 //! `--quick` skips the synthetic-library workloads; `--repair` additionally
 //! runs fence-insertion repair on every vulnerable litmus program and
@@ -40,8 +41,11 @@ fn main() {
         args.jobs,
         lcm_core::par::effective_jobs(args.jobs)
     );
-    let fleet =
-        (args.fleet > 0).then(|| lcm_fleet::Fleet::new(lcm_fleet::FleetConfig::new(args.fleet)));
+    let fleet = (args.fleet > 0).then(|| {
+        let mut cfg = lcm_fleet::FleetConfig::new(args.fleet);
+        cfg.events_out = args.events_out.clone().map(std::path::PathBuf::from);
+        lcm_fleet::Fleet::new(cfg)
+    });
     if let Some(fleet) = &fleet {
         println!("(fleet: {} worker processes)\n", fleet.workers());
     }
@@ -146,6 +150,9 @@ fn main() {
     }
 
     args.finish_tracing();
+    // After shutdown(), so the dump includes worker deltas drained at
+    // fleet exit.
+    args.finish_metrics();
     let n_degraded: usize = rows.iter().map(|r| r.degraded.len()).sum();
     if n_degraded > 0 {
         eprintln!("error: {n_degraded} analyses degraded; see summary above");

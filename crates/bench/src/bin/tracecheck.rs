@@ -1,8 +1,14 @@
 //! Validates a Chrome-trace JSON file's shape (balanced begin/end
-//! events, per-thread monotone timestamps, proper nesting) — the CI
-//! gate behind the `--trace-out` artifact.
+//! events, per-lane monotone timestamps, proper nesting, metadata
+//! records) — the CI gate behind the `--trace-out` artifact.
 //!
-//! Usage: `cargo run --release -p lcm-bench --bin tracecheck -- FILE`
+//! Usage: `cargo run --release -p lcm-bench --bin tracecheck -- FILE
+//! [--min-processes N]`
+//!
+//! `--min-processes N` additionally requires the trace to contain
+//! spans from at least `N` distinct pids — the CI fleet step uses it
+//! to prove the merged trace really carries supervisor *and* worker
+//! lanes, not just a single-process export.
 //!
 //! Exits 0 and prints a one-line summary when the file is a valid
 //! trace; exits 1 with the first violated invariant otherwise.
@@ -10,8 +16,26 @@
 use lcm_bench::trace;
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: tracecheck FILE");
+    let mut path: Option<String> = None;
+    let mut min_processes = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-processes" => {
+                min_processes = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("tracecheck: --min-processes needs a number");
+                    std::process::exit(2);
+                });
+            }
+            _ if path.is_none() => path = Some(arg),
+            other => {
+                eprintln!("tracecheck: unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: tracecheck FILE [--min-processes N]");
         std::process::exit(2);
     };
     let doc = match std::fs::read_to_string(&path) {
@@ -23,9 +47,16 @@ fn main() {
     };
     match trace::validate(&doc) {
         Ok(s) => {
+            if s.processes < min_processes {
+                eprintln!(
+                    "{path}: INVALID trace: {} process(es), expected at least {min_processes}",
+                    s.processes
+                );
+                std::process::exit(1);
+            }
             println!(
-                "{path}: ok — {} events, {} spans, {} threads, max depth {}",
-                s.events, s.spans, s.threads, s.max_depth
+                "{path}: ok — {} events, {} spans, {} threads, {} processes, max depth {}",
+                s.events, s.spans, s.threads, s.processes, s.max_depth
             );
         }
         Err(e) => {

@@ -38,6 +38,13 @@ pub struct BenchArgs {
     /// (workload/tool/counts/degradations, no durations) for byte-level
     /// comparison across runs.
     pub findings_out: Option<String>,
+    /// `--metrics-out PATH`: dump the final metrics registry — fleet
+    /// totals included when `--fleet` ran — as JSON at exit.
+    pub metrics_out: Option<String>,
+    /// `--events-out PATH`: append-only JSONL supervision event log
+    /// (kills, restarts, steals, redeliveries, crash forensics); only
+    /// meaningful together with `--fleet`.
+    pub events_out: Option<String>,
     /// Unrecognized arguments, in order.
     pub rest: Vec<String>,
 }
@@ -74,6 +81,20 @@ impl BenchArgs {
         match lcm_obs::trace::export_to_file(std::path::Path::new(path)) {
             Ok(()) => println!("trace written to {path}"),
             Err(e) => eprintln!("warning: cannot write trace to {path}: {e}"),
+        }
+    }
+
+    /// Writes the final state of the global metrics registry to the
+    /// `--metrics-out` path, if any. Call once after the timed work —
+    /// and after the fleet (if any) shut down, so worker deltas folded
+    /// in by the supervisor are part of the dump.
+    pub fn finish_metrics(&self) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        match std::fs::write(path, lcm_obs::metrics::global().render_json()) {
+            Ok(()) => println!("metrics written to {path}"),
+            Err(e) => eprintln!("warning: cannot write metrics to {path}: {e}"),
         }
     }
 
@@ -163,6 +184,20 @@ pub fn parse(args: impl Iterator<Item = String>) -> BenchArgs {
                 .next()
                 .unwrap_or_else(|| die("--findings-out needs a path"));
             out.findings_out = Some(v);
+        } else if let Some(v) = a.strip_prefix("--metrics-out=") {
+            out.metrics_out = Some(v.to_string());
+        } else if a == "--metrics-out" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--metrics-out needs a path"));
+            out.metrics_out = Some(v);
+        } else if let Some(v) = a.strip_prefix("--events-out=") {
+            out.events_out = Some(v.to_string());
+        } else if a == "--events-out" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| die("--events-out needs a path"));
+            out.events_out = Some(v);
         } else {
             out.rest.push(a);
         }
@@ -267,6 +302,20 @@ mod tests {
         // Defaults: in-process, no digest.
         assert_eq!(args(&[]).fleet, 0);
         assert!(args(&[]).findings_out.is_none());
+    }
+
+    #[test]
+    fn metrics_and_events_out_parse_both_styles() {
+        let a = args(&["--metrics-out", "m.json", "--events-out", "e.jsonl"]);
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(a.events_out.as_deref(), Some("e.jsonl"));
+        let b = args(&["--metrics-out=m.json", "--events-out=e.jsonl"]);
+        assert_eq!(b.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(b.events_out.as_deref(), Some("e.jsonl"));
+        assert!(args(&[]).metrics_out.is_none());
+        assert!(args(&[]).events_out.is_none());
+        // No `--metrics-out`: finish_metrics is a no-op.
+        args(&[]).finish_metrics();
     }
 
     #[test]

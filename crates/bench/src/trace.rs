@@ -10,14 +10,21 @@
 //! need to reconstruct span nesting:
 //!
 //! * top level is an object with a `traceEvents` array;
-//! * every event has `ph` (`"B"` or `"E"`), numeric `ts`/`pid`/`tid`,
-//!   and string `name`/`cat`;
-//! * per thread, timestamps are monotone non-decreasing in array
-//!   order;
-//! * per thread, `B`/`E` events balance like a well-nested call stack,
-//!   with each `E` matching the name of the innermost open `B`.
+//! * every event has `ph` (`"B"`, `"E"`, or metadata `"M"`), numeric
+//!   `ts`/`pid`/`tid`, and string `name`/`cat`;
+//! * per `(pid, tid)` lane, timestamps are monotone non-decreasing in
+//!   array order — in a merged multi-process trace this is what proves
+//!   worker timestamps were re-based onto the supervisor's clock
+//!   consistently (a bad offset shows up as time running backwards or
+//!   an end preceding its begin);
+//! * per `(pid, tid)` lane, `B`/`E` events balance like a well-nested
+//!   call stack, each `E` matching the name of the innermost open `B`
+//!   and never predating it (no overlapping re-based spans).
+//!
+//! `"M"` metadata records (process names in multi-process traces) are
+//! shape-checked but exempt from the stack and clock invariants.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use lcm_core::jsonw::{self, Json};
 
@@ -30,6 +37,8 @@ pub struct TraceStats {
     pub spans: usize,
     /// Distinct `(pid, tid)` threads.
     pub threads: usize,
+    /// Distinct processes. `> 1` means a merged fleet trace.
+    pub processes: usize,
     /// Deepest nesting observed on any thread.
     pub max_depth: usize,
 }
@@ -47,9 +56,10 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
         .and_then(Json::as_arr)
         .ok_or("missing `traceEvents` array")?;
 
-    // Per-thread open-span name stack and last timestamp.
-    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    // Per-thread open-span stack of (name, begin ts) and last timestamp.
+    let mut stacks: HashMap<(u64, u64), Vec<(String, f64)>> = HashMap::new();
     let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut pids: HashSet<u64> = HashSet::new();
     let mut spans = 0usize;
     let mut max_depth = 0usize;
 
@@ -69,7 +79,17 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
         let name = field_str("name")?;
         field_str("cat")?;
         let ts = field_num("ts")?;
-        let key = (field_num("pid")? as u64, field_num("tid")? as u64);
+        let pid = field_num("pid")? as u64;
+        let key = (pid, field_num("tid")? as u64);
+        pids.insert(pid);
+
+        if ph == "M" {
+            // Metadata (process names in merged fleet traces): shape
+            // already checked above; exempt from clock/stack rules —
+            // `ts` is fixed at 0 regardless of where it sits in the
+            // array, and it opens no span.
+            continue;
+        }
 
         if let Some(&prev) = last_ts.get(&key) {
             if ts < prev {
@@ -84,12 +104,19 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
         match ph.as_str() {
             "B" => {
                 spans += 1;
-                stack.push(name);
+                stack.push((name, ts));
                 max_depth = max_depth.max(stack.len());
             }
             "E" => match stack.pop() {
-                Some(open) if open == name => {}
-                Some(open) => {
+                Some((open, begin)) if open == name => {
+                    if ts < begin {
+                        return Err(format!(
+                            "event {i}: span `{name}` ends at {ts}, before its begin at \
+                             {begin} — overlapping or badly re-based span"
+                        ));
+                    }
+                }
+                Some((open, _)) => {
                     return Err(format!(
                         "event {i}: end `{name}` does not match open span `{open}`"
                     ));
@@ -101,7 +128,7 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
     }
 
     for (key, stack) in &stacks {
-        if let Some(open) = stack.last() {
+        if let Some((open, _)) = stack.last() {
             return Err(format!("thread {key:?}: span `{open}` never ended"));
         }
     }
@@ -110,6 +137,7 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
         events: events.len(),
         spans,
         threads: stacks.len(),
+        processes: pids.len(),
         max_depth,
     })
 }
@@ -118,10 +146,14 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
 mod tests {
     use super::*;
 
-    fn ev(ph: &str, ts: u64, tid: u64, name: &str) -> String {
+    fn pev(ph: &str, ts: u64, pid: u64, tid: u64, name: &str) -> String {
         format!(
-            "{{\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"name\":\"{name}\",\"cat\":\"t\"}}"
+            "{{\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"name\":\"{name}\",\"cat\":\"t\"}}"
         )
+    }
+
+    fn ev(ph: &str, ts: u64, tid: u64, name: &str) -> String {
+        pev(ph, ts, 1, tid, name)
     }
 
     fn doc(events: &[String]) -> String {
@@ -142,7 +174,54 @@ mod tests {
         assert_eq!(s.events, 6);
         assert_eq!(s.spans, 3);
         assert_eq!(s.threads, 2);
+        assert_eq!(s.processes, 1);
         assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn accepts_merged_multi_process_trace_with_metadata() {
+        // A merged fleet trace: supervisor (pid 1) plus two worker
+        // lanes, with "M" process-name records at ts 0 sitting *after*
+        // later-timestamped events — exactly how the exporter emits
+        // them — which must not trip the monotone-clock check.
+        let meta = |pid: u64, name: &str| {
+            format!(
+                "{{\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"cat\":\"__metadata\",\"args\":{{\"name\":\"{name}\"}}}}"
+            )
+        };
+        let d = doc(&[
+            pev("B", 10, 1, 1, "fleet_module"),
+            pev("E", 90, 1, 1, "fleet_module"),
+            meta(1, "lcm-supervisor"),
+            meta(7, "lcm-worker-7"),
+            meta(8, "lcm-worker-8"),
+            pev("B", 20, 7, 1, "task"),
+            pev("E", 40, 7, 1, "task"),
+            pev("B", 25, 8, 1, "task"),
+            pev("E", 45, 8, 1, "task"),
+        ]);
+        let s = validate(&d).unwrap();
+        assert_eq!(s.events, 9);
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.processes, 3);
+        assert_eq!(s.threads, 3);
+
+        // Same tid on different pids is two independent lanes: their
+        // interleaved clocks must not be compared against each other.
+        let d = doc(&[
+            pev("B", 100, 7, 1, "task"),
+            pev("B", 5, 8, 1, "task"),
+            pev("E", 110, 7, 1, "task"),
+            pev("E", 6, 8, 1, "task"),
+        ]);
+        assert!(validate(&d).is_ok());
+
+        // A span whose end precedes its begin (a bad re-base offset)
+        // is rejected even when array order hides it from the simple
+        // monotonicity check on its own.
+        let d = doc(&[pev("B", 50, 7, 1, "task"), pev("E", 30, 7, 1, "task")]);
+        assert!(validate(&d).unwrap_err().contains("timestamp"));
     }
 
     #[test]

@@ -28,10 +28,20 @@
 //! `lcm-cli` additionally exposes the loop as the hidden `worker`
 //! subcommand, which is also what the integration tests point
 //! `worker_cmd` at.
+//!
+//! Observability crosses the process boundary too (DESIGN.md §6j):
+//! result frames carry the worker's drained span buffer and metrics
+//! delta, the supervisor re-bases span timestamps against a
+//! hello-exchanged clock offset and merges everything into one
+//! multi-process Chrome trace, worker heartbeats mirror a black-box
+//! breadcrumb ring for crash forensics, and every supervision decision
+//! (kill, restart, steal, redeliver) lands in `lcm_fleet_*` counters
+//! and an optional append-only JSONL event log
+//! ([`FleetConfig::events_out`]).
 
 pub mod proto;
 pub mod supervisor;
 pub mod worker;
 
-pub use supervisor::{Fleet, FleetConfig};
+pub use supervisor::{Fleet, FleetConfig, SlotHealth};
 pub use worker::{maybe_run_worker, worker_main, WORKER_ENV};

@@ -20,6 +20,8 @@ use lcm_core::speculation::SpeculationConfig;
 use lcm_core::taxonomy::TransmitterClass;
 use lcm_core::FaultPlan;
 use lcm_detect::{DetectorConfig, EngineKind, FunctionReport, FunctionStatus, PhaseTimings};
+use lcm_obs::metrics::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+use lcm_obs::trace::{ArgValue, ForeignEvent};
 use lcm_store::codec::{self, Corrupt, R, W};
 
 /// Refuse absurd frames (a corrupt length prefix must not drive a
@@ -72,6 +74,67 @@ pub struct Task {
     pub engine: EngineKind,
     /// The detector configuration (jobs is forced to 1 worker-side).
     pub config: DetectorConfig,
+    /// Record spans worker-side and ship them back with the result.
+    pub trace: bool,
+    /// The supervisor slot this task was dispatched to (trace/forensic
+    /// annotation only — results route by `task_id`).
+    pub worker_slot: u64,
+    /// The function's content fingerprint, split into `(hi, lo)` u64
+    /// halves of the u128 (annotation for traces and crash forensics).
+    pub fingerprint: (u64, u64),
+    /// Whether this dispatch stole the task from a peer slot's queue.
+    pub stolen: bool,
+}
+
+/// One breadcrumb in a worker's black-box ring: which task it was
+/// touching and how far it had gotten. Mirrored supervisor-side from
+/// heartbeats so a postmortem can name the last known phase even when
+/// the worker dies without a result frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crumb {
+    /// The task this crumb describes.
+    pub task_id: u64,
+    /// The task's function name.
+    pub fn_name: String,
+    /// The phase reached.
+    pub phase: CrumbPhase,
+    /// Microseconds on the worker's trace clock when the crumb was
+    /// dropped.
+    pub ts_us: u64,
+}
+
+/// How far a worker got with a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrumbPhase {
+    /// Task frame decoded, not yet analyzing.
+    Received,
+    /// Analysis in flight.
+    Analyzing,
+    /// Result written back.
+    Done,
+}
+
+impl CrumbPhase {
+    /// Stable lower-case name, used in event logs and `stats` replies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrumbPhase::Received => "received",
+            CrumbPhase::Analyzing => "analyzing",
+            CrumbPhase::Done => "done",
+        }
+    }
+}
+
+/// Telemetry shipped from worker to supervisor: the worker's span
+/// buffer since the last drain (timestamps still on the worker's
+/// clock) and the additive change of its metrics registry. Rides
+/// result frames and the final drain frame at clean exit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Telemetry {
+    /// Drained span events ([`lcm_obs::trace::drain_local_events`]).
+    pub spans: Vec<ForeignEvent>,
+    /// Registry delta ([`MetricsSnapshot::delta_since`]).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Supervisor → worker messages.
@@ -91,17 +154,27 @@ pub enum ToWorker {
 pub struct TaskResult {
     pub task_id: u64,
     pub report: FunctionReport,
+    /// Spans + metrics delta accumulated during this task. `None` when
+    /// the worker has nothing to ship (tracing off *and* no metric
+    /// moved).
+    pub telemetry: Option<Telemetry>,
 }
 
 /// Worker → supervisor messages.
 #[derive(Debug, Clone)]
 pub enum FromWorker {
-    /// First frame after spawn: the worker is alive.
-    Hello { pid: u64 },
-    /// Liveness beat, sent periodically while a task is in flight.
-    Beat,
+    /// First frame after spawn: the worker is alive. `now_us` is the
+    /// worker's trace clock at send time; the supervisor derives the
+    /// re-basing offset from it (see [`lcm_obs::trace::clock_us`]).
+    Hello { pid: u64, now_us: u64 },
+    /// Liveness beat, sent periodically while a task is in flight,
+    /// carrying the black-box breadcrumb ring (most recent last).
+    Beat { crumbs: Vec<Crumb> },
     /// A finished task.
     Result(TaskResult),
+    /// Final telemetry flush at clean worker exit (spans/metrics that
+    /// accrued after the last result, e.g. module compilation).
+    Drain(Telemetry),
 }
 
 fn engine_code(e: EngineKind) -> u8 {
@@ -367,6 +440,173 @@ fn decode_report(r: &mut R) -> Result<FunctionReport, Corrupt> {
     })
 }
 
+fn encode_foreign_event(w: &mut W, e: &ForeignEvent) {
+    w.u64(e.tid);
+    w.str(&e.name);
+    w.str(&e.cat);
+    w.bool(e.begin);
+    w.u64(e.ts_us);
+    w.u32(e.args.len() as u32);
+    for (k, v) in &e.args {
+        w.str(k);
+        match v {
+            ArgValue::Str(s) => {
+                w.u8(0);
+                w.str(s);
+            }
+            ArgValue::U64(n) => {
+                w.u8(1);
+                w.u64(*n);
+            }
+        }
+    }
+}
+
+fn decode_foreign_event(r: &mut R) -> Result<ForeignEvent, Corrupt> {
+    let tid = r.u64()?;
+    let name = r.str()?;
+    let cat = r.str()?;
+    let begin = r.bool()?;
+    let ts_us = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut args = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let k = r.str()?;
+        let v = match r.u8()? {
+            0 => ArgValue::Str(r.str()?),
+            1 => ArgValue::U64(r.u64()?),
+            _ => return Err(Corrupt),
+        };
+        args.push((k, v));
+    }
+    Ok(ForeignEvent {
+        tid,
+        name,
+        cat,
+        begin,
+        ts_us,
+        args,
+    })
+}
+
+fn encode_metrics(w: &mut W, s: &MetricsSnapshot) {
+    w.u32(s.metrics.len() as u32);
+    for (name, help, value) in &s.metrics {
+        w.str(name);
+        w.str(help);
+        match value {
+            MetricValue::Counter(n) => {
+                w.u8(1);
+                w.u64(*n);
+            }
+            MetricValue::Gauge(v) => {
+                w.u8(2);
+                w.u64(*v as u64);
+            }
+            MetricValue::Histogram(h) => {
+                w.u8(3);
+                w.u32(h.bounds.len() as u32);
+                for b in &h.bounds {
+                    w.u64(b.to_bits());
+                }
+                w.u32(h.counts.len() as u32);
+                for c in &h.counts {
+                    w.u64(*c);
+                }
+                w.u64(h.sum_secs.to_bits());
+                w.u64(h.count);
+            }
+        }
+    }
+}
+
+fn decode_metrics(r: &mut R) -> Result<MetricsSnapshot, Corrupt> {
+    let n = r.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let name = r.str()?;
+        let help = r.str()?;
+        let value = match r.u8()? {
+            1 => MetricValue::Counter(r.u64()?),
+            2 => MetricValue::Gauge(r.u64()? as i64),
+            3 => {
+                let nb = r.u32()? as usize;
+                let mut bounds = Vec::with_capacity(nb.min(64));
+                for _ in 0..nb {
+                    bounds.push(f64::from_bits(r.u64()?));
+                }
+                let nc = r.u32()? as usize;
+                let mut counts = Vec::with_capacity(nc.min(64));
+                for _ in 0..nc {
+                    counts.push(r.u64()?);
+                }
+                let sum_secs = f64::from_bits(r.u64()?);
+                let count = r.u64()?;
+                MetricValue::Histogram(HistogramSnapshot {
+                    bounds,
+                    counts,
+                    sum_secs,
+                    count,
+                })
+            }
+            _ => return Err(Corrupt),
+        };
+        metrics.push((name, help, value));
+    }
+    Ok(MetricsSnapshot { metrics })
+}
+
+fn encode_telemetry(w: &mut W, t: &Telemetry) {
+    w.u32(t.spans.len() as u32);
+    for e in &t.spans {
+        encode_foreign_event(w, e);
+    }
+    encode_metrics(w, &t.metrics);
+}
+
+fn decode_telemetry(r: &mut R) -> Result<Telemetry, Corrupt> {
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        spans.push(decode_foreign_event(r)?);
+    }
+    let metrics = decode_metrics(r)?;
+    Ok(Telemetry { spans, metrics })
+}
+
+fn encode_crumbs(w: &mut W, crumbs: &[Crumb]) {
+    w.u32(crumbs.len() as u32);
+    for c in crumbs {
+        w.u64(c.task_id);
+        w.str(&c.fn_name);
+        w.u8(match c.phase {
+            CrumbPhase::Received => 0,
+            CrumbPhase::Analyzing => 1,
+            CrumbPhase::Done => 2,
+        });
+        w.u64(c.ts_us);
+    }
+}
+
+fn decode_crumbs(r: &mut R) -> Result<Vec<Crumb>, Corrupt> {
+    let n = r.u32()? as usize;
+    let mut crumbs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        crumbs.push(Crumb {
+            task_id: r.u64()?,
+            fn_name: r.str()?,
+            phase: match r.u8()? {
+                0 => CrumbPhase::Received,
+                1 => CrumbPhase::Analyzing,
+                2 => CrumbPhase::Done,
+                _ => return Err(Corrupt),
+            },
+            ts_us: r.u64()?,
+        });
+    }
+    Ok(crumbs)
+}
+
 impl ToWorker {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = W::new();
@@ -384,6 +624,11 @@ impl ToWorker {
                 w.str(&t.fn_name);
                 w.u8(engine_code(t.engine));
                 encode_config(&mut w, &t.config);
+                w.bool(t.trace);
+                w.u64(t.worker_slot);
+                w.u64(t.fingerprint.0);
+                w.u64(t.fingerprint.1);
+                w.bool(t.stolen);
             }
         }
         w.0
@@ -403,6 +648,10 @@ impl ToWorker {
                 fn_name: r.str()?,
                 engine: engine_of(r.u8()?)?,
                 config: decode_config(&mut r)?,
+                trace: r.bool()?,
+                worker_slot: r.u64()?,
+                fingerprint: (r.u64()?, r.u64()?),
+                stolen: r.bool()?,
             }),
             _ => return Err(Corrupt),
         };
@@ -415,15 +664,30 @@ impl FromWorker {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = W::new();
         match self {
-            FromWorker::Hello { pid } => {
+            FromWorker::Hello { pid, now_us } => {
                 w.u8(1);
                 w.u64(*pid);
+                w.u64(*now_us);
             }
-            FromWorker::Beat => w.u8(2),
+            FromWorker::Beat { crumbs } => {
+                w.u8(2);
+                encode_crumbs(&mut w, crumbs);
+            }
             FromWorker::Result(res) => {
                 w.u8(3);
                 w.u64(res.task_id);
                 encode_report(&mut w, &res.report);
+                match &res.telemetry {
+                    None => w.u8(0),
+                    Some(t) => {
+                        w.u8(1);
+                        encode_telemetry(&mut w, t);
+                    }
+                }
+            }
+            FromWorker::Drain(t) => {
+                w.u8(4);
+                encode_telemetry(&mut w, t);
             }
         }
         w.0
@@ -432,12 +696,23 @@ impl FromWorker {
     pub fn decode(body: &[u8]) -> Result<Self, Corrupt> {
         let mut r = R::new(body);
         let msg = match r.u8()? {
-            1 => FromWorker::Hello { pid: r.u64()? },
-            2 => FromWorker::Beat,
+            1 => FromWorker::Hello {
+                pid: r.u64()?,
+                now_us: r.u64()?,
+            },
+            2 => FromWorker::Beat {
+                crumbs: decode_crumbs(&mut r)?,
+            },
             3 => FromWorker::Result(TaskResult {
                 task_id: r.u64()?,
                 report: decode_report(&mut r)?,
+                telemetry: match r.u8()? {
+                    0 => None,
+                    1 => Some(decode_telemetry(&mut r)?),
+                    _ => return Err(Corrupt),
+                },
             }),
+            4 => FromWorker::Drain(decode_telemetry(&mut r)?),
             _ => return Err(Corrupt),
         };
         r.finish()?;
@@ -470,6 +745,10 @@ mod tests {
             fn_name: "victim".into(),
             engine: EngineKind::Stl,
             config: sample_config(),
+            trace: true,
+            worker_slot: 5,
+            fingerprint: (0xdead_beef, 0xcafe),
+            stolen: true,
         });
         let body = msg.encode();
         let ToWorker::Task(t) = ToWorker::decode(&body).unwrap() else {
@@ -484,6 +763,10 @@ mod tests {
         assert_eq!(t.config.budgets.max_conflicts, Some(4096));
         assert!(t.config.faults.fires(site::WORKER_PANIC, 1));
         assert_eq!(t.config.jobs, 1, "workers always run serial");
+        assert!(t.trace);
+        assert_eq!(t.worker_slot, 5);
+        assert_eq!(t.fingerprint, (0xdead_beef, 0xcafe));
+        assert!(t.stolen);
     }
 
     #[test]
@@ -511,7 +794,11 @@ mod tests {
             },
         );
         report.saeg_size = 41;
-        let msg = FromWorker::Result(TaskResult { task_id: 9, report });
+        let msg = FromWorker::Result(TaskResult {
+            task_id: 9,
+            report,
+            telemetry: None,
+        });
         let FromWorker::Result(res) = FromWorker::decode(&msg.encode()).unwrap() else {
             panic!("wrong tag");
         };
@@ -524,6 +811,112 @@ mod tests {
         );
     }
 
+    fn sample_telemetry() -> Telemetry {
+        Telemetry {
+            spans: vec![
+                ForeignEvent {
+                    tid: 1,
+                    name: "task".into(),
+                    cat: "fleet".into(),
+                    begin: true,
+                    ts_us: 100,
+                    args: vec![
+                        ("fn".into(), ArgValue::Str("victim".into())),
+                        ("worker".into(), ArgValue::U64(2)),
+                    ],
+                },
+                ForeignEvent {
+                    tid: 1,
+                    name: "task".into(),
+                    cat: "fleet".into(),
+                    begin: false,
+                    ts_us: 250,
+                    args: Vec::new(),
+                },
+            ],
+            metrics: MetricsSnapshot {
+                metrics: vec![
+                    (
+                        "lcm_sat_queries_total".into(),
+                        "queries".into(),
+                        MetricValue::Counter(17),
+                    ),
+                    (
+                        "lcm_solve_latency_seconds".into(),
+                        "latency".into(),
+                        MetricValue::Histogram(HistogramSnapshot {
+                            bounds: vec![0.01, 0.1],
+                            counts: vec![3, 1, 0],
+                            sum_secs: 0.0625,
+                            count: 4,
+                        }),
+                    ),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn telemetry_round_trips_on_result_hello_beat_and_drain() {
+        // Hello carries the clock sample for re-basing.
+        let FromWorker::Hello { pid, now_us } = FromWorker::decode(
+            &FromWorker::Hello {
+                pid: 42,
+                now_us: 777,
+            }
+            .encode(),
+        )
+        .unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!((pid, now_us), (42, 777));
+        // Beat carries the breadcrumb ring.
+        let crumbs = vec![
+            Crumb {
+                task_id: 3,
+                fn_name: "victim_a".into(),
+                phase: CrumbPhase::Done,
+                ts_us: 10,
+            },
+            Crumb {
+                task_id: 4,
+                fn_name: "victim_b".into(),
+                phase: CrumbPhase::Analyzing,
+                ts_us: 20,
+            },
+        ];
+        let FromWorker::Beat { crumbs: got } = FromWorker::decode(
+            &FromWorker::Beat {
+                crumbs: crumbs.clone(),
+            }
+            .encode(),
+        )
+        .unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!(got, crumbs);
+        assert_eq!(got[1].phase.as_str(), "analyzing");
+        // Result carries optional telemetry, bit-exact (f64 ships as
+        // raw bits, so histogram sums survive).
+        let telemetry = sample_telemetry();
+        let msg = FromWorker::Result(TaskResult {
+            task_id: 9,
+            report: FunctionReport::degraded("victim".into(), AnalysisError::SolverAbort),
+            telemetry: Some(telemetry.clone()),
+        });
+        let FromWorker::Result(res) = FromWorker::decode(&msg.encode()).unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!(res.telemetry, Some(telemetry.clone()));
+        // Drain is a bare telemetry frame.
+        let FromWorker::Drain(got) =
+            FromWorker::decode(&FromWorker::Drain(telemetry.clone()).encode()).unwrap()
+        else {
+            panic!("wrong tag");
+        };
+        assert_eq!(got, telemetry);
+    }
+
     #[test]
     fn every_truncation_is_corrupt_not_panic() {
         let body = ToWorker::Task(Task {
@@ -533,10 +926,31 @@ mod tests {
             fn_name: "f".into(),
             engine: EngineKind::Pht,
             config: sample_config(),
+            trace: true,
+            worker_slot: 0,
+            fingerprint: (1, 2),
+            stolen: false,
         })
         .encode();
         for cut in 0..body.len() {
             assert!(ToWorker::decode(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        // Telemetry-bearing frames are total too.
+        let body = FromWorker::Drain(sample_telemetry()).encode();
+        for cut in 0..body.len() {
+            assert!(FromWorker::decode(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        let body = FromWorker::Beat {
+            crumbs: vec![Crumb {
+                task_id: 1,
+                fn_name: "f".into(),
+                phase: CrumbPhase::Received,
+                ts_us: 5,
+            }],
+        }
+        .encode();
+        for cut in 0..body.len() {
+            assert!(FromWorker::decode(&body[..cut]).is_err(), "cut at {cut}");
         }
     }
 

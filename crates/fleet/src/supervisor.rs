@@ -37,7 +37,8 @@
 //! armed fault.
 
 use std::collections::VecDeque;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Mutex;
@@ -46,11 +47,13 @@ use std::time::{Duration, Instant};
 use lcm_core::backoff_delay;
 use lcm_core::fault::{site, FaultPlan};
 use lcm_core::govern::AnalysisError;
+use lcm_core::jsonw::Json;
 use lcm_detect::{CacheStatus, DetectorConfig, EngineKind, FunctionReport, ModuleReport};
 use lcm_ir::Module;
+use lcm_obs::trace;
 use lcm_store::{clou_fingerprint, Store};
 
-use crate::proto::{self, FromWorker, Task, ToWorker};
+use crate::proto::{self, Crumb, FromWorker, Task, Telemetry, ToWorker};
 use crate::worker::WORKER_ENV;
 
 /// The fault sites the supervisor disarms on a task's redelivery.
@@ -90,6 +93,15 @@ pub struct FleetConfig {
     /// converges; the restart-storm tests switch it on to drive the
     /// circuit breaker.
     pub refire_faults_on_retry: bool,
+    /// Append-only JSONL event log: one object per supervision event
+    /// (worker_exit forensics, restart, steal, redeliver, degraded).
+    /// `None` disables the log.
+    pub events_out: Option<PathBuf>,
+    /// Whether workers record spans and ship them back. `None` (the
+    /// default) follows the supervisor's own tracer at dispatch time —
+    /// a `--trace-out` run traces its workers, an untraced run does
+    /// not. Tests pin it explicitly.
+    pub trace_workers: Option<bool>,
 }
 
 impl FleetConfig {
@@ -106,18 +118,65 @@ impl FleetConfig {
             max_task_attempts: 2,
             max_worker_restarts: 8,
             refire_faults_on_retry: false,
+            events_out: None,
+            trace_workers: None,
         }
     }
 }
 
 /// What a reader thread learned from one worker incarnation.
 enum Event {
-    Hello,
-    Beat,
+    /// First frame: the worker's pid and its trace-clock sample, from
+    /// which the supervisor derives the timestamp re-basing offset.
+    Hello {
+        now_us: u64,
+    },
+    /// Liveness beat carrying the worker's breadcrumb ring.
+    Beat {
+        crumbs: Vec<Crumb>,
+    },
     Result(proto::TaskResult),
-    /// Stream ended (EOF, torn frame, or undecodable garbage — all
-    /// treated as the death of that incarnation).
-    Gone,
+    /// Final telemetry flush of a cleanly exiting worker.
+    Drain(Telemetry),
+    /// Stream ended; `reason` distinguishes a clean EOF from a torn
+    /// frame or undecodable garbage (all are the death of that
+    /// incarnation, but forensics record which).
+    Gone {
+        reason: &'static str,
+    },
+}
+
+/// Lifetime health counters for one worker slot, as reported by
+/// [`Fleet::health`] (the daemon's `stats` reply and the JSONL event
+/// log read from the same numbers). Unlike the per-run restart budget,
+/// these never reset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotHealth {
+    /// Slot index.
+    pub slot: usize,
+    /// Current incarnation's OS pid (0 before the first spawn).
+    pub pid: u32,
+    /// Current incarnation id.
+    pub incarnation: u64,
+    /// Incarnations spawned beyond the first (i.e. restarts).
+    pub restarts: u64,
+    /// Tasks this slot executed that it stole from a peer's queue.
+    pub steals: u64,
+    /// Incarnations the supervisor killed, by any reason.
+    pub kills: u64,
+    /// Tasks redelivered away from this slot after a failure.
+    pub redeliveries: u64,
+    /// Results received.
+    pub tasks: u64,
+    /// Queue depth at the last dispatch sweep (0 when idle).
+    pub queue_depth: u64,
+    /// Whether the slot is retired for the current run.
+    pub retired: bool,
+    /// Whether a task is in flight right now.
+    pub busy: bool,
+    /// The last phase the worker's breadcrumb ring reported, e.g.
+    /// `"analyzing victim_a"`.
+    pub last_phase: Option<String>,
 }
 
 /// One worker slot: at most one live child process at a time, restarted
@@ -128,6 +187,17 @@ struct Slot {
     /// Monotonic incarnation id; events from dead incarnations are
     /// discarded by comparing against this.
     incarnation: u64,
+    /// Current incarnation's OS pid (0 = never spawned).
+    pid: u32,
+    /// When the current incarnation was spawned (uptime for forensics).
+    spawned_at: Instant,
+    /// `supervisor_clock − worker_clock` at hello receipt, µs: added to
+    /// every shipped span timestamp to land it on the supervisor's
+    /// trace clock.
+    epoch_offset_us: i64,
+    /// Supervisor-side mirror of the worker's breadcrumb ring (updated
+    /// on every beat; the crash postmortem reads it).
+    crumbs: Vec<Crumb>,
     /// Which module id this incarnation has been shipped.
     sent_module: Option<u64>,
     /// The in-flight task (index into the run's task table) and its
@@ -137,18 +207,28 @@ struct Slot {
     /// Consecutive failures since the last successful result — drives
     /// the backoff exponent.
     consecutive_failures: usize,
+    /// Restarts within the current run (the retire budget; resets per
+    /// run).
     restarts: usize,
     retired: bool,
     /// When the next respawn is allowed (backoff).
     restart_at: Option<Instant>,
+    /// Lifetime counters surfaced by [`Fleet::health`]. `health.pid`,
+    /// `.incarnation`, `.retired`, `.busy`, `.last_phase` are filled in
+    /// at read time.
+    health: SlotHealth,
 }
 
 impl Slot {
-    fn fresh() -> Slot {
+    fn fresh(index: usize) -> Slot {
         Slot {
             child: None,
             stdin: None,
             incarnation: 0,
+            pid: 0,
+            spawned_at: Instant::now(),
+            epoch_offset_us: 0,
+            crumbs: Vec::new(),
             sent_module: None,
             busy: None,
             last_beat: Instant::now(),
@@ -156,11 +236,22 @@ impl Slot {
             restarts: 0,
             retired: false,
             restart_at: None,
+            health: SlotHealth {
+                slot: index,
+                ..SlotHealth::default()
+            },
         }
     }
 
     fn live(&self) -> bool {
         self.child.is_some() && !self.retired
+    }
+
+    /// `"<phase> <fn>"` of the newest breadcrumb, if any.
+    fn last_phase(&self) -> Option<String> {
+        self.crumbs
+            .last()
+            .map(|c| format!("{} {}", c.phase.as_str(), c.fn_name))
     }
 }
 
@@ -171,6 +262,32 @@ struct Inner {
     rx: Receiver<(usize, u64, Event)>,
     next_module: u64,
     next_incarnation: u64,
+    /// The append-only JSONL event log (`config.events_out`); `None`
+    /// when disabled or the open failed (an unwritable log never fails
+    /// a run).
+    events: Option<std::fs::File>,
+}
+
+impl Inner {
+    /// Appends one event object to the JSONL log. `fields` follow the
+    /// standing `event` + `ts_us` members. Write errors drop the log
+    /// for the rest of the process — observability must never fail a
+    /// run.
+    fn log_event(&mut self, event: &str, fields: Vec<(String, Json)>) {
+        let Some(file) = self.events.as_mut() else {
+            return;
+        };
+        let mut members = vec![
+            ("event".to_string(), Json::Str(event.to_string())),
+            ("ts_us".to_string(), Json::Num(trace::clock_us() as f64)),
+        ];
+        members.extend(fields);
+        let mut line = Json::Obj(members).render();
+        line.push('\n');
+        if file.write_all(line.as_bytes()).is_err() {
+            self.events = None;
+        }
+    }
 }
 
 /// A supervised pool of worker processes. Cheap to share (`&self`
@@ -206,7 +323,14 @@ impl Fleet {
     /// a fleet that is constructed but never used costs nothing.
     pub fn new(config: FleetConfig) -> Fleet {
         let (tx, rx) = channel();
-        let slots = (0..config.workers.max(1)).map(|_| Slot::fresh()).collect();
+        let slots = (0..config.workers.max(1)).map(Slot::fresh).collect();
+        let events = config.events_out.as_ref().and_then(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .ok()
+        });
         Fleet {
             inner: Mutex::new(Inner {
                 config,
@@ -215,6 +339,7 @@ impl Fleet {
                 rx,
                 next_module: 1,
                 next_incarnation: 1,
+                events,
             }),
         }
     }
@@ -222,6 +347,26 @@ impl Fleet {
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.inner.lock().unwrap().config.workers
+    }
+
+    /// Per-slot lifetime health: restarts, steals, kills, redeliveries,
+    /// queue depths, and the last breadcrumb phase. The daemon's
+    /// `stats` reply renders these verbatim.
+    pub fn health(&self) -> Vec<SlotHealth> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .slots
+            .iter()
+            .map(|s| {
+                let mut h = s.health.clone();
+                h.pid = s.pid;
+                h.incarnation = s.incarnation;
+                h.retired = s.retired;
+                h.busy = s.busy.is_some();
+                h.last_phase = s.last_phase();
+                h
+            })
+            .collect()
     }
 
     /// Analyzes `module` (compiled from `source`) across the worker
@@ -273,6 +418,14 @@ impl Inner {
         let n = names.len();
         let mut done: Vec<Option<FunctionReport>> = (0..n).map(|_| None).collect();
         let faults = config.faults.merged_with_env();
+        // The supervisor's own lane in a merged trace: one span over
+        // the whole fleet run, bracketing every worker's task spans.
+        let mut run_span = trace::span("fleet_module", "fleet");
+        if trace::is_enabled() {
+            run_span.arg_str("engine", engine.label());
+            run_span.arg_u64("functions", n as u64);
+            run_span.arg_u64("workers", self.slots.len() as u64);
+        }
 
         // Cache pre-pass: hits never reach a worker. Mirrors
         // `cached_function_report`'s hit path (runtime = lookup time,
@@ -384,14 +537,28 @@ impl Inner {
                 // a deterministic lower-bound report, never a spin.
                 for q in &mut queues {
                     while let Some(t) = q.pop_front() {
-                        let task = &pending[t];
-                        done[task.fn_index] = Some(degraded_pool_exhausted(&task.name));
+                        let name = pending[t].name.clone();
+                        done[pending[t].fn_index] = Some(degraded_pool_exhausted(&name));
+                        self.log_event(
+                            "degraded",
+                            vec![
+                                ("fn".to_string(), Json::Str(name)),
+                                ("cause".to_string(), Json::Str("pool_exhausted".to_string())),
+                            ],
+                        );
                     }
                 }
                 for i in 0..self.slots.len() {
                     if let Some((t, _)) = self.slots[i].busy.take() {
-                        let task = &pending[t];
-                        done[task.fn_index] = Some(degraded_pool_exhausted(&task.name));
+                        let name = pending[t].name.clone();
+                        done[pending[t].fn_index] = Some(degraded_pool_exhausted(&name));
+                        self.log_event(
+                            "degraded",
+                            vec![
+                                ("fn".to_string(), Json::Str(name)),
+                                ("cause".to_string(), Json::Str("pool_exhausted".to_string())),
+                            ],
+                        );
                     }
                 }
                 // Every undone task was queued or in flight, so the run
@@ -407,6 +574,7 @@ impl Inner {
                 config,
                 faults,
                 pending,
+                fps,
                 &mut queues,
             );
 
@@ -418,25 +586,56 @@ impl Inner {
                     }
                     self.slots[slot].last_beat = Instant::now();
                     match event {
-                        Event::Hello | Event::Beat => {}
-                        Event::Result(res) => {
+                        Event::Hello { now_us } => {
+                            // Re-basing offset: both clocks sampled as
+                            // close together as the pipe allows.
+                            self.slots[slot].epoch_offset_us =
+                                trace::clock_us() as i64 - now_us as i64;
+                        }
+                        Event::Beat { crumbs } => {
+                            self.slots[slot].crumbs = crumbs;
+                        }
+                        Event::Result(mut res) => {
+                            if let Some(telemetry) = res.telemetry.take() {
+                                self.absorb_telemetry(slot, telemetry);
+                            }
                             let Some((t, _)) = self.slots[slot].busy.take() else {
                                 continue; // result for nothing? ignore
                             };
                             if res.task_id != t as u64 {
                                 // Protocol confusion: kill and redeliver.
                                 self.slots[slot].busy = Some((t, Instant::now()));
-                                self.fail_slot(slot, pending, &mut queues, done, &mut remaining);
+                                self.fail_slot(
+                                    slot,
+                                    "protocol",
+                                    pending,
+                                    fps,
+                                    &mut queues,
+                                    done,
+                                    &mut remaining,
+                                );
                                 continue;
                             }
                             self.slots[slot].consecutive_failures = 0;
+                            self.slots[slot].health.tasks += 1;
                             let task = &pending[t];
                             done[task.fn_index] =
                                 Some(finish_report(res.report, fps[task.fn_index], store));
                             remaining -= 1;
                         }
-                        Event::Gone => {
-                            self.fail_slot(slot, pending, &mut queues, done, &mut remaining);
+                        Event::Drain(telemetry) => {
+                            self.absorb_telemetry(slot, telemetry);
+                        }
+                        Event::Gone { reason } => {
+                            self.fail_slot(
+                                slot,
+                                reason,
+                                pending,
+                                fps,
+                                &mut queues,
+                                done,
+                                &mut remaining,
+                            );
                         }
                     }
                 }
@@ -456,9 +655,38 @@ impl Inner {
                 let deadline_blown = since.elapsed() > self.config.task_deadline;
                 let beat_stale = slot.last_beat.elapsed() > self.config.heartbeat_grace;
                 if deadline_blown || beat_stale {
-                    self.fail_slot(i, pending, &mut queues, done, &mut remaining);
+                    let reason = if deadline_blown { "deadline" } else { "stuck" };
+                    self.fail_slot(i, reason, pending, fps, &mut queues, done, &mut remaining);
                 }
             }
+        }
+        // Record final queue depths (all zero after a clean run; a
+        // storm-ended run leaves what it left).
+        for (i, q) in queues.iter().enumerate() {
+            self.slots[i].health.queue_depth = q.len() as u64;
+        }
+    }
+
+    /// Folds one worker's shipped telemetry into this process: span
+    /// timestamps re-base onto the supervisor's trace clock and queue
+    /// under the worker's pid lane; the metrics delta adds into the
+    /// global registry.
+    fn absorb_telemetry(&mut self, slot: usize, telemetry: Telemetry) {
+        let s = &self.slots[slot];
+        if !telemetry.spans.is_empty() {
+            let offset = s.epoch_offset_us;
+            let spans: Vec<_> = telemetry
+                .spans
+                .into_iter()
+                .map(|mut e| {
+                    e.ts_us = (e.ts_us as i64).saturating_add(offset).max(0) as u64;
+                    e
+                })
+                .collect();
+            trace::add_foreign_events(s.pid, spans);
+        }
+        if !telemetry.metrics.metrics.is_empty() {
+            lcm_obs::metrics::global().merge_delta(&telemetry.metrics);
         }
     }
 
@@ -480,14 +708,37 @@ impl Inner {
             self.next_incarnation += 1;
             match spawn_worker(&self.config.worker_cmd, i, incarnation, &self.tx) {
                 Ok((child, stdin)) => {
-                    let slot = &mut self.slots[i];
-                    slot.child = Some(child);
-                    slot.stdin = Some(stdin);
-                    slot.incarnation = incarnation;
-                    slot.sent_module = None;
-                    slot.busy = None;
-                    slot.last_beat = Instant::now();
-                    slot.restart_at = None;
+                    let pid = child.id();
+                    let restart = {
+                        let slot = &mut self.slots[i];
+                        let restart = slot.pid != 0;
+                        slot.child = Some(child);
+                        slot.stdin = Some(stdin);
+                        slot.incarnation = incarnation;
+                        slot.pid = pid;
+                        slot.spawned_at = Instant::now();
+                        slot.epoch_offset_us = 0;
+                        slot.crumbs = Vec::new();
+                        slot.sent_module = None;
+                        slot.busy = None;
+                        slot.last_beat = Instant::now();
+                        slot.restart_at = None;
+                        if restart {
+                            slot.health.restarts += 1;
+                        }
+                        restart
+                    };
+                    if restart {
+                        fleet_counter(Health::Restart).inc();
+                        self.log_event(
+                            "restart",
+                            vec![
+                                ("slot".to_string(), Json::Num(i as f64)),
+                                ("incarnation".to_string(), Json::Num(incarnation as f64)),
+                                ("pid".to_string(), Json::Num(pid as f64)),
+                            ],
+                        );
+                    }
                 }
                 Err(_) => {
                     let slot = &mut self.slots[i];
@@ -516,21 +767,23 @@ impl Inner {
         config: &DetectorConfig,
         faults: &FaultPlan,
         pending: &mut [TaskState],
+        fps: &[lcm_store::Fingerprint],
         queues: &mut [VecDeque<usize>],
     ) {
+        let trace_workers = self.config.trace_workers.unwrap_or_else(trace::is_enabled);
         for i in 0..self.slots.len() {
             if !self.slots[i].live() || self.slots[i].busy.is_some() {
                 continue;
             }
-            let t = match queues[i].pop_front() {
-                Some(t) => t,
+            let (t, stolen) = match queues[i].pop_front() {
+                Some(t) => (t, false),
                 None => {
                     // Steal from the back of the longest peer queue.
                     let victim = (0..queues.len())
                         .filter(|&j| j != i && !queues[j].is_empty())
                         .max_by_key(|&j| queues[j].len());
                     match victim {
-                        Some(j) => queues[j].pop_back().unwrap(),
+                        Some(j) => (queues[j].pop_back().unwrap(), true),
                         None => continue,
                     }
                 }
@@ -547,14 +800,32 @@ impl Inner {
             };
             let mut cfg = config.clone();
             cfg.faults = plan;
+            let fp = fps[task.fn_index].0;
+            let fn_name = task.name.clone();
             let frame = ToWorker::Task(Task {
                 task_id: t as u64,
                 module_id,
                 fn_index: task.fn_index as u64,
-                fn_name: task.name.clone(),
+                fn_name: fn_name.clone(),
                 engine,
                 config: cfg,
+                trace: trace_workers,
+                worker_slot: i as u64,
+                fingerprint: ((fp >> 64) as u64, fp as u64),
+                stolen,
             });
+            if stolen {
+                self.slots[i].health.steals += 1;
+                fleet_counter(Health::Steal).inc();
+                self.log_event(
+                    "steal",
+                    vec![
+                        ("slot".to_string(), Json::Num(i as f64)),
+                        ("fn".to_string(), Json::Str(fn_name.clone())),
+                        ("fingerprint".to_string(), Json::Str(fp_hex(fp))),
+                    ],
+                );
+            }
             let needs_module = self.slots[i].sent_module != Some(module_id);
             let sent = {
                 let stdin = self.slots[i].stdin.as_mut().expect("live slot has stdin");
@@ -580,23 +851,42 @@ impl Inner {
                 // attempt did not reach a worker, so it does not count.
                 task.attempts = attempt;
                 queues[i].push_front(t);
-                self.kill_incarnation(i);
+                self.reap_incarnation(i, "write_failed", None);
                 self.bump_failure(i);
             }
+            self.slots[i].health.queue_depth = queues[i].len() as u64;
         }
     }
 
-    /// A worker incarnation died (or was declared dead) — redistribute
-    /// its task, count the loss, restart with backoff or retire.
+    /// A worker incarnation died (or was declared dead) — emit the
+    /// forensic record, redistribute its task, count the loss, restart
+    /// with backoff or retire.
+    #[allow(clippy::too_many_arguments)]
     fn fail_slot(
         &mut self,
         i: usize,
+        reason: &'static str,
         pending: &mut [TaskState],
+        fps: &[lcm_store::Fingerprint],
         queues: &mut [VecDeque<usize>],
         done: &mut [Option<FunctionReport>],
         remaining: &mut usize,
     ) {
-        if let Some((t, _)) = self.slots[i].busy.take() {
+        // A clean EOF while a task was in flight is a crash; without
+        // one it is just an exit (still fatal for the incarnation).
+        let busy = self.slots[i].busy;
+        let reason = match (reason, busy) {
+            ("eof", Some(_)) => "crash",
+            ("eof", None) => "exit",
+            (r, _) => r,
+        };
+        let last_task = busy.map(|(t, _)| {
+            let task = &pending[t];
+            (task.name.clone(), fps[task.fn_index].0)
+        });
+        self.reap_incarnation(i, reason, last_task);
+        if let Some((t, _)) = busy {
+            self.slots[i].busy = None;
             let task = &mut pending[t];
             task.lost += 1;
             if task.lost >= self.config.max_task_attempts {
@@ -604,6 +894,19 @@ impl Inner {
                 // killed enough workers. Degrade deterministically.
                 done[task.fn_index] = Some(degraded_task_fatal(&task.name, task.lost));
                 *remaining -= 1;
+                let name = pending[t].name.clone();
+                let lost = pending[t].lost;
+                self.log_event(
+                    "degraded",
+                    vec![
+                        ("fn".to_string(), Json::Str(name)),
+                        ("lost".to_string(), Json::Num(lost as f64)),
+                        (
+                            "cause".to_string(),
+                            Json::Str("task_attempts_exhausted".to_string()),
+                        ),
+                    ],
+                );
             } else {
                 // Redistribute to the least-loaded surviving queue (the
                 // failed slot's own queue is still valid — it restarts).
@@ -612,10 +915,62 @@ impl Inner {
                     .min_by_key(|&j| queues[j].len())
                     .unwrap_or(i);
                 queues[target].push_front(t);
+                self.slots[i].health.redeliveries += 1;
+                fleet_counter(Health::Redelivery).inc();
+                let name = pending[t].name.clone();
+                self.log_event(
+                    "redeliver",
+                    vec![
+                        ("fn".to_string(), Json::Str(name)),
+                        ("from_slot".to_string(), Json::Num(i as f64)),
+                        ("to_slot".to_string(), Json::Num(target as f64)),
+                        ("lost".to_string(), Json::Num(pending[t].lost as f64)),
+                    ],
+                );
             }
         }
-        self.kill_incarnation(i);
         self.bump_failure(i);
+    }
+
+    /// Emits the black-box forensic record for a dying incarnation
+    /// (reason, uptime, restart count, last task, last breadcrumb
+    /// phase), bumps the kill counters, then kills and reaps the child.
+    fn reap_incarnation(&mut self, i: usize, reason: &str, last_task: Option<(String, u128)>) {
+        if self.slots[i].child.is_some() {
+            let slot = &self.slots[i];
+            let uptime_ms = slot.spawned_at.elapsed().as_millis() as f64;
+            let mut fields = vec![
+                ("reason".to_string(), Json::Str(reason.to_string())),
+                ("slot".to_string(), Json::Num(i as f64)),
+                (
+                    "incarnation".to_string(),
+                    Json::Num(slot.incarnation as f64),
+                ),
+                ("pid".to_string(), Json::Num(slot.pid as f64)),
+                ("uptime_ms".to_string(), Json::Num(uptime_ms)),
+                (
+                    "restarts".to_string(),
+                    Json::Num(slot.health.restarts as f64),
+                ),
+                (
+                    "last_phase".to_string(),
+                    slot.last_phase().map_or(Json::Null, Json::Str),
+                ),
+            ];
+            if let Some((fn_name, fp)) = last_task {
+                fields.push((
+                    "last_task".to_string(),
+                    Json::Obj(vec![
+                        ("fn".to_string(), Json::Str(fn_name)),
+                        ("fingerprint".to_string(), Json::Str(fp_hex(fp))),
+                    ]),
+                ));
+            }
+            self.slots[i].health.kills += 1;
+            kill_counter(reason).inc();
+            self.log_event("worker_exit", fields);
+        }
+        self.kill_incarnation(i);
     }
 
     fn bump_failure(&mut self, i: usize) {
@@ -677,13 +1032,28 @@ impl Inner {
     }
 
     fn shutdown(&mut self) {
+        let had_children = self.slots.iter().any(|s| s.child.is_some());
         // Close every stdin: workers exit on EOF.
         for slot in &mut self.slots {
             slot.stdin = None;
         }
-        // Grace period for clean exits, then kill stragglers.
+        if !had_children {
+            return; // nothing spawned (or already shut down)
+        }
+        // Grace period for clean exits, then kill stragglers. While
+        // waiting, pump the event channel: exiting workers flush a
+        // final `Drain` frame (spans recorded after their last result,
+        // metrics that accrued outside tasks) that must land in the
+        // merged trace.
         let deadline = Instant::now() + Duration::from_secs(2);
         loop {
+            while let Ok((slot, incarnation, event)) = self.rx.try_recv() {
+                if self.slots[slot].incarnation == incarnation {
+                    if let Event::Drain(telemetry) = event {
+                        self.absorb_telemetry(slot, telemetry);
+                    }
+                }
+            }
             let mut alive = false;
             for slot in &mut self.slots {
                 if let Some(child) = slot.child.as_mut() {
@@ -704,6 +1074,16 @@ impl Inner {
             if let Some(mut child) = slot.child.take() {
                 let _ = child.kill();
                 let _ = child.wait();
+            }
+        }
+        // Children are reaped, but a reader thread may still be
+        // flushing a Drain it pulled off the pipe — give it a beat.
+        std::thread::sleep(Duration::from_millis(20));
+        while let Ok((slot, incarnation, event)) = self.rx.try_recv() {
+            if self.slots[slot].incarnation == incarnation {
+                if let Event::Drain(telemetry) = event {
+                    self.absorb_telemetry(slot, telemetry);
+                }
             }
         }
     }
@@ -737,28 +1117,96 @@ fn spawn_worker(
         loop {
             match proto::read_frame(&mut reader) {
                 Ok(Some(body)) => match FromWorker::decode(&body) {
-                    Ok(FromWorker::Hello { .. }) => {
-                        let _ = tx.send((slot, incarnation, Event::Hello));
+                    Ok(FromWorker::Hello { now_us, .. }) => {
+                        let _ = tx.send((slot, incarnation, Event::Hello { now_us }));
                     }
-                    Ok(FromWorker::Beat) => {
-                        let _ = tx.send((slot, incarnation, Event::Beat));
+                    Ok(FromWorker::Beat { crumbs }) => {
+                        let _ = tx.send((slot, incarnation, Event::Beat { crumbs }));
                     }
                     Ok(FromWorker::Result(res)) => {
                         let _ = tx.send((slot, incarnation, Event::Result(res)));
                     }
+                    Ok(FromWorker::Drain(telemetry)) => {
+                        let _ = tx.send((slot, incarnation, Event::Drain(telemetry)));
+                    }
                     Err(_) => {
-                        let _ = tx.send((slot, incarnation, Event::Gone));
+                        let _ = tx.send((slot, incarnation, Event::Gone { reason: "corrupt" }));
                         return;
                     }
                 },
-                Ok(None) | Err(_) => {
-                    let _ = tx.send((slot, incarnation, Event::Gone));
+                Ok(None) => {
+                    let _ = tx.send((slot, incarnation, Event::Gone { reason: "eof" }));
+                    return;
+                }
+                Err(_) => {
+                    let _ = tx.send((
+                        slot,
+                        incarnation,
+                        Event::Gone {
+                            reason: "torn_frame",
+                        },
+                    ));
                     return;
                 }
             }
         }
     });
     Ok((child, stdin))
+}
+
+/// The run's content fingerprint rendered the way traces and event
+/// logs quote it: 32 lower-case hex digits.
+fn fp_hex(fp: u128) -> String {
+    format!("{fp:032x}")
+}
+
+/// Which fleet health counter to bump.
+enum Health {
+    Restart,
+    Steal,
+    Redelivery,
+}
+
+/// The supervisor's fleet health counters (`lcm_fleet_*_total`),
+/// registered once in the process-global registry.
+fn fleet_counter(which: Health) -> &'static lcm_obs::metrics::Counter {
+    use lcm_obs::metrics::{global, names, Counter};
+    use std::sync::OnceLock;
+    static HANDLES: OnceLock<[Counter; 3]> = OnceLock::new();
+    let [restarts, steals, redeliveries] = HANDLES.get_or_init(|| {
+        let g = global();
+        [
+            g.counter(
+                names::FLEET_RESTARTS,
+                "Worker-slot restarts performed by the fleet supervisor",
+            ),
+            g.counter(
+                names::FLEET_STEALS,
+                "Tasks an idle worker stole from a peer slot's queue",
+            ),
+            g.counter(
+                names::FLEET_REDELIVERIES,
+                "Tasks redelivered to a surviving queue after a worker failure",
+            ),
+        ]
+    });
+    match which {
+        Health::Restart => restarts,
+        Health::Steal => steals,
+        Health::Redelivery => redeliveries,
+    }
+}
+
+/// The per-reason kill counter
+/// (`lcm_fleet_kills_total{reason="crash"|"deadline"|…}`). Reasons are
+/// a small closed set, so the per-call registry lookup is fine — kills
+/// are rare by definition.
+fn kill_counter(reason: &str) -> lcm_obs::metrics::Counter {
+    use lcm_obs::metrics::{global, labeled, names};
+    global().counter(
+        &labeled(names::FLEET_KILLS, "reason", reason),
+        "Worker incarnations killed by the supervisor, by reason",
+    )
 }
 
 /// Applies the in-process cache discipline to a worker's report:

@@ -29,8 +29,10 @@ use lcm_core::govern::AnalysisError;
 use lcm_core::par::panic_message;
 use lcm_detect::{Detector, FunctionReport};
 use lcm_ir::Module;
+use lcm_obs::metrics::MetricsSnapshot;
+use lcm_obs::trace;
 
-use crate::proto::{self, FromWorker, Task, TaskResult, ToWorker};
+use crate::proto::{self, Crumb, CrumbPhase, FromWorker, Task, TaskResult, Telemetry, ToWorker};
 
 /// Environment marker the supervisor sets on worker children. A binary
 /// that may host workers calls [`maybe_run_worker`] first thing in
@@ -41,6 +43,35 @@ pub const WORKER_ENV: &str = "LCM_FLEET_WORKER";
 /// How often a busy worker beats. The supervisor's grace period is a
 /// config knob several multiples of this.
 pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Breadcrumbs the black-box ring retains (most recent last). Small on
+/// purpose: it rides every heartbeat frame.
+pub const CRUMB_RING: usize = 8;
+
+/// The black-box breadcrumb ring, shared between the task loop (which
+/// pushes phase marks) and the heartbeat thread (which mirrors the
+/// ring to the supervisor on every beat).
+#[derive(Clone, Default)]
+struct CrumbRing(Arc<Mutex<Vec<Crumb>>>);
+
+impl CrumbRing {
+    fn push(&self, task: &Task, phase: CrumbPhase) {
+        let mut ring = self.0.lock().unwrap();
+        if ring.len() == CRUMB_RING {
+            ring.remove(0);
+        }
+        ring.push(Crumb {
+            task_id: task.task_id,
+            fn_name: task.fn_name.clone(),
+            phase,
+            ts_us: trace::clock_us(),
+        });
+    }
+
+    fn snapshot(&self) -> Vec<Crumb> {
+        self.0.lock().unwrap().clone()
+    }
+}
 
 extern "C" {
     fn kill(pid: i32, sig: i32) -> i32;
@@ -72,28 +103,69 @@ fn write_msg(out: &Mutex<io::Stdout>, msg: &FromWorker) -> io::Result<()> {
     proto::write_frame(&mut *out, &msg.encode())
 }
 
+/// The worker's telemetry state: the last-shipped metrics snapshot,
+/// so each result frame carries only the delta since the previous one.
+struct TelemetryState {
+    last_metrics: MetricsSnapshot,
+}
+
+impl TelemetryState {
+    /// Collects everything that accrued since the last collection:
+    /// buffered spans (when tracing ran) and the metrics delta.
+    /// Returns `None` when both are empty, so untraced idle tasks ship
+    /// no telemetry bytes at all.
+    fn collect(&mut self) -> Option<Telemetry> {
+        let spans = if trace::is_enabled() {
+            trace::drain_local_events()
+        } else {
+            Vec::new()
+        };
+        let cur = lcm_obs::metrics::global().snapshot();
+        let metrics = cur.delta_since(&self.last_metrics);
+        self.last_metrics = cur;
+        if spans.is_empty() && metrics.metrics.is_empty() {
+            return None;
+        }
+        Some(Telemetry { spans, metrics })
+    }
+}
+
 fn run_worker(input: &mut impl Read) -> i32 {
     let out = Arc::new(Mutex::new(io::stdout()));
     let busy = Arc::new(AtomicBool::new(false));
+    let crumbs = CrumbRing::default();
     {
         // Heartbeat thread: beats only while a task is in flight (an
         // idle fleet must not fill the supervisor's event queue). A
         // failed write means the supervisor is gone — nothing left to
-        // beat for.
+        // beat for. Each beat mirrors the breadcrumb ring.
         let out = Arc::clone(&out);
         let busy = Arc::clone(&busy);
+        let crumbs = crumbs.clone();
         std::thread::spawn(move || loop {
             std::thread::sleep(HEARTBEAT_INTERVAL);
-            if busy.load(Ordering::Relaxed) && write_msg(&out, &FromWorker::Beat).is_err() {
-                std::process::exit(0);
+            if busy.load(Ordering::Relaxed) {
+                let beat = FromWorker::Beat {
+                    crumbs: crumbs.snapshot(),
+                };
+                if write_msg(&out, &beat).is_err() {
+                    std::process::exit(0);
+                }
             }
         });
     }
     let pid = unsafe { getpid() } as u64;
-    if write_msg(&out, &FromWorker::Hello { pid }).is_err() {
+    let hello = FromWorker::Hello {
+        pid,
+        now_us: trace::clock_us(),
+    };
+    if write_msg(&out, &hello).is_err() {
         return 1;
     }
 
+    let mut telemetry = TelemetryState {
+        last_metrics: lcm_obs::metrics::global().snapshot(),
+    };
     // The current module: compiled once per `Module` frame, reused by
     // every subsequent task. A compile error is remembered so tasks
     // against the broken module degrade instead of wedging.
@@ -101,7 +173,16 @@ fn run_worker(input: &mut impl Read) -> i32 {
     loop {
         let body = match proto::read_frame(input) {
             Ok(Some(body)) => body,
-            Ok(None) => return 0, // supervisor closed our stdin: drain done
+            Ok(None) => {
+                // Supervisor closed our stdin: flush whatever telemetry
+                // accrued after the last result (module compiles,
+                // stray metrics), then exit cleanly. A dead supervisor
+                // ignores the write error.
+                if let Some(t) = telemetry.collect() {
+                    let _ = write_msg(&out, &FromWorker::Drain(t));
+                }
+                return 0;
+            }
             Err(_) => return 1,
         };
         let Ok(msg) = ToWorker::decode(&body) else {
@@ -114,7 +195,7 @@ fn run_worker(input: &mut impl Read) -> i32 {
             }
             ToWorker::Task(task) => {
                 busy.store(true, Ordering::Relaxed);
-                let ok = handle_task(&out, &busy, &module, task);
+                let ok = handle_task(&out, &busy, &crumbs, &mut telemetry, &module, task);
                 busy.store(false, Ordering::Relaxed);
                 if !ok {
                     return 1;
@@ -127,9 +208,20 @@ fn run_worker(input: &mut impl Read) -> i32 {
 fn handle_task(
     out: &Mutex<io::Stdout>,
     busy: &AtomicBool,
+    crumbs: &CrumbRing,
+    telemetry: &mut TelemetryState,
     module: &Option<(u64, Result<Module, String>)>,
     task: Task,
 ) -> bool {
+    crumbs.push(&task, CrumbPhase::Received);
+    // The supervisor decides per dispatch whether this worker records
+    // spans (it follows the run's `--trace-out`). Enabling is sticky
+    // until a task says otherwise, so a mixed sequence stays correct.
+    if task.trace {
+        trace::enable();
+    } else {
+        trace::disable();
+    }
     let idx = task.fn_index as usize;
     let faults = &task.config.faults;
     if faults.fires(site::FLEET_WORKER_CRASH, idx) {
@@ -151,6 +243,18 @@ fn handle_task(
         }
     }
 
+    crumbs.push(&task, CrumbPhase::Analyzing);
+    let mut task_span = trace::span("task", "fleet");
+    if trace::is_enabled() {
+        task_span.arg_str("fn", &task.fn_name);
+        task_span.arg_str("engine", task.engine.label());
+        task_span.arg_u64("worker", task.worker_slot);
+        task_span.arg_str(
+            "fingerprint",
+            &format!("{:016x}{:016x}", task.fingerprint.0, task.fingerprint.1),
+        );
+        task_span.arg_str("dispatch", if task.stolen { "stolen" } else { "owned" });
+    }
     let report = match module {
         Some((id, Ok(m))) if *id == task.module_id => {
             let det = Detector::new(task.config.clone());
@@ -180,9 +284,14 @@ fn handle_task(
         ),
     };
 
+    drop(task_span);
+    crumbs.push(&task, CrumbPhase::Done);
     let body = FromWorker::Result(TaskResult {
         task_id: task.task_id,
         report,
+        // Metrics ship whether or not spans were recorded: aggregation
+        // must not depend on tracing being on.
+        telemetry: telemetry.collect(),
     })
     .encode();
     if faults.fires(site::FLEET_TASK_TORN, idx) {

@@ -77,6 +77,27 @@ pub mod names {
     /// Candidate choice vectors skipped as non-canonical under the
     /// program's symmetry group (location/thread renaming).
     pub const ENUM_SYMMETRY_PRUNED: &str = "lcm_enum_symmetry_pruned_total";
+    /// Worker-slot restarts performed by the fleet supervisor.
+    pub const FLEET_RESTARTS: &str = "lcm_fleet_restarts_total";
+    /// Tasks an idle worker stole from a peer slot's queue.
+    pub const FLEET_STEALS: &str = "lcm_fleet_steals_total";
+    /// Tasks redelivered to a surviving queue after a worker failure.
+    pub const FLEET_REDELIVERIES: &str = "lcm_fleet_redeliveries_total";
+    /// Worker incarnations killed by the supervisor. Registered per
+    /// reason via [`super::labeled`], e.g.
+    /// `lcm_fleet_kills_total{reason="crash"}`.
+    pub const FLEET_KILLS: &str = "lcm_fleet_kills_total";
+}
+
+/// Builds a single-label series name — `name{key="value"}` — usable as
+/// a registry key. [`MetricsRegistry::render_prometheus`] emits one
+/// `# HELP`/`# TYPE` preamble per base name, so labeled siblings
+/// (adjacent in the sorted registry) render as one metric family.
+/// Convention: label counters and gauges only; histogram series
+/// already append `_bucket{le=…}` suffixes that do not compose with a
+/// labeled base.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}=\"{value}\"}}")
 }
 
 /// A monotonically increasing counter.
@@ -259,6 +280,85 @@ pub fn latency_buckets() -> Vec<f64> {
     exp_buckets(1e-6, 4.0, 12)
 }
 
+/// A point-in-time value of one metric, detached from any registry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's buckets, sum, and count.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole registry: `(name, help, value)`
+/// triples in name order.
+///
+/// This is the unit of cross-process metrics aggregation: a worker
+/// snapshots its registry around each task, ships
+/// [`MetricsSnapshot::delta_since`] the previous snapshot over the
+/// wire, and the supervisor folds the delta into its own registry with
+/// [`MetricsRegistry::merge_delta`] — counters add, histograms merge
+/// bucket-wise, so fleet-wide totals read exactly like in-process ones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, help, value)`, ascending by name.
+    pub metrics: Vec<(String, String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The additive change from `prev` (an earlier snapshot of the
+    /// same registry) to `self`: counters subtract, histograms
+    /// subtract per bucket. Zero entries are dropped, so an idle
+    /// interval yields an empty delta. Gauges are point-in-time, not
+    /// additive — they never appear in a delta and stay process-local.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let before: BTreeMap<&str, &MetricValue> = prev
+            .metrics
+            .iter()
+            .map(|(n, _, v)| (n.as_str(), v))
+            .collect();
+        let mut metrics = Vec::new();
+        for (name, help, value) in &self.metrics {
+            let prev_v = before.get(name.as_str());
+            let d = match (value, prev_v) {
+                (MetricValue::Counter(cur), Some(MetricValue::Counter(p))) => {
+                    let d = cur.saturating_sub(*p);
+                    if d == 0 {
+                        continue;
+                    }
+                    MetricValue::Counter(d)
+                }
+                (MetricValue::Counter(cur), _) => {
+                    if *cur == 0 {
+                        continue;
+                    }
+                    MetricValue::Counter(*cur)
+                }
+                (MetricValue::Histogram(cur), prev_v) => {
+                    let mut h = cur.clone();
+                    if let Some(MetricValue::Histogram(p)) = prev_v {
+                        if p.bounds == h.bounds {
+                            for (c, pc) in h.counts.iter_mut().zip(&p.counts) {
+                                *c = c.saturating_sub(*pc);
+                            }
+                            h.count = h.count.saturating_sub(p.count);
+                            h.sum_secs = (h.sum_secs - p.sum_secs).max(0.0);
+                        }
+                    }
+                    if h.count == 0 {
+                        continue;
+                    }
+                    MetricValue::Histogram(h)
+                }
+                (MetricValue::Gauge(_), _) => continue,
+            };
+            metrics.push((name.clone(), help.clone(), d));
+        }
+        MetricsSnapshot { metrics }
+    }
+}
+
 #[derive(Debug)]
 enum Metric {
     Counter { help: String, handle: Counter },
@@ -346,24 +446,89 @@ impl MetricsRegistry {
         }
     }
 
+    /// A point-in-time copy of every registered metric, for shipping
+    /// across a process boundary (see [`MetricsSnapshot`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            metrics: inner
+                .iter()
+                .map(|(name, m)| match m {
+                    Metric::Counter { help, handle } => (
+                        name.clone(),
+                        help.clone(),
+                        MetricValue::Counter(handle.get()),
+                    ),
+                    Metric::Gauge { help, handle } => {
+                        (name.clone(), help.clone(), MetricValue::Gauge(handle.get()))
+                    }
+                    Metric::Histogram { help, handle } => (
+                        name.clone(),
+                        help.clone(),
+                        MetricValue::Histogram(handle.snapshot()),
+                    ),
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds a foreign delta into this registry: counters and gauges
+    /// add, histograms add per bucket. Metrics not yet registered here
+    /// are created with the shipped help text. A histogram delta whose
+    /// bounds disagree with the already-registered histogram is
+    /// dropped rather than mis-bucketed (in practice every process
+    /// buckets latencies with [`latency_buckets`], so bounds agree).
+    pub fn merge_delta(&self, delta: &MetricsSnapshot) {
+        for (name, help, value) in &delta.metrics {
+            match value {
+                MetricValue::Counter(n) => self.counter(name, help).add(*n),
+                MetricValue::Gauge(v) => self.gauge(name, help).add(*v),
+                MetricValue::Histogram(h) => {
+                    let handle = self.histogram(name, help, h.bounds.clone());
+                    if handle.0.bounds != h.bounds || h.counts.len() != handle.0.buckets.len() {
+                        continue;
+                    }
+                    for (i, c) in h.counts.iter().enumerate() {
+                        handle.0.buckets[i].fetch_add(*c, Ordering::Relaxed);
+                    }
+                    handle
+                        .0
+                        .sum_nanos
+                        .fetch_add((h.sum_secs * 1e9) as u64, Ordering::Relaxed);
+                    handle.0.count.fetch_add(h.count, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Renders the registry as Prometheus text exposition (version
     /// 0.0.4): `# HELP` / `# TYPE` preambles, `_bucket{le="…"}` /
     /// `_sum` / `_count` series for histograms. Names sort
     /// lexicographically (the registry is a `BTreeMap`), so output is
-    /// deterministic.
+    /// deterministic. Labeled series built with [`labeled`] sort
+    /// adjacent to their siblings and share one preamble per base
+    /// name.
     pub fn render_prometheus(&self) -> String {
         let inner = self.inner.lock().unwrap();
         let mut out = String::new();
+        let mut last_base: Option<String> = None;
         for (name, m) in inner.iter() {
+            let base = name.split('{').next().unwrap_or(name).to_string();
+            let preamble = last_base.as_deref() != Some(base.as_str());
+            last_base = Some(base.clone());
             match m {
                 Metric::Counter { help, handle } => {
-                    out.push_str(&format!("# HELP {name} {help}\n"));
-                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    if preamble {
+                        out.push_str(&format!("# HELP {base} {help}\n"));
+                        out.push_str(&format!("# TYPE {base} counter\n"));
+                    }
                     out.push_str(&format!("{name} {}\n", handle.get()));
                 }
                 Metric::Gauge { help, handle } => {
-                    out.push_str(&format!("# HELP {name} {help}\n"));
-                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    if preamble {
+                        out.push_str(&format!("# HELP {base} {help}\n"));
+                        out.push_str(&format!("# TYPE {base} gauge\n"));
+                    }
                     out.push_str(&format!("{name} {}\n", handle.get()));
                 }
                 Metric::Histogram { help, handle } => {
@@ -396,7 +561,10 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\"{name}\":"));
+            // Labeled names carry quotes; escape so the key stays a
+            // valid JSON string.
+            crate::trace::esc_into(&mut out, name);
+            out.push(':');
             match m {
                 Metric::Counter { handle, .. } => out.push_str(&handle.get().to_string()),
                 Metric::Gauge { handle, .. } => out.push_str(&handle.get().to_string()),
@@ -529,6 +697,95 @@ mod tests {
         h.observe_secs(50.0); // +Inf bucket
         h.observe_secs(0.05);
         assert!((h.quantile(0.99).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_delta_merge_folds_worker_metrics() {
+        // "Worker" registry: some baseline activity, then a task.
+        let w = MetricsRegistry::new();
+        let c = w.counter("lcm_sat_queries_total", "queries");
+        let h = w.histogram("lcm_solve_latency_seconds", "latency", vec![0.01, 0.1]);
+        let g = w.gauge("lcm_depth", "depth");
+        c.add(10);
+        h.observe_secs(0.005);
+        g.set(3);
+        let before = w.snapshot();
+        // Idle interval: empty delta.
+        assert_eq!(w.snapshot().delta_since(&before).metrics.len(), 0);
+        // The task: 7 more queries, 2 more observations.
+        c.add(7);
+        h.observe_secs(0.05);
+        h.observe_secs(5.0); // +Inf bucket
+        g.set(9);
+        let delta = w.snapshot().delta_since(&before);
+        // Gauges never ship; zero counters are dropped.
+        assert_eq!(delta.metrics.len(), 2, "{delta:?}");
+        assert_eq!(
+            delta.metrics[0].2,
+            MetricValue::Counter(7),
+            "counter delta subtracts the baseline"
+        );
+        let MetricValue::Histogram(hd) = &delta.metrics[1].2 else {
+            panic!("expected histogram delta: {delta:?}");
+        };
+        assert_eq!(hd.counts, vec![0, 1, 1]);
+        assert_eq!(hd.count, 2);
+        // "Supervisor" registry with its own prior counts.
+        let s = MetricsRegistry::new();
+        s.counter("lcm_sat_queries_total", "queries").add(100);
+        s.merge_delta(&delta);
+        assert_eq!(s.counter("lcm_sat_queries_total", "").get(), 107);
+        let sh = s
+            .histogram("lcm_solve_latency_seconds", "", vec![0.01, 0.1])
+            .snapshot();
+        assert_eq!(sh.counts, vec![0, 1, 1]);
+        assert_eq!(sh.count, 2);
+        assert!((sh.sum_secs - 5.05).abs() < 1e-6);
+        // Merging the same delta again keeps adding (caller tracks
+        // what was already shipped).
+        s.merge_delta(&delta);
+        assert_eq!(s.counter("lcm_sat_queries_total", "").get(), 114);
+        // Mismatched bounds are dropped, not mis-bucketed.
+        let t = MetricsRegistry::new();
+        t.histogram("lcm_solve_latency_seconds", "", vec![1.0]);
+        t.merge_delta(&delta);
+        assert_eq!(
+            t.histogram("lcm_solve_latency_seconds", "", vec![1.0])
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn labeled_series_share_one_prometheus_preamble() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            &labeled(names::FLEET_KILLS, "reason", "crash"),
+            "workers killed",
+        )
+        .add(3);
+        r.counter(
+            &labeled(names::FLEET_KILLS, "reason", "deadline"),
+            "workers killed",
+        )
+        .inc();
+        r.counter(names::FLEET_RESTARTS, "restarts").inc();
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# HELP lcm_fleet_kills_total ").count(),
+            1,
+            "one preamble for the family: {text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE lcm_fleet_kills_total counter").count(),
+            1
+        );
+        assert!(text.contains("lcm_fleet_kills_total{reason=\"crash\"} 3"));
+        assert!(text.contains("lcm_fleet_kills_total{reason=\"deadline\"} 1"));
+        assert!(text.contains("# HELP lcm_fleet_restarts_total restarts"));
+        // JSON keys escape the embedded quotes and stay parseable.
+        let json = r.render_json();
+        assert!(json.contains("\"lcm_fleet_kills_total{reason=\\\"crash\\\"}\":3"));
     }
 
     #[test]

@@ -77,6 +77,18 @@ fn now_us() -> u64 {
     base().elapsed().as_micros() as u64
 }
 
+/// Current timestamp on this process's trace clock, in microseconds.
+///
+/// Trace timestamps are offsets from a per-process [`Instant`] base, so
+/// two processes' spans cannot be compared raw. A coordinator that
+/// merges foreign spans reads both clocks at handshake time (the
+/// worker ships `clock_us()` in its hello frame), computes
+/// `offset = coordinator_now − worker_now`, and adds the offset to
+/// every foreign timestamp before [`add_foreign_events`].
+pub fn clock_us() -> u64 {
+    now_us()
+}
+
 fn buffers() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
     static R: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
     R.get_or_init(|| Mutex::new(Vec::new()))
@@ -219,9 +231,109 @@ impl Drop for Span {
     }
 }
 
+/// One span event in process-independent form: owned strings, ready to
+/// cross a process boundary. A worker drains its thread buffers into
+/// these ([`drain_local_events`]); the coordinator re-bases the
+/// timestamps onto its own clock (see [`clock_us`]) and hands them to
+/// [`add_foreign_events`] for the next export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeignEvent {
+    /// Thread lane within the originating process.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub cat: String,
+    /// `true` for a `"B"` event, `false` for the matching `"E"`.
+    pub begin: bool,
+    /// Microseconds on the originating process's trace clock (until
+    /// re-based by the coordinator).
+    pub ts_us: u64,
+    /// Span arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Soft cap on buffered foreign events across all processes; whole
+/// batches past the cap are dropped (a partial batch would unbalance
+/// some thread's B/E stream).
+const MAX_FOREIGN_EVENTS: usize = 1 << 20;
+
+/// Foreign batches awaiting export, in arrival order. Kept per-batch
+/// (not flattened) so each batch's internal balance survives the cap.
+fn foreign() -> &'static Mutex<Vec<(u32, Vec<ForeignEvent>)>> {
+    static R: OnceLock<Mutex<Vec<(u32, Vec<ForeignEvent>)>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains this process's thread buffers into a balanced, owned event
+/// vector — the worker half of cross-process trace shipping.
+///
+/// Exactly like [`export_chrome_trace`], spans still open get a
+/// synthesized end at the drain timestamp and their guards skip the
+/// now-stale end on drop, so every drained batch is balanced per
+/// thread and successive batches from one thread stay monotone.
+pub fn drain_local_events() -> Vec<ForeignEvent> {
+    EPOCH.fetch_add(1, Ordering::AcqRel);
+    let bufs: Vec<Arc<ThreadBuf>> = buffers().lock().unwrap().clone();
+    let mut out = Vec::new();
+    for buf in bufs {
+        let events: Vec<Event> = std::mem::take(&mut *buf.events.lock().unwrap());
+        let mut open: Vec<usize> = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if e.begin {
+                open.push(i);
+            } else {
+                open.pop();
+            }
+            out.push(ForeignEvent {
+                tid: buf.tid,
+                name: e.name.to_string(),
+                cat: e.cat.to_string(),
+                begin: e.begin,
+                ts_us: e.ts_us,
+                args: e
+                    .args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        }
+        let close_ts = now_us().max(events.last().map_or(0, |e| e.ts_us));
+        for &i in open.iter().rev() {
+            out.push(ForeignEvent {
+                tid: buf.tid,
+                name: events[i].name.to_string(),
+                cat: events[i].cat.to_string(),
+                begin: false,
+                ts_us: close_ts,
+                args: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Queues a batch of re-based events from process `pid` for the next
+/// [`export_chrome_trace`], which renders them under their own `pid`
+/// lane with a `process_name` metadata record. Batches should already
+/// be balanced per thread ([`drain_local_events`] guarantees this) and
+/// re-based onto this process's clock. Batches past a soft global cap
+/// are dropped whole.
+pub fn add_foreign_events(pid: u32, events: Vec<ForeignEvent>) {
+    if events.is_empty() {
+        return;
+    }
+    let mut store = foreign().lock().unwrap();
+    let held: usize = store.iter().map(|(_, b)| b.len()).sum();
+    if held + events.len() > MAX_FOREIGN_EVENTS {
+        return;
+    }
+    store.push((pid, events));
+}
+
 /// Minimal JSON string escaper (the crate takes no dependency on
 /// `lcm-core`). Non-ASCII passes through raw — UTF-8 is valid JSON.
-fn esc_into(out: &mut String, s: &str) {
+pub(crate) fn esc_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -270,6 +382,46 @@ fn event_into(out: &mut String, pid: u32, tid: u64, e: &Event) {
     out.push('}');
 }
 
+fn foreign_event_into(out: &mut String, pid: u32, e: &ForeignEvent) {
+    out.push_str("{\"ph\":\"");
+    out.push(if e.begin { 'B' } else { 'E' });
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.ts_us.to_string());
+    out.push_str(",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    out.push_str(",\"name\":");
+    esc_into(out, &e.name);
+    out.push_str(",\"cat\":");
+    esc_into(out, &e.cat);
+    if !e.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            esc_into(out, k);
+            out.push(':');
+            match v {
+                ArgValue::Str(s) => esc_into(out, s),
+                ArgValue::U64(n) => out.push_str(&n.to_string()),
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// A Chrome `"M"` (metadata) record naming a process lane.
+fn process_name_into(out: &mut String, pid: u32, name: &str) {
+    out.push_str("{\"ph\":\"M\",\"ts\":0,\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":0,\"name\":\"process_name\",\"cat\":\"__metadata\",\"args\":{\"name\":");
+    esc_into(out, name);
+    out.push_str("}}");
+}
+
 /// Drains every thread's buffer into one Chrome `trace_event` JSON
 /// document (`{"traceEvents": [...]}`), loadable by `chrome://tracing`
 /// and Perfetto.
@@ -278,6 +430,11 @@ fn event_into(out: &mut String, pid: u32, tid: u64, e: &Event) {
 /// timestamp, so the document is always balanced; their guards skip
 /// the stale end when they eventually drop. Buffers are left empty but
 /// registered — recording continues afterwards if still enabled.
+///
+/// Queued foreign batches ([`add_foreign_events`]) are drained too:
+/// they render under their originating `pid` with `process_name`
+/// metadata records distinguishing the lanes, producing one merged
+/// multi-process timeline.
 pub fn export_chrome_trace() -> String {
     // Bump first: guards that drop from here on skip their end event.
     EPOCH.fetch_add(1, Ordering::AcqRel);
@@ -317,6 +474,32 @@ pub fn export_chrome_trace() -> String {
             event_into(&mut out, pid, buf.tid, &e);
         }
     }
+    // Foreign batches render under their own pid lane. Process-name
+    // metadata records appear only for multi-process traces, so a
+    // single-process export is byte-for-byte what it always was.
+    let batches: Vec<(u32, Vec<ForeignEvent>)> = std::mem::take(&mut *foreign().lock().unwrap());
+    if !batches.is_empty() {
+        let mut named: Vec<u32> = vec![pid];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        process_name_into(&mut out, pid, "lcm-supervisor");
+        for (fpid, _) in &batches {
+            if !named.contains(fpid) {
+                named.push(*fpid);
+                out.push(',');
+                process_name_into(&mut out, *fpid, &format!("lcm-worker-{fpid}"));
+            }
+        }
+        for (fpid, events) in &batches {
+            for e in events {
+                out.push(',');
+                foreign_event_into(&mut out, *fpid, e);
+            }
+        }
+    }
+    let _ = first;
     out.push_str("]}");
     out
 }
@@ -378,5 +561,61 @@ mod tests {
         assert!(!empty.contains("dangling"), "stale end leaked: {empty}");
         // The disabled span never recorded.
         assert!(!doc.contains("idle"));
+        // A single-process export carries no metadata records.
+        assert!(!doc.contains("\"ph\":\"M\""));
+
+        // Cross-process half: drain this process's spans as if we were
+        // a worker, then feed them back as a foreign batch.
+        enable();
+        {
+            {
+                let mut s = span("task", "fleet");
+                s.arg_str("fn", "victim_a");
+            }
+            let _open = span("half-done", "fleet");
+            let drained = drain_local_events();
+            // Balanced: the open span got a synthesized end.
+            assert_eq!(drained.len(), 4, "{drained:?}");
+            assert_eq!(drained.iter().filter(|e| e.begin).count(), 2);
+            assert_eq!(drained[0].name, "task");
+            // Args ride the end event (attached at drop time).
+            assert!(!drained[1].begin);
+            assert_eq!(
+                drained[1].args,
+                vec![("fn".to_string(), ArgValue::Str("victim_a".to_string()))]
+            );
+            // Simulate the coordinator re-basing onto its clock.
+            let offset = 1_000_000u64;
+            let rebased: Vec<ForeignEvent> = drained
+                .into_iter()
+                .map(|mut e| {
+                    e.ts_us += offset;
+                    e
+                })
+                .collect();
+            add_foreign_events(4242, rebased);
+        }
+        let mut local = span("merge", "fleet");
+        local.arg_u64("workers", 1);
+        drop(local);
+        let merged = export_chrome_trace();
+        disable();
+        assert!(merged.contains("\"pid\":4242"));
+        assert!(merged.contains("\"name\":\"process_name\""));
+        assert!(merged.contains("\"name\":\"lcm-worker-4242\""));
+        assert!(merged.contains("\"name\":\"lcm-supervisor\""));
+        assert!(merged.contains("\"name\":\"task\""));
+        assert!(merged.contains("\"name\":\"merge\""));
+        let begins = merged.matches("\"ph\":\"B\"").count();
+        let ends = merged.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends, "merged trace balanced: {merged}");
+        // The guard of the drained-open span skips its stale end, and
+        // the foreign queue is empty again after export.
+        let after = export_chrome_trace();
+        assert!(!after.contains("half-done"), "{after}");
+        assert!(!after.contains("4242"), "{after}");
+        // An empty foreign batch is a no-op.
+        add_foreign_events(7, Vec::new());
+        assert!(!export_chrome_trace().contains("\"ph\":\"M\""));
     }
 }

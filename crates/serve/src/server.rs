@@ -81,6 +81,10 @@ pub struct ServeConfig {
     /// fleet default (re-execute the current binary). Tests must set
     /// this — their "current binary" is the test harness.
     pub fleet_cmd: Option<Vec<String>>,
+    /// Append-only JSONL supervision event log for fleet mode
+    /// (`--events-out`): kills, restarts, steals, redeliveries, and
+    /// crash forensics records. `None` disables the log.
+    pub events_out: Option<PathBuf>,
     /// Install SIGTERM/SIGINT handlers that trigger the same graceful
     /// drain as a `shutdown` request. Off by default (a library user's
     /// process-wide signal dispositions are not ours to change); the
@@ -103,6 +107,7 @@ impl ServeConfig {
             faults: FaultPlan::default(),
             fleet: 0,
             fleet_cmd: None,
+            events_out: None,
             handle_signals: false,
         }
     }
@@ -388,6 +393,7 @@ impl Server {
             if let Some(cmd) = &config.fleet_cmd {
                 fc.worker_cmd = cmd.clone();
             }
+            fc.events_out = config.events_out.clone();
             lcm_fleet::Fleet::new(fc)
         });
         Ok(Server {
@@ -1236,5 +1242,35 @@ fn stats_members(shared: &Shared) -> Vec<(String, Json)> {
     members.push(("batch_items".into(), n(&c.batch_items)));
     members.push(("torn_writes".into(), n(&c.torn_writes)));
     members.push(("drained".into(), n(&c.drained)));
+    // Enrichment (fleet observability): per-worker-slot health,
+    // appended strictly after every pre-existing field — non-fleet
+    // daemons' replies stay byte-stable up to `drained`.
+    if let Some(fleet) = &shared.fleet {
+        members.push(("fleet_workers".into(), Json::Num(fleet.workers() as f64)));
+        let slots = fleet
+            .health()
+            .into_iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("slot".into(), Json::Num(h.slot as f64)),
+                    ("pid".into(), Json::Num(f64::from(h.pid))),
+                    ("incarnation".into(), Json::Num(h.incarnation as f64)),
+                    ("restarts".into(), Json::Num(h.restarts as f64)),
+                    ("steals".into(), Json::Num(h.steals as f64)),
+                    ("kills".into(), Json::Num(h.kills as f64)),
+                    ("redeliveries".into(), Json::Num(h.redeliveries as f64)),
+                    ("tasks".into(), Json::Num(h.tasks as f64)),
+                    ("queue_depth".into(), Json::Num(h.queue_depth as f64)),
+                    ("retired".into(), Json::Bool(h.retired)),
+                    ("busy".into(), Json::Bool(h.busy)),
+                    (
+                        "last_phase".into(),
+                        h.last_phase.map_or(Json::Null, Json::Str),
+                    ),
+                ])
+            })
+            .collect();
+        members.push(("fleet_slots".into(), Json::Arr(slots)));
+    }
     members
 }

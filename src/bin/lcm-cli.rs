@@ -50,6 +50,7 @@ lcm-cli — analysis daemon and client
 
   lcm-cli serve  --socket PATH [--tcp ADDR] [--workers N] [--queue N]
                  [--cache-dir DIR] [--jobs N] [--fleet N] [--trace-out PATH]
+                 [--events-out PATH]
   lcm-cli client (--socket PATH | --tcp ADDR) status | stats | metrics | shutdown
   lcm-cli client (--socket PATH | --tcp ADDR) analyze [--engine pht|stl] [--retries N]
                  (--file PATH | --source SRC | -)
@@ -64,7 +65,9 @@ in DIR/results.lcmstore so repeat submissions are cache hits.
 `--fleet N` runs analyses in N supervised child processes (crash
 isolation: a worker segfault degrades one function instead of killing
 the daemon). `--trace-out` records a Chrome trace of the daemon's
-lifetime, written on shutdown. `client metrics` prints Prometheus
+lifetime, written on shutdown. `--events-out` appends a JSONL
+supervision event log (kills, restarts, steals, redeliveries, crash
+forensics) in fleet mode. `client metrics` prints Prometheus
 exposition text (the one reply that is not a JSON line).
 `client analyze -` reads mini-C source from stdin. `store compact`
 rewrites DIR/results.lcmstore keeping only the live (latest) record
@@ -131,6 +134,9 @@ fn serve(args: &[String]) -> ExitCode {
         }
         if let Some(v) = take_value(&mut args, "--fleet")? {
             config.fleet = parse_num(&v, "--fleet")?;
+        }
+        if let Some(v) = take_value(&mut args, "--events-out")? {
+            config.events_out = Some(v.into());
         }
         config.handle_signals = true;
         if let Some(extra) = args.first() {

@@ -14,9 +14,20 @@
 //! bench crate's Chrome-trace shape checker (the library behind the
 //! `tracecheck` binary CI runs on `--trace-out` artifacts): balanced
 //! begin/end, per-thread monotone timestamps, proper nesting.
+//!
+//! The fleet extends the contract across the process boundary
+//! (DESIGN.md §6j): worker-side span recording and metrics shipping
+//! must be byte-invisible in the rendered findings at every worker
+//! count and under every armed `fleet.*` fault, and a supervised crash
+//! must produce exactly one structured forensic record naming the task
+//! that was in flight — without perturbing the findings.
 
+use std::time::Duration;
+
+use lcm::core::fault::{site, FaultPlan};
 use lcm::detect::{Detector, DetectorConfig, EngineKind};
-use lcm::serve::wire::module_report_json;
+use lcm::fleet::{Fleet, FleetConfig};
+use lcm::serve::wire::{analyze_reply, module_report_json};
 
 fn env_faults_armed() -> bool {
     std::env::var(lcm::core::fault::FAULT_ENV).is_ok_and(|v| !v.trim().is_empty())
@@ -104,4 +115,144 @@ fn reports_are_byte_identical_with_tracing_on_and_off() {
     // the bench binaries print must stay parseable.
     let json = lcm::obs::metrics::global().render_json();
     lcm::core::jsonw::parse(&json).expect("metrics JSON block must parse");
+}
+
+/// A four-gadget module (mirrors tests/fleet.rs): enough functions to
+/// shard across workers, small enough for debug-profile processes.
+const FOUR_VICTIMS: &str = r#"
+    int A[16]; int B[4096]; int size; int tmp;
+    void victim_0(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+    void victim_1(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+    void victim_2(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+    void victim_3(int y) { if (y < size) tmp &= B[A[y] * 512]; }
+"#;
+
+/// Fleet knobs for tests: the sibling `lcm-cli worker` binary, and the
+/// heartbeat grace shrunk so injected failures reap in ~1s. Worker
+/// tracing is pinned per fleet via [`FleetConfig::trace_workers`] —
+/// these tests never touch the process-global tracer, which belongs to
+/// the single-test-function contract above.
+fn test_fleet(workers: usize, trace_workers: bool) -> FleetConfig {
+    FleetConfig {
+        worker_cmd: vec![env!("CARGO_BIN_EXE_lcm-cli").to_string(), "worker".into()],
+        task_deadline: Duration::from_secs(60),
+        heartbeat_grace: Duration::from_secs(1),
+        trace_workers: Some(trace_workers),
+        ..FleetConfig::new(workers)
+    }
+}
+
+fn fleet_reply(fleet: &Fleet, config: &DetectorConfig, engine: EngineKind) -> String {
+    let m = lcm::minic::compile(FOUR_VICTIMS).expect("compiles");
+    let report = fleet.analyze_module(FOUR_VICTIMS, &m, engine, config, None);
+    analyze_reply(&report, engine)
+}
+
+/// The cross-process differential: worker-side telemetry (span
+/// recording + metrics deltas riding every result frame) must be
+/// byte-invisible in the rendered findings, at 1 and 4 workers, for
+/// all three engines. Runs under the CI `LCM_FAULT` matrix unskipped:
+/// both sides see the same armed plan, and `fleet.*` sites converge by
+/// redelivery on both sides.
+#[test]
+fn fleet_findings_are_byte_identical_with_worker_tracing_on_and_off() {
+    let config = DetectorConfig::default();
+    for workers in [1, 4] {
+        let traced = Fleet::new(test_fleet(workers, true));
+        let untraced = Fleet::new(test_fleet(workers, false));
+        for engine in [EngineKind::Pht, EngineKind::Stl, EngineKind::Psf] {
+            let on = fleet_reply(&traced, &config, engine);
+            let off = fleet_reply(&untraced, &config, engine);
+            assert_eq!(
+                on, off,
+                "{workers} worker(s), {engine:?}: worker tracing must be byte-invisible"
+            );
+        }
+        traced.shutdown();
+        untraced.shutdown();
+    }
+}
+
+/// Crash forensics: an armed `fleet.worker_crash` (a real SIGKILL
+/// mid-task) must emit exactly one structured `worker_exit` crash
+/// record into the JSONL event log, naming the faulted task's function
+/// and store fingerprint — while the findings converge byte-identical
+/// to the in-process run. Skipped under the env fault matrix, which
+/// arms sites this test's event-count assertion does not model.
+#[test]
+fn armed_worker_crash_emits_one_forensic_event_naming_the_task() {
+    if env_faults_armed() {
+        return;
+    }
+    let events_path =
+        std::env::temp_dir().join(format!("lcm-t-forensics-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&events_path).ok();
+
+    // Fire the SIGKILL on victim_1's first delivery only.
+    let config = DetectorConfig {
+        faults: FaultPlan::default().arm(site::FLEET_WORKER_CRASH, Some(1)),
+        ..DetectorConfig::default()
+    };
+    let m = lcm::minic::compile(FOUR_VICTIMS).expect("compiles");
+    let engine = EngineKind::Pht;
+    let clean = analyze_reply(
+        &Detector::new(DetectorConfig::default()).analyze_module(&m, engine),
+        engine,
+    );
+
+    let fleet = Fleet::new(FleetConfig {
+        events_out: Some(events_path.clone()),
+        ..test_fleet(2, false)
+    });
+    let got = fleet_reply(&fleet, &config, engine);
+    fleet.shutdown();
+    assert_eq!(got, clean, "a crashed-and-redelivered run must converge");
+
+    let log = std::fs::read_to_string(&events_path).expect("event log must exist");
+    std::fs::remove_file(&events_path).ok();
+    let events: Vec<lcm::core::jsonw::Json> = log
+        .lines()
+        .map(|l| lcm::core::jsonw::parse(l).expect("every event line must parse"))
+        .collect();
+    assert!(!events.is_empty(), "the supervision run must log events");
+
+    let crashes: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            e.get("event").and_then(|v| v.as_str()) == Some("worker_exit")
+                && e.get("reason").and_then(|v| v.as_str()) == Some("crash")
+        })
+        .collect();
+    assert_eq!(
+        crashes.len(),
+        1,
+        "exactly one crash record expected, got: {log}"
+    );
+    let crash = crashes[0];
+    let last_task = crash.get("last_task").expect("crash record names its task");
+    assert_eq!(
+        last_task.get("fn").and_then(|v| v.as_str()),
+        Some("victim_1"),
+        "the faulted function must be named"
+    );
+    let fp = lcm::store::clou_fingerprint(&m, "victim_1", &config, engine);
+    assert_eq!(
+        last_task.get("fingerprint").and_then(|v| v.as_str()),
+        Some(format!("{:032x}", fp.0).as_str()),
+        "the forensic record must carry the task's store fingerprint"
+    );
+    for field in ["slot", "incarnation", "pid", "uptime_ms", "restarts"] {
+        assert!(
+            crash.get(field).is_some(),
+            "crash record missing `{field}`: {log}"
+        );
+    }
+
+    // The redelivery that absorbed the crash is also on the record.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("event").and_then(|v| v.as_str()) == Some("redeliver")),
+        "the crash's redelivery must be logged: {log}"
+    );
 }
